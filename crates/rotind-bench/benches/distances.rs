@@ -1,0 +1,73 @@
+//! Micro benchmarks of the distance kernels at the paper's canonical
+//! length (n = 251, the projectile-point series).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rotind_distance::dtw::{dtw, dtw_early_abandon, DtwParams};
+use rotind_distance::euclidean::{euclidean, euclidean_early_abandon};
+use rotind_distance::lcss::{lcss_distance, LcssParams};
+use rotind_distance::rotation::rotation_invariant_distance;
+use rotind_distance::Measure;
+use rotind_ts::StepCounter;
+use std::hint::black_box;
+
+fn signals(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41 + 0.9).sin()).collect();
+    (a, b)
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let n = 251;
+    let (q, ca) = signals(n);
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(30);
+
+    group.bench_function("euclidean/251", |bench| {
+        bench.iter(|| euclidean(black_box(&q), black_box(&ca)))
+    });
+    group.bench_function("euclidean_ea_tight/251", |bench| {
+        bench.iter(|| {
+            let mut s = StepCounter::new();
+            euclidean_early_abandon(black_box(&q), black_box(&ca), 0.5, &mut s)
+        })
+    });
+    group.bench_function("dtw_r5/251", |bench| {
+        bench.iter(|| {
+            let mut s = StepCounter::new();
+            dtw(black_box(&q), black_box(&ca), DtwParams::new(5), &mut s)
+        })
+    });
+    group.bench_function("dtw_r5_ea_tight/251", |bench| {
+        bench.iter(|| {
+            let mut s = StepCounter::new();
+            dtw_early_abandon(black_box(&q), black_box(&ca), DtwParams::new(5), 0.5, &mut s)
+        })
+    });
+    group.bench_function("lcss/251", |bench| {
+        bench.iter(|| {
+            let mut s = StepCounter::new();
+            lcss_distance(
+                black_box(&q),
+                black_box(&ca),
+                LcssParams::for_normalized(n),
+                &mut s,
+            )
+        })
+    });
+    group.bench_function("rotation_invariant_ed/64", |bench| {
+        let (q64, c64) = signals(64);
+        bench.iter(|| {
+            let mut s = StepCounter::new();
+            rotation_invariant_distance(
+                black_box(&q64),
+                black_box(&c64),
+                Measure::Euclidean,
+                &mut s,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! FFT substrate benchmarks: radix-2 vs Bluestein, spectra and the
+//! convolution trick at the paper's lengths (251 and 1,024).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rotind_fft::bluestein::bluestein;
+use rotind_fft::convolution::min_shift_euclidean;
+use rotind_fft::fft::fft;
+use rotind_fft::magnitudes;
+use rotind_fft::Complex;
+use std::hint::black_box;
+
+fn complex_signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+        .collect()
+}
+
+fn real_signal(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.31 + phase).sin()).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(30);
+
+    let x1024 = complex_signal(1024);
+    group.bench_function("radix2/1024", |b| b.iter(|| fft(black_box(&x1024))));
+
+    let x251 = complex_signal(251);
+    group.bench_function("bluestein/251", |b| b.iter(|| bluestein(black_box(&x251))));
+
+    for n in [251usize, 1024] {
+        let xs = real_signal(n, 0.0);
+        group.bench_with_input(BenchmarkId::new("magnitudes", n), &xs, |b, xs| {
+            b.iter(|| magnitudes(black_box(xs)))
+        });
+        let q = real_signal(n, 0.0);
+        let cc = real_signal(n, 1.1);
+        group.bench_with_input(BenchmarkId::new("min_shift_euclidean", n), &n, |b, _| {
+            b.iter(|| min_shift_euclidean(black_box(&q), black_box(&cc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

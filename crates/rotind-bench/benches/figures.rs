@@ -1,0 +1,31 @@
+//! Smoke benchmark that drives the figure-reproduction harness itself at
+//! reduced scale, so `cargo bench --workspace` exercises every
+//! experiment path. Full-scale figures come from the `fig*` binaries
+//! (`cargo run -p rotind-bench --release --bin repro_all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    // Force the reduced-scale path regardless of the environment.
+    std::env::set_var("ROTIND_QUICK", "1");
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    // fig24 (the disk index) is exercised by its binary and the
+    // integration tests; its quick run is still tens of seconds, too
+    // slow for a criterion loop.
+
+    group.bench_function("smoke_query", |b| {
+        b.iter(rotind_bench::experiments::smoke_query)
+    });
+    group.bench_function("fig19_quick", |b| {
+        b.iter(|| rotind_bench::experiments::fig19(true))
+    });
+    group.bench_function("scaling_quick", |b| {
+        b.iter(|| rotind_bench::experiments::scaling(true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

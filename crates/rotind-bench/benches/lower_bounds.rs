@@ -1,0 +1,77 @@
+//! Micro benchmarks of the LB_Keogh lower-bound family and the reduced
+//! representations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rotind_envelope::lb_keogh::{lb_keogh, lb_keogh_early_abandon, lcss_distance_lower_bound};
+use rotind_envelope::{Wedge, WedgeTree};
+use rotind_fft::lower_bound::magnitude_distance;
+use rotind_fft::magnitude_features;
+use rotind_index::reduced::{Paa, PaaEnvelope};
+use rotind_distance::lcss::LcssParams;
+use rotind_ts::rotate::RotationMatrix;
+use rotind_ts::StepCounter;
+use std::hint::black_box;
+
+fn signal(n: usize, phase: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * 0.29 + phase).sin()).collect()
+}
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let n = 251;
+    let query = signal(n, 0.0);
+    let candidate = signal(n, 1.7);
+    let matrix = RotationMatrix::full(&query).expect("valid");
+    let wedge = Wedge::from_rows(&matrix, &(0..16).collect::<Vec<_>>());
+    let mut group = c.benchmark_group("lower_bound");
+    group.sample_size(30);
+
+    group.bench_function("lb_keogh/251x16", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            lb_keogh(black_box(&candidate), black_box(&wedge), &mut s)
+        })
+    });
+    group.bench_function("lb_keogh_ea_tight/251x16", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            lb_keogh_early_abandon(black_box(&candidate), black_box(&wedge), 0.1, &mut s)
+        })
+    });
+    group.bench_function("lcss_bound/251x16", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            lcss_distance_lower_bound(
+                black_box(&candidate),
+                black_box(&wedge),
+                LcssParams::for_normalized(n),
+                &mut s,
+            )
+        })
+    });
+    group.bench_function("fourier_magnitudes/251->16", |b| {
+        b.iter(|| magnitude_features(black_box(&candidate), 16))
+    });
+    let qm = magnitude_features(&query, 16);
+    let cm = magnitude_features(&candidate, 16);
+    group.bench_function("magnitude_distance/16", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            magnitude_distance(black_box(&qm), black_box(&cm), &mut s)
+        })
+    });
+    let env = PaaEnvelope::of_wedge(&wedge, 16);
+    let paa = Paa::of(&candidate, 16);
+    group.bench_function("paa_envelope_bound/16", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            env.min_dist(black_box(&paa), &mut s)
+        })
+    });
+    group.bench_function("wedge_tree_build/251", |b| {
+        b.iter(|| WedgeTree::new(RotationMatrix::full(black_box(&query)).expect("valid"), 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds);
+criterion_main!(benches);

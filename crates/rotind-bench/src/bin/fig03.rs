@@ -1,0 +1,6 @@
+//! Reproduce the paper's fig03 clustering experiment (DESIGN.md §5).
+
+fn main() {
+    let table = rotind_bench::experiments::fig03();
+    rotind_bench::emit("fig03", &table);
+}

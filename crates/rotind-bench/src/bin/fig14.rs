@@ -1,0 +1,8 @@
+//! Reproduce the paper's Figure 14 demonstration: LCSS keeps matching a
+//! partially damaged specimen (the original Skhul V, missing its nose)
+//! where Euclidean distance and DTW degrade (DESIGN.md §5).
+
+fn main() {
+    let table = rotind_bench::experiments::fig14();
+    rotind_bench::emit("fig14", &table);
+}

@@ -1,0 +1,6 @@
+//! Reproduce the paper's fig16 clustering experiment (DESIGN.md §5).
+
+fn main() {
+    let table = rotind_bench::experiments::fig16();
+    rotind_bench::emit("fig16", &table);
+}

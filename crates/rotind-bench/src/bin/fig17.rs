@@ -1,0 +1,6 @@
+//! Reproduce the paper's fig17 clustering experiment (DESIGN.md §5).
+
+fn main() {
+    let table = rotind_bench::experiments::fig17();
+    rotind_bench::emit("fig17", &table);
+}

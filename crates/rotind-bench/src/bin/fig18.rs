@@ -1,0 +1,6 @@
+//! Reproduce the paper's fig18 clustering experiment (DESIGN.md §5).
+
+fn main() {
+    let table = rotind_bench::experiments::fig18();
+    rotind_bench::emit("fig18", &table);
+}

@@ -1,0 +1,8 @@
+//! Reproduce the paper's fig22 (see DESIGN.md §5 for the experiment
+//! index). Honours `ROTIND_QUICK=1` for a reduced-scale smoke run.
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let table = rotind_bench::experiments::fig22(quick);
+    rotind_bench::emit("fig22", &table);
+}

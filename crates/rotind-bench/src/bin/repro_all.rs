@@ -1,0 +1,32 @@
+//! Regenerate every table and figure of the paper in one run, writing
+//! CSVs under `results/`. `ROTIND_QUICK=1` shrinks everything for a
+//! smoke pass.
+
+/// A named experiment returning its result table.
+type Experiment<'a> = (&'a str, Box<dyn Fn() -> rotind_eval::report::Table>);
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let runs: Vec<Experiment> = vec![
+        ("table8", Box::new(move || rotind_bench::experiments::table8(quick))),
+        ("fig03", Box::new(rotind_bench::experiments::fig03)),
+        ("fig14", Box::new(rotind_bench::experiments::fig14)),
+        ("fig16", Box::new(rotind_bench::experiments::fig16)),
+        ("fig17", Box::new(rotind_bench::experiments::fig17)),
+        ("fig18", Box::new(rotind_bench::experiments::fig18)),
+        ("fig19", Box::new(move || rotind_bench::experiments::fig19(quick))),
+        ("fig20", Box::new(move || rotind_bench::experiments::fig20(quick))),
+        ("fig21", Box::new(move || rotind_bench::experiments::fig21(quick))),
+        ("fig22", Box::new(move || rotind_bench::experiments::fig22(quick))),
+        ("fig23", Box::new(move || rotind_bench::experiments::fig23(quick))),
+        ("fig24", Box::new(move || rotind_bench::experiments::fig24(quick))),
+        ("scaling", Box::new(move || rotind_bench::experiments::scaling(quick))),
+    ];
+    for (name, run) in runs {
+        println!("=== {name} ===");
+        let start = std::time::Instant::now();
+        let table = run();
+        rotind_bench::emit(name, &table);
+        println!("[{name} took {:.1?}]\n", start.elapsed());
+    }
+}

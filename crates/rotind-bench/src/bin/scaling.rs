@@ -1,0 +1,8 @@
+//! Reproduce the paper's empirical O(n^1.06) per-comparison cost claim
+//! (Section 1 / Section 5; DESIGN.md §5).
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let table = rotind_bench::experiments::scaling(quick);
+    rotind_bench::emit("scaling", &table);
+}

@@ -1,0 +1,36 @@
+//! Internal dataset-difficulty tuning helper: ED and learned-band DTW
+//! LOO error per Table-8 dataset (fast feedback loop; not part of the
+//! reproduction). Pass dataset name prefixes as args to restrict.
+
+use rotind_distance::Measure;
+use rotind_eval::onenn::{one_nn_error, one_nn_error_dtw_learned_band};
+
+fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
+    let seed = 20060900;
+    let sets = vec![
+        rotind_shape::dataset::face(seed),
+        rotind_shape::dataset::swedish_leaf(seed + 1),
+        rotind_shape::dataset::chicken(seed + 2),
+        rotind_shape::dataset::mixed_bag(seed + 3),
+        rotind_shape::dataset::osu_leaf(seed + 4),
+        rotind_shape::dataset::diatom(seed + 5),
+        rotind_shape::dataset::aircraft(seed + 6),
+        rotind_shape::dataset::fish(seed + 7),
+        rotind_lightcurve::dataset::classification_set(seed + 8),
+        rotind_shape::dataset::yoga(seed + 9),
+    ];
+    for ds in sets {
+        if !filters.is_empty() && !filters.iter().any(|f| ds.name.starts_with(f.as_str())) {
+            continue;
+        }
+        let ed = one_nn_error(&ds, Measure::Euclidean);
+        let (band, dtw) = one_nn_error_dtw_learned_band(&ds, &[1, 2, 3, 5, 7], 0.3, seed + 50);
+        println!(
+            "{:<12} ed = {:5.2}%   dtw = {:5.2}% {{{band}}}",
+            ds.name,
+            100.0 * ed.error_rate(),
+            100.0 * dtw.error_rate()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's wall-clock sanity check (Section 5.3): step-count ratios
+//! and wall-clock ratios for the same workload should agree in shape.
+//! `ROTIND_QUICK=1` shrinks the workload.
+
+use rotind_distance::Measure;
+use rotind_eval::report::{fmt_ratio, Table};
+use rotind_eval::speedup::{scan_steps, scan_wall_nanos, SearchAlgorithm};
+use rotind_shape::dataset::projectile_points;
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let n = 251;
+    let m = if quick { 300 } else { 2000 };
+    let queries = if quick { 2 } else { 5 };
+    let ds = projectile_points(m + queries, n, 99);
+    let db: Vec<Vec<f64>> = ds.items[..m].to_vec();
+
+    let algorithms = [
+        SearchAlgorithm::BruteForce,
+        SearchAlgorithm::Fft,
+        SearchAlgorithm::EarlyAbandon,
+        SearchAlgorithm::Wedge,
+    ];
+    let mut table = Table::new(["algorithm", "steps ratio", "wall-clock ratio"]);
+    // Reference: brute force (run once per query; it is the slow part).
+    let mut brute_nanos = 0u128;
+    let mut brute_steps = 0u64;
+    for q in 0..queries {
+        let query = &ds.items[m + q];
+        brute_nanos += scan_wall_nanos(&db, query, SearchAlgorithm::BruteForce, Measure::Euclidean);
+        brute_steps += scan_steps(&db, query, SearchAlgorithm::BruteForce, Measure::Euclidean);
+    }
+    for alg in algorithms {
+        let (mut nanos, mut steps) = (0u128, 0u64);
+        for q in 0..queries {
+            let query = &ds.items[m + q];
+            nanos += scan_wall_nanos(&db, query, alg, Measure::Euclidean);
+            steps += scan_steps(&db, query, alg, Measure::Euclidean);
+        }
+        table.push_row([
+            alg.name().to_string(),
+            fmt_ratio(steps as f64 / brute_steps as f64),
+            fmt_ratio(nanos as f64 / brute_nanos as f64),
+        ]);
+    }
+    rotind_bench::emit("wallclock", &table);
+}

@@ -1,0 +1,150 @@
+//! Cophenetic distances and the cophenetic correlation coefficient.
+//!
+//! The cophenetic distance between two leaves is the linkage height at
+//! which they are first merged; the correlation between cophenetic and
+//! original distances measures how faithfully a dendrogram represents
+//! the data — the standard quality score for the clustering figures
+//! (16/17) and for the wedge-derivation ablation.
+
+use crate::dendrogram::Dendrogram;
+use crate::matrix::DistanceMatrix;
+
+/// The full cophenetic distance matrix of a dendrogram.
+///
+/// `O(m²)` overall: one pre-order walk per internal node assigns the
+/// node's height to every cross-child leaf pair.
+pub fn cophenetic_matrix(dendrogram: &Dendrogram) -> DistanceMatrix {
+    let m = dendrogram.num_leaves();
+    let mut out = DistanceMatrix::zeros(m);
+    for (t, merge) in dendrogram.merges().iter().enumerate() {
+        let _ = t;
+        let left = dendrogram.members(merge.left);
+        let right = dendrogram.members(merge.right);
+        for &a in &left {
+            for &b in &right {
+                out.set(a, b, merge.height);
+            }
+        }
+    }
+    out
+}
+
+/// Pearson correlation between the condensed entries of two distance
+/// matrices (NaN-free inputs assumed). Returns 0.0 when either side is
+/// constant.
+pub fn matrix_correlation(a: &DistanceMatrix, b: &DistanceMatrix) -> f64 {
+    assert_eq!(a.len(), b.len(), "matrix_correlation: size mismatch");
+    let m = a.len();
+    if m < 2 {
+        return 0.0;
+    }
+    let mut xs = Vec::with_capacity(m * (m - 1) / 2);
+    let mut ys = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in i + 1..m {
+            xs.push(a.get(i, j));
+            ys.push(b.get(i, j));
+        }
+    }
+    let mx = rotind_ts::stats::mean(&xs);
+    let my = rotind_ts::stats::mean(&ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// The cophenetic correlation coefficient of a clustering against the
+/// distances it was built from.
+pub fn cophenetic_correlation(dendrogram: &Dendrogram, distances: &DistanceMatrix) -> f64 {
+    matrix_correlation(&cophenetic_matrix(dendrogram), distances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkage::{cluster, Linkage};
+
+    fn line_matrix(points: &[f64]) -> DistanceMatrix {
+        DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn cophenetic_heights_match_merges() {
+        // Points 0,1 merge at 1; {0,1},2 merge at avg(3,2)=2.5 (average
+        // linkage on [0, 1, 3]).
+        let m = line_matrix(&[0.0, 1.0, 3.0]);
+        let dend = cluster(&m, Linkage::Average);
+        let cm = cophenetic_matrix(&dend);
+        assert_eq!(cm.get(0, 1), 1.0);
+        assert_eq!(cm.get(0, 2), 2.5);
+        assert_eq!(cm.get(1, 2), 2.5);
+    }
+
+    #[test]
+    fn cophenetic_is_ultrametric() {
+        // max(d(a,c), d(b,c)) >= d(a,b) for all triples.
+        let points: &[f64] = &[0.0, 0.4, 1.1, 5.0, 5.3, 9.9, 10.2, 10.4];
+        let m = line_matrix(points);
+        let dend = cluster(&m, Linkage::Average);
+        let cm = cophenetic_matrix(&dend);
+        let k = points.len();
+        for a in 0..k {
+            for b in 0..k {
+                for c in 0..k {
+                    if a != b && b != c && a != c {
+                        assert!(
+                            cm.get(a, b) <= cm.get(a, c).max(cm.get(b, c)) + 1e-12,
+                            "ultrametric violated at ({a},{b},{c})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn good_clustering_has_high_correlation() {
+        // Clear two-blob structure → cophenetic correlation near 1.
+        let points: &[f64] = &[0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let m = line_matrix(points);
+        let dend = cluster(&m, Linkage::Average);
+        let ccc = cophenetic_correlation(&dend, &m);
+        assert!(ccc > 0.95, "ccc = {ccc}");
+    }
+
+    #[test]
+    fn all_equal_distances_give_zero_correlation() {
+        let m = DistanceMatrix::from_fn(5, |_, _| 2.0);
+        let dend = cluster(&m, Linkage::Average);
+        // Original distances constant → correlation defined as 0.
+        assert_eq!(cophenetic_correlation(&dend, &m), 0.0);
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded() {
+        let points: &[f64] = &[0.0, 2.0, 3.5, 9.0, 9.5];
+        let a = line_matrix(points);
+        let dend = cluster(&a, Linkage::Complete);
+        let cm = cophenetic_matrix(&dend);
+        let r1 = matrix_correlation(&a, &cm);
+        let r2 = matrix_correlation(&cm, &a);
+        assert!((r1 - r2).abs() < 1e-12);
+        assert!((-1.0..=1.0).contains(&r1));
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let m = DistanceMatrix::zeros(1);
+        let dend = cluster(&m, Linkage::Average);
+        assert_eq!(cophenetic_correlation(&dend, &m), 0.0);
+    }
+}

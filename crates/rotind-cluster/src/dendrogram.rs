@@ -1,0 +1,338 @@
+//! The dendrogram (merge tree) produced by agglomerative clustering.
+//!
+//! Node ids follow the scipy convention: leaves are `0..m`, the `t`-th
+//! merge (in ascending height order) creates node `m + t`. Cutting the
+//! tree after `m − K` merges yields the `K`-cluster partition used as the
+//! paper's wedge set `W` (Figure 10 shows the cuts for K = 1..5).
+
+/// A merge as recorded by the NN-chain algorithm: two *slot*
+/// (representative-leaf) indices and the linkage height.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawMerge {
+    /// Representative slot of the first cluster.
+    pub a: usize,
+    /// Representative slot of the second cluster.
+    pub b: usize,
+    /// Linkage distance at which the clusters merged.
+    pub height: f64,
+}
+
+/// A finalized merge: children are node ids (leaf or internal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// Left child node id.
+    pub left: usize,
+    /// Right child node id.
+    pub right: usize,
+    /// Linkage height of the merge.
+    pub height: f64,
+}
+
+/// A hierarchical clustering of `m` leaves.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    num_leaves: usize,
+    merges: Vec<Merge>,
+}
+
+/// Minimal union-find over leaf slots, tracking each set's current node id.
+struct UnionFind {
+    parent: Vec<usize>,
+    node_of_root: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(m: usize) -> Self {
+        UnionFind {
+            parent: (0..m).collect(),
+            node_of_root: (0..m).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn node(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.node_of_root[r]
+    }
+
+    fn union(&mut self, a: usize, b: usize, new_node: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        self.parent[rb] = ra;
+        self.node_of_root[ra] = new_node;
+    }
+}
+
+impl Dendrogram {
+    /// Finalize NN-chain output: sort the raw merges by height (the
+    /// standard relabelling step — NN-chain discovers merges out of height
+    /// order) and resolve representative slots to node ids.
+    pub fn from_raw_merges(num_leaves: usize, mut raw: Vec<RawMerge>) -> Self {
+        raw.sort_by(|x, y| x.height.total_cmp(&y.height));
+        let mut uf = UnionFind::new(num_leaves);
+        let mut merges = Vec::with_capacity(raw.len());
+        for (t, rm) in raw.iter().enumerate() {
+            let left = uf.node(rm.a);
+            let right = uf.node(rm.b);
+            debug_assert_ne!(left, right, "merge of a cluster with itself");
+            let new_node = num_leaves + t;
+            merges.push(Merge {
+                left,
+                right,
+                height: rm.height,
+            });
+            uf.union(rm.a, rm.b, new_node);
+        }
+        Dendrogram { num_leaves, merges }
+    }
+
+    /// Number of leaves `m`.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// The finalized merges, ascending by height; merge `t` is node
+    /// `num_leaves + t`.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Total number of nodes (leaves + internal).
+    pub fn num_nodes(&self) -> usize {
+        self.num_leaves + self.merges.len()
+    }
+
+    /// The root node id (the last merge), or the sole leaf for `m = 1`;
+    /// `None` only for a degenerate zero-leaf tree.
+    pub fn root(&self) -> Option<usize> {
+        if self.merges.is_empty() {
+            if self.num_leaves == 1 {
+                Some(0)
+            } else {
+                None
+            }
+        } else {
+            Some(self.num_leaves + self.merges.len() - 1)
+        }
+    }
+
+    /// `true` when `node` is a leaf.
+    pub fn is_leaf(&self, node: usize) -> bool {
+        node < self.num_leaves
+    }
+
+    /// Children of an internal node; `None` for leaves.
+    pub fn children(&self, node: usize) -> Option<(usize, usize)> {
+        if self.is_leaf(node) {
+            None
+        } else {
+            let m = self.merges[node - self.num_leaves];
+            Some((m.left, m.right))
+        }
+    }
+
+    /// Linkage height of a node (0.0 for leaves).
+    pub fn height(&self, node: usize) -> f64 {
+        if self.is_leaf(node) {
+            0.0
+        } else {
+            self.merges[node - self.num_leaves].height
+        }
+    }
+
+    /// Leaf indices under `node`, in discovery order.
+    pub fn members(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(x) = stack.pop() {
+            match self.children(x) {
+                None => out.push(x),
+                Some((l, r)) => {
+                    stack.push(r);
+                    stack.push(l);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of leaves under `node`.
+    pub fn size(&self, node: usize) -> usize {
+        self.members(node).len()
+    }
+
+    /// Node ids of the `k`-cluster cut: the clusters that exist after
+    /// applying the first `m − k` merges. `k` is clamped to `[1, m]`.
+    pub fn cut_nodes(&self, k: usize) -> Vec<usize> {
+        let m = self.num_leaves;
+        let k = k.clamp(1, m.max(1));
+        let applied = m - k;
+        let mut alive: Vec<bool> = vec![false; self.num_nodes()];
+        #[allow(clippy::needless_range_loop)] // index used across multiple slices
+        for leaf in 0..m {
+            alive[leaf] = true;
+        }
+        for t in 0..applied {
+            let merge = self.merges[t];
+            alive[merge.left] = false;
+            alive[merge.right] = false;
+            alive[m + t] = true;
+        }
+        alive
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &a)| a.then_some(id))
+            .collect()
+    }
+
+    /// The `k`-cluster partition as leaf-index groups.
+    pub fn cut(&self, k: usize) -> Vec<Vec<usize>> {
+        self.cut_nodes(k).into_iter().map(|n| self.members(n)).collect()
+    }
+
+    /// ASCII rendering of the tree (for the clustering figure binaries).
+    /// `labels[i]` names leaf `i`; missing labels fall back to the index.
+    pub fn render(&self, labels: &[&str]) -> String {
+        let mut out = String::new();
+        if let Some(root) = self.root() {
+            self.render_node(root, 0, labels, &mut out);
+        }
+        out
+    }
+
+    fn render_node(&self, node: usize, depth: usize, labels: &[&str], out: &mut String) {
+        let indent = "  ".repeat(depth);
+        match self.children(node) {
+            None => {
+                let name = labels.get(node).copied().unwrap_or("");
+                if name.is_empty() {
+                    out.push_str(&format!("{indent}- leaf {node}\n"));
+                } else {
+                    out.push_str(&format!("{indent}- {name}\n"));
+                }
+            }
+            Some((l, r)) => {
+                out.push_str(&format!(
+                    "{indent}+ h={:.4} ({} leaves)\n",
+                    self.height(node),
+                    self.size(node)
+                ));
+                self.render_node(l, depth + 1, labels, out);
+                self.render_node(r, depth + 1, labels, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Manual 4-leaf tree: (0,1)@1.0 → node 4; (2,3)@2.0 → node 5;
+    /// (4,5)@3.0 → node 6.
+    fn sample() -> Dendrogram {
+        Dendrogram::from_raw_merges(
+            4,
+            vec![
+                RawMerge { a: 2, b: 3, height: 2.0 },
+                RawMerge { a: 0, b: 1, height: 1.0 },
+                RawMerge { a: 0, b: 2, height: 3.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn sorts_and_labels_merges() {
+        let d = sample();
+        assert_eq!(d.merges().len(), 3);
+        assert_eq!(d.merges()[0].height, 1.0);
+        assert_eq!(d.merges()[1].height, 2.0);
+        assert_eq!(d.merges()[2].height, 3.0);
+        assert_eq!(d.children(4), Some((0, 1)));
+        assert_eq!(d.children(5), Some((2, 3)));
+        assert_eq!(d.children(6), Some((4, 5)));
+        assert_eq!(d.root(), Some(6));
+    }
+
+    #[test]
+    fn members_and_size() {
+        let d = sample();
+        let mut m = d.members(6);
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2, 3]);
+        assert_eq!(d.size(5), 2);
+        assert_eq!(d.members(2), vec![2]);
+        assert!(d.is_leaf(3));
+        assert!(!d.is_leaf(4));
+        assert_eq!(d.height(0), 0.0);
+        assert_eq!(d.height(6), 3.0);
+    }
+
+    #[test]
+    fn cuts_at_every_k() {
+        let d = sample();
+        assert_eq!(d.cut_nodes(1), vec![6]);
+        let mut k2 = d.cut_nodes(2);
+        k2.sort_unstable();
+        assert_eq!(k2, vec![4, 5]);
+        let mut k3 = d.cut_nodes(3);
+        k3.sort_unstable();
+        assert_eq!(k3, vec![2, 3, 4]);
+        let mut k4 = d.cut_nodes(4);
+        k4.sort_unstable();
+        assert_eq!(k4, vec![0, 1, 2, 3]);
+        // Clamping.
+        assert_eq!(d.cut_nodes(0), vec![6]);
+        assert_eq!(d.cut_nodes(99).len(), 4);
+    }
+
+    #[test]
+    fn cut_partitions_leaves() {
+        let d = sample();
+        for k in 1..=4 {
+            let groups = d.cut(k);
+            assert_eq!(groups.len(), k);
+            let mut all: Vec<usize> = groups.concat();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let d = Dendrogram::from_raw_merges(1, Vec::new());
+        assert_eq!(d.root(), Some(0));
+        assert_eq!(d.cut(1), vec![vec![0]]);
+        assert_eq!(d.members(0), vec![0]);
+    }
+
+    #[test]
+    fn render_contains_labels_and_heights() {
+        let d = sample();
+        let text = d.render(&["alpha", "beta", "gamma", "delta"]);
+        for needle in ["alpha", "beta", "gamma", "delta", "h=3.0000", "4 leaves"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn raw_merge_representatives_resolve_through_unions() {
+        // Merge (0,1) then (1,2): the second merge's slot 1 must resolve
+        // to the node created by the first merge.
+        let d = Dendrogram::from_raw_merges(
+            3,
+            vec![
+                RawMerge { a: 0, b: 1, height: 1.0 },
+                RawMerge { a: 1, b: 2, height: 2.0 },
+            ],
+        );
+        assert_eq!(d.children(4), Some((3, 2)));
+    }
+}

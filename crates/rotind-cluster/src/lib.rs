@@ -1,0 +1,34 @@
+//! # rotind-cluster — hierarchical agglomerative clustering
+//!
+//! The wedge-producing subsystem of the paper (Section 4.1): *"This
+//! motivates us to derive wedge sets based on the result of a hierarchal
+//! clustering algorithm"*. A dendrogram over the `n` rotations of the
+//! query series determines which rotations are merged into which wedges,
+//! and cutting the dendrogram at `K` yields the wedge set `W` of size `K`
+//! (Figures 9 and 10). The same machinery drives the clustering
+//! "sanity check" experiments on skulls, reptiles and butterflies
+//! (Figures 3, 16, 17 and 18).
+//!
+//! * [`matrix`] — condensed symmetric distance matrix;
+//! * [`linkage`] — nearest-neighbour-chain agglomeration, `O(m²)`, exact
+//!   for the reducible linkages (single, complete, group-average, Ward);
+//! * [`dendrogram`] — the merge tree: member extraction, cut-to-K,
+//!   ASCII rendering for the figure binaries;
+//! * [`cophenetic`] — cophenetic distances and the correlation
+//!   coefficient scoring dendrogram fidelity;
+//! * [`rotation_shift`] — the `O(n²)` trick for clustering rotations:
+//!   `ED(C_i, C_j)` depends only on `(j − i) mod n`, so the full matrix
+//!   over all rotations needs only a handful of distance profiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cophenetic;
+pub mod dendrogram;
+pub mod linkage;
+pub mod matrix;
+pub mod rotation_shift;
+
+pub use dendrogram::Dendrogram;
+pub use linkage::{cluster, Linkage};
+pub use matrix::DistanceMatrix;

@@ -1,0 +1,287 @@
+//! Nearest-neighbour-chain agglomerative clustering.
+//!
+//! The NN-chain algorithm produces the exact agglomerative clustering for
+//! every *reducible* linkage — single, complete, group-average and Ward —
+//! in `O(m²)` time and memory, without the `O(m³)` cost of the naive
+//! method. The paper's wedge sets are derived from group-average
+//! dendrograms (Figure 9); the other linkages are provided for the
+//! ablation benches.
+
+use crate::dendrogram::{Dendrogram, RawMerge};
+use crate::matrix::DistanceMatrix;
+
+/// Cluster-to-cluster distance update rule (Lance–Williams family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance. A complete-linkage cluster's diameter is
+    /// exactly the paper's wedge-area proxy ("the area of a wedge is
+    /// simply the maximum Euclidean distance between any sequences
+    /// contained therein").
+    Complete,
+    /// Unweighted group average (UPGMA) — the linkage used throughout the
+    /// paper's figures.
+    Average,
+    /// Ward's minimum-variance criterion (expects Euclidean distances).
+    Ward,
+}
+
+impl Linkage {
+    /// Lance–Williams distance from the merge of clusters `a` (size
+    /// `na`) and `b` (size `nb`) to another cluster `k` (size `nk`),
+    /// given the pre-merge distances.
+    fn update(self, dak: f64, dbk: f64, dab: f64, na: f64, nb: f64, nk: f64) -> f64 {
+        match self {
+            Linkage::Single => dak.min(dbk),
+            Linkage::Complete => dak.max(dbk),
+            Linkage::Average => (na * dak + nb * dbk) / (na + nb),
+            Linkage::Ward => {
+                let t = na + nb + nk;
+                (((na + nk) * dak * dak + (nb + nk) * dbk * dbk - nk * dab * dab) / t)
+                    .max(0.0)
+                    .sqrt()
+            }
+        }
+    }
+}
+
+/// Agglomerate `matrix.len()` items under `linkage`, returning the full
+/// dendrogram.
+///
+/// # Panics
+///
+/// Panics for an empty matrix (there is nothing to cluster).
+pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
+    let m = matrix.len();
+    assert!(m > 0, "cluster: empty distance matrix");
+    if m == 1 {
+        return Dendrogram::from_raw_merges(1, Vec::new());
+    }
+
+    // Working copy of the distance matrix, updated in place as clusters
+    // merge; `size[i]` is the cardinality of the cluster currently
+    // represented by slot i; `active[i]` marks live slots.
+    let mut dist = matrix.clone();
+    let mut size = vec![1usize; m];
+    let mut active = vec![true; m];
+    let mut merges: Vec<RawMerge> = Vec::with_capacity(m - 1);
+
+    // NN-chain stack.
+    let mut chain: Vec<usize> = Vec::with_capacity(m);
+
+    for _ in 0..m - 1 {
+        if chain.is_empty() {
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("at least two active clusters remain");
+            chain.push(start);
+        }
+        // Grow the chain until it ends in a pair of reciprocal nearest
+        // neighbours.
+        loop {
+            let top = *chain.last().expect("chain is non-empty");
+            let mut nearest = usize::MAX;
+            let mut nearest_d = f64::INFINITY;
+            // Prefer the previous chain element on ties so reciprocity is
+            // detected deterministically.
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            if let Some(p) = prev {
+                nearest = p;
+                nearest_d = dist.get(top, p);
+            }
+            #[allow(clippy::needless_range_loop)] // index used across multiple slices
+            for k in 0..m {
+                if k == top || !active[k] || Some(k) == prev {
+                    continue;
+                }
+                let d = dist.get(top, k);
+                if d < nearest_d {
+                    nearest_d = d;
+                    nearest = k;
+                }
+            }
+            debug_assert_ne!(nearest, usize::MAX);
+            if Some(nearest) == prev {
+                // Reciprocal nearest neighbours found: merge `top` and
+                // `nearest`.
+                chain.pop();
+                chain.pop();
+                let (a, b) = (top, nearest);
+                merges.push(RawMerge {
+                    a,
+                    b,
+                    height: nearest_d,
+                });
+                // Merge b into a's slot.
+                let (na, nb) = (size[a] as f64, size[b] as f64);
+                let dab = dist.get(a, b);
+                for k in 0..m {
+                    if k == a || k == b || !active[k] {
+                        continue;
+                    }
+                    let updated =
+                        linkage.update(dist.get(a, k), dist.get(b, k), dab, na, nb, size[k] as f64);
+                    dist.set(a, k, updated);
+                }
+                size[a] += size[b];
+                active[b] = false;
+                break;
+            }
+            chain.push(nearest);
+        }
+    }
+
+    Dendrogram::from_raw_merges(m, merges)
+}
+
+/// Convenience: cluster raw vectors under the Euclidean metric.
+///
+/// ```
+/// use rotind_cluster::linkage::{cluster_series, Linkage};
+/// let series = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let dendrogram = cluster_series(&series, Linkage::Average);
+/// let mut cut = dendrogram.cut(2);
+/// for group in &mut cut { group.sort_unstable(); }
+/// cut.sort();
+/// assert_eq!(cut, vec![vec![0, 1], vec![2, 3]]);
+/// ```
+pub fn cluster_series(series: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    let matrix = DistanceMatrix::from_fn(series.len(), |i, j| {
+        series[i]
+            .iter()
+            .zip(&series[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    });
+    cluster(&matrix, linkage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight groups far apart: every linkage must split them at K=2.
+    fn two_blobs() -> DistanceMatrix {
+        let points: &[f64] = &[0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        DistanceMatrix::from_fn(points.len(), |i, j| (points[i] - points[j]).abs())
+    }
+
+    #[test]
+    fn separates_obvious_blobs_under_every_linkage() {
+        for linkage in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
+            let dend = cluster(&two_blobs(), linkage);
+            let mut cut = dend.cut(2);
+            for c in &mut cut {
+                c.sort_unstable();
+            }
+            cut.sort();
+            assert_eq!(cut, vec![vec![0, 1, 2], vec![3, 4, 5]], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn merge_count_and_root() {
+        let dend = cluster(&two_blobs(), Linkage::Average);
+        assert_eq!(dend.num_leaves(), 6);
+        assert_eq!(dend.merges().len(), 5);
+        let mut root_members = dend.members(dend.root().expect("root exists"));
+        root_members.sort_unstable();
+        assert_eq!(root_members, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_linkage_matches_naive_on_line() {
+        // On collinear points single linkage merges nearest gaps first.
+        let points: &[f64] = &[0.0, 1.0, 3.0, 6.0];
+        let m = DistanceMatrix::from_fn(4, |i, j| (points[i] - points[j]).abs());
+        let dend = cluster(&m, Linkage::Single);
+        let heights: Vec<f64> = dend.merges().iter().map(|mg| mg.height).collect();
+        assert_eq!(heights, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn complete_linkage_heights_are_diameters() {
+        let points: &[f64] = &[0.0, 1.0, 10.0];
+        let m = DistanceMatrix::from_fn(3, |i, j| (points[i] - points[j]).abs());
+        let dend = cluster(&m, Linkage::Complete);
+        assert_eq!(dend.merges()[0].height, 1.0);
+        assert_eq!(dend.merges()[1].height, 10.0);
+    }
+
+    #[test]
+    fn average_linkage_height() {
+        let points: &[f64] = &[0.0, 2.0, 9.0];
+        let m = DistanceMatrix::from_fn(3, |i, j| (points[i] - points[j]).abs());
+        let dend = cluster(&m, Linkage::Average);
+        assert_eq!(dend.merges()[0].height, 2.0);
+        // d({0,1}, {2}) = (9 + 7) / 2 = 8.
+        assert_eq!(dend.merges()[1].height, 8.0);
+    }
+
+    #[test]
+    fn ward_prefers_balanced_merges() {
+        // Ward should merge the two singletons at distance 1 before
+        // attaching anything to the big far cluster.
+        let points: &[f64] = &[0.0, 1.0, 50.0, 50.5, 51.0];
+        let m = DistanceMatrix::from_fn(5, |i, j| (points[i] - points[j]).abs());
+        let dend = cluster(&m, Linkage::Ward);
+        let mut cut = dend.cut(2);
+        for c in &mut cut {
+            c.sort_unstable();
+        }
+        cut.sort();
+        assert_eq!(cut, vec![vec![0, 1], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn singleton_input() {
+        let dend = cluster(&DistanceMatrix::zeros(1), Linkage::Average);
+        assert_eq!(dend.num_leaves(), 1);
+        assert!(dend.merges().is_empty());
+        assert_eq!(dend.cut(1), vec![vec![0]]);
+    }
+
+    #[test]
+    fn cluster_series_euclidean() {
+        let series = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let dend = cluster_series(&series, Linkage::Average);
+        let mut cut = dend.cut(2);
+        for c in &mut cut {
+            c.sort_unstable();
+        }
+        cut.sort();
+        assert_eq!(cut, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn ties_do_not_break_the_chain() {
+        // All points equidistant: any dendrogram is valid, but the
+        // algorithm must terminate with m−1 merges.
+        let m = DistanceMatrix::from_fn(8, |_, _| 1.0);
+        let dend = cluster(&m, Linkage::Average);
+        assert_eq!(dend.merges().len(), 7);
+        for k in 1..=8 {
+            let cut = dend.cut(k);
+            assert_eq!(cut.len(), k);
+            let total: usize = cut.iter().map(Vec::len).sum();
+            assert_eq!(total, 8);
+        }
+    }
+}

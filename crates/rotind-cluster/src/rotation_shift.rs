@@ -1,0 +1,165 @@
+//! `O(n²)` distance matrices over the rotations of a single series.
+//!
+//! Clustering the `n` rotations of a query naively costs `O(n³)` (`n²`
+//! pairs × `O(n)` per distance) — far more than the `O(n²)` wedge-build
+//! budget the paper claims (Section 5.3: *"we include a startup cost of
+//! O(n²), which is the time required to build the wedges"*). The saving
+//! comes from shift structure: for two rotations of the *same* base
+//! series,
+//!
+//! ```text
+//! ED(rot_i(x), rot_j(y)) = ED(x, rot_{(j−i) mod n}(y))
+//! ```
+//!
+//! so the whole matrix is determined by a handful of length-`n` distance
+//! *profiles* (plain↔plain, mirror↔mirror and plain↔mirror when mirror
+//! rows are present), each computable in `O(n²)` total.
+
+use crate::matrix::DistanceMatrix;
+use rotind_ts::rotate::{mirror, RotationMatrix};
+
+/// `profile[s] = ED(x, rot_s(y))` for all shifts `s`, `O(n²)`.
+pub fn shift_profile(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert_eq!(n, y.len(), "shift_profile: length mismatch");
+    (0..n)
+        .map(|s| {
+            let mut acc = 0.0;
+            #[allow(clippy::needless_range_loop)] // index used across multiple slices
+            for j in 0..n {
+                let mut k = j + s;
+                if k >= n {
+                    k -= n;
+                }
+                let d = x[j] - y[k];
+                acc += d * d;
+            }
+            acc.sqrt()
+        })
+        .collect()
+}
+
+/// Pairwise Euclidean distance matrix over all rows of a
+/// [`RotationMatrix`], exploiting shift structure.
+///
+/// Rows are ordered as in [`RotationMatrix::rotations`]. Works for full,
+/// mirror-augmented and rotation-limited matrices.
+pub fn rotation_distance_matrix(matrix: &RotationMatrix) -> DistanceMatrix {
+    let n = matrix.series_len();
+    let base = matrix.base();
+    let rotations = matrix.rotations();
+    let needs_mirror = rotations.iter().any(|r| r.mirrored);
+
+    let plain_plain = shift_profile(base, base);
+    let (mirror_mirror, plain_mirror) = if needs_mirror {
+        let m = mirror(base);
+        (shift_profile(&m, &m), shift_profile(base, &m))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    DistanceMatrix::from_fn(rotations.len(), |i, j| {
+        let a = rotations[i];
+        let b = rotations[j];
+        match (a.mirrored, b.mirrored) {
+            (false, false) => plain_plain[(n + b.shift - a.shift) % n],
+            (true, true) => mirror_mirror[(n + b.shift - a.shift) % n],
+            // ED(rot_i(x), rot_j(y)) = ED(x, rot_{j-i}(y)) with x = base,
+            // y = mirror(base) — symmetric in which argument is mirrored
+            // because ED itself is symmetric.
+            (false, true) => plain_mirror[(n + b.shift - a.shift) % n],
+            (true, false) => plain_mirror[(n + a.shift - b.shift) % n],
+        }
+    })
+}
+
+/// Reference implementation: materialize every rotation and compare
+/// pairwise. `O(n³)`; used by tests and available for verification.
+pub fn rotation_distance_matrix_naive(matrix: &RotationMatrix) -> DistanceMatrix {
+    let rows = matrix.materialize();
+    DistanceMatrix::from_fn(rows.len(), |i, j| {
+        rows[i]
+            .iter()
+            .zip(&rows[j])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_ts::rotate::rotated;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|j| (j as f64 * 0.47).sin() + 0.3 * (j as f64 * 1.21).cos())
+            .collect()
+    }
+
+    fn assert_matrices_close(a: &DistanceMatrix, b: &DistanceMatrix) {
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            for j in i + 1..a.len() {
+                assert!(
+                    (a.get(i, j) - b.get(i, j)).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    a.get(i, j),
+                    b.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_matches_direct_distances() {
+        let x = signal(17);
+        let y: Vec<f64> = signal(17).iter().map(|v| v * 0.8 + 0.1).collect();
+        let profile = shift_profile(&x, &y);
+        #[allow(clippy::needless_range_loop)] // index used across multiple slices
+        for s in 0..17 {
+            let direct = x
+                .iter()
+                .zip(&rotated(&y, s))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!((profile[s] - direct).abs() < 1e-12, "shift {s}");
+        }
+    }
+
+    #[test]
+    fn full_matrix_matches_naive() {
+        let c = signal(24);
+        let m = RotationMatrix::full(&c).unwrap();
+        assert_matrices_close(&rotation_distance_matrix(&m), &rotation_distance_matrix_naive(&m));
+    }
+
+    #[test]
+    fn mirror_matrix_matches_naive() {
+        let c = signal(15);
+        let m = RotationMatrix::with_mirror(&c).unwrap();
+        assert_matrices_close(&rotation_distance_matrix(&m), &rotation_distance_matrix_naive(&m));
+    }
+
+    #[test]
+    fn limited_matrix_matches_naive() {
+        let c = signal(20);
+        let m = RotationMatrix::limited_with_mirror(&c, 4).unwrap();
+        assert_matrices_close(&rotation_distance_matrix(&m), &rotation_distance_matrix_naive(&m));
+    }
+
+    #[test]
+    fn adjacent_rotations_are_close_for_smooth_series() {
+        // A smooth series' neighbouring rotations are nearer than distant
+        // ones — the fact that makes clustering rotations worthwhile.
+        let c: Vec<f64> = (0..64)
+            .map(|j| (j as f64 / 64.0 * std::f64::consts::TAU).sin())
+            .collect();
+        let m = RotationMatrix::full(&c).unwrap();
+        let d = rotation_distance_matrix(&m);
+        assert!(d.get(0, 1) < d.get(0, 32));
+        assert!(d.get(10, 11) < d.get(10, 42));
+    }
+}

@@ -1,0 +1,397 @@
+//! Dynamic Time Warping with a Sakoe-Chiba band (Section 4.3).
+//!
+//! DTW aligns locally distorted but globally similar series — e.g. the
+//! brow ridge and jaw of two gorilla species mapping to slightly different
+//! positions in their centroid-distance profiles (Figure 11). The warping
+//! path is constrained to stay within `R` cells of the matrix diagonal
+//! (the Sakoe-Chiba band, Figure 12), which both regularises the alignment
+//! and reduces the cost from `O(n²)` to `O(nR)`.
+//!
+//! Three variants are provided:
+//!
+//! * [`dtw`] — banded DP over two rolling rows, exact;
+//! * [`dtw_early_abandon`] — the iterative form the paper advocates
+//!   (footnote 2: a recursive implementation can never abandon, the
+//!   iterative one can abandon after as few as `R` steps): if every cell
+//!   of a DP row already exceeds `r²`, the final distance must exceed `r`;
+//! * [`dtw_path`] — full-matrix variant that also recovers the optimal
+//!   warping path, for diagnostics and the alignment figures.
+//!
+//! Cell costs are squared differences and the returned distance is the
+//! square root of the accumulated cost, commensurate with Euclidean
+//! distance (indeed `R = 0` forces the diagonal path and reproduces it
+//! exactly). One step is charged per visited cell.
+
+use rotind_ts::StepCounter;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Rolling DP rows, reused across calls: the early-abandoning DTW is
+    /// invoked once per rotation per database item, and per-call
+    /// allocation dominated wall time on the big sweeps.
+    static DTW_ROWS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Parameters for banded DTW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtwParams {
+    /// Sakoe-Chiba band half-width `R`: the warping path may deviate at
+    /// most `R` cells from the diagonal. `0` forces the diagonal
+    /// (Euclidean) path; `n - 1` or more is an unconstrained warp.
+    pub band: usize,
+}
+
+impl DtwParams {
+    /// Band of exactly `band` cells.
+    pub const fn new(band: usize) -> Self {
+        DtwParams { band }
+    }
+
+    /// Band expressed as a fraction of the series length (e.g. `0.05` for
+    /// the common "5% warping window"), rounded to the nearest cell.
+    pub fn from_fraction(n: usize, fraction: f64) -> Self {
+        let band = (n as f64 * fraction).round().max(0.0) as usize;
+        DtwParams { band }
+    }
+}
+
+impl Default for DtwParams {
+    /// The paper's evaluation mostly learns `R ∈ {1, 2, 3}` (Table 8) and
+    /// uses `R = 5` for the efficiency studies (Figure 20); `5` is a
+    /// sensible default for shape matching.
+    fn default() -> Self {
+        DtwParams { band: 5 }
+    }
+}
+
+#[inline]
+fn cell_cost(a: f64, b: f64) -> f64 {
+    let d = a - b;
+    d * d
+}
+
+/// Banded DTW distance between equal-length series.
+///
+/// ```
+/// use rotind_distance::dtw::{dtw, DtwParams};
+/// use rotind_ts::StepCounter;
+/// // A peak shifted by one sample: Euclidean is large, DTW absorbs it.
+/// let q = [0.0, 0.0, 10.0, 0.0, 0.0, 0.0];
+/// let c = [0.0, 0.0, 0.0, 10.0, 0.0, 0.0];
+/// let d = dtw(&q, &c, DtwParams::new(1), &mut StepCounter::new());
+/// assert!(d < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the series differ in length or are empty.
+pub fn dtw(q: &[f64], c: &[f64], params: DtwParams, counter: &mut StepCounter) -> f64 {
+    dtw_early_abandon(q, c, params, f64::INFINITY, counter)
+        .expect("DTW with infinite radius cannot abandon")
+}
+
+/// Early-abandoning banded DTW.
+///
+/// Returns `None` as soon as an entire DP row exceeds `r²` — every warping
+/// path must pass through each row, so the true distance necessarily
+/// exceeds `r`. `r = f64::INFINITY` computes the exact distance.
+pub fn dtw_early_abandon(
+    q: &[f64],
+    c: &[f64],
+    params: DtwParams,
+    r: f64,
+    counter: &mut StepCounter,
+) -> Option<f64> {
+    let n = q.len();
+    assert_eq!(n, c.len(), "dtw: length mismatch");
+    assert!(n > 0, "dtw: empty series");
+    let band = params.band.min(n - 1);
+    let r2 = r * r;
+
+    // Rolling rows indexed by j; cells outside the band hold +∞. The
+    // buffers are thread-local: this function runs once per rotation per
+    // database item, and per-call allocation dominated wall time on the
+    // big sweeps.
+    DTW_ROWS.with(|rows| {
+        let (prev, cur) = &mut *rows.borrow_mut();
+        prev.clear();
+        prev.resize(n, f64::INFINITY);
+        cur.clear();
+        cur.resize(n, f64::INFINITY);
+
+        for i in 0..n {
+            let lo = i.saturating_sub(band);
+            let hi = (i + band).min(n - 1);
+            cur[lo..=hi].fill(f64::INFINITY);
+            let mut row_min = f64::INFINITY;
+            for j in lo..=hi {
+                let best_prev = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let mut b = f64::INFINITY;
+                    if j > 0 {
+                        // horizontal predecessor (i, j-1)
+                        if j > lo || i == 0 {
+                            b = b.min(cur[j - 1]);
+                        }
+                    }
+                    if i > 0 {
+                        // vertical predecessor (i-1, j)
+                        if j <= (i - 1) + band {
+                            b = b.min(prev[j]);
+                        }
+                        // diagonal predecessor (i-1, j-1)
+                        if j > 0 && j > (i - 1).saturating_sub(band) && j - 1 <= (i - 1) + band
+                        {
+                            b = b.min(prev[j - 1]);
+                        }
+                    }
+                    b
+                };
+                counter.tick();
+                let v = if best_prev.is_finite() {
+                    best_prev + cell_cost(q[i], c[j])
+                } else {
+                    f64::INFINITY
+                };
+                cur[j] = v;
+                if v < row_min {
+                    row_min = v;
+                }
+            }
+            if row_min > r2 {
+                return None;
+            }
+            std::mem::swap(prev, cur);
+        }
+        // Some(d) with d > r is possible (the row-min test is necessary,
+        // not sufficient, at the corner); callers compare the returned
+        // value, as in Table 2 of the paper.
+        let total = prev[n - 1];
+        debug_assert!(total.is_finite());
+        Some(total.sqrt())
+    })
+}
+
+/// A warping path: matrix cells `(i, j)` from `(0, 0)` to `(n-1, n-1)`.
+pub type WarpingPath = Vec<(usize, usize)>;
+
+/// Full-matrix banded DTW with optimal-path recovery.
+///
+/// Costs `O(n²)` memory; intended for diagnostics, figures and tests, not
+/// for the search hot path.
+pub fn dtw_path(q: &[f64], c: &[f64], params: DtwParams) -> (f64, WarpingPath) {
+    let n = q.len();
+    assert_eq!(n, c.len(), "dtw_path: length mismatch");
+    assert!(n > 0, "dtw_path: empty series");
+    let band = params.band.min(n - 1);
+    let inf = f64::INFINITY;
+    let mut dp = vec![inf; n * n];
+    let idx = |i: usize, j: usize| i * n + j;
+
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        for j in lo..=hi {
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let mut b = inf;
+                if i > 0 {
+                    b = b.min(dp[idx(i - 1, j)]);
+                    if j > 0 {
+                        b = b.min(dp[idx(i - 1, j - 1)]);
+                    }
+                }
+                if j > 0 {
+                    b = b.min(dp[idx(i, j - 1)]);
+                }
+                b
+            };
+            if best_prev.is_finite() {
+                dp[idx(i, j)] = best_prev + cell_cost(q[i], c[j]);
+            }
+        }
+    }
+
+    // Backtrack from the corner, preferring the diagonal on ties.
+    let mut path = vec![(n - 1, n - 1)];
+    let (mut i, mut j) = (n - 1, n - 1);
+    while i > 0 || j > 0 {
+        let diag = if i > 0 && j > 0 { dp[idx(i - 1, j - 1)] } else { inf };
+        let up = if i > 0 { dp[idx(i - 1, j)] } else { inf };
+        let left = if j > 0 { dp[idx(i, j - 1)] } else { inf };
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+        path.push((i, j));
+    }
+    path.reverse();
+    (dp[idx(n - 1, n - 1)].sqrt(), path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::euclidean;
+
+    fn steps() -> StepCounter {
+        StepCounter::new()
+    }
+
+    #[test]
+    fn identical_series_zero() {
+        let q = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw(&q, &q, DtwParams::new(2), &mut steps()), 0.0);
+    }
+
+    #[test]
+    fn band_zero_equals_euclidean() {
+        let q = [1.0, 5.0, 2.0, 8.0];
+        let c = [2.0, 3.0, 4.0, 5.0];
+        let d = dtw(&q, &c, DtwParams::new(0), &mut steps());
+        assert!((d - euclidean(&q, &c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warping_aligns_shifted_peak() {
+        // A peak shifted by one sample: ED is large, DTW(band>=1) small.
+        let q = [0.0, 0.0, 10.0, 0.0, 0.0, 0.0];
+        let c = [0.0, 0.0, 0.0, 10.0, 0.0, 0.0];
+        let ed = euclidean(&q, &c);
+        let d1 = dtw(&q, &c, DtwParams::new(1), &mut steps());
+        assert!(d1 < ed * 0.1, "dtw {d1} should be far below ed {ed}");
+    }
+
+    #[test]
+    fn monotone_in_band() {
+        let q: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        let c: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4 + 0.7).sin()).collect();
+        let mut last = f64::INFINITY;
+        for band in 0..8 {
+            let d = dtw(&q, &c, DtwParams::new(band), &mut steps());
+            assert!(d <= last + 1e-12, "band {band}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean() {
+        let q: Vec<f64> = (0..40).map(|i| ((i * 13 % 17) as f64) * 0.3).collect();
+        let c: Vec<f64> = (0..40).map(|i| ((i * 7 % 11) as f64) * 0.4).collect();
+        for band in [0, 1, 3, 10, 39] {
+            let d = dtw(&q, &c, DtwParams::new(band), &mut steps());
+            assert!(d <= euclidean(&q, &c) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn early_abandon_matches_exact_when_not_abandoned() {
+        let q: Vec<f64> = (0..20).map(|i| (i as f64 * 0.3).cos()).collect();
+        let c: Vec<f64> = (0..20).map(|i| (i as f64 * 0.31).cos()).collect();
+        let p = DtwParams::new(3);
+        let exact = dtw(&q, &c, p, &mut steps());
+        let got = dtw_early_abandon(&q, &c, p, exact + 0.1, &mut steps()).unwrap();
+        assert!((exact - got).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abandon_triggers_and_saves_steps() {
+        let q = vec![100.0; 64];
+        let c = vec![0.0; 64];
+        let p = DtwParams::new(5);
+        let mut full = steps();
+        dtw(&q, &c, p, &mut full);
+        let mut ab = steps();
+        assert!(dtw_early_abandon(&q, &c, p, 1.0, &mut ab).is_none());
+        assert!(
+            ab.steps() <= (p.band as u64 + 1),
+            "abandons within the first row: {} steps",
+            ab.steps()
+        );
+        assert!(ab.steps() < full.steps());
+    }
+
+    #[test]
+    fn early_abandon_is_admissible() {
+        // Whenever None is returned, the true distance must exceed r.
+        let q: Vec<f64> = (0..24).map(|i| ((i * 5 % 13) as f64) * 0.5).collect();
+        let c: Vec<f64> = (0..24).map(|i| ((i * 11 % 7) as f64) * 0.6).collect();
+        let p = DtwParams::new(2);
+        let exact = dtw(&q, &c, p, &mut steps());
+        for r in [0.1, 0.5 * exact, 0.99 * exact, exact, 1.5 * exact] {
+            match dtw_early_abandon(&q, &c, p, r, &mut steps()) {
+                None => assert!(exact > r, "abandoned although exact {exact} <= r {r}"),
+                Some(d) => assert!((d - exact).abs() < 1e-12),
+            }
+        }
+    }
+
+    #[test]
+    fn step_count_is_band_limited() {
+        let n = 50;
+        let q = vec![1.0; n];
+        let c = vec![1.0; n];
+        let band = 3;
+        let mut s = steps();
+        dtw(&q, &c, DtwParams::new(band), &mut s);
+        let upper = (n * (2 * band + 1)) as u64;
+        assert!(s.steps() <= upper, "{} > {}", s.steps(), upper);
+        assert!(s.steps() >= n as u64);
+    }
+
+    #[test]
+    fn path_endpoints_and_monotonicity() {
+        let q: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).sin()).collect();
+        let c: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5 + 1.0).sin()).collect();
+        let (d, path) = dtw_path(&q, &c, DtwParams::new(4));
+        assert_eq!(*path.first().unwrap(), (0, 0));
+        assert_eq!(*path.last().unwrap(), (15, 15));
+        for w in path.windows(2) {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            assert!(i1 >= i0 && j1 >= j0 && i1 - i0 <= 1 && j1 - j0 <= 1);
+            assert!((i1, j1) != (i0, j0));
+        }
+        let dp = dtw(&q, &c, DtwParams::new(4), &mut steps());
+        assert!((d - dp).abs() < 1e-12, "path variant agrees with rolling-row");
+        // Path length bound from the paper: n <= T < 2n - 1.
+        assert!(path.len() >= 16 && path.len() <= 31);
+    }
+
+    #[test]
+    fn path_cost_matches_distance() {
+        let q = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let c = [0.0, 0.0, 2.0, 2.0, 0.0];
+        let (d, path) = dtw_path(&q, &c, DtwParams::new(4));
+        let cost: f64 = path.iter().map(|&(i, j)| cell_cost(q[i], c[j])).sum();
+        assert!((cost.sqrt() - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fraction() {
+        assert_eq!(DtwParams::from_fraction(100, 0.05).band, 5);
+        assert_eq!(DtwParams::from_fraction(251, 0.0).band, 0);
+        assert_eq!(DtwParams::from_fraction(10, 0.14).band, 1);
+    }
+
+    #[test]
+    fn band_larger_than_series_is_unconstrained() {
+        let q = [0.0, 3.0, 1.0];
+        let c = [3.0, 0.0, 1.0];
+        let a = dtw(&q, &c, DtwParams::new(2), &mut steps());
+        let b = dtw(&q, &c, DtwParams::new(100), &mut steps());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        dtw(&[1.0], &[1.0, 2.0], DtwParams::new(1), &mut steps());
+    }
+}

@@ -1,0 +1,223 @@
+//! Longest Common SubSequence similarity (Section 4.3, Figure 14).
+//!
+//! LCSS is like DTW except that points may go *unmatched*: a broken tang
+//! on a projectile point or the missing nose region of the Skhul V skull
+//! simply drops out of the alignment instead of forcing an unnatural
+//! warp. Two points `qᵢ`, `cⱼ` match when `|qᵢ − cⱼ| ≤ ε` and
+//! `|i − j| ≤ δ` (the matching envelope of Figure 14); the similarity is
+//! the length of the longest chain of such matches, normalised by `n`.
+//!
+//! Unlike Euclidean distance (no parameters) or DTW (one), LCSS has two
+//! parameters, and the paper notes that tuning them is non-trivial; the
+//! defaults here follow the common convention `ε = σ/2` on z-normalised
+//! data (σ = 1) and `δ = 5%·n`.
+
+use rotind_ts::StepCounter;
+
+/// Parameters for banded LCSS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LcssParams {
+    /// Amplitude matching threshold ε: samples match when their absolute
+    /// difference is at most ε.
+    pub epsilon: f64,
+    /// Temporal matching window δ (in samples): `|i − j| ≤ δ`.
+    pub delta: usize,
+}
+
+impl LcssParams {
+    /// Explicit parameters.
+    pub const fn new(epsilon: f64, delta: usize) -> Self {
+        LcssParams { epsilon, delta }
+    }
+
+    /// Conventional defaults for z-normalised series of length `n`:
+    /// `ε = 0.5`, `δ = max(1, 5%·n)`.
+    pub fn for_normalized(n: usize) -> Self {
+        LcssParams {
+            epsilon: 0.5,
+            delta: ((n as f64 * 0.05).round() as usize).max(1),
+        }
+    }
+}
+
+/// Length of the longest common subsequence under `params`.
+///
+/// One step is charged per visited DP cell. `O(n·δ)` time, `O(n)` memory.
+///
+/// # Panics
+///
+/// Panics when the series differ in length or are empty.
+pub fn lcss_length(
+    q: &[f64],
+    c: &[f64],
+    params: LcssParams,
+    counter: &mut StepCounter,
+) -> usize {
+    let n = q.len();
+    assert_eq!(n, c.len(), "lcss: length mismatch");
+    assert!(n > 0, "lcss: empty series");
+    let delta = params.delta.min(n - 1);
+
+    // dp[j] = LCSS(q[..=i], c[..=j]); rolling rows over i.
+    let mut prev = vec![0usize; n + 1];
+    let mut cur = vec![0usize; n + 1];
+    #[allow(clippy::needless_range_loop)] // index used across multiple slices
+    for i in 0..n {
+        let lo = i.saturating_sub(delta);
+        let hi = (i + delta).min(n - 1);
+        // Cells outside the band inherit the best seen so far on the row,
+        // so the DP stays monotone without visiting them.
+        for j in 0..lo {
+            cur[j + 1] = prev[j + 1].max(if j == 0 { 0 } else { cur[j] });
+        }
+        for j in lo..=hi {
+            counter.tick();
+            let matched = (q[i] - c[j]).abs() <= params.epsilon;
+            cur[j + 1] = if matched {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        for j in hi + 1..n {
+            cur[j + 1] = prev[j + 1].max(cur[j]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// LCSS similarity in `[0, 1]`: `lcss_length / n`.
+pub fn lcss_similarity(
+    q: &[f64],
+    c: &[f64],
+    params: LcssParams,
+    counter: &mut StepCounter,
+) -> f64 {
+    lcss_length(q, c, params, counter) as f64 / q.len() as f64
+}
+
+/// LCSS distance form `1 − similarity`, in `[0, 1]`.
+///
+/// This is the form the rotation-invariant search minimises, so a single
+/// best-so-far threshold works across all three measures.
+pub fn lcss_distance(
+    q: &[f64],
+    c: &[f64],
+    params: LcssParams,
+    counter: &mut StepCounter,
+) -> f64 {
+    1.0 - lcss_similarity(q, c, params, counter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steps() -> StepCounter {
+        StepCounter::new()
+    }
+
+    #[test]
+    fn identical_series_full_match() {
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let p = LcssParams::new(0.1, 2);
+        assert_eq!(lcss_length(&q, &q, p, &mut steps()), 4);
+        assert_eq!(lcss_similarity(&q, &q, p, &mut steps()), 1.0);
+        assert_eq!(lcss_distance(&q, &q, p, &mut steps()), 0.0);
+    }
+
+    #[test]
+    fn completely_different_no_match() {
+        let q = [0.0, 0.0, 0.0];
+        let c = [10.0, 10.0, 10.0];
+        let p = LcssParams::new(0.5, 2);
+        assert_eq!(lcss_length(&q, &c, p, &mut steps()), 0);
+        assert_eq!(lcss_distance(&q, &c, p, &mut steps()), 1.0);
+    }
+
+    #[test]
+    fn tolerates_an_outlier_dtw_cannot_ignore() {
+        // One wild sample ("broken tang"): LCSS skips it.
+        let q = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let mut c = q;
+        c[3] = 500.0;
+        let p = LcssParams::new(0.25, 2);
+        assert_eq!(lcss_length(&q, &c, p, &mut steps()), 5);
+    }
+
+    #[test]
+    fn respects_temporal_window() {
+        // Matching samples sit one position off the diagonal; δ = 0
+        // restricts matches to the diagonal and finds none.
+        let q = [1.0, 2.0, 3.0, 4.0];
+        let c = [4.0, 1.0, 2.0, 3.0];
+        let tight = LcssParams::new(0.1, 0);
+        let loose = LcssParams::new(0.1, 1);
+        let t = lcss_length(&q, &c, tight, &mut steps());
+        let l = lcss_length(&q, &c, loose, &mut steps());
+        assert!(l > t, "loose {l} should exceed tight {t}");
+    }
+
+    #[test]
+    fn classic_subsequence_semantics() {
+        // With a huge window and tiny epsilon this is the classic discrete
+        // LCS. q = [1,2,3,4,5], c = [2,4,1,3,5] -> LCS {2,3,5} or {1,3,5}.
+        let q = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let c = [2.0, 4.0, 1.0, 3.0, 5.0];
+        let p = LcssParams::new(1e-9, 4);
+        assert_eq!(lcss_length(&q, &c, p, &mut steps()), 3);
+    }
+
+    #[test]
+    fn monotone_in_epsilon_and_delta() {
+        let q: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin()).collect();
+        let c: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4 + 0.9).sin()).collect();
+        let mut last = 0;
+        for eps in [0.0, 0.1, 0.3, 0.8, 2.0] {
+            let v = lcss_length(&q, &c, LcssParams::new(eps, 3), &mut steps());
+            assert!(v >= last);
+            last = v;
+        }
+        let mut last = 0;
+        for delta in [0, 1, 2, 5, 23] {
+            let v = lcss_length(&q, &c, LcssParams::new(0.2, delta), &mut steps());
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let q: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let c: Vec<f64> = (0..10).map(|i| -(i as f64)).collect();
+        let p = LcssParams::for_normalized(10);
+        let s = lcss_similarity(&q, &c, p, &mut steps());
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn default_params() {
+        let p = LcssParams::for_normalized(100);
+        assert_eq!(p.delta, 5);
+        assert_eq!(p.epsilon, 0.5);
+        let p1 = LcssParams::for_normalized(4);
+        assert_eq!(p1.delta, 1, "delta never rounds to zero");
+    }
+
+    #[test]
+    fn step_count_is_band_limited() {
+        let n = 40;
+        let q = vec![0.0; n];
+        let c = vec![0.0; n];
+        let mut s = steps();
+        lcss_length(&q, &c, LcssParams::new(0.1, 2), &mut s);
+        assert!(s.steps() <= (n * 5) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        lcss_length(&[1.0], &[1.0, 2.0], LcssParams::new(0.1, 1), &mut steps());
+    }
+}

@@ -1,0 +1,164 @@
+//! A unified handle over the three supported distance measures.
+//!
+//! The paper's framework is deliberately measure-agnostic (Section 1:
+//! *"Our approach works for any of these distance measures"*). Engines,
+//! baselines and experiment harnesses take a [`Measure`] so a single code
+//! path serves Euclidean, DTW and LCSS experiments.
+
+use crate::dtw::{dtw, dtw_early_abandon, DtwParams};
+use crate::euclidean::euclidean_early_abandon;
+use crate::lcss::{lcss_distance, LcssParams};
+use rotind_ts::StepCounter;
+
+/// One of the paper's three distance measures, with its parameters.
+///
+/// All three expose a *distance* interface (LCSS is converted to
+/// `1 − similarity`), so "smaller is better" uniformly and one best-so-far
+/// threshold drives every search algorithm.
+///
+/// ```
+/// use rotind_distance::{Measure, DtwParams};
+/// use rotind_ts::StepCounter;
+/// let q = [0.0, 1.0, 2.0, 1.0];
+/// let c = [0.0, 2.0, 1.0, 1.0];
+/// let mut steps = StepCounter::new();
+/// let ed = Measure::Euclidean.distance(&q, &c, &mut steps);
+/// let dtw = Measure::Dtw(DtwParams::new(2)).distance(&q, &c, &mut steps);
+/// assert!(dtw <= ed);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measure {
+    /// Euclidean distance — zero parameters.
+    Euclidean,
+    /// Sakoe-Chiba–banded Dynamic Time Warping.
+    Dtw(DtwParams),
+    /// Banded Longest Common SubSequence, distance form.
+    Lcss(LcssParams),
+}
+
+impl Measure {
+    /// The exact distance between two equal-length series.
+    pub fn distance(&self, q: &[f64], c: &[f64], counter: &mut StepCounter) -> f64 {
+        match self {
+            Measure::Euclidean => {
+                // Count steps identically to the early-abandoning form.
+                euclidean_early_abandon(q, c, f64::INFINITY, counter)
+                    .expect("infinite radius never abandons")
+            }
+            Measure::Dtw(p) => dtw(q, c, *p, counter),
+            Measure::Lcss(p) => lcss_distance(q, c, *p, counter),
+        }
+    }
+
+    /// The distance, abandoning with `None` as soon as it provably exceeds
+    /// `r`. LCSS cannot abandon (a late run of matches can always rescue
+    /// the similarity), so it computes exactly and filters.
+    pub fn distance_early_abandon(
+        &self,
+        q: &[f64],
+        c: &[f64],
+        r: f64,
+        counter: &mut StepCounter,
+    ) -> Option<f64> {
+        match self {
+            Measure::Euclidean => euclidean_early_abandon(q, c, r, counter),
+            Measure::Dtw(p) => dtw_early_abandon(q, c, *p, r, counter),
+            Measure::Lcss(p) => {
+                let d = lcss_distance(q, c, *p, counter);
+                if d > r {
+                    None
+                } else {
+                    Some(d)
+                }
+            }
+        }
+    }
+
+    /// Whether the measure supports genuine mid-computation abandoning.
+    pub fn supports_early_abandon(&self) -> bool {
+        !matches!(self, Measure::Lcss(_))
+    }
+
+    /// The DTW band `R` if this is a DTW measure (used to widen wedge
+    /// envelopes, Section 4.3), zero otherwise.
+    pub fn warping_band(&self) -> usize {
+        match self {
+            Measure::Dtw(p) => p.band,
+            _ => 0,
+        }
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Measure::Euclidean => "Euclidean".to_string(),
+            Measure::Dtw(p) => format!("DTW(R={})", p.band),
+            Measure::Lcss(p) => format!("LCSS(eps={}, delta={})", p.epsilon, p.delta),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euclidean::euclidean;
+
+    fn steps() -> StepCounter {
+        StepCounter::new()
+    }
+
+    #[test]
+    fn euclidean_agrees_with_direct() {
+        let q = [1.0, 2.0, 3.0];
+        let c = [3.0, 2.0, 1.0];
+        let d = Measure::Euclidean.distance(&q, &c, &mut steps());
+        assert!((d - euclidean(&q, &c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_agrees_with_direct() {
+        let q = [0.0, 1.0, 0.0, 2.0];
+        let c = [1.0, 0.0, 2.0, 0.0];
+        let p = DtwParams::new(2);
+        let d = Measure::Dtw(p).distance(&q, &c, &mut steps());
+        assert_eq!(d, dtw(&q, &c, p, &mut steps()));
+    }
+
+    #[test]
+    fn lcss_is_a_distance_form() {
+        let q = [1.0, 2.0, 3.0];
+        let p = LcssParams::new(0.1, 1);
+        assert_eq!(Measure::Lcss(p).distance(&q, &q, &mut steps()), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_consistency() {
+        let q: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let c: Vec<f64> = (0..16).map(|i| (i as f64 * 0.9).cos()).collect();
+        for m in [
+            Measure::Euclidean,
+            Measure::Dtw(DtwParams::new(3)),
+            Measure::Lcss(LcssParams::for_normalized(16)),
+        ] {
+            let exact = m.distance(&q, &c, &mut steps());
+            match m.distance_early_abandon(&q, &c, exact * 0.5, &mut steps()) {
+                None => assert!(exact > exact * 0.5),
+                Some(d) => assert!((d - exact).abs() < 1e-12),
+            }
+            let kept = m
+                .distance_early_abandon(&q, &c, exact + 1.0, &mut steps())
+                .expect("r above exact distance must not abandon");
+            assert!((kept - exact).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        assert!(Measure::Euclidean.supports_early_abandon());
+        assert!(Measure::Dtw(DtwParams::new(5)).supports_early_abandon());
+        assert!(!Measure::Lcss(LcssParams::new(0.5, 5)).supports_early_abandon());
+        assert_eq!(Measure::Dtw(DtwParams::new(5)).warping_band(), 5);
+        assert_eq!(Measure::Euclidean.warping_band(), 0);
+        assert_eq!(Measure::Dtw(DtwParams::new(3)).name(), "DTW(R=3)");
+    }
+}

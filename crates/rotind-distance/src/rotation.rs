@@ -1,0 +1,287 @@
+//! Brute-force rotation-invariant matching (Section 3, Tables 2 and 3).
+//!
+//! The rotation-invariant distance between a candidate series `Q` and a
+//! query `C` is the minimum of `measure(Q, C_j)` over all admitted rows
+//! `C_j` of the query's rotation matrix **C** — exhaustive but exact.
+//! These routines are both the correctness oracle for the wedge engine and
+//! the `brute force` / `early abandon` baselines of Figures 19–23.
+
+use crate::measure::Measure;
+use rotind_ts::rotate::{Rotation, RotationMatrix};
+use rotind_ts::StepCounter;
+
+/// Result of a rotation-invariant comparison: the distance and the
+/// rotation (row of **C**) that achieved it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotationMatch {
+    /// The minimal distance across admitted rotations.
+    pub distance: f64,
+    /// The rotation achieving it.
+    pub rotation: Rotation,
+}
+
+/// `Test_All_Rotations` (Table 2), generalised to any [`Measure`].
+///
+/// Compares `candidate` against every row of `query_rotations`, threading
+/// the best-so-far value `r` through the early-abandoning distance so that
+/// hopeless rotations are cut short. Returns `None` when **no** rotation
+/// beats `r` (the caller's best-so-far stands).
+///
+/// Invoke with `r = f64::INFINITY` to measure the plain rotation-invariant
+/// distance between two series.
+pub fn test_all_rotations(
+    candidate: &[f64],
+    query_rotations: &RotationMatrix,
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<RotationMatch> {
+    assert_eq!(
+        candidate.len(),
+        query_rotations.series_len(),
+        "test_all_rotations: length mismatch"
+    );
+    let mut best: Option<RotationMatch> = None;
+    let mut best_so_far = r;
+    // One scratch buffer reused for every rotation: materialising each
+    // row separately dominated wall time on the large sweeps.
+    let mut rotated = Vec::with_capacity(query_rotations.series_len());
+    for row in 0..query_rotations.num_rotations() {
+        let rotation = query_rotations.rotations()[row];
+        query_rotations.row(row).copy_into(&mut rotated);
+        if let Some(d) =
+            measure.distance_early_abandon(candidate, &rotated, best_so_far, counter)
+        {
+            if d < best_so_far {
+                best_so_far = d;
+                best = Some(RotationMatch {
+                    distance: d,
+                    rotation,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Plain rotation-invariant distance between two series under `measure`
+/// (the paper's `RED(Q, C)` when `measure` is Euclidean), considering all
+/// `n` rotations.
+pub fn rotation_invariant_distance(
+    candidate: &[f64],
+    query: &[f64],
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> f64 {
+    let matrix = RotationMatrix::full(query).expect("query must be non-empty and finite");
+    test_all_rotations(candidate, &matrix, f64::INFINITY, measure, counter)
+        .expect("infinite radius always yields a match")
+        .distance
+}
+
+/// One database hit from [`search_database`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatabaseMatch {
+    /// Index of the best-matching database series.
+    pub index: usize,
+    /// Its rotation-invariant distance to the query.
+    pub distance: f64,
+    /// The query rotation achieving that distance.
+    pub rotation: Rotation,
+}
+
+/// `Search_Database_for_Rotated_Match` (Table 3): linear scan of `database`
+/// for the item with the smallest rotation-invariant distance to the
+/// query, threading best-so-far into every `Test_All_Rotations` call.
+///
+/// `O(m · rows · n)` steps in the worst case (`O(m n²)` for a full
+/// rotation matrix) — the paper's "simply untenable for large datasets"
+/// baseline, reproduced here both as an oracle and as the `brute force` /
+/// `early abandon` curves of Figures 19–23 (pass `r = f64::INFINITY` and
+/// a fresh best-so-far is still threaded between items, which is exactly
+/// the paper's `early abandon` baseline; disable abandoning by computing
+/// with [`Measure::distance`] instead if a pure brute-force count is
+/// needed — see `rotind-index::baselines`).
+pub fn search_database(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<DatabaseMatch> {
+    let mut best: Option<DatabaseMatch> = None;
+    let mut best_so_far = f64::INFINITY;
+    for (index, item) in database.iter().enumerate() {
+        if let Some(m) =
+            test_all_rotations(item, query_rotations, best_so_far, measure, counter)
+        {
+            best_so_far = m.distance;
+            best = Some(DatabaseMatch {
+                index,
+                distance: m.distance,
+                rotation: m.rotation,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::DtwParams;
+    use crate::euclidean::euclidean;
+    use crate::lcss::LcssParams;
+    use rotind_ts::rotate::{mirror, rotated};
+
+    fn steps() -> StepCounter {
+        StepCounter::new()
+    }
+
+    fn wavy(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37 + phase).sin() + 0.3 * (i as f64 * 1.1 + phase).cos())
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_rotation() {
+        let c = wavy(32, 0.0);
+        let q = rotated(&c, 11);
+        let matrix = RotationMatrix::full(&c).unwrap();
+        let m = test_all_rotations(&q, &matrix, f64::INFINITY, Measure::Euclidean, &mut steps())
+            .unwrap();
+        assert!(m.distance < 1e-9);
+        assert_eq!(m.rotation, Rotation::shift(11));
+    }
+
+    #[test]
+    fn matches_naive_min_over_rotations() {
+        let c = wavy(20, 0.0);
+        let q = wavy(20, 1.3);
+        let naive = (0..20)
+            .map(|j| euclidean(&q, &rotated(&c, j)))
+            .fold(f64::INFINITY, f64::min);
+        let got = rotation_invariant_distance(&q, &c, Measure::Euclidean, &mut steps());
+        assert!((naive - got).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abandon_threshold_respected() {
+        let c = wavy(24, 0.0);
+        let q = wavy(24, 2.0);
+        let exact = rotation_invariant_distance(&q, &c, Measure::Euclidean, &mut steps());
+        let matrix = RotationMatrix::full(&c).unwrap();
+        // Threshold below the exact distance: no rotation can beat it.
+        assert!(test_all_rotations(
+            &q,
+            &matrix,
+            exact * 0.9,
+            Measure::Euclidean,
+            &mut steps()
+        )
+        .is_none());
+        // Threshold above: the same exact distance is found.
+        let m = test_all_rotations(&q, &matrix, exact * 1.1, Measure::Euclidean, &mut steps())
+            .unwrap();
+        assert!((m.distance - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abandoning_saves_steps_on_a_scan() {
+        let c = wavy(64, 0.0);
+        let matrix = RotationMatrix::full(&c).unwrap();
+        let db: Vec<Vec<f64>> = (0..20).map(|k| wavy(64, k as f64 * 0.31)).collect();
+        // Exhaustive cost: every row fully computed.
+        let exhaustive = (64 * 64 * 20) as u64;
+        let mut s = steps();
+        search_database(&matrix, &db, Measure::Euclidean, &mut s).unwrap();
+        assert!(
+            s.steps() < exhaustive,
+            "threaded best-so-far must beat exhaustive: {} vs {exhaustive}",
+            s.steps()
+        );
+    }
+
+    #[test]
+    fn database_scan_finds_planted_match() {
+        let c = wavy(40, 0.0);
+        let mut db: Vec<Vec<f64>> = (1..12).map(|k| wavy(40, 3.0 + k as f64)).collect();
+        db.insert(6, rotated(&c, 17));
+        let matrix = RotationMatrix::full(&c).unwrap();
+        let hit = search_database(&matrix, &db, Measure::Euclidean, &mut steps()).unwrap();
+        assert_eq!(hit.index, 6);
+        assert!(hit.distance < 1e-9);
+        assert_eq!(hit.rotation.shift, 17);
+    }
+
+    #[test]
+    fn mirror_invariance_via_matrix() {
+        let c = wavy(30, 0.0);
+        let q = rotated(&mirror(&c), 4);
+        let plain = RotationMatrix::full(&c).unwrap();
+        let with_mirror = RotationMatrix::with_mirror(&c).unwrap();
+        let d_plain =
+            test_all_rotations(&q, &plain, f64::INFINITY, Measure::Euclidean, &mut steps())
+                .unwrap()
+                .distance;
+        let d_mirror = test_all_rotations(
+            &q,
+            &with_mirror,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        assert!(d_plain > 1e-3, "mirror image is not a plain rotation");
+        assert!(d_mirror.distance < 1e-9);
+        assert!(d_mirror.rotation.mirrored);
+    }
+
+    #[test]
+    fn rotation_limited_excludes_far_rotations() {
+        let c = wavy(36, 0.0);
+        let q = rotated(&c, 12); // far outside a ±3 window
+        let limited = RotationMatrix::limited(&c, 3).unwrap();
+        let full = RotationMatrix::full(&c).unwrap();
+        let d_full =
+            test_all_rotations(&q, &full, f64::INFINITY, Measure::Euclidean, &mut steps())
+                .unwrap()
+                .distance;
+        let d_limited =
+            test_all_rotations(&q, &limited, f64::INFINITY, Measure::Euclidean, &mut steps())
+                .unwrap()
+                .distance;
+        assert!(d_full < 1e-9);
+        assert!(d_limited > 0.1, "limited query must not see the far rotation");
+    }
+
+    #[test]
+    fn works_with_dtw_and_lcss() {
+        let c = wavy(24, 0.0);
+        let q = rotated(&c, 7);
+        for m in [
+            Measure::Dtw(DtwParams::new(3)),
+            Measure::Lcss(LcssParams::for_normalized(24)),
+        ] {
+            let d = rotation_invariant_distance(&q, &c, m, &mut steps());
+            assert!(d < 1e-9, "{}: planted rotation must be found", m.name());
+        }
+    }
+
+    #[test]
+    fn dtw_rotation_distance_leq_euclidean() {
+        let a = wavy(28, 0.3);
+        let b = wavy(28, 1.9);
+        let de = rotation_invariant_distance(&a, &b, Measure::Euclidean, &mut steps());
+        let dd =
+            rotation_invariant_distance(&a, &b, Measure::Dtw(DtwParams::new(4)), &mut steps());
+        assert!(dd <= de + 1e-12);
+    }
+
+    #[test]
+    fn empty_database_returns_none() {
+        let c = wavy(8, 0.0);
+        let matrix = RotationMatrix::full(&c).unwrap();
+        assert!(search_database(&matrix, &[], Measure::Euclidean, &mut steps()).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Pointwise envelopes over sets of series.
+
+/// Pointwise (upper, lower) envelope of a non-empty set of equal-length
+/// series: `U_i = max_s C_si`, `L_i = min_s C_si` (Section 4.1).
+///
+/// # Panics
+///
+/// Panics when `series` is empty or lengths differ.
+pub fn envelope_of<S: AsRef<[f64]>>(series: &[S]) -> (Vec<f64>, Vec<f64>) {
+    assert!(!series.is_empty(), "envelope_of: empty set");
+    let n = series[0].as_ref().len();
+    let mut upper = series[0].as_ref().to_vec();
+    let mut lower = upper.clone();
+    for s in &series[1..] {
+        let s = s.as_ref();
+        assert_eq!(s.len(), n, "envelope_of: length mismatch");
+        for i in 0..n {
+            if s[i] > upper[i] {
+                upper[i] = s[i];
+            }
+            if s[i] < lower[i] {
+                lower[i] = s[i];
+            }
+        }
+    }
+    (upper, lower)
+}
+
+/// Sliding-window maximum with radius `r` and *clamped* (non-circular)
+/// boundaries: `out[i] = max(xs[max(0, i−r) ..= min(n−1, i+r)])`.
+///
+/// This is the paper's `DTW_U_i = max(U_{i−R} : U_{i+R})` (Section 4.3).
+/// Implemented with a monotonic deque in `O(n)`.
+pub fn sliding_max(xs: &[f64], r: usize) -> Vec<f64> {
+    sliding_extreme(xs, r, |a, b| a >= b)
+}
+
+/// Sliding-window minimum, the mirror image of [`sliding_max`]
+/// (`DTW_L_i = min(L_{i−R} : L_{i+R})`).
+pub fn sliding_min(xs: &[f64], r: usize) -> Vec<f64> {
+    sliding_extreme(xs, r, |a, b| a <= b)
+}
+
+/// Shared monotonic-deque kernel; `dominates(a, b)` is `a >= b` for max,
+/// `a <= b` for min.
+fn sliding_extreme(xs: &[f64], r: usize, dominates: fn(f64, f64) -> bool) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if r == 0 {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    // Deque of indices whose values decrease (for max) front-to-back.
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    // Window for position i is [i-r, i+r]; slide the right edge.
+    let mut right = 0usize;
+    for i in 0..n {
+        let hi = (i + r).min(n - 1);
+        while right <= hi {
+            while let Some(&back) = deque.back() {
+                if dominates(xs[right], xs[back]) {
+                    deque.pop_back();
+                } else {
+                    break;
+                }
+            }
+            deque.push_back(right);
+            right += 1;
+        }
+        let lo = i.saturating_sub(r);
+        while let Some(&front) = deque.front() {
+            if front < lo {
+                deque.pop_front();
+            } else {
+                break;
+            }
+        }
+        out.push(xs[*deque.front().expect("window is non-empty")]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_of_two() {
+        let a = [1.0, 5.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        let (u, l) = envelope_of(&[&a[..], &b[..]]);
+        assert_eq!(u, vec![2.0, 5.0, 6.0]);
+        assert_eq!(l, vec![1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn envelope_of_single_is_identity() {
+        let a = [3.0, 1.0, 4.0];
+        let (u, l) = envelope_of(&[&a[..]]);
+        assert_eq!(u, a.to_vec());
+        assert_eq!(l, a.to_vec());
+    }
+
+    #[test]
+    fn envelope_contains_all_members() {
+        let set: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..32).map(|i| ((i + 3 * k) as f64 * 0.7).sin()).collect())
+            .collect();
+        let (u, l) = envelope_of(&set);
+        for s in &set {
+            for i in 0..32 {
+                assert!(l[i] <= s[i] && s[i] <= u[i]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn envelope_of_empty_panics() {
+        envelope_of::<&[f64]>(&[]);
+    }
+
+    fn naive_sliding_max(xs: &[f64], r: usize) -> Vec<f64> {
+        let n = xs.len();
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(r);
+                let hi = (i + r).min(n - 1);
+                xs[lo..=hi].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect()
+    }
+
+    fn naive_sliding_min(xs: &[f64], r: usize) -> Vec<f64> {
+        let n = xs.len();
+        (0..n)
+            .map(|i| {
+                let lo = i.saturating_sub(r);
+                let hi = (i + r).min(n - 1);
+                xs[lo..=hi].iter().copied().fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sliding_extremes_match_naive() {
+        let xs: Vec<f64> = (0..50)
+            .map(|i| ((i * 7919 % 101) as f64) * 0.1 - 5.0)
+            .collect();
+        for r in [0usize, 1, 2, 5, 10, 49, 100] {
+            assert_eq!(sliding_max(&xs, r), naive_sliding_max(&xs, r), "max r={r}");
+            assert_eq!(sliding_min(&xs, r), naive_sliding_min(&xs, r), "min r={r}");
+        }
+    }
+
+    #[test]
+    fn sliding_radius_zero_is_identity() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(sliding_max(&xs, 0), xs.to_vec());
+        assert_eq!(sliding_min(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn sliding_empty() {
+        assert!(sliding_max(&[], 3).is_empty());
+        assert!(sliding_min(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn widened_envelope_contains_original() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.33).sin()).collect();
+        for r in [1usize, 3, 8] {
+            let u = sliding_max(&xs, r);
+            let l = sliding_min(&xs, r);
+            for i in 0..xs.len() {
+                assert!(l[i] <= xs[i] && xs[i] <= u[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn widening_is_monotone_in_radius() {
+        let xs: Vec<f64> = (0..30).map(|i| ((i * i) % 13) as f64).collect();
+        let u1 = sliding_max(&xs, 1);
+        let u4 = sliding_max(&xs, 4);
+        let l1 = sliding_min(&xs, 1);
+        let l4 = sliding_min(&xs, 4);
+        for i in 0..30 {
+            assert!(u4[i] >= u1[i]);
+            assert!(l4[i] <= l1[i]);
+        }
+    }
+}

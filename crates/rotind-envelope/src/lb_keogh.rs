@@ -1,0 +1,255 @@
+//! The LB_Keogh family of envelope lower bounds.
+//!
+//! For a query `Q` and a wedge `W = {U, L}` enclosing candidates
+//! `C1..Ck`:
+//!
+//! ```text
+//! LB_Keogh(Q, W) = sqrt( Σᵢ  (qᵢ−Uᵢ)²  if qᵢ > Uᵢ
+//!                        (qᵢ−Lᵢ)²  if qᵢ < Lᵢ
+//!                        0          otherwise )
+//! ```
+//!
+//! **Proposition 1**: `LB_Keogh(Q, W) ≤ ED(Q, Cs)` for every member `Cs`.
+//! **Proposition 2**: with the wedge widened by the warping radius `R`,
+//! `LB_Keogh(Q, DTW_W) ≤ DTW_R(Q, Cs)`. The same envelope argument gives
+//! an *upper* bound on LCSS similarity, i.e. a lower bound on the LCSS
+//! distance form. All three are exercised by the property tests.
+
+use crate::wedge::Wedge;
+use rotind_distance::lcss::LcssParams;
+use rotind_ts::StepCounter;
+
+/// Plain `LB_Keogh(Q, W)`; one step per position.
+///
+/// ```
+/// use rotind_envelope::{Wedge, lb_keogh::lb_keogh};
+/// use rotind_ts::rotate::{Rotation, RotationMatrix};
+/// use rotind_ts::StepCounter;
+/// let c = [0.0, 1.0, 2.0, 1.0, 0.0, -1.0];
+/// let matrix = RotationMatrix::full(&c).unwrap();
+/// let wedge = Wedge::from_rows(&matrix, &[0, 1, 2]);
+/// let q = [5.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+/// let lb = lb_keogh(&q, &wedge, &mut StepCounter::new());
+/// // Proposition 1: lb never exceeds the Euclidean distance to any member.
+/// for row in 0..3 {
+///     let member = matrix.row(row).to_vec();
+///     let ed: f64 = q.iter().zip(&member).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+///     assert!(lb <= ed + 1e-12);
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics when `q.len() != wedge.len()`.
+pub fn lb_keogh(q: &[f64], wedge: &Wedge, counter: &mut StepCounter) -> f64 {
+    lb_keogh_early_abandon(q, wedge, f64::INFINITY, counter)
+        .expect("infinite radius never abandons")
+}
+
+/// `EA_LB_Keogh` (Table 5): early-abandoning LB_Keogh. Returns `None` as
+/// soon as the accumulated bound exceeds `r²` — at that point *no* member
+/// of the wedge can be within `r` of the query.
+pub fn lb_keogh_early_abandon(
+    q: &[f64],
+    wedge: &Wedge,
+    r: f64,
+    counter: &mut StepCounter,
+) -> Option<f64> {
+    assert_eq!(q.len(), wedge.len(), "lb_keogh: length mismatch");
+    let r2 = r * r;
+    let upper = wedge.upper();
+    let lower = wedge.lower();
+    let mut acc = 0.0;
+    for i in 0..q.len() {
+        let x = q[i];
+        counter.tick();
+        if x > upper[i] {
+            let d = x - upper[i];
+            acc += d * d;
+        } else if x < lower[i] {
+            let d = x - lower[i];
+            acc += d * d;
+        }
+        if acc > r2 {
+            return None;
+        }
+    }
+    Some(acc.sqrt())
+}
+
+/// LCSS envelope bound: an *upper* bound on the LCSS match count of the
+/// query against every wedge member, hence a lower bound on the LCSS
+/// distance form `1 − count/n`.
+///
+/// A position `i` can participate in a match with some member only if
+/// `qᵢ` falls within the wedge envelope widened by the temporal window
+/// `δ` and the amplitude threshold `ε` (cf. the "matching envelope" of
+/// Figure 14). Counting such positions can only overestimate the true
+/// match count.
+pub fn lcss_distance_lower_bound(
+    q: &[f64],
+    wedge: &Wedge,
+    params: LcssParams,
+    counter: &mut StepCounter,
+) -> f64 {
+    assert_eq!(q.len(), wedge.len(), "lcss bound: length mismatch");
+    let widened = wedge.widened(params.delta);
+    let mut possible = 0usize;
+    #[allow(clippy::needless_range_loop)] // index used across multiple slices
+    for i in 0..q.len() {
+        counter.tick();
+        if q[i] >= widened.lower()[i] - params.epsilon
+            && q[i] <= widened.upper()[i] + params.epsilon
+        {
+            possible += 1;
+        }
+    }
+    1.0 - possible as f64 / q.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_distance::dtw::{dtw, DtwParams};
+    use rotind_distance::euclidean::euclidean;
+    use rotind_distance::lcss::lcss_distance;
+    use rotind_ts::rotate::{Rotation, RotationMatrix};
+
+    fn steps() -> StepCounter {
+        StepCounter::new()
+    }
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37 + phase).sin() + 0.4 * (i as f64 * 0.91).cos())
+            .collect()
+    }
+
+    #[test]
+    fn degenerates_to_euclidean_on_singleton() {
+        let c = signal(24, 0.0);
+        let q = signal(24, 1.0);
+        let w = Wedge::from_single(&c, Rotation::shift(0));
+        let lb = lb_keogh(&q, &w, &mut steps());
+        assert!((lb - euclidean(&q, &c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition_1_lower_bounds_every_member() {
+        let c = signal(32, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let rows: Vec<usize> = vec![0, 1, 2, 5, 9, 20];
+        let w = Wedge::from_rows(&m, &rows);
+        let q = signal(32, 2.2);
+        let lb = lb_keogh(&q, &w, &mut steps());
+        for &row in &rows {
+            let d = euclidean(&q, &m.row(row).to_vec());
+            assert!(lb <= d + 1e-12, "row {row}: lb {lb} > ed {d}");
+        }
+    }
+
+    #[test]
+    fn zero_inside_the_wedge() {
+        let c = signal(16, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 1, 2, 3]);
+        // Any member is inside its own wedge → bound 0.
+        let lb = lb_keogh(&m.row(2).to_vec(), &w, &mut steps());
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_plain() {
+        let c = signal(40, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 4, 8]);
+        let q = signal(40, 2.8);
+        let exact = lb_keogh(&q, &w, &mut steps());
+        match lb_keogh_early_abandon(&q, &w, exact * 0.9, &mut steps()) {
+            None => {} // abandoned, consistent with exact > 0.9·exact
+            Some(_) => panic!("must abandon below the exact bound"),
+        }
+        let kept = lb_keogh_early_abandon(&q, &w, exact + 1.0, &mut steps()).unwrap();
+        assert!((kept - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_abandon_saves_steps() {
+        let n = 128;
+        let c = vec![0.0; n];
+        let w = Wedge::from_single(&c, Rotation::shift(0));
+        let mut q = vec![0.0; n];
+        q[0] = 100.0;
+        let mut s = steps();
+        assert!(lb_keogh_early_abandon(&q, &w, 1.0, &mut s).is_none());
+        assert_eq!(s.steps(), 1);
+    }
+
+    #[test]
+    fn merged_wedge_bound_is_looser() {
+        // Figure 8: bigger wedges give smaller (looser) bounds.
+        let c = signal(28, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let small = Wedge::from_rows(&m, &[0, 1]);
+        let big = Wedge::merge(&small, &Wedge::from_rows(&m, &[14]));
+        let q = signal(28, 1.7);
+        let lb_small = lb_keogh(&q, &small, &mut steps());
+        let lb_big = lb_keogh(&q, &big, &mut steps());
+        assert!(lb_big <= lb_small + 1e-12);
+    }
+
+    #[test]
+    fn proposition_2_lower_bounds_dtw() {
+        let c = signal(30, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let rows: Vec<usize> = vec![0, 3, 6, 12];
+        let w = Wedge::from_rows(&m, &rows);
+        let q = signal(30, 2.5);
+        for band in [0usize, 1, 3, 7] {
+            let wide = w.widened(band);
+            let lb = lb_keogh(&q, &wide, &mut steps());
+            for &row in &rows {
+                let d = dtw(&q, &m.row(row).to_vec(), DtwParams::new(band), &mut steps());
+                assert!(
+                    lb <= d + 1e-9,
+                    "band {band}, row {row}: lb {lb} > dtw {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lcss_bound_is_admissible() {
+        let c = signal(26, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let rows: Vec<usize> = vec![0, 2, 4];
+        let w = Wedge::from_rows(&m, &rows);
+        let q = signal(26, 1.2);
+        let params = LcssParams::for_normalized(26);
+        let lb = lcss_distance_lower_bound(&q, &w, params, &mut steps());
+        for &row in &rows {
+            let d = lcss_distance(&q, &m.row(row).to_vec(), params, &mut steps());
+            assert!(lb <= d + 1e-12, "row {row}: lb {lb} > lcss {d}");
+        }
+    }
+
+    #[test]
+    fn lcss_bound_detects_gross_mismatch() {
+        let c = vec![0.0; 20];
+        let w = Wedge::from_single(&c, Rotation::shift(0));
+        let q = vec![100.0; 20];
+        let params = LcssParams::new(0.5, 2);
+        let lb = lcss_distance_lower_bound(&q, &w, params, &mut steps());
+        assert_eq!(lb, 1.0, "no position can possibly match");
+    }
+
+    #[test]
+    fn step_accounting() {
+        let c = signal(33, 0.0);
+        let w = Wedge::from_single(&c, Rotation::shift(0));
+        let q = signal(33, 0.5);
+        let mut s = steps();
+        lb_keogh(&q, &w, &mut s);
+        assert_eq!(s.steps(), 33);
+    }
+}

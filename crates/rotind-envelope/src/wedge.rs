@@ -1,0 +1,240 @@
+//! The wedge type `W = {U, L}` (Section 4.1, Figure 6).
+
+use crate::envelope::{envelope_of, sliding_max, sliding_min};
+use rotind_ts::rotate::{Rotation, RotationMatrix};
+
+/// A wedge: the smallest bounding envelope enclosing a set of candidate
+/// rotations from above (`upper`) and below (`lower`), together with the
+/// rotations it covers.
+///
+/// ```
+/// use rotind_envelope::Wedge;
+/// use rotind_ts::rotate::RotationMatrix;
+/// let series = [1.0, 5.0, 2.0, 8.0];
+/// let matrix = RotationMatrix::full(&series).unwrap();
+/// let wedge = Wedge::from_rows(&matrix, &[0, 1]);
+/// assert_eq!(wedge.upper(), &[5.0, 5.0, 8.0, 8.0]);
+/// assert_eq!(wedge.lower(), &[1.0, 2.0, 2.0, 1.0]);
+/// assert!(wedge.contains(&[3.0, 4.0, 5.0, 2.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wedge {
+    upper: Vec<f64>,
+    lower: Vec<f64>,
+    members: Vec<Rotation>,
+}
+
+impl Wedge {
+    /// A degenerate wedge over a single candidate sequence — the case in
+    /// which `LB_Keogh` collapses to the exact Euclidean distance.
+    pub fn from_single(series: &[f64], rotation: Rotation) -> Self {
+        Wedge {
+            upper: series.to_vec(),
+            lower: series.to_vec(),
+            members: vec![rotation],
+        }
+    }
+
+    /// The wedge over the given rows of a rotation matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows` is empty or contains an out-of-range row index.
+    pub fn from_rows(matrix: &RotationMatrix, rows: &[usize]) -> Self {
+        assert!(!rows.is_empty(), "Wedge::from_rows: empty row set");
+        let series: Vec<Vec<f64>> = rows.iter().map(|&r| matrix.row(r).to_vec()).collect();
+        let (upper, lower) = envelope_of(&series);
+        Wedge {
+            upper,
+            lower,
+            members: rows.iter().map(|&r| matrix.rotations()[r]).collect(),
+        }
+    }
+
+    /// Merge two wedges into their combined envelope (Figure 7:
+    /// `W((1,2),3)` from `W(1,2)` and `W3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the wedges differ in length.
+    pub fn merge(a: &Wedge, b: &Wedge) -> Self {
+        assert_eq!(a.len(), b.len(), "Wedge::merge: length mismatch");
+        let upper = a
+            .upper
+            .iter()
+            .zip(&b.upper)
+            .map(|(x, y)| x.max(*y))
+            .collect();
+        let lower = a
+            .lower
+            .iter()
+            .zip(&b.lower)
+            .map(|(x, y)| x.min(*y))
+            .collect();
+        let mut members = a.members.clone();
+        members.extend_from_slice(&b.members);
+        Wedge {
+            upper,
+            lower,
+            members,
+        }
+    }
+
+    /// Widen the envelope by the warping radius `R` (Section 4.3):
+    /// `DTW_U_i = max(U_{i−R} : U_{i+R})`, `DTW_L_i = min(L_{i−R} :
+    /// L_{i+R})`. With `R = 0` this is a clone.
+    pub fn widened(&self, radius: usize) -> Self {
+        Wedge {
+            upper: sliding_max(&self.upper, radius),
+            lower: sliding_min(&self.lower, radius),
+            members: self.members.clone(),
+        }
+    }
+
+    /// Series length `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// `true` when the wedge covers a zero-length series (never for a
+    /// constructed wedge).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.upper.is_empty()
+    }
+
+    /// Upper envelope `U`.
+    #[inline]
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Lower envelope `L`.
+    #[inline]
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// The rotations covered by this wedge.
+    #[inline]
+    pub fn members(&self) -> &[Rotation] {
+        &self.members
+    }
+
+    /// Number of covered rotations (the paper's `cardinality(T)`).
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Wedge area `Σ (U_i − L_i)` — the utility heuristic of Figure 8:
+    /// fat wedges produce loose lower bounds.
+    pub fn area(&self) -> f64 {
+        self.upper
+            .iter()
+            .zip(&self.lower)
+            .map(|(u, l)| u - l)
+            .sum()
+    }
+
+    /// `true` when `series` lies within the envelope at every position.
+    pub fn contains(&self, series: &[f64]) -> bool {
+        series.len() == self.len()
+            && series
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| self.lower[i] <= x && x <= self.upper[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_ts::rotate::rotated;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.61).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn single_wedge_is_the_series() {
+        let s = signal(16);
+        let w = Wedge::from_single(&s, Rotation::shift(0));
+        assert_eq!(w.upper(), &s[..]);
+        assert_eq!(w.lower(), &s[..]);
+        assert_eq!(w.area(), 0.0);
+        assert_eq!(w.cardinality(), 1);
+        assert!(w.contains(&s));
+    }
+
+    #[test]
+    fn from_rows_bounds_members() {
+        let c = signal(20);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 3, 7]);
+        assert_eq!(w.cardinality(), 3);
+        for &row in &[0usize, 3, 7] {
+            assert!(w.contains(&m.row(row).to_vec()), "row {row} escapes wedge");
+        }
+        // A rotation outside the wedge set is typically NOT contained.
+        assert!(!w.contains(&m.row(10).to_vec()));
+    }
+
+    #[test]
+    fn merge_contains_both_children() {
+        let c = signal(24);
+        let m = RotationMatrix::full(&c).unwrap();
+        let a = Wedge::from_rows(&m, &[0, 1]);
+        let b = Wedge::from_rows(&m, &[5, 6]);
+        let merged = Wedge::merge(&a, &b);
+        assert_eq!(merged.cardinality(), 4);
+        for row in [0usize, 1, 5, 6] {
+            assert!(merged.contains(&rotated(&c, row)));
+        }
+        // Merged area dominates each child's area (Figure 8).
+        assert!(merged.area() >= a.area());
+        assert!(merged.area() >= b.area());
+    }
+
+    #[test]
+    fn merge_equals_from_rows() {
+        let c = signal(18);
+        let m = RotationMatrix::full(&c).unwrap();
+        let a = Wedge::from_rows(&m, &[2, 4]);
+        let b = Wedge::from_rows(&m, &[9]);
+        let merged = Wedge::merge(&a, &b);
+        let direct = Wedge::from_rows(&m, &[2, 4, 9]);
+        assert_eq!(merged.upper(), direct.upper());
+        assert_eq!(merged.lower(), direct.lower());
+    }
+
+    #[test]
+    fn widened_contains_original_and_grows_area() {
+        let c = signal(32);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 2, 4]);
+        let wide = w.widened(3);
+        for i in 0..w.len() {
+            assert!(wide.upper()[i] >= w.upper()[i]);
+            assert!(wide.lower()[i] <= w.lower()[i]);
+        }
+        assert!(wide.area() >= w.area());
+        assert_eq!(wide.members(), w.members());
+        assert_eq!(w.widened(0).upper(), w.upper());
+    }
+
+    #[test]
+    fn contains_rejects_wrong_length() {
+        let w = Wedge::from_single(&signal(8), Rotation::shift(0));
+        assert!(!w.contains(&signal(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty row set")]
+    fn from_rows_rejects_empty() {
+        let c = signal(8);
+        let m = RotationMatrix::full(&c).unwrap();
+        Wedge::from_rows(&m, &[]);
+    }
+}

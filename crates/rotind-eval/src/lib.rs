@@ -1,0 +1,31 @@
+//! # rotind-eval — experiment harness
+//!
+//! The machinery that regenerates the paper's evaluation (Section 5):
+//!
+//! * [`onenn`] — leave-one-out one-nearest-neighbour classification
+//!   error under any measure, with the paper's train-data band selection
+//!   for DTW (Table 8);
+//! * [`confusion`] — confusion matrices and per-class recall, the
+//!   diagnostic behind the synthetic-dataset calibration;
+//! * [`speedup`] — the steps-ratio-to-brute-force sweeps over database
+//!   size that draw Figures 19–23, with the brute-force denominator
+//!   computed analytically (step counts of the unoptimised scans are
+//!   deterministic);
+//! * [`scaling`] — the log-log fit behind the paper's empirical
+//!   `O(n^{1.06})` per-comparison cost claim;
+//! * [`report`] — aligned-table and CSV emission for the figure
+//!   binaries;
+//! * [`plot`] — dependency-free SVG rendering of the sweep figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod onenn;
+pub mod plot;
+pub mod report;
+pub mod scaling;
+pub mod speedup;
+
+pub use onenn::{one_nn_error, ClassificationResult};
+pub use speedup::SearchAlgorithm;

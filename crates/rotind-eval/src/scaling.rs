@@ -1,0 +1,102 @@
+//! Empirical complexity fitting (the paper's `O(n^{1.06})` claim).
+//!
+//! Section 1: *"we can take the O(n³) approach of \[1\] and on real world
+//! problems bring the average complexity down to O(n^{1.06})"*. The
+//! exponent is estimated by sweeping the series length `n`, measuring
+//! the wedge method's average steps per item comparison, and fitting a
+//! line in log-log space.
+
+use rotind_ts::stats::linear_fit;
+
+/// One point of a scaling sweep: series length and average steps per
+/// comparison at that length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Series length `n`.
+    pub n: usize,
+    /// Average steps per item comparison.
+    pub steps_per_comparison: f64,
+}
+
+/// Least-squares exponent `p` of `steps ≈ c·n^p` over the sweep points
+/// (slope of log(steps) on log(n)).
+///
+/// # Panics
+///
+/// Panics with fewer than two points or non-positive measurements.
+pub fn empirical_exponent(points: &[ScalingPoint]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points to fit");
+    let xs: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            assert!(p.n > 0, "n must be positive");
+            (p.n as f64).ln()
+        })
+        .collect();
+    let ys: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            assert!(p.steps_per_comparison > 0.0, "steps must be positive");
+            p.steps_per_comparison.ln()
+        })
+        .collect();
+    linear_fit(&xs, &ys).0
+}
+
+/// Convenience: average steps per item comparison for one query scan
+/// (total steps divided by the database size).
+pub fn steps_per_comparison(total_steps: u64, database_size: usize) -> f64 {
+    assert!(database_size > 0);
+    total_steps as f64 / database_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(pairs: &[(usize, f64)]) -> Vec<ScalingPoint> {
+        pairs
+            .iter()
+            .map(|&(n, s)| ScalingPoint {
+                n,
+                steps_per_comparison: s,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_power_laws() {
+        // steps = n² → exponent 2.
+        let quad = pts(&[(16, 256.0), (32, 1024.0), (64, 4096.0)]);
+        assert!((empirical_exponent(&quad) - 2.0).abs() < 1e-9);
+        // steps = 7·n → exponent 1.
+        let lin = pts(&[(16, 112.0), (32, 224.0), (128, 896.0)]);
+        assert!((empirical_exponent(&lin) - 1.0).abs() < 1e-9);
+        // Constant → exponent 0.
+        let flat = pts(&[(16, 50.0), (64, 50.0), (256, 50.0)]);
+        assert!(empirical_exponent(&flat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_power_law_recovers_exponent() {
+        let noisy = pts(&[
+            (64, 64f64.powf(1.06) * 1.05),
+            (128, 128f64.powf(1.06) * 0.97),
+            (256, 256f64.powf(1.06) * 1.02),
+            (512, 512f64.powf(1.06) * 0.99),
+        ]);
+        let p = empirical_exponent(&noisy);
+        assert!((p - 1.06).abs() < 0.05, "fit {p}");
+    }
+
+    #[test]
+    fn steps_per_comparison_division() {
+        assert_eq!(steps_per_comparison(1000, 10), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        empirical_exponent(&pts(&[(16, 1.0)]));
+    }
+}

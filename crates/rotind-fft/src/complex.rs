@@ -1,0 +1,195 @@
+//! Minimal complex arithmetic for the FFT stack.
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` (no square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::ONE;
+        z += Complex::I;
+        z -= Complex::new(0.0, 0.5);
+        z *= Complex::real(2.0);
+        assert_eq!(z, Complex::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn conj_abs_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sq(), 25.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!(close(z * z.conj(), Complex::real(25.0)));
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        assert!(close(Complex::cis(0.0), Complex::ONE));
+        assert!(close(Complex::cis(std::f64::consts::FRAC_PI_2), Complex::I));
+        assert!(close(
+            Complex::cis(std::f64::consts::PI),
+            Complex::real(-1.0)
+        ));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, Complex::real(-1.0)));
+    }
+
+    #[test]
+    fn scale_and_from() {
+        assert_eq!(Complex::new(1.0, -2.0).scale(3.0), Complex::new(3.0, -6.0));
+        assert_eq!(Complex::from(2.5), Complex::new(2.5, 0.0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Circular cross-correlation and the astronomy "convolution trick".
+//!
+//! Section 2.4 of the paper: the astronomical community mitigates the CPU
+//! cost of circular-shift matching of star light curves *"by rediscovering
+//! the convolution 'trick' long known to the shape matching community"*.
+//! The identity
+//!
+//! ```text
+//! ED²(Q, rot_s(C)) = ‖Q‖² + ‖C‖² − 2·r_s,   r_s = Σ_j q_j · c_{(j+s) mod n}
+//! ```
+//!
+//! lets all `n` shift distances be computed at once from one circular
+//! cross-correlation `r`, which the FFT evaluates in `O(n log n)`. This
+//! gives an exact (not lower-bounding) `O(n log n)` minimum-shift
+//! Euclidean distance — but only for the Euclidean metric, and it does not
+//! reduce disk accesses (the paper's criticism), which is why the wedge
+//! framework is still needed.
+
+use crate::bluestein::{bluestein, inverse_bluestein};
+use crate::complex::Complex;
+use rotind_ts::stats::sum_sq;
+
+/// Circular cross-correlation `r_s = Σ_j q_j · c_{(j+s) mod n}` for all
+/// shifts `s`, in `O(n log n)`.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn circular_cross_correlation(q: &[f64], c: &[f64]) -> Vec<f64> {
+    let n = q.len();
+    assert_eq!(n, c.len(), "circular_cross_correlation: length mismatch");
+    if n == 0 {
+        return Vec::new();
+    }
+    let qf = bluestein(&q.iter().map(|&x| Complex::real(x)).collect::<Vec<_>>());
+    let cf = bluestein(&c.iter().map(|&x| Complex::real(x)).collect::<Vec<_>>());
+    // r_s = IDFT( conj(Q_k) · C_k )_s  — verified against the naive sum in
+    // the tests below.
+    let prod: Vec<Complex> = qf.iter().zip(&cf).map(|(a, b)| a.conj() * *b).collect();
+    inverse_bluestein(&prod).into_iter().map(|z| z.re).collect()
+}
+
+/// Naive `O(n²)` circular cross-correlation (reference implementation).
+pub fn circular_cross_correlation_naive(q: &[f64], c: &[f64]) -> Vec<f64> {
+    let n = q.len();
+    assert_eq!(n, c.len());
+    (0..n)
+        .map(|s| (0..n).map(|j| q[j] * c[(j + s) % n]).sum())
+        .collect()
+}
+
+/// Exact minimum-shift Euclidean distance via the convolution trick:
+/// returns `(distance, best_shift)` such that `distance = ED(q,
+/// rot_{best_shift}(c))` is minimal over all shifts. `O(n log n)`.
+///
+/// ```
+/// use rotind_fft::convolution::min_shift_euclidean;
+/// use rotind_ts::rotate::rotated;
+/// let c: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5).sin()).collect();
+/// let q = rotated(&c, 11);
+/// let (d, shift) = min_shift_euclidean(&q, &c);
+/// assert!(d < 1e-6); // FFT round-off only
+/// assert_eq!(shift, 11);
+/// ```
+pub fn min_shift_euclidean(q: &[f64], c: &[f64]) -> (f64, usize) {
+    let n = q.len();
+    assert_eq!(n, c.len(), "min_shift_euclidean: length mismatch");
+    assert!(n > 0, "min_shift_euclidean: empty series");
+    let qq = sum_sq(q);
+    let cc = sum_sq(c);
+    let corr = circular_cross_correlation(q, c);
+    let mut best = (f64::INFINITY, 0usize);
+    for (s, &r) in corr.iter().enumerate() {
+        // Clamp tiny negative values caused by FP round-off.
+        let d2 = (qq + cc - 2.0 * r).max(0.0);
+        if d2 < best.0 {
+            best = (d2, s);
+        }
+    }
+    (best.0.sqrt(), best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_ts::rotate::rotated;
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|j| (j as f64 * 0.41 + phase).sin() + 0.3 * (j as f64 * 0.97).cos())
+            .collect()
+    }
+
+    #[test]
+    fn fft_correlation_matches_naive() {
+        for n in [4usize, 7, 16, 33, 251] {
+            let q = signal(n, 0.0);
+            let c = signal(n, 1.1);
+            let fast = circular_cross_correlation(&q, &c);
+            let slow = circular_cross_correlation_naive(&q, &c);
+            for s in 0..n {
+                assert!(
+                    (fast[s] - slow[s]).abs() < 1e-7,
+                    "n = {n}, shift = {s}: {} vs {}",
+                    fast[s],
+                    slow[s]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_shift_matches_brute_force() {
+        use rotind_distance_shim::euclidean;
+        for n in [5usize, 12, 64, 251] {
+            let q = signal(n, 0.4);
+            let c = signal(n, 2.0);
+            let brute = (0..n)
+                .map(|s| euclidean(&q, &rotated(&c, s)))
+                .fold(f64::INFINITY, f64::min);
+            let (fast, _) = min_shift_euclidean(&q, &c);
+            assert!((fast - brute).abs() < 1e-7, "n = {n}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn recovers_planted_shift() {
+        let c = signal(100, 0.0);
+        let q = rotated(&c, 37);
+        let (d, s) = min_shift_euclidean(&q, &c);
+        assert!(d < 1e-7);
+        // q = rot_37(c) so ED(q, rot_37(c)) = 0.
+        assert_eq!(s, 37);
+    }
+
+    #[test]
+    fn symmetric_in_arguments_up_to_shift_direction() {
+        let a = signal(40, 0.3);
+        let b = signal(40, 1.7);
+        let (dab, _) = min_shift_euclidean(&a, &b);
+        let (dba, _) = min_shift_euclidean(&b, &a);
+        assert!((dab - dba).abs() < 1e-9, "min-shift ED is a pseudometric");
+    }
+
+    #[test]
+    fn empty_correlation() {
+        assert!(circular_cross_correlation(&[], &[]).is_empty());
+    }
+
+    /// Local shim so this crate does not depend on `rotind-distance`
+    /// (which would be a dependency cycle in spirit — distance is a
+    /// *user* of the FFT baselines, not the other way round).
+    mod rotind_distance_shim {
+        pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Reference `O(n²)` discrete Fourier transform.
+//!
+//! The unnormalised forward transform
+//! `X_k = Σ_j x_j · e^{−2πi·jk/n}` and its inverse (with the `1/n`
+//! factor). Deliberately naive — the FFT implementations are validated
+//! against it for every length, including the paper's awkward `n = 251`.
+
+use crate::complex::Complex;
+use std::f64::consts::TAU;
+
+/// Naive forward DFT (unnormalised).
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let angle = -TAU * (j as f64) * (k as f64) / n as f64;
+            acc += x * Complex::cis(angle);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Naive inverse DFT (applies the `1/n` normalisation).
+pub fn idft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (j, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (k, &x) in input.iter().enumerate() {
+            let angle = TAU * (j as f64) * (k as f64) / n as f64;
+            acc += x * Complex::cis(angle);
+        }
+        *slot = acc.scale(1.0 / n as f64);
+    }
+    out
+}
+
+/// Forward DFT of a real signal.
+pub fn dft_real(input: &[f64]) -> Vec<Complex> {
+    let cx: Vec<Complex> = input.iter().map(|&x| Complex::real(x)).collect();
+    dft(&cx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol)
+    }
+
+    #[test]
+    fn dc_signal() {
+        let x = dft_real(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((x[0].re - 4.0).abs() < 1e-12);
+        #[allow(clippy::needless_range_loop)] // index used across multiple slices
+        for k in 1..4 {
+            assert!(x[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone() {
+        // cos(2π·j/n) concentrates at bins 1 and n−1 with weight n/2.
+        let n = 8;
+        let xs: Vec<f64> = (0..n).map(|j| (TAU * j as f64 / n as f64).cos()).collect();
+        let x = dft_real(&xs);
+        assert!((x[1].re - 4.0).abs() < 1e-9);
+        assert!((x[7].re - 4.0).abs() < 1e-9);
+        assert!(x[2].abs() < 1e-9 && x[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip() {
+        let xs: Vec<Complex> = (0..7)
+            .map(|j| Complex::new((j as f64).sin(), (j as f64 * 0.5).cos()))
+            .collect();
+        let back = idft(&dft(&xs));
+        assert!(close(&xs, &back, 1e-10));
+    }
+
+    #[test]
+    fn parseval_unnormalised() {
+        let xs = [1.0, -2.0, 3.0, 0.5, -0.25];
+        let spec = dft_real(&xs);
+        let time: f64 = xs.iter().map(|x| x * x).sum();
+        let freq: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / xs.len() as f64;
+        assert!((time - freq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_preserves_magnitudes() {
+        let xs = [1.0, 5.0, -2.0, 4.0, 0.0, 3.0];
+        let shifted = rotind_ts::rotate::rotated(&xs, 2);
+        let a = dft_real(&xs);
+        let b = dft_real(&shifted);
+        for k in 0..xs.len() {
+            assert!((a[k].abs() - b[k].abs()).abs() < 1e-9, "bin {k}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # rotind-fft — spectral substrate
+//!
+//! A self-contained FFT stack supporting two baselines from the paper's
+//! evaluation and the reduced representation used by the disk index:
+//!
+//! * the **FFT lower bound** of Figures 19/21/22 — *"transforming the
+//!   signal to the Fourier space and calculating the Euclidean distance
+//!   between the magnitude of the coefficients produces a lower bound to
+//!   any rotation"* (Section 4.2, citing \[4\] and \[38\]);
+//! * the **convolution trick** of Section 2.4 — the astronomy community's
+//!   `O(n log n)` exact minimum-shift Euclidean distance via circular
+//!   cross-correlation;
+//! * the first-`D` **magnitude coefficients** stored in the VP-tree
+//!   (Table 7, Figure 24).
+//!
+//! Everything is built from scratch: [`complex`] arithmetic, an iterative
+//! radix-2 transform ([`fft`]), Bluestein's chirp-z algorithm for
+//! arbitrary lengths ([`bluestein`]) — the paper's series are length 251
+//! and 1,024 — an `O(n²)` reference DFT for validation ([`dft`]),
+//! Parseval-normalised spectra ([`spectrum`]), correlation
+//! ([`convolution`]) and the admissible rotation lower bound
+//! ([`lower_bound`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bluestein;
+pub mod complex;
+pub mod convolution;
+pub mod dft;
+pub mod fft;
+pub mod lower_bound;
+pub mod spectrum;
+
+pub use complex::Complex;
+pub use spectrum::{magnitude_features, magnitudes};

@@ -1,0 +1,151 @@
+//! The Fourier-magnitude lower bound for rotation-invariant Euclidean
+//! distance (Section 4.2 of the paper, citing \[4\] and \[38\]).
+//!
+//! With the Parseval-normalised spectrum, a circular shift of `C` only
+//! rotates the phase of each coefficient, so for every shift `s`:
+//!
+//! ```text
+//! ED²(Q, rot_s(C)) = Σ_k |Q_k − C_k·e^{iθ_k s}|² ≥ Σ_k (|Q_k| − |C_k|)²
+//! ```
+//!
+//! by the reverse triangle inequality per bin. The right-hand side is a
+//! plain Euclidean distance between magnitude vectors — a true metric —
+//! which makes it usable both as a scan-time filter (the `FFT` baseline
+//! of Figures 19/21/22) and as the vantage-point-tree metric of the disk
+//! index (Figure 24). Truncating to the first `D` bins drops non-negative
+//! terms, so every prefix is still admissible.
+
+use crate::spectrum::magnitudes;
+use rotind_ts::StepCounter;
+
+/// Euclidean distance between two (possibly truncated) magnitude vectors;
+/// an admissible lower bound to the rotation-invariant Euclidean distance
+/// between the underlying series. One step is charged per coefficient.
+pub fn magnitude_distance(qm: &[f64], cm: &[f64], counter: &mut StepCounter) -> f64 {
+    let d = qm.len().min(cm.len());
+    let mut acc = 0.0;
+    for k in 0..d {
+        let diff = qm[k] - cm[k];
+        acc += diff * diff;
+        counter.tick();
+    }
+    acc.sqrt()
+}
+
+/// The paper's cost model for one FFT-lower-bound test: `n·log₂(n)` steps
+/// (Section 5.3: *"The cost model for the FFT lower bound is nlogn
+/// steps"*). Charged by the `FFT` baseline per database item.
+pub fn fft_cost_model(n: usize) -> u64 {
+    if n <= 1 {
+        return 1;
+    }
+    (n as f64 * (n as f64).log2()).ceil() as u64
+}
+
+/// Convenience: the full-spectrum Fourier lower bound between two raw
+/// series. Computes both spectra (charging the cost model for each) and
+/// returns the magnitude distance.
+pub fn fourier_lower_bound(q: &[f64], c: &[f64], counter: &mut StepCounter) -> f64 {
+    assert_eq!(q.len(), c.len(), "fourier_lower_bound: length mismatch");
+    counter.add(2 * fft_cost_model(q.len()));
+    let qm = magnitudes(q);
+    let cm = magnitudes(c);
+    let mut scratch = StepCounter::new();
+    magnitude_distance(&qm, &cm, &mut scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::magnitude_features;
+    use rotind_ts::rotate::rotated;
+
+    fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn min_rotation_ed(q: &[f64], c: &[f64]) -> f64 {
+        (0..c.len())
+            .map(|s| euclidean(q, &rotated(c, s)))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|j| (j as f64 * 0.53 + phase).sin() + 0.25 * (j as f64 * 0.19 + phase).cos())
+            .collect()
+    }
+
+    #[test]
+    fn lower_bounds_min_rotation_distance() {
+        for n in [8usize, 31, 64, 251] {
+            let q = signal(n, 0.2);
+            let c = signal(n, 1.9);
+            let lb = fourier_lower_bound(&q, &c, &mut StepCounter::new());
+            let exact = min_rotation_ed(&q, &c);
+            assert!(
+                lb <= exact + 1e-7,
+                "n = {n}: lb {lb} exceeds exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_features_still_lower_bound() {
+        let n = 64;
+        let q = signal(n, 0.0);
+        let c = signal(n, 2.4);
+        let exact = min_rotation_ed(&q, &c);
+        let mut last = 0.0;
+        for d in [1usize, 2, 4, 8, 16, 32, 64] {
+            let qm = magnitude_features(&q, d);
+            let cm = magnitude_features(&c, d);
+            let lb = magnitude_distance(&qm, &cm, &mut StepCounter::new());
+            assert!(lb <= exact + 1e-7, "d = {d}");
+            assert!(lb + 1e-9 >= last, "prefix bound is monotone in d");
+            last = lb;
+        }
+    }
+
+    #[test]
+    fn zero_for_pure_rotations() {
+        let c = signal(40, 0.0);
+        let q = rotated(&c, 13);
+        let lb = fourier_lower_bound(&q, &c, &mut StepCounter::new());
+        assert!(lb < 1e-9, "rotations share magnitudes exactly");
+    }
+
+    #[test]
+    fn magnitude_distance_is_a_metric_sample() {
+        // Triangle inequality spot check on feature vectors.
+        let a = magnitude_features(&signal(32, 0.1), 8);
+        let b = magnitude_features(&signal(32, 1.1), 8);
+        let c = magnitude_features(&signal(32, 2.1), 8);
+        let mut s = StepCounter::new();
+        let ab = magnitude_distance(&a, &b, &mut s);
+        let bc = magnitude_distance(&b, &c, &mut s);
+        let ac = magnitude_distance(&a, &c, &mut s);
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn cost_model() {
+        assert_eq!(fft_cost_model(1), 1);
+        assert_eq!(fft_cost_model(1024), 10 * 1024);
+        assert!(fft_cost_model(251) >= 251 * 7);
+    }
+
+    #[test]
+    fn step_accounting() {
+        let mut s = StepCounter::new();
+        magnitude_distance(&[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0], &mut s);
+        assert_eq!(s.steps(), 3);
+        let mut s2 = StepCounter::new();
+        fourier_lower_bound(&signal(64, 0.0), &signal(64, 1.0), &mut s2);
+        assert_eq!(s2.steps(), 2 * fft_cost_model(64));
+    }
+}

@@ -1,0 +1,102 @@
+//! Parseval-normalised spectra and magnitude features.
+//!
+//! Spectra here use the convention `X_k = (1/√n) Σ_j x_j e^{−2πi·jk/n}`,
+//! under which Parseval's identity reads `Σ|x_j|² = Σ|X_k|²` with no
+//! extra factors. Circularly shifting `x` multiplies `X_k` by a unit
+//! phase, leaving `|X_k|` untouched — the key fact behind both the
+//! Fourier lower bound and the magnitude feature vectors stored in the
+//! disk index (Table 7 / Figure 24).
+
+use crate::bluestein::bluestein;
+use crate::complex::Complex;
+
+/// Parseval-normalised spectrum of a real signal (arbitrary length).
+pub fn spectrum(xs: &[f64]) -> Vec<Complex> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cx: Vec<Complex> = xs.iter().map(|&x| Complex::real(x)).collect();
+    let scale = 1.0 / (n as f64).sqrt();
+    bluestein(&cx).into_iter().map(|z| z.scale(scale)).collect()
+}
+
+/// All `n` magnitude coefficients `|X_k|` of the normalised spectrum.
+pub fn magnitudes(xs: &[f64]) -> Vec<f64> {
+    spectrum(xs).into_iter().map(|z| z.abs()).collect()
+}
+
+/// The first `d` magnitude coefficients (`k = 0..d`), the reduced
+/// representation stored in the VP-tree. `d` is clamped to `n`.
+///
+/// Dropping coefficients drops non-negative terms from the magnitude
+/// distance, so truncation preserves the lower-bounding property.
+pub fn magnitude_features(xs: &[f64], d: usize) -> Vec<f64> {
+    let mut m = magnitudes(xs);
+    m.truncate(d.min(m.len()));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_ts::rotate::rotated;
+    use rotind_ts::stats::sum_sq;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|j| (j as f64 * 0.37).sin() + 0.4 * (j as f64 * 0.11).cos())
+            .collect()
+    }
+
+    #[test]
+    fn parseval_normalised() {
+        for n in [8usize, 100, 251] {
+            let xs = signal(n);
+            let energy_time = sum_sq(&xs);
+            let energy_freq: f64 = magnitudes(&xs).iter().map(|m| m * m).sum();
+            assert!(
+                (energy_time - energy_freq).abs() / energy_time < 1e-9,
+                "Parseval violated at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn magnitudes_are_shift_invariant() {
+        let xs = signal(60);
+        let base = magnitudes(&xs);
+        for shift in [1usize, 7, 30, 59] {
+            let shifted = magnitudes(&rotated(&xs, shift));
+            for (k, (a, b)) in base.iter().zip(&shifted).enumerate() {
+                assert!((a - b).abs() < 1e-9, "shift {shift}, bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn features_are_prefix() {
+        let xs = signal(32);
+        let all = magnitudes(&xs);
+        let few = magnitude_features(&xs, 5);
+        assert_eq!(few.len(), 5);
+        assert_eq!(&all[..5], &few[..]);
+        assert_eq!(magnitude_features(&xs, 1000).len(), 32, "d clamps to n");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(spectrum(&[]).is_empty());
+        assert!(magnitudes(&[]).is_empty());
+    }
+
+    #[test]
+    fn dc_bin_carries_the_mean() {
+        // X_0 = (1/√n) Σ x_j, so z-normalised data has (near-)zero DC.
+        let xs = vec![2.0; 16];
+        let m = magnitudes(&xs);
+        assert!((m[0] - 8.0).abs() < 1e-9); // (1/4)·32
+        let zn = rotind_ts::normalize::z_normalize(&signal(16)).unwrap();
+        assert!(magnitudes(&zn)[0] < 1e-9);
+    }
+}

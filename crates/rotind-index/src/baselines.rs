@@ -1,0 +1,254 @@
+//! The rival search methods of the efficiency experiments (Section 5.3).
+//!
+//! Figures 19–23 compare four algorithms by average `num_steps` per
+//! comparison: **brute force** (no optimisation at all), **early
+//! abandon** (Tables 1–3 with best-so-far threading), **FFT** (the
+//! Fourier-magnitude lower bound with the paper's `n·log₂n` cost model,
+//! falling back to the early-abandon scan when the bound fails), and
+//! **wedge** (the engine of this crate). The exact **convolution trick**
+//! of Section 2.4 is included as a fifth method for the light-curve
+//! discussion. All five return identical answers; only the step counts
+//! differ.
+
+use crate::error::SearchError;
+use rotind_distance::measure::Measure;
+use rotind_distance::rotation::{test_all_rotations, DatabaseMatch};
+use rotind_fft::convolution::min_shift_euclidean;
+use rotind_fft::lower_bound::{fft_cost_model, magnitude_distance};
+use rotind_fft::magnitudes;
+use rotind_ts::rotate::{Rotation, RotationMatrix};
+use rotind_ts::StepCounter;
+
+fn check(database: &[Vec<f64>], n: usize) -> Result<(), SearchError> {
+    if database.is_empty() {
+        return Err(SearchError::EmptyDatabase);
+    }
+    for (index, item) in database.iter().enumerate() {
+        if item.len() != n {
+            return Err(SearchError::LengthMismatch {
+                index,
+                expected: n,
+                actual: item.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Brute force: the full distance for every rotation of every item, with
+/// no early abandoning and no best-so-far threading. The paper's 1.0
+/// reference line.
+pub fn brute_force_scan(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Result<DatabaseMatch, SearchError> {
+    check(database, query_rotations.series_len())?;
+    let mut best: Option<DatabaseMatch> = None;
+    let mut rotated = Vec::with_capacity(query_rotations.series_len());
+    for (index, item) in database.iter().enumerate() {
+        for row in 0..query_rotations.num_rotations() {
+            query_rotations.row(row).copy_into(&mut rotated);
+            let d = measure.distance(item, &rotated, counter);
+            if best.is_none_or(|b| d < b.distance) {
+                best = Some(DatabaseMatch {
+                    index,
+                    distance: d,
+                    rotation: query_rotations.rotations()[row],
+                });
+            }
+        }
+    }
+    Ok(best.expect("non-empty database"))
+}
+
+/// Early abandon: Table 3 — `Test_All_Rotations` per item with the
+/// best-so-far threaded into every distance computation.
+pub fn early_abandon_scan(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Result<DatabaseMatch, SearchError> {
+    check(database, query_rotations.series_len())?;
+    rotind_distance::rotation::search_database(query_rotations, database, measure, counter)
+        .ok_or(SearchError::EmptyDatabase)
+}
+
+/// FFT filter (Euclidean only): per item, charge the paper's `n·log₂n`
+/// cost model for the magnitude lower bound; when the bound fails to
+/// prune, fall back to the early-abandoning rotation scan (Section 5.3:
+/// *"If the FFT lower bound fails we allow the approach to avail of our
+/// early abandoning techniques"*).
+pub fn fft_scan(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    counter: &mut StepCounter,
+) -> Result<DatabaseMatch, SearchError> {
+    let n = query_rotations.series_len();
+    check(database, n)?;
+    let query_mags = magnitudes(query_rotations.base());
+    let mut best: Option<DatabaseMatch> = None;
+    let mut best_so_far = f64::INFINITY;
+    let mut scratch = StepCounter::new();
+    for (index, item) in database.iter().enumerate() {
+        // Cost model: one n·log2(n) transform per item tested.
+        counter.add(fft_cost_model(n));
+        let item_mags = magnitudes(item);
+        let lb = magnitude_distance(&query_mags, &item_mags, &mut scratch);
+        if lb >= best_so_far {
+            continue; // admissibly pruned
+        }
+        if let Some(m) =
+            test_all_rotations(item, query_rotations, best_so_far, Measure::Euclidean, counter)
+        {
+            best_so_far = m.distance;
+            best = Some(DatabaseMatch {
+                index,
+                distance: m.distance,
+                rotation: m.rotation,
+            });
+        }
+    }
+    Ok(best.expect("non-empty database; infinite initial threshold"))
+}
+
+/// Convolution trick (Euclidean, full rotation invariance only): the
+/// exact minimum-shift distance per item in `O(n log n)`, charged at
+/// `3·n·log₂n` steps (two forward transforms and one inverse).
+///
+/// # Errors
+///
+/// [`SearchError::InvalidParam`] when the rotation matrix is not a plain
+/// full-rotation matrix — the trick cannot express mirror or limited
+/// invariance without extra passes.
+pub fn convolution_scan(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    counter: &mut StepCounter,
+) -> Result<DatabaseMatch, SearchError> {
+    let n = query_rotations.series_len();
+    if query_rotations.num_rotations() != n
+        || query_rotations.rotations().iter().any(|r| r.mirrored)
+    {
+        return Err(SearchError::invalid_param(
+            "query_rotations",
+            "convolution scan requires a full, mirror-free rotation matrix",
+        ));
+    }
+    check(database, n)?;
+    let base = query_rotations.base();
+    let mut best: Option<DatabaseMatch> = None;
+    for (index, item) in database.iter().enumerate() {
+        counter.add(3 * fft_cost_model(n));
+        let (d, shift) = min_shift_euclidean(item, base);
+        if best.is_none_or(|b| d < b.distance) {
+            best = Some(DatabaseMatch {
+                index,
+                distance: d,
+                rotation: Rotation::shift(shift),
+            });
+        }
+    }
+    Ok(best.expect("non-empty database"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_distance::dtw::DtwParams;
+    use rotind_ts::rotate::rotated;
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.33 + phase).sin() + 0.3 * (i as f64 * 0.71 + phase).cos())
+            .collect()
+    }
+
+    fn setup(m: usize, n: usize) -> (RotationMatrix, Vec<Vec<f64>>) {
+        let query = signal(n, 0.17);
+        let mut db: Vec<Vec<f64>> = (0..m).map(|k| signal(n, 1.0 + k as f64 * 0.41)).collect();
+        db[m / 2] = rotated(&query, n / 3);
+        (RotationMatrix::full(&query).unwrap(), db)
+    }
+
+    #[test]
+    fn all_baselines_agree() {
+        let (matrix, db) = setup(12, 32);
+        let mut c = StepCounter::new();
+        let brute = brute_force_scan(&matrix, &db, Measure::Euclidean, &mut c).unwrap();
+        let ea = early_abandon_scan(&matrix, &db, Measure::Euclidean, &mut c).unwrap();
+        let fft = fft_scan(&matrix, &db, &mut c).unwrap();
+        let conv = convolution_scan(&matrix, &db, &mut c).unwrap();
+        for m in [&ea, &fft, &conv] {
+            assert_eq!(m.index, brute.index);
+            assert!((m.distance - brute.distance).abs() < 1e-7);
+        }
+        assert_eq!(brute.index, 6);
+        assert!(brute.distance < 1e-7);
+    }
+
+    #[test]
+    fn step_ordering_brute_worst() {
+        let (matrix, db) = setup(20, 48);
+        let mut brute = StepCounter::new();
+        brute_force_scan(&matrix, &db, Measure::Euclidean, &mut brute).unwrap();
+        let mut ea = StepCounter::new();
+        early_abandon_scan(&matrix, &db, Measure::Euclidean, &mut ea).unwrap();
+        assert_eq!(
+            brute.steps(),
+            (20 * 48 * 48) as u64,
+            "brute force = m · n · n exactly"
+        );
+        assert!(ea.steps() < brute.steps());
+    }
+
+    #[test]
+    fn fft_cost_model_charged() {
+        let (matrix, db) = setup(5, 64);
+        let mut c = StepCounter::new();
+        fft_scan(&matrix, &db, &mut c).unwrap();
+        assert!(c.steps() >= 5 * fft_cost_model(64), "per-item transform cost");
+    }
+
+    #[test]
+    fn brute_force_works_with_dtw() {
+        let (matrix, db) = setup(8, 24);
+        let measure = Measure::Dtw(DtwParams::new(2));
+        let mut c = StepCounter::new();
+        let brute = brute_force_scan(&matrix, &db, measure, &mut c).unwrap();
+        let mut c2 = StepCounter::new();
+        let ea = early_abandon_scan(&matrix, &db, measure, &mut c2).unwrap();
+        assert_eq!(brute.index, ea.index);
+        assert!((brute.distance - ea.distance).abs() < 1e-9);
+        assert!(c2.steps() <= c.steps());
+    }
+
+    #[test]
+    fn convolution_rejects_mirror_matrix() {
+        let query = signal(16, 0.0);
+        let matrix = RotationMatrix::with_mirror(&query).unwrap();
+        let db = vec![signal(16, 1.0)];
+        assert!(matches!(
+            convolution_scan(&matrix, &db, &mut StepCounter::new()),
+            Err(SearchError::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn error_paths() {
+        let query = signal(8, 0.0);
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let mut c = StepCounter::new();
+        assert_eq!(
+            brute_force_scan(&matrix, &[], Measure::Euclidean, &mut c).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+        let bad = vec![vec![1.0; 4]];
+        assert!(matches!(
+            fft_scan(&matrix, &bad, &mut c),
+            Err(SearchError::LengthMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,627 @@
+//! The user-facing rotation-invariant search engine.
+//!
+//! A [`RotationQuery`] packages the paper's full pipeline for one query
+//! shape: expand the query into its admitted rotations (full, mirrored
+//! and/or rotation-limited — Section 3), cluster them into a hierarchical
+//! wedge tree (Section 4.1), then scan a database with H-Merge under the
+//! dynamically tuned wedge-set size `K`. All searches are **exact**: they
+//! return precisely the answers of the brute-force Table 3 scan, verified
+//! by the property tests in `tests/`.
+
+use crate::error::SearchError;
+use crate::hmerge::{h_merge, h_merge_from_root, HMergeOutcome};
+use crate::planner::KPlanner;
+use rotind_distance::measure::Measure;
+use rotind_envelope::WedgeTree;
+use rotind_ts::rotate::{Rotation, RotationMatrix};
+use rotind_ts::{StepCounter, TsError};
+use std::collections::HashMap;
+
+/// Which rotations of the query are admitted as matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariance {
+    /// All `n` circular shifts (full rotation invariance).
+    Rotation,
+    /// All shifts of the query and of its mirror image (enantiomorphic
+    /// invariance — matching skulls facing either direction).
+    RotationMirror,
+    /// Only shifts within `max_shift` samples of zero — the paper's
+    /// rotation-limited query (*"find the best match allowing a maximum
+    /// rotation of 15 degrees"*); convert degrees to samples with
+    /// `n·deg/360`.
+    RotationLimited {
+        /// Maximum admitted shift, in samples, in either direction.
+        max_shift: usize,
+    },
+    /// Rotation-limited with mirror rows.
+    RotationLimitedMirror {
+        /// Maximum admitted shift, in samples, in either direction.
+        max_shift: usize,
+    },
+}
+
+impl Invariance {
+    fn matrix(self, query: &[f64]) -> Result<RotationMatrix, TsError> {
+        match self {
+            Invariance::Rotation => RotationMatrix::full(query),
+            Invariance::RotationMirror => RotationMatrix::with_mirror(query),
+            Invariance::RotationLimited { max_shift } => {
+                RotationMatrix::limited(query, max_shift)
+            }
+            Invariance::RotationLimitedMirror { max_shift } => {
+                RotationMatrix::limited_with_mirror(query, max_shift)
+            }
+        }
+    }
+}
+
+/// How the wedge-set size `K` is chosen during a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KPolicy {
+    /// The paper's controller: start at 2, re-probe when best-so-far
+    /// improves (Section 4.1). The default.
+    Dynamic,
+    /// A fixed `K` (clamped to the number of rotations); used by the
+    /// ablation benches.
+    Fixed(usize),
+}
+
+/// One search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the database item.
+    pub index: usize,
+    /// Rotation-invariant distance to the query.
+    pub distance: f64,
+    /// The query rotation realising that distance.
+    pub rotation: Rotation,
+}
+
+/// An exact rotation-invariant query engine for one query series.
+///
+/// Building the engine costs the paper's `O(n²)` startup (shift profiles,
+/// clustering, wedges); each search over `m` items then costs an
+/// empirical `O(m·n^{1.06})` instead of the brute-force `O(m·n²)`.
+///
+/// ```
+/// use rotind_index::engine::{Invariance, RotationQuery};
+/// use rotind_ts::rotate::rotated;
+/// let db: Vec<Vec<f64>> = (0..10)
+///     .map(|k| (0..32).map(|i| ((i * (k + 2)) as f64 * 0.1).sin()).collect())
+///     .collect();
+/// let query = rotated(&db[4], 13); // item 4 at a different orientation
+/// let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+/// let hit = engine.nearest(&db).unwrap();
+/// assert_eq!(hit.index, 4);
+/// assert!(hit.distance < 1e-9);
+/// assert_eq!(hit.rotation.shift, 32 - 13);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RotationQuery {
+    tree: WedgeTree,
+    measure: Measure,
+    k_policy: KPolicy,
+    probe_intervals: usize,
+}
+
+impl RotationQuery {
+    /// Engine under Euclidean distance with the dynamic-K policy.
+    pub fn new(query: &[f64], invariance: Invariance) -> Result<Self, TsError> {
+        Self::with_measure(query, invariance, Measure::Euclidean)
+    }
+
+    /// Engine under an arbitrary measure (Euclidean, DTW or LCSS). For
+    /// DTW the wedge envelopes are widened by the measure's band.
+    pub fn with_measure(
+        query: &[f64],
+        invariance: Invariance,
+        measure: Measure,
+    ) -> Result<Self, TsError> {
+        let matrix = invariance.matrix(query)?;
+        let tree = WedgeTree::new(matrix, measure.warping_band());
+        Ok(RotationQuery {
+            tree,
+            measure,
+            k_policy: KPolicy::Dynamic,
+            probe_intervals: crate::planner::PROBE_INTERVALS,
+        })
+    }
+
+    /// Replace the K policy (builder style).
+    pub fn with_k_policy(mut self, policy: KPolicy) -> Self {
+        self.k_policy = policy;
+        self
+    }
+
+    /// Set the dynamic planner's probe-interval count (builder style).
+    /// The paper reports that any value in `3..=20` changes performance
+    /// by less than 4%; the default is 5.
+    pub fn with_probe_intervals(mut self, intervals: usize) -> Self {
+        self.probe_intervals = intervals.max(1);
+        self
+    }
+
+    /// The measure this engine searches under.
+    pub fn measure(&self) -> Measure {
+        self.measure
+    }
+
+    /// Query series length `n`.
+    pub fn series_len(&self) -> usize {
+        self.tree.matrix().series_len()
+    }
+
+    /// The hierarchical wedge tree (for diagnostics and benches).
+    pub fn tree(&self) -> &WedgeTree {
+        &self.tree
+    }
+
+    /// Exact rotation-invariant distance from the query to `candidate`.
+    pub fn distance_to(&self, candidate: &[f64]) -> Result<f64, SearchError> {
+        self.check_len(0, candidate)?;
+        let mut counter = StepCounter::new();
+        Ok(
+            h_merge_from_root(candidate, &self.tree, f64::INFINITY, self.measure, &mut counter)
+                .expect("infinite threshold always matches")
+                .distance,
+        )
+    }
+
+    /// Exact 1-nearest-neighbour search.
+    pub fn nearest(&self, database: &[Vec<f64>]) -> Result<Neighbor, SearchError> {
+        let mut counter = StepCounter::new();
+        self.nearest_with_steps(database, &mut counter)
+    }
+
+    /// 1-NN search that also reports the `num_steps` cost — the metric of
+    /// Figures 19–23.
+    pub fn nearest_with_steps(
+        &self,
+        database: &[Vec<f64>],
+        counter: &mut StepCounter,
+    ) -> Result<Neighbor, SearchError> {
+        let hits = self.k_nearest_with_steps(database, 1, counter)?;
+        Ok(hits.into_iter().next().expect("k = 1 yields one hit"))
+    }
+
+    /// Exact k-nearest-neighbour search (ties broken by database order).
+    pub fn k_nearest(&self, database: &[Vec<f64>], k: usize) -> Result<Vec<Neighbor>, SearchError> {
+        let mut counter = StepCounter::new();
+        self.k_nearest_with_steps(database, k, &mut counter)
+    }
+
+    /// k-NN with step accounting.
+    pub fn k_nearest_with_steps(
+        &self,
+        database: &[Vec<f64>],
+        k: usize,
+        counter: &mut StepCounter,
+    ) -> Result<Vec<Neighbor>, SearchError> {
+        if k == 0 {
+            return Err(SearchError::invalid_param("k", "must be >= 1"));
+        }
+        if database.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        self.check_all(database)?;
+
+        // Max-heap of the k best by distance; best-so-far is the k-th
+        // best (pruning only starts once k hits are held).
+        let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        let mut scan = ScanState::new(&self.tree, self.k_policy, self.probe_intervals);
+        for (index, item) in database.iter().enumerate() {
+            let bsf = if heap.len() == k {
+                heap.last().expect("heap non-empty").distance
+            } else {
+                f64::INFINITY
+            };
+            if let Some(outcome) = scan.compare(item, bsf, self.measure, counter) {
+                heap.push(Neighbor {
+                    index,
+                    distance: outcome.distance,
+                    rotation: outcome.rotation,
+                });
+                heap.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+                if heap.len() > k {
+                    heap.pop();
+                }
+                scan.notify_improvement();
+            }
+        }
+        Ok(heap)
+    }
+
+    /// Exact range query: every item within `radius` (inclusive) of the
+    /// query under the engine's measure.
+    pub fn range(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+    ) -> Result<Vec<Neighbor>, SearchError> {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(SearchError::invalid_param("radius", "must be finite and >= 0"));
+        }
+        self.check_all(database)?;
+        let mut counter = StepCounter::new();
+        let mut scan = ScanState::new(&self.tree, self.k_policy, self.probe_intervals);
+        let threshold = radius.next_up(); // h_merge is strict; make the radius inclusive
+        let mut out = Vec::new();
+        for (index, item) in database.iter().enumerate() {
+            if let Some(outcome) = scan.compare(item, threshold, self.measure, &mut counter) {
+                if outcome.distance <= radius {
+                    out.push(Neighbor {
+                        index,
+                        distance: outcome.distance,
+                        rotation: outcome.rotation,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_len(&self, index: usize, item: &[f64]) -> Result<(), SearchError> {
+        let expected = self.series_len();
+        if item.len() != expected {
+            return Err(SearchError::LengthMismatch {
+                index,
+                expected,
+                actual: item.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_all(&self, database: &[Vec<f64>]) -> Result<(), SearchError> {
+        for (i, item) in database.iter().enumerate() {
+            self.check_len(i, item)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-scan state: the K planner plus a cache of dendrogram cuts.
+struct ScanState<'a> {
+    tree: &'a WedgeTree,
+    planner: KPlanner,
+    fixed_k: Option<usize>,
+    cuts: HashMap<usize, Vec<usize>>,
+}
+
+impl<'a> ScanState<'a> {
+    fn new(tree: &'a WedgeTree, policy: KPolicy, probe_intervals: usize) -> Self {
+        let planner = KPlanner::with_intervals(tree.max_k(), probe_intervals);
+        let fixed_k = match policy {
+            KPolicy::Dynamic => None,
+            KPolicy::Fixed(k) => Some(k.clamp(1, tree.max_k())),
+        };
+        ScanState {
+            tree,
+            planner,
+            fixed_k,
+            cuts: HashMap::new(),
+        }
+    }
+
+    fn cut(&mut self, k: usize) -> &[usize] {
+        let tree = self.tree;
+        self.cuts.entry(k).or_insert_with(|| tree.cut_nodes(k))
+    }
+
+    fn notify_improvement(&mut self) {
+        if self.fixed_k.is_none() {
+            self.planner.on_best_so_far_change();
+        }
+    }
+
+    /// Compare one database item against the query's wedge tree under the
+    /// current best-so-far. Under the dynamic policy, probe-cycle
+    /// candidates are tried on consecutive items and their `num_steps`
+    /// reported back to the planner — no extra work is performed, so the
+    /// probe cost is (trivially) included in every experiment.
+    fn compare(
+        &mut self,
+        item: &[f64],
+        bsf: f64,
+        measure: Measure,
+        counter: &mut StepCounter,
+    ) -> Option<HMergeOutcome> {
+        let k = match self.fixed_k {
+            Some(k) => k,
+            None => self.planner.next_k(),
+        };
+        let cut = self.cut(k).to_vec();
+        let before = *counter;
+        let outcome = h_merge(item, self.tree, &cut, bsf, measure, counter);
+        if self.fixed_k.is_none() {
+            self.planner.record(counter.since(before));
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_distance::dtw::DtwParams;
+    use rotind_distance::rotation::{search_database, test_all_rotations};
+    use rotind_ts::rotate::{mirror, rotated};
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.29 + phase).sin() + 0.5 * (i as f64 * 0.91 + phase).cos())
+            .collect()
+    }
+
+    fn database(m: usize, n: usize) -> Vec<Vec<f64>> {
+        // Phases start away from the query phases used in the tests so no
+        // database item accidentally coincides with a query.
+        (0..m).map(|k| signal(n, 1.0 + k as f64 * 0.37)).collect()
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let n = 32;
+        let query = signal(n, 0.11);
+        let db = database(24, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let hit = engine.nearest(&db).unwrap();
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let oracle =
+            search_database(&matrix, &db, Measure::Euclidean, &mut StepCounter::new()).unwrap();
+        assert_eq!(hit.index, oracle.index);
+        assert!((hit.distance - oracle.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_dtw() {
+        let n = 24;
+        let query = signal(n, 0.4);
+        let db = database(15, n);
+        let measure = Measure::Dtw(DtwParams::new(2));
+        let engine = RotationQuery::with_measure(&query, Invariance::Rotation, measure).unwrap();
+        let hit = engine.nearest(&db).unwrap();
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let oracle = search_database(&matrix, &db, measure, &mut StepCounter::new()).unwrap();
+        assert_eq!(hit.index, oracle.index);
+        assert!((hit.distance - oracle.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_planted_rotated_item() {
+        let n = 40;
+        let query = signal(n, 0.0);
+        let mut db = database(30, n);
+        db[17] = rotated(&query, 23);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let hit = engine.nearest(&db).unwrap();
+        assert_eq!(hit.index, 17);
+        assert!(hit.distance < 1e-9);
+        assert_eq!(hit.rotation.shift, 23);
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_exact() {
+        let n = 28;
+        let query = signal(n, 0.2);
+        let db = database(20, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let hits = engine.k_nearest(&db, 5).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+        // Oracle: all rotation-invariant distances, sorted.
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let mut all: Vec<(usize, f64)> = db
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let d = test_all_rotations(
+                    item,
+                    &matrix,
+                    f64::INFINITY,
+                    Measure::Euclidean,
+                    &mut StepCounter::new(),
+                )
+                .unwrap()
+                .distance;
+                (i, d)
+            })
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (hit, (oi, od)) in hits.iter().zip(&all) {
+            assert_eq!(hit.index, *oi);
+            assert!((hit.distance - od).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_database_returns_all() {
+        let db = database(4, 16);
+        let engine = RotationQuery::new(&signal(16, 0.0), Invariance::Rotation).unwrap();
+        let hits = engine.k_nearest(&db, 10).unwrap();
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn range_query_inclusive_and_exact() {
+        let n = 24;
+        let query = signal(n, 0.0);
+        let db = database(25, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        // Oracle distances.
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let dists: Vec<f64> = db
+            .iter()
+            .map(|item| {
+                test_all_rotations(
+                    item,
+                    &matrix,
+                    f64::INFINITY,
+                    Measure::Euclidean,
+                    &mut StepCounter::new(),
+                )
+                .unwrap()
+                .distance
+            })
+            .collect();
+        let mut sorted = dists.clone();
+        sorted.sort_by(f64::total_cmp);
+        let radius = sorted[10]; // exactly the 11th distance → inclusivity matters
+        let hits = engine.range(&db, radius).unwrap();
+        let expected: Vec<usize> = dists
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (d <= radius).then_some(i))
+            .collect();
+        let mut got: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+        for h in &hits {
+            assert!(h.distance <= radius);
+        }
+    }
+
+    #[test]
+    fn mirror_invariance_end_to_end() {
+        let n = 30;
+        let query = signal(n, 0.0);
+        let mut db = database(12, n);
+        db[5] = rotated(&mirror(&query), 9);
+        let plain = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let with_mirror = RotationQuery::new(&query, Invariance::RotationMirror).unwrap();
+        assert!(plain.nearest(&db).unwrap().distance > 1e-3);
+        let hit = with_mirror.nearest(&db).unwrap();
+        assert_eq!(hit.index, 5);
+        assert!(hit.distance < 1e-9);
+        assert!(hit.rotation.mirrored);
+    }
+
+    #[test]
+    fn rotation_limited_end_to_end() {
+        let n = 36;
+        let query = signal(n, 0.0);
+        let mut db = database(10, n);
+        db[3] = rotated(&query, 12); // outside a ±2 window
+        db[7] = rotated(&query, 1); // inside
+        let engine = RotationQuery::new(
+            &query,
+            Invariance::RotationLimited { max_shift: 2 },
+        )
+        .unwrap();
+        let hit = engine.nearest(&db).unwrap();
+        assert_eq!(hit.index, 7);
+        assert!(hit.distance < 1e-9);
+    }
+
+    #[test]
+    fn fixed_k_policy_is_still_exact() {
+        let n = 20;
+        let query = signal(n, 0.3);
+        let db = database(18, n);
+        let reference = RotationQuery::new(&query, Invariance::Rotation)
+            .unwrap()
+            .nearest(&db)
+            .unwrap();
+        for k in [1usize, 3, 10, 20, 999] {
+            let engine = RotationQuery::new(&query, Invariance::Rotation)
+                .unwrap()
+                .with_k_policy(KPolicy::Fixed(k));
+            let hit = engine.nearest(&db).unwrap();
+            assert_eq!(hit.index, reference.index, "K = {k}");
+            assert!((hit.distance - reference.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lcss_nearest_matches_brute_force() {
+        let n = 20;
+        let query = signal(n, 0.4);
+        let db = database(12, n);
+        let measure = Measure::Lcss(rotind_distance::LcssParams::for_normalized(n));
+        let engine =
+            RotationQuery::with_measure(&query, Invariance::Rotation, measure).unwrap();
+        let hit = engine.nearest(&db).unwrap();
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let oracle = search_database(&matrix, &db, measure, &mut StepCounter::new()).unwrap();
+        assert!((hit.distance - oracle.distance).abs() < 1e-9);
+        // Indices may differ only under exact distance ties.
+        if hit.index != oracle.index {
+            let d_other = test_all_rotations(
+                &db[hit.index],
+                &matrix,
+                f64::INFINITY,
+                measure,
+                &mut StepCounter::new(),
+            )
+            .unwrap()
+            .distance;
+            assert!((d_other - oracle.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let engine = RotationQuery::new(&signal(16, 0.0), Invariance::Rotation).unwrap();
+        assert_eq!(
+            engine.nearest(&[]).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+        let bad = vec![vec![0.0; 8]];
+        assert!(matches!(
+            engine.nearest(&bad).unwrap_err(),
+            SearchError::LengthMismatch { index: 0, expected: 16, actual: 8 }
+        ));
+        assert!(matches!(
+            engine.k_nearest(&database(3, 16), 0).unwrap_err(),
+            SearchError::InvalidParam { .. }
+        ));
+        assert!(engine.range(&database(3, 16), -1.0).is_err());
+        assert!(engine.range(&database(3, 16), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn distance_to_matches_oracle() {
+        let query = signal(26, 0.0);
+        let candidate = signal(26, 1.4);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let got = engine.distance_to(&candidate).unwrap();
+        let oracle = rotind_distance::rotation::rotation_invariant_distance(
+            &candidate,
+            &query,
+            Measure::Euclidean,
+            &mut StepCounter::new(),
+        );
+        assert!((got - oracle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wedge_scan_beats_early_abandon_scan_on_steps() {
+        // A diverse database (varying frequencies) with one planted
+        // near-match: the regime of Figures 19–23, where the best-so-far
+        // shrinks quickly and fat wedges prune whole rotation groups.
+        let n = 64;
+        let query: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin() * 2.0).collect();
+        let mut db: Vec<Vec<f64>> = (0..200)
+            .map(|k| {
+                let w = 0.05 + 0.013 * k as f64;
+                (0..n)
+                    .map(|i| (i as f64 * w).sin() * 2.0 + (k as f64 * 0.77).cos())
+                    .collect()
+            })
+            .collect();
+        db[120] = rotated(&query, 31);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let mut wedge_steps = StepCounter::new();
+        engine.nearest_with_steps(&db, &mut wedge_steps).unwrap();
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let mut ea_steps = StepCounter::new();
+        search_database(&matrix, &db, Measure::Euclidean, &mut ea_steps).unwrap();
+        assert!(
+            wedge_steps.steps() < ea_steps.steps(),
+            "wedge {} !< early-abandon {}",
+            wedge_steps.steps(),
+            ea_steps.steps()
+        );
+    }
+
+}

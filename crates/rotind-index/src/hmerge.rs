@@ -1,0 +1,461 @@
+//! The H-Merge algorithm (Section 4.1, Table 6).
+//!
+//! Given a candidate series and a wedge-set cut of the query's
+//! hierarchical wedge tree, H-Merge pushes the cut's wedges onto a stack
+//! and repeatedly pops: if `EA_LB_Keogh` against the popped wedge early
+//! abandons, *every* rotation covered by that wedge is pruned with a
+//! single (partial) pass; otherwise the wedge's children are pushed, down
+//! to single-rotation leaves where the exact measure is evaluated.
+//!
+//! The paper's Table 6 is phrased for query filtering (return the first
+//! leaf within `r`); the search engines need the *best* rotation, so this
+//! implementation keeps scanning with the running best as the abandoning
+//! threshold — exactly how `NNSearch` (Table 7) consumes it.
+
+use rotind_distance::measure::Measure;
+use rotind_envelope::lb_keogh::{lb_keogh_early_abandon, lcss_distance_lower_bound};
+use rotind_envelope::WedgeTree;
+use rotind_ts::rotate::Rotation;
+use rotind_ts::StepCounter;
+
+/// Best rotation found by an H-Merge scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HMergeOutcome {
+    /// The minimal distance over all admitted rotations (strictly below
+    /// the threshold passed in).
+    pub distance: f64,
+    /// The rotation achieving it.
+    pub rotation: Rotation,
+}
+
+/// Lower bound of `measure` from `candidate` to every rotation covered by
+/// `node`'s wedge; `None` when the bound already provably exceeds `r`.
+fn node_lower_bound(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    node: usize,
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<f64> {
+    match measure {
+        Measure::Euclidean | Measure::Dtw(_) => {
+            // For DTW the tree's lb wedges are pre-widened by the band
+            // (Proposition 2); for Euclidean they are the plain wedges
+            // (Proposition 1).
+            lb_keogh_early_abandon(candidate, tree.lb_wedge(node), r, counter)
+        }
+        Measure::Lcss(p) => {
+            let lb = lcss_distance_lower_bound(candidate, tree.wedge(node), p, counter);
+            (lb <= r).then_some(lb)
+        }
+    }
+}
+
+/// Exact distance at a single-rotation leaf, early-abandoning against `r`.
+fn leaf_distance(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    leaf: usize,
+    r: f64,
+    lb_at_leaf: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<f64> {
+    match measure {
+        // A singleton wedge's LB_Keogh IS the Euclidean distance — no
+        // second pass needed (Section 4.1: "in the special case where W is
+        // created from a single candidate sequence, it degenerates to the
+        // Euclidean distance").
+        Measure::Euclidean => Some(lb_at_leaf),
+        _ => {
+            let series = tree.leaf_series(leaf);
+            measure.distance_early_abandon(candidate, &series, r, counter)
+        }
+    }
+}
+
+/// Scan the wedge set `cut` (node ids of `tree`) for the best rotation
+/// match to `candidate` strictly below `r`. Returns `None` when no
+/// rotation beats `r`.
+pub fn h_merge(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cut: &[usize],
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<HMergeOutcome> {
+    assert_eq!(
+        candidate.len(),
+        tree.matrix().series_len(),
+        "h_merge: candidate length mismatch"
+    );
+    let mut best: Option<HMergeOutcome> = None;
+    let mut best_so_far = r;
+    let mut stack: Vec<usize> = cut.to_vec();
+    while let Some(node) = stack.pop() {
+        let Some(lb) = node_lower_bound(candidate, tree, node, best_so_far, measure, counter)
+        else {
+            continue; // the whole wedge is pruned
+        };
+        if tree.is_leaf(node) {
+            if let Some(d) =
+                leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter)
+            {
+                if d < best_so_far {
+                    best_so_far = d;
+                    best = Some(HMergeOutcome {
+                        distance: d,
+                        rotation: tree.leaf_rotation(node),
+                    });
+                }
+            }
+        } else {
+            let (left, right) = tree.children(node).expect("internal node has children");
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    best
+}
+
+/// Table 6 *verbatim*: a boolean query **filter**. Returns the first
+/// rotation found within `r` of the candidate (not necessarily the
+/// best), or `None` when every rotation is provably farther than `r`.
+///
+/// This is the streaming use-case the paper highlights (query filtering
+/// over streams, "Atomic Wedgie" \[40\]): for monitoring, *any* match
+/// within `r` suffices and scanning on after the first hit is wasted
+/// work. For nearest-neighbour search use [`h_merge`], which keeps
+/// scanning with the running best.
+pub fn h_merge_filter(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cut: &[usize],
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<HMergeOutcome> {
+    assert_eq!(
+        candidate.len(),
+        tree.matrix().series_len(),
+        "h_merge_filter: candidate length mismatch"
+    );
+    let mut stack: Vec<usize> = cut.to_vec();
+    while let Some(node) = stack.pop() {
+        let Some(lb) = node_lower_bound(candidate, tree, node, r, measure, counter) else {
+            continue;
+        };
+        if tree.is_leaf(node) {
+            if let Some(d) = leaf_distance(candidate, tree, node, r, lb, measure, counter) {
+                if d <= r {
+                    return Some(HMergeOutcome {
+                        distance: d,
+                        rotation: tree.leaf_rotation(node),
+                    });
+                }
+            }
+        } else {
+            let (left, right) = tree.children(node).expect("internal node has children");
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    None
+}
+
+/// H-Merge over the whole tree starting from the root (`K = 1`).
+pub fn h_merge_from_root(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+) -> Option<HMergeOutcome> {
+    let root = [tree.root()];
+    h_merge(candidate, tree, &root, r, measure, counter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_distance::dtw::DtwParams;
+    use rotind_distance::lcss::LcssParams;
+    use rotind_distance::rotation::test_all_rotations;
+    use rotind_ts::rotate::{rotated, RotationMatrix};
+
+    fn steps() -> StepCounter {
+        StepCounter::new()
+    }
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.31 + phase).sin() + 0.4 * (i as f64 * 0.83 + phase).cos())
+            .collect()
+    }
+
+    fn tree_for(query: &[f64], band: usize) -> WedgeTree {
+        WedgeTree::new(RotationMatrix::full(query).unwrap(), band)
+    }
+
+    #[test]
+    fn equals_test_all_rotations_for_every_k_euclidean() {
+        let query = signal(24, 0.0);
+        let candidate = signal(24, 1.9);
+        let tree = tree_for(&query, 0);
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let oracle = test_all_rotations(
+            &candidate,
+            &matrix,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        for k in 1..=24 {
+            let cut = tree.cut_nodes(k);
+            let got = h_merge(
+                &candidate,
+                &tree,
+                &cut,
+                f64::INFINITY,
+                Measure::Euclidean,
+                &mut steps(),
+            )
+            .unwrap();
+            assert!(
+                (got.distance - oracle.distance).abs() < 1e-9,
+                "k = {k}: {} vs {}",
+                got.distance,
+                oracle.distance
+            );
+        }
+    }
+
+    #[test]
+    fn equals_oracle_for_dtw_and_lcss() {
+        let query = signal(20, 0.0);
+        let candidate = signal(20, 2.6);
+        let matrix = RotationMatrix::full(&query).unwrap();
+        for (measure, band) in [
+            (Measure::Dtw(DtwParams::new(3)), 3usize),
+            (Measure::Lcss(LcssParams::for_normalized(20)), 0),
+        ] {
+            let tree = tree_for(&query, band);
+            let oracle =
+                test_all_rotations(&candidate, &matrix, f64::INFINITY, measure, &mut steps())
+                    .unwrap();
+            for k in [1usize, 2, 5, 10, 20] {
+                let cut = tree.cut_nodes(k);
+                let got =
+                    h_merge(&candidate, &tree, &cut, f64::INFINITY, measure, &mut steps())
+                        .unwrap();
+                assert!(
+                    (got.distance - oracle.distance).abs() < 1e-9,
+                    "{} k = {k}",
+                    measure.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finds_planted_rotation() {
+        let query = signal(32, 0.0);
+        let candidate = rotated(&query, 13);
+        let tree = tree_for(&query, 0);
+        let got = h_merge_from_root(
+            &candidate,
+            &tree,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        assert!(got.distance < 1e-9);
+        assert_eq!(got.rotation.shift, 13);
+    }
+
+    #[test]
+    fn threshold_below_exact_returns_none() {
+        let query = signal(18, 0.0);
+        let candidate = signal(18, 2.2);
+        let tree = tree_for(&query, 0);
+        let exact = h_merge_from_root(
+            &candidate,
+            &tree,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap()
+        .distance;
+        assert!(h_merge_from_root(
+            &candidate,
+            &tree,
+            exact * 0.99,
+            Measure::Euclidean,
+            &mut steps()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn wedge_pruning_saves_steps_vs_early_abandon_scan() {
+        // A dissimilar candidate with a tight threshold: one fat wedge
+        // abandons in a few steps, while per-rotation early abandon pays
+        // at least one step per rotation.
+        let n = 64;
+        let query = signal(n, 0.0);
+        let candidate: Vec<f64> = vec![50.0; n];
+        let tree = tree_for(&query, 0);
+        let mut wedge_steps = steps();
+        let cut = tree.cut_nodes(1);
+        assert!(h_merge(
+            &candidate,
+            &tree,
+            &cut,
+            0.5,
+            Measure::Euclidean,
+            &mut wedge_steps
+        )
+        .is_none());
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let mut scan_steps = steps();
+        assert!(
+            test_all_rotations(&candidate, &matrix, 0.5, Measure::Euclidean, &mut scan_steps)
+                .is_none()
+        );
+        assert!(
+            wedge_steps.steps() * 10 < scan_steps.steps(),
+            "wedge {} vs scan {}",
+            wedge_steps.steps(),
+            scan_steps.steps()
+        );
+    }
+
+    #[test]
+    fn mirror_and_limited_invariance() {
+        let query = signal(22, 0.0);
+        // Mirror: the candidate is a rotated mirror image.
+        let candidate = rotated(&rotind_ts::rotate::mirror(&query), 5);
+        let tree = WedgeTree::new(RotationMatrix::with_mirror(&query).unwrap(), 0);
+        let got = h_merge_from_root(
+            &candidate,
+            &tree,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        assert!(got.distance < 1e-9);
+        assert!(got.rotation.mirrored);
+
+        // Limited: a far rotation must not be matched exactly.
+        let far = rotated(&query, 11);
+        let tree = WedgeTree::new(RotationMatrix::limited(&query, 2).unwrap(), 0);
+        let got = h_merge_from_root(
+            &far,
+            &tree,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        assert!(got.distance > 0.1);
+    }
+
+    #[test]
+    fn filter_agrees_with_search_on_matchability() {
+        let query = signal(24, 0.0);
+        let tree = tree_for(&query, 0);
+        let cut = tree.cut_nodes(4);
+        for phase in [0.3, 0.9, 1.7, 2.8] {
+            let candidate = signal(24, phase);
+            let exact = h_merge(
+                &candidate,
+                &tree,
+                &cut,
+                f64::INFINITY,
+                Measure::Euclidean,
+                &mut steps(),
+            )
+            .unwrap()
+            .distance;
+            // r == exact exactly is FP-fragile (squaring the sqrt can
+            // round below the accumulated sum); pad by one ulp-ish.
+            for r in [exact * 0.5, exact + 1e-9, exact * 2.0] {
+                let hit =
+                    h_merge_filter(&candidate, &tree, &cut, r, Measure::Euclidean, &mut steps());
+                if exact <= r {
+                    let hit = hit.expect("a rotation within r exists");
+                    assert!(hit.distance <= r, "returned match must be within r");
+                } else {
+                    assert!(hit.is_none(), "no rotation within r exists");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_stops_early_and_saves_steps() {
+        // A self-match is found long before all rotations are examined.
+        let query = signal(64, 0.0);
+        let tree = tree_for(&query, 0);
+        let cut = tree.cut_nodes(8);
+        let candidate = rotated(&query, 20);
+        let mut filter_steps = steps();
+        let hit = h_merge_filter(
+            &candidate,
+            &tree,
+            &cut,
+            1e-6,
+            Measure::Euclidean,
+            &mut filter_steps,
+        )
+        .unwrap();
+        assert_eq!(hit.rotation.shift, 20);
+        let mut search_steps = steps();
+        h_merge(
+            &candidate,
+            &tree,
+            &cut,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut search_steps,
+        )
+        .unwrap();
+        assert!(
+            filter_steps.steps() < search_steps.steps(),
+            "filter {} !< search {}",
+            filter_steps.steps(),
+            search_steps.steps()
+        );
+    }
+
+    #[test]
+    fn k_equal_n_behaves_like_early_abandon_rotation_scan() {
+        // At K = n every wedge is a singleton: the result must match and
+        // the work is comparable to Table 2 with best-so-far threading.
+        let query = signal(16, 0.0);
+        let candidate = signal(16, 0.9);
+        let tree = tree_for(&query, 0);
+        let cut = tree.cut_nodes(16);
+        assert_eq!(cut.len(), 16);
+        let got = h_merge(
+            &candidate,
+            &tree,
+            &cut,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let oracle =
+            test_all_rotations(&candidate, &matrix, f64::INFINITY, Measure::Euclidean, &mut steps())
+                .unwrap();
+        assert!((got.distance - oracle.distance).abs() < 1e-9);
+    }
+}

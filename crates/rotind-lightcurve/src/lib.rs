@@ -1,0 +1,25 @@
+//! # rotind-lightcurve — synthetic star light curves
+//!
+//! Section 2.4 of the paper: a star light curve is the brightness of a
+//! celestial object as a function of time; after folding a periodic
+//! variable at its period, *"there is no natural starting point"*, so
+//! comparing two light curves requires testing every circular shift —
+//! **exactly** the rotation-invariant matching problem, with no
+//! modification to the machinery. The paper indexes labelled curves from
+//! the Harvard Time Series Center / OGLE (Figures 22 and 23, the
+//! Light-Curve row of Table 8); this crate synthesises phase-folded
+//! curves from the three classic variability classes used there.
+//!
+//! * [`models`] — eclipsing binaries, Cepheid-like sawtooth pulsators,
+//!   RR-Lyrae-like pulsators;
+//! * [`dataset`] — labelled, noisy, randomly phased (= rotated)
+//!   collections in the shared [`rotind_shape::Dataset`] format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod models;
+
+pub use dataset::light_curves;
+pub use models::LightCurveClass;

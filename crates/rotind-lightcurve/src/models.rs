@@ -1,0 +1,245 @@
+//! Phase-folded light-curve models for the three variability classes.
+//!
+//! Brightness is modelled in (arbitrary, later z-normalised) flux units
+//! over one period, phase ∈ [0, 1). The classes:
+//!
+//! * **Eclipsing binary** — flat out-of-eclipse flux with a deep primary
+//!   eclipse and a shallower secondary half a period later;
+//! * **Cepheid** — the classic asymmetric sawtooth: rapid brightening,
+//!   slow exponential-ish decline;
+//! * **RR Lyrae** — a sharper, shorter-period analogue with a steeper
+//!   rise and a descending-branch bump.
+
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// The variability class of a periodic star.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LightCurveClass {
+    /// Detached eclipsing binary.
+    EclipsingBinary,
+    /// Classical Cepheid pulsator.
+    Cepheid,
+    /// RR Lyrae pulsator.
+    RrLyrae,
+}
+
+impl LightCurveClass {
+    /// All classes, in label order.
+    pub const ALL: [LightCurveClass; 3] = [
+        LightCurveClass::EclipsingBinary,
+        LightCurveClass::Cepheid,
+        LightCurveClass::RrLyrae,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LightCurveClass::EclipsingBinary => "eclipsing-binary",
+            LightCurveClass::Cepheid => "cepheid",
+            LightCurveClass::RrLyrae => "rr-lyrae",
+        }
+    }
+}
+
+/// A smooth eclipse dip: a squared-cosine notch of the given fractional
+/// `width` centred at `center` (phase units).
+fn eclipse(phase: f64, center: f64, width: f64, depth: f64) -> f64 {
+    let mut d = phase - center;
+    if d > 0.5 {
+        d -= 1.0;
+    }
+    if d < -0.5 {
+        d += 1.0;
+    }
+    if d.abs() >= width / 2.0 {
+        return 0.0;
+    }
+    let t = d / (width / 2.0);
+    -depth * (0.5 + 0.5 * (std::f64::consts::PI * t).cos())
+}
+
+/// One phase-folded light curve of `class` with `n` samples; `rng`
+/// jitters the physical parameters within the class.
+pub fn model_curve(class: LightCurveClass, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+    match class {
+        LightCurveClass::EclipsingBinary => {
+            let primary_depth = rng.random_range(0.5..1.0);
+            let secondary_depth = primary_depth * rng.random_range(0.25..0.7);
+            let width = rng.random_range(0.06..0.14);
+            let separation = rng.random_range(0.45..0.55);
+            (0..n)
+                .map(|i| {
+                    let phase = i as f64 / n as f64;
+                    1.0 + eclipse(phase, 0.0, width, primary_depth)
+                        + eclipse(phase, separation, width * 1.1, secondary_depth)
+                })
+                .collect()
+        }
+        LightCurveClass::Cepheid => {
+            let rise = rng.random_range(0.12..0.22); // fraction of period spent rising
+            let amp = rng.random_range(0.6..1.0);
+            let curvature = rng.random_range(1.4..2.2);
+            (0..n)
+                .map(|i| {
+                    let phase = i as f64 / n as f64;
+                    if phase < rise {
+                        amp * (phase / rise)
+                    } else {
+                        let t = (phase - rise) / (1.0 - rise);
+                        amp * (1.0 - t.powf(1.0 / curvature))
+                    }
+                })
+                .collect()
+        }
+        LightCurveClass::RrLyrae => {
+            let rise = rng.random_range(0.05..0.12); // steeper rise than a Cepheid
+            let amp = rng.random_range(0.7..1.1);
+            let bump_height = rng.random_range(0.05..0.15);
+            let bump_pos = rng.random_range(0.55..0.75);
+            (0..n)
+                .map(|i| {
+                    let phase = i as f64 / n as f64;
+                    let base = if phase < rise {
+                        amp * (phase / rise)
+                    } else {
+                        let t = (phase - rise) / (1.0 - rise);
+                        amp * (1.0 - t.powf(0.45))
+                    };
+                    // Descending-branch bump.
+                    base + bump_height * (-((phase - bump_pos) / 0.06).powi(2)).exp()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Observational noise model: Gaussian photometric error plus a slow
+/// sinusoidal systematic (airmass-like trend folded into phase).
+pub fn add_observational_noise(curve: &mut [f64], sigma: f64, rng: &mut impl Rng) {
+    let n = curve.len();
+    let trend_amp = sigma * rng.random_range(0.0..2.0);
+    let trend_phase = rng.random_range(0.0..TAU);
+    for (i, v) in curve.iter_mut().enumerate() {
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos();
+        let phi = TAU * i as f64 / n as f64;
+        *v += sigma * g + trend_amp * (phi + trend_phase).sin();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn curves_are_finite_and_sized() {
+        for class in LightCurveClass::ALL {
+            let c = model_curve(class, 256, &mut rng(1));
+            assert_eq!(c.len(), 256);
+            assert!(c.iter().all(|v| v.is_finite()), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn eclipsing_binary_has_two_dips() {
+        let c = model_curve(LightCurveClass::EclipsingBinary, 512, &mut rng(2));
+        // Out-of-eclipse flux ≈ 1; count contiguous below-0.9 regions.
+        let mut dips = 0;
+        let mut inside = false;
+        for (i, &v) in c.iter().enumerate() {
+            let below = v < 0.9;
+            if below && !inside {
+                dips += 1;
+            }
+            inside = below;
+            let _ = i;
+        }
+        // Wrap-around: the primary eclipse straddles phase 0.
+        if c[0] < 0.9 && c[c.len() - 1] < 0.9 {
+            dips -= 1;
+        }
+        assert_eq!(dips, 2, "expected primary + secondary eclipse");
+        // Primary (at phase 0) deeper than secondary (at ~0.5).
+        let min_near_zero = c[..32].iter().chain(&c[480..]).copied().fold(f64::MAX, f64::min);
+        let min_near_half = c[224..288].iter().copied().fold(f64::MAX, f64::min);
+        assert!(min_near_zero < min_near_half);
+    }
+
+    #[test]
+    fn cepheid_rises_fast_decays_slow() {
+        let mut r = rng(3);
+        let c = model_curve(LightCurveClass::Cepheid, 1000, &mut r);
+        let peak = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(peak < 250, "peak at {peak} should come early (fast rise)");
+        // Monotone decline after the peak until near the period end.
+        for w in c[peak..900].windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rr_lyrae_rises_steeper_than_cepheid() {
+        let mut r1 = rng(4);
+        let mut r2 = rng(4);
+        let rr = model_curve(LightCurveClass::RrLyrae, 1000, &mut r1);
+        let ceph = model_curve(LightCurveClass::Cepheid, 1000, &mut r2);
+        let peak_pos = |c: &[f64]| {
+            c.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+        };
+        assert!(peak_pos(&rr) <= peak_pos(&ceph));
+    }
+
+    #[test]
+    fn noise_perturbs_without_destroying_scale() {
+        let mut r = rng(5);
+        let mut c = model_curve(LightCurveClass::Cepheid, 256, &mut r);
+        let clean = c.clone();
+        add_observational_noise(&mut c, 0.03, &mut r);
+        let rms: f64 = (clean
+            .iter()
+            .zip(&c)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / 256.0)
+            .sqrt();
+        assert!(rms > 0.005 && rms < 0.2, "rms {rms}");
+    }
+
+    #[test]
+    fn classes_are_mutually_distinguishable() {
+        // Between-class distance exceeds within-class distance on clean
+        // curves (at best phase alignment).
+        let best_shift_dist = |a: &[f64], b: &[f64]| -> f64 {
+            let n = a.len();
+            (0..n)
+                .map(|s| {
+                    let rot = rotind_ts::rotate::rotated(b, s);
+                    a.iter()
+                        .zip(&rot)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let norm = |c: Vec<f64>| rotind_ts::normalize::z_normalize_lossy(&c);
+        let mut r = rng(6);
+        let eb1 = norm(model_curve(LightCurveClass::EclipsingBinary, 128, &mut r));
+        let eb2 = norm(model_curve(LightCurveClass::EclipsingBinary, 128, &mut r));
+        let ce = norm(model_curve(LightCurveClass::Cepheid, 128, &mut r));
+        assert!(best_shift_dist(&eb1, &eb2) < best_shift_dist(&eb1, &ce));
+    }
+}

@@ -1,0 +1,162 @@
+//! A monochrome raster image.
+
+/// A width × height grid of boolean pixels (`true` = foreground).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<bool>,
+}
+
+impl Bitmap {
+    /// An all-background bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero width or height.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "Bitmap::new: zero dimension");
+        Bitmap {
+            width,
+            height,
+            pixels: vec![false; width * height],
+        }
+    }
+
+    /// Build by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut b = Bitmap::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                if f(x, y) {
+                    b.set(x, y, true);
+                }
+            }
+        }
+        b
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value; out-of-range coordinates read as background.
+    #[inline]
+    pub fn get(&self, x: isize, y: isize) -> bool {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return false;
+        }
+        self.pixels[y as usize * self.width + x as usize]
+    }
+
+    /// Set a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinate is out of range.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: bool) {
+        assert!(x < self.width && y < self.height, "Bitmap::set out of range");
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Number of foreground pixels.
+    pub fn count_foreground(&self) -> usize {
+        self.pixels.iter().filter(|&&p| p).count()
+    }
+
+    /// The first (topmost, then leftmost) foreground pixel, if any.
+    pub fn first_foreground(&self) -> Option<(usize, usize)> {
+        self.pixels
+            .iter()
+            .position(|&p| p)
+            .map(|i| (i % self.width, i / self.width))
+    }
+
+    /// `true` when the pixel is foreground and at least one of its 4
+    /// neighbours is background (or the image edge).
+    pub fn is_boundary(&self, x: usize, y: usize) -> bool {
+        let (xi, yi) = (x as isize, y as isize);
+        self.get(xi, yi)
+            && (!self.get(xi - 1, yi)
+                || !self.get(xi + 1, yi)
+                || !self.get(xi, yi - 1)
+                || !self.get(xi, yi + 1))
+    }
+
+    /// ASCII rendering (for debugging and examples): `#` foreground,
+    /// `.` background.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.pixels[y * self.width + x] { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut b = Bitmap::new(4, 3);
+        assert_eq!(b.width(), 4);
+        assert_eq!(b.height(), 3);
+        assert_eq!(b.count_foreground(), 0);
+        b.set(2, 1, true);
+        assert!(b.get(2, 1));
+        assert!(!b.get(1, 1));
+        assert_eq!(b.count_foreground(), 1);
+        assert_eq!(b.first_foreground(), Some((2, 1)));
+    }
+
+    #[test]
+    fn out_of_range_reads_background() {
+        let b = Bitmap::from_fn(2, 2, |_, _| true);
+        assert!(!b.get(-1, 0));
+        assert!(!b.get(0, -1));
+        assert!(!b.get(2, 0));
+        assert!(!b.get(0, 2));
+    }
+
+    #[test]
+    fn boundary_detection() {
+        // 3×3 block inside 5×5: center is interior, edges are boundary.
+        let b = Bitmap::from_fn(5, 5, |x, y| (1..=3).contains(&x) && (1..=3).contains(&y));
+        assert!(b.is_boundary(1, 1));
+        assert!(b.is_boundary(3, 2));
+        assert!(!b.is_boundary(2, 2), "interior pixel");
+        assert!(!b.is_boundary(0, 0), "background pixel");
+    }
+
+    #[test]
+    fn full_image_boundary_is_edge() {
+        let b = Bitmap::from_fn(3, 3, |_, _| true);
+        assert!(b.is_boundary(0, 0));
+        assert!(b.is_boundary(2, 2));
+        assert!(!b.is_boundary(1, 1));
+    }
+
+    #[test]
+    fn render_shape() {
+        let b = Bitmap::from_fn(3, 2, |x, y| x == y);
+        assert_eq!(b.render(), "#..\n.#.\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dimension_panics() {
+        Bitmap::new(0, 5);
+    }
+}

@@ -1,0 +1,242 @@
+//! Centroid-distance series extraction (Figure 2) and major-axis
+//! landmarking (Figure 3).
+
+use crate::bitmap::Bitmap;
+use crate::contour::{resample_contour, trace_boundary};
+use rotind_ts::TsError;
+
+/// Convert an ordered boundary point sequence to a centroid-distance
+/// series of length `n`: the contour is resampled uniformly by arc
+/// length and the distance from each sample to the boundary centroid
+/// becomes the series (Figure 2B/C).
+///
+/// # Errors
+///
+/// [`TsError::Empty`] for an empty contour.
+pub fn centroid_series(contour: &[(f64, f64)], n: usize) -> Result<Vec<f64>, TsError> {
+    if contour.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if n == 0 {
+        return Err(TsError::invalid_param("n", "must be >= 1"));
+    }
+    let cx = contour.iter().map(|p| p.0).sum::<f64>() / contour.len() as f64;
+    let cy = contour.iter().map(|p| p.1).sum::<f64>() / contour.len() as f64;
+    Ok(contour
+        .iter()
+        .map(|&(x, y)| ((x - cx).powi(2) + (y - cy).powi(2)).sqrt())
+        .collect::<Vec<f64>>())
+    .map(|d| rotind_ts::resample::resample_circular(&d, n).expect("non-empty"))
+}
+
+/// The full Figure 2 pipeline: bitmap → boundary trace → arc-length
+/// resample (at 4·n points for accuracy) → centroid-distance series of
+/// length `n`.
+///
+/// ```
+/// use rotind_shape::{bitmap::Bitmap, centroid::shape_to_series};
+/// // A filled disc: its centroid-distance series is (nearly) constant.
+/// let disc = Bitmap::from_fn(41, 41, |x, y| {
+///     let (dx, dy) = (x as f64 - 20.0, y as f64 - 20.0);
+///     dx * dx + dy * dy <= 15.0 * 15.0
+/// });
+/// let series = shape_to_series(&disc, 32).unwrap();
+/// let mean = series.iter().sum::<f64>() / 32.0;
+/// assert!(series.iter().all(|r| (r - mean).abs() / mean < 0.1));
+/// ```
+///
+/// # Errors
+///
+/// [`TsError::Empty`] when the bitmap has no foreground.
+pub fn shape_to_series(bitmap: &Bitmap, n: usize) -> Result<Vec<f64>, TsError> {
+    let contour = trace_boundary(bitmap).ok_or(TsError::Empty)?;
+    let dense = resample_contour(&contour, (4 * n).max(contour.len()));
+    centroid_series(&dense, n)
+}
+
+/// The fast direct path for parametric shapes: a radial profile `r(φ)`
+/// over uniformly spaced angles *is* a centroid-distance series when the
+/// shape is star-convex about its centre; resample to `n`.
+pub fn radial_profile_to_series(radii: &[f64], n: usize) -> Result<Vec<f64>, TsError> {
+    if radii.is_empty() {
+        return Err(TsError::Empty);
+    }
+    rotind_ts::resample::resample_circular(radii, n)
+}
+
+/// Rotate a centroid-distance series so it starts at the shape's major
+/// axis — the domain-independent landmarking of Section 2.1 that
+/// Figure 3 shows to be brittle (*"a single extra pixel can change the
+/// rotation by 90 degrees"*).
+///
+/// Treating the series as a radial profile over uniform angles, the
+/// major axis direction maximises `r(φ)² + r(φ+π)²` (the diameter
+/// through the centroid); the series is circularly shifted to start
+/// there.
+pub fn align_to_major_axis(series: &[f64]) -> Vec<f64> {
+    let n = series.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut best_shift = 0usize;
+    let mut best_diam = f64::NEG_INFINITY;
+    for s in 0..n {
+        let opposite = (s + n / 2) % n;
+        let diam = series[s] * series[s] + series[opposite] * series[opposite];
+        if diam > best_diam {
+            best_diam = diam;
+            best_shift = s;
+        }
+    }
+    rotind_ts::rotate::rotated(series, best_shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{radial_to_polygon, rasterize_polygon};
+    use rotind_ts::rotate::rotated;
+
+    #[test]
+    fn circle_gives_constant_series() {
+        let b = Bitmap::from_fn(61, 61, |x, y| {
+            let dx = x as f64 - 30.0;
+            let dy = y as f64 - 30.0;
+            dx * dx + dy * dy <= 20.0 * 20.0
+        });
+        let series = shape_to_series(&b, 64).unwrap();
+        assert_eq!(series.len(), 64);
+        let mean = rotind_ts::stats::mean(&series);
+        for &v in &series {
+            assert!((v - mean).abs() / mean < 0.06, "radius {v} vs mean {mean}");
+        }
+        assert!((mean - 20.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn star_series_has_correct_period() {
+        // A 5-lobed star's centroid profile has five peaks.
+        let radii: Vec<f64> = (0..256)
+            .map(|i| 10.0 + 3.0 * (5.0 * std::f64::consts::TAU * i as f64 / 256.0).cos())
+            .collect();
+        let poly = radial_to_polygon(&radii, 200, 0.9);
+        let b = rasterize_polygon(&poly, 200, 200);
+        let series = shape_to_series(&b, 128).unwrap();
+        let zn = rotind_ts::normalize::z_normalize(&series).unwrap();
+        // Count upward zero crossings ≈ 5.
+        let crossings = zn
+            .windows(2)
+            .filter(|w| w[0] < 0.0 && w[1] >= 0.0)
+            .count()
+            + usize::from(zn[zn.len() - 1] < 0.0 && zn[0] >= 0.0);
+        assert!(
+            (4..=6).contains(&crossings),
+            "expected ~5 lobes, saw {crossings} crossings"
+        );
+    }
+
+    #[test]
+    fn rotated_bitmap_gives_circularly_shifted_series() {
+        // Rotating the underlying shape by 90° shifts the series by n/4.
+        let radii: Vec<f64> = (0..256)
+            .map(|i| {
+                let phi = std::f64::consts::TAU * i as f64 / 256.0;
+                10.0 + 2.0 * (3.0 * phi).cos() + 1.0 * (phi).sin()
+            })
+            .collect();
+        let n = 64;
+        let s0 = {
+            let poly = radial_to_polygon(&radii, 200, 0.9);
+            shape_to_series(&rasterize_polygon(&poly, 200, 200), n).unwrap()
+        };
+        let s90 = {
+            let rot: Vec<f64> = rotated(&radii, 64); // 90° of 256 samples
+            let poly = radial_to_polygon(&rot, 200, 0.9);
+            shape_to_series(&rasterize_polygon(&poly, 200, 200), n).unwrap()
+        };
+        // s90 should match s0 circularly shifted by n/4, up to raster
+        // noise. Compare best alignment error to worst.
+        let err = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        };
+        // The boundary trace starts at a data-dependent pixel, so the two
+        // series differ by an arbitrary circular shift; what must hold is
+        // that SOME rotation aligns them far better than the worst one.
+        let best = (0..n)
+            .map(|s| err(&s0, &rotated(&s90, s)))
+            .fold(f64::INFINITY, f64::min);
+        let worst = (0..n)
+            .map(|s| err(&s0, &rotated(&s90, s)))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best < worst * 0.3, "series genuinely rotation-structured");
+    }
+
+    #[test]
+    fn direct_path_matches_bitmap_path_for_star_convex_shape() {
+        let radii: Vec<f64> = (0..512)
+            .map(|i| {
+                let phi = std::f64::consts::TAU * i as f64 / 512.0;
+                10.0 + 2.0 * (2.0 * phi).cos()
+            })
+            .collect();
+        let n = 64;
+        let direct = radial_profile_to_series(&radii, n).unwrap();
+        let poly = radial_to_polygon(&radii, 400, 0.9);
+        let raster = shape_to_series(&rasterize_polygon(&poly, 400, 400), n).unwrap();
+        // Compare z-normalised versions at the best circular alignment
+        // (the raster trace starts at an arbitrary boundary point).
+        let zd = rotind_ts::normalize::z_normalize(&direct).unwrap();
+        let zr = rotind_ts::normalize::z_normalize(&raster).unwrap();
+        let best = (0..n)
+            .map(|s| {
+                zd.iter()
+                    .zip(&rotated(&zr, s))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 0.15 * (n as f64).sqrt(), "pipelines diverge: {best}");
+    }
+
+    #[test]
+    fn major_axis_alignment_is_rotation_canonicalising() {
+        // For a clean ellipse-like profile, aligning any rotation yields
+        // the same series.
+        let series: Vec<f64> = (0..60)
+            .map(|i| 5.0 + 2.0 * (2.0 * std::f64::consts::TAU * i as f64 / 60.0).cos())
+            .collect();
+        let a = align_to_major_axis(&series);
+        let b = align_to_major_axis(&rotated(&series, 17));
+        let err: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(err < 1e-9, "canonical alignment differs: {err}");
+    }
+
+    #[test]
+    fn major_axis_alignment_is_brittle_to_a_spike() {
+        // The paper's point: one perturbed sample ("a single extra
+        // pixel") can swing the landmark by ~90°.
+        let series: Vec<f64> = (0..60)
+            .map(|i| 5.0 + 2.0 * (2.0 * std::f64::consts::TAU * i as f64 / 60.0).cos())
+            .collect();
+        let mut spiked = series.clone();
+        spiked[15] += 3.0; // spike at 90° to the true major axis
+        let clean = align_to_major_axis(&series);
+        let bent = align_to_major_axis(&spiked);
+        // The two alignments start at very different rotations.
+        let err: f64 = clean.iter().zip(&bent).map(|(x, y)| (x - y).abs()).sum();
+        assert!(err > 1.0, "spike failed to move the landmark: {err}");
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(matches!(centroid_series(&[], 8), Err(TsError::Empty)));
+        assert!(centroid_series(&[(0.0, 0.0)], 0).is_err());
+        assert!(matches!(
+            shape_to_series(&Bitmap::new(4, 4), 8),
+            Err(TsError::Empty)
+        ));
+        assert!(matches!(radial_profile_to_series(&[], 8), Err(TsError::Empty)));
+        assert!(align_to_major_axis(&[]).is_empty());
+    }
+}

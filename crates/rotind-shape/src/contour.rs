@@ -1,0 +1,226 @@
+//! Moore-neighbour boundary tracing.
+//!
+//! Extracts the outer boundary of the first foreground component as an
+//! ordered pixel sequence — the input to the centroid-distance conversion
+//! of Figure 2. Uses the Moore neighbourhood with Jacob's stopping
+//! criterion (terminate on re-entering the start pixel from the start
+//! direction), which handles one-pixel-wide appendages correctly.
+
+use crate::bitmap::Bitmap;
+
+/// Clockwise Moore neighbourhood starting from the west neighbour.
+const NEIGHBORS: [(isize, isize); 8] = [
+    (-1, 0),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (1, 0),
+    (1, 1),
+    (0, 1),
+    (-1, 1),
+];
+
+/// Trace the outer boundary of the foreground component containing the
+/// topmost-leftmost foreground pixel. Returns boundary pixels in
+/// traversal order (clockwise in image coordinates); `None` for an empty
+/// image.
+///
+/// Isolated single pixels yield a one-element contour.
+pub fn trace_boundary(bitmap: &Bitmap) -> Option<Vec<(usize, usize)>> {
+    let start = bitmap.first_foreground()?;
+    let mut contour = vec![start];
+    // Entered the start from the west (we scanned left-to-right), so
+    // begin searching from the west neighbour.
+    let mut current = start;
+    let mut backtrack_dir = 0usize; // index into NEIGHBORS pointing at the backtrack cell
+    let start_backtrack = backtrack_dir;
+
+    // An isolated pixel has no foreground neighbour: detect up front.
+    let has_neighbor = NEIGHBORS.iter().any(|&(dx, dy)| {
+        bitmap.get(current.0 as isize + dx, current.1 as isize + dy)
+    });
+    if !has_neighbor {
+        return Some(contour);
+    }
+
+    let mut first_move: Option<(usize, usize, usize)> = None; // (x, y, dir) of the first step
+    let max_steps = 4 * bitmap.width() * bitmap.height() + 8;
+    for _ in 0..max_steps {
+        // Scan the Moore neighbourhood clockwise starting just after the
+        // backtrack direction.
+        let mut found = None;
+        for k in 1..=8 {
+            let dir = (backtrack_dir + k) % 8;
+            let (dx, dy) = NEIGHBORS[dir];
+            let nx = current.0 as isize + dx;
+            let ny = current.1 as isize + dy;
+            if bitmap.get(nx, ny) {
+                found = Some((nx as usize, ny as usize, dir));
+                break;
+            }
+        }
+        let (nx, ny, dir) = found.expect("connected pixel has a neighbour");
+        // Jacob's criterion: stop when the first move repeats exactly.
+        if let Some(first) = first_move {
+            if (nx, ny, dir) == first && current == start && backtrack_dir == start_backtrack {
+                break;
+            }
+        }
+        if first_move.is_none() {
+            first_move = Some((nx, ny, dir));
+        }
+        if (nx, ny) == start && contour.len() > 1 {
+            break;
+        }
+        contour.push((nx, ny));
+        // New backtrack: the direction pointing back at the previous
+        // pixel, i.e. opposite of `dir`, then step back one so the scan
+        // resumes correctly.
+        current = (nx, ny);
+        backtrack_dir = (dir + 4) % 8;
+    }
+    Some(contour)
+}
+
+/// Arc-length–parameterised resampling of a contour to `n` points.
+///
+/// Pixel chains have anisotropic spacing (diagonal steps are √2 long);
+/// uniform arc-length sampling removes that bias before the centroid
+/// conversion.
+pub fn resample_contour(contour: &[(usize, usize)], n: usize) -> Vec<(f64, f64)> {
+    assert!(n > 0, "resample_contour: n must be >= 1");
+    if contour.is_empty() {
+        return Vec::new();
+    }
+    if contour.len() == 1 {
+        let (x, y) = contour[0];
+        return vec![(x as f64, y as f64); n];
+    }
+    let pts: Vec<(f64, f64)> = contour.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+    let m = pts.len();
+    // Cumulative arc length around the closed contour.
+    let mut cum = Vec::with_capacity(m + 1);
+    cum.push(0.0);
+    for i in 0..m {
+        let (x0, y0) = pts[i];
+        let (x1, y1) = pts[(i + 1) % m];
+        let d = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+        cum.push(cum[i] + d);
+    }
+    let total = *cum.last().expect("non-empty");
+    if total == 0.0 {
+        return vec![pts[0]; n];
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for i in 0..n {
+        let target = total * i as f64 / n as f64;
+        while seg + 1 < cum.len() - 1 && cum[seg + 1] <= target {
+            seg += 1;
+        }
+        let seg_len = cum[seg + 1] - cum[seg];
+        let t = if seg_len > 0.0 { (target - cum[seg]) / seg_len } else { 0.0 };
+        let (x0, y0) = pts[seg];
+        let (x1, y1) = pts[(seg + 1) % m];
+        out.push((x0 + t * (x1 - x0), y0 + t * (y1 - y0)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{radial_to_polygon, rasterize_polygon};
+
+    #[test]
+    fn empty_image() {
+        assert!(trace_boundary(&Bitmap::new(4, 4)).is_none());
+    }
+
+    #[test]
+    fn single_pixel() {
+        let mut b = Bitmap::new(5, 5);
+        b.set(2, 2, true);
+        assert_eq!(trace_boundary(&b).unwrap(), vec![(2, 2)]);
+    }
+
+    #[test]
+    fn square_block_boundary() {
+        // 4×4 block: boundary is the 12 edge pixels.
+        let b = Bitmap::from_fn(8, 8, |x, y| (2..6).contains(&x) && (2..6).contains(&y));
+        let contour = trace_boundary(&b).unwrap();
+        assert_eq!(contour.len(), 12, "perimeter pixels: {contour:?}");
+        // Every contour pixel is a boundary pixel; interior excluded.
+        for &(x, y) in &contour {
+            assert!(b.is_boundary(x, y), "({x},{y}) not a boundary pixel");
+        }
+        assert!(!contour.contains(&(3, 3)));
+        // Closed: consecutive pixels 8-adjacent, including wrap-around.
+        for i in 0..contour.len() {
+            let (x0, y0) = contour[i];
+            let (x1, y1) = contour[(i + 1) % contour.len()];
+            assert!(
+                (x0 as isize - x1 as isize).abs() <= 1
+                    && (y0 as isize - y1 as isize).abs() <= 1
+            );
+        }
+    }
+
+    #[test]
+    fn disc_boundary_is_roughly_circular() {
+        let b = Bitmap::from_fn(41, 41, |x, y| {
+            let dx = x as f64 - 20.0;
+            let dy = y as f64 - 20.0;
+            dx * dx + dy * dy <= 15.0 * 15.0
+        });
+        let contour = trace_boundary(&b).unwrap();
+        // Every traced pixel sits near radius 15.
+        for &(x, y) in &contour {
+            let r = ((x as f64 - 20.0).powi(2) + (y as f64 - 20.0).powi(2)).sqrt();
+            assert!((r - 15.0).abs() < 1.6, "pixel ({x},{y}) at radius {r}");
+        }
+        // Length ≈ perimeter (between 2πr·(2√2/π)≈ digital bounds).
+        assert!(contour.len() >= 60 && contour.len() <= 130, "{}", contour.len());
+    }
+
+    #[test]
+    fn traces_rasterized_star() {
+        let radii: Vec<f64> = (0..128)
+            .map(|i| 1.0 + 0.4 * ((5.0 * std::f64::consts::TAU * i as f64 / 128.0).sin()))
+            .collect();
+        let poly = radial_to_polygon(&radii, 64, 0.9);
+        let b = rasterize_polygon(&poly, 64, 64);
+        let contour = trace_boundary(&b).unwrap();
+        assert!(contour.len() > 100, "star contour length {}", contour.len());
+    }
+
+    #[test]
+    fn resample_uniform_square() {
+        let square = vec![(0usize, 0usize), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2), (0, 1)];
+        let pts = resample_contour(&square, 8);
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts[0], (0.0, 0.0));
+        // All samples on the square's edge.
+        for &(x, y) in &pts {
+            let on_edge = x.abs() < 1e-9
+                || (x - 2.0).abs() < 1e-9
+                || y.abs() < 1e-9
+                || (y - 2.0).abs() < 1e-9;
+            assert!(on_edge, "({x},{y}) off the square edge");
+        }
+    }
+
+    #[test]
+    fn resample_degenerate() {
+        assert!(resample_contour(&[], 4).is_empty());
+        let one = resample_contour(&[(3, 4)], 3);
+        assert_eq!(one, vec![(3.0, 4.0); 3]);
+    }
+
+    #[test]
+    fn resample_up_and_down() {
+        let tri = vec![(0usize, 0usize), (4, 0), (2, 3)];
+        assert_eq!(resample_contour(&tri, 30).len(), 30);
+        assert_eq!(resample_contour(&tri, 2).len(), 2);
+    }
+}

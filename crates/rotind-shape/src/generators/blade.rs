@@ -1,0 +1,189 @@
+//! Projectile-point ("arrowhead") outlines.
+//!
+//! Synthetic stand-ins for the UCR Lithic Technology Lab collection
+//! (Section 4.3, Figure 15): elongated bifaces whose classes differ in
+//! hafting morphology — the stem and notch features archaeologists
+//! type points by. The named classes are inspired by the paper's
+//! Figure 15 examples (Edwards, Langtry, Golondrina).
+
+use rand::Rng;
+use std::f64::consts::{PI, TAU};
+
+/// Projectile-point morphological classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BladeClass {
+    /// Unstemmed leaf-shaped point (Golondrina-like base).
+    Lanceolate,
+    /// Expanding stem with barbed shoulders (Edwards-like).
+    Stemmed,
+    /// Notches cut into the sides near the base (Langtry-like).
+    SideNotched,
+    /// Notches cut into the base corners.
+    BasalNotched,
+}
+
+impl BladeClass {
+    /// All classes, in label order.
+    pub const ALL: [BladeClass; 4] = [
+        BladeClass::Lanceolate,
+        BladeClass::Stemmed,
+        BladeClass::SideNotched,
+        BladeClass::BasalNotched,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BladeClass::Lanceolate => "lanceolate",
+            BladeClass::Stemmed => "stemmed",
+            BladeClass::SideNotched => "side-notched",
+            BladeClass::BasalNotched => "basal-notched",
+        }
+    }
+}
+
+/// A smooth bump `exp(−(Δφ/width)²)` centred at `center` (circular).
+fn bump(phi: f64, center: f64, width: f64) -> f64 {
+    let mut d = phi - center;
+    while d > PI {
+        d -= TAU;
+    }
+    while d < -PI {
+        d += TAU;
+    }
+    (-(d / width) * (d / width)).exp()
+}
+
+/// The radial profile of one projectile point. The tip points at
+/// `φ = 0`; the base is at `φ = π`. `rng` jitters the within-class
+/// morphology (size, elongation, feature depths) so no two points are
+/// identical.
+pub fn blade_profile(class: BladeClass, samples: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let elongation = 2.2 + rng.random_range(-0.3..0.3);
+    let width_scale = 1.0 + rng.random_range(-0.1..0.1);
+    let tip = 0.55 + rng.random_range(-0.1..0.1);
+    let tip_width = 0.28 + rng.random_range(-0.04..0.04);
+    let (stem, stem_width, notch, notch_pos, notch_width) = match class {
+        BladeClass::Lanceolate => (0.0, 0.3, 0.0, 0.0, 0.2),
+        BladeClass::Stemmed => (
+            0.45 + rng.random_range(-0.08..0.08),
+            0.35 + rng.random_range(-0.05..0.05),
+            0.0,
+            0.0,
+            0.2,
+        ),
+        BladeClass::SideNotched => (
+            0.0,
+            0.3,
+            0.5 + rng.random_range(-0.08..0.08),
+            0.62 * PI,
+            0.16 + rng.random_range(-0.02..0.02),
+        ),
+        BladeClass::BasalNotched => (
+            0.0,
+            0.3,
+            0.55 + rng.random_range(-0.08..0.08),
+            0.88 * PI,
+            0.14 + rng.random_range(-0.02..0.02),
+        ),
+    };
+    (0..samples)
+        .map(|i| {
+            let phi = TAU * i as f64 / samples as f64;
+            // Elongated ellipse: long axis toward the tip.
+            let c = phi.cos() / elongation;
+            let s = phi.sin() / width_scale;
+            let mut r = 1.0 / (c * c + s * s).sqrt().max(1e-6);
+            r = r.min(3.5);
+            // Sharp tip at φ = 0.
+            r += tip * bump(phi, 0.0, tip_width) * elongation;
+            // Stem: a protrusion at the base (φ = π).
+            r += stem * bump(phi, PI, stem_width);
+            // Notches: symmetric dips.
+            r -= notch * (bump(phi, notch_pos, notch_width) + bump(phi, -notch_pos, notch_width));
+            r.max(0.1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn profiles_are_valid() {
+        for class in BladeClass::ALL {
+            let p = blade_profile(class, 251, &mut rng(1));
+            assert_eq!(p.len(), 251);
+            assert!(p.iter().all(|r| r.is_finite() && *r > 0.0), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn tip_is_the_global_maximum_region() {
+        for class in BladeClass::ALL {
+            let p = blade_profile(class, 360, &mut rng(7));
+            let max_idx = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            // Tip at φ=0 → index near 0 or near 359.
+            assert!(
+                !(25..=335).contains(&max_idx),
+                "{class:?}: max at {max_idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn side_notched_dips_relative_to_lanceolate() {
+        // At the notch angle, the side-notched profile must dip below a
+        // same-seed lanceolate (jitter aside).
+        let notched = blade_profile(BladeClass::SideNotched, 360, &mut rng(3));
+        let plain = blade_profile(BladeClass::Lanceolate, 360, &mut rng(3));
+        let idx = (0.62 * 180.0) as usize; // φ = 0.62π in 360 samples
+        assert!(
+            notched[idx] < plain[idx] - 0.1,
+            "notch missing: {} vs {}",
+            notched[idx],
+            plain[idx]
+        );
+    }
+
+    #[test]
+    fn stemmed_protrudes_at_base() {
+        let stemmed = blade_profile(BladeClass::Stemmed, 360, &mut rng(5));
+        let plain = blade_profile(BladeClass::Lanceolate, 360, &mut rng(5));
+        assert!(
+            stemmed[180] > plain[180] + 0.1,
+            "stem missing: {} vs {}",
+            stemmed[180],
+            plain[180]
+        );
+    }
+
+    #[test]
+    fn jitter_makes_instances_distinct_but_similar() {
+        let a = blade_profile(BladeClass::Stemmed, 251, &mut rng(10));
+        let b = blade_profile(BladeClass::Stemmed, 251, &mut rng(11));
+        let c = blade_profile(BladeClass::SideNotched, 251, &mut rng(10));
+        let d = |x: &[f64], y: &[f64]| -> f64 {
+            x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+        };
+        let within = d(&a, &b);
+        let between = d(&a, &c);
+        assert!(within > 1e-6, "instances must differ");
+        assert!(
+            between > within,
+            "between-class {between} should exceed within-class {within}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Lepidoptera outlines with articulated wings (Figure 18).
+//!
+//! Three species presets mirror the paper's articulation experiment:
+//! two very similar *Actias* moths and the unrelated *Chorinea amazon*.
+//! [`bend_hindwing`] applies the "randomly tweaked hindwing" distortion;
+//! the experiment checks that centroid-distance matching still pairs
+//! each bent copy with its original.
+
+use crate::generators::warp::bend_window;
+use rand::Rng;
+use std::f64::consts::{PI, TAU};
+
+/// Butterfly/moth outline parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ButterflyParams {
+    /// Forewing length.
+    pub forewing: f64,
+    /// Hindwing length.
+    pub hindwing: f64,
+    /// Hindwing tail extension (the long *Actias* tails).
+    pub tail: f64,
+    /// Wing lobe angular width.
+    pub lobe_width: f64,
+    /// Body radius.
+    pub body: f64,
+}
+
+/// A named species preset.
+#[derive(Debug, Clone, Copy)]
+pub struct ButterflySpecies {
+    /// Display name.
+    pub name: &'static str,
+    /// Outline parameters.
+    pub params: ButterflyParams,
+}
+
+/// The three Lepidoptera of the Figure 18 articulation experiment.
+pub const LEPIDOPTERA: [ButterflySpecies; 3] = [
+    ButterflySpecies {
+        name: "Actias maenas",
+        params: ButterflyParams { forewing: 1.0, hindwing: 0.8, tail: 0.9, lobe_width: 0.30, body: 0.45 },
+    },
+    ButterflySpecies {
+        name: "Actias philippinica",
+        params: ButterflyParams { forewing: 0.90, hindwing: 0.73, tail: 0.78, lobe_width: 0.33, body: 0.46 },
+    },
+    ButterflySpecies {
+        name: "Chorinea amazon",
+        params: ButterflyParams { forewing: 0.7, hindwing: 0.5, tail: 0.35, lobe_width: 0.18, body: 0.35 },
+    },
+];
+
+fn bump(phi: f64, center: f64, width: f64) -> f64 {
+    let mut d = phi - center;
+    while d > PI {
+        d -= TAU;
+    }
+    while d < -PI {
+        d += TAU;
+    }
+    (-(d / width) * (d / width)).exp()
+}
+
+/// Angular centre of the right hindwing lobe (the one Figure 18 bends).
+pub const RIGHT_HINDWING_CENTER: f64 = -0.35 * PI;
+
+/// The radial outline of one specimen: body disc plus four wing lobes
+/// (forewings up-left/up-right, hindwings down-left/down-right) and
+/// optional hindwing tails. `jitter` scales within-species variation.
+pub fn butterfly_profile(
+    params: &ButterflyParams,
+    samples: usize,
+    jitter: f64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let mut v = |scale: f64| -> f64 {
+        if jitter == 0.0 {
+            0.0
+        } else {
+            rng.random_range(-1.0..1.0) * scale * jitter
+        }
+    };
+    let fw = params.forewing + v(0.05);
+    let hw = params.hindwing + v(0.05);
+    let tail = params.tail + v(0.05);
+    let lw = params.lobe_width + v(0.02);
+    let body = params.body + v(0.02);
+    (0..samples)
+        .map(|i| {
+            let phi = TAU * i as f64 / samples as f64;
+            let mut r = body;
+            // Forewings sweep upward (+y): lobes at 0.25π and 0.75π.
+            r += fw * (bump(phi, 0.25 * PI, lw) + bump(phi, 0.75 * PI, lw));
+            // Hindwings sweep downward: lobes at −0.35π and −0.65π.
+            r += hw * (bump(phi, RIGHT_HINDWING_CENTER, lw) + bump(phi, -0.65 * PI, lw));
+            // Tails: narrow spikes below the hindwings.
+            r += tail * (bump(phi, -0.45 * PI, 0.07) + bump(phi, -0.55 * PI, 0.07));
+            r.max(0.05)
+        })
+        .collect()
+}
+
+/// Bend the right hindwing: a local articulation distortion confined to
+/// the hindwing's angular window, leaving the rest of the outline
+/// untouched (the grey-highlighted "tweak" of Figure 18).
+pub fn bend_hindwing(profile: &[f64], amount: f64) -> Vec<f64> {
+    // The window covers the smooth outer hindwing lobe but stops short of
+    // the razor-thin tail spikes at −0.45π/−0.55π: bending a 3-sample
+    // spike would be a tear, not an articulation.
+    bend_window(profile, (-0.28 * PI).rem_euclid(TAU), 0.22 * PI, amount)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    fn nominal(i: usize, samples: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(0);
+        butterfly_profile(&LEPIDOPTERA[i].params, samples, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn profiles_valid() {
+        for i in 0..3 {
+            let p = nominal(i, 256);
+            assert_eq!(p.len(), 256);
+            assert!(p.iter().all(|r| r.is_finite() && *r > 0.0));
+        }
+    }
+
+    #[test]
+    fn actias_pair_is_closer_than_chorinea() {
+        let maenas = nominal(0, 256);
+        let philippinica = nominal(1, 256);
+        let chorinea = nominal(2, 256);
+        assert!(euclid(&maenas, &philippinica) < euclid(&maenas, &chorinea));
+        assert!(euclid(&maenas, &philippinica) < euclid(&philippinica, &chorinea));
+    }
+
+    #[test]
+    fn bend_is_local_and_mild() {
+        let p = nominal(0, 256);
+        let bent = bend_hindwing(&p, 0.35);
+        assert_eq!(bent.len(), p.len());
+        let changed = p
+            .iter()
+            .zip(&bent)
+            .filter(|(a, b)| (*a - *b).abs() > 1e-9)
+            .count();
+        assert!(changed > 0, "bend must change something");
+        assert!(
+            changed < p.len() / 3,
+            "bend must stay local: {changed}/{} samples changed",
+            p.len()
+        );
+        // Articulation preserves identity: the bent copy stays far closer
+        // to its original than to the other Actias.
+        let other = nominal(1, 256);
+        assert!(euclid(&bent, &p) < euclid(&bent, &other));
+    }
+
+    #[test]
+    fn zero_bend_is_identity() {
+        let p = nominal(2, 128);
+        assert_eq!(bend_hindwing(&p, 0.0), p);
+    }
+
+    #[test]
+    fn wings_dominate_body() {
+        let p = nominal(0, 360);
+        // Forewing lobe at 0.25π (index 45 of 360).
+        assert!(p[45] > LEPIDOPTERA[0].params.body + 0.5);
+    }
+
+}

@@ -1,0 +1,17 @@
+//! Parametric shape families.
+//!
+//! These generators stand in for the paper's image collections (the
+//! substitution is documented in `DESIGN.md` §4): each produces a
+//! *radial profile* `r(φ)` over uniformly spaced angles — which, for a
+//! star-convex shape, is exactly the Figure-2 centroid-distance series —
+//! that downstream code perturbs, warps, rotates and normalises into
+//! labelled datasets.
+
+pub mod blade;
+pub mod butterfly;
+pub mod polygon;
+pub mod skull;
+pub mod superformula;
+pub mod warp;
+
+pub use superformula::superformula;

@@ -1,0 +1,148 @@
+//! Regular and star polygon radial profiles.
+//!
+//! Simple geometric families used by tests and examples (the "gadget"
+//! end of the shape spectrum): exact radial profiles of regular `k`-gons
+//! and of star polygons with alternating outer/inner radii.
+
+use std::f64::consts::{PI, TAU};
+
+/// Radial profile of a regular `k`-gon with circumradius `r`, sampled at
+/// `samples` uniform angles. Derived in closed form: within each edge
+/// sector the boundary is a chord at apothem distance `r·cos(π/k)`.
+///
+/// # Panics
+///
+/// Panics for `k < 3` or non-positive `r`.
+pub fn regular_polygon(k: usize, r: f64, samples: usize) -> Vec<f64> {
+    assert!(k >= 3, "regular_polygon: need at least 3 vertices");
+    assert!(r > 0.0, "regular_polygon: radius must be positive");
+    let sector = TAU / k as f64;
+    let apothem = r * (PI / k as f64).cos();
+    (0..samples)
+        .map(|i| {
+            let phi = TAU * i as f64 / samples as f64;
+            // Angle within the current sector, centred on the edge midpoint.
+            let local = (phi + sector / 2.0).rem_euclid(sector) - sector / 2.0;
+            apothem / local.cos()
+        })
+        .collect()
+}
+
+/// Radial profile of a `{k}`-pointed star: vertices alternate between
+/// `outer` and `inner` radii, edges are straight chords between
+/// consecutive vertices.
+///
+/// # Panics
+///
+/// Panics for `k < 2` or non-positive/inverted radii.
+pub fn star_polygon(k: usize, outer: f64, inner: f64, samples: usize) -> Vec<f64> {
+    assert!(k >= 2, "star_polygon: need at least 2 points");
+    assert!(
+        outer > 0.0 && inner > 0.0 && inner <= outer,
+        "star_polygon: need 0 < inner <= outer"
+    );
+    // 2k vertices alternating outer/inner.
+    let m = 2 * k;
+    let verts: Vec<(f64, f64)> = (0..m)
+        .map(|v| {
+            let r = if v % 2 == 0 { outer } else { inner };
+            let a = TAU * v as f64 / m as f64;
+            (r * a.cos(), r * a.sin())
+        })
+        .collect();
+    (0..samples)
+        .map(|i| {
+            let phi = TAU * i as f64 / samples as f64;
+            // Find the edge sector containing phi and intersect the ray
+            // with that chord.
+            let sector = TAU / m as f64;
+            let e = ((phi / sector).floor() as usize) % m;
+            let (x0, y0) = verts[e];
+            let (x1, y1) = verts[(e + 1) % m];
+            // Ray (cos phi, sin phi)·t intersects segment (x0,y0)-(x1,y1):
+            // solve t·d × (p1-p0) alignment via 2×2 system.
+            let (dx, dy) = (phi.cos(), phi.sin());
+            let (ex, ey) = (x1 - x0, y1 - y0);
+            let det = dx * (-ey) - dy * (-ex);
+            if det.abs() < 1e-12 {
+                return (x0 * x0 + y0 * y0).sqrt();
+            }
+            let t = (x0 * (-ey) - y0 * (-ex)) / det;
+            t.max(1e-9)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_polygon_vertices_and_apothem() {
+        // Square with circumradius √2: radius at 45° (vertex) is √2,
+        // at 0° (edge midpoint) is the apothem 1.
+        let p = regular_polygon(4, 2f64.sqrt(), 360);
+        assert!((p[45] - 2f64.sqrt()).abs() < 1e-3, "vertex: {}", p[45]);
+        assert!((p[0] - 1.0).abs() < 1e-9, "apothem: {}", p[0]);
+        assert!((p[90] - 2f64.sqrt()).abs() < 1e-2 || (p[135] - 2f64.sqrt()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn regular_polygon_symmetry() {
+        let k = 6;
+        let samples = 360;
+        let p = regular_polygon(k, 1.0, samples);
+        let period = samples / k;
+        for i in 0..samples {
+            let j = (i + period) % samples;
+            assert!((p[i] - p[j]).abs() < 1e-9, "six-fold symmetry at {i}");
+        }
+    }
+
+    #[test]
+    fn many_sided_polygon_approaches_circle() {
+        let p = regular_polygon(64, 1.0, 256);
+        for &r in &p {
+            assert!((r - 1.0).abs() < 0.005, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn star_polygon_alternates() {
+        let p = star_polygon(5, 2.0, 1.0, 720);
+        // Outer vertex at phi = 0, inner vertex at phi = 36°.
+        assert!((p[0] - 2.0).abs() < 1e-6);
+        assert!((p[72] - 1.0).abs() < 1e-2, "inner vertex: {}", p[72]);
+        // Profile stays within [inner·cos-ish, outer].
+        assert!(p.iter().all(|&r| r > 0.3 && r <= 2.0 + 1e-9));
+        // Five-fold symmetry.
+        for i in 0..720 {
+            let j = (i + 144) % 720;
+            assert!((p[i] - p[j]).abs() < 1e-6, "five-fold symmetry at {i}");
+        }
+    }
+
+    #[test]
+    fn star_with_equal_radii_is_regular_polygon() {
+        // The star's vertex 0 is at φ = 0 while the regular polygon is
+        // edge-centred at φ = 0: the profiles differ by half a sector
+        // (22.5° = 45 samples of 720).
+        let star = star_polygon(4, 1.5, 1.5, 720);
+        let poly = rotind_ts::rotate::rotated(&regular_polygon(8, 1.5, 720), 720 - 45);
+        for (i, (a, b)) in star.iter().zip(&poly).enumerate() {
+            assert!((a - b).abs() < 1e-6, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn regular_polygon_rejects_degenerate() {
+        regular_polygon(2, 1.0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner <= outer")]
+    fn star_rejects_inverted_radii() {
+        star_polygon(5, 1.0, 2.0, 16);
+    }
+}

@@ -1,0 +1,189 @@
+//! Synthetic skull lateral/superior profiles for the clustering
+//! "sanity check" experiments (Figures 3, 16 and 17).
+//!
+//! Each species is a parameter set controlling braincase doming,
+//! brow-ridge prominence, snout prognathism and jaw depth; specimens of
+//! one species share parameters up to jitter, so group-average
+//! clustering should pair them — the success criterion of Figure 16.
+
+use rand::Rng;
+use std::f64::consts::{PI, TAU};
+
+/// Parameters of a skull profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkullParams {
+    /// Braincase height (dome bump at the top, φ ≈ π/2).
+    pub braincase: f64,
+    /// Brow-ridge prominence (bump just forward of the dome).
+    pub brow: f64,
+    /// Snout/prognathism (elongation toward φ = 0).
+    pub snout: f64,
+    /// Jaw depth (bump below, φ ≈ −π/3).
+    pub jaw: f64,
+    /// Overall elongation of the cranial vault.
+    pub elongation: f64,
+}
+
+/// A named species preset with a taxonomic group tag (used to colour the
+/// Figure 16/17 subtrees).
+#[derive(Debug, Clone, Copy)]
+pub struct Species {
+    /// Display name.
+    pub name: &'static str,
+    /// Taxonomic group (subtrees of the reference dendrogram).
+    pub group: &'static str,
+    /// Profile parameters.
+    pub params: SkullParams,
+}
+
+/// The eight primate specimens of Figure 16 (four taxa × two specimens;
+/// juveniles and the Skhul V ancestor get their own parameter nudges).
+pub const PRIMATES: [Species; 8] = [
+    Species { name: "Human", group: "Homo", params: SkullParams { braincase: 1.00, brow: 0.05, snout: 0.10, jaw: 0.35, elongation: 1.00 } },
+    Species { name: "Human ancestor (Skhul V)", group: "Homo", params: SkullParams { braincase: 0.90, brow: 0.22, snout: 0.18, jaw: 0.38, elongation: 1.05 } },
+    Species { name: "Orangutan", group: "Pongo", params: SkullParams { braincase: 0.55, brow: 0.28, snout: 0.65, jaw: 0.55, elongation: 1.30 } },
+    Species { name: "Orangutan (juvenile)", group: "Pongo", params: SkullParams { braincase: 0.65, brow: 0.18, snout: 0.50, jaw: 0.48, elongation: 1.22 } },
+    Species { name: "Red Howler Monkey", group: "Alouatta", params: SkullParams { braincase: 0.40, brow: 0.12, snout: 0.45, jaw: 0.80, elongation: 1.15 } },
+    Species { name: "Mantled Howler Monkey", group: "Alouatta", params: SkullParams { braincase: 0.42, brow: 0.13, snout: 0.43, jaw: 0.78, elongation: 1.17 } },
+    Species { name: "De Brazza monkey", group: "Cercopithecus", params: SkullParams { braincase: 0.60, brow: 0.15, snout: 0.30, jaw: 0.50, elongation: 1.05 } },
+    Species { name: "De Brazza monkey (juvenile)", group: "Cercopithecus", params: SkullParams { braincase: 0.68, brow: 0.10, snout: 0.24, jaw: 0.45, elongation: 1.00 } },
+];
+
+/// The three primate skulls of the Figure 3 landmark-brittleness
+/// demonstration: two congeneric owl monkeys and an orangutan.
+pub const FIGURE3_TRIO: [Species; 3] = [
+    Species { name: "Northern Gray-Necked Owl Monkey", group: "Aotus", params: SkullParams { braincase: 0.50, brow: 0.08, snout: 0.25, jaw: 0.55, elongation: 1.08 } },
+    Species { name: "Owl Monkey (species unknown)", group: "Aotus", params: SkullParams { braincase: 0.52, brow: 0.09, snout: 0.27, jaw: 0.57, elongation: 1.10 } },
+    Species { name: "Orangutan", group: "Pongo", params: SkullParams { braincase: 0.55, brow: 0.28, snout: 0.65, jaw: 0.55, elongation: 1.30 } },
+];
+
+/// The fourteen reptile specimens of Figure 17, grouped as in the paper
+/// (horned lizards, crocodylians, turtles, a night lizard and a worm
+/// lizard).
+pub const REPTILES: [Species; 14] = [
+    Species { name: "Phrynosoma mcallii", group: "Iguania", params: SkullParams { braincase: 0.35, brow: 0.55, snout: 0.25, jaw: 0.30, elongation: 0.95 } },
+    Species { name: "Phrynosoma ditmarsi", group: "Iguania", params: SkullParams { braincase: 0.38, brow: 0.60, snout: 0.22, jaw: 0.30, elongation: 0.92 } },
+    Species { name: "Phrynosoma taurus", group: "Iguania", params: SkullParams { braincase: 0.36, brow: 0.63, snout: 0.24, jaw: 0.31, elongation: 0.94 } },
+    Species { name: "Phrynosoma douglassii", group: "Iguania", params: SkullParams { braincase: 0.37, brow: 0.58, snout: 0.23, jaw: 0.29, elongation: 0.93 } },
+    Species { name: "Phrynosoma hernandesi", group: "Iguania", params: SkullParams { braincase: 0.37, brow: 0.59, snout: 0.23, jaw: 0.30, elongation: 0.93 } },
+    Species { name: "Alligator mississippiensis", group: "Alligatorinae", params: SkullParams { braincase: 0.18, brow: 0.10, snout: 1.10, jaw: 0.25, elongation: 1.75 } },
+    Species { name: "Caiman crocodilus", group: "Alligatorinae", params: SkullParams { braincase: 0.20, brow: 0.12, snout: 1.00, jaw: 0.26, elongation: 1.70 } },
+    Species { name: "Crocodylus cataphractus", group: "Crocodylidae", params: SkullParams { braincase: 0.15, brow: 0.08, snout: 1.35, jaw: 0.22, elongation: 1.95 } },
+    Species { name: "Tomistoma schlegelii", group: "Crocodylidae", params: SkullParams { braincase: 0.14, brow: 0.07, snout: 1.45, jaw: 0.21, elongation: 2.00 } },
+    Species { name: "Crocodylus johnstoni", group: "Crocodylidae", params: SkullParams { braincase: 0.16, brow: 0.08, snout: 1.30, jaw: 0.23, elongation: 1.90 } },
+    Species { name: "Elseya dentata", group: "Chelonia", params: SkullParams { braincase: 0.55, brow: 0.05, snout: 0.18, jaw: 0.40, elongation: 1.05 } },
+    Species { name: "Glyptemys muhlenbergii", group: "Chelonia", params: SkullParams { braincase: 0.58, brow: 0.05, snout: 0.16, jaw: 0.42, elongation: 1.03 } },
+    Species { name: "Xantusia vigilis", group: "Squamata-other", params: SkullParams { braincase: 0.45, brow: 0.10, snout: 0.35, jaw: 0.35, elongation: 1.12 } },
+    Species { name: "Cricosaura typica", group: "Squamata-other", params: SkullParams { braincase: 0.44, brow: 0.11, snout: 0.37, jaw: 0.36, elongation: 1.13 } },
+];
+
+fn bump(phi: f64, center: f64, width: f64) -> f64 {
+    let mut d = phi - center;
+    while d > PI {
+        d -= TAU;
+    }
+    while d < -PI {
+        d += TAU;
+    }
+    (-(d / width) * (d / width)).exp()
+}
+
+/// The radial profile of one skull specimen; `jitter` (0 for the nominal
+/// specimen) scales random within-species variation.
+pub fn skull_profile(
+    params: &SkullParams,
+    samples: usize,
+    jitter: f64,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let j = |rng: &mut dyn rand::RngCore, scale: f64| -> f64 {
+        if jitter == 0.0 {
+            0.0
+        } else {
+            let r = rng;
+            r.random_range(-1.0..1.0) * scale * jitter
+        }
+    };
+    let braincase = params.braincase + j(rng, 0.06);
+    let brow = params.brow + j(rng, 0.04);
+    let snout = params.snout + j(rng, 0.06);
+    let jaw = params.jaw + j(rng, 0.05);
+    let elongation = params.elongation + j(rng, 0.05);
+    (0..samples)
+        .map(|i| {
+            let phi = TAU * i as f64 / samples as f64;
+            // Base cranial ellipse (snout direction = φ = 0).
+            let c = phi.cos() / elongation;
+            let s = phi.sin();
+            let mut r = 1.0 / (c * c + s * s).sqrt().max(1e-6);
+            r = r.min(3.0);
+            // Braincase dome on top.
+            r += braincase * bump(phi, 0.5 * PI, 0.55);
+            // Brow ridge between dome and snout.
+            r += brow * bump(phi, 0.22 * PI, 0.18);
+            // Snout protrusion.
+            r += snout * bump(phi, 0.0, 0.30);
+            // Jaw below.
+            r += jaw * bump(phi, -0.3 * PI, 0.35);
+            r.max(0.1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn profiles_valid_for_all_presets() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for sp in PRIMATES.iter().chain(REPTILES.iter()).chain(FIGURE3_TRIO.iter()) {
+            let p = skull_profile(&sp.params, 128, 1.0, &mut rng);
+            assert_eq!(p.len(), 128);
+            assert!(p.iter().all(|r| r.is_finite() && *r > 0.0), "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(999);
+        let a = skull_profile(&PRIMATES[0].params, 64, 0.0, &mut r1);
+        let b = skull_profile(&PRIMATES[0].params, 64, 0.0, &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congeners_are_nearer_than_distant_taxa() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Two howler monkeys vs an orangutan.
+        let howler_red = skull_profile(&PRIMATES[4].params, 128, 0.3, &mut rng);
+        let howler_mantled = skull_profile(&PRIMATES[5].params, 128, 0.3, &mut rng);
+        let orangutan = skull_profile(&PRIMATES[2].params, 128, 0.3, &mut rng);
+        assert!(euclid(&howler_red, &howler_mantled) < euclid(&howler_red, &orangutan));
+    }
+
+    #[test]
+    fn crocodylians_have_long_snouts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let croc = skull_profile(&REPTILES[7].params, 360, 0.0, &mut rng);
+        let turtle = skull_profile(&REPTILES[10].params, 360, 0.0, &mut rng);
+        // Radius at the snout (φ=0) dominates for the crocodile.
+        assert!(croc[0] > turtle[0] + 0.5);
+    }
+
+    #[test]
+    fn brow_ridge_distinguishes_skhul_from_modern_human() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let human = skull_profile(&PRIMATES[0].params, 360, 0.0, &mut rng);
+        let skhul = skull_profile(&PRIMATES[1].params, 360, 0.0, &mut rng);
+        let brow_idx = (0.22 * 180.0) as usize; // φ = 0.22π
+        assert!(skhul[brow_idx] > human[brow_idx]);
+    }
+}

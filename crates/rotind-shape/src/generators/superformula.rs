@@ -1,0 +1,121 @@
+//! The Gielis superformula — a compact parametric family spanning
+//! organic and geometric outlines (leaves, diatoms, starfish, polygons),
+//! used to synthesise class-structured shape datasets.
+
+use std::f64::consts::TAU;
+
+/// Parameters of the superformula
+/// `r(φ) = (|cos(mφ/4)/a|^{n₂} + |sin(mφ/4)/b|^{n₃})^{−1/n₁}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Superformula {
+    /// Rotational symmetry parameter (number of lobes ≈ `m`).
+    pub m: f64,
+    /// Overall exponent (smaller → spikier).
+    pub n1: f64,
+    /// Cosine-term exponent.
+    pub n2: f64,
+    /// Sine-term exponent.
+    pub n3: f64,
+    /// Cosine-term scale.
+    pub a: f64,
+    /// Sine-term scale.
+    pub b: f64,
+}
+
+impl Superformula {
+    /// A named parameter set.
+    pub const fn new(m: f64, n1: f64, n2: f64, n3: f64) -> Self {
+        Superformula {
+            m,
+            n1,
+            n2,
+            n3,
+            a: 1.0,
+            b: 1.0,
+        }
+    }
+
+    /// Radius at angle `phi`; clamped into `[0.05, 20]` to keep
+    /// degenerate parameter draws usable.
+    pub fn radius(&self, phi: f64) -> f64 {
+        let t = self.m * phi / 4.0;
+        let term1 = (t.cos() / self.a).abs().powf(self.n2);
+        let term2 = (t.sin() / self.b).abs().powf(self.n3);
+        let sum = term1 + term2;
+        if sum <= 0.0 || !sum.is_finite() {
+            return 1.0;
+        }
+        sum.powf(-1.0 / self.n1).clamp(0.05, 20.0)
+    }
+
+    /// The radial profile over `samples` uniformly spaced angles.
+    pub fn profile(&self, samples: usize) -> Vec<f64> {
+        (0..samples)
+            .map(|i| self.radius(TAU * i as f64 / samples as f64))
+            .collect()
+    }
+}
+
+/// Convenience wrapper: the profile of a plain parameter tuple.
+///
+/// ```
+/// use rotind_shape::generators::superformula;
+/// let star = superformula(5.0, 2.0, 7.0, 7.0, 128);
+/// assert_eq!(star.len(), 128);
+/// assert!(star.iter().all(|r| r.is_finite() && *r > 0.0));
+/// ```
+pub fn superformula(m: f64, n1: f64, n2: f64, n3: f64, samples: usize) -> Vec<f64> {
+    Superformula::new(m, n1, n2, n3).profile(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_for_trivial_params() {
+        // m = 0 → constant radius 2^{-1/n1} · a terms... with n2=n3=2,
+        // a=b=1: r = (cos²+sin²)^{-1/n1} at t=0 → both terms constant.
+        let sf = Superformula::new(0.0, 2.0, 2.0, 2.0);
+        let p = sf.profile(32);
+        let first = p[0];
+        assert!(p.iter().all(|&r| (r - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn symmetry_matches_m() {
+        // m = 4 with equal exponents → profile has period n/4.
+        let p = superformula(4.0, 6.0, 6.0, 6.0, 64);
+        for i in 0..64 {
+            let j = (i + 16) % 64;
+            assert!((p[i] - p[j]).abs() < 1e-9, "period violated at {i}");
+        }
+    }
+
+    #[test]
+    fn profiles_differ_across_parameters() {
+        let a = superformula(5.0, 2.0, 7.0, 7.0, 64);
+        let b = superformula(3.0, 1.0, 4.0, 4.0, 64);
+        let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.5, "distinct parameters should differ: {diff}");
+    }
+
+    #[test]
+    fn values_always_positive_finite() {
+        for &(m, n1, n2, n3) in &[
+            (7.0, 0.2, 1.7, 1.7),
+            (2.0, 1.0, 4.0, 8.0),
+            (19.0, 9.0, 9.0, 9.0),
+            (6.0, 0.1, 0.1, 0.1),
+        ] {
+            let p = superformula(m, n1, n2, n3, 128);
+            assert!(p.iter().all(|r| r.is_finite() && *r > 0.0), "{m} {n1} {n2} {n3}");
+        }
+    }
+
+    #[test]
+    fn profile_length() {
+        assert_eq!(superformula(3.0, 1.0, 1.0, 1.0, 251).len(), 251);
+        assert!(superformula(3.0, 1.0, 1.0, 1.0, 0).is_empty());
+    }
+}

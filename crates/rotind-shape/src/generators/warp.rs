@@ -1,0 +1,262 @@
+//! Shared perturbations: Gaussian noise, smooth circular warps, random
+//! rotations.
+//!
+//! The smooth warp shifts *where* boundary features fall without changing
+//! their shape much — exactly the local misalignment that motivates DTW
+//! (Figure 11: the Lowland Gorilla's larger braincase moves the brow
+//! ridge and jaw within the series).
+
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// A standard-normal sample via Box–Muller (the `rand` crate alone ships
+/// no Gaussian distribution).
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// Add i.i.d. Gaussian noise with standard deviation `sigma`.
+pub fn add_noise(series: &mut [f64], sigma: f64, rng: &mut impl Rng) {
+    if sigma <= 0.0 {
+        return;
+    }
+    for v in series.iter_mut() {
+        *v += sigma * gaussian(rng);
+    }
+}
+
+/// Smoothly warp a circular series: sample position `i` reads from the
+/// circular position `i + amplitude·n/TAU·sin(cycles·φ_i + phase)`,
+/// linearly interpolated. `amplitude` is in radians of angular
+/// displacement; small values (≤ 0.15) keep the warp locally invertible.
+pub fn smooth_circular_warp(series: &[f64], amplitude: f64, cycles: f64, phase: f64) -> Vec<f64> {
+    let n = series.len();
+    if n == 0 || amplitude == 0.0 {
+        return series.to_vec();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|i| {
+            let phi = TAU * i as f64 / nf;
+            let displaced = i as f64 + amplitude * nf / TAU * (cycles * phi + phase).sin();
+            circular_lerp(series, displaced)
+        })
+        .collect()
+}
+
+/// Warp only an angular window `[center − width/2, center + width/2]`
+/// (radians), bending features inside it by up to `amount` of the window
+/// width while leaving the rest of the boundary untouched — the
+/// "bent hindwing" articulation of Figure 18.
+pub fn bend_window(
+    series: &[f64],
+    center: f64,
+    width: f64,
+    amount: f64,
+) -> Vec<f64> {
+    let n = series.len();
+    if n == 0 || amount == 0.0 || width <= 0.0 {
+        return series.to_vec();
+    }
+    let nf = n as f64;
+    (0..n)
+        .map(|i| {
+            let phi = TAU * i as f64 / nf;
+            // Signed angular distance to the window centre in (−π, π].
+            let mut delta = phi - center;
+            while delta > std::f64::consts::PI {
+                delta -= TAU;
+            }
+            while delta <= -std::f64::consts::PI {
+                delta += TAU;
+            }
+            let t = delta / (width / 2.0);
+            if t.abs() >= 1.0 {
+                return series[i];
+            }
+            // Smooth bump (1−t²)² keeps the warp C¹ at the window edge.
+            let bump = (1.0 - t * t).powi(2);
+            let displaced = i as f64 + amount * (width / 2.0) * nf / TAU * bump * t.signum();
+            circular_lerp(series, displaced)
+        })
+        .collect()
+}
+
+/// Circular moving-average smoothing with window half-width `radius`
+/// (window size `2·radius + 1`). Real centroid-distance series are
+/// band-limited by rasterisation and contour resampling; synthetic
+/// profiles with sample-scale spikes decorrelate under any angular
+/// perturbation unless similarly smoothed.
+pub fn smooth_circular(series: &[f64], radius: usize) -> Vec<f64> {
+    let n = series.len();
+    if n == 0 || radius == 0 {
+        return series.to_vec();
+    }
+    let w = (2 * radius + 1) as f64;
+    (0..n)
+        .map(|i| {
+            let mut acc = 0.0;
+            for d in 0..=2 * radius {
+                let idx = (i + n + d - radius) % n;
+                acc += series[idx];
+            }
+            acc / w
+        })
+        .collect()
+}
+
+/// Linear interpolation at a fractional circular position.
+fn circular_lerp(series: &[f64], pos: f64) -> f64 {
+    let n = series.len() as f64;
+    let wrapped = pos.rem_euclid(n);
+    let lo = wrapped.floor() as usize % series.len();
+    let hi = (lo + 1) % series.len();
+    let t = wrapped - wrapped.floor();
+    series[lo] + t * (series[hi] - series[lo])
+}
+
+/// Rotate by a uniformly random shift, returning the shift used.
+pub fn random_rotation(series: &[f64], rng: &mut impl Rng) -> (Vec<f64>, usize) {
+    let n = series.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let shift = rng.random_range(0..n);
+    (rotind_ts::rotate::rotated(series, shift), shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20000).map(|_| gaussian(&mut r)).collect();
+        let mean = rotind_ts::stats::mean(&samples);
+        let std = rotind_ts::stats::std_dev(&samples);
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((std - 1.0).abs() < 0.03, "std {std}");
+    }
+
+    #[test]
+    fn noise_changes_values_zero_sigma_does_not() {
+        let mut r = rng();
+        let mut a = vec![1.0; 32];
+        add_noise(&mut a, 0.0, &mut r);
+        assert_eq!(a, vec![1.0; 32]);
+        add_noise(&mut a, 0.5, &mut r);
+        assert!(a.iter().any(|&v| (v - 1.0).abs() > 1e-6));
+    }
+
+    #[test]
+    fn warp_preserves_mean_roughly_and_zero_amplitude_exactly() {
+        let series: Vec<f64> = (0..64).map(|i| (TAU * i as f64 / 64.0).sin()).collect();
+        assert_eq!(smooth_circular_warp(&series, 0.0, 2.0, 0.3), series);
+        let warped = smooth_circular_warp(&series, 0.1, 2.0, 0.3);
+        assert_eq!(warped.len(), 64);
+        assert!(
+            (rotind_ts::stats::mean(&warped) - rotind_ts::stats::mean(&series)).abs() < 0.05
+        );
+        // Values stay within the original range (interpolation).
+        let lo = rotind_ts::stats::min(&series) - 1e-9;
+        let hi = rotind_ts::stats::max(&series) + 1e-9;
+        assert!(warped.iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn warp_moves_the_peak() {
+        let mut series = vec![0.0; 64];
+        series[16] = 1.0;
+        series[15] = 0.5;
+        series[17] = 0.5;
+        let warped = smooth_circular_warp(&series, 0.12, 1.0, 0.0);
+        let orig_peak = 16;
+        let new_peak = warped
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_ne!(orig_peak, new_peak, "peak should move under the warp");
+    }
+
+    #[test]
+    fn bend_window_is_local() {
+        let series: Vec<f64> = (0..128)
+            .map(|i| (3.0 * TAU * i as f64 / 128.0).sin())
+            .collect();
+        let center = TAU * 0.25;
+        let width = TAU * 0.2;
+        let bent = bend_window(&series, center, width, 0.6);
+        for i in 0..128 {
+            let phi = TAU * i as f64 / 128.0;
+            let mut delta = phi - center;
+            while delta > std::f64::consts::PI {
+                delta -= TAU;
+            }
+            if delta.abs() > width / 2.0 + 1e-9 {
+                assert_eq!(bent[i], series[i], "sample {i} outside window changed");
+            }
+        }
+        assert_ne!(bent, series, "window itself must change");
+    }
+
+    #[test]
+    fn smooth_circular_basics() {
+        // radius 0 is the identity; empty input stays empty.
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(smooth_circular(&xs, 0), xs.to_vec());
+        assert!(smooth_circular(&[], 2).is_empty());
+        // A constant series is a fixed point.
+        assert_eq!(smooth_circular(&[2.0; 6], 2), vec![2.0; 6]);
+    }
+
+    #[test]
+    fn smooth_circular_is_a_circular_moving_average() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let sm = smooth_circular(&xs, 1);
+        // Window 3, wrapping: position 0 averages {4, 1, 2}.
+        assert!((sm[0] - 7.0 / 3.0).abs() < 1e-12);
+        assert!((sm[1] - 2.0).abs() < 1e-12);
+        assert!((sm[3] - (3.0 + 4.0 + 1.0) / 3.0).abs() < 1e-12);
+        // Mean is preserved exactly.
+        assert!(
+            (rotind_ts::stats::mean(&sm) - rotind_ts::stats::mean(&xs)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn smooth_circular_commutes_with_rotation() {
+        let xs: Vec<f64> = (0..32).map(|i| ((i * i) % 11) as f64).collect();
+        let a = smooth_circular(&rotind_ts::rotate::rotated(&xs, 7), 2);
+        let b = rotind_ts::rotate::rotated(&smooth_circular(&xs, 2), 7);
+        assert!(rotind_ts::stats::approx_eq_slices(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn smooth_circular_reduces_spikes() {
+        let mut xs = vec![0.0; 16];
+        xs[8] = 16.0;
+        let sm = smooth_circular(&xs, 1);
+        assert!(sm[8] < xs[8]);
+        assert!((sm.iter().sum::<f64>() - 16.0).abs() < 1e-9, "mass preserved");
+    }
+
+    #[test]
+    fn random_rotation_is_a_rotation() {
+        let mut r = rng();
+        let series: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let (rot, shift) = random_rotation(&series, &mut r);
+        assert_eq!(rot, rotind_ts::rotate::rotated(&series, shift));
+        assert!(shift < 40);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rotind-shape — the shape substrate
+//!
+//! The paper's Figure 2 pipeline: a 2-D shape bitmap is boundary-traced,
+//! the distance from every boundary point to the shape centroid becomes a
+//! time series of length `n`, and rotating the shape becomes circularly
+//! shifting the series. This crate implements that pipeline from scratch
+//! and provides the synthetic datasets that stand in for the paper's
+//! image collections (see `DESIGN.md` §4 for the substitution rationale):
+//!
+//! * [`bitmap`] — a monochrome raster;
+//! * [`poly`] — polygon scan-line rasterisation;
+//! * [`contour`] — Moore-neighbour boundary tracing;
+//! * [`centroid`] — centroid-distance series extraction (bitmap pipeline
+//!   and the fast direct-polygon path), plus major-axis landmarking for
+//!   the Figure 3 brittleness demonstration;
+//! * [`generators`] — parametric shape families: superformula organisms,
+//!   projectile-point blades, primate/reptile skull profiles, butterflies
+//!   with articulated wings;
+//! * [`dataset`] — labelled datasets mirroring the paper's ten Table-8
+//!   collections, the 16,000-item projectile-point database and the
+//!   heterogeneous database.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod centroid;
+pub mod contour;
+pub mod dataset;
+pub mod generators;
+pub mod poly;
+
+pub use bitmap::Bitmap;
+pub use dataset::Dataset;

@@ -1,0 +1,133 @@
+//! Polygon scan-line rasterisation.
+
+use crate::bitmap::Bitmap;
+
+/// Rasterise a closed polygon (vertices in order, implicitly closed)
+/// into a bitmap of the given size using even–odd scan-line filling.
+/// Vertex coordinates are in pixel units.
+pub fn rasterize_polygon(vertices: &[(f64, f64)], width: usize, height: usize) -> Bitmap {
+    let mut bitmap = Bitmap::new(width, height);
+    if vertices.len() < 3 {
+        return bitmap;
+    }
+    let m = vertices.len();
+    for y in 0..height {
+        // Sample at the pixel centre.
+        let yc = y as f64 + 0.5;
+        let mut crossings: Vec<f64> = Vec::new();
+        for i in 0..m {
+            let (x0, y0) = vertices[i];
+            let (x1, y1) = vertices[(i + 1) % m];
+            // Half-open rule avoids double-counting shared vertices.
+            if (y0 <= yc && y1 > yc) || (y1 <= yc && y0 > yc) {
+                let t = (yc - y0) / (y1 - y0);
+                crossings.push(x0 + t * (x1 - x0));
+            }
+        }
+        crossings.sort_by(f64::total_cmp);
+        for pair in crossings.chunks_exact(2) {
+            let start = pair[0].ceil().max(0.0) as usize;
+            let end = pair[1].floor().min(width as f64 - 1.0);
+            if end < 0.0 {
+                continue;
+            }
+            for x in start..=end as usize {
+                if (x as f64 + 0.5) >= pair[0] && (x as f64 + 0.5) <= pair[1] {
+                    bitmap.set(x, y, true);
+                }
+            }
+        }
+    }
+    bitmap
+}
+
+/// Convert a radial profile `r(φ)` (uniformly sampled angles, counter-
+/// clockwise from the positive x-axis) into polygon vertices centred in a
+/// `size × size` image and scaled so the largest radius fills `fill` of
+/// the half-width.
+pub fn radial_to_polygon(radii: &[f64], size: usize, fill: f64) -> Vec<(f64, f64)> {
+    let n = radii.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_r = radii.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+    let c = size as f64 / 2.0;
+    let scale = c * fill / max_r;
+    (0..n)
+        .map(|i| {
+            let phi = std::f64::consts::TAU * i as f64 / n as f64;
+            let r = radii[i].max(0.0) * scale;
+            (c + r * phi.cos(), c + r * phi.sin())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_a_square() {
+        let square = [(2.0, 2.0), (8.0, 2.0), (8.0, 8.0), (2.0, 8.0)];
+        let b = rasterize_polygon(&square, 10, 10);
+        assert!(b.get(5, 5));
+        assert!(b.get(2, 2));
+        assert!(!b.get(0, 0));
+        assert!(!b.get(9, 9));
+        // Area ≈ 36 pixels.
+        let area = b.count_foreground();
+        assert!((30..=42).contains(&area), "area {area}");
+    }
+
+    #[test]
+    fn triangle_orientation_irrelevant() {
+        let cw = [(5.0, 1.0), (1.0, 9.0), (9.0, 9.0)];
+        let ccw = [(5.0, 1.0), (9.0, 9.0), (1.0, 9.0)];
+        let a = rasterize_polygon(&cw, 11, 11);
+        let b = rasterize_polygon(&ccw, 11, 11);
+        assert_eq!(a, b);
+        assert!(a.get(5, 6));
+    }
+
+    #[test]
+    fn degenerate_polygon_is_empty() {
+        assert_eq!(rasterize_polygon(&[], 4, 4).count_foreground(), 0);
+        assert_eq!(
+            rasterize_polygon(&[(1.0, 1.0), (2.0, 2.0)], 4, 4).count_foreground(),
+            0
+        );
+    }
+
+    #[test]
+    fn radial_circle_is_roundish() {
+        let radii = vec![1.0; 64];
+        let poly = radial_to_polygon(&radii, 32, 0.9);
+        let b = rasterize_polygon(&poly, 32, 32);
+        let area = b.count_foreground() as f64;
+        // Circle radius ≈ 14.4 → area ≈ 651.
+        let expected = std::f64::consts::PI * 14.4 * 14.4;
+        assert!((area - expected).abs() / expected < 0.1, "area {area}");
+        assert!(b.get(16, 16), "centre filled");
+    }
+
+    #[test]
+    fn radial_scaling_fills_requested_fraction() {
+        let radii = vec![2.0; 16];
+        let poly = radial_to_polygon(&radii, 100, 0.5);
+        // Max extent from centre should be ≈ 25.
+        let max_dx = poly
+            .iter()
+            .map(|&(x, _)| (x - 50.0).abs())
+            .fold(f64::MIN, f64::max);
+        assert!((max_dx - 25.0).abs() < 1.0, "max_dx {max_dx}");
+    }
+
+    #[test]
+    fn polygon_outside_canvas_is_clipped() {
+        let poly = [(-10.0, -10.0), (5.0, -10.0), (5.0, 5.0), (-10.0, 5.0)];
+        let b = rasterize_polygon(&poly, 8, 8);
+        assert!(b.get(0, 0));
+        assert!(b.get(4, 4));
+        assert!(!b.get(6, 6));
+    }
+}

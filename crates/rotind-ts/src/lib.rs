@@ -1,0 +1,44 @@
+//! # rotind-ts — time-series substrate
+//!
+//! Foundation types for the `rotind` rotation-invariant shape-indexing
+//! library (a reproduction of Keogh et al., *LB_Keogh Supports Exact
+//! Indexing of Shapes under Rotation Invariance*, VLDB 2006).
+//!
+//! Shapes are matched in a one-dimensional representation: the boundary of
+//! a shape is converted to a *time series* of length `n` (e.g. the distance
+//! from every boundary point to the shape centroid, Figure 2 of the paper).
+//! Rotating the shape corresponds to *circularly shifting* the series, so
+//! everything downstream — distance measures, envelopes, wedges, indexes —
+//! operates on plain `&[f64]` slices and the rotation utilities defined
+//! here.
+//!
+//! The crate provides:
+//!
+//! * [`TimeSeries`] — a validated, immutable series of finite `f64` samples;
+//! * [`StepCounter`] — the paper's `num_steps` accounting (real-value
+//!   subtractions), the implementation-free cost metric used in every
+//!   efficiency experiment (Figures 19–23);
+//! * [`rotate`] — circular shifts, mirror images and the conceptual `n × n`
+//!   rotation matrix **C** of Section 3, exposed as a zero-copy view;
+//! * [`normalize`] — offset/scale invariance via z-normalization;
+//! * [`resample`] — length harmonisation by linear interpolation;
+//! * [`stats`] — small numeric helpers shared across the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod error;
+pub mod normalize;
+pub mod resample;
+pub mod rotate;
+pub mod series;
+pub mod stats;
+
+pub use counter::StepCounter;
+pub use error::TsError;
+pub use rotate::{mirror, rotated, RotationMatrix};
+pub use series::TimeSeries;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TsError>;

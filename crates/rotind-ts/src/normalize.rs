@@ -1,0 +1,121 @@
+//! Offset and scale invariance via normalization.
+//!
+//! The paper (Section 1, Figure 1) treats offset and scale distortions as
+//! "relatively easy to handle ... in the representation of the data": both
+//! are removed by z-normalizing the centroid-distance series before any
+//! matching. Rotation is the *only* invariance that needs the wedge
+//! machinery; these helpers provide the rest.
+
+use crate::error::TsError;
+use crate::stats;
+use crate::Result;
+
+/// Smallest standard deviation accepted by [`z_normalize`]; below this a
+/// series is considered constant and [`TsError::ZeroVariance`] is returned.
+pub const MIN_STD: f64 = 1e-12;
+
+/// Z-normalize: subtract the mean, divide by the (population) standard
+/// deviation. The result has mean 0 and standard deviation 1, making
+/// Euclidean comparisons offset- and scale-invariant.
+///
+/// ```
+/// use rotind_ts::normalize::z_normalize;
+/// let z = z_normalize(&[2.0, 4.0, 6.0]).unwrap();
+/// let scaled = z_normalize(&[20.0, 40.0, 60.0]).unwrap(); // same shape
+/// assert_eq!(z, scaled);
+/// ```
+///
+/// # Errors
+///
+/// [`TsError::Empty`] for empty input; [`TsError::ZeroVariance`] when the
+/// series is (numerically) constant.
+pub fn z_normalize(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let m = stats::mean(xs);
+    let s = stats::std_dev(xs);
+    if s < MIN_STD {
+        return Err(TsError::ZeroVariance);
+    }
+    Ok(xs.iter().map(|x| (x - m) / s).collect())
+}
+
+/// Z-normalize, mapping a constant series to all-zeros instead of failing.
+///
+/// Dataset pipelines use this form: a degenerate (constant) synthetic
+/// outline should not abort a 16,000-object generation run.
+pub fn z_normalize_lossy(xs: &[f64]) -> Vec<f64> {
+    match z_normalize(xs) {
+        Ok(v) => v,
+        Err(_) => vec![0.0; xs.len()],
+    }
+}
+
+/// Scale into `[0, 1]` by min-max normalization. A constant series maps to
+/// all-zeros.
+pub fn min_max_normalize(xs: &[f64]) -> Vec<f64> {
+    let lo = stats::min(xs);
+    let hi = stats::max(xs);
+    let range = hi - lo;
+    if !range.is_finite() || range <= 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| (x - lo) / range).collect()
+}
+
+/// Remove only the mean (offset invariance without scale invariance).
+pub fn mean_center(xs: &[f64]) -> Vec<f64> {
+    let m = stats::mean(xs);
+    xs.iter().map(|x| x - m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_normalize_basic() {
+        let z = z_normalize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((stats::mean(&z)).abs() < 1e-12);
+        assert!((stats::std_dev(&z) - 1.0).abs() < 1e-12);
+        assert!((z[0] - (-1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_normalize_is_shift_scale_invariant() {
+        let xs = [1.0, 3.0, 2.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 * x + 100.0).collect();
+        let zx = z_normalize(&xs).unwrap();
+        let zy = z_normalize(&ys).unwrap();
+        assert!(stats::approx_eq_slices(&zx, &zy, 1e-12));
+    }
+
+    #[test]
+    fn z_normalize_errors() {
+        assert_eq!(z_normalize(&[]).unwrap_err(), TsError::Empty);
+        assert_eq!(
+            z_normalize(&[3.0, 3.0, 3.0]).unwrap_err(),
+            TsError::ZeroVariance
+        );
+    }
+
+    #[test]
+    fn lossy_maps_constant_to_zero() {
+        assert_eq!(z_normalize_lossy(&[5.0, 5.0]), vec![0.0, 0.0]);
+        let z = z_normalize_lossy(&[1.0, 2.0, 3.0]);
+        assert!((stats::mean(&z)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_basic() {
+        assert_eq!(min_max_normalize(&[2.0, 4.0, 6.0]), vec![0.0, 0.5, 1.0]);
+        assert_eq!(min_max_normalize(&[3.0, 3.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_center_basic() {
+        let c = mean_center(&[1.0, 2.0, 3.0]);
+        assert_eq!(c, vec![-1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Length harmonisation by linear interpolation.
+//!
+//! Shape boundaries produce series whose raw length depends on the pixel
+//! count of the traced contour; all distance measures here require equal
+//! lengths, so contours are resampled to a canonical `n` (the paper uses
+//! 251 for projectile points and 1,024 for the heterogeneous data).
+//!
+//! Two flavours are provided: [`resample_linear`] treats the series as an
+//! open curve (endpoints pinned), while [`resample_circular`] treats it as
+//! a closed boundary (sample `n` wraps to sample `0`), which is the correct
+//! model for centroid-distance profiles of closed shapes.
+
+use crate::error::TsError;
+use crate::Result;
+
+/// Resample an *open* series to `target_len` samples by linear
+/// interpolation, pinning first and last samples.
+pub fn resample_linear(xs: &[f64], target_len: usize) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if target_len == 0 {
+        return Err(TsError::invalid_param("target_len", "must be >= 1"));
+    }
+    let n = xs.len();
+    if n == 1 {
+        return Ok(vec![xs[0]; target_len]);
+    }
+    if target_len == 1 {
+        return Ok(vec![xs[0]]);
+    }
+    let scale = (n - 1) as f64 / (target_len - 1) as f64;
+    let mut out = Vec::with_capacity(target_len);
+    for i in 0..target_len {
+        let pos = i as f64 * scale;
+        let lo = pos.floor() as usize;
+        if lo >= n - 1 {
+            out.push(xs[n - 1]);
+        } else {
+            let frac = pos - lo as f64;
+            out.push(xs[lo] + frac * (xs[lo + 1] - xs[lo]));
+        }
+    }
+    Ok(out)
+}
+
+/// Resample a *closed* (circular) series to `target_len` samples.
+///
+/// The series is interpreted as periodic: position `n` coincides with
+/// position `0`. Sample `i` of the output is taken at circular position
+/// `i · n / target_len`.
+///
+/// ```
+/// use rotind_ts::resample::resample_circular;
+/// // Upsampling a closed square wave interpolates across the wrap.
+/// let up = resample_circular(&[0.0, 10.0], 4).unwrap();
+/// assert_eq!(up, vec![0.0, 5.0, 10.0, 5.0]);
+/// ```
+pub fn resample_circular(xs: &[f64], target_len: usize) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if target_len == 0 {
+        return Err(TsError::invalid_param("target_len", "must be >= 1"));
+    }
+    let n = xs.len();
+    let scale = n as f64 / target_len as f64;
+    let mut out = Vec::with_capacity(target_len);
+    for i in 0..target_len {
+        let pos = i as f64 * scale;
+        let lo = pos.floor() as usize % n;
+        let hi = (lo + 1) % n;
+        let frac = pos - pos.floor();
+        out.push(xs[lo] + frac * (xs[hi] - xs[lo]));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::approx_eq_slices;
+
+    #[test]
+    fn linear_identity() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(resample_linear(&xs, 4).unwrap(), xs.to_vec());
+    }
+
+    #[test]
+    fn linear_upsample_midpoints() {
+        let xs = [0.0, 2.0];
+        let up = resample_linear(&xs, 3).unwrap();
+        assert!(approx_eq_slices(&up, &[0.0, 1.0, 2.0], 1e-12));
+    }
+
+    #[test]
+    fn linear_downsample_pins_endpoints() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let down = resample_linear(&xs, 10).unwrap();
+        assert_eq!(down.len(), 10);
+        assert_eq!(down[0], 0.0);
+        assert_eq!(down[9], 99.0);
+    }
+
+    #[test]
+    fn linear_edge_cases() {
+        assert!(matches!(resample_linear(&[], 5), Err(TsError::Empty)));
+        assert!(resample_linear(&[1.0], 0).is_err());
+        assert_eq!(resample_linear(&[7.0], 3).unwrap(), vec![7.0; 3]);
+        assert_eq!(resample_linear(&[1.0, 9.0], 1).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn circular_identity() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx_eq_slices(
+            &resample_circular(&xs, 4).unwrap(),
+            &xs,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn circular_upsample_wraps() {
+        // Closing segment interpolates between last and first samples.
+        let xs = [0.0, 10.0];
+        let up = resample_circular(&xs, 4).unwrap();
+        assert!(approx_eq_slices(&up, &[0.0, 5.0, 10.0, 5.0], 1e-12));
+    }
+
+    #[test]
+    fn circular_preserves_rotation_structure() {
+        // Resampling then rotating by k*target/n == rotating by k then
+        // resampling, when the ratio is integral.
+        let xs: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+        let a = crate::rotate::rotated(&resample_circular(&xs, 16).unwrap(), 4);
+        let b = resample_circular(&crate::rotate::rotated(&xs, 2), 16).unwrap();
+        assert!(approx_eq_slices(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn circular_edge_cases() {
+        assert!(matches!(resample_circular(&[], 5), Err(TsError::Empty)));
+        assert!(resample_circular(&[1.0], 0).is_err());
+        assert_eq!(resample_circular(&[7.0], 3).unwrap(), vec![7.0; 3]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The validated [`TimeSeries`] type.
+
+use crate::error::TsError;
+use crate::Result;
+
+/// An immutable time series of finite `f64` samples.
+///
+/// This is the canonical representation of a shape boundary (or a star
+/// light curve) throughout the workspace. Construction validates that the
+/// series is non-empty and contains no NaN/infinite samples, so downstream
+/// numeric code never needs to re-check.
+///
+/// `TimeSeries` dereferences to `[f64]`, and most algorithms accept plain
+/// `&[f64]` so callers can also work with raw slices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Box<[f64]>,
+}
+
+impl TimeSeries {
+    /// Build a series from raw samples, validating finiteness.
+    ///
+    /// # Errors
+    ///
+    /// [`TsError::Empty`] if `values` is empty; [`TsError::NonFinite`] if
+    /// any sample is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(TsError::Empty);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(TsError::NonFinite { index });
+        }
+        Ok(TimeSeries {
+            values: values.into_boxed_slice(),
+        })
+    }
+
+    /// Build from a slice by copying.
+    pub fn from_slice(values: &[f64]) -> Result<Self> {
+        Self::new(values.to_vec())
+    }
+
+    /// Number of samples `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the series has no samples (never true for a constructed
+    /// `TimeSeries`; present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Samples as a slice.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume and return the boxed samples.
+    pub fn into_inner(self) -> Box<[f64]> {
+        self.values
+    }
+}
+
+impl std::ops::Deref for TimeSeries {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    #[inline]
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl TryFrom<Vec<f64>> for TimeSeries {
+    type Error = TsError;
+
+    fn try_from(values: Vec<f64>) -> Result<Self> {
+        TimeSeries::new(values)
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(TimeSeries::new(vec![]).unwrap_err(), TsError::Empty);
+        assert_eq!(
+            TimeSeries::new(vec![1.0, f64::NAN]).unwrap_err(),
+            TsError::NonFinite { index: 1 }
+        );
+        assert_eq!(
+            TimeSeries::new(vec![f64::INFINITY]).unwrap_err(),
+            TsError::NonFinite { index: 0 }
+        );
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn deref_and_as_ref() {
+        let ts = TimeSeries::new(vec![1.0, 2.0]).unwrap();
+        assert_eq!(&ts[..], &[1.0, 2.0]);
+        let slice: &[f64] = ts.as_ref();
+        assert_eq!(slice.iter().sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn try_from_and_into_inner() {
+        let ts: TimeSeries = vec![4.0, 5.0].try_into().unwrap();
+        assert_eq!(ts.into_inner().as_ref(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn from_slice_copies() {
+        let data = [1.0, 2.0, 3.0];
+        let ts = TimeSeries::from_slice(&data).unwrap();
+        assert_eq!(ts.values(), &data);
+    }
+
+    #[test]
+    fn iterates_by_reference() {
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let total: f64 = (&ts).into_iter().sum();
+        assert_eq!(total, 6.0);
+    }
+}

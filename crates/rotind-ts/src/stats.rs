@@ -1,0 +1,127 @@
+//! Small numeric helpers shared across the workspace.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0.0 for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum sample; NaN-free input is assumed. Returns +∞ for empty input.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum sample; NaN-free input is assumed. Returns −∞ for empty input.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Sum of squares `Σ x_i²`.
+pub fn sum_sq(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum()
+}
+
+/// Dot product of two equal-length slices (panics in debug on mismatch).
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `true` when `a` and `b` differ by at most `tol` in every coordinate.
+pub fn approx_eq_slices(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+/// Ordinary least-squares slope and intercept of `y` on `x`.
+///
+/// Used by the scaling experiment to fit the paper's empirical `O(n^1.06)`
+/// exponent on log-log data. Returns `(slope, intercept)`; requires at
+/// least two points and non-constant `x`, else returns `(0.0, mean(y))`.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "linear_fit: length mismatch");
+    if x.len() < 2 {
+        return (0.0, mean(y));
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxx += (xi - mx) * (xi - mx);
+        sxy += (xi - mx) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return (0.0, my);
+    }
+    let slope = sxy / sxx;
+    (slope, my - slope * mx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+        assert_eq!(sum_sq(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max_sumsq_dot() {
+        let xs = [3.0, -1.0, 4.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 4.0);
+        assert_eq!(sum_sq(&xs), 26.0);
+        assert_eq!(dot(&xs, &[1.0, 2.0, 3.0]), 13.0);
+    }
+
+    #[test]
+    fn approx_eq() {
+        assert!(approx_eq_slices(&[1.0, 2.0], &[1.0 + 1e-12, 2.0], 1e-9));
+        assert!(!approx_eq_slices(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq_slices(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 2x + 1
+        let (slope, intercept) = linear_fit(&x, &y);
+        assert!((slope - 2.0).abs() < 1e-12);
+        assert!((intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert_eq!(linear_fit(&[1.0], &[5.0]), (0.0, 5.0));
+        assert_eq!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]), (0.0, 2.0));
+    }
+}

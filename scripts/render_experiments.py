@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md from the prose template and results/*.csv.
+
+Usage: python3 scripts/render_experiments.py
+Reads  scripts/EXPERIMENTS.template.md, replaces each line of the form
+`{{csv:NAME}}` with the contents of results/NAME.csv rendered as a
+markdown table, and writes EXPERIMENTS.md at the repo root.
+"""
+import csv
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+TEMPLATE = ROOT / "scripts" / "EXPERIMENTS.template.md"
+RESULTS = ROOT / "results"
+OUT = ROOT / "EXPERIMENTS.md"
+
+
+def md_table(path: pathlib.Path) -> str:
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    if not rows:
+        return f"*(empty: {path.name})*"
+    out = ["| " + " | ".join(rows[0]) + " |",
+           "|" + "|".join("---" for _ in rows[0]) + "|"]
+    for row in rows[1:]:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def main() -> int:
+    text = TEMPLATE.read_text()
+    missing = []
+    lines = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("{{csv:") and stripped.endswith("}}"):
+            name = stripped[len("{{csv:"):-2]
+            path = RESULTS / f"{name}.csv"
+            if path.exists():
+                lines.append(md_table(path))
+            else:
+                missing.append(name)
+                lines.append(f"*(pending: run the `{name}` binary)*")
+        else:
+            lines.append(line)
+    OUT.write_text("\n".join(lines) + "\n")
+    if missing:
+        print(f"WARNING: missing results for: {', '.join(missing)}")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+//! Property tests over the data generators: every synthetic family must
+//! produce valid profiles for arbitrary seeds, and the dataset plumbing
+//! (subsample, resample, labels) must preserve its invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rotind::lightcurve::dataset::light_curves;
+use rotind::shape::dataset as shapes;
+use rotind::shape::generators::blade::{blade_profile, BladeClass};
+use rotind::shape::generators::butterfly::{butterfly_profile, LEPIDOPTERA};
+use rotind::shape::generators::polygon::{regular_polygon, star_polygon};
+use rotind::shape::generators::skull::{skull_profile, PRIMATES, REPTILES};
+use rotind::shape::generators::superformula::Superformula;
+
+fn valid_profile(p: &[f64]) -> bool {
+    !p.is_empty() && p.iter().all(|r| r.is_finite() && *r > 0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blade_profiles_always_valid(seed in 0u64..10_000, class_idx in 0usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = blade_profile(BladeClass::ALL[class_idx], 128, &mut rng);
+        prop_assert!(valid_profile(&p));
+    }
+
+    #[test]
+    fn skull_profiles_always_valid(seed in 0u64..10_000, jitter in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sp in PRIMATES.iter().chain(REPTILES.iter()) {
+            let p = skull_profile(&sp.params, 96, jitter, &mut rng);
+            prop_assert!(valid_profile(&p), "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn butterfly_profiles_always_valid(seed in 0u64..10_000, jitter in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sp in &LEPIDOPTERA {
+            let p = butterfly_profile(&sp.params, 96, jitter, &mut rng);
+            prop_assert!(valid_profile(&p), "{}", sp.name);
+        }
+    }
+
+    #[test]
+    fn superformula_valid_over_parameter_box(
+        m in 0.0f64..12.0,
+        n1 in 0.1f64..6.0,
+        n2 in 0.1f64..8.0,
+        n3 in 0.1f64..8.0,
+    ) {
+        let p = Superformula::new(m, n1, n2, n3).profile(64);
+        prop_assert!(valid_profile(&p));
+    }
+
+    #[test]
+    fn polygons_valid(k in 3usize..24, r in 0.2f64..5.0) {
+        prop_assert!(valid_profile(&regular_polygon(k, r, 128)));
+        prop_assert!(valid_profile(&star_polygon(k, r, r * 0.5, 128)));
+    }
+
+    #[test]
+    fn projectile_dataset_invariants(m in 2usize..40, seed in 0u64..500) {
+        let ds = shapes::projectile_points(m, 64, seed);
+        prop_assert!(ds.validate());
+        prop_assert_eq!(ds.len(), m);
+        // z-normalised (or degenerate-zero) items.
+        for s in &ds.items {
+            let mean = rotind::ts::stats::mean(s);
+            prop_assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn subsample_preserves_label_semantics(keep in 1usize..60, seed in 0u64..100) {
+        let ds = light_curves(60, 32, 5);
+        let sub = ds.subsample(keep, seed);
+        prop_assert_eq!(sub.len(), keep.min(60));
+        prop_assert!(sub.validate());
+        // Every subsampled item exists in the original with the same label.
+        for (item, &label) in sub.items.iter().zip(&sub.labels) {
+            let found = ds
+                .items
+                .iter()
+                .zip(&ds.labels)
+                .any(|(orig, &l)| l == label && orig == item);
+            prop_assert!(found, "subsampled item lost its identity");
+        }
+    }
+
+    #[test]
+    fn resample_changes_only_length(n in 8usize..200) {
+        let ds = shapes::aircraft(3).subsample(14, 1);
+        let r = ds.resampled(n);
+        prop_assert_eq!(r.series_len(), n);
+        prop_assert_eq!(r.len(), ds.len());
+        prop_assert_eq!(r.labels, ds.labels);
+    }
+}
