@@ -40,7 +40,13 @@ fn bench_distances(c: &mut Criterion) {
     group.bench_function("dtw_r5_ea_tight/251", |bench| {
         bench.iter(|| {
             let mut s = StepCounter::new();
-            dtw_early_abandon(black_box(&q), black_box(&ca), DtwParams::new(5), 0.5, &mut s)
+            dtw_early_abandon(
+                black_box(&q),
+                black_box(&ca),
+                DtwParams::new(5),
+                0.5,
+                &mut s,
+            )
         })
     });
     group.bench_function("lcss/251", |bench| {

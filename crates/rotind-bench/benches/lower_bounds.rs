@@ -2,12 +2,12 @@
 //! representations.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rotind_distance::lcss::LcssParams;
 use rotind_envelope::lb_keogh::{lb_keogh, lb_keogh_early_abandon, lcss_distance_lower_bound};
 use rotind_envelope::{Wedge, WedgeTree};
 use rotind_fft::lower_bound::magnitude_distance;
 use rotind_fft::magnitude_features;
 use rotind_index::reduced::{Paa, PaaEnvelope};
-use rotind_distance::lcss::LcssParams;
 use rotind_ts::rotate::RotationMatrix;
 use rotind_ts::StepCounter;
 use std::hint::black_box;

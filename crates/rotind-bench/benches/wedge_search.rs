@@ -42,7 +42,9 @@ fn bench_search(c: &mut Criterion) {
                 .with_k_policy(KPolicy::Fixed(k));
             b.iter(|| {
                 let mut s = StepCounter::new();
-                engine.nearest_with_steps(black_box(&db), &mut s).expect("valid")
+                engine
+                    .nearest_with_steps(black_box(&db), &mut s)
+                    .expect("valid")
             })
         });
     }
@@ -50,7 +52,9 @@ fn bench_search(c: &mut Criterion) {
         let engine = RotationQuery::new(&query, Invariance::Rotation).expect("valid");
         b.iter(|| {
             let mut s = StepCounter::new();
-            engine.nearest_with_steps(black_box(&db), &mut s).expect("valid")
+            engine
+                .nearest_with_steps(black_box(&db), &mut s)
+                .expect("valid")
         })
     });
 

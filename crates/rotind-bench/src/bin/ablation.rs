@@ -40,7 +40,9 @@ fn main() {
                 .expect("valid query")
                 .with_k_policy(policy);
             let mut counter = StepCounter::new();
-            engine.nearest_with_steps(&db, &mut counter).expect("valid db");
+            engine
+                .nearest_with_steps(&db, &mut counter)
+                .expect("valid db");
             total += counter.steps();
         }
         total / queries.len() as u64
@@ -69,17 +71,12 @@ fn main() {
         let k = 16.min(n);
         let mut total = 0u64;
         for q in &queries {
-            let tree = WedgeTree::build(
-                RotationMatrix::full(q).expect("valid"),
-                linkage,
-                0,
-            );
+            let tree = WedgeTree::build(RotationMatrix::full(q).expect("valid"), linkage, 0);
             let cut = tree.cut_nodes(k);
             let mut counter = StepCounter::new();
             let mut bsf = f64::INFINITY;
             for item in &db {
-                if let Some(o) = h_merge(item, &tree, &cut, bsf, Measure::Euclidean, &mut counter)
-                {
+                if let Some(o) = h_merge(item, &tree, &cut, bsf, Measure::Euclidean, &mut counter) {
                     bsf = o.distance;
                 }
             }
@@ -141,10 +138,16 @@ fn main() {
         )
         .expect("valid query");
         let mut counter = StepCounter::new();
-        engine.nearest_with_steps(&db, &mut counter).expect("valid db");
+        engine
+            .nearest_with_steps(&db, &mut counter)
+            .expect("valid db");
         w_table.push_row([
             band.to_string(),
-            fmt_ratio(if base_lb > 0.0 { mean_lb / base_lb } else { 0.0 }),
+            fmt_ratio(if base_lb > 0.0 {
+                mean_lb / base_lb
+            } else {
+                0.0
+            }),
             counter.steps().to_string(),
         ]);
     }
@@ -159,14 +162,20 @@ fn main() {
                 .expect("valid query")
                 .with_probe_intervals(intervals);
             let mut counter = StepCounter::new();
-            engine.nearest_with_steps(&db, &mut counter).expect("valid db");
+            engine
+                .nearest_with_steps(&db, &mut counter)
+                .expect("valid db");
             total += counter.steps();
         }
         total / queries.len() as u64
     };
     let reference = run_intervals(5);
     for intervals in [1usize, 3, 5, 10, 20] {
-        let steps = if intervals == 5 { reference } else { run_intervals(intervals) };
+        let steps = if intervals == 5 {
+            reference
+        } else {
+            run_intervals(intervals)
+        };
         p_table.push_row([
             intervals.to_string(),
             steps.to_string(),

@@ -4,18 +4,32 @@ use rotind_index::engine::{Invariance, RotationQuery};
 fn main() {
     let ds = rotind_shape::dataset::osu_leaf(20060904);
     let sub = ds.subsample(60, 4);
-    for (name, m) in [("ED", Measure::Euclidean), ("DTW3", Measure::Dtw(DtwParams::new(3))), ("DTW7", Measure::Dtw(DtwParams::new(7)))] {
+    for (name, m) in [
+        ("ED", Measure::Euclidean),
+        ("DTW3", Measure::Dtw(DtwParams::new(3))),
+        ("DTW7", Measure::Dtw(DtwParams::new(7))),
+    ] {
         let (mut win, mut bet) = (vec![], vec![]);
         for i in 0..sub.len() {
             let e = RotationQuery::with_measure(&sub.items[i], Invariance::Rotation, m).unwrap();
-            for j in i+1..sub.len() {
+            for j in i + 1..sub.len() {
                 let d = e.distance_to(&sub.items[j]).unwrap();
-                if sub.labels[i] == sub.labels[j] { win.push(d) } else { bet.push(d) }
+                if sub.labels[i] == sub.labels[j] {
+                    win.push(d)
+                } else {
+                    bet.push(d)
+                }
             }
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
-        println!("{name}: within avg {:.3} min {:.3} | between avg {:.3} min {:.3} | ratio {:.3}",
-            avg(&win), min(&win), avg(&bet), min(&bet), avg(&bet)/avg(&win));
+        println!(
+            "{name}: within avg {:.3} min {:.3} | between avg {:.3} min {:.3} | ratio {:.3}",
+            avg(&win),
+            min(&win),
+            avg(&bet),
+            min(&bet),
+            avg(&bet) / avg(&win)
+        );
     }
 }

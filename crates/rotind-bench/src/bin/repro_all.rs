@@ -8,19 +8,43 @@ type Experiment<'a> = (&'a str, Box<dyn Fn() -> rotind_eval::report::Table>);
 fn main() {
     let quick = rotind_bench::quick_mode();
     let runs: Vec<Experiment> = vec![
-        ("table8", Box::new(move || rotind_bench::experiments::table8(quick))),
+        (
+            "table8",
+            Box::new(move || rotind_bench::experiments::table8(quick)),
+        ),
         ("fig03", Box::new(rotind_bench::experiments::fig03)),
         ("fig14", Box::new(rotind_bench::experiments::fig14)),
         ("fig16", Box::new(rotind_bench::experiments::fig16)),
         ("fig17", Box::new(rotind_bench::experiments::fig17)),
         ("fig18", Box::new(rotind_bench::experiments::fig18)),
-        ("fig19", Box::new(move || rotind_bench::experiments::fig19(quick))),
-        ("fig20", Box::new(move || rotind_bench::experiments::fig20(quick))),
-        ("fig21", Box::new(move || rotind_bench::experiments::fig21(quick))),
-        ("fig22", Box::new(move || rotind_bench::experiments::fig22(quick))),
-        ("fig23", Box::new(move || rotind_bench::experiments::fig23(quick))),
-        ("fig24", Box::new(move || rotind_bench::experiments::fig24(quick))),
-        ("scaling", Box::new(move || rotind_bench::experiments::scaling(quick))),
+        (
+            "fig19",
+            Box::new(move || rotind_bench::experiments::fig19(quick)),
+        ),
+        (
+            "fig20",
+            Box::new(move || rotind_bench::experiments::fig20(quick)),
+        ),
+        (
+            "fig21",
+            Box::new(move || rotind_bench::experiments::fig21(quick)),
+        ),
+        (
+            "fig22",
+            Box::new(move || rotind_bench::experiments::fig22(quick)),
+        ),
+        (
+            "fig23",
+            Box::new(move || rotind_bench::experiments::fig23(quick)),
+        ),
+        (
+            "fig24",
+            Box::new(move || rotind_bench::experiments::fig24(quick)),
+        ),
+        (
+            "scaling",
+            Box::new(move || rotind_bench::experiments::scaling(quick)),
+        ),
     ];
     for (name, run) in runs {
         println!("=== {name} ===");

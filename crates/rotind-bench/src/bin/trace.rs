@@ -1,0 +1,130 @@
+//! Search-telemetry deep dive: run a batch of wedge 1-NN queries over a
+//! projectile-point database with a recording [`QueryTrace`] attached,
+//! then emit everything the observer saw — per-level prune counts,
+//! the LB-tightness histogram (`lb / true distance` over admitted
+//! leaves), the early-abandon depth histogram, and the K-planner
+//! timeline — as `results/trace.csv` plus a human-readable report,
+//! the Prometheus exposition of the metrics registry, and the span
+//! table (wall-clock next to `num_steps`, the paper's §5.3 argument
+//! made visible).
+//!
+//! `ROTIND_QUICK=1` bounds the database for smoke runs; the full run
+//! uses the paper's 2,000-item, n = 251 workload.
+//!
+//! [`QueryTrace`]: rotind_obs::QueryTrace
+
+use rotind_eval::report::{fmt_ratio, Table};
+use rotind_eval::speedup::wedge_startup_steps;
+use rotind_index::engine::{Invariance, RotationQuery};
+use rotind_obs::{global_span_report, MetricsRegistry, QueryTrace, Span};
+use rotind_shape::dataset as shapes;
+use rotind_ts::StepCounter;
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let (m, n, queries) = if quick { (200, 64, 3) } else { (2000, 251, 10) };
+    println!("tracing {queries} wedge queries over m = {m} projectile points (n = {n})");
+
+    let pool = shapes::projectile_points(m + queries, n, 1906).items;
+    let db = &pool[..m];
+
+    let mut trace = QueryTrace::new(n);
+    let mut total_steps = 0u64;
+    for query in &pool[m..] {
+        let mut counter = StepCounter::new();
+        let span = Span::enter_with("trace.query", &counter);
+        let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
+        engine
+            .nearest_observed(db, &mut counter, &mut trace)
+            .expect("valid database");
+        counter.add(wedge_startup_steps(n, engine.tree().max_k()));
+        span.finish(&counter);
+        total_steps += counter.steps();
+    }
+
+    let mut table = Table::new(["metric", "key", "value"]);
+    let mut push = |metric: &str, key: String, value: String| {
+        table.push_row([metric.to_string(), key, value]);
+    };
+    push("workload", "m".into(), m.to_string());
+    push("workload", "n".into(), n.to_string());
+    push("workload", "queries".into(), queries.to_string());
+    push("steps", "total".into(), total_steps.to_string());
+    push(
+        "steps",
+        "per-query".into(),
+        (total_steps / queries as u64).to_string(),
+    );
+    for level in 0..trace.levels() {
+        let key = format!("L{level}");
+        push(
+            "wedges_tested",
+            key.clone(),
+            trace.tested(level).to_string(),
+        );
+        push(
+            "wedges_pruned",
+            key.clone(),
+            trace.pruned(level).to_string(),
+        );
+        push(
+            "prune_rate",
+            key,
+            trace
+                .prune_rate(level)
+                .map(fmt_ratio)
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    push(
+        "leaf_distances",
+        "total".into(),
+        trace.leaf_distances().to_string(),
+    );
+    push(
+        "early_abandons",
+        "total".into(),
+        trace.early_abandons().to_string(),
+    );
+    for (bound, count) in trace.tightness().buckets() {
+        let key = if bound.is_finite() {
+            format!("le={bound:.1}")
+        } else {
+            "le=+Inf".into()
+        };
+        push("lb_tightness", key, count.to_string());
+    }
+    if let Some(mean) = trace.tightness().mean() {
+        push("lb_tightness", "mean".into(), fmt_ratio(mean));
+    }
+    for (bound, count) in trace.abandon_depth().buckets() {
+        let key = if bound.is_finite() {
+            format!("le={bound:.1}")
+        } else {
+            "le=+Inf".into()
+        };
+        push("abandon_depth", key, count.to_string());
+    }
+    if let Some(mean) = trace.abandon_depth().mean() {
+        push("abandon_depth", "mean".into(), fmt_ratio(mean));
+    }
+    for (i, c) in trace.k_timeline().iter().enumerate() {
+        let tag = if c.probing { "probe" } else { "adopt" };
+        push(
+            "k_change",
+            i.to_string(),
+            format!("{tag}@{} {}->{}", c.seq, c.old, c.new),
+        );
+    }
+
+    println!("\n--- query trace ---\n{}", trace.report());
+    let mut registry = MetricsRegistry::new();
+    trace.export_to(&mut registry);
+    println!(
+        "--- metrics (prometheus exposition) ---\n{}",
+        registry.render_prometheus()
+    );
+    println!("--- spans ---\n{}", global_span_report());
+
+    rotind_bench::emit("trace", &table);
+}

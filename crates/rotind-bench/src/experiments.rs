@@ -13,11 +13,13 @@ use rotind_eval::onenn::{one_nn_error, one_nn_error_dtw_learned_band};
 use rotind_eval::report::{fmt_percent, fmt_ratio, Table};
 use rotind_eval::scaling::{empirical_exponent, ScalingPoint};
 use rotind_eval::speedup::{
-    scan_steps, speedup_sweep, wedge_startup_steps, SearchAlgorithm, SweepPoint,
+    scan_steps, speedup_sweep, speedup_sweep_traced, wedge_startup_steps, SearchAlgorithm,
+    SweepPoint,
 };
 use rotind_index::disk::{IndexedDatabase, ReducedRepr};
 use rotind_index::engine::{Invariance, RotationQuery};
 use rotind_lightcurve::dataset::{classification_set, light_curves};
+use rotind_obs::QueryTrace;
 use rotind_shape::centroid::align_to_major_axis;
 use rotind_shape::dataset::{self as shapes, Dataset};
 use rotind_shape::generators::butterfly::{bend_hindwing, butterfly_profile, LEPIDOPTERA};
@@ -36,11 +38,27 @@ fn shuffle<T>(items: &mut [T], seed: u64) {
     }
 }
 
-fn sweep_table(points: &[SweepPoint], algorithms: &[SearchAlgorithm]) -> Table {
+/// The per-point wedge pruning-rate columns shared by the traced
+/// figures: fraction of wedge tests pruned at the cut level (L0), one
+/// level below (L1), and everywhere deeper (L2+). Empty levels render
+/// as `-` (a tiny database may never descend that far).
+const PRUNE_HEADERS: [&str; 3] = ["wedge-prune-L0", "wedge-prune-L1", "wedge-prune-L2+"];
+
+fn prune_cells(trace: &QueryTrace) -> [String; 3] {
+    let cell = |rate: Option<f64>| rate.map(fmt_ratio).unwrap_or_else(|| "-".to_string());
+    [
+        cell(trace.prune_rate(0)),
+        cell(trace.prune_rate(1)),
+        cell(trace.prune_rate_from(2)),
+    ]
+}
+
+fn sweep_table(points: &[(SweepPoint, QueryTrace)], algorithms: &[SearchAlgorithm]) -> Table {
     let mut headers = vec!["m".to_string()];
     headers.extend(algorithms.iter().map(|a| a.name().to_string()));
+    headers.extend(PRUNE_HEADERS.iter().map(|h| h.to_string()));
     let mut table = Table::new(headers);
-    for pt in points {
+    for (pt, trace) in points {
         let mut row = vec![pt.m.to_string()];
         for alg in algorithms {
             let r = pt
@@ -51,6 +69,7 @@ fn sweep_table(points: &[SweepPoint], algorithms: &[SearchAlgorithm]) -> Table {
                 .unwrap_or(f64::NAN);
             row.push(fmt_ratio(r));
         }
+        row.extend(prune_cells(trace));
         table.push_row(row);
     }
     table
@@ -203,7 +222,10 @@ pub fn fig03() -> Table {
     // Euclidean clustering.
     let landmarked: Vec<Vec<f64>> = series.iter().map(|s| align_to_major_axis(s)).collect();
     let landmark_dend = cluster_series(&landmarked, Linkage::Average);
-    println!("Landmark (major axis) alignment:\n{}", landmark_dend.render(&names));
+    println!(
+        "Landmark (major axis) alignment:\n{}",
+        landmark_dend.render(&names)
+    );
 
     // Best rotation: rotation-invariant distances.
     let matrix = invariant_matrix(&series, Measure::Euclidean);
@@ -216,7 +238,11 @@ pub fn fig03() -> Table {
         table.push_row([
             method.to_string(),
             paired.to_string(),
-            if paired { "correct".into() } else { "biologically meaningless".to_string() },
+            if paired {
+                "correct".into()
+            } else {
+                "biologically meaningless".to_string()
+            },
         ]);
     }
     table
@@ -375,12 +401,12 @@ fn run_sweep(
     measure: Measure,
     algorithms: &[SearchAlgorithm],
     quick: bool,
-) -> Vec<SweepPoint> {
+) -> Vec<(SweepPoint, QueryTrace)> {
     sizes
         .iter()
         .map(|&m| {
             let q = queries_for(m, quick);
-            speedup_sweep(pool, &[m], q, measure, algorithms)
+            speedup_sweep_traced(pool, &[m], q, measure, algorithms)
                 .pop()
                 .expect("one point per size")
         })
@@ -414,7 +440,13 @@ pub fn fig19(quick: bool) -> Table {
         SearchAlgorithm::EarlyAbandon,
         SearchAlgorithm::Wedge,
     ];
-    let points = run_sweep(&pool, &projectile_sizes(quick), Measure::Euclidean, &algorithms, quick);
+    let points = run_sweep(
+        &pool,
+        &projectile_sizes(quick),
+        Measure::Euclidean,
+        &algorithms,
+        quick,
+    );
     sweep_table(&points, &algorithms)
 }
 
@@ -429,18 +461,25 @@ pub fn fig20(quick: bool) -> Table {
     let sizes = projectile_sizes(quick);
     let algorithms = [SearchAlgorithm::EarlyAbandon, SearchAlgorithm::Wedge];
 
-    let mut table = Table::new(["m", "brute-force", "brute-force-R5", "early-abandon", "wedge"]);
+    let mut headers = vec![
+        "m",
+        "brute-force",
+        "brute-force-R5",
+        "early-abandon",
+        "wedge",
+    ];
+    headers.extend(PRUNE_HEADERS);
+    let mut table = Table::new(headers);
     for &m in &sizes {
         let q = queries_for(m, quick);
-        let brute_unc =
-            rotind_eval::speedup::brute_force_steps(m, n, n, unconstrained) as f64;
+        let brute_unc = rotind_eval::speedup::brute_force_steps(m, n, n, unconstrained) as f64;
         let brute_banded = rotind_eval::speedup::brute_force_steps(m, n, n, banded) as f64;
         let mut row = vec![
             m.to_string(),
             fmt_ratio(1.0),
             fmt_ratio(brute_banded / brute_unc),
         ];
-        let point = speedup_sweep(&pool, &[m], q, banded, &algorithms)
+        let (point, trace) = speedup_sweep_traced(&pool, &[m], q, banded, &algorithms)
             .pop()
             .expect("one point");
         for (_, ratio_banded) in &point.ratios {
@@ -448,6 +487,7 @@ pub fn fig20(quick: bool) -> Table {
             // to the unconstrained denominator used in Figure 20.
             row.push(fmt_ratio(ratio_banded * brute_banded / brute_unc));
         }
+        row.extend(prune_cells(&trace));
         table.push_row(row);
     }
     table
@@ -504,9 +544,13 @@ pub fn fig21(quick: bool) -> Table {
         "DTW:early-abandon",
         "DTW:wedge",
     ]);
-    for (e, d) in ed_points.iter().zip(&dtw_points) {
+    for ((e, _), (d, _)) in ed_points.iter().zip(&dtw_points) {
         let get = |pt: &SweepPoint, alg: SearchAlgorithm| {
-            pt.ratios.iter().find(|(a, _)| *a == alg).map(|(_, r)| *r).unwrap_or(f64::NAN)
+            pt.ratios
+                .iter()
+                .find(|(a, _)| *a == alg)
+                .map(|(_, r)| *r)
+                .unwrap_or(f64::NAN)
         };
         table.push_row([
             e.m.to_string(),
@@ -545,7 +589,13 @@ pub fn fig22(quick: bool) -> Table {
         SearchAlgorithm::EarlyAbandon,
         SearchAlgorithm::Wedge,
     ];
-    let points = run_sweep(&pool, &lightcurve_sizes(quick), Measure::Euclidean, &algorithms, quick);
+    let points = run_sweep(
+        &pool,
+        &lightcurve_sizes(quick),
+        Measure::Euclidean,
+        &algorithms,
+        quick,
+    );
     sweep_table(&points, &algorithms)
 }
 
@@ -557,11 +607,16 @@ pub fn fig23(quick: bool) -> Table {
     let banded = Measure::Dtw(DtwParams::new(5));
     let unconstrained = Measure::Dtw(DtwParams::new(n - 1));
     let algorithms = [SearchAlgorithm::EarlyAbandon, SearchAlgorithm::Wedge];
-    let mut table = Table::new(["m", "brute-force", "brute-force-R5", "early-abandon", "wedge"]);
+    let mut table = Table::new([
+        "m",
+        "brute-force",
+        "brute-force-R5",
+        "early-abandon",
+        "wedge",
+    ]);
     for &m in &lightcurve_sizes(quick) {
         let q = queries_for(m, quick);
-        let brute_unc =
-            rotind_eval::speedup::brute_force_steps(m, n, n, unconstrained) as f64;
+        let brute_unc = rotind_eval::speedup::brute_force_steps(m, n, n, unconstrained) as f64;
         let brute_banded = rotind_eval::speedup::brute_force_steps(m, n, n, banded) as f64;
         let mut row = vec![
             m.to_string(),
@@ -597,12 +652,19 @@ pub fn fig24(quick: bool) -> Table {
         let db: Vec<Vec<f64>> = pool[..m].to_vec();
         let queries = &pool[m..];
         for (measure, repr, label) in [
-            (Measure::Euclidean, ReducedRepr::FourierMagnitude, "wedge-ED"),
-            (Measure::Dtw(DtwParams::new(5)), ReducedRepr::Paa, "wedge-DTW"),
+            (
+                Measure::Euclidean,
+                ReducedRepr::FourierMagnitude,
+                "wedge-ED",
+            ),
+            (
+                Measure::Dtw(DtwParams::new(5)),
+                ReducedRepr::Paa,
+                "wedge-DTW",
+            ),
         ] {
             for &d in &dims {
-                let index =
-                    IndexedDatabase::build(db.clone(), d, repr).expect("valid database");
+                let index = IndexedDatabase::build(db.clone(), d, repr).expect("valid database");
                 let mut total_fraction = 0.0;
                 for q in queries {
                     let (_, stats) = index.nearest(q, measure).expect("valid query");
@@ -675,7 +737,12 @@ pub fn fig14() -> Table {
         ("DTW(R=3)", Measure::Dtw(DtwParams::new(3))),
         ("LCSS", Measure::Lcss(LcssParams::for_normalized(n))),
     ];
-    let mut table = Table::new(["measure", "d(SkhulV, human)", "d(SkhulV, orangutan)", "margin"]);
+    let mut table = Table::new([
+        "measure",
+        "d(SkhulV, human)",
+        "d(SkhulV, orangutan)",
+        "margin",
+    ]);
     for (name, measure) in measures {
         let engine =
             RotationQuery::with_measure(&skhul, Invariance::Rotation, measure).expect("valid");
@@ -719,7 +786,9 @@ pub fn scaling(quick: bool) -> Table {
             let query = &ds.items[m + q];
             let mut counter = StepCounter::new();
             let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
-            engine.nearest_with_steps(db, &mut counter).expect("valid db");
+            engine
+                .nearest_with_steps(db, &mut counter)
+                .expect("valid db");
             total += counter.steps() + wedge_startup_steps(n, n);
         }
         let per_comparison = total as f64 / (queries * m) as f64;

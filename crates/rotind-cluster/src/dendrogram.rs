@@ -194,7 +194,10 @@ impl Dendrogram {
 
     /// The `k`-cluster partition as leaf-index groups.
     pub fn cut(&self, k: usize) -> Vec<Vec<usize>> {
-        self.cut_nodes(k).into_iter().map(|n| self.members(n)).collect()
+        self.cut_nodes(k)
+            .into_iter()
+            .map(|n| self.members(n))
+            .collect()
     }
 
     /// ASCII rendering of the tree (for the clustering figure binaries).
@@ -241,9 +244,21 @@ mod tests {
         Dendrogram::from_raw_merges(
             4,
             vec![
-                RawMerge { a: 2, b: 3, height: 2.0 },
-                RawMerge { a: 0, b: 1, height: 1.0 },
-                RawMerge { a: 0, b: 2, height: 3.0 },
+                RawMerge {
+                    a: 2,
+                    b: 3,
+                    height: 2.0,
+                },
+                RawMerge {
+                    a: 0,
+                    b: 1,
+                    height: 1.0,
+                },
+                RawMerge {
+                    a: 0,
+                    b: 2,
+                    height: 3.0,
+                },
             ],
         )
     }
@@ -329,8 +344,16 @@ mod tests {
         let d = Dendrogram::from_raw_merges(
             3,
             vec![
-                RawMerge { a: 0, b: 1, height: 1.0 },
-                RawMerge { a: 1, b: 2, height: 2.0 },
+                RawMerge {
+                    a: 0,
+                    b: 1,
+                    height: 1.0,
+                },
+                RawMerge {
+                    a: 1,
+                    b: 2,
+                    height: 2.0,
+                },
             ],
         );
         assert_eq!(d.children(4), Some((3, 2)));

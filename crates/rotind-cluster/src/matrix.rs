@@ -67,7 +67,11 @@ impl DistanceMatrix {
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i != j, "cannot set the diagonal");
-        let idx = if i < j { self.index(i, j) } else { self.index(j, i) };
+        let idx = if i < j {
+            self.index(i, j)
+        } else {
+            self.index(j, i)
+        };
         self.data[idx] = value;
     }
 

@@ -133,21 +133,30 @@ mod tests {
     fn full_matrix_matches_naive() {
         let c = signal(24);
         let m = RotationMatrix::full(&c).unwrap();
-        assert_matrices_close(&rotation_distance_matrix(&m), &rotation_distance_matrix_naive(&m));
+        assert_matrices_close(
+            &rotation_distance_matrix(&m),
+            &rotation_distance_matrix_naive(&m),
+        );
     }
 
     #[test]
     fn mirror_matrix_matches_naive() {
         let c = signal(15);
         let m = RotationMatrix::with_mirror(&c).unwrap();
-        assert_matrices_close(&rotation_distance_matrix(&m), &rotation_distance_matrix_naive(&m));
+        assert_matrices_close(
+            &rotation_distance_matrix(&m),
+            &rotation_distance_matrix_naive(&m),
+        );
     }
 
     #[test]
     fn limited_matrix_matches_naive() {
         let c = signal(20);
         let m = RotationMatrix::limited_with_mirror(&c, 4).unwrap();
-        assert_matrices_close(&rotation_distance_matrix(&m), &rotation_distance_matrix_naive(&m));
+        assert_matrices_close(
+            &rotation_distance_matrix(&m),
+            &rotation_distance_matrix_naive(&m),
+        );
     }
 
     #[test]

@@ -119,6 +119,7 @@ pub fn dtw_early_abandon(
         cur.clear();
         cur.resize(n, f64::INFINITY);
 
+        #[allow(clippy::needless_range_loop)] // i drives band bounds + both row buffers
         for i in 0..n {
             let lo = i.saturating_sub(band);
             let hi = (i + band).min(n - 1);
@@ -141,8 +142,7 @@ pub fn dtw_early_abandon(
                             b = b.min(prev[j]);
                         }
                         // diagonal predecessor (i-1, j-1)
-                        if j > 0 && j > (i - 1).saturating_sub(band) && j - 1 <= (i - 1) + band
-                        {
+                        if j > 0 && j > (i - 1).saturating_sub(band) && j - 1 <= (i - 1) + band {
                             b = b.min(prev[j - 1]);
                         }
                     }
@@ -218,7 +218,11 @@ pub fn dtw_path(q: &[f64], c: &[f64], params: DtwParams) -> (f64, WarpingPath) {
     let mut path = vec![(n - 1, n - 1)];
     let (mut i, mut j) = (n - 1, n - 1);
     while i > 0 || j > 0 {
-        let diag = if i > 0 && j > 0 { dp[idx(i - 1, j - 1)] } else { inf };
+        let diag = if i > 0 && j > 0 {
+            dp[idx(i - 1, j - 1)]
+        } else {
+            inf
+        };
         let up = if i > 0 { dp[idx(i - 1, j)] } else { inf };
         let left = if j > 0 { dp[idx(i, j - 1)] } else { inf };
         if diag <= up && diag <= left {
@@ -359,7 +363,10 @@ mod tests {
             assert!((i1, j1) != (i0, j0));
         }
         let dp = dtw(&q, &c, DtwParams::new(4), &mut steps());
-        assert!((d - dp).abs() < 1e-12, "path variant agrees with rolling-row");
+        assert!(
+            (d - dp).abs() < 1e-12,
+            "path variant agrees with rolling-row"
+        );
         // Path length bound from the paper: n <= T < 2n - 1.
         assert!(path.len() >= 16 && path.len() <= 31);
     }

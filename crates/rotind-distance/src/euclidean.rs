@@ -151,15 +151,13 @@ mod tests {
             let mut s2 = StepCounter::new();
             let rot = rotated(&base, shift);
             let expect = euclidean_early_abandon(&candidate, &rot, f64::INFINITY, &mut s1);
-            let got = euclidean_early_abandon_rotated(
-                &candidate,
-                &base,
-                shift,
-                f64::INFINITY,
-                &mut s2,
-            );
+            let got =
+                euclidean_early_abandon_rotated(&candidate, &base, shift, f64::INFINITY, &mut s2);
             assert_eq!(expect.is_some(), got.is_some());
-            assert!((expect.unwrap() - got.unwrap()).abs() < 1e-12, "shift {shift}");
+            assert!(
+                (expect.unwrap() - got.unwrap()).abs() < 1e-12,
+                "shift {shift}"
+            );
             assert_eq!(s1.steps(), s2.steps());
         }
     }
@@ -174,8 +172,7 @@ mod tests {
                 let mut s2 = StepCounter::new();
                 let rot = rotated(&base, shift);
                 let a = euclidean_early_abandon(&candidate, &rot, r, &mut s1);
-                let b =
-                    euclidean_early_abandon_rotated(&candidate, &base, shift, r, &mut s2);
+                let b = euclidean_early_abandon_rotated(&candidate, &base, shift, r, &mut s2);
                 assert_eq!(a.is_some(), b.is_some(), "shift {shift} r {r}");
                 assert_eq!(s1.steps(), s2.steps(), "shift {shift} r {r}");
             }

@@ -47,12 +47,7 @@ impl LcssParams {
 /// # Panics
 ///
 /// Panics when the series differ in length or are empty.
-pub fn lcss_length(
-    q: &[f64],
-    c: &[f64],
-    params: LcssParams,
-    counter: &mut StepCounter,
-) -> usize {
+pub fn lcss_length(q: &[f64], c: &[f64], params: LcssParams, counter: &mut StepCounter) -> usize {
     let n = q.len();
     assert_eq!(n, c.len(), "lcss: length mismatch");
     assert!(n > 0, "lcss: empty series");
@@ -88,12 +83,7 @@ pub fn lcss_length(
 }
 
 /// LCSS similarity in `[0, 1]`: `lcss_length / n`.
-pub fn lcss_similarity(
-    q: &[f64],
-    c: &[f64],
-    params: LcssParams,
-    counter: &mut StepCounter,
-) -> f64 {
+pub fn lcss_similarity(q: &[f64], c: &[f64], params: LcssParams, counter: &mut StepCounter) -> f64 {
     lcss_length(q, c, params, counter) as f64 / q.len() as f64
 }
 
@@ -101,12 +91,7 @@ pub fn lcss_similarity(
 ///
 /// This is the form the rotation-invariant search minimises, so a single
 /// best-so-far threshold works across all three measures.
-pub fn lcss_distance(
-    q: &[f64],
-    c: &[f64],
-    params: LcssParams,
-    counter: &mut StepCounter,
-) -> f64 {
+pub fn lcss_distance(q: &[f64], c: &[f64], params: LcssParams, counter: &mut StepCounter) -> f64 {
     1.0 - lcss_similarity(q, c, params, counter)
 }
 

@@ -49,9 +49,7 @@ pub fn test_all_rotations(
     for row in 0..query_rotations.num_rotations() {
         let rotation = query_rotations.rotations()[row];
         query_rotations.row(row).copy_into(&mut rotated);
-        if let Some(d) =
-            measure.distance_early_abandon(candidate, &rotated, best_so_far, counter)
-        {
+        if let Some(d) = measure.distance_early_abandon(candidate, &rotated, best_so_far, counter) {
             if d < best_so_far {
                 best_so_far = d;
                 best = Some(RotationMatch {
@@ -111,9 +109,7 @@ pub fn search_database(
     let mut best: Option<DatabaseMatch> = None;
     let mut best_so_far = f64::INFINITY;
     for (index, item) in database.iter().enumerate() {
-        if let Some(m) =
-            test_all_rotations(item, query_rotations, best_so_far, measure, counter)
-        {
+        if let Some(m) = test_all_rotations(item, query_rotations, best_so_far, measure, counter) {
             best_so_far = m.distance;
             best = Some(DatabaseMatch {
                 index,
@@ -172,17 +168,13 @@ mod tests {
         let exact = rotation_invariant_distance(&q, &c, Measure::Euclidean, &mut steps());
         let matrix = RotationMatrix::full(&c).unwrap();
         // Threshold below the exact distance: no rotation can beat it.
-        assert!(test_all_rotations(
-            &q,
-            &matrix,
-            exact * 0.9,
-            Measure::Euclidean,
-            &mut steps()
-        )
-        .is_none());
+        assert!(
+            test_all_rotations(&q, &matrix, exact * 0.9, Measure::Euclidean, &mut steps())
+                .is_none()
+        );
         // Threshold above: the same exact distance is found.
-        let m = test_all_rotations(&q, &matrix, exact * 1.1, Measure::Euclidean, &mut steps())
-            .unwrap();
+        let m =
+            test_all_rotations(&q, &matrix, exact * 1.1, Measure::Euclidean, &mut steps()).unwrap();
         assert!((m.distance - exact).abs() < 1e-12);
     }
 
@@ -243,16 +235,23 @@ mod tests {
         let q = rotated(&c, 12); // far outside a ±3 window
         let limited = RotationMatrix::limited(&c, 3).unwrap();
         let full = RotationMatrix::full(&c).unwrap();
-        let d_full =
-            test_all_rotations(&q, &full, f64::INFINITY, Measure::Euclidean, &mut steps())
-                .unwrap()
-                .distance;
-        let d_limited =
-            test_all_rotations(&q, &limited, f64::INFINITY, Measure::Euclidean, &mut steps())
-                .unwrap()
-                .distance;
+        let d_full = test_all_rotations(&q, &full, f64::INFINITY, Measure::Euclidean, &mut steps())
+            .unwrap()
+            .distance;
+        let d_limited = test_all_rotations(
+            &q,
+            &limited,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap()
+        .distance;
         assert!(d_full < 1e-9);
-        assert!(d_limited > 0.1, "limited query must not see the far rotation");
+        assert!(
+            d_limited > 0.1,
+            "limited query must not see the far rotation"
+        );
     }
 
     #[test]
@@ -273,8 +272,7 @@ mod tests {
         let a = wavy(28, 0.3);
         let b = wavy(28, 1.9);
         let de = rotation_invariant_distance(&a, &b, Measure::Euclidean, &mut steps());
-        let dd =
-            rotation_invariant_distance(&a, &b, Measure::Dtw(DtwParams::new(4)), &mut steps());
+        let dd = rotation_invariant_distance(&a, &b, Measure::Dtw(DtwParams::new(4)), &mut steps());
         assert!(dd <= de + 1e-12);
     }
 

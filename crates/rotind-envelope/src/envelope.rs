@@ -128,7 +128,10 @@ mod tests {
             .map(|i| {
                 let lo = i.saturating_sub(r);
                 let hi = (i + r).min(n - 1);
-                xs[lo..=hi].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                xs[lo..=hi]
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max)
             })
             .collect()
     }

@@ -54,11 +54,7 @@ impl WedgeTree {
     ///
     /// Panics when the dendrogram's leaf count differs from the number of
     /// rotations in `matrix`.
-    pub fn from_dendrogram(
-        matrix: RotationMatrix,
-        dendrogram: Dendrogram,
-        band: usize,
-    ) -> Self {
+    pub fn from_dendrogram(matrix: RotationMatrix, dendrogram: Dendrogram, band: usize) -> Self {
         let rows = matrix.num_rotations();
         assert_eq!(
             dendrogram.num_leaves(),
@@ -156,7 +152,10 @@ impl WedgeTree {
 
     /// Total envelope area of the size-`k` wedge set (ablation metric).
     pub fn cut_area(&self, k: usize) -> f64 {
-        self.cut_nodes(k).iter().map(|&n| self.wedges[n].area()).sum()
+        self.cut_nodes(k)
+            .iter()
+            .map(|&n| self.wedges[n].area())
+            .sum()
     }
 }
 

@@ -55,6 +55,20 @@ pub fn lb_keogh_early_abandon(
     r: f64,
     counter: &mut StepCounter,
 ) -> Option<f64> {
+    lb_keogh_early_abandon_at(q, wedge, r, counter).ok()
+}
+
+/// [`lb_keogh_early_abandon`] that also reports *where* an abandon
+/// happened: `Err(position)` carries the number of query positions
+/// consumed before the accumulated bound provably exceeded `r`. Search
+/// telemetry (the `SearchObserver` in `rotind-obs`) uses the position to
+/// build abandon-depth histograms; the bound itself is unchanged.
+pub fn lb_keogh_early_abandon_at(
+    q: &[f64],
+    wedge: &Wedge,
+    r: f64,
+    counter: &mut StepCounter,
+) -> Result<f64, usize> {
     assert_eq!(q.len(), wedge.len(), "lb_keogh: length mismatch");
     let r2 = r * r;
     let upper = wedge.upper();
@@ -71,10 +85,10 @@ pub fn lb_keogh_early_abandon(
             acc += d * d;
         }
         if acc > r2 {
-            return None;
+            return Err(i + 1);
         }
     }
-    Some(acc.sqrt())
+    Ok(acc.sqrt())
 }
 
 /// LCSS envelope bound: an *upper* bound on the LCSS match count of the
@@ -186,6 +200,26 @@ mod tests {
     }
 
     #[test]
+    fn abandon_position_matches_step_count() {
+        let n = 64;
+        let c = vec![0.0; n];
+        let w = Wedge::from_single(&c, Rotation::shift(0));
+        for spike_at in [0usize, 13, 40, 63] {
+            let mut q = vec![0.0; n];
+            q[spike_at] = 100.0;
+            let mut s = steps();
+            let pos = lb_keogh_early_abandon_at(&q, &w, 1.0, &mut s)
+                .expect_err("spiked query must abandon");
+            assert_eq!(pos, spike_at + 1, "abandons right after the spike");
+            assert_eq!(s.steps(), pos as u64, "position equals the steps paid");
+        }
+        // Without a spike and a generous radius there is no abandon.
+        let q = vec![0.0; n];
+        let val = lb_keogh_early_abandon_at(&q, &w, 1.0, &mut steps()).unwrap();
+        assert_eq!(val, 0.0);
+    }
+
+    #[test]
     fn merged_wedge_bound_is_looser() {
         // Figure 8: bigger wedges give smaller (looser) bounds.
         let c = signal(28, 0.0);
@@ -210,10 +244,7 @@ mod tests {
             let lb = lb_keogh(&q, &wide, &mut steps());
             for &row in &rows {
                 let d = dtw(&q, &m.row(row).to_vec(), DtwParams::new(band), &mut steps());
-                assert!(
-                    lb <= d + 1e-9,
-                    "band {band}, row {row}: lb {lb} > dtw {d}"
-                );
+                assert!(lb <= d + 1e-9, "band {band}, row {row}: lb {lb} > dtw {d}");
             }
         }
     }

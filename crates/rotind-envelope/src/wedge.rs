@@ -131,11 +131,7 @@ impl Wedge {
     /// Wedge area `Σ (U_i − L_i)` — the utility heuristic of Figure 8:
     /// fat wedges produce loose lower bounds.
     pub fn area(&self) -> f64 {
-        self.upper
-            .iter()
-            .zip(&self.lower)
-            .map(|(u, l)| u - l)
-            .sum()
+        self.upper.iter().zip(&self.lower).map(|(u, l)| u - l).sum()
     }
 
     /// `true` when `series` lies within the envelope at every position.

@@ -89,7 +89,7 @@ impl ConfusionMatrix {
                 }
             }
         }
-        pairs.sort_by(|a, b| b.2.cmp(&a.2));
+        pairs.sort_by_key(|p| std::cmp::Reverse(p.2));
         pairs.truncate(limit);
         pairs
     }
@@ -177,7 +177,9 @@ mod tests {
     #[test]
     fn table_renders() {
         let ds = two_class_dataset(12, 24, false);
-        let text = ConfusionMatrix::one_nn(&ds, Measure::Euclidean).to_table().render();
+        let text = ConfusionMatrix::one_nn(&ds, Measure::Euclidean)
+            .to_table()
+            .render();
         assert!(text.contains("class"));
         assert!(text.contains('a') && text.contains('b'));
     }

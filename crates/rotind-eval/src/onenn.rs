@@ -189,7 +189,10 @@ mod tests {
 
     #[test]
     fn error_rate_degenerate() {
-        let r = ClassificationResult { correct: 0, total: 0 };
+        let r = ClassificationResult {
+            correct: 0,
+            total: 0,
+        };
         assert_eq!(r.error_rate(), 0.0);
     }
 }

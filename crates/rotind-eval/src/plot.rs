@@ -5,7 +5,6 @@
 //! SVG files next to the CSVs, so `results/fig19.svg` is a directly
 //! comparable artefact.
 
-use crate::report::Table;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -41,11 +40,19 @@ pub struct LinePlot {
 
 fn axis_transform(value: f64, lo: f64, hi: f64, log: bool, out_lo: f64, out_hi: f64) -> f64 {
     let (v, lo, hi) = if log {
-        (value.max(1e-12).log10(), lo.max(1e-12).log10(), hi.max(1e-12).log10())
+        (
+            value.max(1e-12).log10(),
+            lo.max(1e-12).log10(),
+            hi.max(1e-12).log10(),
+        )
     } else {
         (value, lo, hi)
     };
-    let t = if (hi - lo).abs() < 1e-12 { 0.5 } else { (v - lo) / (hi - lo) };
+    let t = if (hi - lo).abs() < 1e-12 {
+        0.5
+    } else {
+        (v - lo) / (hi - lo)
+    };
     out_lo + t * (out_hi - out_lo)
 }
 
@@ -189,7 +196,10 @@ impl LinePlot {
             for p in &path {
                 let mut it = p.split(',');
                 let (cx, cy) = (it.next().unwrap_or("0"), it.next().unwrap_or("0"));
-                let _ = write!(svg, r#"<circle cx="{cx}" cy="{cy}" r="3" fill="{colour}"/>"#);
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{cx}" cy="{cy}" r="3" fill="{colour}"/>"#
+                );
             }
             let ly = MARGIN_T + 16.0 * s as f64;
             let _ = write!(
@@ -224,7 +234,9 @@ impl LinePlot {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Interpret a sweep-style [`Table`] (first column = numeric x, every
@@ -256,7 +268,7 @@ pub fn line_plot_from_table(
         };
         for (s, cell) in cells[1..].iter().enumerate() {
             // Cells like "0.0316" parse; "19.96% {1}" take the leading number.
-            let token = cell.trim().split(|c: char| c == ' ' || c == '%').next().unwrap_or("");
+            let token = cell.trim().split([' ', '%']).next().unwrap_or("");
             if let Ok(y) = token.parse::<f64>() {
                 series[s].1.push((x, y));
             }
@@ -288,8 +300,14 @@ mod tests {
             log_x: true,
             log_y: true,
             series: vec![
-                ("wedge".into(), vec![(32.0, 0.19), (1000.0, 0.02), (16000.0, 0.012)]),
-                ("fft".into(), vec![(32.0, 0.05), (1000.0, 0.034), (16000.0, 0.032)]),
+                (
+                    "wedge".into(),
+                    vec![(32.0, 0.19), (1000.0, 0.02), (16000.0, 0.012)],
+                ),
+                (
+                    "fft".into(),
+                    vec![(32.0, 0.05), (1000.0, 0.034), (16000.0, 0.032)],
+                ),
             ],
         }
     }

@@ -16,9 +16,10 @@
 
 use rotind_distance::measure::Measure;
 use rotind_index::baselines::{
-    brute_force_scan, convolution_scan, early_abandon_scan, fft_scan,
+    brute_force_scan, convolution_scan, early_abandon_scan_observed, fft_scan_observed,
 };
 use rotind_index::engine::{Invariance, RotationQuery};
+use rotind_obs::{NoopObserver, QueryTrace, SearchObserver};
 use rotind_ts::rotate::RotationMatrix;
 use rotind_ts::StepCounter;
 
@@ -78,7 +79,29 @@ pub fn wedge_startup_steps(n: usize, rotations: usize) -> u64 {
 ///
 /// Panics when the algorithm/measure combination is unsupported (FFT and
 /// convolution are Euclidean-only) or the database is malformed.
-pub fn scan_steps(db: &[Vec<f64>], query: &[f64], algorithm: SearchAlgorithm, measure: Measure) -> u64 {
+pub fn scan_steps(
+    db: &[Vec<f64>],
+    query: &[f64],
+    algorithm: SearchAlgorithm,
+    measure: Measure,
+) -> u64 {
+    scan_steps_observed(db, query, algorithm, measure, &mut NoopObserver)
+}
+
+/// [`scan_steps`] with every wedge test, leaf distance, early abandon
+/// and K-change reported to `observer`. Brute force and convolution
+/// fire no events (they have no pruning structure to report); early
+/// abandon reports improving leaf distances; FFT reports its magnitude
+/// filter as level-0 wedge tests. The observer never changes the step
+/// count — `scan_steps_observed(.., &mut NoopObserver)` and a recording
+/// observer return identical totals.
+pub fn scan_steps_observed<O: SearchObserver>(
+    db: &[Vec<f64>],
+    query: &[f64],
+    algorithm: SearchAlgorithm,
+    measure: Measure,
+    observer: &mut O,
+) -> u64 {
     let mut counter = StepCounter::new();
     match algorithm {
         SearchAlgorithm::BruteForce => {
@@ -87,12 +110,13 @@ pub fn scan_steps(db: &[Vec<f64>], query: &[f64], algorithm: SearchAlgorithm, me
         }
         SearchAlgorithm::EarlyAbandon => {
             let matrix = RotationMatrix::full(query).expect("valid query");
-            early_abandon_scan(&matrix, db, measure, &mut counter).expect("valid database");
+            early_abandon_scan_observed(&matrix, db, measure, &mut counter, observer)
+                .expect("valid database");
         }
         SearchAlgorithm::Fft => {
             assert_eq!(measure, Measure::Euclidean, "FFT filter is Euclidean-only");
             let matrix = RotationMatrix::full(query).expect("valid query");
-            fft_scan(&matrix, db, &mut counter).expect("valid database");
+            fft_scan_observed(&matrix, db, &mut counter, observer).expect("valid database");
         }
         SearchAlgorithm::Convolution => {
             assert_eq!(measure, Measure::Euclidean, "convolution is Euclidean-only");
@@ -103,12 +127,20 @@ pub fn scan_steps(db: &[Vec<f64>], query: &[f64], algorithm: SearchAlgorithm, me
             let engine = RotationQuery::with_measure(query, Invariance::Rotation, measure)
                 .expect("valid query");
             engine
-                .nearest_with_steps(db, &mut counter)
+                .nearest_observed(db, &mut counter, observer)
                 .expect("valid database");
             counter.add(wedge_startup_steps(query.len(), engine.tree().max_k()));
         }
     }
     counter.steps()
+}
+
+/// Run one wedge 1-NN scan and return its full [`QueryTrace`] alongside
+/// the step total (startup charge included, as in [`scan_steps`]).
+pub fn wedge_query_trace(db: &[Vec<f64>], query: &[f64], measure: Measure) -> (QueryTrace, u64) {
+    let mut trace = QueryTrace::new(query.len());
+    let steps = scan_steps_observed(db, query, SearchAlgorithm::Wedge, measure, &mut trace);
+    (trace, steps)
 }
 
 /// Wall-clock nanoseconds for one 1-NN query under `algorithm` — the
@@ -158,6 +190,24 @@ pub fn speedup_sweep(
     measure: Measure,
     algorithms: &[SearchAlgorithm],
 ) -> Vec<SweepPoint> {
+    speedup_sweep_traced(pool, sizes, queries_per_size, measure, algorithms)
+        .into_iter()
+        .map(|(point, _)| point)
+        .collect()
+}
+
+/// [`speedup_sweep`] that also returns, per sweep point, the merged
+/// [`QueryTrace`] of every wedge query run at that point (per-level
+/// prune counts, LB-tightness, abandon depths, K timeline). When
+/// [`SearchAlgorithm::Wedge`] is not among `algorithms` the trace is
+/// empty.
+pub fn speedup_sweep_traced(
+    pool: &[Vec<f64>],
+    sizes: &[usize],
+    queries_per_size: usize,
+    measure: Measure,
+    algorithms: &[SearchAlgorithm],
+) -> Vec<(SweepPoint, QueryTrace)> {
     assert!(!pool.is_empty() && queries_per_size > 0);
     let n = pool[0].len();
     let max_size = sizes.iter().copied().max().unwrap_or(0);
@@ -181,22 +231,29 @@ pub fn speedup_sweep(
                 })
                 .collect();
             let brute = brute_force_steps(m, n, n, measure) as f64;
-            let ratios = algorithms
-                .iter()
-                .map(|&alg| {
-                    let ratio = if alg == SearchAlgorithm::BruteForce {
-                        1.0
-                    } else {
-                        let total: u64 = queries
-                            .iter()
-                            .map(|q| scan_steps(db, q, alg, measure))
-                            .sum();
-                        (total as f64 / queries.len() as f64) / brute
-                    };
-                    (alg, ratio)
-                })
-                .collect();
-            SweepPoint { m, ratios }
+            let mut point_trace = QueryTrace::new(n);
+            let mut ratios = Vec::with_capacity(algorithms.len());
+            for &alg in algorithms {
+                let ratio = if alg == SearchAlgorithm::BruteForce {
+                    1.0
+                } else {
+                    let total: u64 = queries
+                        .iter()
+                        .map(|q| {
+                            if alg == SearchAlgorithm::Wedge {
+                                let (trace, steps) = wedge_query_trace(db, q, measure);
+                                point_trace.merge(&trace);
+                                steps
+                            } else {
+                                scan_steps(db, q, alg, measure)
+                            }
+                        })
+                        .sum();
+                    (total as f64 / queries.len() as f64) / brute
+                };
+                ratios.push((alg, ratio));
+            }
+            (SweepPoint { m, ratios }, point_trace)
         })
         .collect()
 }
@@ -264,7 +321,11 @@ mod tests {
         assert_eq!(points.len(), 3);
         for pt in &points {
             assert_eq!(pt.ratios.len(), 3);
-            let brute = pt.ratios.iter().find(|(a, _)| *a == SearchAlgorithm::BruteForce).unwrap();
+            let brute = pt
+                .ratios
+                .iter()
+                .find(|(a, _)| *a == SearchAlgorithm::BruteForce)
+                .unwrap();
             assert_eq!(brute.1, 1.0);
             for (alg, ratio) in &pt.ratios {
                 assert!(ratio.is_finite() && *ratio > 0.0, "{}", alg.name());
@@ -313,6 +374,68 @@ mod tests {
         for (_, r) in &points[0].ratios {
             assert!(*r < 1.0, "DTW optimisations must beat brute force");
         }
+    }
+
+    #[test]
+    fn observed_scan_steps_match_plain() {
+        let db = pool(30, 32);
+        let query = signal(32, 77);
+        for alg in [
+            SearchAlgorithm::EarlyAbandon,
+            SearchAlgorithm::Fft,
+            SearchAlgorithm::Wedge,
+        ] {
+            let plain = scan_steps(&db, &query, alg, Measure::Euclidean);
+            let mut trace = QueryTrace::new(query.len());
+            let observed = scan_steps_observed(&db, &query, alg, Measure::Euclidean, &mut trace);
+            assert_eq!(plain, observed, "{}: observer changed the cost", alg.name());
+        }
+    }
+
+    #[test]
+    fn traced_sweep_matches_plain_and_collects_traces() {
+        let p = pool(60, 24);
+        let algs = [SearchAlgorithm::BruteForce, SearchAlgorithm::Wedge];
+        let plain = speedup_sweep(&p, &[16, 48], 2, Measure::Euclidean, &algs);
+        let traced = speedup_sweep_traced(&p, &[16, 48], 2, Measure::Euclidean, &algs);
+        assert_eq!(plain.len(), traced.len());
+        for (a, (b, trace)) in plain.iter().zip(&traced) {
+            assert_eq!(a.m, b.m);
+            for ((alg_a, ra), (alg_b, rb)) in a.ratios.iter().zip(&b.ratios) {
+                assert_eq!(alg_a, alg_b);
+                assert_eq!(ra, rb, "trace recording must not change step ratios");
+            }
+            assert!(
+                trace.wedges_tested() > 0,
+                "wedge trace collected at m = {}",
+                a.m
+            );
+            assert!(trace.prune_rate_from(0).is_some());
+        }
+        // Without the wedge algorithm the trace stays empty.
+        let (_, empty) = speedup_sweep_traced(
+            &p,
+            &[16],
+            2,
+            Measure::Euclidean,
+            &[SearchAlgorithm::EarlyAbandon],
+        )
+        .pop()
+        .unwrap();
+        assert_eq!(empty.wedges_tested(), 0);
+    }
+
+    #[test]
+    fn wedge_trace_has_pruning_activity() {
+        let db = pool(60, 32);
+        let query = signal(32, 200);
+        let (trace, steps) = wedge_query_trace(&db, &query, Measure::Euclidean);
+        assert_eq!(
+            steps,
+            scan_steps(&db, &query, SearchAlgorithm::Wedge, Measure::Euclidean)
+        );
+        assert!(trace.wedges_tested() > 0);
+        assert!(trace.leaf_distances() > 0);
     }
 
     #[test]

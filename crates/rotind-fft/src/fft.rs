@@ -27,7 +27,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// Panics when `data.len()` is not a power of two.
 pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(is_power_of_two(n), "fft_pow2: length {n} is not a power of two");
+    assert!(
+        is_power_of_two(n),
+        "fft_pow2: length {n} is not a power of two"
+    );
     if n == 1 {
         return;
     }
@@ -99,9 +102,13 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let im = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
                 Complex::new(re, im)
             })
@@ -122,10 +129,7 @@ mod tests {
     fn matches_reference_dft() {
         for n in [1usize, 2, 4, 8, 16, 64, 128] {
             let x = random_signal(n, n as u64);
-            assert!(
-                close(&fft(&x), &dft(&x), 1e-8),
-                "fft != dft at n = {n}"
-            );
+            assert!(close(&fft(&x), &dft(&x), 1e-8), "fft != dft at n = {n}");
         }
     }
 

@@ -87,10 +87,7 @@ mod tests {
             let c = signal(n, 1.9);
             let lb = fourier_lower_bound(&q, &c, &mut StepCounter::new());
             let exact = min_rotation_ed(&q, &c);
-            assert!(
-                lb <= exact + 1e-7,
-                "n = {n}: lb {lb} exceeds exact {exact}"
-            );
+            assert!(lb <= exact + 1e-7, "n = {n}: lb {lb} exceeds exact {exact}");
         }
     }
 

@@ -16,6 +16,7 @@ use rotind_distance::rotation::{test_all_rotations, DatabaseMatch};
 use rotind_fft::convolution::min_shift_euclidean;
 use rotind_fft::lower_bound::{fft_cost_model, magnitude_distance};
 use rotind_fft::magnitudes;
+use rotind_obs::{NoopObserver, SearchObserver};
 use rotind_ts::rotate::{Rotation, RotationMatrix};
 use rotind_ts::StepCounter;
 
@@ -76,6 +77,35 @@ pub fn early_abandon_scan(
         .ok_or(SearchError::EmptyDatabase)
 }
 
+/// [`early_abandon_scan`] reporting each completed rotation-invariant
+/// item distance via [`SearchObserver::on_leaf_distance`] (items whose
+/// every rotation early-abandoned fire nothing). The baselines have no
+/// wedge structure, so the per-level wedge callbacks stay silent — the
+/// shared currency with the wedge engine is distance evaluations.
+pub fn early_abandon_scan_observed<O: SearchObserver>(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+) -> Result<DatabaseMatch, SearchError> {
+    check(database, query_rotations.series_len())?;
+    let mut best: Option<DatabaseMatch> = None;
+    let mut best_so_far = f64::INFINITY;
+    for (index, item) in database.iter().enumerate() {
+        if let Some(m) = test_all_rotations(item, query_rotations, best_so_far, measure, counter) {
+            observer.on_leaf_distance(m.distance);
+            best_so_far = m.distance;
+            best = Some(DatabaseMatch {
+                index,
+                distance: m.distance,
+                rotation: m.rotation,
+            });
+        }
+    }
+    best.ok_or(SearchError::EmptyDatabase)
+}
+
 /// FFT filter (Euclidean only): per item, charge the paper's `n·log₂n`
 /// cost model for the magnitude lower bound; when the bound fails to
 /// prune, fall back to the early-abandoning rotation scan (Section 5.3:
@@ -85,6 +115,20 @@ pub fn fft_scan(
     query_rotations: &RotationMatrix,
     database: &[Vec<f64>],
     counter: &mut StepCounter,
+) -> Result<DatabaseMatch, SearchError> {
+    fft_scan_observed(query_rotations, database, counter, &mut NoopObserver)
+}
+
+/// [`fft_scan`] with observer callbacks: the magnitude lower bound is a
+/// single flat filter, reported as a level-0 wedge test
+/// ([`SearchObserver::on_wedge_tested`] with `pruned` when the bound
+/// beat best-so-far); completed item distances fire
+/// [`SearchObserver::on_leaf_distance`].
+pub fn fft_scan_observed<O: SearchObserver>(
+    query_rotations: &RotationMatrix,
+    database: &[Vec<f64>],
+    counter: &mut StepCounter,
+    observer: &mut O,
 ) -> Result<DatabaseMatch, SearchError> {
     let n = query_rotations.series_len();
     check(database, n)?;
@@ -97,12 +141,19 @@ pub fn fft_scan(
         counter.add(fft_cost_model(n));
         let item_mags = magnitudes(item);
         let lb = magnitude_distance(&query_mags, &item_mags, &mut scratch);
-        if lb >= best_so_far {
+        let pruned = lb >= best_so_far;
+        observer.on_wedge_tested(0, lb, best_so_far, pruned);
+        if pruned {
             continue; // admissibly pruned
         }
-        if let Some(m) =
-            test_all_rotations(item, query_rotations, best_so_far, Measure::Euclidean, counter)
-        {
+        if let Some(m) = test_all_rotations(
+            item,
+            query_rotations,
+            best_so_far,
+            Measure::Euclidean,
+            counter,
+        ) {
+            observer.on_leaf_distance(m.distance);
             best_so_far = m.distance;
             best = Some(DatabaseMatch {
                 index,
@@ -209,7 +260,10 @@ mod tests {
         let (matrix, db) = setup(5, 64);
         let mut c = StepCounter::new();
         fft_scan(&matrix, &db, &mut c).unwrap();
-        assert!(c.steps() >= 5 * fft_cost_model(64), "per-item transform cost");
+        assert!(
+            c.steps() >= 5 * fft_cost_model(64),
+            "per-item transform cost"
+        );
     }
 
     #[test]
@@ -234,6 +288,35 @@ mod tests {
             convolution_scan(&matrix, &db, &mut StepCounter::new()),
             Err(SearchError::InvalidParam { .. })
         ));
+    }
+
+    #[test]
+    fn observed_baselines_match_plain_and_fire_events() {
+        use rotind_obs::QueryTrace;
+        let (matrix, db) = setup(16, 32);
+        let mut c1 = StepCounter::new();
+        let ea = early_abandon_scan(&matrix, &db, Measure::Euclidean, &mut c1).unwrap();
+        let mut trace = QueryTrace::new(32);
+        let mut c2 = StepCounter::new();
+        let ea_obs =
+            early_abandon_scan_observed(&matrix, &db, Measure::Euclidean, &mut c2, &mut trace)
+                .unwrap();
+        assert_eq!(ea.index, ea_obs.index);
+        assert_eq!(c1.steps(), c2.steps(), "observer is step-neutral");
+        assert!(trace.leaf_distances() >= 1);
+
+        let mut c3 = StepCounter::new();
+        let fft = fft_scan(&matrix, &db, &mut c3).unwrap();
+        let mut fft_trace = QueryTrace::new(32);
+        let mut c4 = StepCounter::new();
+        let fft_obs = fft_scan_observed(&matrix, &db, &mut c4, &mut fft_trace).unwrap();
+        assert_eq!(fft.index, fft_obs.index);
+        assert_eq!(c3.steps(), c4.steps());
+        assert_eq!(
+            fft_trace.tested(0),
+            db.len() as u64,
+            "one magnitude-bound test per item"
+        );
     }
 
     #[test]

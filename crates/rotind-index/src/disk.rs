@@ -91,17 +91,16 @@ impl IndexedDatabase {
     ///
     /// [`SearchError::EmptyDatabase`] / [`SearchError::LengthMismatch`]
     /// on malformed input; `d` is clamped to `n`.
-    pub fn build(
-        items: Vec<Vec<f64>>,
-        d: usize,
-        repr: ReducedRepr,
-    ) -> Result<Self, SearchError> {
+    pub fn build(items: Vec<Vec<f64>>, d: usize, repr: ReducedRepr) -> Result<Self, SearchError> {
         let Some(first) = items.first() else {
             return Err(SearchError::EmptyDatabase);
         };
         let n = first.len();
         if n == 0 {
-            return Err(SearchError::invalid_param("items", "series must be non-empty"));
+            return Err(SearchError::invalid_param(
+                "items",
+                "series must be non-empty",
+            ));
         }
         for (index, item) in items.iter().enumerate() {
             if item.len() != n {
@@ -120,7 +119,10 @@ impl IndexedDatabase {
             ReducedRepr::FourierMagnitude => {
                 items.iter().map(|s| magnitude_features(s, d)).collect()
             }
-            ReducedRepr::Paa => items.iter().map(|s| Paa::of(s, d).values().to_vec()).collect(),
+            ReducedRepr::Paa => items
+                .iter()
+                .map(|s| Paa::of(s, d).values().to_vec())
+                .collect(),
         };
         let tree = VpTree::build(reduced);
         Ok(IndexedDatabase {
@@ -217,8 +219,7 @@ impl IndexedDatabase {
                 )
             }
             ReducedRepr::Paa => {
-                let wedges: Vec<&Wedge> =
-                    cut.iter().map(|&node| tree.lb_wedge(node)).collect();
+                let wedges: Vec<&Wedge> = cut.iter().map(|&node| tree.lb_wedge(node)).collect();
                 let set = PaaWedgeSet::new(&wedges, self.d);
                 let seg = self.n / self.d.min(self.n);
                 let mut scratch = StepCounter::new();
@@ -282,13 +283,12 @@ mod tests {
         let query = signal(n, 0.123, 0.20);
         db[41] = rotated(&query, 30);
         for d in [4usize, 8, 16, 32] {
-            let index = IndexedDatabase::build(db.clone(), d, ReducedRepr::FourierMagnitude)
-                .unwrap();
+            let index =
+                IndexedDatabase::build(db.clone(), d, ReducedRepr::FourierMagnitude).unwrap();
             let (hit, stats) = index.nearest(&query, Measure::Euclidean).unwrap();
             let matrix = RotationMatrix::full(&query).unwrap();
             let oracle =
-                search_database(&matrix, &db, Measure::Euclidean, &mut StepCounter::new())
-                    .unwrap();
+                search_database(&matrix, &db, Measure::Euclidean, &mut StepCounter::new()).unwrap();
             assert_eq!(hit.index, oracle.index, "d = {d}");
             assert!((hit.distance - oracle.distance).abs() < 1e-9);
             assert!(stats.retrieved >= 1 && stats.retrieved <= stats.total);
@@ -306,8 +306,7 @@ mod tests {
             let index = IndexedDatabase::build(db.clone(), d, ReducedRepr::Paa).unwrap();
             let (hit, stats) = index.nearest(&query, measure).unwrap();
             let matrix = RotationMatrix::full(&query).unwrap();
-            let oracle =
-                search_database(&matrix, &db, measure, &mut StepCounter::new()).unwrap();
+            let oracle = search_database(&matrix, &db, measure, &mut StepCounter::new()).unwrap();
             assert_eq!(hit.index, oracle.index, "d = {d}");
             assert!((hit.distance - oracle.distance).abs() < 1e-9);
             assert!(stats.fraction() <= 1.0);
@@ -323,7 +322,11 @@ mod tests {
         let frac = |d: usize| {
             let index =
                 IndexedDatabase::build(db.clone(), d, ReducedRepr::FourierMagnitude).unwrap();
-            index.nearest(&query, Measure::Euclidean).unwrap().1.fraction()
+            index
+                .nearest(&query, Measure::Euclidean)
+                .unwrap()
+                .1
+                .fraction()
         };
         // Not strictly monotone point-by-point (tree layout changes with
         // d), but the trend across the sweep must not invert grossly.
@@ -340,8 +343,7 @@ mod tests {
         let n = 64;
         let db = diverse_db(200, n);
         let query = signal(n, 2.2, 0.18);
-        let index = IndexedDatabase::build(db.clone(), 16, ReducedRepr::FourierMagnitude)
-            .unwrap();
+        let index = IndexedDatabase::build(db.clone(), 16, ReducedRepr::FourierMagnitude).unwrap();
         let (_, stats) = index.nearest(&query, Measure::Euclidean).unwrap();
         assert!(
             stats.fraction() < 0.8,
@@ -379,7 +381,10 @@ mod tests {
 
     #[test]
     fn disk_stats_fraction() {
-        let s = DiskStats { retrieved: 5, total: 20 };
+        let s = DiskStats {
+            retrieved: 5,
+            total: 20,
+        };
         assert_eq!(s.fraction(), 0.25);
         assert_eq!(DiskStats::default().fraction(), 0.0);
     }

@@ -9,10 +9,11 @@
 //! by the property tests in `tests/`.
 
 use crate::error::SearchError;
-use crate::hmerge::{h_merge, h_merge_from_root, HMergeOutcome};
+use crate::hmerge::{h_merge_from_root, h_merge_observed, HMergeOutcome};
 use crate::planner::KPlanner;
 use rotind_distance::measure::Measure;
 use rotind_envelope::WedgeTree;
+use rotind_obs::{NoopObserver, SearchObserver};
 use rotind_ts::rotate::{Rotation, RotationMatrix};
 use rotind_ts::{StepCounter, TsError};
 use std::collections::HashMap;
@@ -45,9 +46,7 @@ impl Invariance {
         match self {
             Invariance::Rotation => RotationMatrix::full(query),
             Invariance::RotationMirror => RotationMatrix::with_mirror(query),
-            Invariance::RotationLimited { max_shift } => {
-                RotationMatrix::limited(query, max_shift)
-            }
+            Invariance::RotationLimited { max_shift } => RotationMatrix::limited(query, max_shift),
             Invariance::RotationLimitedMirror { max_shift } => {
                 RotationMatrix::limited_with_mirror(query, max_shift)
             }
@@ -160,11 +159,15 @@ impl RotationQuery {
     pub fn distance_to(&self, candidate: &[f64]) -> Result<f64, SearchError> {
         self.check_len(0, candidate)?;
         let mut counter = StepCounter::new();
-        Ok(
-            h_merge_from_root(candidate, &self.tree, f64::INFINITY, self.measure, &mut counter)
-                .expect("infinite threshold always matches")
-                .distance,
+        Ok(h_merge_from_root(
+            candidate,
+            &self.tree,
+            f64::INFINITY,
+            self.measure,
+            &mut counter,
         )
+        .expect("infinite threshold always matches")
+        .distance)
     }
 
     /// Exact 1-nearest-neighbour search.
@@ -184,6 +187,20 @@ impl RotationQuery {
         Ok(hits.into_iter().next().expect("k = 1 yields one hit"))
     }
 
+    /// 1-NN search reporting every wedge test, prune, early abandon and
+    /// planner decision to `observer` (typically a
+    /// [`rotind_obs::QueryTrace`]). The observer never changes the
+    /// answer or the step count — see `tests/observability.rs`.
+    pub fn nearest_observed<O: SearchObserver>(
+        &self,
+        database: &[Vec<f64>],
+        counter: &mut StepCounter,
+        observer: &mut O,
+    ) -> Result<Neighbor, SearchError> {
+        let hits = self.k_nearest_observed(database, 1, counter, observer)?;
+        Ok(hits.into_iter().next().expect("k = 1 yields one hit"))
+    }
+
     /// Exact k-nearest-neighbour search (ties broken by database order).
     pub fn k_nearest(&self, database: &[Vec<f64>], k: usize) -> Result<Vec<Neighbor>, SearchError> {
         let mut counter = StepCounter::new();
@@ -196,6 +213,17 @@ impl RotationQuery {
         database: &[Vec<f64>],
         k: usize,
         counter: &mut StepCounter,
+    ) -> Result<Vec<Neighbor>, SearchError> {
+        self.k_nearest_observed(database, k, counter, &mut NoopObserver)
+    }
+
+    /// k-NN with step accounting and observer callbacks.
+    pub fn k_nearest_observed<O: SearchObserver>(
+        &self,
+        database: &[Vec<f64>],
+        k: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
     ) -> Result<Vec<Neighbor>, SearchError> {
         if k == 0 {
             return Err(SearchError::invalid_param("k", "must be >= 1"));
@@ -215,7 +243,8 @@ impl RotationQuery {
             } else {
                 f64::INFINITY
             };
-            if let Some(outcome) = scan.compare(item, bsf, self.measure, counter) {
+            if let Some(outcome) = scan.compare_observed(item, bsf, self.measure, counter, observer)
+            {
                 heap.push(Neighbor {
                     index,
                     distance: outcome.distance,
@@ -225,7 +254,7 @@ impl RotationQuery {
                 if heap.len() > k {
                     heap.pop();
                 }
-                scan.notify_improvement();
+                scan.notify_improvement_observed(observer);
             }
         }
         Ok(heap)
@@ -233,21 +262,33 @@ impl RotationQuery {
 
     /// Exact range query: every item within `radius` (inclusive) of the
     /// query under the engine's measure.
-    pub fn range(
+    pub fn range(&self, database: &[Vec<f64>], radius: f64) -> Result<Vec<Neighbor>, SearchError> {
+        let mut counter = StepCounter::new();
+        self.range_observed(database, radius, &mut counter, &mut NoopObserver)
+    }
+
+    /// Range query with step accounting and observer callbacks.
+    pub fn range_observed<O: SearchObserver>(
         &self,
         database: &[Vec<f64>],
         radius: f64,
+        counter: &mut StepCounter,
+        observer: &mut O,
     ) -> Result<Vec<Neighbor>, SearchError> {
         if !radius.is_finite() || radius < 0.0 {
-            return Err(SearchError::invalid_param("radius", "must be finite and >= 0"));
+            return Err(SearchError::invalid_param(
+                "radius",
+                "must be finite and >= 0",
+            ));
         }
         self.check_all(database)?;
-        let mut counter = StepCounter::new();
         let mut scan = ScanState::new(&self.tree, self.k_policy, self.probe_intervals);
         let threshold = radius.next_up(); // h_merge is strict; make the radius inclusive
         let mut out = Vec::new();
         for (index, item) in database.iter().enumerate() {
-            if let Some(outcome) = scan.compare(item, threshold, self.measure, &mut counter) {
+            if let Some(outcome) =
+                scan.compare_observed(item, threshold, self.measure, counter, observer)
+            {
                 if outcome.distance <= radius {
                     out.push(Neighbor {
                         index,
@@ -308,9 +349,9 @@ impl<'a> ScanState<'a> {
         self.cuts.entry(k).or_insert_with(|| tree.cut_nodes(k))
     }
 
-    fn notify_improvement(&mut self) {
+    fn notify_improvement_observed<O: SearchObserver>(&mut self, observer: &mut O) {
         if self.fixed_k.is_none() {
-            self.planner.on_best_so_far_change();
+            self.planner.on_best_so_far_change_observed(observer);
         }
     }
 
@@ -319,12 +360,13 @@ impl<'a> ScanState<'a> {
     /// candidates are tried on consecutive items and their `num_steps`
     /// reported back to the planner — no extra work is performed, so the
     /// probe cost is (trivially) included in every experiment.
-    fn compare(
+    fn compare_observed<O: SearchObserver>(
         &mut self,
         item: &[f64],
         bsf: f64,
         measure: Measure,
         counter: &mut StepCounter,
+        observer: &mut O,
     ) -> Option<HMergeOutcome> {
         let k = match self.fixed_k {
             Some(k) => k,
@@ -332,9 +374,10 @@ impl<'a> ScanState<'a> {
         };
         let cut = self.cut(k).to_vec();
         let before = *counter;
-        let outcome = h_merge(item, self.tree, &cut, bsf, measure, counter);
+        let outcome = h_merge_observed(item, self.tree, &cut, bsf, measure, counter, observer);
         if self.fixed_k.is_none() {
-            self.planner.record(counter.since(before));
+            self.planner
+                .record_observed(counter.since(before), observer);
         }
         outcome
     }
@@ -503,11 +546,8 @@ mod tests {
         let mut db = database(10, n);
         db[3] = rotated(&query, 12); // outside a ±2 window
         db[7] = rotated(&query, 1); // inside
-        let engine = RotationQuery::new(
-            &query,
-            Invariance::RotationLimited { max_shift: 2 },
-        )
-        .unwrap();
+        let engine =
+            RotationQuery::new(&query, Invariance::RotationLimited { max_shift: 2 }).unwrap();
         let hit = engine.nearest(&db).unwrap();
         assert_eq!(hit.index, 7);
         assert!(hit.distance < 1e-9);
@@ -538,8 +578,7 @@ mod tests {
         let query = signal(n, 0.4);
         let db = database(12, n);
         let measure = Measure::Lcss(rotind_distance::LcssParams::for_normalized(n));
-        let engine =
-            RotationQuery::with_measure(&query, Invariance::Rotation, measure).unwrap();
+        let engine = RotationQuery::with_measure(&query, Invariance::Rotation, measure).unwrap();
         let hit = engine.nearest(&db).unwrap();
         let matrix = RotationMatrix::full(&query).unwrap();
         let oracle = search_database(&matrix, &db, measure, &mut StepCounter::new()).unwrap();
@@ -562,14 +601,15 @@ mod tests {
     #[test]
     fn error_paths() {
         let engine = RotationQuery::new(&signal(16, 0.0), Invariance::Rotation).unwrap();
-        assert_eq!(
-            engine.nearest(&[]).unwrap_err(),
-            SearchError::EmptyDatabase
-        );
+        assert_eq!(engine.nearest(&[]).unwrap_err(), SearchError::EmptyDatabase);
         let bad = vec![vec![0.0; 8]];
         assert!(matches!(
             engine.nearest(&bad).unwrap_err(),
-            SearchError::LengthMismatch { index: 0, expected: 16, actual: 8 }
+            SearchError::LengthMismatch {
+                index: 0,
+                expected: 16,
+                actual: 8
+            }
         ));
         assert!(matches!(
             engine.k_nearest(&database(3, 16), 0).unwrap_err(),
@@ -592,6 +632,51 @@ mod tests {
             &mut StepCounter::new(),
         );
         assert!((got - oracle).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_search_is_neutral_and_sees_planner_activity() {
+        use rotind_obs::QueryTrace;
+        let n = 32;
+        let query = signal(n, 0.15);
+        let db = database(60, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let mut plain_steps = StepCounter::new();
+        let plain = engine.nearest_with_steps(&db, &mut plain_steps).unwrap();
+        let mut trace = QueryTrace::new(n);
+        let mut observed_steps = StepCounter::new();
+        let observed = engine
+            .nearest_observed(&db, &mut observed_steps, &mut trace)
+            .unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(plain_steps.steps(), observed_steps.steps());
+        assert!(trace.leaf_distances() > 0);
+        assert!(trace.wedges_tested() > 0);
+        assert!(
+            !trace.k_timeline().is_empty(),
+            "dynamic planner must have probed at least once"
+        );
+        // The first best-so-far improvement starts a probe cycle.
+        assert!(trace.k_timeline()[0].probing);
+    }
+
+    #[test]
+    fn observed_range_query_matches_plain() {
+        use rotind_obs::QueryTrace;
+        let n = 24;
+        let query = signal(n, 0.0);
+        let db = database(20, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let radius = engine.nearest(&db).unwrap().distance * 1.5;
+        let plain = engine.range(&db, radius).unwrap();
+        let mut trace = QueryTrace::new(n);
+        let mut counter = StepCounter::new();
+        let observed = engine
+            .range_observed(&db, radius, &mut counter, &mut trace)
+            .unwrap();
+        assert_eq!(plain, observed);
+        assert!(counter.steps() > 0);
+        assert!(trace.leaf_distances() > 0);
     }
 
     #[test]
@@ -623,5 +708,4 @@ mod tests {
             ea_steps.steps()
         );
     }
-
 }

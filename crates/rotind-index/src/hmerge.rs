@@ -13,8 +13,9 @@
 //! threshold — exactly how `NNSearch` (Table 7) consumes it.
 
 use rotind_distance::measure::Measure;
-use rotind_envelope::lb_keogh::{lb_keogh_early_abandon, lcss_distance_lower_bound};
+use rotind_envelope::lb_keogh::{lb_keogh_early_abandon_at, lcss_distance_lower_bound};
 use rotind_envelope::WedgeTree;
+use rotind_obs::{NoopObserver, SearchObserver};
 use rotind_ts::rotate::Rotation;
 use rotind_ts::StepCounter;
 
@@ -28,8 +29,21 @@ pub struct HMergeOutcome {
     pub rotation: Rotation,
 }
 
+/// Result of bounding one wedge node against the threshold.
+enum NodeBound {
+    /// The bound admits the subtree; the value is exact.
+    Admitted(f64),
+    /// The subtree is pruned. `lb` is the exactly computed bound when
+    /// available (LCSS); `position` is the abandon point when the
+    /// LB_Keogh accumulation stopped early (Euclidean/DTW).
+    Pruned {
+        lb: Option<f64>,
+        position: Option<usize>,
+    },
+}
+
 /// Lower bound of `measure` from `candidate` to every rotation covered by
-/// `node`'s wedge; `None` when the bound already provably exceeds `r`.
+/// `node`'s wedge, with pruning diagnostics for the observer.
 fn node_lower_bound(
     candidate: &[f64],
     tree: &WedgeTree,
@@ -37,17 +51,30 @@ fn node_lower_bound(
     r: f64,
     measure: Measure,
     counter: &mut StepCounter,
-) -> Option<f64> {
+) -> NodeBound {
     match measure {
         Measure::Euclidean | Measure::Dtw(_) => {
             // For DTW the tree's lb wedges are pre-widened by the band
             // (Proposition 2); for Euclidean they are the plain wedges
             // (Proposition 1).
-            lb_keogh_early_abandon(candidate, tree.lb_wedge(node), r, counter)
+            match lb_keogh_early_abandon_at(candidate, tree.lb_wedge(node), r, counter) {
+                Ok(lb) => NodeBound::Admitted(lb),
+                Err(position) => NodeBound::Pruned {
+                    lb: None,
+                    position: Some(position),
+                },
+            }
         }
         Measure::Lcss(p) => {
             let lb = lcss_distance_lower_bound(candidate, tree.wedge(node), p, counter);
-            (lb <= r).then_some(lb)
+            if lb <= r {
+                NodeBound::Admitted(lb)
+            } else {
+                NodeBound::Pruned {
+                    lb: Some(lb),
+                    position: None,
+                }
+            }
         }
     }
 }
@@ -86,6 +113,36 @@ pub fn h_merge(
     measure: Measure,
     counter: &mut StepCounter,
 ) -> Option<HMergeOutcome> {
+    h_merge_observed(candidate, tree, cut, r, measure, counter, &mut NoopObserver)
+}
+
+/// [`h_merge`] reporting every wedge test, prune, early abandon and leaf
+/// distance to `observer`.
+///
+/// Event semantics:
+/// - `on_wedge_tested(level, lb, best_so_far, pruned)` fires per wedge
+///   bound, with `level` the descent depth below the cut (cut members
+///   are level 0). For bounds that early-abandoned, the exact `lb` is
+///   unknown; the crossed threshold (`best_so_far`) is reported in its
+///   place.
+/// - `on_early_abandon(position)` follows a pruned LB_Keogh bound with
+///   the number of query positions consumed.
+/// - A *Euclidean leaf* is special: its singleton-wedge bound **is** the
+///   exact distance (Section 4.1), so an admitted one fires only
+///   `on_leaf_distance` — this keeps the observer's picture faithful
+///   (no bound was tested, a distance was computed) and lets traces pair
+///   each leaf distance with the most recent admitted ancestor bound
+///   for LB-tightness accounting.
+#[allow(clippy::too_many_arguments)] // mirrors h_merge + the observer
+pub fn h_merge_observed<O: SearchObserver>(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cut: &[usize],
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+) -> Option<HMergeOutcome> {
     assert_eq!(
         candidate.len(),
         tree.matrix().series_len(),
@@ -93,16 +150,28 @@ pub fn h_merge(
     );
     let mut best: Option<HMergeOutcome> = None;
     let mut best_so_far = r;
-    let mut stack: Vec<usize> = cut.to_vec();
-    while let Some(node) = stack.pop() {
-        let Some(lb) = node_lower_bound(candidate, tree, node, best_so_far, measure, counter)
-        else {
-            continue; // the whole wedge is pruned
+    let mut stack: Vec<(usize, usize)> = cut.iter().map(|&node| (node, 0)).collect();
+    while let Some((node, level)) = stack.pop() {
+        let is_leaf = tree.is_leaf(node);
+        let lb = match node_lower_bound(candidate, tree, node, best_so_far, measure, counter) {
+            NodeBound::Admitted(lb) => {
+                if !(is_leaf && matches!(measure, Measure::Euclidean)) {
+                    observer.on_wedge_tested(level, lb, best_so_far, false);
+                }
+                lb
+            }
+            NodeBound::Pruned { lb, position } => {
+                observer.on_wedge_tested(level, lb.unwrap_or(best_so_far), best_so_far, true);
+                if let Some(position) = position {
+                    observer.on_early_abandon(position);
+                }
+                continue; // the whole wedge is pruned
+            }
         };
-        if tree.is_leaf(node) {
-            if let Some(d) =
-                leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter)
+        if is_leaf {
+            if let Some(d) = leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter)
             {
+                observer.on_leaf_distance(d);
                 if d < best_so_far {
                     best_so_far = d;
                     best = Some(HMergeOutcome {
@@ -113,8 +182,8 @@ pub fn h_merge(
             }
         } else {
             let (left, right) = tree.children(node).expect("internal node has children");
-            stack.push(left);
-            stack.push(right);
+            stack.push((left, level + 1));
+            stack.push((right, level + 1));
         }
     }
     best
@@ -144,7 +213,8 @@ pub fn h_merge_filter(
     );
     let mut stack: Vec<usize> = cut.to_vec();
     while let Some(node) = stack.pop() {
-        let Some(lb) = node_lower_bound(candidate, tree, node, r, measure, counter) else {
+        let NodeBound::Admitted(lb) = node_lower_bound(candidate, tree, node, r, measure, counter)
+        else {
             continue;
         };
         if tree.is_leaf(node) {
@@ -173,8 +243,21 @@ pub fn h_merge_from_root(
     measure: Measure,
     counter: &mut StepCounter,
 ) -> Option<HMergeOutcome> {
+    h_merge_from_root_observed(candidate, tree, r, measure, counter, &mut NoopObserver)
+}
+
+/// [`h_merge_from_root`] with observer callbacks (see
+/// [`h_merge_observed`] for the event semantics; the root is level 0).
+pub fn h_merge_from_root_observed<O: SearchObserver>(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+) -> Option<HMergeOutcome> {
     let root = [tree.root()];
-    h_merge(candidate, tree, &root, r, measure, counter)
+    h_merge_observed(candidate, tree, &root, r, measure, counter, observer)
 }
 
 #[cfg(test)]
@@ -248,9 +331,15 @@ mod tests {
                     .unwrap();
             for k in [1usize, 2, 5, 10, 20] {
                 let cut = tree.cut_nodes(k);
-                let got =
-                    h_merge(&candidate, &tree, &cut, f64::INFINITY, measure, &mut steps())
-                        .unwrap();
+                let got = h_merge(
+                    &candidate,
+                    &tree,
+                    &cut,
+                    f64::INFINITY,
+                    measure,
+                    &mut steps(),
+                )
+                .unwrap();
                 assert!(
                     (got.distance - oracle.distance).abs() < 1e-9,
                     "{} k = {k}",
@@ -323,10 +412,14 @@ mod tests {
         .is_none());
         let matrix = RotationMatrix::full(&query).unwrap();
         let mut scan_steps = steps();
-        assert!(
-            test_all_rotations(&candidate, &matrix, 0.5, Measure::Euclidean, &mut scan_steps)
-                .is_none()
-        );
+        assert!(test_all_rotations(
+            &candidate,
+            &matrix,
+            0.5,
+            Measure::Euclidean,
+            &mut scan_steps
+        )
+        .is_none());
         assert!(
             wedge_steps.steps() * 10 < scan_steps.steps(),
             "wedge {} vs scan {}",
@@ -355,14 +448,8 @@ mod tests {
         // Limited: a far rotation must not be matched exactly.
         let far = rotated(&query, 11);
         let tree = WedgeTree::new(RotationMatrix::limited(&query, 2).unwrap(), 0);
-        let got = h_merge_from_root(
-            &far,
-            &tree,
-            f64::INFINITY,
-            Measure::Euclidean,
-            &mut steps(),
-        )
-        .unwrap();
+        let got = h_merge_from_root(&far, &tree, f64::INFINITY, Measure::Euclidean, &mut steps())
+            .unwrap();
         assert!(got.distance > 0.1);
     }
 
@@ -435,6 +522,77 @@ mod tests {
     }
 
     #[test]
+    fn observed_scan_is_neutral_and_fires_events() {
+        use rotind_obs::QueryTrace;
+        let n = 48;
+        let query = signal(n, 0.0);
+        let tree = tree_for(&query, 0);
+        let cut = tree.cut_nodes(4);
+        for phase in [0.7, 1.9, 3.1] {
+            let candidate = signal(n, phase);
+            let mut plain_steps = steps();
+            let plain = h_merge(
+                &candidate,
+                &tree,
+                &cut,
+                f64::INFINITY,
+                Measure::Euclidean,
+                &mut plain_steps,
+            );
+            let mut trace = QueryTrace::new(n);
+            let mut observed_steps = steps();
+            let observed = h_merge_observed(
+                &candidate,
+                &tree,
+                &cut,
+                f64::INFINITY,
+                Measure::Euclidean,
+                &mut observed_steps,
+                &mut trace,
+            );
+            assert_eq!(plain, observed, "observer must not change the answer");
+            assert_eq!(
+                plain_steps.steps(),
+                observed_steps.steps(),
+                "observer must not change the step count"
+            );
+            // The running best-so-far prunes most rotations even with an
+            // infinite initial threshold; at least the first admitted
+            // leaf must have fired a distance event, and every cut node
+            // is tested at level 0 (admitted or pruned).
+            assert!(trace.leaf_distances() >= 1);
+            assert!(trace.tested(0) + trace.leaf_distances() >= cut.len() as u64);
+            assert!(trace.wedges_tested() > 0);
+        }
+    }
+
+    #[test]
+    fn observed_scan_reports_abandon_positions() {
+        use rotind_obs::QueryTrace;
+        let n = 64;
+        let query = signal(n, 0.0);
+        let candidate: Vec<f64> = vec![50.0; n];
+        let tree = tree_for(&query, 0);
+        let cut = tree.cut_nodes(1);
+        let mut trace = QueryTrace::new(n);
+        let mut counter = steps();
+        assert!(h_merge_observed(
+            &candidate,
+            &tree,
+            &cut,
+            0.5,
+            Measure::Euclidean,
+            &mut counter,
+            &mut trace,
+        )
+        .is_none());
+        assert_eq!(trace.pruned(0), 1, "the single fat wedge prunes");
+        assert_eq!(trace.early_abandons(), 1);
+        assert!(trace.abandon_depth().mean().unwrap() <= 1.0);
+        assert_eq!(trace.leaf_distances(), 0);
+    }
+
+    #[test]
     fn k_equal_n_behaves_like_early_abandon_rotation_scan() {
         // At K = n every wedge is a singleton: the result must match and
         // the work is comparable to Table 2 with best-so-far threading.
@@ -453,9 +611,14 @@ mod tests {
         )
         .unwrap();
         let matrix = RotationMatrix::full(&query).unwrap();
-        let oracle =
-            test_all_rotations(&candidate, &matrix, f64::INFINITY, Measure::Euclidean, &mut steps())
-                .unwrap();
+        let oracle = test_all_rotations(
+            &candidate,
+            &matrix,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
         assert!((got.distance - oracle.distance).abs() < 1e-9);
     }
 }

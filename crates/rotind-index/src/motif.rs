@@ -88,14 +88,14 @@ pub fn top_motifs(
         // A mid-sized fixed cut works well for one-shot scans (the
         // dynamic planner needs a longer scan to pay off).
         let cut = tree.cut_nodes(16.min(tree.max_k()));
+        #[allow(clippy::needless_range_loop)] // b is also stored in the MotifPair
         for b in a + 1..items.len() {
             let threshold = if best.len() == k {
                 best[k - 1].distance
             } else {
                 f64::INFINITY
             };
-            if let Some(outcome) = h_merge(&items[b], &tree, &cut, threshold, measure, counter)
-            {
+            if let Some(outcome) = h_merge(&items[b], &tree, &cut, threshold, measure, counter) {
                 best.push(MotifPair {
                     a,
                     b,

@@ -19,6 +19,8 @@
 //! (zero) overhead is naturally included in every experiment, as the
 //! paper requires.
 
+use rotind_obs::{NoopObserver, SearchObserver};
+
 /// Number of intervals each side of `current_K` is divided into.
 /// The paper finds any value in 3..=20 changes performance by < 4%.
 pub const PROBE_INTERVALS: usize = 5;
@@ -59,6 +61,10 @@ impl KPlanner {
     /// The `K` to use for the next comparison: the next probe candidate
     /// while a probe cycle is active, the adopted `K` otherwise.
     pub fn next_k(&mut self) -> usize {
+        self.effective_k()
+    }
+
+    fn effective_k(&self) -> usize {
         match self.pending.last() {
             Some(&k) => k,
             None => self.current_k,
@@ -84,16 +90,27 @@ impl KPlanner {
     /// [`next_k`](Self::next_k)'s value. Advances the probe cycle; when
     /// the last candidate is measured, the cheapest is adopted.
     pub fn record(&mut self, steps: u64) {
+        self.record_observed(steps, &mut NoopObserver);
+    }
+
+    /// [`record`](Self::record) that reports every effective-K transition
+    /// to `observer` via [`SearchObserver::on_k_change`] — advancing to
+    /// the next probe candidate (`probing = true`) or adopting the
+    /// measured winner at the end of a cycle (`probing = false`).
+    pub fn record_observed<O: SearchObserver>(&mut self, steps: u64, observer: &mut O) {
+        let old = self.effective_k();
         if let Some(k) = self.pending.pop() {
             self.measured.push((k, steps));
             if self.pending.is_empty() {
-                if let Some(&(best_k, _)) =
-                    self.measured.iter().min_by_key(|&&(_, cost)| cost)
-                {
+                if let Some(&(best_k, _)) = self.measured.iter().min_by_key(|&&(_, cost)| cost) {
                     self.current_k = best_k;
                 }
                 self.measured.clear();
             }
+        }
+        let new = self.effective_k();
+        if new != old {
+            observer.on_k_change(old, new, self.probing());
         }
     }
 
@@ -102,6 +119,15 @@ impl KPlanner {
     /// `[1, current_K]` and `[current_K, max_K]` into
     /// [`PROBE_INTERVALS`] intervals.
     pub fn on_best_so_far_change(&mut self) {
+        self.on_best_so_far_change_observed(&mut NoopObserver);
+    }
+
+    /// [`on_best_so_far_change`](Self::on_best_so_far_change) that
+    /// reports the jump to the first probe candidate (when it differs
+    /// from the current effective K) via
+    /// [`SearchObserver::on_k_change`] with `probing = true`.
+    pub fn on_best_so_far_change_observed<O: SearchObserver>(&mut self, observer: &mut O) {
+        let old = self.effective_k();
         self.measured.clear();
         let intervals = self.intervals;
         let mut cands = Vec::with_capacity(2 * intervals + 2);
@@ -122,6 +148,10 @@ impl KPlanner {
         cands.retain(|&k| (1..=self.max_k).contains(&k));
         cands.reverse(); // popped from the back → ascending trial order
         self.pending = cands;
+        let new = self.effective_k();
+        if new != old {
+            observer.on_k_change(old, new, true);
+        }
     }
 
     /// Force-adopt a `K` (used by tests and ablations).
@@ -238,5 +268,54 @@ mod tests {
         assert_eq!(p.current_k(), 1);
         p.adopt(99);
         assert_eq!(p.current_k(), 30);
+    }
+
+    #[derive(Default)]
+    struct KLog(Vec<(usize, usize, bool)>);
+
+    impl SearchObserver for KLog {
+        fn on_k_change(&mut self, old: usize, new: usize, probing: bool) {
+            self.0.push((old, new, probing));
+        }
+    }
+
+    #[test]
+    fn observed_variants_report_every_k_transition() {
+        let mut p = KPlanner::new(10);
+        p.adopt(5);
+        let mut log = KLog::default();
+        p.on_best_so_far_change_observed(&mut log);
+        assert_eq!(log.0.len(), 1, "probe start is one transition");
+        assert_eq!(log.0[0], (5, p.next_k(), true));
+        // Make the FIRST candidate (K = 1) cheapest, so the adoption at
+        // cycle end is a visible transition away from the last candidate.
+        while p.probing() {
+            let k = p.next_k();
+            p.record_observed(if k == 1 { 1 } else { 50 }, &mut log);
+        }
+        let last = *log.0.last().unwrap();
+        assert!(!last.2, "final transition adopts (probing = false)");
+        assert_eq!(last.1, 1, "cheapest candidate adopted");
+        // Every transition chains: new of one is old of the next.
+        assert!(log.0.windows(2).all(|w| w[0].1 == w[1].0));
+    }
+
+    #[test]
+    fn observed_variants_match_unobserved_decisions() {
+        // The observer must not influence the adopted K.
+        let mut a = KPlanner::new(40);
+        let mut b = KPlanner::new(40);
+        let mut log = KLog::default();
+        a.on_best_so_far_change();
+        b.on_best_so_far_change_observed(&mut log);
+        let mut cost = 17u64;
+        while a.probing() {
+            assert_eq!(a.next_k(), b.next_k());
+            cost = cost.wrapping_mul(31).wrapping_add(7) % 1000;
+            a.record(cost);
+            b.record_observed(cost, &mut log);
+        }
+        assert!(!b.probing());
+        assert_eq!(a.current_k(), b.current_k());
     }
 }

@@ -93,7 +93,11 @@ impl StreamFilter {
         if patterns.len() != thresholds.len() {
             return Err(SearchError::invalid_param(
                 "thresholds",
-                format!("{} thresholds for {} patterns", thresholds.len(), patterns.len()),
+                format!(
+                    "{} thresholds for {} patterns",
+                    thresholds.len(),
+                    patterns.len()
+                ),
             ));
         }
         if matches!(measure, Measure::Lcss(_)) {
@@ -264,12 +268,9 @@ mod tests {
             StreamFilter::new(vec![], vec![], Measure::Euclidean),
             Err(SearchError::EmptyDatabase)
         ));
-        assert!(StreamFilter::new(
-            vec![vec![1.0, 2.0]],
-            vec![1.0, 2.0],
-            Measure::Euclidean
-        )
-        .is_err());
+        assert!(
+            StreamFilter::new(vec![vec![1.0, 2.0]], vec![1.0, 2.0], Measure::Euclidean).is_err()
+        );
         assert!(StreamFilter::new(
             vec![vec![1.0, 2.0], vec![1.0]],
             vec![1.0, 1.0],
@@ -373,9 +374,7 @@ mod tests {
         // A locally warped copy: the middle third lags by one sample
         // (endpoints untouched, so DTW's anchored corners are unaffected).
         let mut warped = base.clone();
-        for i in 8..16 {
-            warped[i] = base[i - 1];
-        }
+        warped[8..16].copy_from_slice(&base[7..15]);
         let threshold = 0.8;
         let mut ed_filter =
             StreamFilter::new(vec![base.clone()], vec![threshold], Measure::Euclidean).unwrap();

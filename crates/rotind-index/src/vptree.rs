@@ -102,10 +102,10 @@ impl VpTree {
         let mid = with_dist.len() / 2;
         let (inside_part, outside_part) = with_dist.split_at(mid.max(1).min(with_dist.len()));
         let range = |part: &[(usize, f64)]| -> (f64, f64) {
-            part.iter().fold(
-                (f64::INFINITY, f64::NEG_INFINITY),
-                |(lo, hi), &(_, d)| (lo.min(d), hi.max(d)),
-            )
+            part.iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, d)| {
+                    (lo.min(d), hi.max(d))
+                })
         };
         let inside_range = range(inside_part);
         let outside_range = range(outside_part);
@@ -159,7 +159,13 @@ impl VpTree {
         let mut bsf = initial_bsf;
         if let Some(root) = &self.root {
             self.search_node(
-                root, kind, &mut bound, &mut refine, &mut bsf, &mut best, &mut stats,
+                root,
+                kind,
+                &mut bound,
+                &mut refine,
+                &mut bsf,
+                &mut best,
+                &mut stats,
             );
         }
         (best, stats)
@@ -203,7 +209,11 @@ impl VpTree {
             (&node.inside, min_possible(node.inside_range)),
             (&node.outside, min_possible(node.outside_range)),
         ];
-        let order = if sides[0].1 <= sides[1].1 { [0, 1] } else { [1, 0] };
+        let order = if sides[0].1 <= sides[1].1 {
+            [0, 1]
+        } else {
+            [1, 0]
+        };
         for &i in &order {
             let (child, min_poss) = &sides[i];
             if let Some(child) = child {
@@ -270,7 +280,12 @@ mod tests {
     fn metric_search_finds_nearest_point() {
         let pts = grid_points();
         let t = VpTree::build(pts.clone());
-        for query in [vec![2.2, 3.1], vec![0.0, 0.0], vec![5.4, 5.4], vec![-3.0, 2.0]] {
+        for query in [
+            vec![2.2, 3.1],
+            vec![0.0, 0.0],
+            vec![5.4, 5.4],
+            vec![-3.0, 2.0],
+        ] {
             let (best, _) = t.search(
                 BoundKind::MetricToPoint,
                 |x| euclid(x, &query),

@@ -40,7 +40,10 @@ pub fn light_curves_with_noise(m: usize, n: usize, seed: u64, sigma: f64) -> Dat
         name: "LightCurve".to_string(),
         items,
         labels,
-        class_names: LightCurveClass::ALL.iter().map(|c| c.name().to_string()).collect(),
+        class_names: LightCurveClass::ALL
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
     }
 }
 
@@ -101,6 +104,9 @@ mod tests {
             }
         }
         let spread = positions.iter().max().unwrap() - positions.iter().min().unwrap();
-        assert!(spread > 32, "eclipse positions should be scattered: {spread}");
+        assert!(
+            spread > 32,
+            "eclipse positions should be scattered: {spread}"
+        );
     }
 }

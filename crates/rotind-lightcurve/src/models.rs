@@ -168,7 +168,11 @@ mod tests {
         }
         assert_eq!(dips, 2, "expected primary + secondary eclipse");
         // Primary (at phase 0) deeper than secondary (at ~0.5).
-        let min_near_zero = c[..32].iter().chain(&c[480..]).copied().fold(f64::MAX, f64::min);
+        let min_near_zero = c[..32]
+            .iter()
+            .chain(&c[480..])
+            .copied()
+            .fold(f64::MAX, f64::min);
         let min_near_half = c[224..288].iter().copied().fold(f64::MAX, f64::min);
         assert!(min_near_zero < min_near_half);
     }
@@ -197,7 +201,11 @@ mod tests {
         let rr = model_curve(LightCurveClass::RrLyrae, 1000, &mut r1);
         let ceph = model_curve(LightCurveClass::Cepheid, 1000, &mut r2);
         let peak_pos = |c: &[f64]| {
-            c.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0
+            c.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0
         };
         assert!(peak_pos(&rr) <= peak_pos(&ceph));
     }

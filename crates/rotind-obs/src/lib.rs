@@ -1,0 +1,35 @@
+//! Observability for the rotind wedge engine.
+//!
+//! The paper reports efficiency in `num_steps` — an implementation-free
+//! operation count (Section 5.3). That tells you *how much* work a search
+//! did, but not *where* the pruning happened, how tight the LB_Keogh
+//! bounds were, or how the dynamic K planner moved. This crate adds that
+//! visibility without perturbing the measurements it reports on:
+//!
+//! - [`MetricsRegistry`] — counters, gauges and fixed-bucket histograms
+//!   with Prometheus-style text exposition and JSONL event export.
+//! - [`Span`] — RAII timers recording wall-clock *alongside* a
+//!   [`StepCounter`](rotind_ts::StepCounter) snapshot, so wall-clock and
+//!   the paper's step metric can be compared per phase.
+//! - [`SearchObserver`] — a callback trait threaded through the wedge
+//!   engine. The default [`NoopObserver`] monomorphizes to nothing, so
+//!   un-observed searches pay zero overhead.
+//! - [`QueryTrace`] — a ready-made observer summarising a search:
+//!   per-level prune counts, LB-tightness ratios, early-abandon depths
+//!   and the K-planner timeline.
+//!
+//! The crate depends only on `rotind-ts` (for the step counter) and the
+//! standard library.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod observer;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use observer::{NoopObserver, SearchObserver};
+pub use span::{global_span_report, reset_global_spans, Span, SpanRecord};
+pub use trace::{KChange, QueryTrace};

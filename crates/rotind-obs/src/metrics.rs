@@ -1,0 +1,363 @@
+//! Metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! The registry is a plain value — no global state, no locks, no
+//! background threads. Harnesses own one, feed it during a run, and
+//! render it at the end either as Prometheus-style exposition text
+//! ([`MetricsRegistry::render_prometheus`]) or as one JSON object per
+//! recorded event ([`MetricsRegistry::export_jsonl`]).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A fixed-bucket histogram in the Prometheus style: cumulative bucket
+/// counts at explicit upper bounds plus an implicit `+Inf` bucket, a
+/// running sum and a total count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `counts[i]` is the number of observations `<= bounds[i]`;
+    /// `counts[bounds.len()]` is the `+Inf` bucket. Counts are
+    /// *non-cumulative* internally and accumulated at render time.
+    counts: Vec<u64>,
+    sum: f64,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            sum: 0.0,
+            total: 0,
+        }
+    }
+
+    /// `n` equal-width buckets covering `[lo, hi]`.
+    pub fn linear(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(n > 0 && hi > lo, "need n > 0 and hi > lo");
+        // `lo + span * i / n` (not an accumulated width) keeps bounds
+        // like 0.3 exact, so exposition labels stay clean.
+        Histogram::new(
+            (1..=n)
+                .map(|i| lo + (hi - lo) * i as f64 / n as f64)
+                .collect(),
+        )
+    }
+
+    /// Buckets for a ratio in `[0, 1]`: 0.1, 0.2, …, 1.0.
+    pub fn ratio() -> Self {
+        Histogram::linear(0.0, 1.0, 10)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += value;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or `None` before the first one.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+
+    /// `(upper_bound, count)` per bucket, non-cumulative; the final
+    /// entry has bound `f64::INFINITY`.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Fold another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    /// Panics when the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
+}
+
+/// A JSONL-exportable event: a name plus numeric fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    name: String,
+    fields: Vec<(String, f64)>,
+}
+
+/// Registry of named counters, gauges, histograms and events.
+///
+/// ```
+/// use rotind_obs::{Histogram, MetricsRegistry};
+/// let mut reg = MetricsRegistry::new();
+/// reg.counter_add("rotind_queries_total", 1);
+/// reg.gauge_set("rotind_planner_k", 8.0);
+/// reg.histogram("rotind_lb_tightness", Histogram::ratio).observe(0.85);
+/// let text = reg.render_prometheus();
+/// assert!(text.contains("rotind_queries_total 1"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<Event>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the named monotonic counter (created at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the named gauge to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The named histogram, created with `make` on first use.
+    pub fn histogram(&mut self, name: &str, make: impl FnOnce() -> Histogram) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_insert_with(make)
+    }
+
+    /// Current value of a counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, when set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record a structured event for JSONL export.
+    pub fn record_event(&mut self, name: &str, fields: &[(&str, f64)]) {
+        self.events.push(Event {
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Prometheus-style text exposition of counters, gauges and
+    /// histograms (events are JSONL-only).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", fmt_value(*value));
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.buckets() {
+                cumulative += count;
+                let le = if bound.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    fmt_value(bound)
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", fmt_value(hist.sum()));
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// One JSON object per recorded event, newline-separated.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            let _ = write!(out, "{{\"event\":\"{}\"", escape_json(&event.name));
+            for (key, value) in &event.fields {
+                let _ = write!(out, ",\"{}\":{}", escape_json(key), fmt_value(*value));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Render a float the way Prometheus and JSON both accept: integral
+/// values without a trailing `.0` noise-free, non-finite values quoted
+/// out as extreme sentinels would break JSON, so clamp to literals.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 10.0] {
+            h.observe(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[1], (2.0, 1));
+        assert_eq!(buckets[2], (4.0, 1));
+        assert_eq!(buckets[3].1, 1, "+Inf bucket");
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 15.0).abs() < 1e-12);
+        assert!((h.mean().unwrap() - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_linear_and_ratio() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        let bounds: Vec<f64> = h.buckets().map(|(b, _)| b).collect();
+        assert!((bounds[0] - 0.25).abs() < 1e-12);
+        assert!((bounds[3] - 1.0).abs() < 1e-12);
+        assert!(bounds[4].is_infinite());
+        assert_eq!(Histogram::ratio().buckets().count(), 11);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::ratio();
+        let mut b = Histogram::ratio();
+        a.observe(0.15);
+        b.observe(0.95);
+        b.observe(0.15);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let second_bucket = a.buckets().nth(1).unwrap();
+        assert_eq!(second_bucket.1, 2, "two observations in (0.1, 0.2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("q_total", 2);
+        reg.counter_add("q_total", 1);
+        reg.gauge_set("k_current", 8.0);
+        reg.histogram("tightness", Histogram::ratio).observe(0.42);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE q_total counter\nq_total 3\n"));
+        assert!(text.contains("# TYPE k_current gauge\nk_current 8\n"));
+        assert!(text.contains("tightness_bucket{le=\"0.5\"} 1"));
+        assert!(text.contains("tightness_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("tightness_count 1"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("h", || Histogram::new(vec![1.0, 2.0]));
+        h.observe(0.5);
+        h.observe(1.5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("h_bucket{le=\"1\"} 1"));
+        assert!(text.contains("h_bucket{le=\"2\"} 2"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn jsonl_events() {
+        let mut reg = MetricsRegistry::new();
+        reg.record_event("query_done", &[("steps", 1234.0), ("k", 8.0)]);
+        reg.record_event("k_change", &[("old", 8.0), ("new", 4.0)]);
+        let jsonl = reg.export_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"query_done\",\"steps\":1234,\"k\":8}"
+        );
+        assert_eq!(lines[1], "{\"event\":\"k_change\",\"old\":8,\"new\":4}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn counter_and_gauge_readback() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.gauge("missing"), None);
+        reg.counter_add("c", 7);
+        reg.gauge_set("g", -1.25);
+        assert_eq!(reg.counter("c"), 7);
+        assert_eq!(reg.gauge("g"), Some(-1.25));
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`SearchObserver`] callback trait threaded through the wedge
+//! engine.
+//!
+//! Every callback has an empty default body, and the engine's search
+//! entry points are generic over the observer, so a search running with
+//! [`NoopObserver`] monomorphizes to *exactly* the un-instrumented code
+//! (verified by the `observer_overhead` benchmark in `rotind-bench`).
+//! Observers must never influence the search — they receive values, they
+//! do not return any.
+
+/// Receives fine-grained events from a wedge search.
+///
+/// `level` in [`on_wedge_tested`](SearchObserver::on_wedge_tested) is the
+/// descent depth below the H-Merge cut: the K cut wedges are level 0,
+/// their children level 1, and so on down to the leaves.
+pub trait SearchObserver {
+    /// A wedge lower bound was computed. `pruned` is true when `lb`
+    /// exceeded `best_so_far` and the subtree was discarded.
+    #[inline]
+    fn on_wedge_tested(&mut self, level: usize, lb: f64, best_so_far: f64, pruned: bool) {
+        let _ = (level, lb, best_so_far, pruned);
+    }
+
+    /// A true distance was evaluated at a leaf (a single rotation).
+    #[inline]
+    fn on_leaf_distance(&mut self, distance: f64) {
+        let _ = distance;
+    }
+
+    /// A lower-bound accumulation abandoned early at `position` (the
+    /// number of series points consumed before the running sum crossed
+    /// the best-so-far threshold).
+    #[inline]
+    fn on_early_abandon(&mut self, position: usize) {
+        let _ = position;
+    }
+
+    /// The dynamic K planner moved from `old` to `new` wedges.
+    /// `probing` is true when the change starts a measurement probe
+    /// rather than adopting a measured winner.
+    #[inline]
+    fn on_k_change(&mut self, old: usize, new: usize, probing: bool) {
+        let _ = (old, new, probing);
+    }
+}
+
+/// The do-nothing observer: the default for un-instrumented searches.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl SearchObserver for NoopObserver {}
+
+impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
+    #[inline]
+    fn on_wedge_tested(&mut self, level: usize, lb: f64, best_so_far: f64, pruned: bool) {
+        (**self).on_wedge_tested(level, lb, best_so_far, pruned);
+    }
+
+    #[inline]
+    fn on_leaf_distance(&mut self, distance: f64) {
+        (**self).on_leaf_distance(distance);
+    }
+
+    #[inline]
+    fn on_early_abandon(&mut self, position: usize) {
+        (**self).on_early_abandon(position);
+    }
+
+    #[inline]
+    fn on_k_change(&mut self, old: usize, new: usize, probing: bool) {
+        (**self).on_k_change(old, new, probing);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingObserver {
+        wedges: usize,
+        leaves: usize,
+        abandons: usize,
+        k_changes: usize,
+    }
+
+    impl SearchObserver for CountingObserver {
+        fn on_wedge_tested(&mut self, _: usize, _: f64, _: f64, _: bool) {
+            self.wedges += 1;
+        }
+        fn on_leaf_distance(&mut self, _: f64) {
+            self.leaves += 1;
+        }
+        fn on_early_abandon(&mut self, _: usize) {
+            self.abandons += 1;
+        }
+        fn on_k_change(&mut self, _: usize, _: usize, _: bool) {
+            self.k_changes += 1;
+        }
+    }
+
+    fn drive<O: SearchObserver>(obs: &mut O) {
+        obs.on_wedge_tested(0, 1.0, 2.0, false);
+        obs.on_leaf_distance(1.5);
+        obs.on_early_abandon(17);
+        obs.on_k_change(8, 4, true);
+    }
+
+    #[test]
+    fn noop_observer_accepts_all_events() {
+        drive(&mut NoopObserver);
+    }
+
+    #[test]
+    fn mut_ref_forwards_all_events() {
+        let mut obs = CountingObserver::default();
+        // Drive through a &mut to exercise the forwarding impl, as the
+        // engine's nested calls do.
+        drive(&mut &mut obs);
+        assert_eq!(
+            (obs.wedges, obs.leaves, obs.abandons, obs.k_changes),
+            (1, 1, 1, 1)
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! RAII span timers: wall-clock and step-count per named phase.
+//!
+//! A [`Span`] records how long a phase took in *two* currencies: seconds
+//! (wall-clock) and `num_steps` (the paper's implementation-free cost
+//! metric, Section 5.3). Recording both side by side is the point — it
+//! lets a harness confirm that step counts track real time on the
+//! machine at hand, or spot when they diverge (cache effects, allocator
+//! noise).
+//!
+//! Spans aggregate into a process-global table keyed by span name;
+//! [`global_span_report`] renders it and [`reset_global_spans`] clears
+//! it between experiments. Dropping a span without calling
+//! [`Span::finish`] records wall-clock only (there is no counter to
+//! diff against).
+
+use rotind_ts::StepCounter;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    total_nanos: u128,
+    total_steps: u64,
+}
+
+fn global_table() -> &'static Mutex<BTreeMap<&'static str, SpanAgg>> {
+    static TABLE: OnceLock<Mutex<BTreeMap<&'static str, SpanAgg>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// One aggregated row of the global span table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// The span name passed to [`Span::enter`].
+    pub name: &'static str,
+    /// How many spans with this name finished.
+    pub count: u64,
+    /// Total wall-clock across those spans, in seconds.
+    pub total_seconds: f64,
+    /// Total steps recorded via [`Span::finish`].
+    pub total_steps: u64,
+}
+
+/// An in-flight timed phase. Create with [`Span::enter`], end with
+/// [`Span::finish`] (wall-clock + steps) or by dropping it (wall-clock
+/// only).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    steps_at_enter: u64,
+    done: bool,
+}
+
+impl Span {
+    /// Start a span. `name` should be a dotted phase path such as
+    /// `"hmerge.descend"` or `"query.nearest"`.
+    pub fn enter(name: &'static str) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+            steps_at_enter: 0,
+            done: false,
+        }
+    }
+
+    /// Start a span that snapshots `counter` now, so that
+    /// [`finish`](Self::finish) records the steps spent inside the span
+    /// rather than the counter's absolute value.
+    pub fn enter_with(name: &'static str, counter: &StepCounter) -> Span {
+        Span {
+            name,
+            start: Instant::now(),
+            steps_at_enter: counter.steps(),
+            done: false,
+        }
+    }
+
+    /// End the span, recording wall-clock and the steps accumulated in
+    /// `counter` since [`enter_with`](Self::enter_with) (or since zero
+    /// for [`enter`](Self::enter)).
+    pub fn finish(mut self, counter: &StepCounter) {
+        let steps = counter.steps().saturating_sub(self.steps_at_enter);
+        self.record(steps);
+    }
+
+    fn record(&mut self, steps: u64) {
+        self.done = true;
+        let nanos = self.start.elapsed().as_nanos();
+        let mut table = global_table().lock().expect("span table poisoned");
+        let agg = table.entry(self.name).or_default();
+        agg.count += 1;
+        agg.total_nanos += nanos;
+        agg.total_steps += steps;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.done {
+            self.record(0);
+        }
+    }
+}
+
+/// Snapshot the global span table, sorted by name.
+pub fn global_spans() -> Vec<SpanRecord> {
+    let table = global_table().lock().expect("span table poisoned");
+    table
+        .iter()
+        .map(|(name, agg)| SpanRecord {
+            name,
+            count: agg.count,
+            total_seconds: agg.total_nanos as f64 / 1e9,
+            total_steps: agg.total_steps,
+        })
+        .collect()
+}
+
+/// Clear the global span table (between experiments).
+pub fn reset_global_spans() {
+    global_table().lock().expect("span table poisoned").clear();
+}
+
+/// Render the global span table as an aligned text report with
+/// per-call means for both wall-clock and steps.
+pub fn global_span_report() -> String {
+    let spans = global_spans();
+    if spans.is_empty() {
+        return "no spans recorded\n".to_string();
+    }
+    let name_width = spans
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("span".len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>8}  {:>12}  {:>14}  {:>12}",
+        "span", "count", "total s", "steps", "steps/call"
+    );
+    for s in &spans {
+        let per_call = if s.count > 0 {
+            s.total_steps as f64 / s.count as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>12.6}  {:>14}  {:>12.1}",
+            s.name, s.count, s.total_seconds, s.total_steps, per_call
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global table is shared across the test binary, so each test
+    // uses unique span names rather than resetting the table (tests run
+    // concurrently).
+
+    fn find(name: &str) -> Option<SpanRecord> {
+        global_spans().into_iter().find(|s| s.name == name)
+    }
+
+    #[test]
+    fn finish_records_steps_delta() {
+        let mut counter = StepCounter::new();
+        counter.add(100);
+        let span = Span::enter_with("test.finish_delta", &counter);
+        counter.add(42);
+        span.finish(&counter);
+        let rec = find("test.finish_delta").expect("span recorded");
+        assert_eq!(rec.count, 1);
+        assert_eq!(rec.total_steps, 42);
+        assert!(rec.total_seconds >= 0.0);
+    }
+
+    #[test]
+    fn drop_records_wall_clock_only() {
+        {
+            let _span = Span::enter("test.drop_only");
+        }
+        let rec = find("test.drop_only").expect("span recorded");
+        assert_eq!(rec.count, 1);
+        assert_eq!(rec.total_steps, 0);
+    }
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        let counter = StepCounter::new();
+        for _ in 0..3 {
+            Span::enter("test.aggregate").finish(&counter);
+        }
+        let rec = find("test.aggregate").expect("span recorded");
+        assert_eq!(rec.count, 3);
+    }
+
+    #[test]
+    fn enter_without_counter_then_finish_uses_absolute_steps() {
+        let mut counter = StepCounter::new();
+        counter.add(7);
+        Span::enter("test.absolute").finish(&counter);
+        let rec = find("test.absolute").expect("span recorded");
+        assert_eq!(rec.total_steps, 7);
+    }
+
+    #[test]
+    fn report_renders_rows() {
+        Span::enter("test.report_row").finish(&StepCounter::new());
+        let report = global_span_report();
+        assert!(report.contains("test.report_row"));
+        assert!(report.lines().next().unwrap().contains("steps/call"));
+    }
+}

@@ -62,7 +62,10 @@ impl Bitmap {
     /// Panics when the coordinate is out of range.
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, value: bool) {
-        assert!(x < self.width && y < self.height, "Bitmap::set out of range");
+        assert!(
+            x < self.width && y < self.height,
+            "Bitmap::set out of range"
+        );
         self.pixels[y * self.width + x] = value;
     }
 
@@ -96,7 +99,11 @@ impl Bitmap {
         let mut out = String::with_capacity((self.width + 1) * self.height);
         for y in 0..self.height {
             for x in 0..self.width {
-                out.push(if self.pixels[y * self.width + x] { '#' } else { '.' });
+                out.push(if self.pixels[y * self.width + x] {
+                    '#'
+                } else {
+                    '.'
+                });
             }
             out.push('\n');
         }

@@ -124,10 +124,7 @@ mod tests {
         let series = shape_to_series(&b, 128).unwrap();
         let zn = rotind_ts::normalize::z_normalize(&series).unwrap();
         // Count upward zero crossings ≈ 5.
-        let crossings = zn
-            .windows(2)
-            .filter(|w| w[0] < 0.0 && w[1] >= 0.0)
-            .count()
+        let crossings = zn.windows(2).filter(|w| w[0] < 0.0 && w[1] >= 0.0).count()
             + usize::from(zn[zn.len() - 1] < 0.0 && zn[0] >= 0.0);
         assert!(
             (4..=6).contains(&crossings),
@@ -157,7 +154,11 @@ mod tests {
         // s90 should match s0 circularly shifted by n/4, up to raster
         // noise. Compare best alignment error to worst.
         let err = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         // The boundary trace starts at a data-dependent pixel, so the two
         // series differ by an arbitrary circular shift; what must hold is
@@ -236,7 +237,10 @@ mod tests {
             shape_to_series(&Bitmap::new(4, 4), 8),
             Err(TsError::Empty)
         ));
-        assert!(matches!(radial_profile_to_series(&[], 8), Err(TsError::Empty)));
+        assert!(matches!(
+            radial_profile_to_series(&[], 8),
+            Err(TsError::Empty)
+        ));
         assert!(align_to_major_axis(&[]).is_empty());
     }
 }

@@ -36,9 +36,9 @@ pub fn trace_boundary(bitmap: &Bitmap) -> Option<Vec<(usize, usize)>> {
     let start_backtrack = backtrack_dir;
 
     // An isolated pixel has no foreground neighbour: detect up front.
-    let has_neighbor = NEIGHBORS.iter().any(|&(dx, dy)| {
-        bitmap.get(current.0 as isize + dx, current.1 as isize + dy)
-    });
+    let has_neighbor = NEIGHBORS
+        .iter()
+        .any(|&(dx, dy)| bitmap.get(current.0 as isize + dx, current.1 as isize + dy));
     if !has_neighbor {
         return Some(contour);
     }
@@ -119,7 +119,11 @@ pub fn resample_contour(contour: &[(usize, usize)], n: usize) -> Vec<(f64, f64)>
             seg += 1;
         }
         let seg_len = cum[seg + 1] - cum[seg];
-        let t = if seg_len > 0.0 { (target - cum[seg]) / seg_len } else { 0.0 };
+        let t = if seg_len > 0.0 {
+            (target - cum[seg]) / seg_len
+        } else {
+            0.0
+        };
         let (x0, y0) = pts[seg];
         let (x1, y1) = pts[(seg + 1) % m];
         out.push((x0 + t * (x1 - x0), y0 + t * (y1 - y0)));
@@ -160,8 +164,7 @@ mod tests {
             let (x0, y0) = contour[i];
             let (x1, y1) = contour[(i + 1) % contour.len()];
             assert!(
-                (x0 as isize - x1 as isize).abs() <= 1
-                    && (y0 as isize - y1 as isize).abs() <= 1
+                (x0 as isize - x1 as isize).abs() <= 1 && (y0 as isize - y1 as isize).abs() <= 1
             );
         }
     }
@@ -180,7 +183,11 @@ mod tests {
             assert!((r - 15.0).abs() < 1.6, "pixel ({x},{y}) at radius {r}");
         }
         // Length ≈ perimeter (between 2πr·(2√2/π)≈ digital bounds).
-        assert!(contour.len() >= 60 && contour.len() <= 130, "{}", contour.len());
+        assert!(
+            contour.len() >= 60 && contour.len() <= 130,
+            "{}",
+            contour.len()
+        );
     }
 
     #[test]
@@ -196,7 +203,16 @@ mod tests {
 
     #[test]
     fn resample_uniform_square() {
-        let square = vec![(0usize, 0usize), (1, 0), (2, 0), (2, 1), (2, 2), (1, 2), (0, 2), (0, 1)];
+        let square = vec![
+            (0usize, 0usize),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (1, 2),
+            (0, 2),
+            (0, 1),
+        ];
         let pts = resample_contour(&square, 8);
         assert_eq!(pts.len(), 8);
         assert_eq!(pts[0], (0.0, 0.0));

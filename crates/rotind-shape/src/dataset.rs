@@ -169,9 +169,7 @@ fn finalize(radial: &[f64], n: usize, d: Distortion, rng: &mut StdRng) -> Vec<f6
             // `d.warp` is the target peak angular displacement (radians);
             // the bend's peak displacement is ≈ 0.42·amount·width.
             let sign = if b % 2 == 0 { 1.0 } else { -1.0 };
-            let amount = sign
-                * (d.warp / (0.415 * width)).min(1.3)
-                * rng.random_range(0.6..1.0);
+            let amount = sign * (d.warp / (0.415 * width)).min(1.3) * rng.random_range(0.6..1.0);
             warped = crate::generators::warp::bend_window(&warped, center, width, amount);
         }
     }
@@ -295,7 +293,10 @@ pub fn face(seed: u64) -> Dataset {
         &classes,
         35,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.12, noise: 0.015 },
+        Distortion {
+            warp: 0.12,
+            noise: 0.015,
+        },
         seed,
     )
 }
@@ -325,7 +326,10 @@ pub fn swedish_leaf(seed: u64) -> Dataset {
         &classes,
         37,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.75, noise: 0.045 },
+        Distortion {
+            warp: 0.75,
+            noise: 0.045,
+        },
         seed,
     )
 }
@@ -345,7 +349,10 @@ pub fn chicken(seed: u64) -> Dataset {
         &classes,
         89,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.25, noise: 0.30 },
+        Distortion {
+            warp: 0.25,
+            noise: 0.30,
+        },
         seed,
     )
 }
@@ -356,7 +363,10 @@ pub fn mixed_bag(seed: u64) -> Dataset {
     let n = CLASSIFICATION_LEN;
     let samples = 4 * n;
     let mut rng = StdRng::seed_from_u64(seed);
-    let d = Distortion { warp: 0.08, noise: 0.03 };
+    let d = Distortion {
+        warp: 0.08,
+        noise: 0.03,
+    };
     let mut items = Vec::new();
     let mut labels = Vec::new();
     let per_class = 18;
@@ -437,7 +447,10 @@ pub fn osu_leaf(seed: u64) -> Dataset {
         &classes,
         74,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.60, noise: 0.035 },
+        Distortion {
+            warp: 0.60,
+            noise: 0.035,
+        },
         seed,
     )
 }
@@ -463,7 +476,10 @@ pub fn diatom(seed: u64) -> Dataset {
         &classes,
         10,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.10, noise: 0.018 },
+        Distortion {
+            warp: 0.10,
+            noise: 0.018,
+        },
         seed,
     )
 }
@@ -485,7 +501,10 @@ pub fn aircraft(seed: u64) -> Dataset {
         &classes,
         30,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.03, noise: 0.015 },
+        Distortion {
+            warp: 0.03,
+            noise: 0.015,
+        },
         seed,
     )
 }
@@ -513,7 +532,10 @@ pub fn fish(seed: u64) -> Dataset {
         &classes,
         50,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.80, noise: 0.04 },
+        Distortion {
+            warp: 0.80,
+            noise: 0.04,
+        },
         seed,
     )
 }
@@ -522,15 +544,40 @@ pub fn fish(seed: u64) -> Dataset {
 /// similar articulated silhouettes.
 pub fn yoga(seed: u64) -> Dataset {
     let classes = [
-        SfClass { name: "pose-a", base: Superformula { m: 3.0, n1: 1.0, n2: 2.4, n3: 2.4, a: 1.0, b: 1.0 }, jitter: 0.07 },
-        SfClass { name: "pose-b", base: Superformula { m: 3.0, n1: 1.0, n2: 2.4, n3: 2.4, a: 1.0, b: 1.04 }, jitter: 0.07 },
+        SfClass {
+            name: "pose-a",
+            base: Superformula {
+                m: 3.0,
+                n1: 1.0,
+                n2: 2.4,
+                n3: 2.4,
+                a: 1.0,
+                b: 1.0,
+            },
+            jitter: 0.07,
+        },
+        SfClass {
+            name: "pose-b",
+            base: Superformula {
+                m: 3.0,
+                n1: 1.0,
+                n2: 2.4,
+                n3: 2.4,
+                a: 1.0,
+                b: 1.04,
+            },
+            jitter: 0.07,
+        },
     ];
     superformula_dataset(
         "Yoga",
         &classes,
         330,
         CLASSIFICATION_LEN,
-        Distortion { warp: 0.45, noise: 0.20 },
+        Distortion {
+            warp: 0.45,
+            noise: 0.20,
+        },
         seed,
     )
 }
@@ -541,7 +588,10 @@ pub fn yoga(seed: u64) -> Dataset {
 pub fn projectile_points(m: usize, n: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let samples = 2 * n;
-    let d = Distortion { warp: 0.05, noise: 0.02 };
+    let d = Distortion {
+        warp: 0.05,
+        noise: 0.02,
+    };
     let mut items = Vec::with_capacity(m);
     let mut labels = Vec::with_capacity(m);
     for i in 0..m {
@@ -554,7 +604,10 @@ pub fn projectile_points(m: usize, n: usize, seed: u64) -> Dataset {
         name: "ProjectilePoints".to_string(),
         items,
         labels,
-        class_names: BladeClass::ALL.iter().map(|c| c.name().to_string()).collect(),
+        class_names: BladeClass::ALL
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect(),
     }
 }
 

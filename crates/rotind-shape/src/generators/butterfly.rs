@@ -38,15 +38,33 @@ pub struct ButterflySpecies {
 pub const LEPIDOPTERA: [ButterflySpecies; 3] = [
     ButterflySpecies {
         name: "Actias maenas",
-        params: ButterflyParams { forewing: 1.0, hindwing: 0.8, tail: 0.9, lobe_width: 0.30, body: 0.45 },
+        params: ButterflyParams {
+            forewing: 1.0,
+            hindwing: 0.8,
+            tail: 0.9,
+            lobe_width: 0.30,
+            body: 0.45,
+        },
     },
     ButterflySpecies {
         name: "Actias philippinica",
-        params: ButterflyParams { forewing: 0.90, hindwing: 0.73, tail: 0.78, lobe_width: 0.33, body: 0.46 },
+        params: ButterflyParams {
+            forewing: 0.90,
+            hindwing: 0.73,
+            tail: 0.78,
+            lobe_width: 0.33,
+            body: 0.46,
+        },
     },
     ButterflySpecies {
         name: "Chorinea amazon",
-        params: ButterflyParams { forewing: 0.7, hindwing: 0.5, tail: 0.35, lobe_width: 0.18, body: 0.35 },
+        params: ButterflyParams {
+            forewing: 0.7,
+            hindwing: 0.5,
+            tail: 0.35,
+            lobe_width: 0.18,
+            body: 0.35,
+        },
     },
 ];
 
@@ -117,7 +135,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn euclid(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 
     fn nominal(i: usize, samples: usize) -> Vec<f64> {
@@ -177,5 +199,4 @@ mod tests {
         // Forewing lobe at 0.25π (index 45 of 360).
         assert!(p[45] > LEPIDOPTERA[0].params.body + 0.5);
     }
-
 }

@@ -39,42 +39,292 @@ pub struct Species {
 /// The eight primate specimens of Figure 16 (four taxa × two specimens;
 /// juveniles and the Skhul V ancestor get their own parameter nudges).
 pub const PRIMATES: [Species; 8] = [
-    Species { name: "Human", group: "Homo", params: SkullParams { braincase: 1.00, brow: 0.05, snout: 0.10, jaw: 0.35, elongation: 1.00 } },
-    Species { name: "Human ancestor (Skhul V)", group: "Homo", params: SkullParams { braincase: 0.90, brow: 0.22, snout: 0.18, jaw: 0.38, elongation: 1.05 } },
-    Species { name: "Orangutan", group: "Pongo", params: SkullParams { braincase: 0.55, brow: 0.28, snout: 0.65, jaw: 0.55, elongation: 1.30 } },
-    Species { name: "Orangutan (juvenile)", group: "Pongo", params: SkullParams { braincase: 0.65, brow: 0.18, snout: 0.50, jaw: 0.48, elongation: 1.22 } },
-    Species { name: "Red Howler Monkey", group: "Alouatta", params: SkullParams { braincase: 0.40, brow: 0.12, snout: 0.45, jaw: 0.80, elongation: 1.15 } },
-    Species { name: "Mantled Howler Monkey", group: "Alouatta", params: SkullParams { braincase: 0.42, brow: 0.13, snout: 0.43, jaw: 0.78, elongation: 1.17 } },
-    Species { name: "De Brazza monkey", group: "Cercopithecus", params: SkullParams { braincase: 0.60, brow: 0.15, snout: 0.30, jaw: 0.50, elongation: 1.05 } },
-    Species { name: "De Brazza monkey (juvenile)", group: "Cercopithecus", params: SkullParams { braincase: 0.68, brow: 0.10, snout: 0.24, jaw: 0.45, elongation: 1.00 } },
+    Species {
+        name: "Human",
+        group: "Homo",
+        params: SkullParams {
+            braincase: 1.00,
+            brow: 0.05,
+            snout: 0.10,
+            jaw: 0.35,
+            elongation: 1.00,
+        },
+    },
+    Species {
+        name: "Human ancestor (Skhul V)",
+        group: "Homo",
+        params: SkullParams {
+            braincase: 0.90,
+            brow: 0.22,
+            snout: 0.18,
+            jaw: 0.38,
+            elongation: 1.05,
+        },
+    },
+    Species {
+        name: "Orangutan",
+        group: "Pongo",
+        params: SkullParams {
+            braincase: 0.55,
+            brow: 0.28,
+            snout: 0.65,
+            jaw: 0.55,
+            elongation: 1.30,
+        },
+    },
+    Species {
+        name: "Orangutan (juvenile)",
+        group: "Pongo",
+        params: SkullParams {
+            braincase: 0.65,
+            brow: 0.18,
+            snout: 0.50,
+            jaw: 0.48,
+            elongation: 1.22,
+        },
+    },
+    Species {
+        name: "Red Howler Monkey",
+        group: "Alouatta",
+        params: SkullParams {
+            braincase: 0.40,
+            brow: 0.12,
+            snout: 0.45,
+            jaw: 0.80,
+            elongation: 1.15,
+        },
+    },
+    Species {
+        name: "Mantled Howler Monkey",
+        group: "Alouatta",
+        params: SkullParams {
+            braincase: 0.42,
+            brow: 0.13,
+            snout: 0.43,
+            jaw: 0.78,
+            elongation: 1.17,
+        },
+    },
+    Species {
+        name: "De Brazza monkey",
+        group: "Cercopithecus",
+        params: SkullParams {
+            braincase: 0.60,
+            brow: 0.15,
+            snout: 0.30,
+            jaw: 0.50,
+            elongation: 1.05,
+        },
+    },
+    Species {
+        name: "De Brazza monkey (juvenile)",
+        group: "Cercopithecus",
+        params: SkullParams {
+            braincase: 0.68,
+            brow: 0.10,
+            snout: 0.24,
+            jaw: 0.45,
+            elongation: 1.00,
+        },
+    },
 ];
 
 /// The three primate skulls of the Figure 3 landmark-brittleness
 /// demonstration: two congeneric owl monkeys and an orangutan.
 pub const FIGURE3_TRIO: [Species; 3] = [
-    Species { name: "Northern Gray-Necked Owl Monkey", group: "Aotus", params: SkullParams { braincase: 0.50, brow: 0.08, snout: 0.25, jaw: 0.55, elongation: 1.08 } },
-    Species { name: "Owl Monkey (species unknown)", group: "Aotus", params: SkullParams { braincase: 0.52, brow: 0.09, snout: 0.27, jaw: 0.57, elongation: 1.10 } },
-    Species { name: "Orangutan", group: "Pongo", params: SkullParams { braincase: 0.55, brow: 0.28, snout: 0.65, jaw: 0.55, elongation: 1.30 } },
+    Species {
+        name: "Northern Gray-Necked Owl Monkey",
+        group: "Aotus",
+        params: SkullParams {
+            braincase: 0.50,
+            brow: 0.08,
+            snout: 0.25,
+            jaw: 0.55,
+            elongation: 1.08,
+        },
+    },
+    Species {
+        name: "Owl Monkey (species unknown)",
+        group: "Aotus",
+        params: SkullParams {
+            braincase: 0.52,
+            brow: 0.09,
+            snout: 0.27,
+            jaw: 0.57,
+            elongation: 1.10,
+        },
+    },
+    Species {
+        name: "Orangutan",
+        group: "Pongo",
+        params: SkullParams {
+            braincase: 0.55,
+            brow: 0.28,
+            snout: 0.65,
+            jaw: 0.55,
+            elongation: 1.30,
+        },
+    },
 ];
 
 /// The fourteen reptile specimens of Figure 17, grouped as in the paper
 /// (horned lizards, crocodylians, turtles, a night lizard and a worm
 /// lizard).
 pub const REPTILES: [Species; 14] = [
-    Species { name: "Phrynosoma mcallii", group: "Iguania", params: SkullParams { braincase: 0.35, brow: 0.55, snout: 0.25, jaw: 0.30, elongation: 0.95 } },
-    Species { name: "Phrynosoma ditmarsi", group: "Iguania", params: SkullParams { braincase: 0.38, brow: 0.60, snout: 0.22, jaw: 0.30, elongation: 0.92 } },
-    Species { name: "Phrynosoma taurus", group: "Iguania", params: SkullParams { braincase: 0.36, brow: 0.63, snout: 0.24, jaw: 0.31, elongation: 0.94 } },
-    Species { name: "Phrynosoma douglassii", group: "Iguania", params: SkullParams { braincase: 0.37, brow: 0.58, snout: 0.23, jaw: 0.29, elongation: 0.93 } },
-    Species { name: "Phrynosoma hernandesi", group: "Iguania", params: SkullParams { braincase: 0.37, brow: 0.59, snout: 0.23, jaw: 0.30, elongation: 0.93 } },
-    Species { name: "Alligator mississippiensis", group: "Alligatorinae", params: SkullParams { braincase: 0.18, brow: 0.10, snout: 1.10, jaw: 0.25, elongation: 1.75 } },
-    Species { name: "Caiman crocodilus", group: "Alligatorinae", params: SkullParams { braincase: 0.20, brow: 0.12, snout: 1.00, jaw: 0.26, elongation: 1.70 } },
-    Species { name: "Crocodylus cataphractus", group: "Crocodylidae", params: SkullParams { braincase: 0.15, brow: 0.08, snout: 1.35, jaw: 0.22, elongation: 1.95 } },
-    Species { name: "Tomistoma schlegelii", group: "Crocodylidae", params: SkullParams { braincase: 0.14, brow: 0.07, snout: 1.45, jaw: 0.21, elongation: 2.00 } },
-    Species { name: "Crocodylus johnstoni", group: "Crocodylidae", params: SkullParams { braincase: 0.16, brow: 0.08, snout: 1.30, jaw: 0.23, elongation: 1.90 } },
-    Species { name: "Elseya dentata", group: "Chelonia", params: SkullParams { braincase: 0.55, brow: 0.05, snout: 0.18, jaw: 0.40, elongation: 1.05 } },
-    Species { name: "Glyptemys muhlenbergii", group: "Chelonia", params: SkullParams { braincase: 0.58, brow: 0.05, snout: 0.16, jaw: 0.42, elongation: 1.03 } },
-    Species { name: "Xantusia vigilis", group: "Squamata-other", params: SkullParams { braincase: 0.45, brow: 0.10, snout: 0.35, jaw: 0.35, elongation: 1.12 } },
-    Species { name: "Cricosaura typica", group: "Squamata-other", params: SkullParams { braincase: 0.44, brow: 0.11, snout: 0.37, jaw: 0.36, elongation: 1.13 } },
+    Species {
+        name: "Phrynosoma mcallii",
+        group: "Iguania",
+        params: SkullParams {
+            braincase: 0.35,
+            brow: 0.55,
+            snout: 0.25,
+            jaw: 0.30,
+            elongation: 0.95,
+        },
+    },
+    Species {
+        name: "Phrynosoma ditmarsi",
+        group: "Iguania",
+        params: SkullParams {
+            braincase: 0.38,
+            brow: 0.60,
+            snout: 0.22,
+            jaw: 0.30,
+            elongation: 0.92,
+        },
+    },
+    Species {
+        name: "Phrynosoma taurus",
+        group: "Iguania",
+        params: SkullParams {
+            braincase: 0.36,
+            brow: 0.63,
+            snout: 0.24,
+            jaw: 0.31,
+            elongation: 0.94,
+        },
+    },
+    Species {
+        name: "Phrynosoma douglassii",
+        group: "Iguania",
+        params: SkullParams {
+            braincase: 0.37,
+            brow: 0.58,
+            snout: 0.23,
+            jaw: 0.29,
+            elongation: 0.93,
+        },
+    },
+    Species {
+        name: "Phrynosoma hernandesi",
+        group: "Iguania",
+        params: SkullParams {
+            braincase: 0.37,
+            brow: 0.59,
+            snout: 0.23,
+            jaw: 0.30,
+            elongation: 0.93,
+        },
+    },
+    Species {
+        name: "Alligator mississippiensis",
+        group: "Alligatorinae",
+        params: SkullParams {
+            braincase: 0.18,
+            brow: 0.10,
+            snout: 1.10,
+            jaw: 0.25,
+            elongation: 1.75,
+        },
+    },
+    Species {
+        name: "Caiman crocodilus",
+        group: "Alligatorinae",
+        params: SkullParams {
+            braincase: 0.20,
+            brow: 0.12,
+            snout: 1.00,
+            jaw: 0.26,
+            elongation: 1.70,
+        },
+    },
+    Species {
+        name: "Crocodylus cataphractus",
+        group: "Crocodylidae",
+        params: SkullParams {
+            braincase: 0.15,
+            brow: 0.08,
+            snout: 1.35,
+            jaw: 0.22,
+            elongation: 1.95,
+        },
+    },
+    Species {
+        name: "Tomistoma schlegelii",
+        group: "Crocodylidae",
+        params: SkullParams {
+            braincase: 0.14,
+            brow: 0.07,
+            snout: 1.45,
+            jaw: 0.21,
+            elongation: 2.00,
+        },
+    },
+    Species {
+        name: "Crocodylus johnstoni",
+        group: "Crocodylidae",
+        params: SkullParams {
+            braincase: 0.16,
+            brow: 0.08,
+            snout: 1.30,
+            jaw: 0.23,
+            elongation: 1.90,
+        },
+    },
+    Species {
+        name: "Elseya dentata",
+        group: "Chelonia",
+        params: SkullParams {
+            braincase: 0.55,
+            brow: 0.05,
+            snout: 0.18,
+            jaw: 0.40,
+            elongation: 1.05,
+        },
+    },
+    Species {
+        name: "Glyptemys muhlenbergii",
+        group: "Chelonia",
+        params: SkullParams {
+            braincase: 0.58,
+            brow: 0.05,
+            snout: 0.16,
+            jaw: 0.42,
+            elongation: 1.03,
+        },
+    },
+    Species {
+        name: "Xantusia vigilis",
+        group: "Squamata-other",
+        params: SkullParams {
+            braincase: 0.45,
+            brow: 0.10,
+            snout: 0.35,
+            jaw: 0.35,
+            elongation: 1.12,
+        },
+    },
+    Species {
+        name: "Cricosaura typica",
+        group: "Squamata-other",
+        params: SkullParams {
+            braincase: 0.44,
+            brow: 0.11,
+            snout: 0.37,
+            jaw: 0.36,
+            elongation: 1.13,
+        },
+    },
 ];
 
 fn bump(phi: f64, center: f64, width: f64) -> f64 {
@@ -137,13 +387,21 @@ mod tests {
     use rand::SeedableRng;
 
     fn euclid(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
     fn profiles_valid_for_all_presets() {
         let mut rng = StdRng::seed_from_u64(0);
-        for sp in PRIMATES.iter().chain(REPTILES.iter()).chain(FIGURE3_TRIO.iter()) {
+        for sp in PRIMATES
+            .iter()
+            .chain(REPTILES.iter())
+            .chain(FIGURE3_TRIO.iter())
+        {
             let p = skull_profile(&sp.params, 128, 1.0, &mut rng);
             assert_eq!(p.len(), 128);
             assert!(p.iter().all(|r| r.is_finite() && *r > 0.0), "{}", sp.name);

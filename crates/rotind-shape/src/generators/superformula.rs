@@ -109,7 +109,10 @@ mod tests {
             (6.0, 0.1, 0.1, 0.1),
         ] {
             let p = superformula(m, n1, n2, n3, 128);
-            assert!(p.iter().all(|r| r.is_finite() && *r > 0.0), "{m} {n1} {n2} {n3}");
+            assert!(
+                p.iter().all(|r| r.is_finite() && *r > 0.0),
+                "{m} {n1} {n2} {n3}"
+            );
         }
     }
 

@@ -50,12 +50,7 @@ pub fn smooth_circular_warp(series: &[f64], amplitude: f64, cycles: f64, phase: 
 /// (radians), bending features inside it by up to `amount` of the window
 /// width while leaving the rest of the boundary untouched — the
 /// "bent hindwing" articulation of Figure 18.
-pub fn bend_window(
-    series: &[f64],
-    center: f64,
-    width: f64,
-    amount: f64,
-) -> Vec<f64> {
+pub fn bend_window(series: &[f64], center: f64, width: f64, amount: f64) -> Vec<f64> {
     let n = series.len();
     if n == 0 || amount == 0.0 || width <= 0.0 {
         return series.to_vec();
@@ -163,9 +158,7 @@ mod tests {
         assert_eq!(smooth_circular_warp(&series, 0.0, 2.0, 0.3), series);
         let warped = smooth_circular_warp(&series, 0.1, 2.0, 0.3);
         assert_eq!(warped.len(), 64);
-        assert!(
-            (rotind_ts::stats::mean(&warped) - rotind_ts::stats::mean(&series)).abs() < 0.05
-        );
+        assert!((rotind_ts::stats::mean(&warped) - rotind_ts::stats::mean(&series)).abs() < 0.05);
         // Values stay within the original range (interpolation).
         let lo = rotind_ts::stats::min(&series) - 1e-9;
         let hi = rotind_ts::stats::max(&series) + 1e-9;
@@ -229,9 +222,7 @@ mod tests {
         assert!((sm[1] - 2.0).abs() < 1e-12);
         assert!((sm[3] - (3.0 + 4.0 + 1.0) / 3.0).abs() < 1e-12);
         // Mean is preserved exactly.
-        assert!(
-            (rotind_ts::stats::mean(&sm) - rotind_ts::stats::mean(&xs)).abs() < 1e-12
-        );
+        assert!((rotind_ts::stats::mean(&sm) - rotind_ts::stats::mean(&xs)).abs() < 1e-12);
     }
 
     #[test]
@@ -248,7 +239,10 @@ mod tests {
         xs[8] = 16.0;
         let sm = smooth_circular(&xs, 1);
         assert!(sm[8] < xs[8]);
-        assert!((sm.iter().sum::<f64>() - 16.0).abs() < 1e-9, "mass preserved");
+        assert!(
+            (sm.iter().sum::<f64>() - 16.0).abs() < 1e-9,
+            "mass preserved"
+        );
     }
 
     #[test]

@@ -55,9 +55,14 @@ impl StepCounter {
     }
 
     /// Steps recorded since an earlier snapshot of this counter.
+    ///
+    /// Saturates at zero when the snapshot is *ahead* of this counter
+    /// (possible when a caller snapshots one counter and diffs another,
+    /// or after a [`reset`](Self::reset)) — a telemetry readout must
+    /// never panic mid-search.
     #[inline]
     pub fn since(&self, snapshot: StepCounter) -> u64 {
-        self.steps - snapshot.steps
+        self.steps.saturating_sub(snapshot.steps)
     }
 
     /// Reset to zero.
@@ -115,6 +120,28 @@ mod tests {
         c.add(7);
         assert_eq!(c.since(snap), 7);
         assert_eq!(snap.steps(), 5, "snapshot is an independent copy");
+    }
+
+    #[test]
+    fn since_saturates_when_snapshot_is_ahead() {
+        let mut c = StepCounter::new();
+        c.add(5);
+        let snap = c;
+        c.reset();
+        c.add(2);
+        assert_eq!(c.since(snap), 0, "stale snapshot saturates, not panics");
+        assert_eq!(c.since(c), 0);
+    }
+
+    #[test]
+    fn since_after_add_matches_increment() {
+        let mut c = StepCounter::new();
+        c.add(1_000);
+        let snap = c;
+        c.tick();
+        c.add(41);
+        assert_eq!(c.since(snap), 42);
+        assert_eq!(c.steps(), 1_042);
     }
 
     #[test]

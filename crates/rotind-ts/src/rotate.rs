@@ -207,8 +207,7 @@ impl RotationMatrix {
                 s
             }
         };
-        let mut rotations: Vec<Rotation> =
-            shifts.iter().map(|&s| Rotation::shift(s)).collect();
+        let mut rotations: Vec<Rotation> = shifts.iter().map(|&s| Rotation::shift(s)).collect();
         let mirrored = if with_mirror {
             rotations.extend(shifts.iter().map(|&s| Rotation::mirrored(s)));
             Some(mirror(series))
@@ -271,7 +270,9 @@ impl RotationMatrix {
     /// of Section 3). Costs `O(rows · n)` memory; the search engine never
     /// needs this, but wedge construction and tests do.
     pub fn materialize(&self) -> Vec<Vec<f64>> {
-        (0..self.num_rotations()).map(|r| self.row(r).to_vec()).collect()
+        (0..self.num_rotations())
+            .map(|r| self.row(r).to_vec())
+            .collect()
     }
 }
 

@@ -35,17 +35,10 @@ fn main() {
     let hit = engine
         .nearest_with_steps(&database, &mut steps)
         .expect("non-empty");
-    let brute = rotind::eval::speedup::brute_force_steps(
-        database.len(),
-        n,
-        n,
-        Measure::Euclidean,
-    );
+    let brute = rotind::eval::speedup::brute_force_steps(database.len(), n, n, Measure::Euclidean);
     println!(
         "wedge search : star {} ({}) at distance {:.4}",
-        hit.index,
-        survey.class_names[survey.labels[hit.index]],
-        hit.distance
+        hit.index, survey.class_names[survey.labels[hit.index]], hit.distance
     );
     println!(
         "               {} steps vs {} brute force ({:.0}x faster)",
@@ -60,20 +53,18 @@ fn main() {
 
     // The convolution trick (what the astronomy community uses): exact
     // but Euclidean-only and O(n log n) per star regardless of pruning.
-    let (conv_d, conv_shift) = rotind::fft::convolution::min_shift_euclidean(
-        &database[hit.index],
-        &query,
-    );
-    println!(
-        "convolution  : confirms distance {conv_d:.4} at phase shift {conv_shift} ✓"
-    );
+    let (conv_d, conv_shift) =
+        rotind::fft::convolution::min_shift_euclidean(&database[hit.index], &query);
+    println!("convolution  : confirms distance {conv_d:.4} at phase shift {conv_shift} ✓");
     assert!((conv_d - hit.distance).abs() < 1e-6);
 
     // Disk-based search: only 16 Fourier magnitudes per star live in the
     // index; full curves are fetched only when the bound fails.
     let index = IndexedDatabase::build(database.clone(), 16, ReducedRepr::FourierMagnitude)
         .expect("valid database");
-    let (disk_hit, stats) = index.nearest(&query, Measure::Euclidean).expect("valid query");
+    let (disk_hit, stats) = index
+        .nearest(&query, Measure::Euclidean)
+        .expect("valid query");
     println!(
         "disk index   : star {} at {:.4}; retrieved {}/{} curves ({:.1}% of the survey)",
         disk_hit.index,

@@ -55,15 +55,9 @@ fn main() {
     for m in &motifs {
         println!(
             "  {:>2} ({:<13}) ↔ {:>2} ({:<13}) distance {:.4}",
-            m.a,
-            ds.class_names[ds.labels[m.a]],
-            m.b,
-            ds.class_names[ds.labels[m.b]],
-            m.distance
+            m.a, ds.class_names[ds.labels[m.a]], m.b, ds.class_names[ds.labels[m.b]], m.distance
         );
     }
     // Motifs after the planted pair should join same-class specimens.
-    assert!(
-        motifs[1].distance >= motifs[0].distance && motifs[2].distance >= motifs[1].distance
-    );
+    assert!(motifs[1].distance >= motifs[0].distance && motifs[2].distance >= motifs[1].distance);
 }

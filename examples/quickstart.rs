@@ -63,9 +63,7 @@ fn main() {
     for nb in &top3 {
         println!(
             "  item {:>3}  class {:<13} distance {:.4}",
-            nb.index,
-            dataset.class_names[dataset.labels[nb.index]],
-            nb.distance
+            nb.index, dataset.class_names[dataset.labels[nb.index]], nb.distance
         );
     }
 

@@ -39,10 +39,7 @@ fn glyph_six(size: usize) -> Bitmap {
 
 fn flipped(b: &Bitmap) -> Bitmap {
     Bitmap::from_fn(b.width(), b.height(), |x, y| {
-        b.get(
-            (b.width() - 1 - x) as isize,
-            (b.height() - 1 - y) as isize,
-        )
+        b.get((b.width() - 1 - x) as isize, (b.height() - 1 - y) as isize)
     })
 }
 
@@ -50,9 +47,8 @@ fn main() {
     let n = 128;
     // Convert glyph bitmaps to centroid-distance series (Figure 2).
     let six = z_normalize_lossy(&shape_to_series(&glyph_six(96), n).expect("non-empty glyph"));
-    let nine = z_normalize_lossy(
-        &shape_to_series(&flipped(&glyph_six(96)), n).expect("non-empty glyph"),
-    );
+    let nine =
+        z_normalize_lossy(&shape_to_series(&flipped(&glyph_six(96)), n).expect("non-empty glyph"));
     println!("glyphs rasterised: '6' and '9' (the same shape rotated 180°)\n");
 
     // Distractor shapes plus the two glyphs, at random-ish rotations.
@@ -82,8 +78,8 @@ fn main() {
 
     // 2. Rotation-limited to ±15°: the 9 (a 180° rotation) is excluded.
     let max_shift = n * 15 / 360; // 15° in samples
-    let limited = RotationQuery::new(&six, Invariance::RotationLimited { max_shift })
-        .expect("valid");
+    let limited =
+        RotationQuery::new(&six, Invariance::RotationLimited { max_shift }).expect("valid");
     let d6l = limited.distance_to(&database[six_at]).expect("len");
     let d9l = limited.distance_to(&database[nine_at]).expect("len");
     println!("±15° limited    : d(6,'6') = {d6l:.4}   d(6,'9') = {d9l:.4}  (the 9 is now far)");

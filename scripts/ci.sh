@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, build, tests, and a bounded
+# smoke run of the telemetry binary. Run from the repository root:
+#
+#   ./scripts/ci.sh
+#
+# Everything is offline (vendored dev-dependencies) and deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> trace smoke run (bounded workload)"
+ROTIND_QUICK=1 ROTIND_RESULTS="$(mktemp -d)" \
+    cargo run -p rotind-bench --release --bin trace >/dev/null
+
+echo "==> CI green"

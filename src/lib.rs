@@ -37,6 +37,7 @@ pub use rotind_eval as eval;
 pub use rotind_fft as fft;
 pub use rotind_index as index;
 pub use rotind_lightcurve as lightcurve;
+pub use rotind_obs as obs;
 pub use rotind_shape as shape;
 pub use rotind_ts as ts;
 
@@ -46,5 +47,6 @@ pub mod prelude {
     pub use rotind_distance::measure::Measure;
     pub use rotind_envelope::wedge::Wedge;
     pub use rotind_index::engine::{Invariance, Neighbor, RotationQuery};
+    pub use rotind_obs::{NoopObserver, QueryTrace, SearchObserver};
     pub use rotind_ts::{StepCounter, TimeSeries};
 }

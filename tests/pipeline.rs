@@ -47,7 +47,11 @@ fn bitmap_pipeline_retrieves_the_rotated_shape() {
     let engine = RotationQuery::new(&query, Invariance::Rotation).expect("valid query");
     let hit = engine.nearest(&database).expect("non-empty database");
     assert_eq!(hit.index, 7, "physical rotation must not change identity");
-    assert!(hit.distance < 3.0, "raster noise only: distance {}", hit.distance);
+    assert!(
+        hit.distance < 3.0,
+        "raster noise only: distance {}",
+        hit.distance
+    );
 }
 
 #[test]
@@ -56,12 +60,9 @@ fn bitmap_pipeline_under_dtw() {
     let profile = rotind::shape::generators::superformula(4.0, 1.0, 2.0, 2.0, 256);
     let a = raster_series(&profile, n);
     let b = raster_series(&rotated(&profile, 64), n);
-    let engine = RotationQuery::with_measure(
-        &a,
-        Invariance::Rotation,
-        Measure::Dtw(DtwParams::new(3)),
-    )
-    .expect("valid");
+    let engine =
+        RotationQuery::with_measure(&a, Invariance::Rotation, Measure::Dtw(DtwParams::new(3)))
+            .expect("valid");
     let d = engine.distance_to(&b).expect("equal lengths");
     assert!(d < 1.5, "DTW distance between rotated rasters: {d}");
 }
@@ -72,20 +73,18 @@ fn skull_bitmap_roundtrip() {
     // the direct radial series far better than a different species'.
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
     let n = 96;
-    let human =
-        rotind::shape::generators::skull::skull_profile(
-            &rotind::shape::generators::skull::PRIMATES[0].params,
-            512,
-            0.0,
-            &mut rng,
-        );
-    let orang =
-        rotind::shape::generators::skull::skull_profile(
-            &rotind::shape::generators::skull::PRIMATES[2].params,
-            512,
-            0.0,
-            &mut rng,
-        );
+    let human = rotind::shape::generators::skull::skull_profile(
+        &rotind::shape::generators::skull::PRIMATES[0].params,
+        512,
+        0.0,
+        &mut rng,
+    );
+    let orang = rotind::shape::generators::skull::skull_profile(
+        &rotind::shape::generators::skull::PRIMATES[2].params,
+        512,
+        0.0,
+        &mut rng,
+    );
     let human_raster = raster_series(&human, n);
     let human_direct = z_normalize_lossy(
         &rotind::shape::centroid::radial_profile_to_series(&human, n).expect("non-empty"),
@@ -96,7 +95,10 @@ fn skull_bitmap_roundtrip() {
     let engine = RotationQuery::new(&human_raster, Invariance::Rotation).expect("valid");
     let d_same = engine.distance_to(&human_direct).expect("len");
     let d_other = engine.distance_to(&orang_direct).expect("len");
-    assert!(d_same < d_other, "raster/direct mismatch: {d_same} !< {d_other}");
+    assert!(
+        d_same < d_other,
+        "raster/direct mismatch: {d_same} !< {d_other}"
+    );
 }
 
 #[test]
@@ -107,9 +109,11 @@ fn disk_index_agrees_with_engine_on_shapes() {
     let engine = RotationQuery::new(&query, Invariance::Rotation).expect("valid");
     let direct = engine.nearest(&db).expect("non-empty");
     for d in [4usize, 16] {
-        let index = IndexedDatabase::build(db.clone(), d, ReducedRepr::FourierMagnitude)
-            .expect("valid db");
-        let (hit, stats) = index.nearest(&query, Measure::Euclidean).expect("valid query");
+        let index =
+            IndexedDatabase::build(db.clone(), d, ReducedRepr::FourierMagnitude).expect("valid db");
+        let (hit, stats) = index
+            .nearest(&query, Measure::Euclidean)
+            .expect("valid query");
         assert_eq!(hit.index, direct.index, "D = {d}");
         assert!((hit.distance - direct.distance).abs() < 1e-9);
         assert!(stats.retrieved <= stats.total);
@@ -122,8 +126,7 @@ fn disk_index_agrees_with_engine_on_lightcurves_dtw() {
     let db: Vec<Vec<f64>> = ds.items[..79].to_vec();
     let query = ds.items[79].clone();
     let measure = Measure::Dtw(DtwParams::new(4));
-    let engine =
-        RotationQuery::with_measure(&query, Invariance::Rotation, measure).expect("valid");
+    let engine = RotationQuery::with_measure(&query, Invariance::Rotation, measure).expect("valid");
     let direct = engine.nearest(&db).expect("non-empty");
     let index = IndexedDatabase::build(db.clone(), 8, ReducedRepr::Paa).expect("valid db");
     let (hit, _) = index.nearest(&query, measure).expect("valid query");
@@ -165,15 +168,13 @@ fn glyph_six_and_nine_separate_only_under_limited_rotation() {
         let asc = (xf - (c + 9.0)).abs() < 7.0 && (yf - (c - 17.0)).abs() < 21.0;
         body || asc
     });
-    let nine = Bitmap::from_fn(96, 96, |x, y| {
-        six.get(95 - x as isize, 95 - y as isize)
-    });
+    let nine = Bitmap::from_fn(96, 96, |x, y| six.get(95 - x as isize, 95 - y as isize));
     let s6 = z_normalize_lossy(&shape_to_series(&six, n).expect("glyph"));
     let s9 = z_normalize_lossy(&shape_to_series(&nine, n).expect("glyph"));
 
     let full = RotationQuery::new(&s6, Invariance::Rotation).expect("valid");
-    let limited = RotationQuery::new(&s6, Invariance::RotationLimited { max_shift: n / 24 })
-        .expect("valid");
+    let limited =
+        RotationQuery::new(&s6, Invariance::RotationLimited { max_shift: n / 24 }).expect("valid");
     let d_full = full.distance_to(&s9).expect("len");
     let d_limited = limited.distance_to(&s9).expect("len");
     assert!(d_full < 2.0, "under full invariance 6 ≈ 9: {d_full}");
@@ -192,7 +193,9 @@ fn step_counts_are_reproducible() {
     let run = || {
         let engine = RotationQuery::new(&query, Invariance::Rotation).expect("valid");
         let mut counter = StepCounter::new();
-        engine.nearest_with_steps(&db, &mut counter).expect("non-empty");
+        engine
+            .nearest_with_steps(&db, &mut counter)
+            .expect("non-empty");
         counter.steps()
     };
     assert_eq!(run(), run());

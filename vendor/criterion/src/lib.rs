@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates-io access, so the workspace vendors
+//! a minimal timing harness with criterion's API shape: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up, then timed over enough iterations to fill the group's
+//! measurement window; mean/min wall-clock per iteration is printed as
+//! one line. There are no statistical reports, plots or baselines —
+//! numbers are indicative, while the `num_steps` metrics reported by the
+//! `fig*` binaries remain the paper-faithful cost measure.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    warmup: u32,
+    window: Duration,
+    /// (iterations, total elapsed) recorded by the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly, until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.window {
+                break;
+            }
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything usable as a benchmark identifier (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: u32,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count knob (kept for API compatibility; scales the window).
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement window for each benchmark in the group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.group_name, id.into_id());
+        self.criterion.run_one(&full, self.window(), &mut f);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.group_name, id.into_id());
+        self.criterion
+            .run_one(&full, self.window(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn window(&self) -> Duration {
+        // Cap the window by the nominal sample count (5 ms a sample) so
+        // long criterion measurement times don't inflate wall time in
+        // this stand-in.
+        self.measurement_time
+            .min(Duration::from_millis(5 * self.sample_size as u64))
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's CLI shape loosely: a bare positional arg
+        // filters benchmarks by substring; everything else is ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: group_name.into(),
+            sample_size: 100,
+            measurement_time: default_window(),
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        self.run_one(&name, default_window(), &mut f);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, window: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warmup: 3,
+            window,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((iters, elapsed)) => {
+                let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+                println!(
+                    "{name:<48} {:>14} /iter ({iters} iters)",
+                    fmt_nanos(per_iter)
+                );
+            }
+            None => println!("{name:<48} [no measurement]"),
+        }
+    }
+}
+
+fn default_window() -> Duration {
+    match std::env::var("CRITERION_MEASUREMENT_MS") {
+        Ok(ms) => Duration::from_millis(ms.parse().unwrap_or(300)),
+        Err(_) => Duration::from_millis(300),
+    }
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u64;
+        c.run_one(
+            "unit/tiny",
+            Duration::from_millis(5),
+            &mut |b: &mut Bencher| {
+                b.iter(|| ran += 1);
+            },
+        );
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+        };
+        let mut ran = false;
+        c.run_one("unit/other", Duration::from_millis(5), &mut |b| {
+            b.iter(|| ran = true);
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(fmt_nanos(12.0), "12.0 ns");
+        assert!(fmt_nanos(2_500.0).contains("µs"));
+        assert!(fmt_nanos(3_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest 1.x API the workspace's property
+//! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, range strategies, `prop::collection::{vec, btree_set}`,
+//! [`ProptestConfig::with_cases`] and the `prop_assert*` macros.
+//!
+//! Semantics: each test runs `cases` iterations with inputs drawn from a
+//! deterministic per-test RNG (seeded from the test name, perturbed by
+//! `PROPTEST_SEED` if set). There is **no shrinking** — a failing case
+//! panics with the standard assertion message, which is sufficient for
+//! CI-style regression detection and keeps the stand-in dependency-free.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32, f64, f32);
+
+    macro_rules! impl_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_inclusive_strategy!(usize, u64, u32, u16, u8);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+
+    /// A size specification: an exact length or a length range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` of roughly `size` distinct values drawn from `element`.
+    /// When the element domain is smaller than the requested size, the
+    /// set saturates at the reachable distinct values (at least one).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng).max(1);
+            let mut set = BTreeSet::new();
+            // Bounded draw budget: small domains saturate gracefully.
+            for _ in 0..target.saturating_mul(16).max(32) {
+                set.insert(self.element.generate(rng));
+                if set.len() >= target {
+                    break;
+                }
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test deterministic execution support used by [`proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (only the `cases` knob is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` iterations.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Deterministic RNG for one named test: FNV-1a over the test name,
+    /// perturbed by `PROPTEST_SEED` when present.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = seed.parse::<u64>() {
+                hash = hash.wrapping_add(extra.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+/// Assert a condition inside a `proptest!` body (panics on failure;
+/// this stand-in performs no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` iterations over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr)) => {};
+}
+
+pub mod prelude {
+    //! The customary glob import.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// `prop::collection::vec(...)`-style paths.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn series(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-1.0f64..1.0, n)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_lengths_respected(xs in series(10), m in 2usize..5) {
+            prop_assert_eq!(xs.len(), 10);
+            prop_assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+            prop_assert!((2..5).contains(&m));
+        }
+
+        #[test]
+        fn btree_set_distinct(s in prop::collection::btree_set(0usize..8, 1..=8)) {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.iter().all(|&x| x < 8));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_reruns() {
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        let s = series(6);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

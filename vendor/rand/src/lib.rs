@@ -1,0 +1,255 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to the crates-io registry, so the
+//! workspace vendors the *subset* of the `rand 0.9` API it actually
+//! uses: [`RngCore`], [`Rng::random_range`], [`SeedableRng`] and
+//! [`rngs::StdRng`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — high-quality, deterministic per seed, and entirely
+//! self-contained. Streams differ from upstream `rand`, which only
+//! shifts which synthetic specimens a seed produces; nothing in the
+//! workspace depends on upstream byte-for-byte streams.
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: object-safe raw output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A scalar type with a uniform sampler. The single blanket
+/// [`SampleRange`] impl below unifies `Range<T> → T` during inference,
+/// matching upstream `rand`'s behaviour for unsuffixed literals.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(unused_comparisons)]
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let (lo128, hi128) = (lo as i128, hi as i128);
+                let span = (hi128 - lo128 + if inclusive { 1 } else { 0 }) as u128;
+                assert!(span > 0, "empty range");
+                (lo128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty : $bits:expr),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(lo < hi, "empty range");
+                // 53 (resp. 24) uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> (64 - $bits)) as $t / (1u64 << $bits) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f64: 53, f32: 24);
+
+/// A range that values can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value from `range` (half-open or inclusive).
+    fn random_range<T, RA: SampleRange<T>>(&mut self, range: RA) -> T {
+        range.sample_single(self)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn random(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform boolean with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` convenience seed (SplitMix64-expanded).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&bytes[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** (Blackman & Vigna).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            if s.iter().all(|&w| w == 0) {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3]; // all-zero state is absorbing
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.random_range(0usize..=5);
+            assert!(y <= 5);
+            let f = rng.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let u = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn dyn_rng_core_object_safe() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynref: &mut dyn RngCore = &mut rng;
+        let v = dynref.random_range(-1.0f64..1.0);
+        assert!((-1.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+}
