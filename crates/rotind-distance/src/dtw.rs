@@ -87,6 +87,9 @@ fn cell_cost(a: f64, b: f64) -> f64 {
 /// Panics when the series differ in length or are empty.
 pub fn dtw(q: &[f64], c: &[f64], params: DtwParams, counter: &mut StepCounter) -> f64 {
     dtw_early_abandon(q, c, params, f64::INFINITY, counter)
+        // Invariant: a DP row can only exceed r² = ∞ if a cell is +∞,
+        // which finite inputs cannot produce.
+        // rotind-lint: allow(no-panic)
         .expect("DTW with infinite radius cannot abandon")
 }
 

@@ -43,6 +43,8 @@ impl Measure {
             Measure::Euclidean => {
                 // Count steps identically to the early-abandoning form.
                 euclidean_early_abandon(q, c, f64::INFINITY, counter)
+                    // Invariant: the running sum never exceeds r² = ∞.
+                    // rotind-lint: allow(no-panic)
                     .expect("infinite radius never abandons")
             }
             Measure::Dtw(p) => dtw(q, c, *p, counter),

@@ -65,14 +65,24 @@ pub fn test_all_rotations(
 /// Plain rotation-invariant distance between two series under `measure`
 /// (the paper's `RED(Q, C)` when `measure` is Euclidean), considering all
 /// `n` rotations.
+///
+/// # Panics
+///
+/// Panics when `query` is empty or contains non-finite samples.
 pub fn rotation_invariant_distance(
     candidate: &[f64],
     query: &[f64],
     measure: Measure,
     counter: &mut StepCounter,
 ) -> f64 {
+    // Documented panic: the caller contract (see `# Panics`) requires a
+    // non-empty, finite query; everything downstream relies on it.
+    // rotind-lint: allow(no-panic)
     let matrix = RotationMatrix::full(query).expect("query must be non-empty and finite");
     test_all_rotations(candidate, &matrix, f64::INFINITY, measure, counter)
+        // Invariant: with r = ∞ every rotation qualifies, so the minimum
+        // over a non-empty rotation set always exists.
+        // rotind-lint: allow(no-panic)
         .expect("infinite radius always yields a match")
         .distance
 }

@@ -77,6 +77,9 @@ fn sliding_extreme(xs: &[f64], r: usize, dominates: fn(f64, f64) -> bool) -> Vec
                 break;
             }
         }
+        // Invariant: `right` was pushed before the trim, and trimming only
+        // removes indices < lo <= i <= right, so the deque retains >= 1.
+        // rotind-lint: allow(no-panic)
         out.push(xs[*deque.front().expect("window is non-empty")]);
     }
     out

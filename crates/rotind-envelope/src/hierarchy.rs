@@ -101,6 +101,9 @@ impl WedgeTree {
 
     /// Root node id.
     pub fn root(&self) -> usize {
+        // Invariant: construction rejects empty input, so the dendrogram
+        // always has at least one leaf and therefore a root.
+        // rotind-lint: allow(no-panic)
         self.dendrogram.root().expect("non-empty tree")
     }
 

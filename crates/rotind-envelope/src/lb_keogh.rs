@@ -43,8 +43,32 @@ use rotind_ts::StepCounter;
 /// Panics when `q.len() != wedge.len()`.
 pub fn lb_keogh(q: &[f64], wedge: &Wedge, counter: &mut StepCounter) -> f64 {
     lb_keogh_early_abandon(q, wedge, f64::INFINITY, counter)
+        // Invariant: `acc > r²` is unsatisfiable for r = ∞, so the
+        // early-abandon path cannot return None.
+        // rotind-lint: allow(no-panic)
         .expect("infinite radius never abandons")
 }
+
+/// Dynamic half of the exactness gate: in debug builds, assert that a
+/// lower bound is admissible against a true distance computed for the
+/// same pair. Call this wherever both values exist (the static
+/// `lb-coverage` lint guarantees a property test exists; this catches
+/// the regressions that slip between property-test runs). Non-finite
+/// inputs are ignored — an overflowed distance is not a soundness bug.
+///
+/// Compiled out entirely in release builds.
+#[inline]
+pub fn debug_assert_admissible(lb: f64, true_distance: f64) {
+    debug_assert!(
+        !(lb.is_finite() && true_distance.is_finite()) || lb <= true_distance + SOUNDNESS_EPS,
+        "unsound lower bound: lb {lb} > true distance {true_distance} + {SOUNDNESS_EPS}"
+    );
+}
+
+/// Absolute slack for [`debug_assert_admissible`]: generous enough for
+/// accumulated f64 rounding over long series, far below any real
+/// tightening bug (which shows up at the magnitude of the data).
+pub const SOUNDNESS_EPS: f64 = 1e-6;
 
 /// `EA_LB_Keogh` (Table 5): early-abandoning LB_Keogh. Returns `None` as
 /// soon as the accumulated bound exceeds `r²` — at that point *no* member
@@ -88,7 +112,24 @@ pub fn lb_keogh_early_abandon_at(
             return Err(i + 1);
         }
     }
-    Ok(acc.sqrt())
+    let lb = acc.sqrt();
+    // Debug-only self-check of Proposition 1: every series inside the
+    // envelope (the envelope curves themselves included, since L ≤ U
+    // pointwise) must sit at least `lb` away from the query. A witness
+    // closer than the bound means the bound over-tightened.
+    #[cfg(debug_assertions)]
+    {
+        let ed = |w: &[f64]| {
+            q.iter()
+                .zip(w)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        };
+        debug_assert_admissible(lb, ed(upper));
+        debug_assert_admissible(lb, ed(lower));
+    }
+    Ok(lb)
 }
 
 /// LCSS envelope bound: an *upper* bound on the LCSS match count of the

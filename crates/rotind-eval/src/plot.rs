@@ -69,6 +69,7 @@ fn ticks(lo: f64, hi: f64, log: bool) -> Vec<f64> {
 }
 
 fn fmt_tick(v: f64) -> String {
+    // rotind-lint: allow(float-eq) exact-zero sentinel
     if v == 0.0 {
         return "0".to_string();
     }

@@ -51,7 +51,23 @@ pub fn fourier_lower_bound(q: &[f64], c: &[f64], counter: &mut StepCounter) -> f
     let qm = magnitudes(q);
     let cm = magnitudes(c);
     let mut scratch = StepCounter::new();
-    magnitude_distance(&qm, &cm, &mut scratch)
+    let lb = magnitude_distance(&qm, &cm, &mut scratch);
+    // Debug-only soundness check: the bound claims to be below
+    // ED(Q, rot_s(C)) for *every* shift s, so in particular the shift-0
+    // Euclidean distance — computable right here — must dominate it.
+    debug_assert!(
+        {
+            let ed0 = q
+                .iter()
+                .zip(c)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            !(lb.is_finite() && ed0.is_finite()) || lb <= ed0 + 1e-6
+        },
+        "unsound Fourier bound: lb {lb} exceeds the shift-0 distance"
+    );
+    lb
 }
 
 #[cfg(test)]

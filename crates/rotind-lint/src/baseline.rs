@@ -1,0 +1,208 @@
+//! The ratchet: a committed `lint-baseline.json` records how many
+//! findings each (rule, file) pair is *allowed* to have. The gate fails
+//! when any count rises or a new pair appears; counts may only go down,
+//! and `--write-baseline` re-tightens the file after a burn-down.
+
+use crate::findings::{count_by_rule_and_file, Finding};
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Baseline schema version (bumped on format changes).
+pub const BASELINE_VERSION: u64 = 1;
+
+/// Default baseline file name, committed at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// `rule → path → permitted count`.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Outcome of comparing a fresh scan against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// (rule, path, baseline count, fresh count) pairs whose fresh count
+    /// exceeds the baseline — these fail the gate.
+    pub regressions: Vec<(String, String, usize, usize)>,
+    /// (rule, path, baseline count, fresh count) pairs that *improved* —
+    /// the gate prompts for a `--write-baseline` re-ratchet.
+    pub improvements: Vec<(String, String, usize, usize)>,
+}
+
+impl Comparison {
+    /// True when no count rose.
+    pub fn is_pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compare fresh findings against a baseline.
+pub fn compare(findings: &[Finding], baseline: &Counts) -> Comparison {
+    let fresh = count_by_rule_and_file(findings);
+    let mut cmp = Comparison::default();
+    for (rule, files) in &fresh {
+        for (path, &count) in files {
+            let permitted = baseline
+                .get(rule)
+                .and_then(|m| m.get(path))
+                .copied()
+                .unwrap_or(0);
+            if count > permitted {
+                cmp.regressions
+                    .push((rule.clone(), path.clone(), permitted, count));
+            }
+        }
+    }
+    for (rule, files) in baseline {
+        for (path, &permitted) in files {
+            let count = fresh
+                .get(rule)
+                .and_then(|m| m.get(path))
+                .copied()
+                .unwrap_or(0);
+            if count < permitted {
+                cmp.improvements
+                    .push((rule.clone(), path.clone(), permitted, count));
+            }
+        }
+    }
+    cmp
+}
+
+/// Serialise counts to the canonical baseline JSON — byte-stable (sorted
+/// keys, fixed indentation, trailing newline) so the committed file can
+/// be compared verbatim against a fresh scan by tests and by humans.
+pub fn to_json(counts: &Counts) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {BASELINE_VERSION},");
+    out.push_str("  \"rules\": {");
+    if counts.is_empty() {
+        out.push_str("}\n}\n");
+        return out;
+    }
+    out.push('\n');
+    let n_rules = counts.len();
+    for (ri, (rule, files)) in counts.iter().enumerate() {
+        let _ = write!(out, "    {}: {{", json::escape(rule));
+        out.push('\n');
+        let n_files = files.len();
+        for (fi, (path, count)) in files.iter().enumerate() {
+            let _ = write!(out, "      {}: {}", json::escape(path), count);
+            out.push_str(if fi + 1 < n_files { ",\n" } else { "\n" });
+        }
+        out.push_str("    }");
+        out.push_str(if ri + 1 < n_rules { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Parse baseline JSON back into counts. Unknown top-level keys are an
+/// error; a corrupt ratchet must not silently pass.
+pub fn from_json(src: &str) -> Result<Counts, String> {
+    let v = json::parse(src)?;
+    let obj = v.as_obj().ok_or("baseline root must be an object")?;
+    let version = obj
+        .get("version")
+        .and_then(|v| v.as_int())
+        .ok_or("baseline missing integer `version`")?;
+    if version != BASELINE_VERSION {
+        return Err(format!(
+            "baseline version {version} unsupported (expected {BASELINE_VERSION}); regenerate with --write-baseline"
+        ));
+    }
+    for key in obj.keys() {
+        if key != "version" && key != "rules" {
+            return Err(format!("unexpected baseline key `{key}`"));
+        }
+    }
+    let rules = obj
+        .get("rules")
+        .and_then(|v| v.as_obj())
+        .ok_or("baseline missing object `rules`")?;
+    let mut counts: Counts = BTreeMap::new();
+    for (rule, files) in rules {
+        let files = files
+            .as_obj()
+            .ok_or_else(|| format!("rule `{rule}` must map files to counts"))?;
+        let entry = counts.entry(rule.clone()).or_default();
+        for (path, count) in files {
+            let count = count
+                .as_int()
+                .ok_or_else(|| format!("count for `{rule}` / `{path}` must be an integer"))?;
+            entry.insert(path.clone(), count as usize);
+        }
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str) -> Finding {
+        Finding::new(rule, path, 1, "m")
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_stable() {
+        let mut counts: Counts = BTreeMap::new();
+        counts
+            .entry("no-panic".into())
+            .or_default()
+            .insert("crates/a/src/lib.rs".into(), 3);
+        counts
+            .entry("float-eq".into())
+            .or_default()
+            .insert("crates/b/src/x.rs".into(), 1);
+        let js = to_json(&counts);
+        let parsed = from_json(&js).unwrap();
+        assert_eq!(parsed, counts);
+        assert_eq!(to_json(&parsed), js, "serialisation must be canonical");
+    }
+
+    #[test]
+    fn gate_passes_at_or_below_baseline() {
+        let findings = vec![finding("no-panic", "a.rs")];
+        let baseline = from_json(
+            "{\n  \"version\": 1,\n  \"rules\": {\n    \"no-panic\": {\n      \"a.rs\": 2\n    }\n  }\n}\n",
+        )
+        .unwrap();
+        let cmp = compare(&findings, &baseline);
+        assert!(cmp.is_pass());
+        assert_eq!(cmp.improvements.len(), 1, "1 < 2 prompts a re-ratchet");
+    }
+
+    #[test]
+    fn gate_fails_on_rise_or_new_pair() {
+        let findings = vec![
+            finding("no-panic", "a.rs"),
+            finding("no-panic", "a.rs"),
+            finding("no-index", "new.rs"),
+        ];
+        let mut baseline: Counts = BTreeMap::new();
+        baseline
+            .entry("no-panic".into())
+            .or_default()
+            .insert("a.rs".into(), 1);
+        let cmp = compare(&findings, &baseline);
+        assert_eq!(cmp.regressions.len(), 2);
+        assert!(!cmp.is_pass());
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_junk_keys() {
+        assert!(from_json("{\"version\": 9, \"rules\": {}}").is_err());
+        assert!(from_json("{\"version\": 1, \"rules\": {}, \"extra\": {}}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_means_zero_everywhere() {
+        let cmp = compare(&[finding("no-panic", "a.rs")], &Counts::new());
+        assert_eq!(
+            cmp.regressions,
+            vec![("no-panic".into(), "a.rs".into(), 0, 1)]
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Findings and report rendering (human-readable and JSON).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `no-panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(rule: &'static str, path: &str, line: usize, message: impl Into<String>) -> Self {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Aggregate findings into `rule → path → count`, the shape the baseline
+/// ratchet stores. `BTreeMap` keeps emission deterministic.
+pub fn count_by_rule_and_file(findings: &[Finding]) -> BTreeMap<String, BTreeMap<String, usize>> {
+    let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry(f.rule.to_string())
+            .or_default()
+            .entry(f.path.clone())
+            .or_default() += 1;
+    }
+    counts
+}
+
+/// Render findings for a terminal, sorted by path then line.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut out = String::new();
+    for f in &sorted {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    out
+}
+
+/// Render findings as a JSON array (stable field order, sorted as the
+/// human report is).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let mut out = String::from("[\n");
+    for (i, f) in sorted.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            crate::json::escape(f.rule),
+            crate::json::escape(&f.path),
+            f.line,
+            crate::json::escape(&f.message)
+        );
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_aggregate() {
+        let fs = vec![
+            Finding::new("no-panic", "a.rs", 1, "x"),
+            Finding::new("no-panic", "a.rs", 9, "y"),
+            Finding::new("float-eq", "b.rs", 2, "z"),
+        ];
+        let c = count_by_rule_and_file(&fs);
+        assert_eq!(c["no-panic"]["a.rs"], 2);
+        assert_eq!(c["float-eq"]["b.rs"], 1);
+    }
+
+    #[test]
+    fn json_render_is_valid_and_sorted() {
+        let fs = vec![
+            Finding::new("b-rule", "z.rs", 3, "later"),
+            Finding::new("a-rule", "a.rs", 1, "first \"quoted\""),
+        ];
+        let js = render_json(&fs);
+        assert!(js.starts_with("[\n"));
+        assert!(js.find("a.rs").unwrap() < js.find("z.rs").unwrap());
+        assert!(js.contains("\\\"quoted\\\""));
+    }
+}

@@ -1,0 +1,246 @@
+//! A deliberately minimal JSON subset — just enough to round-trip the
+//! baseline file and emit reports, keeping the linter zero-dependency.
+//!
+//! Supported values: objects, strings and unsigned integers (the baseline
+//! schema uses nothing else). Arrays/floats/bools would be easy to add
+//! but are intentionally absent: a smaller grammar is a smaller audit
+//! surface for a tool that gates CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (baseline subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// String.
+    Str(String),
+    /// Unsigned integer.
+    Int(u64),
+    /// Object with deterministic (sorted) iteration order.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an integer.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Escape a string for JSON output (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse a JSON document (baseline subset). Returns a readable error on
+/// malformed input — a corrupt baseline must fail loudly, not silently
+/// pass the gate.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), b' ' | b'\t' | b'\n' | b'\r') {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.pos,
+                self.peek() as char
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            b'{' => self.object(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'0'..=b'9' => self.integer(),
+            other => Err(format!(
+                "unsupported JSON at byte {} (starts with `{}`); the baseline subset allows objects, strings and unsigned integers",
+                self.pos, other as char
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect_byte(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                b',' => {
+                    self.pos += 1;
+                }
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                0 => return Err("unterminated string".to_string()),
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek();
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar (multi-byte safe).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.src.len() && (self.src[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(&String::from_utf8_lossy(&self.src[start..self.pos]));
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<u64>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad integer `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_baseline_shape() {
+        let src = r#"{ "version": 1, "rules": { "no-panic": { "a.rs": 3 } } }"#;
+        let v = parse(src).unwrap();
+        let rules = v.as_obj().unwrap()["rules"].as_obj().unwrap();
+        assert_eq!(
+            rules["no-panic"].as_obj().unwrap()["a.rs"].as_int(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_unknown_forms() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("[1, 2]").is_err());
+        assert!(parse("{\"a\": -1}").is_err());
+    }
+
+    #[test]
+    fn escape_and_parse_are_inverse() {
+        let original = "quote \" backslash \\ newline \n tab \t";
+        let v = parse(&escape(original)).unwrap();
+        assert_eq!(v, Value::Str(original.to_string()));
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(parse("{}").unwrap(), Value::Obj(BTreeMap::new()));
+    }
+}

@@ -1,0 +1,431 @@
+//! A hand-rolled Rust lexer — just enough of the language to drive the
+//! rule engine without pulling `syn`/`proc-macro2` into the offline
+//! vendored build.
+//!
+//! The token stream deliberately stays flat (no expression trees): every
+//! rule in [`crate::rules`] is expressible as a pattern over tokens plus
+//! brace/paren matching, and a flat stream keeps the lexer auditable —
+//! important for a tool whose whole purpose is enforcing invariants.
+//!
+//! What it gets right that a naive regex pass would not:
+//!
+//! * string literals (including raw strings `r#"…"#` with any number of
+//!   hashes, byte strings, and escapes) never produce code tokens, so an
+//!   error message containing `"unwrap()"` does not trip the no-panic rule;
+//! * doc comments (`///`, `//!`, `/** */`) are comments, so doctest
+//!   examples — where `unwrap()` is idiomatic — are exempt by construction;
+//! * char literals are distinguished from lifetimes (`'a'` vs `'a`);
+//! * nested block comments terminate where rustc says they do;
+//! * float literals are distinguished from integer + range (`1.5` vs
+//!   `0..n`) and from tuple field access (`x.0`).
+
+/// Classification of a single lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules do not need to distinguish).
+    Ident,
+    /// Integer literal, any base.
+    Int,
+    /// Float literal (has a fractional part, an exponent, or an `f32`/
+    /// `f64` suffix).
+    Float,
+    /// String, raw-string, byte-string or char literal.
+    Str,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// Punctuation / operator; multi-character operators (`==`, `+=`,
+    /// `::`, `..=`, …) lex as a single token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The raw text of the token (for `Str` the quotes are included).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: usize,
+}
+
+/// A comment captured out-of-band of the token stream (rules for
+/// allow-escapes and to-do hygiene look at comments, code rules do not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: usize,
+    /// 1-based line on which the comment ends (== `line` for `//`).
+    pub end_line: usize,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments. The lexer is total: unexpected
+/// bytes lex as single-character `Punct` tokens rather than failing, so
+/// a syntactically broken fixture still produces a usable stream.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "&&", "||", "::", "->", "=>", "..", "<<", ">>",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while self.pos < self.src.len() && f(self.peek(0)) {
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.pos < self.src.len() {
+            let line = self.line;
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(line, String::new()),
+                b'b' if self.peek(1) == b'"' => {
+                    let mut prefix = String::new();
+                    prefix.push(self.bump() as char);
+                    self.string(line, prefix);
+                }
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(line),
+                b'\'' => self.char_or_lifetime(line),
+                _ if b.is_ascii_digit() => self.number(line),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    let text =
+                        self.take_while(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80);
+                    self.push(TokKind::Ident, text, line);
+                }
+                _ => self.operator(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let text = self.take_while(|c| c != b'\n');
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let doc = matches!(self.peek(0), b'*' | b'!') && self.peek(1) != b'/';
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let end_line = self.line;
+        self.out.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line,
+            end_line,
+            doc,
+        });
+    }
+
+    /// `"…"` (escapes honoured). `prefix` carries an already-consumed `b`.
+    fn string(&mut self, line: usize, prefix: String) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        let body = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, prefix + &body, line);
+    }
+
+    /// True when the cursor sits on `r"`, `r#`, `br"` or `br#` — i.e. a
+    /// raw (byte) string rather than an identifier starting with r/b.
+    fn raw_string_ahead(&self) -> bool {
+        let (r_at, quote_at) = if self.peek(0) == b'b' && self.peek(1) == b'r' {
+            (1, 2)
+        } else if self.peek(0) == b'r' {
+            (0, 1)
+        } else {
+            return false;
+        };
+        debug_assert_eq!(self.peek(r_at), b'r');
+        let mut i = quote_at;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    fn raw_string(&mut self, line: usize) {
+        let start = self.pos;
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime) the way rustc does:
+    /// a quote followed by an identifier char is a lifetime unless the
+    /// character after the identifier is another quote.
+    fn char_or_lifetime(&mut self, line: usize) {
+        let c1 = self.peek(1);
+        let ident_start = c1 == b'_' || c1.is_ascii_alphabetic();
+        if ident_start && self.peek(2) != b'\'' {
+            self.bump(); // quote
+            let mut text = String::from("'");
+            text += &self.take_while(|c| c == b'_' || c.is_ascii_alphanumeric());
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        let start = self.pos;
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+        } else {
+            self.take_while(|c| c.is_ascii_digit() || c == b'_');
+            // A dot makes it a float only when not `..` (range) and not
+            // followed by an identifier (method call on a literal).
+            if self.peek(0) == b'.'
+                && self.peek(1) != b'.'
+                && !self.peek(1).is_ascii_alphabetic()
+                && self.peek(1) != b'_'
+            {
+                float = true;
+                self.bump();
+                self.take_while(|c| c.is_ascii_digit() || c == b'_');
+            }
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.bump();
+                }
+                self.take_while(|c| c.is_ascii_digit() || c == b'_');
+            }
+            // Type suffix: 1f64 / 2.5f32 are floats, 3u32 stays an int.
+            let suffix_start = self.pos;
+            let suffix = self.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            } else if suffix.is_empty() {
+                self.pos = suffix_start;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn operator(&mut self, line: usize) {
+        for op in OPERATORS {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*op).to_string(), line);
+                return;
+            }
+        }
+        let b = self.bump();
+        self.push(TokKind::Punct, (b as char).to_string(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("fn main() { x.unwrap(); }");
+        assert!(toks.contains(&(TokKind::Ident, "unwrap".into())));
+        assert!(toks.contains(&(TokKind::Punct, "(".into())));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "call .unwrap() now";"#);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" unwrap()"#; x"###);
+        assert!(!toks.iter().any(|(_, t)| t == "unwrap"));
+        assert!(toks.iter().any(|(_, t)| t == "x"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c: char = 'a'; fn f<'a>(x: &'a str) {}");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn floats_vs_ranges_and_fields() {
+        let toks = kinds("for i in 0..n { let y = 1.5e-3 + x.0 + 2f64; }");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5e-3".to_string(), "2f64".to_string()]);
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenised() {
+        let lexed = lex("// plain\n/// doc unwrap()\nlet x = 1; /* block\nspans */\n");
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[1].doc);
+        assert_eq!(lexed.comments[2].end_line, 4);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn multi_char_operators_lex_once() {
+        let toks = kinds("a == b != c += 1 ..= 2");
+        for op in ["==", "!=", "+=", "..="] {
+            assert!(toks.contains(&(TokKind::Punct, op.into())), "{op}");
+        }
+    }
+}

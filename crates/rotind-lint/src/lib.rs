@@ -1,0 +1,57 @@
+//! # rotind-lint — the workspace's own static-analysis gate
+//!
+//! A zero-dependency linter enforcing the invariants that make the
+//! paper's result trustworthy in production: exactness (no unsound float
+//! comparison, every lower bound covered by a soundness test) and
+//! no-panic serving paths (no `unwrap`, no raw indexing, no print-side
+//! channels, no `unsafe`). Clippy cannot express these — they are
+//! project semantics, not Rust semantics.
+//!
+//! The design is a hand-rolled lexer ([`lexer`]) feeding nine
+//! token-pattern rules ([`rules`]), with a committed ratchet baseline
+//! ([`baseline`]) so the gate could be introduced over a codebase with
+//! pre-existing findings and only ever tightens. See DESIGN.md §9 for
+//! the rule catalogue and rationale.
+//!
+//! Run it as `cargo run -p rotind-lint` (workspace gate mode) or with
+//! explicit paths (fixture mode); `scripts/ci.sh` wires it between
+//! clippy and the build.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod findings;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walker;
+
+use std::path::Path;
+
+/// Lint the whole workspace rooted at `root`; returns raw findings
+/// (baseline not yet applied).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<findings::Finding>> {
+    let files = walker::load_workspace(root)?;
+    Ok(rules::run_all(&files))
+}
+
+/// Lint explicit files or directories (fixture mode: snippets lint as
+/// library code, no baseline).
+pub fn lint_paths(
+    root: &Path,
+    paths: &[std::path::PathBuf],
+) -> std::io::Result<Vec<findings::Finding>> {
+    let files = walker::load_paths(root, paths)?;
+    Ok(rules::run_all(&files))
+}
+
+/// The workspace root, derived from this crate's manifest directory
+/// (`crates/rotind-lint` → two levels up). Works from any cwd.
+pub fn workspace_root() -> &'static Path {
+    static ROOT: &str = env!("CARGO_MANIFEST_DIR");
+    Path::new(ROOT)
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(Path::new(ROOT))
+}

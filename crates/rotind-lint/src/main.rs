@@ -1,0 +1,180 @@
+//! The `rotind-lint` binary — the CI gate.
+//!
+//! ```text
+//! rotind-lint                      # workspace scan, compare against lint-baseline.json
+//! rotind-lint --write-baseline     # workspace scan, re-ratchet the baseline
+//! rotind-lint --no-baseline        # workspace scan, report every finding
+//! rotind-lint <path>…              # lint explicit files/dirs as library code (fixture mode)
+//! rotind-lint --json …             # machine-readable findings on stdout
+//! rotind-lint --list               # print the rule catalogue
+//! ```
+//!
+//! Exit codes: 0 clean / at-or-below baseline, 1 findings or ratchet
+//! regression, 2 usage or I/O error.
+
+use rotind_lint::baseline::{self, BASELINE_FILE};
+use rotind_lint::findings::{count_by_rule_and_file, render_human, render_json, Finding};
+use rotind_lint::rules::ALL_RULES;
+use rotind_lint::{lint_paths, lint_workspace, workspace_root};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    write_baseline: bool,
+    no_baseline: bool,
+    list: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        write_baseline: false,
+        no_baseline: false,
+        list: false,
+        paths: Vec::new(),
+    };
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--list" => opts.list = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n\n{USAGE}"))
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.write_baseline && !opts.paths.is_empty() {
+        return Err("--write-baseline only applies to the workspace scan".to_string());
+    }
+    Ok(opts)
+}
+
+const USAGE: &str =
+    "usage: rotind-lint [--json] [--write-baseline | --no-baseline | --list] [path…]";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        for r in ALL_RULES {
+            println!("{:<14} {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    match run(&opts) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("rotind-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let root = workspace_root();
+
+    // Fixture mode: lint exactly the given paths, no ratchet.
+    if !opts.paths.is_empty() {
+        let findings = lint_paths(root, &opts.paths).map_err(|e| e.to_string())?;
+        report(&findings, opts.json);
+        return Ok(findings.is_empty());
+    }
+
+    let findings = lint_workspace(root).map_err(|e| e.to_string())?;
+
+    if opts.no_baseline {
+        report(&findings, opts.json);
+        summary(&findings);
+        return Ok(findings.is_empty());
+    }
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if opts.write_baseline {
+        let counts = count_by_rule_and_file(&findings);
+        std::fs::write(&baseline_path, baseline::to_json(&counts)).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({} findings across {} rules)",
+            baseline_path.display(),
+            findings.len(),
+            counts.len()
+        );
+        return Ok(true);
+    }
+
+    let committed = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read {} ({e}); run `cargo run -p rotind-lint -- --write-baseline` once",
+            baseline_path.display()
+        )
+    })?;
+    let committed = baseline::from_json(&committed)?;
+    let cmp = baseline::compare(&findings, &committed);
+
+    if opts.json {
+        print!("{}", render_json(&findings));
+    }
+    for (rule, path, permitted, count) in &cmp.regressions {
+        println!("RATCHET {rule}: {path} has {count} finding(s), baseline allows {permitted}");
+        // Show the individual findings of the offending pair so the
+        // developer sees candidates without re-running in --no-baseline.
+        for f in findings
+            .iter()
+            .filter(|f| f.rule == rule && &f.path == path)
+        {
+            println!("  {}:{}: {}", f.path, f.line, f.message);
+        }
+    }
+    for (rule, path, permitted, count) in &cmp.improvements {
+        println!(
+            "improved {rule}: {path} is down to {count} (baseline {permitted}) — \
+             re-ratchet with `cargo run -p rotind-lint -- --write-baseline`"
+        );
+    }
+    if cmp.is_pass() {
+        println!(
+            "lint gate: PASS ({} finding(s), all within the committed ratchet)",
+            findings.len()
+        );
+    } else {
+        println!(
+            "lint gate: FAIL ({} (rule, file) pair(s) above the ratchet)",
+            cmp.regressions.len()
+        );
+    }
+    Ok(cmp.is_pass())
+}
+
+fn report(findings: &[Finding], json: bool) {
+    if json {
+        print!("{}", render_json(findings));
+    } else {
+        print!("{}", render_human(findings));
+    }
+}
+
+fn summary(findings: &[Finding]) {
+    let counts = count_by_rule_and_file(findings);
+    for (rule, files) in &counts {
+        let total: usize = files.values().sum();
+        println!(
+            "{rule:<14} {total:>4} finding(s) in {} file(s)",
+            files.len()
+        );
+    }
+}

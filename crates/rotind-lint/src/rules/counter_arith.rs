@@ -1,0 +1,105 @@
+//! `counter-arith`: step counters are the paper's cost metric and the
+//! telemetry layer's currency. With `overflow-checks = true` in the test
+//! profile, a `steps += n` that overflows panics the search; in release
+//! it silently wraps and corrupts every speedup figure downstream. All
+//! arithmetic on counter-ish state (identifiers containing `count`,
+//! `step` or `tick`) must be saturating or checked — and explicitly
+//! wrapping arithmetic on counters is flagged outright, since wrapped
+//! telemetry is worse than a panic.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "counter-arith";
+
+/// True for identifiers that name step/count state.
+fn counter_ish(ident: &str) -> bool {
+    let l = ident.to_ascii_lowercase();
+    l.contains("count") || l.contains("step") || l.contains("tick")
+}
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_code(t.line) {
+            continue;
+        }
+        // `counter += n` / `counter -= n` (also `self.steps += 1`: the
+        // token just before the operator is the field name).
+        if (t.text == "+=" || t.text == "-=")
+            && i.checked_sub(1)
+                .is_some_and(|p| toks[p].kind == TokKind::Ident && counter_ish(&toks[p].text))
+        {
+            let place = &toks[i - 1].text;
+            out.push(Finding::new(
+                ID,
+                &file.path,
+                t.line,
+                format!(
+                    "`{place} {}` overflows under `overflow-checks = true`; \
+                     use `saturating_add`/`saturating_sub` (telemetry must \
+                     never panic a search) or `checked_*` where loss matters",
+                    t.text
+                ),
+            ));
+        }
+        // `counter.wrapping_add(…)` — wrapping telemetry is a silent lie.
+        if (t.text == "wrapping_add" || t.text == "wrapping_sub")
+            && i.checked_sub(1).is_some_and(|p| toks[p].text == ".")
+            && i.checked_sub(2)
+                .is_some_and(|p| toks[p].kind == TokKind::Ident && counter_ish(&toks[p].text))
+        {
+            out.push(Finding::new(
+                ID,
+                &file.path,
+                t.line,
+                format!(
+                    "`{}` on a counter wraps silently and corrupts the step \
+                     accounting; use `saturating_*`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn flags_compound_assignment_on_counters() {
+        let f = lint("struct C { steps: u64 }\nimpl C {\n    fn tick(&mut self) { self.steps += 1; }\n    fn untick(&mut self, n: u64) { self.steps -= n; }\n}\n");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn flags_wrapping_on_counters() {
+        let f = lint("fn f(count: u64) -> u64 { count.wrapping_add(1) }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn saturating_and_unrelated_idents_are_fine() {
+        let f = lint(
+            "fn f(steps: u64, acc: f64) -> (u64, f64) {\n    let s = steps.saturating_add(1);\n    let mut a = acc;\n    a += 1.0;\n    (s, a)\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,110 @@
+//! `float-eq`: exact float comparison is how a lower bound silently goes
+//! unsound. `lb == dist` flips on the last ulp between debug and release
+//! (or between scalar and FMA codegen), turning an admissible bound into
+//! a false dismissal. Compare against a tolerance, or use `total_cmp`
+//! for ordering. Two patterns are flagged:
+//!
+//! * `==` / `!=` with a float literal on either side;
+//! * `partial_cmp(…).unwrap()` (or `.expect`) comparators — NaN reaching
+//!   the comparator panics mid-sort; use `f64::total_cmp` instead.
+//!
+//! Intentional exact comparisons (IEEE-exact sentinel checks like
+//! `jitter == 0.0` on never-computed values) carry an allow escape.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "float-eq";
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind == FileKind::Test {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_code(t.line) {
+            continue;
+        }
+        if (t.text == "==" || t.text == "!=") && t.kind == TokKind::Punct {
+            let float_prev = i
+                .checked_sub(1)
+                .is_some_and(|p| toks[p].kind == TokKind::Float);
+            let float_next = toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+            if float_prev || float_next {
+                out.push(Finding::new(
+                    ID,
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`{}` against a float literal is exact-ulp comparison; \
+                         use an epsilon or `total_cmp`, or mark the IEEE-exact \
+                         sentinel with `// rotind-lint: allow({ID})`",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        if t.text == "partial_cmp" && toks.get(i + 1).is_some_and(|n| n.text == "(") {
+            if let Some(close) = crate::rules::matching_close(toks, i + 1) {
+                let follows_unwrap = toks.get(close + 1).is_some_and(|d| d.text == ".")
+                    && toks
+                        .get(close + 2)
+                        .is_some_and(|m| m.text == "unwrap" || m.text == "expect");
+                if follows_unwrap {
+                    out.push(Finding::new(
+                        ID,
+                        &file.path,
+                        t.line,
+                        "`partial_cmp(…).unwrap()` panics the first time a NaN \
+                         reaches the comparator; use `f64::total_cmp`",
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn flags_literal_comparison_both_sides() {
+        let f = lint("fn f(x: f64) -> bool { x == 0.0 || 1.5 != x }\n");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn integer_comparison_is_fine() {
+        let f = lint("fn f(n: usize) -> bool { n == 0 && n != 10 }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn flags_partial_cmp_unwrap() {
+        let f = lint("fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn total_cmp_and_plain_partial_cmp_are_fine() {
+        let f = lint(
+            "fn f(v: &mut [f64]) -> Option<std::cmp::Ordering> {\n    v.sort_by(f64::total_cmp);\n    v.first().unwrap_or(&0.0).partial_cmp(&1.5)\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

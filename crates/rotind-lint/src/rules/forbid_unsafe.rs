@@ -1,0 +1,78 @@
+//! `forbid-unsafe`: every crate root must carry `#![forbid(unsafe_code)]`.
+//!
+//! `forbid` (not `deny`) so no inner module can re-allow it: the whole
+//! workspace is pure safe Rust by construction, which is what lets the
+//! exactness proptests speak for the binary actually shipped — there is
+//! no `unsafe` fast path whose aliasing bugs the tests cannot see.
+
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const ID: &str = "forbid-unsafe";
+
+/// Check one file (only crate roots are inspected).
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if !file.is_crate_root {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    // Look for `# ! [ … forbid … unsafe_code … ]` among the inner
+    // attributes at the top of the file.
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "#"
+            && toks.get(i + 1).is_some_and(|a| a.text == "!")
+            && toks.get(i + 2).is_some_and(|a| a.text == "[")
+        {
+            if let Some(close) = crate::rules::matching_close(toks, i + 2) {
+                let attr = &toks[i + 2..close];
+                if attr.iter().any(|t| t.text == "forbid")
+                    && attr.iter().any(|t| t.text == "unsafe_code")
+                {
+                    return Vec::new();
+                }
+            }
+        }
+    }
+    vec![Finding::new(
+        ID,
+        &file.path,
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]`; the workspace \
+         guarantees safe-Rust-only hot paths",
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    #[test]
+    fn present_attribute_passes() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+            FileKind::Library,
+        );
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn missing_attribute_fails_on_roots_only() {
+        let root = SourceFile::parse("crates/x/src/lib.rs", "pub fn f() {}\n", FileKind::Library);
+        assert_eq!(check(&root).len(), 1);
+        let non_root = SourceFile::parse("crates/x/src/m.rs", "pub fn f() {}\n", FileKind::Library);
+        assert!(check(&non_root).is_empty());
+    }
+
+    #[test]
+    fn deny_is_not_enough() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#![deny(unsafe_code)]\npub fn f() {}\n",
+            FileKind::Library,
+        );
+        assert_eq!(check(&f).len(), 1, "deny can be re-allowed; forbid cannot");
+    }
+}

@@ -1,0 +1,131 @@
+//! `lb-coverage`: the cross-file rule. Every public lower-bound function
+//! (`lb_*` or `*lower_bound`) must be referenced from at least one test
+//! (an integration test under `tests/`, a bench, or a `#[cfg(test)]`
+//! module anywhere).
+//!
+//! This is the machine-checked half of the paper's Proposition 1/2
+//! discipline: an admissible bound is only trustworthy while a soundness
+//! property test exercises it, and this rule makes "added a bound, forgot
+//! the proptest" a CI failure rather than a silent false-dismissal risk
+//! (cf. the Lemire counterexamples for over-tightened DTW bounds).
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+use std::collections::HashSet;
+
+/// Rule id.
+pub const ID: &str = "lb-coverage";
+
+/// True when a public function name claims to be a lower bound.
+fn is_lower_bound_name(name: &str) -> bool {
+    name.starts_with("lb_") || name.ends_with("lower_bound")
+}
+
+/// Check the whole scan unit at once.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    // Pass 1: every identifier that appears inside test code, anywhere.
+    let mut test_idents: HashSet<&str> = HashSet::new();
+    for file in files {
+        for t in file.tokens() {
+            if t.kind == TokKind::Ident && file.is_test_code(t.line) {
+                test_idents.insert(&t.text);
+            }
+        }
+    }
+    // Pass 2: public lower-bound definitions in library code.
+    let mut out = Vec::new();
+    for file in files {
+        if file.kind != FileKind::Library {
+            continue;
+        }
+        let toks = file.tokens();
+        for (i, t) in toks.iter().enumerate() {
+            if t.text != "fn" || file.is_test_code(t.line) {
+                continue;
+            }
+            let Some(name_tok) = toks.get(i + 1) else {
+                continue;
+            };
+            if name_tok.kind != TokKind::Ident || !is_lower_bound_name(&name_tok.text) {
+                continue;
+            }
+            // Walk back over fn qualifiers to the visibility; only plain
+            // `pub` is API surface (`pub(crate)` is internal).
+            let mut k = i;
+            while k > 0 && matches!(toks[k - 1].text.as_str(), "const" | "async" | "unsafe") {
+                k -= 1;
+            }
+            let is_pub = k > 0 && toks[k - 1].text == "pub";
+            if !is_pub {
+                continue;
+            }
+            if !test_idents.contains(name_tok.text.as_str()) {
+                out.push(Finding::new(
+                    ID,
+                    &file.path,
+                    name_tok.line,
+                    format!(
+                        "public lower-bound fn `{}` is not referenced by any \
+                         test; add a soundness property test asserting \
+                         `lb <= true_distance + EPS` (Proposition 1/2)",
+                        name_tok.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::parse("crates/x/src/a.rs", src, FileKind::Library)
+    }
+
+    #[test]
+    fn uncovered_public_bound_fails() {
+        let files = vec![lib("pub fn lb_orphan(q: &[f64]) -> f64 { 0.0 }\n")];
+        let f = check(&files);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("lb_orphan"));
+    }
+
+    #[test]
+    fn reference_from_integration_test_passes() {
+        let files = vec![
+            lib("pub fn lb_covered(q: &[f64]) -> f64 { 0.0 }\n"),
+            SourceFile::parse(
+                "tests/bounds.rs",
+                "fn t() { let _ = lb_covered(&[]); }\n",
+                FileKind::Test,
+            ),
+        ];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn reference_from_cfg_test_module_passes() {
+        let files = vec![lib(
+            "pub fn paa_lower_bound(q: &[f64]) -> f64 { 0.0 }\n#[cfg(test)]\nmod t {\n    fn z() { let _ = super::paa_lower_bound(&[]); }\n}\n",
+        )];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn private_and_non_bound_fns_are_ignored() {
+        let files = vec![lib(
+            "fn lb_internal() {}\npub(crate) fn lb_scoped() {}\npub fn distance() -> f64 { 0.0 }\n",
+        )];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn const_fn_visibility_is_seen_through() {
+        let files = vec![lib("pub const fn lb_const() -> f64 { 0.0 }\n")];
+        assert_eq!(check(&files).len(), 1);
+    }
+}

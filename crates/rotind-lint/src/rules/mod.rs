@@ -1,0 +1,118 @@
+//! The rule engine: nine project-specific passes over lexed source.
+//!
+//! Every rule is a pure function from tokens (plus file context) to
+//! findings; the engine applies file-kind gating and the
+//! `// rotind-lint: allow(rule)` escape comments centrally, so individual
+//! rules stay single-purpose. See DESIGN.md §9 for the rationale of each
+//! rule and its tie to the paper's exactness invariants.
+
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+pub mod counter_arith;
+pub mod float_eq;
+pub mod forbid_unsafe;
+pub mod lb_coverage;
+pub mod no_index;
+pub mod no_panic;
+pub mod no_print;
+pub mod no_wildcard;
+pub mod todo_issue;
+
+/// Static description of a rule, for `--list` and documentation.
+pub struct RuleInfo {
+    /// Stable rule id, used in reports, allow comments and the baseline.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every rule the engine knows, in report order.
+pub const ALL_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: no_panic::ID,
+        summary: "no unwrap/expect/panic! in non-test library code",
+    },
+    RuleInfo {
+        id: no_index::ID,
+        summary: "no panicking slice/array indexing in non-test library code",
+    },
+    RuleInfo {
+        id: float_eq::ID,
+        summary: "no ==/!= against float literals, no partial_cmp(..).unwrap() comparators",
+    },
+    RuleInfo {
+        id: lb_coverage::ID,
+        summary: "every public lb_*/‥lower_bound fn must be referenced by a test",
+    },
+    RuleInfo {
+        id: counter_arith::ID,
+        summary: "counter/step arithmetic must use saturating or checked ops",
+    },
+    RuleInfo {
+        id: no_print::ID,
+        summary: "no println!/eprintln!/stdout in library crates; route telemetry via rotind-obs",
+    },
+    RuleInfo {
+        id: forbid_unsafe::ID,
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+    RuleInfo {
+        id: todo_issue::ID,
+        summary: "to-do / fix-me comments must reference an issue",
+    },
+    RuleInfo {
+        id: no_wildcard::ID,
+        summary: "no `pub use …::*` wildcard re-exports",
+    },
+];
+
+/// Run every rule over `files`, honouring allow comments. The slice is
+/// the whole scan unit: the cross-file `lb-coverage` rule treats it as
+/// the universe of definitions and test references.
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        findings.extend(no_panic::check(file));
+        findings.extend(no_index::check(file));
+        findings.extend(float_eq::check(file));
+        findings.extend(counter_arith::check(file));
+        findings.extend(no_print::check(file));
+        findings.extend(forbid_unsafe::check(file));
+        findings.extend(todo_issue::check(file));
+        findings.extend(no_wildcard::check(file));
+    }
+    findings.extend(lb_coverage::check(files));
+    // Apply escape comments centrally so every rule honours them the
+    // same way, including the cross-file one.
+    findings.retain(|f| {
+        files
+            .iter()
+            .find(|s| s.path == f.path)
+            .is_none_or(|s| !s.allowed(f.rule, f.line))
+    });
+    findings
+}
+
+/// Find the matching closing delimiter for the opener at `open`
+/// (`(`/`[`/`{`), returning its token index. Shared by several rules.
+pub(crate) fn matching_close(tokens: &[crate::lexer::Token], open: usize) -> Option<usize> {
+    let (o, c) = match tokens.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ("(", ")"),
+        Some("[") => ("[", "]"),
+        Some("{") => ("{", "}"),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,96 @@
+//! `no-index`: square-bracket indexing (`xs[i]`, `xs[i..j]`) in non-test
+//! library code is a hidden panic site. Prefer iterators, `get`/
+//! `get_unchecked`-free patterns, or pre-validated slices; where the
+//! bounds are established by construction (the inner loops of LB_Keogh
+//! and DTW), either keep the ratchet entry or add an allow escape.
+//!
+//! Full-range slicing `&xs[..]` cannot panic and is not flagged.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "no-index";
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "[" || file.is_test_code(t.line) {
+            continue;
+        }
+        // Index position: `expr[` — the bracket directly follows an
+        // identifier, a close paren/bracket, or `self`. Array literals
+        // (`= [0.0; n]`), types (`: [f64; 4]`), attributes (`#[…]`) and
+        // macro brackets (`vec![…]`) all follow other tokens.
+        let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) else {
+            continue;
+        };
+        let indexes = matches!(prev.kind, TokKind::Ident) || prev.text == ")" || prev.text == "]";
+        if !indexes {
+            continue;
+        }
+        // `&xs[..]` takes the whole slice and cannot panic.
+        if let Some(close) = crate::rules::matching_close(toks, i) {
+            if close == i + 2 && toks[i + 1].text == ".." {
+                continue;
+            }
+        }
+        out.push(Finding::new(
+            ID,
+            &file.path,
+            t.line,
+            format!(
+                "indexing `{}[…]` can panic on a bad bound; use iterators or \
+                 `.get(…)`, or record the structural invariant with \
+                 `// rotind-lint: allow({ID})`",
+                prev.text
+            ),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn flags_index_and_range_index() {
+        let f = lint("fn f(xs: &[f64], i: usize) -> f64 { xs[i] + xs[i..].len() as f64 }\n");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn array_literals_types_attrs_and_macros_are_fine() {
+        let f = lint(
+            "#[derive(Clone)]\nstruct S;\nfn f() -> [f64; 2] {\n    let a: [f64; 2] = [0.0, 1.0];\n    let _v = vec![1, 2];\n    a\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn full_range_slice_is_fine() {
+        let f = lint("fn f(xs: &Vec<f64>) -> &[f64] { &xs[..] }\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let f = lint("#[cfg(test)]\nmod t {\n    fn g(xs: &[u8]) -> u8 { xs[0] }\n}\n");
+        assert!(f.is_empty());
+    }
+}

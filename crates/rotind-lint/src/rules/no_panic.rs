@@ -1,0 +1,110 @@
+//! `no-panic`: hot-path library code must not contain `unwrap()`,
+//! `expect(…)`, `panic!`, `unreachable!`, `todo!` or `unimplemented!`.
+//!
+//! The serving path of the index must degrade by returning an error, not
+//! by unwinding mid-search: a panic inside `rotind-index::engine` tears
+//! down the worker with the query half-answered. Invariant-backed uses
+//! (e.g. "infinite radius never abandons") stay, but each must carry an
+//! explicit `// rotind-lint: allow(no-panic)` escape so the invariant is
+//! visible at the call site and auditable by grep.
+
+use crate::findings::Finding;
+use crate::lexer::TokKind;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "no-panic";
+
+/// Macros that unconditionally unwind.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.is_test_code(t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        match t.text.as_str() {
+            // `.unwrap()` / `.expect(` — method position only, so local
+            // functions named e.g. `expect_header` are untouched.
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                out.push(Finding::new(
+                    ID,
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`.{}()` in library code can panic at serve time; \
+                         return the crate error type, or document the invariant \
+                         with `// rotind-lint: allow({ID})`",
+                        t.text
+                    ),
+                ));
+            }
+            m if PANIC_MACROS.contains(&m) && next == Some("!") => {
+                out.push(Finding::new(
+                    ID,
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`{m}!` in library code unwinds mid-search; \
+                         return an error or add `// rotind-lint: allow({ID})` \
+                         with the invariant that makes it unreachable"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panic_macros() {
+        let f = lint("fn f(x: Option<u8>) -> u8 {\n    let a = x.unwrap();\n    let b = x.expect(\"b\");\n    panic!(\"no\");\n}\n");
+        assert_eq!(f.len(), 3);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn test_modules_and_test_files_are_exempt() {
+        let f = lint("fn ok() {}\n#[cfg(test)]\nmod t {\n    fn g() { None::<u8>.unwrap(); }\n}\n");
+        assert!(f.is_empty());
+        let tf = SourceFile::parse(
+            "tests/t.rs",
+            "fn g() { None::<u8>.unwrap(); }",
+            FileKind::Test,
+        );
+        assert!(check(&tf).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let f = lint("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).min(x.unwrap_or_default()) }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn free_function_named_expect_is_fine() {
+        let f = lint("fn expect(x: u8) -> u8 { x }\nfn g() { let _ = expect(1); }\n");
+        assert!(f.is_empty());
+    }
+}

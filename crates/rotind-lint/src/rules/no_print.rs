@@ -1,0 +1,99 @@
+//! `no-print`: library crates must not write to stdout/stderr directly.
+//! The observability layer (`rotind-obs`) exists so that every byte of
+//! telemetry goes through one neutral, overhead-audited interface; a
+//! stray `println!` in a hot loop bypasses the observer contract, garbles
+//! machine-readable output (the `trace` binary emits CSV on stdout), and
+//! is invisible to the metrics registry. Binaries and the bench harness
+//! print freely — they *are* the operator interface.
+
+use crate::findings::Finding;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "no-print";
+
+/// Print-family macros.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if file.is_test_code(t.line) {
+            continue;
+        }
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        if PRINT_MACROS.contains(&t.text.as_str()) && next == Some("!") {
+            out.push(Finding::new(
+                ID,
+                &file.path,
+                t.line,
+                format!(
+                    "`{}!` in a library crate bypasses the rotind-obs observer \
+                     contract; emit through a SearchObserver / MetricsRegistry, \
+                     or move the printing into a binary",
+                    t.text
+                ),
+            ));
+        }
+        // `io::stdout()` / `io::stderr()` handles grabbed inside a library.
+        if (t.text == "stdout" || t.text == "stderr")
+            && next == Some("(")
+            && i.checked_sub(1).is_some_and(|p| toks[p].text == "::")
+        {
+            out.push(Finding::new(
+                ID,
+                &file.path,
+                t.line,
+                format!(
+                    "direct `{}()` handle in a library crate; take a \
+                     `&mut dyn Write` from the caller instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn flags_print_macros_and_stdout_handles() {
+        let f = lint("fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n    let _h = std::io::stdout();\n}\n");
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn binaries_and_tests_are_exempt() {
+        let b = SourceFile::parse(
+            "crates/x/src/bin/tool.rs",
+            "fn main() { println!(\"ok\"); }",
+            FileKind::Binary,
+        );
+        assert!(check(&b).is_empty());
+        let f = lint("#[cfg(test)]\nmod t {\n    fn g() { println!(\"dbg\"); }\n}\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn writeln_to_a_caller_writer_is_fine() {
+        let f =
+            lint("use std::fmt::Write;\nfn f(w: &mut String) { let _ = writeln!(w, \"x\"); }\n");
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! `no-wildcard`: `pub use module::*` re-exports make a crate's public
+//! surface implicit — adding a private helper can silently become an API
+//! commitment, and two glob re-exports can collide at a distance. The
+//! facade crate re-exports names one by one, on purpose.
+
+use crate::findings::Finding;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "no-wildcard";
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind == FileKind::Test {
+        return Vec::new();
+    }
+    let toks = file.tokens();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].text == "pub" && !file.is_test_code(toks[i].line) {
+            // Skip a visibility scope: `pub(crate)` / `pub(in path)`.
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.text == "(") {
+                match crate::rules::matching_close(toks, j) {
+                    Some(close) => j = close + 1,
+                    None => break,
+                }
+            }
+            if toks.get(j).is_some_and(|t| t.text == "use") {
+                let line = toks[i].line;
+                let mut glob = false;
+                while j < toks.len() && toks[j].text != ";" {
+                    if toks[j].text == "*" {
+                        glob = true;
+                    }
+                    j += 1;
+                }
+                if glob {
+                    out.push(Finding::new(
+                        ID,
+                        &file.path,
+                        line,
+                        "wildcard re-export `pub use …::*` makes the public \
+                         surface implicit; re-export names explicitly",
+                    ));
+                }
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn flags_glob_reexports_including_scoped() {
+        assert_eq!(lint("pub use crate::wedge::*;\n").len(), 1);
+        assert_eq!(lint("pub(crate) use super::inner::*;\n").len(), 1);
+        assert_eq!(lint("pub use crate::a::{b, c::*};\n").len(), 1);
+    }
+
+    #[test]
+    fn explicit_reexports_and_private_globs_pass() {
+        assert!(lint("pub use crate::wedge::Wedge;\n").is_empty());
+        assert!(
+            lint("use super::helpers::*;\n").is_empty(),
+            "private glob imports are a style choice, not API surface"
+        );
+        assert!(lint("pub use crate::a::{b, c as d};\n").is_empty());
+    }
+
+    #[test]
+    fn multiplication_is_not_a_glob() {
+        assert!(lint("pub fn double(x: f64) -> f64 { x * 2.0 }\n").is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! `todo-issue`: a to-do marker with no issue reference is a liability
+//! that ages into archaeology. Markers are welcome — but each must point
+//! at something trackable: `#123`, `issues/123`, `ISSUE.md`, or a URL.
+
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const ID: &str = "todo-issue";
+
+/// Markers that require a reference. Checked case-sensitively: prose
+/// like "todo lists" in lowercase is not a marker.
+const MARKERS: &[&str] = &["TODO", "FIXME", "XXX", "HACK"];
+
+/// True when `text` contains something trackable.
+fn has_reference(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let hash_number = text
+        .find('#')
+        .is_some_and(|i| bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()));
+    hash_number || text.contains("issues/") || text.contains("ISSUE") || text.contains("http")
+}
+
+/// True when `text` contains `marker` as a standalone word (not embedded
+/// in a longer identifier like `XXXL`).
+fn has_marker_word(text: &str, marker: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(i) = text[start..].find(marker) {
+        let at = start + i;
+        let before_ok = at == 0 || !text.as_bytes()[at - 1].is_ascii_alphanumeric();
+        let after = at + marker.len();
+        let after_ok = after >= text.len() || !text.as_bytes()[after].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + marker.len();
+    }
+    false
+}
+
+/// Check one file. Applies to every file kind — stale markers in tests
+/// rot just as fast.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in &file.lexed.comments {
+        let marked = MARKERS.iter().any(|m| has_marker_word(&c.text, m));
+        if marked && !has_reference(&c.text) {
+            out.push(Finding::new(
+                ID,
+                &file.path,
+                c.line,
+                "to-do marker without an issue reference; add `#<n>`, an \
+                 `issues/` link, an ISSUE.md pointer, or a URL",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn unreferenced_marker_fails() {
+        assert_eq!(lint("// TODO tighten this bound\nfn f() {}\n").len(), 1);
+        assert_eq!(lint("/* FIXME: wrong for n = 0 */\nfn f() {}\n").len(), 1);
+    }
+
+    #[test]
+    fn referenced_markers_pass() {
+        assert!(lint("// TODO(#42): tighten this bound\nfn f() {}\n").is_empty());
+        assert!(lint("// FIXME: see ISSUE.md satellite 3\nfn f() {}\n").is_empty());
+        assert!(lint("// TODO: https://example.com/t/9\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn prose_and_embedded_words_pass() {
+        assert!(lint("// we keep a todo list elsewhere\nfn f() {}\n").is_empty());
+        assert!(lint("// sizes go up to XXXL here\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn code_tokens_are_not_comments() {
+        assert!(lint("fn f() -> &'static str { \"TODO later\" }\n").is_empty());
+    }
+}

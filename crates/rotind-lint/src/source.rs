@@ -1,0 +1,280 @@
+//! Per-file source model: lexed tokens plus the context the rules need —
+//! is this library, binary or test code, which line ranges are
+//! `#[cfg(test)]`, and which lines carry `// rotind-lint: allow(…)`
+//! escape comments.
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+/// How a file participates in the workspace; decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code — the hot path; every rule applies.
+    Library,
+    /// Binary / example / build-script code: operator-facing, so the
+    /// no-panic, no-index and no-print rules are relaxed.
+    Binary,
+    /// Test or bench code: exempt from the hot-path rules, but *scanned*
+    /// by the cross-file `lb-coverage` rule as the reference corpus.
+    Test,
+}
+
+/// One lexed source file plus rule context.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes,
+    /// used in reports and the baseline).
+    pub path: String,
+    /// How the file participates in the workspace.
+    pub kind: FileKind,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Whether this file is a crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` / `#[test]`
+    /// items.
+    test_spans: Vec<(usize, usize)>,
+    /// line → rules allowed on that line (an allow comment covers its own
+    /// line and the next).
+    allows: HashMap<usize, HashSet<String>>,
+}
+
+impl SourceFile {
+    /// Lex `src` and derive the rule context. `path` should be
+    /// workspace-relative; `kind` can be forced (fixture mode) or derived
+    /// from the path via [`kind_for_path`].
+    pub fn parse(path: &str, src: &str, kind: FileKind) -> SourceFile {
+        let lexed = lex(src);
+        let test_spans = find_test_spans(&lexed.tokens);
+        let mut allows: HashMap<usize, HashSet<String>> = HashMap::new();
+        for c in &lexed.comments {
+            for rule in parse_allow(&c.text) {
+                allows.entry(c.line).or_default().insert(rule.clone());
+                allows
+                    .entry(c.line.saturating_add(1))
+                    .or_default()
+                    .insert(rule);
+            }
+        }
+        let is_crate_root = path.ends_with("src/lib.rs") || path == "lib.rs";
+        SourceFile {
+            path: path.to_string(),
+            kind,
+            lexed,
+            is_crate_root,
+            test_spans,
+            allows,
+        }
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` / `#[test]` item.
+    pub fn in_test_span(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when hot-path rules should skip `line`: test files entirely,
+    /// and test spans inside library/binary files.
+    pub fn is_test_code(&self, line: usize) -> bool {
+        self.kind == FileKind::Test || self.in_test_span(line)
+    }
+
+    /// True when an `// rotind-lint: allow(rule)` escape covers `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows.get(&line).is_some_and(|s| s.contains(rule))
+    }
+
+    /// Tokens of the file (convenience).
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+}
+
+/// Derive a [`FileKind`] from a workspace-relative path.
+pub fn kind_for_path(path: &str) -> FileKind {
+    let p = path.replace('\\', "/");
+    let in_dir = |d: &str| p.starts_with(&format!("{d}/")) || p.contains(&format!("/{d}/"));
+    if in_dir("tests") || in_dir("benches") {
+        FileKind::Test
+    } else if in_dir("examples")
+        || in_dir("bin")
+        || p.ends_with("/main.rs")
+        || p == "main.rs"
+        || p.ends_with("build.rs")
+    {
+        FileKind::Binary
+    } else {
+        FileKind::Library
+    }
+}
+
+/// Normalise a path to workspace-relative, `/`-separated form.
+pub fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Parse `rotind-lint: allow(rule-a, rule-b)` out of a comment.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let Some(idx) = comment.find("rotind-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[idx + "rotind-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Scan the token stream for `#[cfg(test)]` / `#[cfg(all(test, …))]` /
+/// `#[test]` attributes and return the line span of the item each one
+/// decorates (to the matching close brace, or to the `;` for brace-less
+/// items like `#[cfg(test)] mod tests;`).
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let attr_line = tokens[i].line;
+            // Collect idents inside the attribute's brackets.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if tokens[j].kind == TokKind::Ident {
+                            idents.push(&tokens[j].text);
+                        }
+                    }
+                }
+                j += 1;
+            }
+            let is_test_attr = match idents.first().copied() {
+                Some("cfg") => idents.contains(&"test"),
+                Some("test") => idents.len() == 1,
+                _ => false,
+            };
+            if is_test_attr {
+                if let Some(end_line) = item_end_line(tokens, j + 1) {
+                    spans.push((attr_line, end_line));
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Line on which the item starting at token `start` ends: the matching
+/// `}` of its first block, or the first top-level `;` if one comes first.
+fn item_end_line(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0usize; // (), [], {} all tracked so `;` inside args doesn't end the item
+    let mut k = start;
+    let mut in_braces = false;
+    while k < tokens.len() {
+        match tokens[k].text.as_str() {
+            "{" => {
+                depth += 1;
+                in_braces = true;
+            }
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if in_braces && depth == 0 {
+                    return Some(tokens[k].line);
+                }
+            }
+            ";" if depth == 0 => return Some(tokens[k].line),
+            _ => {}
+        }
+        k += 1;
+    }
+    tokens.last().map(|t| t.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_span() {
+        let src =
+            "pub fn lib() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", src, FileKind::Library);
+        assert!(!f.in_test_span(1));
+        assert!(f.in_test_span(3));
+        assert!(f.in_test_span(5));
+        assert!(f.in_test_span(6));
+        assert!(!f.in_test_span(7));
+    }
+
+    #[test]
+    fn test_attr_function_span() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    a();\n}\nfn b() {}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert!(f.in_test_span(4));
+        assert!(!f.in_test_span(6));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t {\n    fn z() {}\n}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert!(f.in_test_span(3));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        // `#[cfg(feature = "test-utils")]` must not match: first ident is
+        // cfg but no bare `test` ident appears.
+        let src = "#[cfg(feature = \"simd\")]\nmod fast {\n    fn z() {}\n}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert!(!f.in_test_span(3));
+    }
+
+    #[test]
+    fn braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse crate::helper;\nfn lib() {}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert!(f.in_test_span(2));
+        assert!(!f.in_test_span(3));
+    }
+
+    #[test]
+    fn allow_covers_own_and_next_line() {
+        let src = "// rotind-lint: allow(no-panic)\nlet x = y.unwrap();\nlet z = 1; // rotind-lint: allow(float-eq, no-index)\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert!(f.allowed("no-panic", 2));
+        assert!(!f.allowed("no-panic", 3));
+        assert!(f.allowed("float-eq", 3));
+        assert!(f.allowed("no-index", 3));
+    }
+
+    #[test]
+    fn kinds_from_paths() {
+        assert_eq!(kind_for_path("crates/x/src/a.rs"), FileKind::Library);
+        assert_eq!(kind_for_path("crates/x/src/bin/b.rs"), FileKind::Binary);
+        assert_eq!(kind_for_path("crates/x/src/main.rs"), FileKind::Binary);
+        assert_eq!(kind_for_path("tests/t.rs"), FileKind::Test);
+        assert_eq!(kind_for_path("crates/x/benches/b.rs"), FileKind::Test);
+        assert_eq!(kind_for_path("examples/e.rs"), FileKind::Binary);
+    }
+}

@@ -1,0 +1,113 @@
+//! Workspace discovery: find every `.rs` file the lint applies to,
+//! classify it, and lex it into [`SourceFile`]s.
+//!
+//! Exclusions, and why:
+//!
+//! * `target/` — build output;
+//! * `vendor/` — pinned offline stand-ins for crates-io dev-deps; they
+//!   are API shims, not rotind code, and are excluded from the workspace
+//!   in `Cargo.toml` for the same reason;
+//! * any `fixtures/` directory — the linter's own test fixtures are
+//!   *deliberately* rule-violating snippets.
+
+use crate::source::{kind_for_path, relative_path, FileKind, SourceFile};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names skipped entirely during the walk.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// Recursively collect `.rs` files under `root`, sorted for determinism.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Load and lex one file. `kind` overrides path-based classification
+/// (used by fixture mode, where every snippet lints as library code).
+pub fn load_file(root: &Path, file: &Path, kind: Option<FileKind>) -> io::Result<SourceFile> {
+    let rel = relative_path(root, file);
+    let src = fs::read_to_string(file)?;
+    let kind = kind.unwrap_or_else(|| kind_for_path(&rel));
+    Ok(SourceFile::parse(&rel, &src, kind))
+}
+
+/// Load the whole workspace rooted at `root`.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    rust_files(root)?
+        .iter()
+        .map(|f| load_file(root, f, None))
+        .collect()
+}
+
+/// Load an explicit set of paths (files or directories). Paths are kept
+/// relative to `root` when possible; snippets lint as library code
+/// unless their path says otherwise, so a bad fixture exercises the
+/// hot-path rules.
+pub fn load_paths(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            for f in walk_dir_unfiltered(p)? {
+                out.push(load_file(root, &f, Some(FileKind::Library))?);
+            }
+        } else {
+            out.push(load_file(root, p, Some(FileKind::Library))?);
+        }
+    }
+    Ok(out)
+}
+
+/// Like [`rust_files`] but without the fixture exclusion — explicit
+/// paths mean "lint exactly this".
+fn walk_dir_unfiltered(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            out.extend(walk_dir_unfiltered(&path)?);
+        } else if path.to_string_lossy().ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_walk_skips_vendor_target_and_fixtures() {
+        // The linter's own crate directory is a convenient real tree.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_files(root).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("src/lexer.rs")));
+        assert!(!files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("fixtures")));
+    }
+}

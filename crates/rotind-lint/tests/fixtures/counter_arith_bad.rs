@@ -1,0 +1,13 @@
+// Fixture: raw counter arithmetic that can overflow or silently wrap.
+pub struct Telemetry {
+    pub step_count: u64,
+    pub tick: u64,
+}
+
+impl Telemetry {
+    pub fn record(&mut self, steps: u64) {
+        self.step_count += steps;
+        self.tick -= 1;
+        self.step_count = self.step_count.wrapping_add(steps);
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: counters use saturating arithmetic; non-counter names may use +=.
+pub struct Telemetry {
+    pub step_count: u64,
+    pub tick: u64,
+}
+
+impl Telemetry {
+    pub fn record(&mut self, steps: u64) {
+        self.step_count = self.step_count.saturating_add(steps);
+        self.tick = self.tick.saturating_sub(1);
+    }
+}
+
+pub fn accumulate(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}

@@ -1,0 +1,10 @@
+// Fixture: exact float comparisons and panicking partial_cmp.
+pub fn classify(x: f64, a: f64, b: f64) -> bool {
+    if x == 0.5 {
+        return true;
+    }
+    if x != 1.0 {
+        return false;
+    }
+    a.partial_cmp(&b).unwrap() == std::cmp::Ordering::Less
+}

@@ -1,0 +1,16 @@
+// Fixture: tolerance-based comparison and total order, no exact float ==.
+const EPS: f64 = 1e-9;
+
+pub fn classify(x: f64, a: f64, b: f64) -> bool {
+    if (x - 0.5).abs() < EPS {
+        return true;
+    }
+    if (x - 1.0).abs() >= EPS {
+        return false;
+    }
+    a.total_cmp(&b) == std::cmp::Ordering::Less
+}
+
+pub fn int_eq_is_fine(n: usize) -> bool {
+    n == 3
+}

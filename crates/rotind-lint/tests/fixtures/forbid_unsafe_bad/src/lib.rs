@@ -1,0 +1,4 @@
+// Fixture: crate root missing the forbid(unsafe_code) attribute.
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+// Fixture: crate root carrying the required attribute.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,12 @@
+// Fixture: a public lower-bound entry point no soundness test references.
+pub fn lb_orphan(q: &[f64], c: &[f64]) -> f64 {
+    q.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unrelated() {
+        assert!(true);
+    }
+}

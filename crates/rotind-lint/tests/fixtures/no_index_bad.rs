@@ -1,0 +1,8 @@
+// Fixture: panicking index expressions the no-index rule must catch.
+pub fn gather(xs: &[f64], idx: &[usize]) -> f64 {
+    let mut acc = xs[0];
+    for &i in idx {
+        acc += xs[i];
+    }
+    acc + xs[1..].len() as f64
+}

@@ -1,0 +1,17 @@
+// Fixture: the same access patterns written without panicking indexing —
+// iterators, `get`, full-range slices, plus non-index bracket forms
+// (array literals, types, attributes, macros) that must not be flagged.
+#[derive(Clone)]
+pub struct Window {
+    pub lo: [f64; 2],
+}
+
+pub fn gather(xs: &[f64], idx: &[usize]) -> f64 {
+    let mut acc = xs.first().copied().unwrap_or(0.0);
+    for &i in idx {
+        acc += xs.get(i).copied().unwrap_or(0.0);
+    }
+    let whole: &[f64] = &xs[..];
+    let _v = vec![0.0; 2];
+    acc + whole.iter().skip(1).count() as f64
+}

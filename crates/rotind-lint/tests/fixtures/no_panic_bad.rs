@@ -1,0 +1,13 @@
+// Fixture: every panic-family construct the no-panic rule must catch.
+pub fn first(xs: &[f64]) -> f64 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if head > tail {
+        panic!("descending");
+    }
+    *head
+}
+
+pub fn unfinished() {
+    unreachable!("never");
+}

@@ -1,0 +1,23 @@
+// Fixture: fallible paths via Option, one documented invariant behind an
+// allow escape, and test-module panics (exempt).
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    // Invariant: the guard above rules out the empty case.
+    // rotind-lint: allow(no-panic)
+    let head = xs.first().expect("guarded non-empty");
+    head + xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        assert!(std::panic::catch_unwind(|| Option::<u8>::None.unwrap()).is_err());
+    }
+}

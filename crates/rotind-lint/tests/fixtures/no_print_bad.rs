@@ -1,0 +1,6 @@
+// Fixture: direct terminal I/O from library code.
+pub fn report(hits: usize) {
+    println!("hits: {hits}");
+    eprintln!("done");
+    let _ = std::io::stdout();
+}

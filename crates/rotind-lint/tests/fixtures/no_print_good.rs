@@ -1,0 +1,5 @@
+// Fixture: library code returns strings and lets the caller decide where
+// output goes; format! alone is not terminal I/O.
+pub fn report(hits: usize) -> String {
+    format!("hits: {hits}")
+}

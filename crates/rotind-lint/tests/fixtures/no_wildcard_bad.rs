@@ -1,0 +1,7 @@
+// Fixture: wildcard re-exports that hide the public surface.
+pub mod inner {
+    pub struct Wedge;
+}
+
+pub use inner::*;
+pub(crate) use self::inner::*;

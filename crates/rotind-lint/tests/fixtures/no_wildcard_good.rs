@@ -1,0 +1,12 @@
+// Fixture: named re-exports; private glob imports are fine.
+pub mod inner {
+    pub struct Wedge;
+    pub struct Envelope;
+}
+
+pub use inner::{Envelope, Wedge};
+use std::collections::*;
+
+pub fn touch() -> (Wedge, BTreeMap<u8, u8>) {
+    (Wedge, BTreeMap::new())
+}

@@ -1,0 +1,7 @@
+// Fixture: work markers with no tracking reference.
+// TODO tighten this bound
+pub fn bound() -> f64 {
+    // FIXME the constant is a guess
+    // HACK copied from the prototype
+    0.5
+}

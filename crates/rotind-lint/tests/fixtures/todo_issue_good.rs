@@ -1,0 +1,8 @@
+// Fixture: every work marker carries a tracking reference, and ordinary
+// words containing the letters are not markers.
+// TODO(#42): tighten this bound once the wedge split lands
+pub fn bound() -> f64 {
+    // FIXME: see issues/rotind/17 for the derivation
+    // Mastodons are not markers.
+    0.5
+}

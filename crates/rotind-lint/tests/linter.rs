@@ -1,0 +1,214 @@
+//! Integration tests for the linter: every rule against its bad/good
+//! fixture pair, the ratchet baseline against a fresh workspace scan, and
+//! the CLI binary's exit codes.
+
+use rotind_lint::baseline;
+use rotind_lint::findings::{count_by_rule_and_file, Finding};
+use rotind_lint::rules::ALL_RULES;
+use rotind_lint::{lint_paths, lint_workspace, workspace_root};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = fixture(name);
+    assert!(path.exists(), "missing fixture {}", path.display());
+    lint_paths(workspace_root(), &[path]).expect("fixture lint must not fail on I/O")
+}
+
+/// Each bad fixture must trip its own rule; each good fixture must be
+/// completely clean under *all* rules, so the fixtures double as a
+/// false-positive regression corpus.
+fn assert_pair(rule: &str, bad: &str, good: &str) {
+    let bad_findings = lint_fixture(bad);
+    assert!(
+        bad_findings.iter().any(|f| f.rule == rule),
+        "{bad} should trip `{rule}`, got: {bad_findings:?}"
+    );
+    let good_findings = lint_fixture(good);
+    assert!(
+        good_findings.is_empty(),
+        "{good} should be clean under every rule, got: {good_findings:?}"
+    );
+}
+
+#[test]
+fn no_panic_fixture_pair() {
+    let findings = lint_fixture("no_panic_bad.rs");
+    // unwrap, expect, panic!, unreachable! — all four call sites.
+    assert_eq!(findings.iter().filter(|f| f.rule == "no-panic").count(), 4);
+    assert_pair("no-panic", "no_panic_bad.rs", "no_panic_good.rs");
+}
+
+#[test]
+fn no_index_fixture_pair() {
+    let findings = lint_fixture("no_index_bad.rs");
+    // xs[0], xs[i], xs[1..] — range-from indexing still panics.
+    assert_eq!(findings.iter().filter(|f| f.rule == "no-index").count(), 3);
+    assert_pair("no-index", "no_index_bad.rs", "no_index_good.rs");
+}
+
+#[test]
+fn float_eq_fixture_pair() {
+    assert_pair("float-eq", "float_eq_bad.rs", "float_eq_good.rs");
+}
+
+#[test]
+fn counter_arith_fixture_pair() {
+    let findings = lint_fixture("counter_arith_bad.rs");
+    // step_count +=, tick -=, wrapping_add on a counter.
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.rule == "counter-arith")
+            .count(),
+        3
+    );
+    assert_pair(
+        "counter-arith",
+        "counter_arith_bad.rs",
+        "counter_arith_good.rs",
+    );
+}
+
+#[test]
+fn no_print_fixture_pair() {
+    assert_pair("no-print", "no_print_bad.rs", "no_print_good.rs");
+}
+
+#[test]
+fn todo_issue_fixture_pair() {
+    let findings = lint_fixture("todo_issue_bad.rs");
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "todo-issue").count(),
+        3
+    );
+    assert_pair("todo-issue", "todo_issue_bad.rs", "todo_issue_good.rs");
+}
+
+#[test]
+fn no_wildcard_fixture_pair() {
+    let findings = lint_fixture("no_wildcard_bad.rs");
+    // `pub use …::*` and `pub(crate) use …::*`.
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "no-wildcard").count(),
+        2
+    );
+    assert_pair("no-wildcard", "no_wildcard_bad.rs", "no_wildcard_good.rs");
+}
+
+#[test]
+fn forbid_unsafe_fixture_pair() {
+    assert_pair(
+        "forbid-unsafe",
+        "forbid_unsafe_bad/src/lib.rs",
+        "forbid_unsafe_good/src/lib.rs",
+    );
+}
+
+#[test]
+fn lb_coverage_fixture_pair() {
+    let findings = lint_fixture("lb_coverage_bad.rs");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "lb-coverage")
+        .collect();
+    assert_eq!(hits.len(), 1, "only lb_orphan is uncovered: {hits:?}");
+    assert!(hits[0].message.contains("lb_orphan"));
+    assert_pair("lb-coverage", "lb_coverage_bad.rs", "lb_coverage_good.rs");
+}
+
+/// The committed ratchet file must be exactly what a fresh scan of the
+/// workspace produces in canonical form — no stale counts, no hand edits.
+/// (`--write-baseline` regenerates it; this test is what keeps it honest.)
+#[test]
+fn committed_baseline_matches_fresh_workspace_scan() {
+    let root = workspace_root();
+    let findings = lint_workspace(root).expect("workspace scan must not fail on I/O");
+    let fresh = baseline::to_json(&count_by_rule_and_file(&findings));
+    let committed = std::fs::read_to_string(root.join(baseline::BASELINE_FILE))
+        .expect("lint-baseline.json must be committed at the workspace root");
+    assert_eq!(
+        committed, fresh,
+        "lint-baseline.json is stale; run `cargo run -p rotind-lint -- --write-baseline`"
+    );
+    // And the committed bytes must round-trip through the parser.
+    let parsed = baseline::from_json(&committed).expect("committed baseline must parse");
+    assert_eq!(parsed, count_by_rule_and_file(&findings));
+}
+
+/// Workspace findings must all sit inside rules the baseline knows about,
+/// and the burn-down satellites hold: no panic-family findings remain in
+/// the three core crates, and the total stays far below the seed's count.
+#[test]
+fn burned_down_crates_stay_clean() {
+    let findings = lint_workspace(workspace_root()).expect("workspace scan");
+    for f in &findings {
+        if f.rule != "no-panic" {
+            continue;
+        }
+        for crate_dir in ["crates/rotind-ts/", "crates/rotind-envelope/"] {
+            assert!(
+                !f.path.starts_with(crate_dir),
+                "no-panic regression in burned-down crate: {f:?}"
+            );
+        }
+    }
+    let panics = findings.iter().filter(|f| f.rule == "no-panic").count();
+    assert!(panics < 238, "no-panic count crept back up: {panics}");
+}
+
+#[test]
+fn binary_fails_on_bad_fixture_and_passes_on_good() {
+    let bad = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+        .arg(fixture("no_panic_bad.rs"))
+        .output()
+        .expect("spawn rotind-lint");
+    assert_eq!(bad.status.code(), Some(1), "bad fixture must exit 1");
+    let good = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+        .arg(fixture("no_panic_good.rs"))
+        .output()
+        .expect("spawn rotind-lint");
+    assert_eq!(good.status.code(), Some(0), "good fixture must exit 0");
+}
+
+#[test]
+fn binary_workspace_gate_passes_against_committed_baseline() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+        .output()
+        .expect("spawn rotind-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace gate must pass: {stdout}"
+    );
+    assert!(stdout.contains("lint gate: PASS"), "unexpected: {stdout}");
+}
+
+#[test]
+fn binary_lists_every_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+        .arg("--list")
+        .output()
+        .expect("spawn rotind-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ALL_RULES {
+        assert!(stdout.contains(rule.id), "--list missing {}", rule.id);
+    }
+    assert_eq!(ALL_RULES.len(), 9);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+        .arg("--bogus")
+        .output()
+        .expect("spawn rotind-lint");
+    assert_eq!(out.status.code(), Some(2));
+}

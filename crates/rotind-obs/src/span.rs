@@ -92,9 +92,9 @@ impl Span {
         let nanos = self.start.elapsed().as_nanos();
         let mut table = global_table().lock().expect("span table poisoned");
         let agg = table.entry(self.name).or_default();
-        agg.count += 1;
-        agg.total_nanos += nanos;
-        agg.total_steps += steps;
+        agg.count = agg.count.saturating_add(1);
+        agg.total_nanos = agg.total_nanos.saturating_add(nanos);
+        agg.total_steps = agg.total_steps.saturating_add(steps);
     }
 }
 

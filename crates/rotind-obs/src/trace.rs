@@ -140,8 +140,8 @@ impl QueryTrace {
         for (i, &v) in other.pruned_by_level.iter().enumerate() {
             self.pruned_by_level[i] += v;
         }
-        self.leaf_count += other.leaf_count;
-        self.abandon_count += other.abandon_count;
+        self.leaf_count = self.leaf_count.saturating_add(other.leaf_count);
+        self.abandon_count = self.abandon_count.saturating_add(other.abandon_count);
         self.tightness.merge(&other.tightness);
         self.abandon_depth.merge(&other.abandon_depth);
         self.k_timeline.extend_from_slice(&other.k_timeline);
@@ -265,7 +265,7 @@ impl SearchObserver for QueryTrace {
     }
 
     fn on_leaf_distance(&mut self, distance: f64) {
-        self.leaf_count += 1;
+        self.leaf_count = self.leaf_count.saturating_add(1);
         if let Some(lb) = self.last_unpruned_lb.take() {
             let ratio = if distance > f64::EPSILON {
                 (lb / distance).clamp(0.0, 1.0)
@@ -277,7 +277,7 @@ impl SearchObserver for QueryTrace {
     }
 
     fn on_early_abandon(&mut self, position: usize) {
-        self.abandon_count += 1;
+        self.abandon_count = self.abandon_count.saturating_add(1);
         let fraction = (position as f64 / self.series_len as f64).clamp(0.0, 1.0);
         self.abandon_depth.observe(fraction);
     }

@@ -108,6 +108,7 @@ pub fn resample_contour(contour: &[(usize, usize)], n: usize) -> Vec<(f64, f64)>
         cum.push(cum[i] + d);
     }
     let total = *cum.last().expect("non-empty");
+    // rotind-lint: allow(float-eq) exact-zero sentinel
     if total == 0.0 {
         return vec![pts[0]; n];
     }

@@ -92,6 +92,7 @@ pub fn butterfly_profile(
     rng: &mut impl Rng,
 ) -> Vec<f64> {
     let mut v = |scale: f64| -> f64 {
+        // rotind-lint: allow(float-eq) exact-zero sentinel
         if jitter == 0.0 {
             0.0
         } else {

@@ -347,6 +347,7 @@ pub fn skull_profile(
     rng: &mut impl Rng,
 ) -> Vec<f64> {
     let j = |rng: &mut dyn rand::RngCore, scale: f64| -> f64 {
+        // rotind-lint: allow(float-eq) exact-zero sentinel
         if jitter == 0.0 {
             0.0
         } else {

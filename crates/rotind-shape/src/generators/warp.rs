@@ -33,6 +33,7 @@ pub fn add_noise(series: &mut [f64], sigma: f64, rng: &mut impl Rng) {
 /// displacement; small values (≤ 0.15) keep the warp locally invertible.
 pub fn smooth_circular_warp(series: &[f64], amplitude: f64, cycles: f64, phase: f64) -> Vec<f64> {
     let n = series.len();
+    // rotind-lint: allow(float-eq) exact-zero sentinel
     if n == 0 || amplitude == 0.0 {
         return series.to_vec();
     }
@@ -52,6 +53,7 @@ pub fn smooth_circular_warp(series: &[f64], amplitude: f64, cycles: f64, phase: 
 /// "bent hindwing" articulation of Figure 18.
 pub fn bend_window(series: &[f64], center: f64, width: f64, amount: f64) -> Vec<f64> {
     let n = series.len();
+    // rotind-lint: allow(float-eq) exact-zero sentinel
     if n == 0 || amount == 0.0 || width <= 0.0 {
         return series.to_vec();
     }

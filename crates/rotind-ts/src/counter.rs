@@ -36,16 +36,22 @@ impl StepCounter {
     }
 
     /// Record a single step.
+    ///
+    /// Saturates at `u64::MAX` — at one step per nanosecond that is 584
+    /// years of search, but telemetry must never be the thing that
+    /// panics (or, with overflow checks off, silently wraps and reports
+    /// a tiny step count for the longest run in the fleet).
     #[inline]
     pub fn tick(&mut self) {
-        self.steps += 1;
+        self.steps = self.steps.saturating_add(1);
     }
 
     /// Record `n` steps at once (used e.g. to charge the FFT cost model
-    /// `n·log2 n`, footnote in Section 5.3).
+    /// `n·log2 n`, footnote in Section 5.3). Saturating, like
+    /// [`tick`](Self::tick).
     #[inline]
     pub fn add(&mut self, n: u64) {
-        self.steps += n;
+        self.steps = self.steps.saturating_add(n);
     }
 
     /// Total steps recorded so far.
@@ -71,17 +77,17 @@ impl StepCounter {
         self.steps = 0;
     }
 
-    /// Merge another counter's total into this one.
+    /// Merge another counter's total into this one (saturating).
     #[inline]
     pub fn merge(&mut self, other: StepCounter) {
-        self.steps += other.steps;
+        self.steps = self.steps.saturating_add(other.steps);
     }
 }
 
 impl std::ops::AddAssign<u64> for StepCounter {
     #[inline]
     fn add_assign(&mut self, rhs: u64) {
-        self.steps += rhs;
+        self.steps = self.steps.saturating_add(rhs);
     }
 }
 
@@ -153,6 +159,22 @@ mod tests {
         a.merge(b);
         a += 2;
         assert_eq!(a.steps(), 9);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut c = StepCounter::new();
+        c.add(u64::MAX - 1);
+        c.tick();
+        c.tick();
+        assert_eq!(c.steps(), u64::MAX, "tick saturates");
+        c.add(10);
+        assert_eq!(c.steps(), u64::MAX, "add saturates");
+        let mut other = StepCounter::new();
+        other.add(u64::MAX);
+        c.merge(other);
+        c += 1;
+        assert_eq!(c.steps(), u64::MAX, "merge and += saturate");
     }
 
     #[test]

@@ -251,6 +251,9 @@ impl RotationMatrix {
         let base: &[f64] = if rotation.mirrored {
             self.mirrored
                 .as_deref()
+                // Invariant: mirrored Rotations are only ever minted by
+                // `full_with_mirror`, which also populates `self.mirrored`.
+                // rotind-lint: allow(no-panic)
                 .expect("mirror rows requested from a matrix built without mirror")
         } else {
             &self.base

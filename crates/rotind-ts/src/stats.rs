@@ -66,6 +66,7 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
         sxx += (xi - mx) * (xi - mx);
         sxy += (xi - mx) * (yi - my);
     }
+    // rotind-lint: allow(float-eq) exact-zero sentinel
     if sxx == 0.0 {
         return (0.0, my);
     }

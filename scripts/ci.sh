@@ -14,6 +14,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rotind-lint (project rules, ratcheted against lint-baseline.json)"
+cargo run -q -p rotind-lint
+
 echo "==> cargo build --release"
 cargo build --release
 

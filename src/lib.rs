@@ -30,6 +30,8 @@
 //! assert!(hit.distance < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rotind_cluster as cluster;
 pub use rotind_distance as distance;
 pub use rotind_envelope as envelope;
