@@ -1,0 +1,10 @@
+//! Thread-count sweep of the parallel chunked scan (DESIGN.md §10):
+//! wall-clock and speedup over the single-thread scan on a Table 8–style
+//! shape workload. Honours `ROTIND_QUICK=1` for a reduced-scale smoke
+//! run and `ROTIND_THREADS` for the automatic thread-count row.
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let table = rotind_bench::experiments::thread_scaling(quick);
+    rotind_bench::emit("threads", &table);
+}

@@ -162,7 +162,12 @@ pub fn dtw_early_abandon(
                     row_min = v;
                 }
             }
-            if row_min > r2 {
+            // The boundary is settled in reported-distance space (the
+            // returned value is a square root): `fl(r·r)` may round below
+            // the cost of a path whose distance equals `r` exactly, so a
+            // row crossing `r²` only abandons when `√row_min > r` too.
+            // The sqrt is paid once, on the abandon path.
+            if row_min > r2 && row_min.sqrt() > r {
                 return None;
             }
             std::mem::swap(prev, cur);

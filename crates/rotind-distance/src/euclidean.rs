@@ -33,6 +33,16 @@ pub fn euclidean(q: &[f64], c: &[f64]) -> f64 {
 /// and `None` is returned (the paper returns `infinity`), secure in the
 /// knowledge that the true distance would exceed `r` (Definition 1).
 ///
+/// Dismissal is *strict in reported-distance space*: `None` is returned
+/// only when the value this function would have reported provably
+/// exceeds `r`. The cheap squared-space test (`acc > r²`) triggers the
+/// abandon, but because `fl(r·r)` can round below the accumulator of a
+/// distance that equals `r` exactly as a float, the boundary is settled
+/// by `√acc > r` — the square root is only evaluated on the abandon
+/// path, and correctly-rounded `sqrt` is monotone, so a prefix already
+/// farther than `r` proves the full distance is too. A candidate at
+/// exactly distance `r` is therefore never dismissed.
+///
 /// With `r = f64::INFINITY` this computes the exact distance (never
 /// abandons), matching the brute-force invocation of Table 2.
 pub fn euclidean_early_abandon(
@@ -48,7 +58,7 @@ pub fn euclidean_early_abandon(
         let d = a - b;
         acc += d * d;
         counter.tick();
-        if acc > r2 {
+        if acc > r2 && acc.sqrt() > r {
             return None;
         }
     }
@@ -58,7 +68,8 @@ pub fn euclidean_early_abandon(
 /// Early-abandoning Euclidean distance against a rotated view, avoiding
 /// materialization of the rotation. `candidate` is compared against
 /// `base` circularly shifted by `shift` (row `shift` of the paper's matrix
-/// **C**).
+/// **C**). The boundary semantics match [`euclidean_early_abandon`]:
+/// dismissal is strict in reported-distance space.
 pub fn euclidean_early_abandon_rotated(
     candidate: &[f64],
     base: &[f64],
@@ -81,7 +92,7 @@ pub fn euclidean_early_abandon_rotated(
         let d = a - b;
         acc += d * d;
         counter.tick();
-        if acc > r2 {
+        if acc > r2 && acc.sqrt() > r {
             return None;
         }
     }
@@ -89,7 +100,7 @@ pub fn euclidean_early_abandon_rotated(
         let d = a - b;
         acc += d * d;
         counter.tick();
-        if acc > r2 {
+        if acc > r2 && acc.sqrt() > r {
             return None;
         }
     }

@@ -24,8 +24,12 @@ pub struct RotationMatch {
 ///
 /// Compares `candidate` against every row of `query_rotations`, threading
 /// the best-so-far value `r` through the early-abandoning distance so that
-/// hopeless rotations are cut short. Returns `None` when **no** rotation
-/// beats `r` (the caller's best-so-far stands).
+/// hopeless rotations are cut short. Admission against `r` is inclusive —
+/// a rotation at exactly distance `r` is returned — and `None` means every
+/// rotation is provably farther than `r` (the caller's best-so-far
+/// stands). Exact-distance ties go to the earliest row, which is the
+/// canonical rotation order (unmirrored shifts ascending, then mirrored),
+/// matching the H-Merge tie-break.
 ///
 /// Invoke with `r = f64::INFINITY` to measure the plain rotation-invariant
 /// distance between two series.
@@ -50,7 +54,14 @@ pub fn test_all_rotations(
         let rotation = query_rotations.rotations()[row];
         query_rotations.row(row).copy_into(&mut rotated);
         if let Some(d) = measure.distance_early_abandon(candidate, &rotated, best_so_far, counter) {
-            if d < best_so_far {
+            // First admission is inclusive (d == r matches); later rows
+            // must strictly improve, so ties keep the earliest row — the
+            // canonical rotation order shared with H-Merge.
+            let improved = match best {
+                None => d <= best_so_far,
+                Some(b) => d < b.distance,
+            };
+            if improved {
                 best_so_far = d;
                 best = Some(RotationMatch {
                     distance: d,
@@ -120,12 +131,21 @@ pub fn search_database(
     let mut best_so_far = f64::INFINITY;
     for (index, item) in database.iter().enumerate() {
         if let Some(m) = test_all_rotations(item, query_rotations, best_so_far, measure, counter) {
-            best_so_far = m.distance;
-            best = Some(DatabaseMatch {
-                index,
-                distance: m.distance,
-                rotation: m.rotation,
-            });
+            // `test_all_rotations` admits inclusively, so a later item at
+            // exactly `best_so_far` comes back `Some`; only a strict
+            // improvement replaces the incumbent (ties → lowest index).
+            let improved = match best {
+                None => true,
+                Some(b) => m.distance < b.distance,
+            };
+            if improved {
+                best_so_far = m.distance;
+                best = Some(DatabaseMatch {
+                    index,
+                    distance: m.distance,
+                    rotation: m.rotation,
+                });
+            }
         }
     }
     best

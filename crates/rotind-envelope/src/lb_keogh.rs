@@ -73,6 +73,11 @@ pub const SOUNDNESS_EPS: f64 = 1e-6;
 /// `EA_LB_Keogh` (Table 5): early-abandoning LB_Keogh. Returns `None` as
 /// soon as the accumulated bound exceeds `r²` — at that point *no* member
 /// of the wedge can be within `r` of the query.
+///
+/// Dismissal is strict in reported-bound space: because `fl(r·r)` can
+/// round below the accumulator of a bound equal to `r` as a float, the
+/// boundary is settled by `√acc > r` (evaluated only on the abandon
+/// path). A wedge whose bound equals `r` exactly is always admitted.
 pub fn lb_keogh_early_abandon(
     q: &[f64],
     wedge: &Wedge,
@@ -108,7 +113,7 @@ pub fn lb_keogh_early_abandon_at(
             let d = x - lower[i];
             acc += d * d;
         }
-        if acc > r2 {
+        if acc > r2 && acc.sqrt() > r {
             return Err(i + 1);
         }
     }
@@ -220,12 +225,47 @@ mod tests {
         let w = Wedge::from_rows(&m, &[0, 4, 8]);
         let q = signal(40, 2.8);
         let exact = lb_keogh(&q, &w, &mut steps());
-        match lb_keogh_early_abandon(&q, &w, exact * 0.9, &mut steps()) {
-            None => {} // abandoned, consistent with exact > 0.9·exact
-            Some(_) => panic!("must abandon below the exact bound"),
+        // A shrunken radius only forces an abandon when the exact bound
+        // is positive: at exact == 0 the radius 0.9·exact is also 0, the
+        // accumulator never exceeds r² = 0, and Some(0) is the correct
+        // (inclusive) answer — asserting an abandon there is spurious.
+        if exact > 0.0 {
+            match lb_keogh_early_abandon(&q, &w, exact * 0.9, &mut steps()) {
+                None => {} // abandoned, consistent with exact > 0.9·exact
+                Some(_) => panic!("must abandon below the exact bound"),
+            }
         }
         let kept = lb_keogh_early_abandon(&q, &w, exact + 1.0, &mut steps()).unwrap();
         assert!((kept - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_zero_bound_is_admitted() {
+        // r == 0 with the query inside the wedge: the accumulator stays
+        // 0, `0 > 0²` never fires, and the bound is returned — dismissal
+        // is strict, so a candidate at exactly the radius survives.
+        let c = signal(16, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 1, 2, 3]);
+        let inside = m.row(1).to_vec();
+        let got = lb_keogh_early_abandon(&inside, &w, 0.0, &mut steps());
+        assert_eq!(got, Some(0.0));
+        // The degenerate radius 0.9 · 0.0 behaves identically.
+        let shrunk = lb_keogh_early_abandon(&inside, &w, 0.0 * 0.9, &mut steps());
+        assert_eq!(shrunk, Some(0.0));
+    }
+
+    #[test]
+    fn zero_radius_positive_bound_abandons_immediately() {
+        // r == 0 with the query outside the envelope: the first positive
+        // contribution exceeds r² = 0 and the scan abandons right there.
+        let c = vec![0.0; 8];
+        let w = Wedge::from_single(&c, Rotation::shift(0));
+        let mut q = vec![0.0; 8];
+        q[0] = 1.0;
+        let mut s = steps();
+        assert_eq!(lb_keogh_early_abandon_at(&q, &w, 0.0, &mut s), Err(1));
+        assert_eq!(s.steps(), 1);
     }
 
     #[test]

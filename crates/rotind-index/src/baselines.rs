@@ -95,12 +95,17 @@ pub fn early_abandon_scan_observed<O: SearchObserver>(
     for (index, item) in database.iter().enumerate() {
         if let Some(m) = test_all_rotations(item, query_rotations, best_so_far, measure, counter) {
             observer.on_leaf_distance(m.distance);
-            best_so_far = m.distance;
-            best = Some(DatabaseMatch {
-                index,
-                distance: m.distance,
-                rotation: m.rotation,
-            });
+            // Inclusive admission means a later item at exactly
+            // `best_so_far` returns `Some`; keep the incumbent on ties so
+            // the winner is the lowest index, like `search_database`.
+            if best.is_none_or(|b| m.distance < b.distance) {
+                best_so_far = m.distance;
+                best = Some(DatabaseMatch {
+                    index,
+                    distance: m.distance,
+                    rotation: m.rotation,
+                });
+            }
         }
     }
     best.ok_or(SearchError::EmptyDatabase)
@@ -141,7 +146,10 @@ pub fn fft_scan_observed<O: SearchObserver>(
         counter.add(fft_cost_model(n));
         let item_mags = magnitudes(item);
         let lb = magnitude_distance(&query_mags, &item_mags, &mut scratch);
-        let pruned = lb >= best_so_far;
+        // Dismissal is strict against the admitted radius, like every
+        // other prune in the workspace: `lb == best_so_far` does not
+        // prove the item is farther than best-so-far.
+        let pruned = lb > best_so_far;
         observer.on_wedge_tested(0, lb, best_so_far, pruned);
         if pruned {
             continue; // admissibly pruned
@@ -154,12 +162,14 @@ pub fn fft_scan_observed<O: SearchObserver>(
             counter,
         ) {
             observer.on_leaf_distance(m.distance);
-            best_so_far = m.distance;
-            best = Some(DatabaseMatch {
-                index,
-                distance: m.distance,
-                rotation: m.rotation,
-            });
+            if best.is_none_or(|b| m.distance < b.distance) {
+                best_so_far = m.distance;
+                best = Some(DatabaseMatch {
+                    index,
+                    distance: m.distance,
+                    rotation: m.rotation,
+                });
+            }
         }
     }
     Ok(best.expect("non-empty database; infinite initial threshold"))

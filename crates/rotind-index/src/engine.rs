@@ -29,12 +29,16 @@ pub enum Invariance {
     /// Only shifts within `max_shift` samples of zero — the paper's
     /// rotation-limited query (*"find the best match allowing a maximum
     /// rotation of 15 degrees"*); convert degrees to samples with
-    /// `n·deg/360`.
+    /// `n·deg/360`. `max_shift == 0` admits exactly the identity
+    /// rotation; `max_shift >= n` saturates to full invariance
+    /// ([`Invariance::Rotation`]) — the window already covers every
+    /// shift, so the engine clamps rather than erroring.
     RotationLimited {
         /// Maximum admitted shift, in samples, in either direction.
         max_shift: usize,
     },
-    /// Rotation-limited with mirror rows.
+    /// Rotation-limited with mirror rows; the same `max_shift` edge
+    /// semantics as [`Invariance::RotationLimited`] apply.
     RotationLimitedMirror {
         /// Maximum admitted shift, in samples, in either direction.
         max_shift: usize,
@@ -43,10 +47,20 @@ pub enum Invariance {
 
 impl Invariance {
     fn matrix(self, query: &[f64]) -> Result<RotationMatrix, TsError> {
+        // `RotationMatrix::limited` rejects `max_shift >= n` so that raw
+        // huge limits are caught there; at the engine level a saturated
+        // window is well-defined — it is full invariance — so clamp.
+        let saturated = |max_shift: usize| max_shift >= query.len();
         match self {
             Invariance::Rotation => RotationMatrix::full(query),
             Invariance::RotationMirror => RotationMatrix::with_mirror(query),
+            Invariance::RotationLimited { max_shift } if saturated(max_shift) => {
+                RotationMatrix::full(query)
+            }
             Invariance::RotationLimited { max_shift } => RotationMatrix::limited(query, max_shift),
+            Invariance::RotationLimitedMirror { max_shift } if saturated(max_shift) => {
+                RotationMatrix::with_mirror(query)
+            }
             Invariance::RotationLimitedMirror { max_shift } => {
                 RotationMatrix::limited_with_mirror(query, max_shift)
             }
@@ -99,8 +113,8 @@ pub struct Neighbor {
 pub struct RotationQuery {
     tree: WedgeTree,
     measure: Measure,
-    k_policy: KPolicy,
-    probe_intervals: usize,
+    pub(crate) k_policy: KPolicy,
+    pub(crate) probe_intervals: usize,
 }
 
 impl RotationQuery {
@@ -245,6 +259,13 @@ impl RotationQuery {
             };
             if let Some(outcome) = scan.compare_observed(item, bsf, self.measure, counter, observer)
             {
+                // H-Merge admits inclusively, so with a full heap an item
+                // at exactly the k-th distance comes back `Some`; it
+                // cannot displace the (lower-index) incumbent, so skip it
+                // rather than churn the heap and the planner.
+                if heap.len() == k && outcome.distance >= bsf {
+                    continue;
+                }
                 heap.push(Neighbor {
                     index,
                     distance: outcome.distance,
@@ -283,25 +304,24 @@ impl RotationQuery {
         }
         self.check_all(database)?;
         let mut scan = ScanState::new(&self.tree, self.k_policy, self.probe_intervals);
-        let threshold = radius.next_up(); // h_merge is strict; make the radius inclusive
         let mut out = Vec::new();
         for (index, item) in database.iter().enumerate() {
+            // H-Merge admits inclusively (`d == radius` matches), so the
+            // radius is passed straight through — no epsilon padding.
             if let Some(outcome) =
-                scan.compare_observed(item, threshold, self.measure, counter, observer)
+                scan.compare_observed(item, radius, self.measure, counter, observer)
             {
-                if outcome.distance <= radius {
-                    out.push(Neighbor {
-                        index,
-                        distance: outcome.distance,
-                        rotation: outcome.rotation,
-                    });
-                }
+                out.push(Neighbor {
+                    index,
+                    distance: outcome.distance,
+                    rotation: outcome.rotation,
+                });
             }
         }
         Ok(out)
     }
 
-    fn check_len(&self, index: usize, item: &[f64]) -> Result<(), SearchError> {
+    pub(crate) fn check_len(&self, index: usize, item: &[f64]) -> Result<(), SearchError> {
         let expected = self.series_len();
         if item.len() != expected {
             return Err(SearchError::LengthMismatch {
@@ -313,7 +333,7 @@ impl RotationQuery {
         Ok(())
     }
 
-    fn check_all(&self, database: &[Vec<f64>]) -> Result<(), SearchError> {
+    pub(crate) fn check_all(&self, database: &[Vec<f64>]) -> Result<(), SearchError> {
         for (i, item) in database.iter().enumerate() {
             self.check_len(i, item)?;
         }
@@ -322,7 +342,9 @@ impl RotationQuery {
 }
 
 /// Per-scan state: the K planner plus a cache of dendrogram cuts.
-struct ScanState<'a> {
+/// `pub(crate)` so the parallel scan (`crate::parallel`) can give each
+/// worker thread its own independent planner and cut cache.
+pub(crate) struct ScanState<'a> {
     tree: &'a WedgeTree,
     planner: KPlanner,
     fixed_k: Option<usize>,
@@ -330,7 +352,7 @@ struct ScanState<'a> {
 }
 
 impl<'a> ScanState<'a> {
-    fn new(tree: &'a WedgeTree, policy: KPolicy, probe_intervals: usize) -> Self {
+    pub(crate) fn new(tree: &'a WedgeTree, policy: KPolicy, probe_intervals: usize) -> Self {
         let planner = KPlanner::with_intervals(tree.max_k(), probe_intervals);
         let fixed_k = match policy {
             KPolicy::Dynamic => None,
@@ -349,7 +371,7 @@ impl<'a> ScanState<'a> {
         self.cuts.entry(k).or_insert_with(|| tree.cut_nodes(k))
     }
 
-    fn notify_improvement_observed<O: SearchObserver>(&mut self, observer: &mut O) {
+    pub(crate) fn notify_improvement_observed<O: SearchObserver>(&mut self, observer: &mut O) {
         if self.fixed_k.is_none() {
             self.planner.on_best_so_far_change_observed(observer);
         }
@@ -360,7 +382,7 @@ impl<'a> ScanState<'a> {
     /// candidates are tried on consecutive items and their `num_steps`
     /// reported back to the planner — no extra work is performed, so the
     /// probe cost is (trivially) included in every experiment.
-    fn compare_observed<O: SearchObserver>(
+    pub(crate) fn compare_observed<O: SearchObserver>(
         &mut self,
         item: &[f64],
         bsf: f64,
@@ -551,6 +573,84 @@ mod tests {
         let hit = engine.nearest(&db).unwrap();
         assert_eq!(hit.index, 7);
         assert!(hit.distance < 1e-9);
+    }
+
+    #[test]
+    fn rotation_limited_zero_admits_identity_only() {
+        // max_shift == 0 must still admit the identity rotation: the
+        // engine degenerates to plain (unrotated) matching, not an error
+        // and not an empty rotation set.
+        let n = 24;
+        let query = signal(n, 0.0);
+        let mut db = database(8, n);
+        db[2] = query.clone(); // exact unrotated copy
+        db[5] = rotated(&query, 3); // rotated copy, outside the window
+        let engine =
+            RotationQuery::new(&query, Invariance::RotationLimited { max_shift: 0 }).unwrap();
+        let hit = engine.nearest(&db).unwrap();
+        assert_eq!(hit.index, 2);
+        assert!(hit.distance < 1e-12);
+        assert_eq!(hit.rotation, Rotation::shift(0));
+        // The mirror variant keeps both identity rows.
+        let engine =
+            RotationQuery::new(&query, Invariance::RotationLimitedMirror { max_shift: 0 }).unwrap();
+        assert_eq!(engine.tree().matrix().num_rotations(), 2);
+        assert_eq!(engine.nearest(&db).unwrap().index, 2);
+    }
+
+    #[test]
+    fn rotation_limited_saturated_equals_full_invariance() {
+        // max_shift >= n saturates to full invariance: same rotation set
+        // (no duplicate rows, no panic) and the same search answers.
+        let n = 20;
+        let query = signal(n, 0.1);
+        let db = database(10, n);
+        let full = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        for max_shift in [n, n + 1, 10 * n, usize::MAX] {
+            let limited =
+                RotationQuery::new(&query, Invariance::RotationLimited { max_shift }).unwrap();
+            assert_eq!(
+                limited.tree().matrix().rotations(),
+                full.tree().matrix().rotations(),
+                "max_shift = {max_shift}: saturated window must equal full invariance"
+            );
+            assert_eq!(
+                limited.nearest(&db).unwrap(),
+                full.nearest(&db).unwrap(),
+                "max_shift = {max_shift}"
+            );
+        }
+        let full_mirror = RotationQuery::new(&query, Invariance::RotationMirror).unwrap();
+        let limited_mirror =
+            RotationQuery::new(&query, Invariance::RotationLimitedMirror { max_shift: n }).unwrap();
+        assert_eq!(
+            limited_mirror.tree().matrix().rotations(),
+            full_mirror.tree().matrix().rotations()
+        );
+        assert_eq!(
+            limited_mirror.nearest(&db).unwrap(),
+            full_mirror.nearest(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn range_at_exactly_representable_radius_includes_boundary_item() {
+        // The planted item sits at exactly distance 3.0 (a single +3.0
+        // spike on an exact-integer ramp: 3.0² = 9.0 and √9.0 = 3.0 are
+        // exact in f64). A range query with radius == 3.0 must return it
+        // — the admitted radius is inclusive on every scan path.
+        let n = 16;
+        let query: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut boundary = query.clone();
+        boundary[5] += 3.0;
+        let mut db = database(6, n);
+        db[3] = boundary;
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let hits = engine.range(&db, 3.0).unwrap();
+        assert!(
+            hits.iter().any(|h| h.index == 3 && h.distance == 3.0),
+            "item at exactly the radius must be returned: {hits:?}"
+        );
     }
 
     #[test]

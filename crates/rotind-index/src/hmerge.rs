@@ -22,11 +22,25 @@ use rotind_ts::StepCounter;
 /// Best rotation found by an H-Merge scan.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HMergeOutcome {
-    /// The minimal distance over all admitted rotations (strictly below
-    /// the threshold passed in).
+    /// The minimal distance over all admitted rotations (at most the
+    /// threshold passed in — the admitted radius is inclusive).
     pub distance: f64,
     /// The rotation achieving it.
     pub rotation: Rotation,
+}
+
+/// Canonical ordering of rotations for tie-breaking: unmirrored shifts
+/// first, then mirrored, each by ascending shift. This matches the row
+/// order of [`rotind_ts::rotate::RotationMatrix`], so H-Merge and the
+/// `Test_All_Rotations` oracle break exact distance ties identically —
+/// and, because the ordering does not depend on traversal order, the
+/// H-Merge outcome is a pure function of (candidate, tree, measure) for
+/// any threshold admitting the true minimum. The parallel scan relies on
+/// that to stay bit-identical to the sequential scan while sharing a
+/// best-so-far that tightens in nondeterministic order.
+#[inline]
+fn rotation_key(r: Rotation) -> (bool, usize) {
+    (r.mirrored, r.shift)
 }
 
 /// Result of bounding one wedge node against the threshold.
@@ -103,8 +117,10 @@ fn leaf_distance(
 }
 
 /// Scan the wedge set `cut` (node ids of `tree`) for the best rotation
-/// match to `candidate` strictly below `r`. Returns `None` when no
-/// rotation beats `r`.
+/// match to `candidate` within `r` (inclusive: a rotation at exactly
+/// distance `r` is returned). Returns `None` only when every rotation is
+/// provably farther than `r`. Exact-distance ties are broken by the
+/// canonical rotation order ([`rotation_key`]), never by traversal order.
 pub fn h_merge(
     candidate: &[f64],
     tree: &WedgeTree,
@@ -172,11 +188,26 @@ pub fn h_merge_observed<O: SearchObserver>(
             if let Some(d) = leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter)
             {
                 observer.on_leaf_distance(d);
-                if d < best_so_far {
+                let rotation = tree.leaf_rotation(node);
+                // Admission against the caller's radius is inclusive
+                // (`d == r` matches — every dismissal in this crate is
+                // strict), and among equal distances the canonical lowest
+                // rotation key wins, so the outcome is independent of
+                // traversal order and of any threshold that admits the
+                // true minimum.
+                let improved = match &best {
+                    None => d <= best_so_far,
+                    Some(b) => {
+                        d < b.distance
+                            || (d == b.distance
+                                && rotation_key(rotation) < rotation_key(b.rotation))
+                    }
+                };
+                if improved {
                     best_so_far = d;
                     best = Some(HMergeOutcome {
                         distance: d,
-                        rotation: tree.leaf_rotation(node),
+                        rotation,
                     });
                 }
             }
@@ -388,6 +419,80 @@ mod tests {
             &mut steps()
         )
         .is_none());
+    }
+
+    #[test]
+    fn candidate_at_exactly_r_is_returned_by_every_scan_path() {
+        // Exactly-representable construction: the candidate is the query
+        // plus a single +3.0 spike, so the shift-0 Euclidean distance is
+        // sqrt(3.0²) = 3.0 with no rounding anywhere (3.0² = 9.0 and
+        // sqrt(9.0) = 3.0 are both exact in f64). Setting r to exactly
+        // that distance must admit the candidate on every path: the
+        // admitted radius is inclusive and every dismissal is strict.
+        let n = 16;
+        let query: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut candidate = query.clone();
+        candidate[5] += 3.0;
+        let tree = tree_for(&query, 0);
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let exact = test_all_rotations(
+            &candidate,
+            &matrix,
+            f64::INFINITY,
+            Measure::Euclidean,
+            &mut steps(),
+        )
+        .unwrap();
+        assert_eq!(exact.distance, 3.0, "distance must be exactly 3.0");
+        assert_eq!(exact.rotation, rotind_ts::rotate::Rotation::shift(0));
+        let r = exact.distance;
+        // Oracle at r == d.
+        let oracle = test_all_rotations(&candidate, &matrix, r, Measure::Euclidean, &mut steps())
+            .expect("candidate at exactly r is admitted by the oracle");
+        assert_eq!(oracle.distance, 3.0);
+        // H-Merge at every cut size, and the Table 6 filter.
+        for k in 1..=n {
+            let cut = tree.cut_nodes(k);
+            let hit = h_merge(&candidate, &tree, &cut, r, Measure::Euclidean, &mut steps())
+                .unwrap_or_else(|| panic!("k = {k}: candidate at exactly r must be returned"));
+            assert_eq!(hit.distance, 3.0);
+            assert_eq!(hit.rotation.shift, 0);
+            let filtered =
+                h_merge_filter(&candidate, &tree, &cut, r, Measure::Euclidean, &mut steps())
+                    .unwrap_or_else(|| panic!("k = {k}: filter must admit d == r"));
+            assert!(filtered.distance <= r);
+        }
+    }
+
+    #[test]
+    fn equal_distance_ties_break_on_rotation_key() {
+        // A constant query has n bitwise-identical rotations, so every
+        // leaf distance ties exactly; the winner must be the canonical
+        // lowest rotation key (shift 0, unmirrored) for every cut size —
+        // independent of stack traversal order. (A constant *candidate*
+        // would not do: summing the same terms in rotated order is not
+        // FP-associative, so those ties need not be exact.)
+        let n = 8;
+        let query = vec![1.0f64; n];
+        let candidate = signal(n, 0.4);
+        let tree = tree_for(&query, 0);
+        for k in 1..=n {
+            let cut = tree.cut_nodes(k);
+            let hit = h_merge(
+                &candidate,
+                &tree,
+                &cut,
+                f64::INFINITY,
+                Measure::Euclidean,
+                &mut steps(),
+            )
+            .unwrap();
+            assert_eq!(
+                hit.rotation,
+                rotind_ts::rotate::Rotation::shift(0),
+                "k = {k}: ties must go to the canonical first rotation"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   rotation-invariant nearest-neighbour / k-NN / range search over a
 //!   database, for Euclidean, DTW and LCSS, with mirror-image and
 //!   rotation-limited invariance;
+//! * [`parallel`] — chunked multi-threaded database scans sharing an
+//!   atomic best-so-far, bit-identical to the sequential scan
+//!   (DESIGN.md §10), plus a batch-of-queries entry point;
 //! * [`baselines`] — the rival methods of Figures 19–23: brute force,
 //!   early abandon, the FFT magnitude filter and the convolution trick;
 //! * [`reduced`] — reduced representations for disk-based indexing:
@@ -38,6 +41,7 @@ pub mod engine;
 pub mod error;
 pub mod hmerge;
 pub mod motif;
+pub mod parallel;
 pub mod planner;
 pub mod reduced;
 pub mod stream;
@@ -45,3 +49,4 @@ pub mod vptree;
 
 pub use engine::{Invariance, Neighbor, RotationQuery};
 pub use error::SearchError;
+pub use parallel::{default_threads, nearest_batch, ParallelReport};

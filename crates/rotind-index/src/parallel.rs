@@ -1,0 +1,659 @@
+//! Parallel chunked database scans with a shared best-so-far.
+//!
+//! The paper's experiments scan the database sequentially; on a modern
+//! multicore machine the scan is embarrassingly parallel *except* for
+//! the best-so-far threshold, which every H-Merge comparison wants as
+//! tight as possible. This module splits the database into one
+//! contiguous chunk per worker thread (hand-rolled on
+//! [`std::thread::scope`] — no external thread pool) and shares the
+//! best-so-far through a single atomic word, so an improvement found by
+//! any worker immediately tightens pruning in all of them.
+//!
+//! # Determinism
+//!
+//! The parallel scan returns results **bit-identical** to the
+//! sequential scan, including the lowest-index tie-break, even though
+//! the shared threshold tightens in nondeterministic order. The
+//! argument (DESIGN.md §10):
+//!
+//! 1. The shared radius only ever holds *achieved* exact distances, so
+//!    it is always `>=` the global minimum `d*`.
+//! 2. Admission is inclusive (`d <= r`) and dismissal strict, so every
+//!    global minimizer is fully evaluated no matter when other workers
+//!    tighten the radius.
+//! 3. Leaf distances are exact and threshold-independent, and H-Merge
+//!    breaks exact ties by the canonical rotation key — its outcome is
+//!    a pure function of (candidate, tree, measure) for any threshold
+//!    admitting the true minimum.
+//! 4. Each worker keeps its chunk's best under a strict-improvement
+//!    guard (lowest index wins ties within the chunk), and chunk bests
+//!    are merged in chunk order by `(distance, index)` — reproducing
+//!    the sequential lowest-index tie-break globally.
+//!
+//! Per-worker [`StepCounter`]s and forked observers
+//! ([`ForkJoinObserver`]) are joined in chunk order after the scope
+//! ends, so the merged telemetry is deterministic and equals the sum of
+//! the per-thread parts.
+
+use crate::engine::{Neighbor, RotationQuery, ScanState};
+use crate::error::SearchError;
+use rotind_obs::{ForkJoinObserver, NoopObserver};
+use rotind_ts::StepCounter;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+/// Worker-thread count used when a caller passes `threads == 0`: the
+/// `ROTIND_THREADS` environment variable when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`], otherwise
+/// one.
+pub fn default_threads() -> usize {
+    match std::env::var("ROTIND_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(t) if t >= 1 => t,
+        _ => thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// A monotonically tightening best-so-far shared across worker threads.
+///
+/// Stores the `f64` bit pattern in an [`AtomicU64`]; updates go through
+/// a compare-exchange loop that only ever *lowers* the stored value, so
+/// every load observes a radius at least as large as the global minimum
+/// achieved distance. Distances are non-negative and never NaN, so the
+/// plain `f64` comparison in the loop is a total order here.
+struct SharedRadius(AtomicU64);
+
+impl SharedRadius {
+    fn new(initial: f64) -> Self {
+        SharedRadius(AtomicU64::new(initial.to_bits()))
+    }
+
+    #[inline]
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lower the shared radius to `value` unless it is already as low.
+    fn update_min(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Acquire);
+        loop {
+            if f64::from_bits(current) <= value {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+/// Per-thread accounting from one parallel scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelReport {
+    /// Worker threads actually used — the requested count bounded by the
+    /// database size (a chunk is never empty), with `0` resolved via
+    /// [`default_threads`].
+    pub threads: usize,
+    /// Database items in each worker's chunk, in chunk order. Chunks are
+    /// contiguous and balanced: sizes differ by at most one.
+    pub chunk_lens: Vec<usize>,
+    /// Steps charged by each worker, in chunk order. Their sum is
+    /// exactly what the scan merges into the caller's [`StepCounter`].
+    pub per_thread_steps: Vec<u64>,
+}
+
+/// Balanced contiguous chunks: the first `len % threads` chunks get one
+/// extra item. `threads` is clamped to `1..=len` so no chunk is empty.
+fn chunk_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
+    let t = threads.clamp(1, len.max(1));
+    let base = len / t;
+    let rem = len % t;
+    let mut out = Vec::with_capacity(t);
+    let mut start = 0;
+    for i in 0..t {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Resolve a caller-supplied thread count: `0` means "auto".
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
+/// What one worker brings back from its chunk.
+struct WorkerOutput<O> {
+    best: Option<Neighbor>,
+    hits: Vec<Neighbor>,
+    steps: StepCounter,
+    observer: O,
+}
+
+impl RotationQuery {
+    /// Exact 1-nearest-neighbour search over `threads` worker threads
+    /// (`0` = auto, see [`default_threads`]). Returns exactly what
+    /// [`nearest`](RotationQuery::nearest) returns — same index, same
+    /// distance bits, same rotation — for every thread count.
+    pub fn nearest_parallel(
+        &self,
+        database: &[Vec<f64>],
+        threads: usize,
+    ) -> Result<Neighbor, SearchError> {
+        let mut counter = StepCounter::new();
+        self.nearest_parallel_with_steps(database, threads, &mut counter)
+    }
+
+    /// [`nearest_parallel`](RotationQuery::nearest_parallel) with step
+    /// accounting: the summed per-thread `num_steps` is merged into
+    /// `counter`.
+    pub fn nearest_parallel_with_steps(
+        &self,
+        database: &[Vec<f64>],
+        threads: usize,
+        counter: &mut StepCounter,
+    ) -> Result<Neighbor, SearchError> {
+        let (hit, _) =
+            self.nearest_parallel_observed(database, threads, counter, &mut NoopObserver)?;
+        Ok(hit)
+    }
+
+    /// Parallel 1-NN with step accounting and observer callbacks.
+    ///
+    /// The observer is [forked](ForkJoinObserver::fork) once per worker
+    /// and the children are [joined](ForkJoinObserver::join) back in
+    /// chunk order, so aggregate telemetry is deterministic. The
+    /// returned [`ParallelReport`] carries the per-thread step counts;
+    /// their sum equals what was merged into `counter`.
+    pub fn nearest_parallel_observed<O: ForkJoinObserver>(
+        &self,
+        database: &[Vec<f64>],
+        threads: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+    ) -> Result<(Neighbor, ParallelReport), SearchError> {
+        if database.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        self.check_all(database)?;
+        let shared = SharedRadius::new(f64::INFINITY);
+        let (outputs, report) = self.scan_chunks(
+            database,
+            threads,
+            observer,
+            |scan, index, item, steps, obs| {
+                let bsf = shared.get();
+                let outcome = scan.compare_observed(item, bsf, self.measure(), steps, obs)?;
+                shared.update_min(outcome.distance);
+                Some(Neighbor {
+                    index,
+                    distance: outcome.distance,
+                    rotation: outcome.rotation,
+                })
+            },
+        );
+        // Merge chunk bests in chunk order by (distance, index): equal
+        // distances keep the earlier chunk, reproducing the sequential
+        // lowest-index tie-break.
+        let mut best: Option<Neighbor> = None;
+        for output in &outputs {
+            if let Some(candidate) = output.best {
+                let improved = match best {
+                    None => true,
+                    Some(b) => candidate.distance < b.distance,
+                };
+                if improved {
+                    best = Some(candidate);
+                }
+            }
+        }
+        self.join_outputs(outputs, counter, observer);
+        // Non-empty database (checked above) + infinite initial radius:
+        // some worker's first comparison always admits, so a best exists.
+        // rotind-lint: allow(no-panic)
+        let hit = best.expect("non-empty database yields a nearest neighbour");
+        Ok((hit, report))
+    }
+
+    /// Exact range query over `threads` worker threads (`0` = auto).
+    /// Returns exactly what [`range`](RotationQuery::range) returns, in
+    /// the same (database) order: the threshold is fixed, so workers
+    /// share nothing and chunk hit lists concatenate in chunk order.
+    pub fn range_parallel(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+        threads: usize,
+    ) -> Result<Vec<Neighbor>, SearchError> {
+        let mut counter = StepCounter::new();
+        let (hits, _) = self.range_parallel_observed(
+            database,
+            radius,
+            threads,
+            &mut counter,
+            &mut NoopObserver,
+        )?;
+        Ok(hits)
+    }
+
+    /// Parallel range query with step accounting and observer
+    /// callbacks; fork/join semantics as in
+    /// [`nearest_parallel_observed`](RotationQuery::nearest_parallel_observed).
+    pub fn range_parallel_observed<O: ForkJoinObserver>(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+        threads: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+    ) -> Result<(Vec<Neighbor>, ParallelReport), SearchError> {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(SearchError::invalid_param(
+                "radius",
+                "must be finite and >= 0",
+            ));
+        }
+        self.check_all(database)?;
+        let (outputs, report) = self.scan_chunks(
+            database,
+            threads,
+            observer,
+            |scan, index, item, steps, obs| {
+                let outcome = scan.compare_observed(item, radius, self.measure(), steps, obs)?;
+                Some(Neighbor {
+                    index,
+                    distance: outcome.distance,
+                    rotation: outcome.rotation,
+                })
+            },
+        );
+        let mut hits = Vec::new();
+        for output in &outputs {
+            hits.extend_from_slice(&output.hits);
+        }
+        self.join_outputs(outputs, counter, observer);
+        Ok((hits, report))
+    }
+
+    /// Split `database` into balanced contiguous chunks and run
+    /// `compare` over each chunk on its own thread, with a fresh
+    /// [`ScanState`], step counter and forked observer per worker.
+    /// `compare` returns `Some(hit)` when the item is admitted; workers
+    /// record every hit (for range queries) and track the chunk best
+    /// under a strict-improvement guard (for nearest queries). Outputs
+    /// come back in chunk order.
+    fn scan_chunks<O, F>(
+        &self,
+        database: &[Vec<f64>],
+        threads: usize,
+        observer: &O,
+        compare: F,
+    ) -> (Vec<WorkerOutput<O>>, ParallelReport)
+    where
+        O: ForkJoinObserver,
+        F: Fn(&mut ScanState<'_>, usize, &[f64], &mut StepCounter, &mut O) -> Option<Neighbor>
+            + Sync,
+    {
+        let chunks = chunk_ranges(database.len(), resolve_threads(threads));
+        let compare = &compare;
+        let outputs: Vec<WorkerOutput<O>> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    let mut child = observer.fork();
+                    scope.spawn(move || {
+                        let mut scan =
+                            ScanState::new(self.tree(), self.k_policy, self.probe_intervals);
+                        let mut steps = StepCounter::new();
+                        let mut best: Option<Neighbor> = None;
+                        let mut hits = Vec::new();
+                        for index in range {
+                            if let Some(hit) = compare(
+                                &mut scan,
+                                index,
+                                // `chunk_ranges` only yields indices below
+                                // `database.len()`, so this cannot panic.
+                                // rotind-lint: allow(no-index)
+                                &database[index],
+                                &mut steps,
+                                &mut child,
+                            ) {
+                                hits.push(hit);
+                                // Strict improvement: ties keep the
+                                // earlier (lower-index) incumbent, as
+                                // the sequential scan does.
+                                let improved = match best {
+                                    None => true,
+                                    Some(b) => hit.distance < b.distance,
+                                };
+                                if improved {
+                                    best = Some(hit);
+                                    scan.notify_improvement_observed(&mut child);
+                                }
+                            }
+                        }
+                        WorkerOutput {
+                            best,
+                            hits,
+                            steps,
+                            observer: child,
+                        }
+                    })
+                })
+                .collect();
+            // Join in spawn (= chunk) order: observer joins and counter
+            // merges become deterministic. A worker can only panic if
+            // the search itself panicked; re-raising on the caller's
+            // thread is the correct propagation, not a new panic site.
+            handles
+                .into_iter()
+                // rotind-lint: allow(no-panic)
+                .map(|h| h.join().expect("parallel scan worker panicked"))
+                .collect()
+        });
+        let report = ParallelReport {
+            threads: chunks.len(),
+            chunk_lens: chunks.iter().map(ExactSizeIterator::len).collect(),
+            per_thread_steps: outputs.iter().map(|o| o.steps.steps()).collect(),
+        };
+        (outputs, report)
+    }
+
+    /// Fold per-worker outputs back into the caller's counter and
+    /// observer, in chunk order.
+    fn join_outputs<O: ForkJoinObserver>(
+        &self,
+        outputs: Vec<WorkerOutput<O>>,
+        counter: &mut StepCounter,
+        observer: &mut O,
+    ) {
+        for output in outputs {
+            counter.merge(output.steps);
+            observer.join(output.observer);
+        }
+    }
+}
+
+/// Answer many queries against one database, one sequential scan per
+/// query, spread over `threads` worker threads (`0` = auto). Queries
+/// are chunked exactly like database items in the per-query scans, and
+/// results come back in query order; each entry is bit-identical to
+/// `engines[i].nearest(database)`.
+pub fn nearest_batch(
+    engines: &[RotationQuery],
+    database: &[Vec<f64>],
+    threads: usize,
+) -> Result<Vec<Neighbor>, SearchError> {
+    if database.is_empty() {
+        return Err(SearchError::EmptyDatabase);
+    }
+    for engine in engines {
+        engine.check_all(database)?;
+    }
+    let chunks = chunk_ranges(engines.len(), resolve_threads(threads));
+    let per_chunk: Vec<Result<Vec<Neighbor>, SearchError>> = thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    range
+                        // `chunk_ranges` only yields indices below
+                        // `engines.len()`, so this cannot panic.
+                        // rotind-lint: allow(no-index)
+                        .map(|i| engines[i].nearest(database))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+            })
+            .collect();
+        // Propagating a worker panic, as in the chunked scan above.
+        handles
+            .into_iter()
+            // rotind-lint: allow(no-panic)
+            .map(|h| h.join().expect("batch query worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(engines.len());
+    for chunk in per_chunk {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Invariance;
+    use rotind_obs::QueryTrace;
+    use rotind_ts::rotate::rotated;
+
+    fn signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.29 + phase).sin() + 0.5 * (i as f64 * 0.91 + phase).cos())
+            .collect()
+    }
+
+    fn database(m: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..m).map(|k| signal(n, 1.0 + k as f64 * 0.37)).collect()
+    }
+
+    #[test]
+    fn shared_radius_only_tightens() {
+        let r = SharedRadius::new(f64::INFINITY);
+        assert_eq!(r.get(), f64::INFINITY);
+        r.update_min(5.0);
+        assert_eq!(r.get(), 5.0);
+        r.update_min(7.0); // looser: ignored
+        assert_eq!(r.get(), 5.0);
+        r.update_min(5.0); // equal: no-op
+        assert_eq!(r.get(), 5.0);
+        r.update_min(0.0);
+        assert_eq!(r.get(), 0.0);
+    }
+
+    #[test]
+    fn shared_radius_tightens_under_contention() {
+        let r = SharedRadius::new(f64::INFINITY);
+        thread::scope(|s| {
+            for t in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in (0..1000).rev() {
+                        r.update_min((t * 1000 + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.get(), 0.0, "global minimum survives the race");
+    }
+
+    #[test]
+    fn chunks_are_balanced_contiguous_and_cover() {
+        for len in [0usize, 1, 2, 7, 16, 100] {
+            for threads in [1usize, 2, 3, 4, 8, 200] {
+                let chunks = chunk_ranges(len, threads);
+                assert!(!chunks.is_empty());
+                assert!(chunks.len() <= threads);
+                let mut next = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, next, "contiguous");
+                    next = c.end;
+                    if len > 0 {
+                        assert!(!c.is_empty(), "no empty chunks when items exist");
+                    }
+                }
+                assert_eq!(next, len, "chunks cover the database");
+                let sizes: Vec<usize> = chunks.iter().map(ExactSizeIterator::len).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_parallel_matches_sequential_exactly() {
+        let n = 32;
+        let query = signal(n, 0.11);
+        let mut db = database(37, n);
+        db[20] = rotated(&query, 9);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let sequential = engine.nearest(&db).unwrap();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let hit = engine.nearest_parallel(&db, threads).unwrap();
+            assert_eq!(hit, sequential, "threads = {threads}");
+        }
+        // threads = 0 resolves to an automatic count and must also agree.
+        assert_eq!(engine.nearest_parallel(&db, 0).unwrap(), sequential);
+    }
+
+    #[test]
+    fn range_parallel_matches_sequential_exactly() {
+        let n = 24;
+        let query = signal(n, 0.0);
+        let db = database(31, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let radius = engine.nearest(&db).unwrap().distance * 2.0;
+        let sequential = engine.range(&db, radius).unwrap();
+        assert!(!sequential.is_empty());
+        for threads in [1, 2, 4, 7] {
+            let hits = engine.range_parallel(&db, radius, threads).unwrap();
+            assert_eq!(hits, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn boundary_item_survives_parallel_range() {
+        // Item at exactly the radius (exact-integer construction, see
+        // the engine tests) must be returned by every thread count.
+        let n = 16;
+        let query: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut boundary = query.clone();
+        boundary[5] += 3.0;
+        let mut db = database(9, n);
+        db[4] = boundary;
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        for threads in [1, 2, 3, 9] {
+            let hits = engine.range_parallel(&db, 3.0, threads).unwrap();
+            assert!(
+                hits.iter().any(|h| h.index == 4 && h.distance == 3.0),
+                "threads = {threads}: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_index_across_chunks() {
+        // Two bit-identical planted items in different chunks: every
+        // thread count must return the lower index, like the
+        // sequential scan.
+        let n = 24;
+        let query = signal(n, 0.5);
+        let mut db = database(16, n);
+        let planted = rotated(&query, 5);
+        db[3] = planted.clone();
+        db[12] = planted;
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let sequential = engine.nearest(&db).unwrap();
+        assert_eq!(sequential.index, 3);
+        for threads in [1, 2, 4, 16] {
+            let hit = engine.nearest_parallel(&db, threads).unwrap();
+            assert_eq!(hit, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn report_steps_sum_to_merged_counter() {
+        let n = 24;
+        let query = signal(n, 0.2);
+        let db = database(23, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        for threads in [1, 3, 5] {
+            let mut counter = StepCounter::new();
+            let mut trace = QueryTrace::new(n);
+            let (hit, report) = engine
+                .nearest_parallel_observed(&db, threads, &mut counter, &mut trace)
+                .unwrap();
+            assert_eq!(hit, engine.nearest(&db).unwrap());
+            assert_eq!(report.threads, threads);
+            assert_eq!(report.per_thread_steps.len(), threads);
+            assert_eq!(report.chunk_lens.iter().sum::<usize>(), db.len());
+            let sum: u64 = report.per_thread_steps.iter().sum();
+            assert_eq!(counter.steps(), sum, "threads = {threads}");
+            assert!(counter.steps() > 0);
+            assert!(trace.leaf_distances() > 0, "joined trace saw leaves");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let n = 16;
+        let query = signal(n, 0.1);
+        let db = database(3, n);
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let (hit, report) = engine
+            .nearest_parallel_observed(&db, 100, &mut StepCounter::new(), &mut NoopObserver)
+            .unwrap();
+        assert_eq!(hit, engine.nearest(&db).unwrap());
+        assert_eq!(report.threads, 3, "clamped to database size");
+    }
+
+    #[test]
+    fn parallel_error_paths_match_sequential() {
+        let engine = RotationQuery::new(&signal(16, 0.0), Invariance::Rotation).unwrap();
+        assert_eq!(
+            engine.nearest_parallel(&[], 4).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+        let bad = vec![vec![0.0; 8]];
+        assert!(matches!(
+            engine.nearest_parallel(&bad, 4).unwrap_err(),
+            SearchError::LengthMismatch { .. }
+        ));
+        assert!(engine.range_parallel(&database(3, 16), -1.0, 4).is_err());
+        assert!(engine
+            .range_parallel(&database(3, 16), f64::NAN, 4)
+            .is_err());
+    }
+
+    #[test]
+    fn batch_answers_every_query_in_order() {
+        let n = 20;
+        let db = database(15, n);
+        let engines: Vec<RotationQuery> = (0..7)
+            .map(|i| RotationQuery::new(&signal(n, 0.1 * i as f64), Invariance::Rotation).unwrap())
+            .collect();
+        let expected: Vec<Neighbor> = engines.iter().map(|e| e.nearest(&db).unwrap()).collect();
+        for threads in [1, 2, 4, 32] {
+            let got = nearest_batch(&engines, &db, threads).unwrap();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        // No queries: trivially empty.
+        assert_eq!(nearest_batch(&[], &db, 4).unwrap(), vec![]);
+        // Empty database errors like the sequential path.
+        assert_eq!(
+            nearest_batch(&engines, &[], 4).unwrap_err(),
+            SearchError::EmptyDatabase
+        );
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

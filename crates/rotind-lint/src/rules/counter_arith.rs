@@ -5,7 +5,11 @@
 //! arithmetic on counter-ish state (identifiers containing `count`,
 //! `step` or `tick`) must be saturating or checked — and explicitly
 //! wrapping arithmetic on counters is flagged outright, since wrapped
-//! telemetry is worse than a panic.
+//! telemetry is worse than a panic. Atomic counters are held to the
+//! same bar: `fetch_add`/`fetch_sub` wrap on overflow with no
+//! `overflow-checks` safety net at all, so shared telemetry must merge
+//! per-thread saturating counters or guard updates with a CAS loop
+//! (as the parallel scan's shared radius does).
 
 use crate::findings::Finding;
 use crate::lexer::TokKind;
@@ -67,6 +71,29 @@ pub fn check(file: &SourceFile) -> Vec<Finding> {
                 ),
             ));
         }
+        // `counter.fetch_add(…)` — atomics wrap on overflow in every
+        // build profile; a shared counter that wraps under-reports the
+        // longest runs in the fleet.
+        // `p` comes from `checked_sub`, so `p < i < toks.len()`.
+        if (t.text == "fetch_add" || t.text == "fetch_sub")
+            // rotind-lint: allow(no-index)
+            && i.checked_sub(1).is_some_and(|p| toks[p].text == ".")
+            && i.checked_sub(2)
+                // rotind-lint: allow(no-index)
+                .is_some_and(|p| toks[p].kind == TokKind::Ident && counter_ish(&toks[p].text))
+        {
+            out.push(Finding::new(
+                ID,
+                &file.path,
+                t.line,
+                format!(
+                    "`{}` on an atomic counter wraps silently on overflow; \
+                     merge per-thread saturating `StepCounter`s after the \
+                     scan, or guard the update with a compare-exchange loop",
+                    t.text
+                ),
+            ));
+        }
     }
     out
 }
@@ -93,6 +120,22 @@ mod tests {
     fn flags_wrapping_on_counters() {
         let f = lint("fn f(count: u64) -> u64 { count.wrapping_add(1) }\n");
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn flags_atomic_fetch_arith_on_counters() {
+        let f = lint(
+            "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(step_count: &AtomicU64) {\n    step_count.fetch_add(1, Ordering::Relaxed);\n    step_count.fetch_sub(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn atomic_fetch_on_non_counters_is_fine() {
+        let f = lint(
+            "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(generation: &AtomicU64) {\n    generation.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

@@ -1,4 +1,6 @@
 // Fixture: raw counter arithmetic that can overflow or silently wrap.
+use std::sync::atomic::{AtomicU64, Ordering};
+
 pub struct Telemetry {
     pub step_count: u64,
     pub tick: u64,
@@ -10,4 +12,8 @@ impl Telemetry {
         self.tick -= 1;
         self.step_count = self.step_count.wrapping_add(steps);
     }
+}
+
+pub fn record_shared(step_count: &AtomicU64) {
+    step_count.fetch_add(1, Ordering::Relaxed);
 }

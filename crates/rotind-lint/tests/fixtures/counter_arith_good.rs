@@ -18,3 +18,9 @@ pub fn accumulate(xs: &[f64]) -> f64 {
     }
     total
 }
+
+// Atomic arithmetic on non-counter state is allowed; shared counters
+// instead merge per-thread saturating values after the scan.
+pub fn bump_generation(generation: &std::sync::atomic::AtomicU64) {
+    generation.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

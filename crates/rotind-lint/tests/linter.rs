@@ -61,13 +61,13 @@ fn float_eq_fixture_pair() {
 #[test]
 fn counter_arith_fixture_pair() {
     let findings = lint_fixture("counter_arith_bad.rs");
-    // step_count +=, tick -=, wrapping_add on a counter.
+    // step_count +=, tick -=, wrapping_add and fetch_add on counters.
     assert_eq!(
         findings
             .iter()
             .filter(|f| f.rule == "counter-arith")
             .count(),
-        3
+        4
     );
     assert_pair(
         "counter-arith",

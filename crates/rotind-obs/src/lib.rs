@@ -13,7 +13,9 @@
 //!   the paper's step metric can be compared per phase.
 //! - [`SearchObserver`] — a callback trait threaded through the wedge
 //!   engine. The default [`NoopObserver`] monomorphizes to nothing, so
-//!   un-observed searches pay zero overhead.
+//!   un-observed searches pay zero overhead. [`ForkJoinObserver`]
+//!   extends it with fork/join so the parallel scan can give each
+//!   worker thread its own observer and merge them deterministically.
 //! - [`QueryTrace`] — a ready-made observer summarising a search:
 //!   per-level prune counts, LB-tightness ratios, early-abandon depths
 //!   and the K-planner timeline.
@@ -30,6 +32,6 @@ pub mod span;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry};
-pub use observer::{NoopObserver, SearchObserver};
+pub use observer::{ForkJoinObserver, NoopObserver, SearchObserver};
 pub use span::{global_span_report, reset_global_spans, Span, SpanRecord};
 pub use trace::{KChange, QueryTrace};

@@ -211,6 +211,34 @@ impl MetricsRegistry {
         out
     }
 
+    /// Fold another registry into this one: counters add, gauges take
+    /// `other`'s value (a join adopts the child's last write), matching
+    /// histograms merge and new ones are copied in, events are appended
+    /// after this registry's events. Used to combine per-thread
+    /// registries after a parallel scan — joining children in thread
+    /// order makes the result deterministic.
+    ///
+    /// # Panics
+    /// Panics when `self` and `other` define the same histogram with
+    /// different bucket bounds (see [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            self.counter_add(name, *value);
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
     /// One JSON object per recorded event, newline-separated.
     pub fn export_jsonl(&self) -> String {
         let mut out = String::new();
@@ -327,6 +355,44 @@ mod tests {
         assert!(text.contains("h_bucket{le=\"1\"} 1"));
         assert!(text.contains("h_bucket{le=\"2\"} 2"));
         assert!(text.contains("h_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn registry_merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 1.0);
+        a.histogram("h", Histogram::ratio).observe(0.2);
+        a.record_event("e", &[("x", 1.0)]);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", 5.0);
+        b.histogram("h", Histogram::ratio).observe(0.8);
+        b.histogram("h2", Histogram::ratio).observe(0.5);
+        b.record_event("e", &[("x", 2.0)]);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.gauge("g"), Some(5.0), "merge adopts the child gauge");
+        assert_eq!(a.histogram("h", Histogram::ratio).count(), 2);
+        assert_eq!(a.histogram("h2", Histogram::ratio).count(), 1);
+        assert_eq!(a.event_count(), 2);
+        let jsonl = a.export_jsonl();
+        let lines: Vec<_> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"x\":1"), "own events come first");
+        assert!(lines[1].contains("\"x\":2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must match")]
+    fn registry_merge_rejects_mismatched_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.histogram("h", Histogram::ratio).observe(0.2);
+        let mut b = MetricsRegistry::new();
+        b.histogram("h", || Histogram::linear(0.0, 2.0, 4))
+            .observe(0.5);
+        a.merge(&b);
     }
 
     #[test]

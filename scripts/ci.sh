@@ -23,6 +23,12 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> exactness + parallel suites under ROTIND_THREADS=1"
+ROTIND_THREADS=1 cargo test -q --test exactness --test parallel
+
+echo "==> exactness + parallel suites under ROTIND_THREADS=4"
+ROTIND_THREADS=4 cargo test -q --test exactness --test parallel
+
 echo "==> trace smoke run (bounded workload)"
 ROTIND_QUICK=1 ROTIND_RESULTS="$(mktemp -d)" \
     cargo run -p rotind-bench --release --bin trace >/dev/null

@@ -89,6 +89,50 @@ proptest! {
         }
     }
 
+    /// LCSS bound edge: δ = 0 removes all temporal slack, so the
+    /// matching envelope is the unwidened wedge — the bound must stay
+    /// admissible against the δ = 0 distance for every ε, including
+    /// ε = 0 (exact-value matching only).
+    #[test]
+    fn lcss_envelope_bound_delta_zero(
+        base in series_strategy(12),
+        q in series_strategy(12),
+        rows in rows_strategy(12),
+        eps in 0.0f64..1.5,
+    ) {
+        let params = LcssParams::new(eps, 0);
+        let matrix = RotationMatrix::full(&base).unwrap();
+        let wedge = Wedge::from_rows(&matrix, &rows);
+        let lb = lcss_distance_lower_bound(&q, &wedge, params, &mut StepCounter::new());
+        for &row in &rows {
+            let d = lcss_distance(&q, &matrix.row(row).to_vec(), params, &mut StepCounter::new());
+            prop_assert!(lb <= d + 1e-9, "row {}: {} > {}", row, lb, d);
+        }
+    }
+
+    /// LCSS bound edge: ε wide enough to match any pair of samples. The
+    /// true distance collapses to 0 (every position matches), so the
+    /// bound must also report 0 — anything positive would be a false
+    /// dismissal at radius 0.
+    #[test]
+    fn lcss_envelope_bound_huge_epsilon(
+        base in series_strategy(12),
+        q in series_strategy(12),
+        rows in rows_strategy(12),
+        delta in 0usize..5,
+    ) {
+        // Samples are drawn from (-4, 4), so ε = 16 covers every pair.
+        let params = LcssParams::new(16.0, delta);
+        let matrix = RotationMatrix::full(&base).unwrap();
+        let wedge = Wedge::from_rows(&matrix, &rows);
+        let lb = lcss_distance_lower_bound(&q, &wedge, params, &mut StepCounter::new());
+        prop_assert_eq!(lb, 0.0, "all-matching epsilon must give a zero bound");
+        for &row in &rows {
+            let d = lcss_distance(&q, &matrix.row(row).to_vec(), params, &mut StepCounter::new());
+            prop_assert_eq!(d, 0.0, "row {}: everything matches at this epsilon", row);
+        }
+    }
+
     /// The Fourier magnitude distance lower-bounds the min-rotation ED.
     #[test]
     fn fourier_bound(q in series_strategy(16), c in series_strategy(16)) {

@@ -1,0 +1,135 @@
+//! The parallel scan's headline guarantee, tested end-to-end: chunked
+//! multi-threaded search with a shared best-so-far returns results
+//! **bit-identical** to the sequential scan and the brute-force oracle
+//! — same index, same distance bits, same rotation, same tie-break —
+//! for every thread count, and its merged telemetry equals the sum of
+//! the per-thread parts.
+
+use proptest::prelude::*;
+use rotind::distance::measure::Measure;
+use rotind::distance::rotation::search_database;
+use rotind::index::engine::{Invariance, RotationQuery};
+use rotind::index::parallel::nearest_batch;
+use rotind::obs::QueryTrace;
+use rotind::ts::rotate::{rotated, RotationMatrix};
+use rotind::ts::StepCounter;
+
+fn series_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, n)
+}
+
+fn db_strategy(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(series_strategy(n), 1..=m)
+}
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    // ISSUE 3 acceptance: >= 100 randomized databases, identical
+    // `Neighbor` results at 2, 4 and 8 threads vs the sequential scan
+    // and the brute-force oracle.
+    #[test]
+    fn nearest_parallel_is_bit_identical_to_sequential_and_oracle(
+        query in series_strategy(16),
+        db in db_strategy(16, 20),
+    ) {
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let sequential = engine.nearest(&db).unwrap();
+        let matrix = RotationMatrix::full(&query).unwrap();
+        let oracle =
+            search_database(&matrix, &db, Measure::Euclidean, &mut StepCounter::new()).unwrap();
+        prop_assert_eq!(sequential.index, oracle.index);
+        prop_assert!((sequential.distance - oracle.distance).abs() < 1e-9);
+        for threads in THREAD_COUNTS {
+            let hit = engine.nearest_parallel(&db, threads).unwrap();
+            prop_assert_eq!(hit, sequential);
+            prop_assert_eq!(
+                hit.distance.to_bits(),
+                sequential.distance.to_bits(),
+                "distance must be bit-identical at {} threads",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_parallel_preserves_lowest_index_tie_break(
+        query in series_strategy(12),
+        db in db_strategy(12, 16),
+        lo in 0usize..16,
+        hi in 0usize..16,
+        shift in 0usize..12,
+    ) {
+        // Plant the same rotation of the query at two positions: exact
+        // ties across chunks must resolve to the lower index, exactly
+        // as the sequential scan does.
+        let mut db = db;
+        let planted = rotated(&query, shift);
+        let lo = lo % db.len();
+        let hi = hi % db.len();
+        db[lo] = planted.clone();
+        db[hi] = planted;
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let sequential = engine.nearest(&db).unwrap();
+        prop_assert_eq!(sequential.index, lo.min(hi));
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(engine.nearest_parallel(&db, threads).unwrap(), sequential);
+        }
+    }
+
+    #[test]
+    fn merged_telemetry_equals_per_thread_sum(
+        query in series_strategy(16),
+        db in db_strategy(16, 20),
+    ) {
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        let sequential = engine.nearest(&db).unwrap();
+        for threads in THREAD_COUNTS {
+            let mut counter = StepCounter::new();
+            let mut trace = QueryTrace::new(16);
+            let (hit, report) = engine
+                .nearest_parallel_observed(&db, threads, &mut counter, &mut trace)
+                .unwrap();
+            prop_assert_eq!(hit, sequential);
+            let sum: u64 = report.per_thread_steps.iter().sum();
+            prop_assert_eq!(counter.steps(), sum);
+            prop_assert_eq!(report.chunk_lens.iter().sum::<usize>(), db.len());
+            prop_assert!(trace.leaf_distances() >= 1, "the winner's leaf was observed");
+        }
+    }
+
+    #[test]
+    fn range_parallel_matches_sequential(
+        query in series_strategy(16),
+        db in db_strategy(16, 20),
+        scale in 0.5f64..3.0,
+    ) {
+        let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+        // A radius around the nearest distance keeps both empty-ish and
+        // full-ish result sets in play across cases.
+        let radius = engine.nearest(&db).unwrap().distance * scale;
+        prop_assert!(radius.is_finite());
+        let sequential = engine.range(&db, radius).unwrap();
+        for threads in THREAD_COUNTS {
+            let hits = engine.range_parallel(&db, radius, threads).unwrap();
+            prop_assert_eq!(&hits, &sequential, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn nearest_batch_matches_per_query_sequential(
+        queries in prop::collection::vec(series_strategy(12), 1..6),
+        db in db_strategy(12, 10),
+    ) {
+        let engines: Vec<RotationQuery> = queries
+            .iter()
+            .map(|q| RotationQuery::new(q, Invariance::Rotation).unwrap())
+            .collect();
+        let expected: Vec<_> = engines.iter().map(|e| e.nearest(&db).unwrap()).collect();
+        for threads in THREAD_COUNTS {
+            prop_assert_eq!(&nearest_batch(&engines, &db, threads).unwrap(), &expected);
+        }
+    }
+}
