@@ -111,10 +111,12 @@ pub fn dtw_early_abandon(
     let band = params.band.min(n - 1);
     let r2 = r * r;
 
-    // Rolling rows indexed by j; cells outside the band hold +∞. The
-    // buffers are thread-local: this function runs once per rotation per
-    // database item, and per-call allocation dominated wall time on the
-    // big sweeps.
+    // Rolling rows indexed by j. The buffers are thread-local: this
+    // function runs once per rotation per database item, and per-call
+    // allocation dominated wall time on the big sweeps. Stale cells from
+    // two rows ago are never read — every `prev` access is guarded to
+    // the previous row's band, and the horizontal predecessor is carried
+    // in a local — so the rows need no per-row clearing.
     DTW_ROWS.with(|rows| {
         let (prev, cur) = &mut *rows.borrow_mut();
         prev.clear();
@@ -122,42 +124,40 @@ pub fn dtw_early_abandon(
         cur.clear();
         cur.resize(n, f64::INFINITY);
 
-        #[allow(clippy::needless_range_loop)] // i drives band bounds + both row buffers
-        for i in 0..n {
+        for (i, &qi) in q.iter().enumerate() {
             let lo = i.saturating_sub(band);
             let hi = (i + band).min(n - 1);
-            cur[lo..=hi].fill(f64::INFINITY);
             let mut row_min = f64::INFINITY;
-            for j in lo..=hi {
+            // Horizontal predecessor (i, j-1), carried locally: at
+            // `j == lo` it sits outside the band (or off the matrix) and
+            // is +∞.
+            let mut left = f64::INFINITY;
+            let cells = cur.iter_mut().enumerate().take(hi + 1).skip(lo);
+            for ((j, cell), &cj) in cells.zip(c.iter().skip(lo)) {
                 let best_prev = if i == 0 && j == 0 {
                     0.0
                 } else {
-                    let mut b = f64::INFINITY;
-                    if j > 0 {
-                        // horizontal predecessor (i, j-1)
-                        if j > lo || i == 0 {
-                            b = b.min(cur[j - 1]);
-                        }
-                    }
+                    let mut b = left;
                     if i > 0 {
                         // vertical predecessor (i-1, j)
                         if j <= (i - 1) + band {
-                            b = b.min(prev[j]);
+                            b = b.min(prev.get(j).copied().unwrap_or(f64::INFINITY));
                         }
                         // diagonal predecessor (i-1, j-1)
                         if j > 0 && j > (i - 1).saturating_sub(band) && j - 1 <= (i - 1) + band {
-                            b = b.min(prev[j - 1]);
+                            b = b.min(prev.get(j - 1).copied().unwrap_or(f64::INFINITY));
                         }
                     }
                     b
                 };
                 counter.tick();
                 let v = if best_prev.is_finite() {
-                    best_prev + cell_cost(q[i], c[j])
+                    best_prev + cell_cost(qi, cj)
                 } else {
                     f64::INFINITY
                 };
-                cur[j] = v;
+                *cell = v;
+                left = v;
                 if v < row_min {
                     row_min = v;
                 }
@@ -175,7 +175,7 @@ pub fn dtw_early_abandon(
         // Some(d) with d > r is possible (the row-min test is necessary,
         // not sufficient, at the corner); callers compare the returned
         // value, as in Table 2 of the paper.
-        let total = prev[n - 1];
+        let total = prev.last().copied().unwrap_or(f64::INFINITY);
         debug_assert!(total.is_finite());
         Some(total.sqrt())
     })
@@ -195,29 +195,33 @@ pub fn dtw_path(q: &[f64], c: &[f64], params: DtwParams) -> (f64, WarpingPath) {
     let band = params.band.min(n - 1);
     let inf = f64::INFINITY;
     let mut dp = vec![inf; n * n];
-    let idx = |i: usize, j: usize| i * n + j;
+    // Bounds-checked cell read; out-of-matrix reads yield +∞ (they are
+    // already excluded by the `i > 0`/`j > 0` guards below).
+    let cell = |dp: &[f64], i: usize, j: usize| dp.get(i * n + j).copied().unwrap_or(inf);
 
-    for i in 0..n {
+    for (i, &qi) in q.iter().enumerate() {
         let lo = i.saturating_sub(band);
         let hi = (i + band).min(n - 1);
-        for j in lo..=hi {
+        for (j, &cj) in c.iter().enumerate().take(hi + 1).skip(lo) {
             let best_prev = if i == 0 && j == 0 {
                 0.0
             } else {
                 let mut b = inf;
                 if i > 0 {
-                    b = b.min(dp[idx(i - 1, j)]);
+                    b = b.min(cell(&dp, i - 1, j));
                     if j > 0 {
-                        b = b.min(dp[idx(i - 1, j - 1)]);
+                        b = b.min(cell(&dp, i - 1, j - 1));
                     }
                 }
                 if j > 0 {
-                    b = b.min(dp[idx(i, j - 1)]);
+                    b = b.min(cell(&dp, i, j - 1));
                 }
                 b
             };
             if best_prev.is_finite() {
-                dp[idx(i, j)] = best_prev + cell_cost(q[i], c[j]);
+                if let Some(slot) = dp.get_mut(i * n + j) {
+                    *slot = best_prev + cell_cost(qi, cj);
+                }
             }
         }
     }
@@ -227,12 +231,12 @@ pub fn dtw_path(q: &[f64], c: &[f64], params: DtwParams) -> (f64, WarpingPath) {
     let (mut i, mut j) = (n - 1, n - 1);
     while i > 0 || j > 0 {
         let diag = if i > 0 && j > 0 {
-            dp[idx(i - 1, j - 1)]
+            cell(&dp, i - 1, j - 1)
         } else {
             inf
         };
-        let up = if i > 0 { dp[idx(i - 1, j)] } else { inf };
-        let left = if j > 0 { dp[idx(i, j - 1)] } else { inf };
+        let up = if i > 0 { cell(&dp, i - 1, j) } else { inf };
+        let left = if j > 0 { cell(&dp, i, j - 1) } else { inf };
         if diag <= up && diag <= left {
             i -= 1;
             j -= 1;
@@ -244,7 +248,7 @@ pub fn dtw_path(q: &[f64], c: &[f64], params: DtwParams) -> (f64, WarpingPath) {
         path.push((i, j));
     }
     path.reverse();
-    (dp[idx(n - 1, n - 1)].sqrt(), path)
+    (cell(&dp, n - 1, n - 1).sqrt(), path)
 }
 
 #[cfg(test)]

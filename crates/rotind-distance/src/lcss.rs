@@ -56,30 +56,34 @@ pub fn lcss_length(q: &[f64], c: &[f64], params: LcssParams, counter: &mut StepC
     // dp[j] = LCSS(q[..=i], c[..=j]); rolling rows over i.
     let mut prev = vec![0usize; n + 1];
     let mut cur = vec![0usize; n + 1];
-    #[allow(clippy::needless_range_loop)] // index used across multiple slices
-    for i in 0..n {
+    for (i, &qi) in q.iter().enumerate() {
         let lo = i.saturating_sub(delta);
         let hi = (i + delta).min(n - 1);
-        // Cells outside the band inherit the best seen so far on the row,
-        // so the DP stays monotone without visiting them.
-        for j in 0..lo {
-            cur[j + 1] = prev[j + 1].max(if j == 0 { 0 } else { cur[j] });
-        }
-        for j in lo..=hi {
-            counter.tick();
-            let matched = (q[i] - c[j]).abs() <= params.epsilon;
-            cur[j + 1] = if matched {
-                prev[j] + 1
+        // `left` carries cur[j] through the sweep (cur[0] is always 0).
+        // Cells outside the band inherit the best seen so far on the
+        // row, so the DP stays monotone without charging steps for them;
+        // only in-band cells tick the counter.
+        let mut left = 0usize;
+        let writes = cur.iter_mut().skip(1);
+        let prev_pairs = prev.iter().zip(prev.iter().skip(1));
+        for (j, ((slot, (&pj, &pj1)), &cj)) in writes.zip(prev_pairs).zip(c).enumerate() {
+            let v = if (lo..=hi).contains(&j) {
+                counter.tick();
+                let matched = (qi - cj).abs() <= params.epsilon;
+                if matched {
+                    pj + 1
+                } else {
+                    pj1.max(left)
+                }
             } else {
-                prev[j + 1].max(cur[j])
+                pj1.max(left)
             };
-        }
-        for j in hi + 1..n {
-            cur[j + 1] = prev[j + 1].max(cur[j]);
+            *slot = v;
+            left = v;
         }
         std::mem::swap(&mut prev, &mut cur);
     }
-    prev[n]
+    prev.last().copied().unwrap_or(0)
 }
 
 /// LCSS similarity in `[0, 1]`: `lcss_length / n`.

@@ -124,6 +124,7 @@ impl WedgeTree {
 
     /// The lower-bounding envelope at `node`: widened by the band for DTW,
     /// the plain wedge otherwise.
+    // lint: witness-exempt(accessor: returns a precomputed envelope, computes no bound — admissibility is witnessed where the envelope is consumed, in lb_keogh_early_abandon_at)
     pub fn lb_wedge(&self, node: usize) -> &Wedge {
         match &self.lb_wedges {
             Some(w) => &w[node],

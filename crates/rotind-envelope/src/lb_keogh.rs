@@ -164,7 +164,13 @@ pub fn lcss_distance_lower_bound(
             possible += 1;
         }
     }
-    1.0 - possible as f64 / q.len() as f64
+    let lb = 1.0 - possible as f64 / q.len() as f64;
+    // Admissibility witness: the LCSS distance lives in [0, 1], so any
+    // bound outside that interval is inadmissible on its face (the full
+    // member-wise `lb <= lcss_distance` check is the proptest's job —
+    // members are not available here).
+    debug_assert!((0.0..=1.0).contains(&lb), "lcss bound {lb} escapes [0, 1]");
+    lb
 }
 
 #[cfg(test)]

@@ -262,7 +262,10 @@ impl RotationQuery {
                 // H-Merge admits inclusively, so with a full heap an item
                 // at exactly the k-th distance comes back `Some`; it
                 // cannot displace the (lower-index) incumbent, so skip it
-                // rather than churn the heap and the planner.
+                // rather than churn the heap and the planner. `>=` here is
+                // not a false dismissal: the tie at exactly `bsf` is
+                // already held by a lower index.
+                // rotind-lint: allow(strict-dismissal)
                 if heap.len() == k && outcome.distance >= bsf {
                     continue;
                 }

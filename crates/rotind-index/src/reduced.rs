@@ -168,6 +168,7 @@ impl PaaWedgeSet {
     /// Admissible lower bound of the rotation-invariant distance: the
     /// minimum point-to-envelope distance over the wedge set (every
     /// rotation lives in some wedge).
+    // lint: witness-exempt(min-fold over PaaEnvelope::min_dist; the true distance is not available at this layer to witness at runtime — admissibility vs DTW is property-tested in this module's tests and tests/lower_bounds.rs)
     pub fn lower_bound(&self, paa: &Paa, counter: &mut StepCounter) -> f64 {
         self.envelopes
             .iter()

@@ -1,0 +1,2270 @@
+//! A lightweight Rust AST and a total, hand-rolled parser over the
+//! [`crate::lexer`] token stream.
+//!
+//! The parser exists for one purpose: the four *semantic* rules
+//! (lb-witness, atomic-ordering, strict-dismissal,
+//! exhaustive-invariance) need structure a flat token stream cannot
+//! express — which `fn` a call sits in, which block an `if` guards,
+//! which arms a `match` has. It is **not** a Rust front end: types,
+//! generics, patterns and macro bodies are skipped or kept as opaque
+//! token runs, and anything the parser does not understand becomes an
+//! [`ExprKind::Opaque`] / [`ItemKind::Other`] node rather than an
+//! error. Like the lexer, the parser is total: every token stream
+//! produces a tree.
+//!
+//! # Span discipline
+//!
+//! Every node carries a [`Span`] of **token indices** (half-open
+//! `lo..hi` into the lexed token vector). The invariant — checked by
+//! [`validate_spans`] and property-tested over every workspace `.rs`
+//! file — is:
+//!
+//! * every span is non-empty and within the file;
+//! * sibling nodes are ordered and disjoint;
+//! * child spans nest strictly inside their parent's span;
+//! * the top-level item spans **partition** the file exactly: every
+//!   token belongs to exactly one item.
+//!
+//! Line numbers for findings come from the underlying tokens
+//! (`tokens[span.lo].line`), so a rule never needs byte offsets.
+
+use crate::lexer::{TokKind, Token};
+
+/// Half-open range of token indices covered by a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First token index (inclusive).
+    pub lo: usize,
+    /// One past the last token index (exclusive).
+    pub hi: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(lo: usize, hi: usize) -> Span {
+        Span { lo, hi }
+    }
+
+    /// True when `other` nests inside `self` (non-strict bounds).
+    pub fn contains(&self, other: Span) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// 1-based source line of the span's first token.
+    pub fn line(&self, tokens: &[Token]) -> usize {
+        tokens.get(self.lo).map_or(1, |t| t.line)
+    }
+}
+
+/// A parsed source file: the top-level item list.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Items in source order; their spans partition `0..n_tokens`.
+    pub items: Vec<Item>,
+    /// Total number of tokens the file lexed to.
+    pub n_tokens: usize,
+}
+
+/// One top-level or nested item.
+#[derive(Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Tokens covered, attributes included.
+    pub span: Span,
+}
+
+/// Item payloads the rules care about; everything else is `Other`.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// A function with an optional body (trait methods may lack one).
+    Fn(FnDecl),
+    /// An enum definition with its variant names.
+    Enum(EnumDecl),
+    /// `mod name { … }` — nested items.
+    Mod(Vec<Item>),
+    /// `impl … { … }` — nested items (methods).
+    Impl(Vec<Item>),
+    /// `trait … { … }` — nested items (default methods).
+    Trait(Vec<Item>),
+    /// Anything else (`use`, `struct`, `const`, macros, junk): an
+    /// opaque token run kept only so spans stay a partition.
+    Other,
+}
+
+/// A function declaration.
+#[derive(Debug)]
+pub struct FnDecl {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub name_line: usize,
+    /// Whether the declaration is `pub` (any visibility qualifier).
+    pub is_pub: bool,
+    /// The body block, when present.
+    pub body: Option<Block>,
+}
+
+/// An enum definition.
+#[derive(Debug)]
+pub struct EnumDecl {
+    /// The enum's name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// A `{ … }` block.
+#[derive(Debug)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Tokens covered, braces included.
+    pub span: Span,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// Tokens covered, trailing `;` included.
+    pub span: Span,
+}
+
+/// Statement payloads.
+#[derive(Debug)]
+pub enum StmtKind {
+    /// `let pat = init;` — `name` is the bound identifier when the
+    /// pattern is a simple (possibly `mut`) binding.
+    Let {
+        /// Simple binding name, when the pattern is one.
+        name: Option<String>,
+        /// Initialiser expression, when present.
+        init: Option<Expr>,
+    },
+    /// An expression statement.
+    Expr(Expr),
+    /// A nested item (fn-in-fn, use, nested mod, …).
+    Item(Item),
+    /// A bare `;`.
+    Empty,
+}
+
+/// One expression.
+#[derive(Debug)]
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// Tokens covered.
+    pub span: Span,
+}
+
+/// Expression payloads. Only the shapes the semantic rules consume are
+/// structured; the rest collapse into [`ExprKind::Opaque`].
+#[derive(Debug)]
+pub enum ExprKind {
+    /// `if cond { … } else …` (the else branch is a block or another if).
+    If {
+        /// Condition (struct literals disallowed, as in Rust).
+        cond: Box<Expr>,
+        /// The then-block.
+        then_block: Block,
+        /// `else` branch: a block-expression or a chained if.
+        else_branch: Option<Box<Expr>>,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// The matched expression.
+        scrutinee: Box<Expr>,
+        /// The arms in order.
+        arms: Vec<Arm>,
+    },
+    /// `while cond { … }` (includes `while let`).
+    While {
+        /// Loop condition.
+        cond: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for pat in iter { … }`.
+    For {
+        /// The iterated expression.
+        iter: Box<Expr>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `loop { … }`.
+    Loop {
+        /// Loop body.
+        body: Block,
+    },
+    /// A block expression (also `unsafe { … }`).
+    Block(Block),
+    /// A binary operation; only operators parse structurally, and the
+    /// op text is kept verbatim (`"<="`, `"&&"`, …).
+    Binary {
+        /// Operator text.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Prefix unary (`!`, `-`, `*`, `&`).
+    Unary(Box<Expr>),
+    /// `callee(args)`.
+    Call {
+        /// The called expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.name(args)`.
+    MethodCall {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `recv.field` / `recv.0` — the field name (or tuple index text) is
+    /// kept so rules can match identifiers like `self.best`.
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Field name or tuple-index text.
+        name: String,
+    },
+    /// `recv[index]`.
+    Index {
+        /// Indexed expression.
+        recv: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A (possibly generic) path: `a::b::<T>::c` → `["a","b","c"]`.
+    Path(Vec<String>),
+    /// A literal token.
+    Lit,
+    /// `name!(…)` / `name![…]` / `name!{…}` — the macro body stays an
+    /// opaque token run (macro args are token trees, not expressions).
+    Macro {
+        /// Macro name (last path segment before the `!`).
+        name: String,
+    },
+    /// `return expr?` / `return`.
+    Return(Option<Box<Expr>>),
+    /// `break` (label/value tokens stay inside the span).
+    Break,
+    /// `continue`.
+    Continue,
+    /// `(expr)` — also 1-tuples / grouped operators.
+    Paren(Box<Expr>),
+    /// Anything the parser keeps whole: struct literals, closures,
+    /// array/tuple literals, ranges with missing ends, casts, and
+    /// recovery runs.
+    Opaque,
+}
+
+/// One match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Tokens of the pattern (up to the guard/`=>`).
+    pub pat_span: Span,
+    /// `A::B`-style paths named by the pattern, each as segments.
+    pub pat_paths: Vec<Vec<String>>,
+    /// True when the pattern contains a bare `_` binding-all wildcard
+    /// at the top level (not the `..` rest pattern inside a variant).
+    pub has_wildcard: bool,
+    /// Guard expression, when the arm has `if guard`.
+    pub guard: Option<Expr>,
+    /// Arm body.
+    pub body: Expr,
+    /// Tokens covered by the whole arm (trailing `,` included).
+    pub span: Span,
+}
+
+/// Parse a token stream into a [`File`]. Total: never fails.
+pub fn parse(tokens: &[Token]) -> File {
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
+    let mut items = Vec::new();
+    while p.pos < p.toks.len() {
+        items.push(p.item());
+    }
+    File {
+        items,
+        n_tokens: tokens.len(),
+    }
+}
+
+/// Walk every expression in a block, depth-first, calling `f` on each.
+pub fn walk_exprs<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Let { init, .. } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+            }
+            StmtKind::Expr(e) => walk_expr(e, f),
+            StmtKind::Item(item) => walk_item_exprs(item, f),
+            StmtKind::Empty => {}
+        }
+    }
+}
+
+/// Walk every expression under `expr` (itself included), depth-first.
+pub fn walk_expr<'a>(expr: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(expr);
+    match &expr.kind {
+        ExprKind::If {
+            cond,
+            then_block,
+            else_branch,
+        } => {
+            walk_expr(cond, f);
+            walk_exprs(then_block, f);
+            if let Some(e) = else_branch {
+                walk_expr(e, f);
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                if let Some(g) = &arm.guard {
+                    walk_expr(g, f);
+                }
+                walk_expr(&arm.body, f);
+            }
+        }
+        ExprKind::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_exprs(body, f);
+        }
+        ExprKind::For { iter, body } => {
+            walk_expr(iter, f);
+            walk_exprs(body, f);
+        }
+        ExprKind::Loop { body } => walk_exprs(body, f),
+        ExprKind::Block(b) => walk_exprs(b, f),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        ExprKind::Unary(e) | ExprKind::Paren(e) => walk_expr(e, f),
+        ExprKind::Field { recv, .. } => walk_expr(recv, f),
+        ExprKind::Call { callee, args } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        ExprKind::Index { recv, index } => {
+            walk_expr(recv, f);
+            walk_expr(index, f);
+        }
+        ExprKind::Return(Some(e)) => walk_expr(e, f),
+        ExprKind::Path(_)
+        | ExprKind::Lit
+        | ExprKind::Macro { .. }
+        | ExprKind::Return(None)
+        | ExprKind::Break
+        | ExprKind::Continue
+        | ExprKind::Opaque => {}
+    }
+}
+
+/// Walk every expression under an item (fn bodies, nested items).
+pub fn walk_item_exprs<'a>(item: &'a Item, f: &mut impl FnMut(&'a Expr)) {
+    match &item.kind {
+        ItemKind::Fn(decl) => {
+            if let Some(body) = &decl.body {
+                walk_exprs(body, f);
+            }
+        }
+        ItemKind::Mod(items) | ItemKind::Impl(items) | ItemKind::Trait(items) => {
+            for it in items {
+                walk_item_exprs(it, f);
+            }
+        }
+        ItemKind::Enum(_) | ItemKind::Other => {}
+    }
+}
+
+/// Visit every `fn` in the file (top-level, in mods, impls and traits),
+/// with the item span of the function.
+pub fn walk_fns<'a>(file: &'a File, f: &mut impl FnMut(&'a FnDecl, Span)) {
+    fn rec<'a>(items: &'a [Item], f: &mut impl FnMut(&'a FnDecl, Span)) {
+        for item in items {
+            match &item.kind {
+                ItemKind::Fn(decl) => f(decl, item.span),
+                ItemKind::Mod(inner) | ItemKind::Impl(inner) | ItemKind::Trait(inner) => {
+                    rec(inner, f)
+                }
+                ItemKind::Enum(_) | ItemKind::Other => {}
+            }
+        }
+    }
+    rec(&file.items, f);
+}
+
+/// Check the span invariant over a parsed file (see module docs).
+/// Returns `Err(description)` at the first violation.
+pub fn validate_spans(file: &File) -> Result<(), String> {
+    // Top level: exact partition of 0..n_tokens.
+    let mut next = 0usize;
+    for (i, item) in file.items.iter().enumerate() {
+        if item.span.lo != next {
+            return Err(format!(
+                "item {i}: span starts at {} but previous coverage ended at {next}",
+                item.span.lo
+            ));
+        }
+        if item.span.hi <= item.span.lo {
+            return Err(format!("item {i}: empty span {:?}", item.span));
+        }
+        next = item.span.hi;
+        validate_item(item)?;
+    }
+    if next != file.n_tokens {
+        return Err(format!(
+            "top-level items cover 0..{next} but the file has {} tokens",
+            file.n_tokens
+        ));
+    }
+    Ok(())
+}
+
+fn validate_item(item: &Item) -> Result<(), String> {
+    match &item.kind {
+        ItemKind::Fn(decl) => {
+            if let Some(body) = &decl.body {
+                check_nested(item.span, body.span, "fn body")?;
+                validate_block(body)?;
+            }
+            Ok(())
+        }
+        ItemKind::Mod(items) | ItemKind::Impl(items) | ItemKind::Trait(items) => {
+            validate_children(item.span, items.iter().map(|i| i.span), "item")?;
+            for it in items {
+                validate_item(it)?;
+            }
+            Ok(())
+        }
+        ItemKind::Enum(_) | ItemKind::Other => Ok(()),
+    }
+}
+
+fn validate_block(block: &Block) -> Result<(), String> {
+    validate_children(block.span, block.stmts.iter().map(|s| s.span), "stmt")?;
+    for stmt in &block.stmts {
+        match &stmt.kind {
+            StmtKind::Let { init, .. } => {
+                if let Some(e) = init {
+                    check_nested(stmt.span, e.span, "let init")?;
+                    validate_expr(e)?;
+                }
+            }
+            StmtKind::Expr(e) => {
+                check_nested(stmt.span, e.span, "expr stmt")?;
+                validate_expr(e)?;
+            }
+            StmtKind::Item(item) => {
+                check_nested(stmt.span, item.span, "nested item")?;
+                validate_item(item)?;
+            }
+            StmtKind::Empty => {}
+        }
+    }
+    Ok(())
+}
+
+fn validate_expr(expr: &Expr) -> Result<(), String> {
+    if expr.span.hi <= expr.span.lo {
+        return Err(format!("empty expr span {:?}", expr.span));
+    }
+    let mut err = None;
+    let mut check = |child: Span, what: &str| {
+        if err.is_none() {
+            if let Err(e) = check_nested(expr.span, child, what) {
+                err = Some(e);
+            }
+        }
+    };
+    match &expr.kind {
+        ExprKind::If {
+            cond,
+            then_block,
+            else_branch,
+        } => {
+            check(cond.span, "if cond");
+            check(then_block.span, "then block");
+            if let Some(e) = else_branch {
+                check(e.span, "else branch");
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(cond)?;
+            validate_block(then_block)?;
+            if let Some(e) = else_branch {
+                validate_expr(e)?;
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            check(scrutinee.span, "scrutinee");
+            for arm in arms {
+                check(arm.span, "arm");
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(scrutinee)?;
+            for arm in arms {
+                if !arm.span.contains(arm.pat_span) || arm.pat_span.hi <= arm.pat_span.lo {
+                    return Err(format!("arm pattern span escapes arm: {:?}", arm.pat_span));
+                }
+                if let Some(g) = &arm.guard {
+                    check_nested(arm.span, g.span, "guard")?;
+                    validate_expr(g)?;
+                }
+                check_nested(arm.span, arm.body.span, "arm body")?;
+                validate_expr(&arm.body)?;
+            }
+        }
+        ExprKind::While { cond, body } => {
+            check(cond.span, "while cond");
+            check(body.span, "while body");
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(cond)?;
+            validate_block(body)?;
+        }
+        ExprKind::For { iter, body } => {
+            check(iter.span, "for iter");
+            check(body.span, "for body");
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(iter)?;
+            validate_block(body)?;
+        }
+        ExprKind::Loop { body } => {
+            check(body.span, "loop body");
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_block(body)?;
+        }
+        ExprKind::Block(b) => {
+            check(b.span, "block");
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_block(b)?;
+        }
+        ExprKind::Binary { lhs, rhs, .. } => {
+            check(lhs.span, "lhs");
+            check(rhs.span, "rhs");
+            if lhs.span.hi > rhs.span.lo {
+                return Err(format!(
+                    "binary operands overlap: {:?} vs {:?}",
+                    lhs.span, rhs.span
+                ));
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(lhs)?;
+            validate_expr(rhs)?;
+        }
+        ExprKind::Unary(e) | ExprKind::Paren(e) => {
+            check(e.span, "inner");
+            if let Some(m) = err {
+                return Err(m);
+            }
+            validate_expr(e)?;
+        }
+        ExprKind::Field { recv, .. } => {
+            check(recv.span, "field receiver");
+            if let Some(m) = err {
+                return Err(m);
+            }
+            validate_expr(recv)?;
+        }
+        ExprKind::Call { callee, args } => {
+            check(callee.span, "callee");
+            for a in args {
+                check(a.span, "arg");
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(callee)?;
+            for a in args {
+                validate_expr(a)?;
+            }
+        }
+        ExprKind::MethodCall { recv, args, .. } => {
+            check(recv.span, "receiver");
+            for a in args {
+                check(a.span, "arg");
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(recv)?;
+            for a in args {
+                validate_expr(a)?;
+            }
+        }
+        ExprKind::Index { recv, index } => {
+            check(recv.span, "indexed");
+            check(index.span, "index");
+            if let Some(e) = err {
+                return Err(e);
+            }
+            validate_expr(recv)?;
+            validate_expr(index)?;
+        }
+        ExprKind::Return(Some(e)) => {
+            check(e.span, "return value");
+            if let Some(m) = err {
+                return Err(m);
+            }
+            validate_expr(e)?;
+        }
+        ExprKind::Path(_)
+        | ExprKind::Lit
+        | ExprKind::Macro { .. }
+        | ExprKind::Return(None)
+        | ExprKind::Break
+        | ExprKind::Continue
+        | ExprKind::Opaque => {}
+    }
+    Ok(())
+}
+
+/// Children must be ordered, disjoint, and nested in `parent`.
+fn validate_children(
+    parent: Span,
+    children: impl Iterator<Item = Span>,
+    what: &str,
+) -> Result<(), String> {
+    let mut prev_hi = parent.lo;
+    for child in children {
+        check_nested(parent, child, what)?;
+        if child.lo < prev_hi {
+            return Err(format!(
+                "{what}: child {child:?} overlaps previous sibling ending at {prev_hi}"
+            ));
+        }
+        prev_hi = child.hi;
+    }
+    Ok(())
+}
+
+fn check_nested(parent: Span, child: Span, what: &str) -> Result<(), String> {
+    if child.hi <= child.lo {
+        return Err(format!("{what}: empty span {child:?}"));
+    }
+    if !parent.contains(child) {
+        return Err(format!("{what}: child {child:?} escapes parent {parent:?}"));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// The parser.
+// ----------------------------------------------------------------------
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Keywords that begin an item the parser structures.
+const ITEM_HEADS: &[&str] = &[
+    "fn",
+    "enum",
+    "mod",
+    "impl",
+    "trait",
+    "struct",
+    "use",
+    "const",
+    "static",
+    "type",
+    "union",
+    "extern",
+    "macro_rules",
+];
+
+impl<'a> Parser<'a> {
+    fn text(&self, at: usize) -> &str {
+        self.toks.get(at).map_or("", |t| t.text.as_str())
+    }
+
+    fn kind(&self, at: usize) -> Option<TokKind> {
+        self.toks.get(at).map(|t| t.kind)
+    }
+
+    fn cur(&self) -> &str {
+        self.text(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Skip a balanced `(…)`, `[…]`, `{…}` group starting at the
+    /// cursor; no-op when the cursor is not on an opener. Unclosed
+    /// groups consume to the end of the stream (total parsing).
+    fn skip_group(&mut self) {
+        let close = match self.cur() {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => return,
+        };
+        let open = self.cur().to_string();
+        let mut depth = 0usize;
+        while !self.at_end() {
+            let t = self.cur();
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skip attributes (`#[…]`, `#![…]`) at the cursor.
+    fn skip_attrs(&mut self) {
+        while self.cur() == "#" {
+            let mut k = self.pos + 1;
+            if self.text(k) == "!" {
+                k += 1;
+            }
+            if self.text(k) != "[" {
+                return;
+            }
+            self.pos = k;
+            self.skip_group();
+        }
+    }
+
+    /// Skip a balanced generic argument list starting at `<`. `>>`
+    /// closes two levels (the lexer fuses shifts). Gives up at `;`,
+    /// `{` or end of stream so a stray `<` cannot swallow the file.
+    fn skip_generics(&mut self) {
+        if self.cur() != "<" {
+            return;
+        }
+        let mut depth = 0isize;
+        while !self.at_end() {
+            match self.cur() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "->" => {}
+                ";" | "{" => return, // malformed; leave for the caller
+                _ => {}
+            }
+            self.bump();
+            if depth <= 0 {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Items.
+    // ------------------------------------------------------------------
+
+    /// Parse one item at the cursor; always advances at least one token.
+    fn item(&mut self) -> Item {
+        let lo = self.pos;
+        self.skip_attrs();
+        // Visibility.
+        let mut is_pub = false;
+        if self.cur() == "pub" {
+            is_pub = true;
+            self.bump();
+            if self.cur() == "(" {
+                self.skip_group(); // pub(crate), pub(in …)
+            }
+        }
+        // Qualifiers before `fn`.
+        while matches!(self.cur(), "const" | "async" | "unsafe" | "extern")
+            && self.lookahead_reaches_fn()
+        {
+            if self.cur() == "extern" {
+                self.bump();
+                if self.kind(self.pos) == Some(TokKind::Str) {
+                    self.bump(); // extern "C"
+                }
+            } else {
+                self.bump();
+            }
+        }
+        let kind = match self.cur() {
+            "fn" => self.fn_item(is_pub),
+            "enum" => self.enum_item(),
+            "mod" => self.mod_like("mod"),
+            "impl" => self.mod_like("impl"),
+            "trait" => self.mod_like("trait"),
+            _ => self.other_item(),
+        };
+        // Recovery: an item must consume something.
+        if self.pos == lo {
+            self.bump();
+        }
+        Item {
+            kind,
+            span: Span::new(lo, self.pos),
+        }
+    }
+
+    /// True when the qualifier run ahead of the cursor ends at `fn`
+    /// (distinguishes `const fn f()` from `const X: u8 = 1;`).
+    fn lookahead_reaches_fn(&self) -> bool {
+        let mut k = self.pos;
+        loop {
+            match self.text(k) {
+                "const" | "async" | "unsafe" => k += 1,
+                "extern" => {
+                    k += 1;
+                    if self.kind(k) == Some(TokKind::Str) {
+                        k += 1;
+                    }
+                }
+                "fn" => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn fn_item(&mut self, is_pub: bool) -> ItemKind {
+        self.bump(); // `fn`
+        let (name, name_line) = match self.toks.get(self.pos) {
+            Some(t) if t.kind == TokKind::Ident => {
+                let out = (t.text.clone(), t.line);
+                self.bump();
+                out
+            }
+            _ => (String::new(), self.toks.get(self.pos).map_or(1, |t| t.line)),
+        };
+        self.skip_generics();
+        if self.cur() == "(" {
+            self.skip_group(); // parameters
+        }
+        // Return type / where clause: scan to the body `{` or a `;`
+        // at angle/group depth zero.
+        let mut angle = 0isize;
+        loop {
+            if self.at_end() {
+                return ItemKind::Fn(FnDecl {
+                    name,
+                    name_line,
+                    is_pub,
+                    body: None,
+                });
+            }
+            match self.cur() {
+                "<" => {
+                    angle += 1;
+                    self.bump();
+                }
+                ">" => {
+                    angle -= 1;
+                    self.bump();
+                }
+                "<<" => {
+                    angle += 2;
+                    self.bump();
+                }
+                ">>" => {
+                    angle -= 2;
+                    self.bump();
+                }
+                "(" | "[" => self.skip_group(),
+                ";" if angle <= 0 => {
+                    self.bump();
+                    return ItemKind::Fn(FnDecl {
+                        name,
+                        name_line,
+                        is_pub,
+                        body: None,
+                    });
+                }
+                "{" if angle <= 0 => {
+                    let body = self.block();
+                    return ItemKind::Fn(FnDecl {
+                        name,
+                        name_line,
+                        is_pub,
+                        body: Some(body),
+                    });
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn enum_item(&mut self) -> ItemKind {
+        self.bump(); // `enum`
+        let name = match self.toks.get(self.pos) {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => String::new(),
+        };
+        self.skip_generics();
+        // Optional where clause up to the brace.
+        while !self.at_end() && self.cur() != "{" && self.cur() != ";" {
+            self.bump();
+        }
+        let mut variants = Vec::new();
+        if self.cur() == "{" {
+            let lo = self.pos + 1;
+            self.skip_group();
+            let hi = self.pos.saturating_sub(1).max(lo);
+            let body = self.toks.get(lo..hi).unwrap_or(&[]);
+            variants = enum_variants(body);
+        } else if self.cur() == ";" {
+            self.bump();
+        }
+        ItemKind::Enum(EnumDecl { name, variants })
+    }
+
+    /// `mod`/`impl`/`trait`: skip the header to `{` (or `;`), then
+    /// parse the members as items.
+    fn mod_like(&mut self, what: &str) -> ItemKind {
+        self.bump(); // keyword
+        let mut angle = 0isize;
+        loop {
+            if self.at_end() {
+                return ItemKind::Other;
+            }
+            match self.cur() {
+                "<" => {
+                    angle += 1;
+                    self.bump();
+                }
+                ">" => {
+                    angle -= 1;
+                    self.bump();
+                }
+                "<<" => {
+                    angle += 2;
+                    self.bump();
+                }
+                ">>" => {
+                    angle -= 2;
+                    self.bump();
+                }
+                "(" | "[" => self.skip_group(),
+                ";" if angle <= 0 => {
+                    self.bump(); // `mod name;` / `trait X: Y;`
+                    return ItemKind::Other;
+                }
+                "{" if angle <= 0 => break,
+                _ => self.bump(),
+            }
+        }
+        self.bump(); // `{`
+        let mut items = Vec::new();
+        while !self.at_end() && self.cur() != "}" {
+            items.push(self.item());
+        }
+        if self.cur() == "}" {
+            self.bump();
+        }
+        match what {
+            "mod" => ItemKind::Mod(items),
+            "impl" => ItemKind::Impl(items),
+            _ => ItemKind::Trait(items),
+        }
+    }
+
+    /// Anything else: consume to a top-level `;` or through one
+    /// balanced brace group (struct bodies, macro invocations, …).
+    fn other_item(&mut self) -> ItemKind {
+        while !self.at_end() {
+            match self.cur() {
+                ";" => {
+                    self.bump();
+                    return ItemKind::Other;
+                }
+                "{" => {
+                    self.skip_group();
+                    // `struct S { … }` ends here; `= { … };` keeps going.
+                    if self.cur() == ";" {
+                        self.bump();
+                    }
+                    return ItemKind::Other;
+                }
+                "(" | "[" => self.skip_group(),
+                "}" => return ItemKind::Other, // stray close: let the caller see it
+                _ => self.bump(),
+            }
+        }
+        ItemKind::Other
+    }
+
+    // ------------------------------------------------------------------
+    // Blocks and statements.
+    // ------------------------------------------------------------------
+
+    /// Parse a `{ … }` block; the cursor must be on `{`.
+    fn block(&mut self) -> Block {
+        let lo = self.pos;
+        debug_assert_eq!(self.cur(), "{");
+        self.bump();
+        let mut stmts = Vec::new();
+        while !self.at_end() && self.cur() != "}" {
+            stmts.push(self.stmt());
+        }
+        if self.cur() == "}" {
+            self.bump();
+        }
+        Block {
+            stmts,
+            span: Span::new(lo, self.pos),
+        }
+    }
+
+    /// Parse one statement; always advances.
+    fn stmt(&mut self) -> Stmt {
+        let lo = self.pos;
+        self.skip_attrs();
+        if self.cur() == ";" {
+            self.bump();
+            return Stmt {
+                kind: StmtKind::Empty,
+                span: Span::new(lo, self.pos),
+            };
+        }
+        if self.cur() == "let" {
+            let kind = self.let_stmt();
+            return Stmt {
+                kind,
+                span: Span::new(lo, self.pos),
+            };
+        }
+        // Nested items inside a block. `unsafe`/`const`/`async` only
+        // start an item when a `fn` follows (else `unsafe { … }` is an
+        // expression and `const` can't appear, but stay safe).
+        let is_item = ITEM_HEADS.contains(&self.cur()) || self.cur() == "pub";
+        let is_fn_qualifier = matches!(self.cur(), "const" | "async" | "unsafe" | "extern");
+        if (is_item && !is_fn_qualifier) || (is_fn_qualifier && self.lookahead_reaches_fn()) {
+            // `impl Trait for X` blocks don't appear in statement
+            // position in this codebase, but the item parser handles
+            // them anyway; macro_rules! and use statements land in
+            // Other.
+            let item = self.item_in_block(lo);
+            let span = item.span;
+            return Stmt {
+                kind: StmtKind::Item(item),
+                span,
+            };
+        }
+        // Expression statement.
+        let expr = self.expr(true);
+        if self.cur() == ";" {
+            self.bump();
+        }
+        // Guarantee progress even on a stray token the expression
+        // parser refused (e.g. an unmatched `}` handled by block()).
+        if self.pos == lo {
+            self.bump();
+        }
+        Stmt {
+            kind: StmtKind::Expr(expr),
+            span: Span::new(lo, self.pos),
+        }
+    }
+
+    /// Parse an item in statement position, re-using `lo` (attributes
+    /// already consumed) so the item span covers them.
+    fn item_in_block(&mut self, lo: usize) -> Item {
+        let mut item = self.item();
+        item.span.lo = lo;
+        item
+    }
+
+    fn let_stmt(&mut self) -> StmtKind {
+        self.bump(); // `let`
+                     // Pattern: tokens to a top-level `=`, `;` or `:`; groups skipped.
+        let mut name = None;
+        let mut first = true;
+        loop {
+            if self.at_end() {
+                return StmtKind::Let { name, init: None };
+            }
+            match self.cur() {
+                "=" => break,
+                ";" => {
+                    self.bump();
+                    return StmtKind::Let { name, init: None };
+                }
+                ":" => {
+                    // Type ascription: skip to `=` or `;` (angle-aware).
+                    let mut angle = 0isize;
+                    self.bump();
+                    while !self.at_end() {
+                        match self.cur() {
+                            "<" => angle += 1,
+                            ">" => angle -= 1,
+                            "<<" => angle += 2,
+                            ">>" => angle -= 2,
+                            "(" | "[" => {
+                                self.skip_group();
+                                continue;
+                            }
+                            "=" if angle <= 0 => break,
+                            ";" if angle <= 0 => break,
+                            _ => {}
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                "(" | "[" => {
+                    self.skip_group();
+                    first = false;
+                    continue;
+                }
+                "mut" => {
+                    self.bump();
+                    continue;
+                }
+                _ => {
+                    if first
+                        && self.kind(self.pos) == Some(TokKind::Ident)
+                        && self.text(self.pos + 1) != "::"
+                    {
+                        name = Some(self.cur().to_string());
+                    }
+                    first = false;
+                    self.bump();
+                }
+            }
+        }
+        self.bump(); // `=`
+        let init = self.expr(true);
+        // let-else.
+        if self.cur() == "else" {
+            self.bump();
+            if self.cur() == "{" {
+                self.block();
+            }
+        }
+        if self.cur() == ";" {
+            self.bump();
+        }
+        StmtKind::Let {
+            name,
+            init: Some(init),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions: precedence-climbing over the operators the rules
+    // read (comparisons, logical ops); everything else binds tighter
+    // or collapses to Opaque.
+    // ------------------------------------------------------------------
+
+    /// Parse an expression. `structs` allows struct-literal `{` after
+    /// a path (false inside if/while/match-scrutinee/for headers).
+    fn expr(&mut self, structs: bool) -> Expr {
+        self.assign_expr(structs)
+    }
+
+    /// Lowest tier: assignments and compound assignments (right-assoc,
+    /// but the rules only need the operands to exist).
+    fn assign_expr(&mut self, structs: bool) -> Expr {
+        let lhs = self.range_expr(structs);
+        const ASSIGN: &[&str] = &[
+            "=", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<=", ">>=",
+        ];
+        if ASSIGN.contains(&self.cur()) {
+            let op = self.cur().to_string();
+            self.bump();
+            let rhs = self.assign_expr(structs);
+            let span = Span::new(lhs.span.lo, rhs.span.hi.max(self.pos));
+            return Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        lhs
+    }
+
+    /// `a..b`, `a..=b`, `a..` — trailing-range forms become Opaque-ish
+    /// binaries with a unit rhs span; simplest is to treat `..` with a
+    /// missing side as part of an opaque span.
+    fn range_expr(&mut self, structs: bool) -> Expr {
+        let lo = self.pos;
+        // Prefix range `..x` / `..=x` / bare `..`.
+        if self.cur() == ".." || self.cur() == "..=" {
+            self.bump();
+            if self.starts_expr() {
+                let _rhs = self.or_expr(structs);
+            }
+            return Expr {
+                kind: ExprKind::Opaque,
+                span: Span::new(lo, self.pos),
+            };
+        }
+        let lhs = self.or_expr(structs);
+        if self.cur() == ".." || self.cur() == "..=" {
+            self.bump();
+            if self.starts_expr() {
+                let _rhs = self.or_expr(structs);
+            }
+            return Expr {
+                kind: ExprKind::Opaque,
+                span: Span::new(lo, self.pos),
+            };
+        }
+        lhs
+    }
+
+    /// True when the cursor could start an expression (for optional
+    /// range ends).
+    fn starts_expr(&self) -> bool {
+        if self.at_end() {
+            return false;
+        }
+        match self.kind(self.pos) {
+            Some(TokKind::Ident) => !matches!(self.cur(), "else" | "in"),
+            Some(TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Lifetime) => true,
+            Some(TokKind::Punct) => matches!(self.cur(), "(" | "[" | "{" | "!" | "-" | "*" | "&"),
+            None => false,
+        }
+    }
+
+    fn or_expr(&mut self, structs: bool) -> Expr {
+        let mut lhs = self.and_expr(structs);
+        while self.cur() == "||" {
+            self.bump();
+            let rhs = self.and_expr(structs);
+            let span = Span::new(lhs.span.lo, rhs.span.hi);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op: "||".into(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn and_expr(&mut self, structs: bool) -> Expr {
+        let mut lhs = self.cmp_expr(structs);
+        while self.cur() == "&&" {
+            self.bump();
+            let rhs = self.cmp_expr(structs);
+            let span = Span::new(lhs.span.lo, rhs.span.hi);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op: "&&".into(),
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        lhs
+    }
+
+    fn cmp_expr(&mut self, structs: bool) -> Expr {
+        let lhs = self.sum_expr(structs);
+        const CMP: &[&str] = &["==", "!=", "<", ">", "<=", ">="];
+        if CMP.contains(&self.cur()) {
+            let op = self.cur().to_string();
+            self.bump();
+            let rhs = self.sum_expr(structs);
+            let span = Span::new(lhs.span.lo, rhs.span.hi);
+            return Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        lhs
+    }
+
+    /// Sums, products, bit-ops and casts, folded left. The individual
+    /// tiers don't matter to any rule, so one loop handles them all;
+    /// comparisons never chain into here (Rust forbids `a < b < c`).
+    fn sum_expr(&mut self, structs: bool) -> Expr {
+        let mut lhs = self.unary_expr(structs);
+        const OPS: &[&str] = &["+", "-", "*", "/", "%", "^", "&", "|", "<<", ">>"];
+        loop {
+            let t = self.cur();
+            if OPS.contains(&t) {
+                let op = t.to_string();
+                self.bump();
+                let rhs = self.unary_expr(structs);
+                let span = Span::new(lhs.span.lo, rhs.span.hi);
+                lhs = Expr {
+                    kind: ExprKind::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
+                    span,
+                };
+            } else if t == "as" {
+                // Cast: skip the type (angle-aware, stops before any
+                // operator the tiers above handle).
+                self.bump();
+                while !self.at_end() {
+                    match self.cur() {
+                        "::" => self.bump(),
+                        "<" => self.skip_generics(),
+                        "(" | "[" => self.skip_group(),
+                        _ if self.kind(self.pos) == Some(TokKind::Ident) => self.bump(),
+                        _ => break,
+                    }
+                }
+                lhs = Expr {
+                    span: Span::new(lhs.span.lo, self.pos),
+                    kind: ExprKind::Opaque,
+                };
+            } else {
+                return lhs;
+            }
+        }
+    }
+
+    fn unary_expr(&mut self, structs: bool) -> Expr {
+        let lo = self.pos;
+        match self.cur() {
+            "!" | "-" | "*" => {
+                self.bump();
+                let inner = self.unary_expr(structs);
+                let span = Span::new(lo, inner.span.hi);
+                Expr {
+                    kind: ExprKind::Unary(Box::new(inner)),
+                    span,
+                }
+            }
+            "&" | "&&" => {
+                // `&&x` is two reference-ofs.
+                self.bump();
+                if self.cur() == "mut" {
+                    self.bump();
+                }
+                let inner = self.unary_expr(structs);
+                let span = Span::new(lo, inner.span.hi);
+                Expr {
+                    kind: ExprKind::Unary(Box::new(inner)),
+                    span,
+                }
+            }
+            _ => self.postfix_expr(structs),
+        }
+    }
+
+    fn postfix_expr(&mut self, structs: bool) -> Expr {
+        let mut expr = self.primary_expr(structs);
+        loop {
+            match self.cur() {
+                "." => {
+                    let dot = self.pos;
+                    self.bump();
+                    // `await`, field, tuple index or method call.
+                    if self.kind(self.pos) == Some(TokKind::Ident) {
+                        let name = self.cur().to_string();
+                        self.bump();
+                        // Turbofish on the method.
+                        if self.cur() == "::" && self.text(self.pos + 1) == "<" {
+                            self.bump();
+                            self.skip_generics();
+                        }
+                        if self.cur() == "(" {
+                            let args = self.call_args();
+                            let span = Span::new(expr.span.lo, self.pos);
+                            expr = Expr {
+                                kind: ExprKind::MethodCall {
+                                    recv: Box::new(expr),
+                                    name,
+                                    args,
+                                },
+                                span,
+                            };
+                        } else {
+                            let span = Span::new(expr.span.lo, self.pos);
+                            expr = Expr {
+                                kind: ExprKind::Field {
+                                    recv: Box::new(expr),
+                                    name,
+                                },
+                                span,
+                            };
+                        }
+                    } else if matches!(self.kind(self.pos), Some(TokKind::Int | TokKind::Float)) {
+                        let name = self.cur().to_string();
+                        self.bump(); // tuple field (`x.0`; `x.0.1` lexes as float)
+                        let span = Span::new(expr.span.lo, self.pos);
+                        expr = Expr {
+                            kind: ExprKind::Field {
+                                recv: Box::new(expr),
+                                name,
+                            },
+                            span,
+                        };
+                    } else {
+                        // Lone dot (recovery): leave it consumed.
+                        let span = Span::new(expr.span.lo, self.pos.max(dot + 1));
+                        expr = Expr {
+                            kind: ExprKind::Opaque,
+                            span,
+                        };
+                    }
+                }
+                "(" => {
+                    let args = self.call_args();
+                    let span = Span::new(expr.span.lo, self.pos);
+                    expr = Expr {
+                        kind: ExprKind::Call {
+                            callee: Box::new(expr),
+                            args,
+                        },
+                        span,
+                    };
+                }
+                "[" => {
+                    self.bump();
+                    let index = self.expr(true);
+                    if self.cur() == "]" {
+                        self.bump();
+                    }
+                    let span = Span::new(expr.span.lo, self.pos);
+                    expr = Expr {
+                        kind: ExprKind::Index {
+                            recv: Box::new(expr),
+                            index: Box::new(index),
+                        },
+                        span,
+                    };
+                }
+                "?" => {
+                    self.bump();
+                    let span = Span::new(expr.span.lo, self.pos);
+                    expr = Expr {
+                        kind: ExprKind::Paren(Box::new(expr)),
+                        span,
+                    };
+                }
+                _ => return expr,
+            }
+        }
+    }
+
+    /// Parse `( … )` call arguments; cursor on `(`.
+    fn call_args(&mut self) -> Vec<Expr> {
+        self.bump(); // `(`
+        let mut args = Vec::new();
+        while !self.at_end() && self.cur() != ")" {
+            let before = self.pos;
+            args.push(self.expr(true));
+            if self.cur() == "," {
+                self.bump();
+            }
+            if self.pos == before {
+                self.bump(); // recovery: never stall
+            }
+        }
+        if self.cur() == ")" {
+            self.bump();
+        }
+        args
+    }
+
+    fn primary_expr(&mut self, structs: bool) -> Expr {
+        let lo = self.pos;
+        if self.at_end() {
+            // Expression position at end of input (junk): pin onto the
+            // last real token so the span is never empty and never
+            // reaches past the stream.
+            return Expr {
+                kind: ExprKind::Opaque,
+                span: Span::new(lo.saturating_sub(1), lo.max(1)),
+            };
+        }
+        match self.cur() {
+            "if" => return self.if_expr(),
+            "match" => return self.match_expr(),
+            "while" => return self.while_expr(),
+            "for" => return self.for_expr(),
+            "loop" => {
+                self.bump();
+                let body = if self.cur() == "{" {
+                    self.block()
+                } else {
+                    self.missing_block(lo)
+                };
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Loop { body },
+                };
+            }
+            "unsafe" if self.text(self.pos + 1) == "{" => {
+                self.bump();
+                let body = self.block();
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Block(body),
+                };
+            }
+            "{" => {
+                let body = self.block();
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Block(body),
+                };
+            }
+            "return" => {
+                self.bump();
+                let value = if self.starts_expr() {
+                    Some(Box::new(self.expr(structs)))
+                } else {
+                    None
+                };
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Return(value),
+                };
+            }
+            "break" => {
+                self.bump();
+                if self.kind(self.pos) == Some(TokKind::Lifetime) {
+                    self.bump(); // label
+                }
+                if self.starts_expr() && self.cur() != "{" {
+                    let _ = self.expr(structs);
+                }
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Break,
+                };
+            }
+            "continue" => {
+                self.bump();
+                if self.kind(self.pos) == Some(TokKind::Lifetime) {
+                    self.bump();
+                }
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Continue,
+                };
+            }
+            "move" => {
+                // `move |…| body` / `move || body`.
+                self.bump();
+                return self.closure_or_opaque(lo, structs);
+            }
+            "|" => return self.closure_or_opaque(lo, structs),
+            "(" => {
+                self.bump();
+                if self.cur() == ")" {
+                    self.bump(); // unit
+                    return Expr {
+                        kind: ExprKind::Lit,
+                        span: Span::new(lo, self.pos),
+                    };
+                }
+                let inner = self.expr(true);
+                // Tuple: further elements collapse into the paren span.
+                while self.cur() == "," {
+                    self.bump();
+                    if self.cur() == ")" {
+                        break;
+                    }
+                    let _ = self.expr(true);
+                }
+                if self.cur() == ")" {
+                    self.bump();
+                }
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Paren(Box::new(inner)),
+                };
+            }
+            "[" => {
+                // Array literal / repeat: keep whole.
+                self.skip_group();
+                return Expr {
+                    kind: ExprKind::Opaque,
+                    span: Span::new(lo, self.pos),
+                };
+            }
+            _ => {}
+        }
+        match self.kind(self.pos) {
+            Some(TokKind::Int | TokKind::Float | TokKind::Str) => {
+                self.bump();
+                Expr {
+                    kind: ExprKind::Lit,
+                    span: Span::new(lo, self.pos),
+                }
+            }
+            Some(TokKind::Lifetime) => {
+                // Loop label `'a: loop { … }`.
+                self.bump();
+                if self.cur() == ":" {
+                    self.bump();
+                    return self.primary_expr(structs);
+                }
+                Expr {
+                    kind: ExprKind::Opaque,
+                    span: Span::new(lo, self.pos),
+                }
+            }
+            Some(TokKind::Ident) => self.path_expr(lo, structs),
+            _ => {
+                // Unknown punctuation: consume one token as Opaque so
+                // the caller always progresses.
+                self.bump();
+                Expr {
+                    kind: ExprKind::Opaque,
+                    span: Span::new(lo, self.pos),
+                }
+            }
+        }
+    }
+
+    /// `|args| body` closures; anything that turns out not to be a
+    /// closure stays an opaque run.
+    fn closure_or_opaque(&mut self, lo: usize, structs: bool) -> Expr {
+        if self.cur() == "||" {
+            self.bump();
+        } else if self.cur() == "|" {
+            self.bump();
+            // Parameters to the closing `|` (groups skipped).
+            while !self.at_end() && self.cur() != "|" {
+                match self.cur() {
+                    "(" | "[" | "{" => self.skip_group(),
+                    _ => self.bump(),
+                }
+            }
+            if self.cur() == "|" {
+                self.bump();
+            }
+        } else {
+            // `move` without `|` (e.g. `async move { … }` bodies).
+            if self.cur() == "{" {
+                let body = self.block();
+                return Expr {
+                    span: Span::new(lo, self.pos),
+                    kind: ExprKind::Block(body),
+                };
+            }
+            return Expr {
+                kind: ExprKind::Opaque,
+                span: Span::new(lo, self.pos.max(lo + 1)),
+            };
+        }
+        // Optional `-> Type`.
+        if self.cur() == "->" {
+            self.bump();
+            while !self.at_end() && self.cur() != "{" {
+                match self.cur() {
+                    "(" | "[" => self.skip_group(),
+                    "<" => self.skip_generics(),
+                    _ => self.bump(),
+                }
+            }
+        }
+        let body = self.expr(structs);
+        Expr {
+            span: Span::new(lo, body.span.hi.max(self.pos)),
+            kind: ExprKind::Paren(Box::new(body)),
+        }
+    }
+
+    /// A path, then whatever follows it: macro bang, struct literal,
+    /// or nothing (plain path).
+    fn path_expr(&mut self, lo: usize, structs: bool) -> Expr {
+        let mut segments = vec![self.cur().to_string()];
+        self.bump();
+        loop {
+            if self.cur() == "::" {
+                self.bump();
+                if self.cur() == "<" {
+                    self.skip_generics(); // turbofish
+                    continue;
+                }
+                if self.kind(self.pos) == Some(TokKind::Ident) {
+                    segments.push(self.cur().to_string());
+                    self.bump();
+                    continue;
+                }
+                // `::{…}` in use-trees (shouldn't appear in exprs).
+                break;
+            }
+            break;
+        }
+        // Macro invocation.
+        if self.cur() == "!" && matches!(self.text(self.pos + 1), "(" | "[" | "{") {
+            self.bump(); // `!`
+            self.skip_group();
+            let name = segments.last().cloned().unwrap_or_default();
+            return Expr {
+                kind: ExprKind::Macro { name },
+                span: Span::new(lo, self.pos),
+            };
+        }
+        // Struct literal (only where allowed).
+        if structs && self.cur() == "{" && !segments.is_empty() {
+            // Heuristic: a struct-literal path starts uppercase or is
+            // `Self`/`self`-rooted; this keeps `match x { … }`-style
+            // confusion impossible because block-heads pass
+            // structs = false.
+            let last = segments.last().map(String::as_str).unwrap_or("");
+            let looks_like_type =
+                last.chars().next().is_some_and(|c| c.is_ascii_uppercase()) || last == "Self";
+            if looks_like_type {
+                self.skip_group();
+                return Expr {
+                    kind: ExprKind::Opaque,
+                    span: Span::new(lo, self.pos),
+                };
+            }
+        }
+        Expr {
+            kind: ExprKind::Path(segments),
+            span: Span::new(lo, self.pos),
+        }
+    }
+
+    /// The body position of an `if`/`while`/`for`/`loop` holds no `{`
+    /// (junk input): a zero-statement block pinned onto the last token
+    /// this expression consumed, so the span nests inside it instead of
+    /// claiming the next, unconsumed token. `lo` is the expression start;
+    /// the keyword is always consumed, so `self.pos > lo` here.
+    fn missing_block(&self, lo: usize) -> Block {
+        let hi = self.pos.max(lo + 1);
+        Block {
+            stmts: Vec::new(),
+            span: Span::new(hi - 1, hi),
+        }
+    }
+
+    fn if_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.bump(); // `if`
+        let cond = self.condition();
+        let then_block = if self.cur() == "{" {
+            self.block()
+        } else {
+            self.missing_block(lo)
+        };
+        let else_branch = if self.cur() == "else" {
+            self.bump();
+            if self.cur() == "if" {
+                Some(Box::new(self.if_expr()))
+            } else if self.cur() == "{" {
+                let b = self.block();
+                let span = b.span;
+                Some(Box::new(Expr {
+                    kind: ExprKind::Block(b),
+                    span,
+                }))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        Expr {
+            span: Span::new(lo, self.pos),
+            kind: ExprKind::If {
+                cond: Box::new(cond),
+                then_block,
+                else_branch,
+            },
+        }
+    }
+
+    /// An `if`/`while` condition: handles `let` chains by skipping the
+    /// pattern and parsing the scrutinee, struct literals disallowed.
+    fn condition(&mut self) -> Expr {
+        let lo = self.pos;
+        if self.cur() == "let" {
+            self.bump();
+            // Pattern to the top-level `=`.
+            while !self.at_end() {
+                match self.cur() {
+                    "=" => break,
+                    "(" | "[" | "{" => self.skip_group(),
+                    _ => self.bump(),
+                }
+            }
+            if self.cur() == "=" {
+                self.bump();
+            }
+            let scrutinee = self.expr(false);
+            let mut span = Span::new(lo, scrutinee.span.hi.max(self.pos));
+            // `&&` chains after a let-condition.
+            if self.cur() == "&&" {
+                self.bump();
+                let rest = self.condition();
+                span.hi = rest.span.hi.max(self.pos);
+            }
+            return Expr {
+                kind: ExprKind::Paren(Box::new(scrutinee)),
+                span,
+            };
+        }
+        self.expr(false)
+    }
+
+    fn while_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.bump(); // `while`
+        let cond = self.condition();
+        let body = if self.cur() == "{" {
+            self.block()
+        } else {
+            self.missing_block(lo)
+        };
+        Expr {
+            span: Span::new(lo, self.pos),
+            kind: ExprKind::While {
+                cond: Box::new(cond),
+                body,
+            },
+        }
+    }
+
+    fn for_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.bump(); // `for`
+                     // Pattern to `in`.
+        while !self.at_end() && self.cur() != "in" && self.cur() != "{" {
+            match self.cur() {
+                "(" | "[" => self.skip_group(),
+                _ => self.bump(),
+            }
+        }
+        if self.cur() == "in" {
+            self.bump();
+        }
+        let iter = self.expr(false);
+        let body = if self.cur() == "{" {
+            self.block()
+        } else {
+            self.missing_block(lo)
+        };
+        Expr {
+            span: Span::new(lo, self.pos),
+            kind: ExprKind::For {
+                iter: Box::new(iter),
+                body,
+            },
+        }
+    }
+
+    fn match_expr(&mut self) -> Expr {
+        let lo = self.pos;
+        self.bump(); // `match`
+        let scrutinee = self.expr(false);
+        let mut arms = Vec::new();
+        if self.cur() == "{" {
+            self.bump();
+            while !self.at_end() && self.cur() != "}" {
+                arms.push(self.match_arm());
+            }
+            if self.cur() == "}" {
+                self.bump();
+            }
+        }
+        Expr {
+            span: Span::new(lo, self.pos),
+            kind: ExprKind::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+            },
+        }
+    }
+
+    fn match_arm(&mut self) -> Arm {
+        let lo = self.pos;
+        self.skip_attrs();
+        // Pattern: to a top-level `if` (guard) or `=>`.
+        let pat_lo = self.pos;
+        let mut pat_paths: Vec<Vec<String>> = Vec::new();
+        let mut has_wildcard = false;
+        let mut pending: Vec<String> = Vec::new();
+        let mut expect_segment = false;
+        while !self.at_end() {
+            let t = self.cur();
+            if t == "=>" || (t == "if" && !expect_segment) {
+                break;
+            }
+            // A top-level `,` or `}` can only mean the arm list moved on
+            // (junk between arms); stop so recovery stays inside the match.
+            if t == "," || t == "}" {
+                break;
+            }
+            match t {
+                "(" | "[" | "{" => {
+                    if !pending.is_empty() {
+                        pat_paths.push(std::mem::take(&mut pending));
+                    }
+                    self.skip_group();
+                    expect_segment = false;
+                    continue;
+                }
+                "::" => {
+                    expect_segment = true;
+                    self.bump();
+                    continue;
+                }
+                "_" => {
+                    has_wildcard = true;
+                    self.bump();
+                    expect_segment = false;
+                    continue;
+                }
+                _ => {}
+            }
+            if self.kind(self.pos) == Some(TokKind::Ident) {
+                if expect_segment {
+                    pending.push(t.to_string());
+                } else {
+                    if !pending.is_empty() {
+                        pat_paths.push(std::mem::take(&mut pending));
+                    }
+                    pending.push(t.to_string());
+                }
+                expect_segment = false;
+            } else {
+                if !pending.is_empty() {
+                    pat_paths.push(std::mem::take(&mut pending));
+                }
+                expect_segment = false;
+            }
+            self.bump();
+        }
+        if !pending.is_empty() {
+            pat_paths.push(pending);
+        }
+        let pat_hi = self.pos.max(pat_lo + 1);
+        let pat_span = Span::new(pat_lo, pat_hi);
+        // Guard.
+        let guard = if self.cur() == "if" {
+            self.bump();
+            Some(self.guard_expr())
+        } else {
+            None
+        };
+        let body = if self.cur() == "=>" {
+            self.bump();
+            self.expr(true)
+        } else {
+            // Junk between arms: no `=>` ever appeared. Reuse the tokens
+            // the pattern scan consumed as an opaque body so the arm still
+            // carries a valid, non-empty span.
+            Expr {
+                span: pat_span,
+                kind: ExprKind::Opaque,
+            }
+        };
+        if self.cur() == "," {
+            self.bump();
+        }
+        Arm {
+            pat_span,
+            pat_paths,
+            has_wildcard,
+            guard,
+            body,
+            span: Span::new(lo, self.pos.max(lo + 1)),
+        }
+    }
+
+    /// A guard expression: like a condition but must stop at `=>`.
+    fn guard_expr(&mut self) -> Expr {
+        // The normal expression parser stops at `=>` anyway (it is no
+        // operator), and struct literals are legal in guards.
+        self.expr(true)
+    }
+}
+
+/// Extract variant names from an enum body token run: idents at brace
+/// depth zero that start a variant (first token, or right after a `,`),
+/// with attribute groups and payload groups skipped.
+fn enum_variants(body: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut at_variant_start = true;
+    while let Some(t) = body.get(i) {
+        match t.text.as_str() {
+            "#" => {
+                // Attribute: skip `[…]`.
+                i += 1;
+                if body.get(i).is_some_and(|t| t.text == "[") {
+                    i = skip_balanced(body, i);
+                }
+                continue;
+            }
+            "(" | "{" | "[" => {
+                i = skip_balanced(body, i);
+                at_variant_start = false;
+                continue;
+            }
+            "," => {
+                at_variant_start = true;
+                i += 1;
+                continue;
+            }
+            "=" => {
+                // Discriminant: skip to the next top-level comma.
+                while let Some(dt) = body.get(i) {
+                    if dt.text == "," {
+                        break;
+                    }
+                    if matches!(dt.text.as_str(), "(" | "{" | "[") {
+                        i = skip_balanced(body, i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if at_variant_start && t.kind == TokKind::Ident {
+            out.push(t.text.clone());
+            at_variant_start = false;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Skip a balanced group inside a token slice; `open` indexes the
+/// opener. Returns the index just past the matching closer (or the
+/// slice end).
+fn skip_balanced(body: &[Token], open: usize) -> usize {
+    let (o, c) = match body.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ("(", ")"),
+        Some("[") => ("[", "]"),
+        Some("{") => ("{", "}"),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while let Some(t) = body.get(i) {
+        if t.text == o {
+            depth += 1;
+        } else if t.text == c {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    body.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(src: &str) -> (Vec<Token>, File) {
+        let lexed = lex(src);
+        let f = parse(&lexed.tokens);
+        (lexed.tokens, f)
+    }
+
+    #[test]
+    fn fn_with_body_parses_and_validates() {
+        let (_t, f) = file("pub fn lb_x(q: &[f64]) -> f64 { let a = 1.0; a }\n");
+        validate_spans(&f).unwrap();
+        let mut fns = Vec::new();
+        walk_fns(&f, &mut |d, _| {
+            fns.push((d.name.clone(), d.is_pub, d.body.is_some()));
+        });
+        assert_eq!(fns, vec![("lb_x".to_string(), true, true)]);
+    }
+
+    #[test]
+    fn enum_variants_extracted() {
+        let (_t, f) = file(
+            "pub enum Invariance { Rotation, RotationMirror, RotationLimited { max_shift: usize }, RotationLimitedMirror { max_shift: usize } }\n",
+        );
+        validate_spans(&f).unwrap();
+        let ItemKind::Enum(e) = &f.items[0].kind else {
+            panic!("expected enum");
+        };
+        assert_eq!(e.name, "Invariance");
+        assert_eq!(
+            e.variants,
+            vec![
+                "Rotation",
+                "RotationMirror",
+                "RotationLimited",
+                "RotationLimitedMirror"
+            ]
+        );
+    }
+
+    #[test]
+    fn match_arms_and_wildcard() {
+        let (_t, f) =
+            file("fn f(x: E) -> u8 { match x { E::A => 1, E::B { v } if v > 0 => 2, _ => 0 } }\n");
+        validate_spans(&f).unwrap();
+        let mut matches = 0;
+        walk_fns(&f, &mut |decl, _| {
+            let body = decl.body.as_ref().unwrap();
+            walk_exprs(body, &mut |e| {
+                if let ExprKind::Match { arms, .. } = &e.kind {
+                    matches += 1;
+                    assert_eq!(arms.len(), 3);
+                    assert!(arms[2].has_wildcard);
+                    assert!(!arms[0].has_wildcard);
+                    assert!(arms[1].guard.is_some());
+                    assert_eq!(arms[0].pat_paths, vec![vec!["E".to_string(), "A".into()]]);
+                }
+            });
+        });
+        assert_eq!(matches, 1);
+    }
+
+    #[test]
+    fn if_with_comparison_and_return() {
+        let (_t, f) = file("fn f(lb: f64, r: f64) -> bool { if lb >= r { return false; } true }\n");
+        validate_spans(&f).unwrap();
+        let mut seen_cmp = false;
+        walk_fns(&f, &mut |decl, _| {
+            walk_exprs(decl.body.as_ref().unwrap(), &mut |e| {
+                if let ExprKind::Binary { op, .. } = &e.kind {
+                    if op == ">=" {
+                        seen_cmp = true;
+                    }
+                }
+            });
+        });
+        assert!(seen_cmp);
+    }
+
+    #[test]
+    fn method_chain_and_macro() {
+        let (_t, f) =
+            file("fn f(a: &A) { let x = a.b().c(1, 2); debug_assert!(x >= 0, \"msg\"); }\n");
+        validate_spans(&f).unwrap();
+        let mut macros = Vec::new();
+        let mut methods = Vec::new();
+        walk_fns(&f, &mut |decl, _| {
+            walk_exprs(decl.body.as_ref().unwrap(), &mut |e| match &e.kind {
+                ExprKind::Macro { name } => macros.push(name.clone()),
+                ExprKind::MethodCall { name, .. } => methods.push(name.clone()),
+                _ => {}
+            });
+        });
+        assert_eq!(macros, vec!["debug_assert"]);
+        // Pre-order: the outer call (`.c`) is visited before its receiver.
+        assert_eq!(methods, vec!["c", "b"]);
+    }
+
+    #[test]
+    fn struct_literal_vs_match_block() {
+        // `match x { … }` must not be eaten as a struct literal; a real
+        // struct literal must not break arm parsing.
+        let (_t, f) =
+            file("fn f(x: P) -> P { let p = P { a: 1 }; match x { P { a } => P { a }, } }\n");
+        validate_spans(&f).unwrap();
+    }
+
+    #[test]
+    fn totality_on_junk() {
+        // Unbalanced garbage still parses and validates.
+        for junk in [
+            "fn f( {",
+            "} } )",
+            "enum E {",
+            "match {",
+            "#[",
+            "fn",
+            "let x = ;",
+            "impl {",
+            "..= .. ..",
+            "x.",
+            "'a 'b'",
+            "pub pub fn",
+        ] {
+            let (_t, f) = file(junk);
+            validate_spans(&f).unwrap_or_else(|e| panic!("junk {junk:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn nested_items_walkable() {
+        let (_t, f) = file(
+            "mod m { impl T for S { fn inner(&self) {} } }\ntrait Tr { fn dflt(&self) { } fn sig(&self); }\n",
+        );
+        validate_spans(&f).unwrap();
+        let mut names = Vec::new();
+        walk_fns(&f, &mut |d, _| names.push(d.name.clone()));
+        assert_eq!(names, vec!["inner", "dflt", "sig"]);
+    }
+
+    #[test]
+    fn closures_loops_ranges() {
+        let (_t, f) = file(
+            "fn f(xs: &[f64]) -> f64 { let mut s = 0.0; for (i, x) in xs.iter().enumerate() { s += x * i as f64; } let g = |a: f64| -> f64 { a + 1.0 }; while s > 1.0 { s /= 2.0; } 'outer: loop { break 'outer; } xs.iter().map(|v| v + 1.0).sum::<f64>() + g(s) + xs[..].len() as f64 }\n",
+        );
+        validate_spans(&f).unwrap();
+    }
+
+    #[test]
+    fn if_let_and_let_else() {
+        let (_t, f) = file(
+            "fn f(o: Option<u8>) -> u8 { let Some(x) = o else { return 0; }; if let Some(y) = Some(x) { y } else { 0 } }\n",
+        );
+        validate_spans(&f).unwrap();
+    }
+}

@@ -2,6 +2,12 @@
 //! findings each (rule, file) pair is *allowed* to have. The gate fails
 //! when any count rises or a new pair appears; counts may only go down,
 //! and `--write-baseline` re-tightens the file after a burn-down.
+//!
+//! Schema v2 wraps each rule's file map in `{"total": N, "files": {…}}`
+//! so the per-rule burn-down number is visible in diffs without summing
+//! by hand; the redundant total is validated on read. v1 files (the bare
+//! `rule → file → count` shape) still parse — `--write-baseline`
+//! migrates them on the next re-ratchet.
 
 use crate::findings::{count_by_rule_and_file, Finding};
 use crate::json;
@@ -9,7 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Baseline schema version (bumped on format changes).
-pub const BASELINE_VERSION: u64 = 1;
+pub const BASELINE_VERSION: u64 = 2;
 
 /// Default baseline file name, committed at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.json";
@@ -83,21 +89,41 @@ pub fn to_json(counts: &Counts) -> String {
     out.push('\n');
     let n_rules = counts.len();
     for (ri, (rule, files)) in counts.iter().enumerate() {
+        let total: usize = files.values().sum();
         let _ = write!(out, "    {}: {{", json::escape(rule));
         out.push('\n');
+        let _ = writeln!(out, "      \"total\": {total},");
+        out.push_str("      \"files\": {\n");
         let n_files = files.len();
         for (fi, (path, count)) in files.iter().enumerate() {
-            let _ = write!(out, "      {}: {}", json::escape(path), count);
+            let _ = write!(out, "        {}: {}", json::escape(path), count);
             out.push_str(if fi + 1 < n_files { ",\n" } else { "\n" });
         }
-        out.push_str("    }");
+        out.push_str("      }\n    }");
         out.push_str(if ri + 1 < n_rules { ",\n" } else { "\n" });
     }
     out.push_str("  }\n}\n");
     out
 }
 
-/// Parse baseline JSON back into counts. Unknown top-level keys are an
+/// Parse one rule's file→count map out of a JSON object.
+fn files_from_obj(
+    rule: &str,
+    files: &BTreeMap<String, json::Value>,
+) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    for (path, count) in files {
+        let count = count
+            .as_int()
+            .ok_or_else(|| format!("count for `{rule}` / `{path}` must be an integer"))?;
+        out.insert(path.clone(), count as usize);
+    }
+    Ok(out)
+}
+
+/// Parse baseline JSON back into counts. Accepts schema v2 (per-rule
+/// `{total, files}` with the total cross-checked) and the legacy v1
+/// shape (bare file map). Unknown top-level keys or versions are an
 /// error; a corrupt ratchet must not silently pass.
 pub fn from_json(src: &str) -> Result<Counts, String> {
     let v = json::parse(src)?;
@@ -106,7 +132,7 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
         .get("version")
         .and_then(|v| v.as_int())
         .ok_or("baseline missing integer `version`")?;
-    if version != BASELINE_VERSION {
+    if version != 1 && version != BASELINE_VERSION {
         return Err(format!(
             "baseline version {version} unsupported (expected {BASELINE_VERSION}); regenerate with --write-baseline"
         ));
@@ -121,17 +147,38 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
         .and_then(|v| v.as_obj())
         .ok_or("baseline missing object `rules`")?;
     let mut counts: Counts = BTreeMap::new();
-    for (rule, files) in rules {
-        let files = files
+    for (rule, entry) in rules {
+        let entry = entry
             .as_obj()
-            .ok_or_else(|| format!("rule `{rule}` must map files to counts"))?;
-        let entry = counts.entry(rule.clone()).or_default();
-        for (path, count) in files {
-            let count = count
-                .as_int()
-                .ok_or_else(|| format!("count for `{rule}` / `{path}` must be an integer"))?;
-            entry.insert(path.clone(), count as usize);
-        }
+            .ok_or_else(|| format!("rule `{rule}` must be an object"))?;
+        let files = if version == 1 {
+            // Legacy shape: the rule maps straight to files.
+            files_from_obj(rule, entry)?
+        } else {
+            for key in entry.keys() {
+                if key != "total" && key != "files" {
+                    return Err(format!("unexpected key `{key}` under rule `{rule}`"));
+                }
+            }
+            let total = entry
+                .get("total")
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| format!("rule `{rule}` missing integer `total`"))?;
+            let files = entry
+                .get("files")
+                .and_then(|v| v.as_obj())
+                .ok_or_else(|| format!("rule `{rule}` missing object `files`"))?;
+            let files = files_from_obj(rule, files)?;
+            let sum: usize = files.values().sum();
+            if sum as u64 != total {
+                return Err(format!(
+                    "rule `{rule}`: total {total} does not match the file sum {sum}; \
+                     regenerate with --write-baseline"
+                ));
+            }
+            files
+        };
+        counts.insert(rule.clone(), files);
     }
     Ok(counts)
 }
@@ -195,6 +242,34 @@ mod tests {
         assert!(from_json("{\"version\": 9, \"rules\": {}}").is_err());
         assert!(from_json("{\"version\": 1, \"rules\": {}, \"extra\": {}}").is_err());
         assert!(from_json("not json").is_err());
+    }
+
+    #[test]
+    fn v2_serialises_per_rule_totals() {
+        let mut counts: Counts = BTreeMap::new();
+        let entry = counts.entry("no-index".into()).or_default();
+        entry.insert("a.rs".into(), 3);
+        entry.insert("b.rs".into(), 4);
+        let js = to_json(&counts);
+        assert!(js.contains("\"version\": 2"), "{js}");
+        assert!(js.contains("\"total\": 7"), "{js}");
+        assert_eq!(from_json(&js).unwrap(), counts);
+    }
+
+    #[test]
+    fn v1_baseline_migrates() {
+        let legacy = "{\n  \"version\": 1,\n  \"rules\": {\n    \"no-panic\": {\n      \"a.rs\": 2\n    }\n  }\n}\n";
+        let counts = from_json(legacy).unwrap();
+        assert_eq!(counts.get("no-panic").and_then(|m| m.get("a.rs")), Some(&2));
+        // Re-serialising writes the v2 shape.
+        assert!(to_json(&counts).contains("\"total\": 2"));
+    }
+
+    #[test]
+    fn v2_total_mismatch_is_rejected() {
+        let lying = "{\n  \"version\": 2,\n  \"rules\": {\n    \"no-panic\": {\n      \"total\": 99,\n      \"files\": {\n        \"a.rs\": 2\n      }\n    }\n  }\n}\n";
+        let err = from_json(lying).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Intraprocedural dataflow helpers shared by the semantic rules.
+//!
+//! The walk is deliberately simple — statements in source order, one
+//! flow-insensitive taint set per function body — because the properties
+//! being checked are local by construction: a `Relaxed` atomic load is
+//! tainted from its `let` binding to the end of the body (or until the
+//! name is re-bound), and a comparison touching a tainted name is a
+//! finding wherever it appears. No branches need merging: over-taint is
+//! acceptable for a linter with an allow-escape, under-taint is not.
+
+use crate::ast::{Block, Expr, ExprKind, StmtKind};
+use crate::lexer::Token;
+use std::collections::HashSet;
+
+/// Comparison operators (the only binary ops dismissal logic can use).
+pub const CMP_OPS: &[&str] = &["<", ">", "<=", ">=", "==", "!="];
+
+/// Atomic read-modify-write methods that take ordering arguments and
+/// participate in the shared-radius protocol.
+pub const CAS_METHODS: &[&str] = &[
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+    "fetch_min",
+    "fetch_max",
+];
+
+/// Collect every comparison expression reachable from `e` **through
+/// condition structure only**: logical `&&`/`||`, parens and unary `!`.
+/// Used on `if`/`while` conditions, where `a >= r && b` must surface
+/// `a >= r`.
+pub fn comparisons<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match &e.kind {
+        ExprKind::Binary { op, lhs, rhs } => {
+            if CMP_OPS.contains(&op.as_str()) {
+                out.push(e);
+            } else if op == "&&" || op == "||" {
+                comparisons(lhs, out);
+                comparisons(rhs, out);
+            }
+        }
+        ExprKind::Paren(inner) | ExprKind::Unary(inner) => comparisons(inner, out),
+        _ => {}
+    }
+}
+
+/// The identifier an operand "is", for radius matching: a plain path's
+/// last segment (`best`), a field access's field name (`self.best`), or
+/// the same seen through parens/unary/`.sqrt()`-style method chains on
+/// the value.
+pub fn operand_ident(e: &Expr) -> Option<&str> {
+    match &e.kind {
+        ExprKind::Path(segs) => segs.last().map(String::as_str),
+        ExprKind::Field { name, .. } => Some(name),
+        ExprKind::Paren(inner) | ExprKind::Unary(inner) => operand_ident(inner),
+        _ => None,
+    }
+}
+
+/// True when `e` is a `.load(…)` whose ordering argument names
+/// `Relaxed`.
+pub fn is_relaxed_load(e: &Expr) -> bool {
+    if let ExprKind::MethodCall { name, args, .. } = &e.kind {
+        name == "load" && args.iter().any(names_relaxed)
+    } else {
+        false
+    }
+}
+
+/// True when `e` is a CAS-family atomic call (see [`CAS_METHODS`]) with
+/// any `Relaxed` ordering argument.
+pub fn is_relaxed_cas(e: &Expr) -> Option<&str> {
+    if let ExprKind::MethodCall { name, args, .. } = &e.kind {
+        if CAS_METHODS.contains(&name.as_str()) && args.iter().any(names_relaxed) {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// True when an argument expression names `Ordering::Relaxed` (possibly
+/// through parens).
+fn names_relaxed(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Path(segs) => segs.last().is_some_and(|s| s == "Relaxed"),
+        ExprKind::Paren(inner) => names_relaxed(inner),
+        _ => false,
+    }
+}
+
+/// True when any sub-expression of `e` satisfies `pred` (the walk
+/// descends into nested blocks too).
+pub fn contains(e: &Expr, pred: &impl Fn(&Expr) -> bool) -> bool {
+    let mut hit = false;
+    crate::ast::walk_expr(e, &mut |sub| {
+        if pred(sub) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+/// A comparison whose operand carries a `Relaxed` load, found by the
+/// taint walk.
+#[derive(Debug)]
+pub struct RelaxedCompare {
+    /// 1-based line of the comparison.
+    pub line: usize,
+    /// The let-binding the load flowed through, when not inline.
+    pub via: Option<String>,
+}
+
+/// Walk a function body and report every comparison fed by a
+/// `load(Ordering::Relaxed)` — either inline
+/// (`x.load(Relaxed) <= r`) or through a `let` binding
+/// (`let v = x.load(Relaxed); … if v <= r`).
+pub fn relaxed_loads_feeding_compares(body: &Block, tokens: &[Token]) -> Vec<RelaxedCompare> {
+    let mut walk = TaintWalk {
+        tokens,
+        tainted: HashSet::new(),
+        out: Vec::new(),
+    };
+    walk.block(body);
+    walk.out
+}
+
+struct TaintWalk<'t> {
+    tokens: &'t [Token],
+    tainted: HashSet<String>,
+    out: Vec<RelaxedCompare>,
+}
+
+impl TaintWalk<'_> {
+    fn block(&mut self, b: &Block) {
+        for stmt in &b.stmts {
+            match &stmt.kind {
+                StmtKind::Let { name, init } => {
+                    if let Some(init) = init {
+                        self.expr(init);
+                        if let Some(n) = name {
+                            if contains(init, &is_relaxed_load) {
+                                self.tainted.insert(n.clone());
+                            } else {
+                                // Re-binding with a clean value clears
+                                // the taint (shadowing).
+                                self.tainted.remove(n);
+                            }
+                        }
+                    }
+                }
+                StmtKind::Expr(e) => self.expr(e),
+                StmtKind::Item(_) | StmtKind::Empty => {}
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        if let ExprKind::Binary { op, lhs, rhs } = &e.kind {
+            if CMP_OPS.contains(&op.as_str()) {
+                for side in [lhs.as_ref(), rhs.as_ref()] {
+                    if contains(side, &is_relaxed_load) {
+                        self.out.push(RelaxedCompare {
+                            line: e.span.line(self.tokens),
+                            via: None,
+                        });
+                    } else if let Some(name) = self.tainted_name(side) {
+                        self.out.push(RelaxedCompare {
+                            line: e.span.line(self.tokens),
+                            via: Some(name.to_string()),
+                        });
+                    }
+                }
+            }
+        }
+        // Recurse manually so nested blocks keep statement order (lets
+        // inside an if-arm taint uses after them).
+        match &e.kind {
+            ExprKind::If {
+                cond,
+                then_block,
+                else_branch,
+            } => {
+                self.expr(cond);
+                self.block(then_block);
+                if let Some(el) = else_branch {
+                    self.expr(el);
+                }
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.expr(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.expr(g);
+                    }
+                    self.expr(&arm.body);
+                }
+            }
+            ExprKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            ExprKind::For { iter, body } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            ExprKind::Loop { body } => self.block(body),
+            ExprKind::Block(b) => self.block(b),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            ExprKind::Unary(inner) | ExprKind::Paren(inner) => self.expr(inner),
+            ExprKind::Field { recv, .. } => self.expr(recv),
+            ExprKind::Call { callee, args } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::MethodCall { recv, args, .. } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Index { recv, index } => {
+                self.expr(recv);
+                self.expr(index);
+            }
+            ExprKind::Return(Some(inner)) => self.expr(inner),
+            ExprKind::Path(_)
+            | ExprKind::Lit
+            | ExprKind::Macro { .. }
+            | ExprKind::Return(None)
+            | ExprKind::Break
+            | ExprKind::Continue
+            | ExprKind::Opaque => {}
+        }
+    }
+
+    /// The tainted binding a comparison operand reads, if any — a plain
+    /// path, possibly through parens/unary/method calls on the value
+    /// (`v.sqrt() <= r` still compares the loaded value).
+    fn tainted_name<'e>(&self, e: &'e Expr) -> Option<&'e str> {
+        match &e.kind {
+            ExprKind::Path(segs) => {
+                let [n] = segs.as_slice() else {
+                    return None;
+                };
+                self.tainted.contains(n.as_str()).then_some(n.as_str())
+            }
+            ExprKind::Paren(inner) | ExprKind::Unary(inner) => self.tainted_name(inner),
+            ExprKind::MethodCall { recv, .. } => self.tainted_name(recv),
+            _ => None,
+        }
+    }
+}
+
+/// True when executing `block` dismisses the current candidate: it
+/// contains (outside nested fn items) a `continue`, a `break`, or a
+/// `return` of a dismissing value (`return`, `return None`,
+/// `return Err(…)`, `return false`, or a `*Pruned*` path).
+pub fn block_dismisses(block: &Block) -> bool {
+    let mut dismisses = false;
+    crate::ast::walk_exprs(block, &mut |e| match &e.kind {
+        ExprKind::Continue | ExprKind::Break => dismisses = true,
+        ExprKind::Return(value) if value.as_deref().is_none_or(is_dismissing_value) => {
+            dismisses = true;
+        }
+        _ => {}
+    });
+    if dismisses {
+        return true;
+    }
+    // A tail expression that *is* a dismissal verdict
+    // (`… { Pruned }` / `… { Verdict::Pruned }`).
+    block
+        .stmts
+        .last()
+        .is_some_and(|s| matches!(&s.kind, StmtKind::Expr(e) if is_dismissing_value(e)))
+}
+
+/// Values that encode "candidate dismissed" when returned or used as a
+/// branch tail.
+fn is_dismissing_value(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Path(segs) => segs
+            .last()
+            .is_some_and(|s| s == "None" || s == "false" || s.contains("Pruned")),
+        ExprKind::Call { callee, .. } => matches!(
+            &callee.kind,
+            ExprKind::Path(segs) if segs.last().is_some_and(|s| s == "Err")
+        ),
+        ExprKind::Paren(inner) => is_dismissing_value(inner),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{parse, ItemKind};
+    use crate::lexer::lex;
+
+    fn body_of(src: &str) -> (Vec<Token>, Block) {
+        let lexed = lex(src);
+        let file = parse(&lexed.tokens);
+        for item in file.items {
+            if let ItemKind::Fn(decl) = item.kind {
+                if let Some(body) = decl.body {
+                    return (lexed.tokens, body);
+                }
+            }
+        }
+        // rotind-lint: allow(no-panic)
+        panic!("fixture has no fn body");
+    }
+
+    #[test]
+    fn inline_relaxed_load_in_compare() {
+        let (toks, body) =
+            body_of("fn f(a: &AtomicU64, r: u64) -> bool { a.load(Ordering::Relaxed) <= r }\n");
+        let hits = relaxed_loads_feeding_compares(&body, &toks);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].via.is_none());
+    }
+
+    #[test]
+    fn let_bound_relaxed_load_in_compare() {
+        let (toks, body) = body_of(
+            "fn f(a: &AtomicU64, r: f64) -> bool { let bits = a.load(Ordering::Relaxed); let v = f64::from_bits(bits); if bits >= 1 { return true; } v.sqrt() > r }\n",
+        );
+        let hits = relaxed_loads_feeding_compares(&body, &toks);
+        // `bits >= 1` via the binding; `v` is derived through from_bits
+        // (a call, not a rename) so `v.sqrt() > r` is not reported —
+        // the taint is one hop deep by design.
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].via.as_deref(), Some("bits"));
+    }
+
+    #[test]
+    fn acquire_load_is_clean_and_rebinding_clears() {
+        let (toks, body) = body_of(
+            "fn f(a: &AtomicU64, r: u64) -> bool { let v = a.load(Ordering::Relaxed); let v = a.load(Ordering::Acquire); v <= r }\n",
+        );
+        assert!(relaxed_loads_feeding_compares(&body, &toks).is_empty());
+    }
+
+    #[test]
+    fn cas_with_relaxed_detected() {
+        let (toks, body) = body_of(
+            "fn f(a: &AtomicU64) { let _ = a.compare_exchange_weak(1, 2, Ordering::Relaxed, Ordering::Relaxed); }\n",
+        );
+        let mut cas = Vec::new();
+        crate::ast::walk_exprs(&body, &mut |e| {
+            if let Some(m) = is_relaxed_cas(e) {
+                cas.push((m.to_string(), e.span.line(&toks)));
+            }
+        });
+        assert_eq!(cas.len(), 1);
+        assert_eq!(cas[0].0, "compare_exchange_weak");
+    }
+
+    #[test]
+    fn dismissal_shapes() {
+        let cases = [
+            ("fn f() { for x in 0..3 { if a >= r { continue; } } }", true),
+            (
+                "fn f() -> Option<u8> { if a >= r { return None; } Some(1) }",
+                true,
+            ),
+            ("fn f() -> bool { if a >= r { return false; } true }", true),
+            (
+                "fn f() -> V { if a <= r { Admitted } else { Pruned } }",
+                false,
+            ),
+            ("fn f() -> u8 { if a <= r { push(a); } 1 }", false),
+            (
+                "fn f() -> V { if a >= r { Verdict::Pruned } else { x } }",
+                true,
+            ),
+        ];
+        for (src, want) in cases {
+            let (_toks, body) = body_of(src);
+            let mut ifs = Vec::new();
+            crate::ast::walk_exprs(&body, &mut |e| {
+                if let ExprKind::If { then_block, .. } = &e.kind {
+                    ifs.push(block_dismisses(then_block));
+                }
+            });
+            assert_eq!(ifs, vec![want], "case {src:?}");
+        }
+    }
+
+    #[test]
+    fn comparisons_through_logic() {
+        let (_toks, body) = body_of("fn f() { if a > r2 && (b.sqrt() >= r || !(c < d)) { x(); } }");
+        let mut found = Vec::new();
+        crate::ast::walk_exprs(&body, &mut |e| {
+            if let ExprKind::If { cond, .. } = &e.kind {
+                let mut cmps = Vec::new();
+                comparisons(cond, &mut cmps);
+                for c in &cmps {
+                    if let ExprKind::Binary { op, .. } = &c.kind {
+                        found.push(op.clone());
+                    }
+                }
+            }
+        });
+        assert_eq!(found, vec![">", ">=", "<"]);
+    }
+
+    #[test]
+    fn operand_idents() {
+        let (_toks, body) = body_of("fn f() { if self.best <= lb { x(); } }");
+        let mut ids = Vec::new();
+        crate::ast::walk_exprs(&body, &mut |e| {
+            if let ExprKind::Binary { op, lhs, rhs } = &e.kind {
+                if op == "<=" {
+                    ids.push(operand_ident(lhs).map(str::to_string));
+                    ids.push(operand_ident(rhs).map(str::to_string));
+                }
+            }
+        });
+        assert_eq!(ids, vec![Some("best".to_string()), Some("lb".to_string())]);
+    }
+}

@@ -144,6 +144,7 @@ impl<'a> Lexer<'a> {
                     self.string(line, prefix);
                 }
                 b'r' | b'b' if self.raw_string_ahead() => self.raw_string(line),
+                b'b' if self.peek(1) == b'\'' => self.byte_char(line),
                 b'\'' => self.char_or_lifetime(line),
                 _ if b.is_ascii_digit() => self.number(line),
                 _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
@@ -259,6 +260,26 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Byte literal `b'x'` / `b'\n'` — one token, so a quoted brace or
+    /// quote (`b'}'`, `b'\''`) never leaks structure into the stream.
+    fn byte_char(&mut self, line: usize) {
+        let mut text = String::new();
+        text.push(self.bump() as char); // 'b'
+        text.push(self.bump() as char); // opening quote
+        while self.pos < self.src.len() {
+            let c = self.bump();
+            text.push(c as char);
+            if c == b'\\' {
+                if self.pos < self.src.len() {
+                    text.push(self.bump() as char);
+                }
+            } else if c == b'\'' {
+                break;
+            }
+        }
         self.push(TokKind::Str, text, line);
     }
 
@@ -419,6 +440,23 @@ mod tests {
         let lexed = lex("/* outer /* inner */ still comment */ code");
         assert_eq!(lexed.tokens.len(), 1);
         assert_eq!(lexed.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn byte_char_literals_are_one_token() {
+        // A quoted brace must not leak structure into the stream, and
+        // the `b` prefix must not split off as an identifier.
+        let toks = kinds(r"if c == b'}' { f(b'\'', b'\\', b'x'); }");
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "b"));
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lits, vec![r"b'}'", r"b'\''", r"b'\\'", "b'x'"]);
+        // The braces around the block survive as punctuation.
+        assert!(toks.contains(&(TokKind::Punct, "{".into())));
+        assert!(toks.contains(&(TokKind::Punct, "}".into())));
     }
 
     #[test]

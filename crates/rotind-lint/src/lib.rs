@@ -19,12 +19,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod baseline;
+pub mod dataflow;
 pub mod findings;
 pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod symbols;
 pub mod walker;
 
 use std::path::Path;

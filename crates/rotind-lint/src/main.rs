@@ -4,42 +4,77 @@
 //! rotind-lint                      # workspace scan, compare against lint-baseline.json
 //! rotind-lint --write-baseline     # workspace scan, re-ratchet the baseline
 //! rotind-lint --no-baseline        # workspace scan, report every finding
+//! rotind-lint --self-check         # ratchet-gate the linter's own crate only
 //! rotind-lint <path>…              # lint explicit files/dirs as library code (fixture mode)
-//! rotind-lint --json …             # machine-readable findings on stdout
+//! rotind-lint --format sarif …     # SARIF 2.1.0 findings on stdout (also: human, json)
+//! rotind-lint --json …             # shorthand for --format json
 //! rotind-lint --list               # print the rule catalogue
 //! ```
 //!
 //! Exit codes: 0 clean / at-or-below baseline, 1 findings or ratchet
 //! regression, 2 usage or I/O error.
 
-use rotind_lint::baseline::{self, BASELINE_FILE};
+use rotind_lint::baseline::{self, Counts, BASELINE_FILE};
 use rotind_lint::findings::{count_by_rule_and_file, render_human, render_json, Finding};
 use rotind_lint::rules::ALL_RULES;
-use rotind_lint::{lint_paths, lint_workspace, workspace_root};
+use rotind_lint::{lint_paths, lint_workspace, sarif, workspace_root};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Options {
-    json: bool,
+    format: Format,
     write_baseline: bool,
     no_baseline: bool,
+    self_check: bool,
     list: bool,
     paths: Vec<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        json: false,
+        format: Format::Human,
         write_baseline: false,
         no_baseline: false,
+        self_check: false,
         list: false,
         paths: Vec::new(),
     };
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--json" => opts.json = true,
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let arg = arg.as_str();
+        if let Some(value) = arg.strip_prefix("--format") {
+            let value = match value.strip_prefix('=') {
+                Some(v) => v.to_string(),
+                None if value.is_empty() => args
+                    .next()
+                    .ok_or(format!("--format needs a value\n\n{USAGE}"))?,
+                None => return Err(format!("unknown flag `{arg}`\n\n{USAGE}")),
+            };
+            opts.format = match value.as_str() {
+                "human" => Format::Human,
+                "json" => Format::Json,
+                "sarif" => Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "unknown format `{other}` (expected human, json or sarif)\n\n{USAGE}"
+                    ))
+                }
+            };
+            continue;
+        }
+        match arg {
+            "--json" => opts.format = Format::Json,
             "--write-baseline" => opts.write_baseline = true,
             "--no-baseline" => opts.no_baseline = true,
+            "--self-check" => opts.self_check = true,
             "--list" => opts.list = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             flag if flag.starts_with('-') => {
@@ -51,11 +86,18 @@ fn parse_args() -> Result<Options, String> {
     if opts.write_baseline && !opts.paths.is_empty() {
         return Err("--write-baseline only applies to the workspace scan".to_string());
     }
+    if opts.self_check && (opts.write_baseline || opts.no_baseline || !opts.paths.is_empty()) {
+        return Err(
+            "--self-check runs the workspace scan against the committed ratchet; \
+                    it combines only with --format"
+                .to_string(),
+        );
+    }
     Ok(opts)
 }
 
-const USAGE: &str =
-    "usage: rotind-lint [--json] [--write-baseline | --no-baseline | --list] [path…]";
+const USAGE: &str = "usage: rotind-lint [--format human|json|sarif] \
+                     [--write-baseline | --no-baseline | --self-check | --list] [path…]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -92,15 +134,21 @@ fn run(opts: &Options) -> Result<bool, String> {
     // Fixture mode: lint exactly the given paths, no ratchet.
     if !opts.paths.is_empty() {
         let findings = lint_paths(root, &opts.paths).map_err(|e| e.to_string())?;
-        report(&findings, opts.json);
+        report(&findings, opts.format);
         return Ok(findings.is_empty());
     }
 
     let findings = lint_workspace(root).map_err(|e| e.to_string())?;
 
+    if opts.self_check {
+        return self_check(root, &findings, opts.format);
+    }
+
     if opts.no_baseline {
-        report(&findings, opts.json);
-        summary(&findings);
+        report(&findings, opts.format);
+        if opts.format == Format::Human {
+            summary(&findings);
+        }
         return Ok(findings.is_empty());
     }
 
@@ -126,45 +174,134 @@ fn run(opts: &Options) -> Result<bool, String> {
     let committed = baseline::from_json(&committed)?;
     let cmp = baseline::compare(&findings, &committed);
 
-    if opts.json {
-        print!("{}", render_json(&findings));
+    match opts.format {
+        Format::Human => {}
+        Format::Json => print!("{}", render_json(&findings)),
+        Format::Sarif => print!("{}", sarif::render(&findings)),
     }
+    let mut status = String::new();
     for (rule, path, permitted, count) in &cmp.regressions {
-        println!("RATCHET {rule}: {path} has {count} finding(s), baseline allows {permitted}");
+        let _ = writeln!(
+            status,
+            "RATCHET {rule}: {path} has {count} finding(s), baseline allows {permitted}"
+        );
         // Show the individual findings of the offending pair so the
         // developer sees candidates without re-running in --no-baseline.
         for f in findings
             .iter()
             .filter(|f| f.rule == rule && &f.path == path)
         {
-            println!("  {}:{}: {}", f.path, f.line, f.message);
+            let _ = writeln!(status, "  {}:{}: {}", f.path, f.line, f.message);
         }
     }
     for (rule, path, permitted, count) in &cmp.improvements {
-        println!(
+        let _ = writeln!(
+            status,
             "improved {rule}: {path} is down to {count} (baseline {permitted}) — \
              re-ratchet with `cargo run -p rotind-lint -- --write-baseline`"
         );
     }
     if cmp.is_pass() {
-        println!(
+        let _ = writeln!(
+            status,
             "lint gate: PASS ({} finding(s), all within the committed ratchet)",
             findings.len()
         );
     } else {
-        println!(
+        let _ = writeln!(
+            status,
             "lint gate: FAIL ({} (rule, file) pair(s) above the ratchet)",
             cmp.regressions.len()
         );
     }
+    emit_status(&status, opts.format);
     Ok(cmp.is_pass())
 }
 
-fn report(findings: &[Finding], json: bool) {
-    if json {
-        print!("{}", render_json(findings));
+/// `--self-check`: gate only the linter's own crate against the matching
+/// slice of the committed ratchet. CI runs this as a fast sanity step —
+/// a linter that cannot keep its own house clean has no business gating
+/// anyone else's.
+fn self_check(
+    root: &std::path::Path,
+    findings: &[Finding],
+    format: Format,
+) -> Result<bool, String> {
+    const SELF: &str = "crates/rotind-lint/";
+    let own: Vec<Finding> = findings
+        .iter()
+        .filter(|f| f.path.starts_with(SELF))
+        .cloned()
+        .collect();
+    let baseline_path = root.join(BASELINE_FILE);
+    let committed = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!(
+            "cannot read {} ({e}); run `cargo run -p rotind-lint -- --write-baseline` once",
+            baseline_path.display()
+        )
+    })?;
+    let committed = baseline::from_json(&committed)?;
+    let own_baseline: Counts = committed
+        .into_iter()
+        .map(|(rule, files)| {
+            (
+                rule,
+                files
+                    .into_iter()
+                    .filter(|(path, _)| path.starts_with(SELF))
+                    .collect(),
+            )
+        })
+        .collect();
+    let cmp = baseline::compare(&own, &own_baseline);
+    match format {
+        Format::Human => {}
+        Format::Json => print!("{}", render_json(&own)),
+        Format::Sarif => print!("{}", sarif::render(&own)),
+    }
+    let mut status = String::new();
+    for (rule, path, permitted, count) in &cmp.regressions {
+        let _ = writeln!(
+            status,
+            "RATCHET {rule}: {path} has {count} finding(s), baseline allows {permitted}"
+        );
+        for f in own.iter().filter(|f| f.rule == rule && &f.path == path) {
+            let _ = writeln!(status, "  {}:{}: {}", f.path, f.line, f.message);
+        }
+    }
+    if cmp.is_pass() {
+        let _ = writeln!(
+            status,
+            "self-check: PASS ({} finding(s) in {SELF}, all within the committed ratchet)",
+            own.len()
+        );
     } else {
-        print!("{}", render_human(findings));
+        let _ = writeln!(
+            status,
+            "self-check: FAIL ({} (rule, file) pair(s) above the ratchet)",
+            cmp.regressions.len()
+        );
+    }
+    emit_status(&status, format);
+    Ok(cmp.is_pass())
+}
+
+/// Gate and ratchet lines go to stdout in human mode, but to stderr
+/// when the caller asked for a machine format — so `--format sarif`
+/// leaves a parseable document on stdout while the verdict stays
+/// visible in the terminal or CI log.
+fn emit_status(status: &str, format: Format) {
+    match format {
+        Format::Human => print!("{status}"),
+        Format::Json | Format::Sarif => eprint!("{status}"),
+    }
+}
+
+fn report(findings: &[Finding], format: Format) {
+    match format {
+        Format::Human => print!("{}", render_human(findings)),
+        Format::Json => print!("{}", render_json(findings)),
+        Format::Sarif => print!("{}", sarif::render(findings)),
     }
 }
 

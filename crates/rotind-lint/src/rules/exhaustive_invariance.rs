@@ -1,0 +1,198 @@
+//! `exhaustive-invariance`: every `match` on the `Invariance` enum must
+//! name all variants — no `_` wildcard, no binding catch-all.
+//!
+//! `Invariance` is the search-semantics switch (rotation, mirror,
+//! limited rotation, …); a wildcard arm means a future variant — say,
+//! `Scale` — silently inherits some existing branch's envelope matrix
+//! instead of failing to compile, and a wrong envelope is an
+//! inadmissible bound. Rust's own exhaustiveness check is exactly what
+//! a `_` arm opts out of, so the linter opts back in.
+//!
+//! The rule is cross-file: the enum's variant list is collected from
+//! the scan unit's symbol tables (the real definition lives in
+//! `rotind-index/src/engine.rs`; fixtures carry their own), and any
+//! match whose arms reference `Invariance::…` paths is checked against
+//! it. Guard-duplicated arms (`V if cond => …, V => …`) are fine — the
+//! rule checks coverage, not mutual exclusion.
+
+use crate::ast::{walk_item_exprs, ExprKind};
+use crate::findings::Finding;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// Rule id.
+pub const ID: &str = "exhaustive-invariance";
+
+/// The enum whose matches must stay exhaustive.
+const ENUM_NAME: &str = "Invariance";
+
+/// Check the whole scan unit at once.
+pub fn check(files: &[SourceFile]) -> Vec<Finding> {
+    // The variant universe, unioned across definitions (the workspace
+    // has one; a fixture directory may carry its own).
+    let mut variants: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        if let Some(e) = file.symbols.enum_named(ENUM_NAME) {
+            variants.extend(e.variants.iter().cloned());
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let toks = file.tokens();
+        for item in &file.ast.items {
+            walk_item_exprs(item, &mut |e| {
+                let ExprKind::Match { arms, .. } = &e.kind else {
+                    return;
+                };
+                // A match is "on Invariance" when any arm pattern
+                // references an `Invariance::…` path.
+                let mut named: BTreeSet<&str> = BTreeSet::new();
+                let mut on_invariance = false;
+                let mut catch_all = false;
+                for arm in arms {
+                    if arm.has_wildcard {
+                        catch_all = true;
+                    }
+                    for path in &arm.pat_paths {
+                        if let [.., parent, variant] = path.as_slice() {
+                            if parent == ENUM_NAME {
+                                on_invariance = true;
+                                named.insert(variant.as_str());
+                            }
+                        } else if let [seg] = path.as_slice() {
+                            let seg = seg.as_str();
+                            if seg.chars().next().is_some_and(|c| c.is_ascii_lowercase()) {
+                                // A lowercase single-segment pattern is a
+                                // binding: it catches everything.
+                                catch_all = true;
+                            } else if variants.contains(seg) {
+                                // `use Invariance::*`-style bare variant.
+                                named.insert(seg);
+                            }
+                        }
+                    }
+                }
+                if !on_invariance {
+                    return;
+                }
+                let line = e.span.line(toks);
+                if file.is_test_code(line) {
+                    return;
+                }
+                if catch_all {
+                    out.push(Finding::new(
+                        ID,
+                        &file.path,
+                        line,
+                        format!(
+                            "match on `{ENUM_NAME}` has a catch-all arm; name \
+                             every variant so a future variant is a compile \
+                             error, not a silently wrong envelope"
+                        ),
+                    ));
+                } else if !variants.is_empty() {
+                    let missing: Vec<&str> = variants
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|v| !named.contains(*v))
+                        .collect();
+                    if !missing.is_empty() {
+                        out.push(Finding::new(
+                            ID,
+                            &file.path,
+                            line,
+                            format!(
+                                "match on `{ENUM_NAME}` does not name variant(s) \
+                                 {}; every variant must choose its envelope \
+                                 explicitly",
+                                missing.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    const ENUM_DEF: &str =
+        "pub enum Invariance { Rotation, RotationMirror, RotationLimited { max_shift: usize }, RotationLimitedMirror { max_shift: usize } }\n";
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::parse(
+            "crates/x/src/a.rs",
+            &format!("{ENUM_DEF}{src}"),
+            FileKind::Library,
+        )];
+        check(&files)
+    }
+
+    #[test]
+    fn wildcard_arm_fails() {
+        let f = lint(
+            "fn m(v: &Invariance) -> u8 {\n    match v {\n        Invariance::Rotation => 0,\n        _ => 1,\n    }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("catch-all"));
+    }
+
+    #[test]
+    fn binding_catch_all_fails() {
+        let f = lint(
+            "fn m(v: Invariance) -> u8 {\n    match v {\n        Invariance::Rotation => 0,\n        other => 1,\n    }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn missing_variant_fails_with_name() {
+        let f = lint(
+            "fn m(v: &Invariance) -> u8 {\n    match v {\n        Invariance::Rotation => 0,\n        Invariance::RotationMirror => 1,\n        Invariance::RotationLimited { max_shift } => 2,\n    }\n}\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("RotationLimitedMirror"));
+    }
+
+    #[test]
+    fn full_match_passes_with_guards_and_payloads() {
+        let f = lint(
+            "fn m(v: &Invariance) -> u8 {\n    match v {\n        Invariance::Rotation => 0,\n        Invariance::RotationMirror => 1,\n        Invariance::RotationLimited { max_shift } if *max_shift == 0 => 4,\n        Invariance::RotationLimited { max_shift } => 2,\n        Invariance::RotationLimitedMirror { max_shift } => 3,\n    }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn matches_on_other_enums_ignored() {
+        let f = lint(
+            "fn m(v: Option<u8>) -> u8 {\n    match v {\n        Some(x) => x,\n        _ => 0,\n    }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = lint(
+            "#[cfg(test)]\nmod t {\n    fn m(v: &Invariance) -> u8 {\n        match v {\n            Invariance::Rotation => 0,\n            _ => 1,\n        }\n    }\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cross_file_definition_is_found() {
+        let def = SourceFile::parse("crates/a/src/lib.rs", ENUM_DEF, FileKind::Library);
+        let user = SourceFile::parse(
+            "crates/b/src/lib.rs",
+            "fn m(v: &Invariance) -> u8 {\n    match v {\n        Invariance::Rotation => 0,\n        Invariance::RotationMirror => 1,\n        Invariance::RotationLimited { .. } => 2,\n    }\n}\n",
+            FileKind::Library,
+        );
+        let f = check(&[def, user]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("RotationLimitedMirror"));
+    }
+}

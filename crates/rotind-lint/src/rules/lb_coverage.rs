@@ -17,8 +17,9 @@ use std::collections::HashSet;
 /// Rule id.
 pub const ID: &str = "lb-coverage";
 
-/// True when a public function name claims to be a lower bound.
-fn is_lower_bound_name(name: &str) -> bool {
+/// True when a function name claims to be a lower bound (shared with
+/// the `lb-witness` rule).
+pub(crate) fn is_lower_bound_name(name: &str) -> bool {
     name.starts_with("lb_") || name.ends_with("lower_bound")
 }
 

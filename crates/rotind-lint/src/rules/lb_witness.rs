@@ -1,0 +1,185 @@
+//! `lb-witness`: every function whose name claims to be a lower bound
+//! (`lb_*` / `*lower_bound`) must carry a runtime admissibility witness
+//! — a `debug_assert!`-family call on its return path — or delegate to
+//! another lower-bound function that does, or carry an explicit
+//! `// lint: witness-exempt(<reason>)` comment.
+//!
+//! This is the static half of the paper's Proposition 1/2 discipline
+//! (the dynamic half is `lb-coverage`, which demands a soundness test):
+//! an admissible bound without a `debug_assert_admissible`-style check
+//! can silently over-tighten after a refactor, and an over-tightened
+//! bound turns "no false dismissals" into a wrong answer with no crash.
+//! The rule runs on the AST, so a witness buried in a nested block or a
+//! helper closure still counts, while one mentioned only in a comment
+//! or a string does not.
+
+use crate::ast::{walk_exprs, ExprKind, FnDecl, Span};
+use crate::findings::Finding;
+use crate::rules::lb_coverage::is_lower_bound_name;
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "lb-witness";
+
+/// Check one file.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    crate::ast::walk_fns(&file.ast, &mut |decl, item_span| {
+        if let Some(f) = check_fn(file, decl, item_span) {
+            out.push(f);
+        }
+    });
+    out
+}
+
+fn check_fn(file: &SourceFile, decl: &FnDecl, item_span: Span) -> Option<Finding> {
+    if !is_lower_bound_name(&decl.name) || file.is_test_code(decl.name_line) {
+        return None;
+    }
+    // Trait method signatures have no body to witness.
+    let body = decl.body.as_ref()?;
+    if has_witness(decl) {
+        return None;
+    }
+    // Exemption window: the line above the item (a comment directly on
+    // top of the attributes/signature) through the last line of the body.
+    let toks = file.tokens();
+    let start_line = item_span.line(toks);
+    let end_line = toks
+        .get(body.span.hi.saturating_sub(1))
+        .map_or(start_line, |t| t.line);
+    match file.witness_exempt(start_line.saturating_sub(1), end_line) {
+        Some((_, reason)) if !reason.is_empty() => None,
+        Some((line, _)) => Some(Finding::new(
+            ID,
+            &file.path,
+            line,
+            format!(
+                "`witness-exempt` on lower-bound fn `{}` has no reason; \
+                 write `// lint: witness-exempt(<why this bound needs no \
+                 admissibility witness>)`",
+                decl.name
+            ),
+        )),
+        None => Some(Finding::new(
+            ID,
+            &file.path,
+            decl.name_line,
+            format!(
+                "lower-bound fn `{}` has no admissibility witness on its \
+                 return path; add a `debug_assert!`-family check that the \
+                 bound never exceeds the true distance (Proposition 1/2), \
+                 delegate to a witnessed lower bound, or justify with \
+                 `// lint: witness-exempt(<reason>)`",
+                decl.name
+            ),
+        )),
+    }
+}
+
+/// True when the body contains a witness: any `debug_assert*` macro or
+/// call, or a delegation to another lower-bound function (which carries
+/// its own witness — the rule bottoms out because every chain ends in a
+/// function that must satisfy it directly).
+fn has_witness(decl: &FnDecl) -> bool {
+    let body = decl.body.as_ref();
+    let Some(body) = body else { return false };
+    let mut found = false;
+    walk_exprs(body, &mut |e| match &e.kind {
+        ExprKind::Macro { name } if name.starts_with("debug_assert") => found = true,
+        ExprKind::Call { callee, .. } => {
+            if let ExprKind::Path(segs) = &callee.kind {
+                if let Some(last) = segs.last() {
+                    if last.starts_with("debug_assert")
+                        || (is_lower_bound_name(last) && *last != decl.name)
+                    {
+                        found = true;
+                    }
+                }
+            }
+        }
+        ExprKind::MethodCall { name, .. } if is_lower_bound_name(name) => {
+            found = true;
+        }
+        _ => {}
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        check(&SourceFile::parse(
+            "crates/x/src/a.rs",
+            src,
+            FileKind::Library,
+        ))
+    }
+
+    #[test]
+    fn bound_without_witness_fails() {
+        let f = lint("pub fn lb_naked(q: &[f64]) -> f64 { q.iter().sum() }\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("lb_naked"));
+    }
+
+    #[test]
+    fn debug_assert_macro_witnesses() {
+        let f = lint(
+            "pub fn lb_ok(q: &[f64], d: f64) -> f64 { let lb = q.iter().sum(); debug_assert!(lb <= d + 1e-6); lb }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn debug_assert_helper_call_witnesses() {
+        let f = lint(
+            "pub fn lb_ok(q: &[f64], d: f64) -> f64 { let lb = 0.0; debug_assert_admissible(lb, d); lb }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn delegation_to_other_bound_witnesses() {
+        let f = lint(
+            "pub fn lb_outer(q: &[f64]) -> f64 { lb_inner(q, 0) }\nfn lb_inner(q: &[f64], at: usize) -> f64 { let lb = 0.0; debug_assert!(lb >= 0.0); lb }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn self_recursion_is_not_a_witness() {
+        let f = lint("fn lb_rec(n: u32) -> f64 { if n == 0 { 0.0 } else { lb_rec(n - 1) } }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn exempt_with_reason_passes_empty_reason_fails() {
+        let ok = lint(
+            "// lint: witness-exempt(pure accessor, returns a precomputed wedge)\npub fn lb_wedge(&self) -> &Wedge { &self.w }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = lint("// lint: witness-exempt()\npub fn lb_bare() -> f64 { 0.0 }\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn test_code_and_non_bound_names_ignored() {
+        let f = lint(
+            "#[cfg(test)]\nmod t {\n    fn lb_in_test() -> f64 { 0.0 }\n}\nfn distance() -> f64 { 0.0 }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn trait_signature_without_body_ignored() {
+        let f = lint("pub trait Bound {\n    fn node_lower_bound(&self) -> f64;\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,22 +1,31 @@
-//! The rule engine: nine project-specific passes over lexed source.
+//! The rule engine: thirteen project-specific passes over lexed source.
 //!
-//! Every rule is a pure function from tokens (plus file context) to
-//! findings; the engine applies file-kind gating and the
+//! Nine rules are token-pattern passes; four (`lb-witness`,
+//! `atomic-ordering`, `strict-dismissal`, `exhaustive-invariance`) are
+//! semantic — they run on the [`crate::ast`] tree with the
+//! [`crate::dataflow`] walk, because "a load feeds a comparison" or
+//! "this match names every variant" is invisible to a flat token
+//! stream. Every rule is a pure function from file context to findings;
+//! the engine applies file-kind gating and the
 //! `// rotind-lint: allow(rule)` escape comments centrally, so individual
-//! rules stay single-purpose. See DESIGN.md §9 for the rationale of each
-//! rule and its tie to the paper's exactness invariants.
+//! rules stay single-purpose. See DESIGN.md §9/§11 for the rationale of
+//! each rule and its tie to the paper's exactness invariants.
 
 use crate::findings::Finding;
 use crate::source::SourceFile;
 
+pub mod atomic_ordering;
 pub mod counter_arith;
+pub mod exhaustive_invariance;
 pub mod float_eq;
 pub mod forbid_unsafe;
 pub mod lb_coverage;
+pub mod lb_witness;
 pub mod no_index;
 pub mod no_panic;
 pub mod no_print;
 pub mod no_wildcard;
+pub mod strict_dismissal;
 pub mod todo_issue;
 
 /// Static description of a rule, for `--list` and documentation.
@@ -65,6 +74,22 @@ pub const ALL_RULES: &[RuleInfo] = &[
         id: no_wildcard::ID,
         summary: "no `pub use …::*` wildcard re-exports",
     },
+    RuleInfo {
+        id: lb_witness::ID,
+        summary: "every lb_*/‥lower_bound fn needs a debug_assert admissibility witness or a witness-exempt reason",
+    },
+    RuleInfo {
+        id: atomic_ordering::ID,
+        summary: "Relaxed atomic loads must not feed dismissal comparisons; CAS on the shared radius needs AcqRel/Acquire",
+    },
+    RuleInfo {
+        id: strict_dismissal::ID,
+        summary: "dismissing branches must compare strictly (`>`) against the radius/best-so-far, never `>=`/`<=`",
+    },
+    RuleInfo {
+        id: exhaustive_invariance::ID,
+        summary: "matches on `Invariance` must name every variant — no `_` or binding catch-all arm",
+    },
 ];
 
 /// Run every rule over `files`, honouring allow comments. The slice is
@@ -81,8 +106,12 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
         findings.extend(forbid_unsafe::check(file));
         findings.extend(todo_issue::check(file));
         findings.extend(no_wildcard::check(file));
+        findings.extend(lb_witness::check(file));
+        findings.extend(atomic_ordering::check(file));
+        findings.extend(strict_dismissal::check(file));
     }
     findings.extend(lb_coverage::check(files));
+    findings.extend(exhaustive_invariance::check(files));
     // Apply escape comments centrally so every rule honours them the
     // same way, including the cross-file one.
     findings.retain(|f| {

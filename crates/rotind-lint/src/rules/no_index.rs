@@ -35,6 +35,28 @@ pub fn check(file: &SourceFile) -> Vec<Finding> {
         if !indexes {
             continue;
         }
+        // Keywords lex as identifiers, and an array literal or slice
+        // pattern can follow one (`for side in [lhs, rhs]`,
+        // `let [a, b] = xs`). None of these name a place expression, so
+        // `[` after them is not indexing.
+        if matches!(
+            prev.text.as_str(),
+            "in" | "return"
+                | "break"
+                | "if"
+                | "else"
+                | "match"
+                | "loop"
+                | "while"
+                | "move"
+                | "mut"
+                | "ref"
+                | "as"
+                | "yield"
+                | "let"
+        ) {
+            continue;
+        }
         // `&xs[..]` takes the whole slice and cannot panic.
         if let Some(close) = crate::rules::matching_close(toks, i) {
             if close == i + 2 && toks[i + 1].text == ".." {
@@ -78,6 +100,14 @@ mod tests {
     fn array_literals_types_attrs_and_macros_are_fine() {
         let f = lint(
             "#[derive(Clone)]\nstruct S;\nfn f() -> [f64; 2] {\n    let a: [f64; 2] = [0.0, 1.0];\n    let _v = vec![1, 2];\n    a\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn array_literal_after_keyword_is_fine() {
+        let f = lint(
+            "fn f(a: f64, b: f64) -> f64 {\n    let mut acc = 0.0;\n    for side in [a, b] {\n        acc += side;\n    }\n    acc\n}\n",
         );
         assert!(f.is_empty(), "{f:?}");
     }

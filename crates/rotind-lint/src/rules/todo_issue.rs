@@ -1,6 +1,7 @@
 //! `todo-issue`: a to-do marker with no issue reference is a liability
 //! that ages into archaeology. Markers are welcome — but each must point
-//! at something trackable: `#123`, `issues/123`, `ISSUE.md`, or a URL.
+//! at something trackable: `#123`, `issues/123`, `ISSUE.md`, a URL, or
+//! an owner in the `TODO(name):` attribution form.
 
 use crate::findings::Finding;
 use crate::source::SourceFile;
@@ -21,21 +22,44 @@ fn has_reference(text: &str) -> bool {
     hash_number || text.contains("issues/") || text.contains("ISSUE") || text.contains("http")
 }
 
-/// True when `text` contains `marker` as a standalone word (not embedded
-/// in a longer identifier like `XXXL`).
-fn has_marker_word(text: &str, marker: &str) -> bool {
+/// Word-boundary occurrences of `marker` in `text` (not embedded in a
+/// longer identifier like `XXXL`): the byte offset just past each match.
+fn marker_ends(text: &str, marker: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
     let mut start = 0usize;
-    while let Some(i) = text[start..].find(marker) {
+    while let Some(i) = text.get(start..).and_then(|t| t.find(marker)) {
         let at = start + i;
-        let before_ok = at == 0 || !text.as_bytes()[at - 1].is_ascii_alphanumeric();
-        let after = at + marker.len();
-        let after_ok = after >= text.len() || !text.as_bytes()[after].is_ascii_alphanumeric();
+        let end = at + marker.len();
+        let before_ok = !at
+            .checked_sub(1)
+            .and_then(|p| bytes.get(p))
+            .is_some_and(|b| b.is_ascii_alphanumeric());
+        let after_ok = !bytes.get(end).is_some_and(|b| b.is_ascii_alphanumeric());
         if before_ok && after_ok {
-            return true;
+            out.push(end);
         }
-        start = at + marker.len();
+        start = end;
     }
-    false
+    out
+}
+
+/// True when the marker occurrence ending at byte `end` is attributed to
+/// an owner — the `TODO(name):` form, with a parenthesised identifier
+/// directly after the word. An owner is trackable enough to escape the
+/// issue-reference requirement.
+fn is_attributed(text: &str, end: usize) -> bool {
+    let Some(inner) = text.get(end..).and_then(|r| r.strip_prefix('(')) else {
+        return false;
+    };
+    let Some(close) = inner.find(')') else {
+        return false;
+    };
+    let (name, _) = inner.split_at(close);
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|ch| ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.'))
 }
 
 /// Check one file. Applies to every file kind — stale markers in tests
@@ -43,14 +67,22 @@ fn has_marker_word(text: &str, marker: &str) -> bool {
 pub fn check(file: &SourceFile) -> Vec<Finding> {
     let mut out = Vec::new();
     for c in &file.lexed.comments {
-        let marked = MARKERS.iter().any(|m| has_marker_word(&c.text, m));
-        if marked && !has_reference(&c.text) {
+        if has_reference(&c.text) {
+            continue;
+        }
+        let bare = MARKERS.iter().any(|m| {
+            marker_ends(&c.text, m)
+                .into_iter()
+                .any(|end| !is_attributed(&c.text, end))
+        });
+        if bare {
             out.push(Finding::new(
                 ID,
                 &file.path,
                 c.line,
                 "to-do marker without an issue reference; add `#<n>`, an \
-                 `issues/` link, an ISSUE.md pointer, or a URL",
+                 `issues/` link, an ISSUE.md pointer, a URL, or an owner \
+                 (`TODO(name):`)",
             ));
         }
     }
@@ -84,9 +116,27 @@ mod tests {
     }
 
     #[test]
+    fn attributed_markers_pass() {
+        assert!(lint("// TODO(keogh): revisit the band choice\nfn f() {}\n").is_empty());
+        assert!(lint("// FIXME(lint-team): wrong for n = 0\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn attribution_requires_a_name() {
+        assert_eq!(lint("// TODO(): tighten this bound\nfn f() {}\n").len(), 1);
+        assert_eq!(lint("// TODO (keogh): spaced paren\nfn f() {}\n").len(), 1);
+    }
+
+    #[test]
     fn prose_and_embedded_words_pass() {
         assert!(lint("// we keep a todo list elsewhere\nfn f() {}\n").is_empty());
         assert!(lint("// sizes go up to XXXL here\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn note_is_not_a_marker() {
+        assert!(lint("// NOTE: the band interval is half-open\nfn f() {}\n").is_empty());
+        assert!(lint("// NOTE this mirrors Figure 12\nfn f() {}\n").is_empty());
     }
 
     #[test]

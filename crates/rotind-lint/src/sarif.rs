@@ -1,0 +1,101 @@
+//! SARIF 2.1.0 output — the interchange format CI hosts ingest for
+//! code-scanning annotations.
+//!
+//! The emitter is deliberately minimal: one run, the full rule catalogue
+//! under `tool.driver.rules` (so hosts can show rule metadata even for
+//! rules with no findings), and one `result` per finding with a
+//! `physicalLocation` carrying the workspace-relative path and line.
+//! Everything is hand-serialised through [`crate::json::escape`]; the
+//! linter stays zero-dependency.
+
+use crate::findings::Finding;
+use crate::json::escape;
+use crate::rules::ALL_RULES;
+use std::fmt::Write as _;
+
+/// SARIF spec version emitted.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// Render findings as a SARIF 2.1.0 log (single run, trailing newline).
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    let _ = writeln!(out, "  \"version\": {},", escape(SARIF_VERSION));
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"rotind-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    let n_rules = ALL_RULES.len();
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{ \"id\": {}, \"shortDescription\": {{ \"text\": {} }} }}",
+            escape(rule.id),
+            escape(rule.summary)
+        );
+        out.push_str(if i + 1 < n_rules { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let n = findings.len();
+    for (i, f) in findings.iter().enumerate() {
+        let rule_index = ALL_RULES.iter().position(|r| r.id == f.rule);
+        out.push_str("        {\n");
+        let _ = writeln!(out, "          \"ruleId\": {},", escape(f.rule));
+        if let Some(idx) = rule_index {
+            let _ = writeln!(out, "          \"ruleIndex\": {idx},");
+        }
+        out.push_str("          \"level\": \"error\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{ \"text\": {} }},",
+            escape(&f.message)
+        );
+        let _ = writeln!(
+            out,
+            "          \"locations\": [ {{ \"physicalLocation\": {{ \
+             \"artifactLocation\": {{ \"uri\": {} }}, \
+             \"region\": {{ \"startLine\": {} }} }} }} ]",
+            escape(&f.path),
+            f.line.max(1)
+        );
+        out.push_str("        }");
+        out.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_still_carries_the_rule_catalogue() {
+        let s = render(&[]);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"rotind-lint\""));
+        for rule in ALL_RULES {
+            assert!(s.contains(&escape(rule.id)), "missing rule {}", rule.id);
+        }
+        assert!(s.contains("\"results\": [\n      ]"), "empty results array");
+    }
+
+    #[test]
+    fn findings_become_results_with_locations() {
+        let f = Finding::new("no-panic", "crates/a/src/lib.rs", 7, "don't");
+        let s = render(&[f]);
+        assert!(s.contains("\"ruleId\": \"no-panic\""));
+        assert!(s.contains("\"uri\": \"crates/a/src/lib.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(s.contains("\"ruleIndex\": 0"), "no-panic is rule 0:\n{s}");
+    }
+
+    #[test]
+    fn messages_are_escaped() {
+        let f = Finding::new("no-print", "a.rs", 1, "say \"no\" to\nprints");
+        let s = render(&[f]);
+        assert!(s.contains("say \\\"no\\\" to\\nprints"));
+    }
+}

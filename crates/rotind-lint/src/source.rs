@@ -29,8 +29,15 @@ pub struct SourceFile {
     pub kind: FileKind,
     /// Token stream and comments.
     pub lexed: Lexed,
+    /// Parsed AST over the token stream (total: junk parses to opaque
+    /// nodes, so this always exists).
+    pub ast: crate::ast::File,
+    /// Symbols the file defines (functions and enums).
+    pub symbols: crate::symbols::SymbolTable,
     /// Whether this file is a crate root (`src/lib.rs`).
     pub is_crate_root: bool,
+    /// `// lint: witness-exempt(reason)` comments: (line, reason).
+    witness_exempts: Vec<(usize, String)>,
     /// 1-based inclusive line ranges covered by `#[cfg(test)]` / `#[test]`
     /// items.
     test_spans: Vec<(usize, usize)>,
@@ -56,12 +63,22 @@ impl SourceFile {
                     .insert(rule);
             }
         }
+        let witness_exempts = lexed
+            .comments
+            .iter()
+            .filter_map(|c| parse_witness_exempt(&c.text).map(|r| (c.line, r)))
+            .collect();
+        let ast = crate::ast::parse(&lexed.tokens);
+        let symbols = crate::symbols::collect(&ast);
         let is_crate_root = path.ends_with("src/lib.rs") || path == "lib.rs";
         SourceFile {
             path: path.to_string(),
             kind,
             lexed,
+            ast,
+            symbols,
             is_crate_root,
+            witness_exempts,
             test_spans,
             allows,
         }
@@ -86,6 +103,17 @@ impl SourceFile {
     /// Tokens of the file (convenience).
     pub fn tokens(&self) -> &[Token] {
         &self.lexed.tokens
+    }
+
+    /// The first `// lint: witness-exempt(reason)` comment whose line
+    /// falls in `lo..=hi` (typically: the line above a lower-bound fn's
+    /// signature through the end of its body). The reason may be empty —
+    /// the lb-witness rule rejects that separately.
+    pub fn witness_exempt(&self, lo: usize, hi: usize) -> Option<(usize, &str)> {
+        self.witness_exempts
+            .iter()
+            .find(|(line, _)| lo <= *line && *line <= hi)
+            .map(|(line, reason)| (*line, reason.as_str()))
     }
 }
 
@@ -118,19 +146,30 @@ fn parse_allow(comment: &str) -> Vec<String> {
     let Some(idx) = comment.find("rotind-lint:") else {
         return Vec::new();
     };
-    let rest = &comment[idx + "rotind-lint:".len()..];
-    let rest = rest.trim_start();
+    let (_, tail) = comment.split_at(idx + "rotind-lint:".len());
+    let rest = tail.trim_start();
     let Some(rest) = rest.strip_prefix("allow(") else {
         return Vec::new();
     };
     let Some(close) = rest.find(')') else {
         return Vec::new();
     };
-    rest[..close]
-        .split(',')
+    let (list, _) = rest.split_at(close);
+    list.split(',')
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
         .collect()
+}
+
+/// Parse `lint: witness-exempt(reason)` out of a comment. Returns the
+/// (possibly empty) reason when the marker is present.
+fn parse_witness_exempt(comment: &str) -> Option<String> {
+    let idx = comment.find("lint: witness-exempt")?;
+    let (_, tail) = comment.split_at(idx + "lint: witness-exempt".len());
+    let rest = tail.trim_start().strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let (reason, _) = rest.split_at(close);
+    Some(reason.trim().to_string())
 }
 
 /// Scan the token stream for `#[cfg(test)]` / `#[cfg(all(test, …))]` /
@@ -266,6 +305,18 @@ mod tests {
         assert!(!f.allowed("no-panic", 3));
         assert!(f.allowed("float-eq", 3));
         assert!(f.allowed("no-index", 3));
+    }
+
+    #[test]
+    fn witness_exempt_parsed_with_reason_and_range() {
+        let src = "// lint: witness-exempt(accessor, returns a precomputed wedge)\npub fn lb_wedge() {}\nfn plain() {}\n// lint: witness-exempt()\nfn lb_bare() {}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        let (line, reason) = f.witness_exempt(1, 2).unwrap();
+        assert_eq!(line, 1);
+        assert!(reason.starts_with("accessor"));
+        assert!(f.witness_exempt(2, 3).is_none());
+        // Empty reason is surfaced, not dropped.
+        assert_eq!(f.witness_exempt(4, 5), Some((4, "")));
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Per-file symbol table: the functions and enums a parsed file defines,
+//! flattened out of the item tree so rules can look them up by name
+//! without re-walking the AST.
+//!
+//! The cross-file `exhaustive-invariance` rule unions the enum tables of
+//! every file in the scan unit to learn the variant set of `Invariance`
+//! (fixtures carry their own definition, the workspace's lives in
+//! `rotind-index/src/engine.rs`); `lb-witness` uses the function table
+//! for delegation targets.
+
+use crate::ast::{File, FnDecl, Item, ItemKind, Span};
+
+/// One function definition.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Whether any visibility qualifier is present.
+    pub is_pub: bool,
+    /// Span of the whole item (attributes included).
+    pub item_span: Span,
+    /// Span of the body block, when the fn has one.
+    pub body_span: Option<Span>,
+}
+
+/// One enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumSym {
+    /// Enum name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// All symbols a file defines.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Function definitions, in source order (nested items included).
+    pub fns: Vec<FnSym>,
+    /// Enum definitions, in source order.
+    pub enums: Vec<EnumSym>,
+}
+
+impl SymbolTable {
+    /// Look up an enum by name.
+    pub fn enum_named(&self, name: &str) -> Option<&EnumSym> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+
+    /// True when the table defines a function called `name`.
+    pub fn has_fn(&self, name: &str) -> bool {
+        self.fns.iter().any(|f| f.name == name)
+    }
+}
+
+/// Collect the symbols of a parsed file.
+pub fn collect(file: &File) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    collect_items(&file.items, &mut table);
+    table
+}
+
+fn collect_items(items: &[Item], table: &mut SymbolTable) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(decl) => push_fn(decl, item.span, table),
+            ItemKind::Enum(e) => table.enums.push(EnumSym {
+                name: e.name.clone(),
+                variants: e.variants.clone(),
+            }),
+            ItemKind::Mod(inner) | ItemKind::Impl(inner) | ItemKind::Trait(inner) => {
+                collect_items(inner, table)
+            }
+            ItemKind::Other => {}
+        }
+    }
+}
+
+fn push_fn(decl: &FnDecl, item_span: Span, table: &mut SymbolTable) {
+    table.fns.push(FnSym {
+        name: decl.name.clone(),
+        line: decl.name_line,
+        is_pub: decl.is_pub,
+        item_span,
+        body_span: decl.body.as_ref().map(|b| b.span),
+    });
+    // Nested fns (closur-free helper fns inside a body) also count as
+    // definitions; walk the body's item statements.
+    if let Some(body) = &decl.body {
+        for stmt in &body.stmts {
+            if let crate::ast::StmtKind::Item(item) = &stmt.kind {
+                collect_items(std::slice::from_ref(item), table);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::lexer::lex;
+
+    fn table(src: &str) -> SymbolTable {
+        collect(&parse(&lex(src).tokens))
+    }
+
+    #[test]
+    fn fns_and_enums_collected() {
+        let t = table(
+            "pub fn a() {}\nenum E { X, Y }\nmod m { impl S { fn b(&self) {} } }\ntrait T { fn c(&self); }\n",
+        );
+        let names: Vec<_> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(t.fns[0].is_pub);
+        assert!(!t.fns[1].is_pub);
+        assert!(t.fns[2].body_span.is_none());
+        assert_eq!(t.enum_named("E").map(|e| e.variants.len()), Some(2));
+        assert!(t.has_fn("b"));
+        assert!(!t.has_fn("missing"));
+    }
+
+    #[test]
+    fn nested_fn_in_body_collected() {
+        let t = table("fn outer() { fn inner() {} inner(); }\n");
+        let names: Vec<_> = t.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: Relaxed loads feeding dismissal comparisons (inline and via a
+// let binding) and a Relaxed CAS on the shared radius.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn prune_inline(shared_radius: &AtomicU64, lb_bits: u64) -> bool {
+    lb_bits > shared_radius.load(Ordering::Relaxed)
+}
+
+fn prune_via_binding(shared_radius: &AtomicU64, lb_bits: u64) -> bool {
+    let snapshot = shared_radius.load(Ordering::Relaxed);
+    lb_bits > snapshot
+}
+
+fn tighten(shared_radius: &AtomicU64, new_bits: u64) {
+    let _ = shared_radius.compare_exchange_weak(
+        0,
+        new_bits,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+}

@@ -1,0 +1,23 @@
+// Fixture: the correct protocol — Acquire loads for dismissal decisions,
+// AcqRel/Acquire CAS for tightening — and a Relaxed generation stamp
+// whose value never reaches a comparison.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn prune(shared_radius: &AtomicU64, lb_bits: u64) -> bool {
+    let snapshot = shared_radius.load(Ordering::Acquire);
+    lb_bits > snapshot
+}
+
+fn tighten(shared_radius: &AtomicU64, new_bits: u64) {
+    let _ = shared_radius.compare_exchange_weak(
+        0,
+        new_bits,
+        Ordering::AcqRel,
+        Ordering::Acquire,
+    );
+}
+
+fn stamp(generation: &AtomicU64) -> u64 {
+    generation.fetch_add(1, Ordering::Relaxed);
+    generation.load(Ordering::Relaxed)
+}

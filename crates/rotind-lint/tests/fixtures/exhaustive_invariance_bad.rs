@@ -1,0 +1,23 @@
+// Fixture: matches on `Invariance` hiding variants — a `_` catch-all and
+// a match missing a named variant.
+pub enum Invariance {
+    Rotation,
+    RotationMirror,
+    RotationLimited { max_shift: usize },
+    RotationLimitedMirror { max_shift: usize },
+}
+
+fn matrix_rows(v: &Invariance) -> usize {
+    match v {
+        Invariance::Rotation => 1,
+        _ => 2,
+    }
+}
+
+fn mirrored(v: &Invariance) -> bool {
+    match v {
+        Invariance::RotationMirror => true,
+        Invariance::RotationLimitedMirror { .. } => true,
+        Invariance::Rotation => false,
+    }
+}

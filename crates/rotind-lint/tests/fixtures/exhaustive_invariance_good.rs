@@ -1,0 +1,25 @@
+// Fixture: every match on `Invariance` names all four variants (guard
+// duplicates are fine); matches on other enums keep their wildcards.
+pub enum Invariance {
+    Rotation,
+    RotationMirror,
+    RotationLimited { max_shift: usize },
+    RotationLimitedMirror { max_shift: usize },
+}
+
+fn matrix_rows(v: &Invariance) -> usize {
+    match v {
+        Invariance::Rotation => 1,
+        Invariance::RotationMirror => 2,
+        Invariance::RotationLimited { max_shift } if *max_shift == 0 => 1,
+        Invariance::RotationLimited { .. } => 1,
+        Invariance::RotationLimitedMirror { .. } => 2,
+    }
+}
+
+fn unrelated(o: Option<usize>) -> usize {
+    match o {
+        Some(n) => n,
+        _ => 0,
+    }
+}

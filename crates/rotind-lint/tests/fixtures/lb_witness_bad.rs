@@ -1,0 +1,18 @@
+// Fixture: lower bounds with no admissibility witness — one bare, one
+// hiding behind an exemption that gives no reason.
+fn lb_unwitnessed(q: &[f64], upper: &[f64]) -> f64 {
+    q.iter()
+        .zip(upper)
+        .map(|(x, u)| if x > u { (x - u) * (x - u) } else { 0.0 })
+        .sum::<f64>()
+        .sqrt()
+}
+
+// lint: witness-exempt()
+fn lb_unjustified(q: &[f64]) -> f64 {
+    q.iter().sum()
+}
+
+fn caller(q: &[f64], upper: &[f64]) -> f64 {
+    lb_unwitnessed(q, upper) + lb_unjustified(q)
+}

@@ -1,0 +1,29 @@
+// Fixture: the three legitimate shapes — a direct debug_assert witness,
+// delegation to a witnessed bound, and a reasoned exemption.
+fn lb_direct(q: &[f64], upper: &[f64], true_distance: f64) -> f64 {
+    let lb = q
+        .iter()
+        .zip(upper)
+        .map(|(x, u)| if x > u { (x - u) * (x - u) } else { 0.0 })
+        .sum::<f64>()
+        .sqrt();
+    debug_assert!(
+        lb <= true_distance + 1e-6,
+        "bound exceeds the true distance"
+    );
+    lb
+}
+
+fn lb_delegating(q: &[f64], upper: &[f64], true_distance: f64) -> f64 {
+    lb_direct(q, upper, true_distance)
+}
+
+// lint: witness-exempt(accessor: returns a bound computed and witnessed by lb_direct)
+fn lb_cached(stash: &f64) -> f64 {
+    *stash
+}
+
+fn caller(q: &[f64], upper: &[f64]) -> f64 {
+    let d = 10.0;
+    lb_delegating(q, upper, d) + lb_cached(&d)
+}

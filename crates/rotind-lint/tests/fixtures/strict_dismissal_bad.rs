@@ -1,0 +1,20 @@
+// Fixture: inclusive dismissal — `>=`/`<=` against the radius or
+// best-so-far guarding a branch that throws the candidate away. Both
+// shapes drop candidates at exactly the boundary distance.
+fn scan(lbs: &[f64], r: f64) -> usize {
+    let mut admitted = 0;
+    for lb in lbs {
+        if *lb >= r {
+            continue;
+        }
+        admitted += 1;
+    }
+    admitted
+}
+
+fn verify(d: f64, best_so_far: f64) -> Option<f64> {
+    if best_so_far <= d {
+        return None;
+    }
+    Some(d)
+}

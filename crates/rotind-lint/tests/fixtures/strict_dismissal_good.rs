@@ -1,0 +1,25 @@
+// Fixture: the PR 3 convention — strict dismissal (`>`), inclusive
+// admission (`<=`). A candidate at exactly distance `r` survives both.
+fn scan(lbs: &[f64], r: f64) -> usize {
+    let mut admitted = 0;
+    for lb in lbs {
+        if *lb > r {
+            continue;
+        }
+        admitted += 1;
+    }
+    admitted
+}
+
+enum Verdict {
+    Admitted,
+    Pruned,
+}
+
+fn verdict(lb: f64, r: f64) -> Verdict {
+    if lb <= r {
+        Verdict::Admitted
+    } else {
+        Verdict::Pruned
+    }
+}

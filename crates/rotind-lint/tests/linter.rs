@@ -123,6 +123,69 @@ fn lb_coverage_fixture_pair() {
     assert_pair("lb-coverage", "lb_coverage_bad.rs", "lb_coverage_good.rs");
 }
 
+#[test]
+fn lb_witness_fixture_pair() {
+    let findings = lint_fixture("lb_witness_bad.rs");
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == "lb-witness").collect();
+    assert_eq!(hits.len(), 2, "bare fn + empty exemption: {hits:?}");
+    assert!(hits.iter().any(|f| f.message.contains("lb_unwitnessed")));
+    assert!(hits.iter().any(|f| f.message.contains("no reason")));
+    assert_pair("lb-witness", "lb_witness_bad.rs", "lb_witness_good.rs");
+}
+
+#[test]
+fn atomic_ordering_fixture_pair() {
+    let findings = lint_fixture("atomic_ordering_bad.rs");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "atomic-ordering")
+        .collect();
+    assert_eq!(hits.len(), 3, "two loads + one CAS: {hits:?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("via `let snapshot")),
+        "the binding-mediated load must name its binding: {hits:?}"
+    );
+    assert_pair(
+        "atomic-ordering",
+        "atomic_ordering_bad.rs",
+        "atomic_ordering_good.rs",
+    );
+}
+
+#[test]
+fn strict_dismissal_fixture_pair() {
+    let findings = lint_fixture("strict_dismissal_bad.rs");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "strict-dismissal")
+        .collect();
+    assert_eq!(hits.len(), 2, ">= r and best_so_far <=: {hits:?}");
+    assert_pair(
+        "strict-dismissal",
+        "strict_dismissal_bad.rs",
+        "strict_dismissal_good.rs",
+    );
+}
+
+#[test]
+fn exhaustive_invariance_fixture_pair() {
+    let findings = lint_fixture("exhaustive_invariance_bad.rs");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "exhaustive-invariance")
+        .collect();
+    assert_eq!(hits.len(), 2, "catch-all + missing variant: {hits:?}");
+    assert!(
+        hits.iter().any(|f| f.message.contains("RotationLimited")),
+        "the missing variant must be named: {hits:?}"
+    );
+    assert_pair(
+        "exhaustive-invariance",
+        "exhaustive_invariance_bad.rs",
+        "exhaustive_invariance_good.rs",
+    );
+}
+
 /// The committed ratchet file must be exactly what a fresh scan of the
 /// workspace produces in canonical form — no stale counts, no hand edits.
 /// (`--write-baseline` regenerates it; this test is what keeps it honest.)
@@ -201,7 +264,7 @@ fn binary_lists_every_rule() {
     for rule in ALL_RULES {
         assert!(stdout.contains(rule.id), "--list missing {}", rule.id);
     }
-    assert_eq!(ALL_RULES.len(), 9);
+    assert_eq!(ALL_RULES.len(), 13);
 }
 
 #[test]

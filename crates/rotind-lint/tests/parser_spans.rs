@@ -1,0 +1,162 @@
+//! Span round-trip guarantees for the AST parser.
+//!
+//! The span invariant ([`rotind_lint::ast::validate_spans`]): top-level
+//! items exactly partition the token stream, siblings are ordered and
+//! disjoint, and every child nests inside its parent — so each AST node
+//! covers exactly its source tokens. Verified two ways: deterministically
+//! over every `.rs` file the workspace scan loads (real code, the
+//! distribution that matters), and property-style over random token soup
+//! (the parser is total — junk must still produce a valid partition).
+
+use proptest::prelude::*;
+use rotind_lint::ast::{parse, validate_spans};
+use rotind_lint::lexer::lex;
+use rotind_lint::{walker, workspace_root};
+
+/// Parse one source string and check the span invariant.
+fn spans_hold(src: &str) -> Result<(), String> {
+    let lexed = lex(src);
+    let file = parse(&lexed.tokens);
+    validate_spans(&file)
+}
+
+#[test]
+fn every_workspace_file_round_trips() {
+    let files = walker::load_workspace(workspace_root()).expect("workspace walk");
+    assert!(files.len() > 100, "workspace should have >100 .rs files");
+    for f in &files {
+        validate_spans(&f.ast)
+            .unwrap_or_else(|e| panic!("span invariant broken in {}: {e}", f.path));
+        assert_eq!(
+            f.ast.n_tokens,
+            f.tokens().len(),
+            "{}: AST token count drifted from the lexer",
+            f.path
+        );
+    }
+}
+
+#[test]
+fn fixture_files_round_trip() {
+    let root = workspace_root();
+    let fixtures = root.join("crates/rotind-lint/tests/fixtures");
+    let files = walker::load_paths(root, &[fixtures]).expect("fixture walk");
+    assert!(!files.is_empty());
+    for f in &files {
+        validate_spans(&f.ast)
+            .unwrap_or_else(|e| panic!("span invariant broken in {}: {e}", f.path));
+    }
+}
+
+/// Vocabulary for random token soup: enough structure to reach every
+/// parser path (items, blocks, exprs, generics, macros) and enough junk
+/// to exercise the `Other`/`Opaque` fallbacks.
+const VOCAB: &[&str] = &[
+    "fn",
+    "pub",
+    "enum",
+    "struct",
+    "impl",
+    "mod",
+    "match",
+    "if",
+    "else",
+    "while",
+    "for",
+    "in",
+    "let",
+    "return",
+    "break",
+    "continue",
+    "loop",
+    "where",
+    "unsafe",
+    "trait",
+    "use",
+    "crate",
+    "f",
+    "g",
+    "x",
+    "y",
+    "Invariance",
+    "Rotation",
+    "Some",
+    "None",
+    "self",
+    "Self",
+    "u64",
+    "f64",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    "::",
+    ":",
+    ";",
+    ",",
+    ".",
+    "=>",
+    "->",
+    "=",
+    "==",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "!",
+    "&",
+    "*",
+    "+",
+    "-",
+    "/",
+    "#",
+    "'a",
+    "0",
+    "1",
+    "2.5",
+    "\"s\"",
+    "..",
+    "..=",
+    "|",
+    "_",
+    "?",
+    "@",
+    "$",
+];
+
+fn soup(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..VOCAB.len(), 0..max_len).prop_map(|picks| {
+        let words: Vec<&str> = picks
+            .into_iter()
+            .filter_map(|i| VOCAB.get(i).copied())
+            .collect();
+        words.join(" ")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_token_soup_is_totally_parsed_with_valid_spans(src in soup(120)) {
+        prop_assert!(spans_hold(&src).is_ok(), "invariant broken on: {src}");
+    }
+
+    #[test]
+    fn soup_inside_a_fn_body_keeps_the_invariant(src in soup(60)) {
+        let wrapped = format!("pub fn lb_f(q: &[f64]) -> f64 {{ {src} }}\nfn g() {{}}\n");
+        prop_assert!(spans_hold(&wrapped).is_ok(), "invariant broken on: {wrapped}");
+    }
+
+    #[test]
+    fn soup_in_match_arms_keeps_the_invariant(src in soup(40)) {
+        let wrapped = format!(
+            "fn f(v: Invariance) -> usize {{ match v {{ Invariance::Rotation => 1, _ => {{ {src} }} }} }}"
+        );
+        prop_assert!(spans_hold(&wrapped).is_ok(), "invariant broken on: {wrapped}");
+    }
+}

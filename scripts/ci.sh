@@ -14,8 +14,21 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> rotind-lint --self-check (the linter gates its own crate first)"
+cargo run -q -p rotind-lint -- --self-check
+
 echo "==> rotind-lint (project rules, ratcheted against lint-baseline.json)"
-cargo run -q -p rotind-lint
+# In SARIF mode the document goes to stdout and the gate verdict to
+# stderr, so results/lint.sarif is a clean artifact and set -e still
+# fails the script on any new finding.
+mkdir -p results
+cargo run -q -p rotind-lint -- --format sarif > results/lint.sarif
+python3 - <<'PY'
+import json
+doc = json.load(open("results/lint.sarif"))
+n = len(doc["runs"][0]["results"])
+print(f"results/lint.sarif: SARIF {doc['version']}, {n} result(s)")
+PY
 
 echo "==> cargo build --release"
 cargo build --release
