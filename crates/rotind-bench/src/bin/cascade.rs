@@ -1,0 +1,220 @@
+//! Bound-cascade ablation: run the same 1-NN workload under a ladder of
+//! [`CascadeConfig`]s — from the legacy natural-order LB_Keogh scan to
+//! the full four-tier cascade — and report, per configuration and
+//! measure, the total `num_steps`, steps and wall-clock per query, the
+//! steps-per-pair exponent (`ln(steps/pair)/ln(n)`, the paper's §5.3
+//! framing) and the per-tier tested/pruned counts from [`QueryTrace`].
+//!
+//! Besides the usual CSV table, the run writes machine-readable
+//! `results/bench_cascade.json` for CI trending. `ROTIND_QUICK=1`
+//! shrinks the workload for smoke runs.
+//!
+//! [`CascadeConfig`]: rotind_index::CascadeConfig
+//! [`QueryTrace`]: rotind_obs::QueryTrace
+
+use rotind_distance::dtw::DtwParams;
+use rotind_distance::measure::Measure;
+use rotind_eval::report::Table;
+use rotind_index::engine::{Invariance, RotationQuery};
+use rotind_index::CascadeConfig;
+use rotind_obs::{CascadeTier, QueryTrace};
+use rotind_shape::dataset as shapes;
+use rotind_ts::StepCounter;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The ablation ladder: each rung adds one cascade feature, all under
+/// the tuned default gates of [`CascadeConfig::all`].
+fn ladder() -> Vec<(&'static str, CascadeConfig)> {
+    let full = CascadeConfig::all();
+    let reduced = CascadeConfig {
+        improved: false,
+        ..full
+    };
+    let kim = CascadeConfig {
+        reduced: false,
+        ..reduced
+    };
+    let reorder = CascadeConfig { kim: false, ..kim };
+    vec![
+        ("legacy", CascadeConfig::legacy()),
+        ("reorder", reorder),
+        ("+kim", kim),
+        ("+reduced", reduced),
+        ("full", full),
+    ]
+}
+
+struct Run {
+    measure: &'static str,
+    config: &'static str,
+    total_steps: u64,
+    steps_per_query: f64,
+    micros_per_query: f64,
+    exponent: f64,
+    tier_tested: [u64; CascadeTier::ALL.len()],
+    tier_pruned: [u64; CascadeTier::ALL.len()],
+}
+
+fn run_config(
+    name: &'static str,
+    config: CascadeConfig,
+    measure_name: &'static str,
+    measure: Measure,
+    db: &[Vec<f64>],
+    queries: &[Vec<f64>],
+    n: usize,
+) -> Run {
+    let mut trace = QueryTrace::new(n);
+    let mut total_steps = 0u64;
+    let start = Instant::now();
+    for query in queries {
+        let engine = RotationQuery::with_measure(query, Invariance::Rotation, measure)
+            .expect("valid query")
+            .with_cascade(config);
+        let mut counter = StepCounter::new();
+        engine
+            .nearest_observed(db, &mut counter, &mut trace)
+            .expect("valid database");
+        total_steps += counter.steps();
+    }
+    let elapsed = start.elapsed();
+    let pairs = (db.len() * queries.len()) as f64;
+    let steps_per_pair = total_steps as f64 / pairs;
+    let mut tier_tested = [0u64; CascadeTier::ALL.len()];
+    let mut tier_pruned = [0u64; CascadeTier::ALL.len()];
+    for tier in CascadeTier::ALL {
+        tier_tested[tier.index()] = trace.tier_tested(tier);
+        tier_pruned[tier.index()] = trace.tier_pruned(tier);
+    }
+    Run {
+        measure: measure_name,
+        config: name,
+        total_steps,
+        steps_per_query: total_steps as f64 / queries.len() as f64,
+        micros_per_query: elapsed.as_secs_f64() * 1e6 / queries.len() as f64,
+        exponent: steps_per_pair.max(1.0).ln() / (n as f64).ln(),
+        tier_tested,
+        tier_pruned,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s.chars().all(|c| c.is_ascii_graphic() && c != '"'));
+    s
+}
+
+fn write_json(runs: &[Run], m: usize, n: usize, queries: usize) -> String {
+    // Hand-rolled JSON (the workspace vendors no serializer): flat,
+    // machine-readable, one object per (measure, config) run.
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{ \"m\": {m}, \"n\": {n}, \"queries\": {queries} }},"
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"measure\": \"{}\", \"config\": \"{}\", \"total_steps\": {}, \
+             \"steps_per_query\": {:.1}, \"micros_per_query\": {:.1}, \"exponent\": {:.4}, \
+             \"tiers\": {{",
+            json_escape_free(r.measure),
+            json_escape_free(r.config),
+            r.total_steps,
+            r.steps_per_query,
+            r.micros_per_query,
+            r.exponent
+        );
+        for (j, tier) in CascadeTier::ALL.iter().enumerate() {
+            let tested = r.tier_tested[tier.index()];
+            let pruned = r.tier_pruned[tier.index()];
+            let rate = if tested > 0 {
+                pruned as f64 / tested as f64
+            } else {
+                0.0
+            };
+            let _ = write!(
+                out,
+                "{}\"{}\": {{ \"tested\": {tested}, \"pruned\": {pruned}, \"prune_rate\": {rate:.4} }}",
+                if j > 0 { ", " } else { " " },
+                tier.name()
+            );
+        }
+        let _ = writeln!(out, " }} }}{}", if i + 1 < runs.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let quick = rotind_bench::quick_mode();
+    let (m, n, queries) = if quick { (200, 64, 3) } else { (2000, 251, 10) };
+    println!("cascade ablation over m = {m} projectile points (n = {n}), {queries} queries");
+
+    let pool = shapes::projectile_points(m + queries, n, 1906).items;
+    let db = &pool[..m];
+    let queries_set = &pool[m..];
+
+    let band = 5.min(n - 1);
+    let measures: [(&'static str, Measure); 2] = [
+        ("euclidean", Measure::Euclidean),
+        ("dtw", Measure::Dtw(DtwParams::new(band))),
+    ];
+
+    let mut runs = Vec::new();
+    for (measure_name, measure) in measures {
+        for (config_name, config) in ladder() {
+            let run = run_config(
+                config_name,
+                config,
+                measure_name,
+                measure,
+                db,
+                queries_set,
+                n,
+            );
+            println!(
+                "  {measure_name:>9} {config_name:>9}: {:>12} steps  ({:.0} steps/query, {:.0} us/query, exponent {:.3})",
+                run.total_steps, run.steps_per_query, run.micros_per_query, run.exponent
+            );
+            runs.push(run);
+        }
+    }
+
+    let mut table = Table::new([
+        "measure",
+        "config",
+        "total_steps",
+        "steps_per_query",
+        "us_per_query",
+        "exponent",
+        "kim_pruned",
+        "reduced_pruned",
+        "keogh_pruned",
+        "improved_pruned",
+    ]);
+    for r in &runs {
+        table.push_row([
+            r.measure.to_string(),
+            r.config.to_string(),
+            r.total_steps.to_string(),
+            format!("{:.1}", r.steps_per_query),
+            format!("{:.1}", r.micros_per_query),
+            format!("{:.4}", r.exponent),
+            r.tier_pruned[CascadeTier::Kim.index()].to_string(),
+            r.tier_pruned[CascadeTier::Reduced.index()].to_string(),
+            r.tier_pruned[CascadeTier::Keogh.index()].to_string(),
+            r.tier_pruned[CascadeTier::Improved.index()].to_string(),
+        ]);
+    }
+    rotind_bench::emit("bench_cascade", &table);
+
+    let json = write_json(&runs, m, n, queries);
+    let path = rotind_bench::results_dir().join("bench_cascade.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
+    }
+}

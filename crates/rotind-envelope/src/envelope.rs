@@ -32,28 +32,72 @@ pub fn envelope_of<S: AsRef<[f64]>>(series: &[S]) -> (Vec<f64>, Vec<f64>) {
 /// This is the paper's `DTW_U_i = max(U_{i−R} : U_{i+R})` (Section 4.3).
 /// Implemented with a monotonic deque in `O(n)`.
 pub fn sliding_max(xs: &[f64], r: usize) -> Vec<f64> {
-    sliding_extreme(xs, r, |a, b| a >= b)
+    let mut scratch = SlidingScratch::new();
+    let mut out = Vec::new();
+    sliding_max_into(xs, r, &mut scratch, &mut out);
+    out
 }
 
 /// Sliding-window minimum, the mirror image of [`sliding_max`]
 /// (`DTW_L_i = min(L_{i−R} : L_{i+R})`).
 pub fn sliding_min(xs: &[f64], r: usize) -> Vec<f64> {
-    sliding_extreme(xs, r, |a, b| a <= b)
+    let mut scratch = SlidingScratch::new();
+    let mut out = Vec::new();
+    sliding_min_into(xs, r, &mut scratch, &mut out);
+    out
+}
+
+/// Reusable workspace for the monotonic-deque kernel. One instance can
+/// serve any number of [`sliding_max_into`] / [`sliding_min_into`] calls
+/// of any length; the deque's backing storage is retained between calls
+/// so a loop over many envelopes (the hierarchy build, for instance)
+/// performs no per-call allocation beyond the output it keeps.
+#[derive(Debug, Default)]
+pub struct SlidingScratch {
+    deque: std::collections::VecDeque<usize>,
+}
+
+impl SlidingScratch {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Buffer-reusing form of [`sliding_max`]: clears `out` and fills it
+/// with the windowed maxima, reusing both `out`'s capacity and the
+/// deque inside `scratch`.
+pub fn sliding_max_into(xs: &[f64], r: usize, scratch: &mut SlidingScratch, out: &mut Vec<f64>) {
+    sliding_extreme_into(xs, r, |a, b| a >= b, scratch, out);
+}
+
+/// Buffer-reusing form of [`sliding_min`].
+pub fn sliding_min_into(xs: &[f64], r: usize, scratch: &mut SlidingScratch, out: &mut Vec<f64>) {
+    sliding_extreme_into(xs, r, |a, b| a <= b, scratch, out);
 }
 
 /// Shared monotonic-deque kernel; `dominates(a, b)` is `a >= b` for max,
 /// `a <= b` for min.
-fn sliding_extreme(xs: &[f64], r: usize, dominates: fn(f64, f64) -> bool) -> Vec<f64> {
+fn sliding_extreme_into(
+    xs: &[f64],
+    r: usize,
+    dominates: fn(f64, f64) -> bool,
+    scratch: &mut SlidingScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     let n = xs.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if r == 0 {
-        return xs.to_vec();
+        out.extend_from_slice(xs);
+        return;
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     // Deque of indices whose values decrease (for max) front-to-back.
-    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let deque = &mut scratch.deque;
+    deque.clear();
     // Window for position i is [i-r, i+r]; slide the right edge.
     let mut right = 0usize;
     for i in 0..n {
@@ -82,7 +126,6 @@ fn sliding_extreme(xs: &[f64], r: usize, dominates: fn(f64, f64) -> bool) -> Vec
         // rotind-lint: allow(no-panic)
         out.push(xs[*deque.front().expect("window is non-empty")]);
     }
-    out
 }
 
 #[cfg(test)]
@@ -184,6 +227,24 @@ mod tests {
                 assert!(l[i] <= xs[i] && xs[i] <= u[i]);
             }
         }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_allocating_forms() {
+        let mut scratch = SlidingScratch::new();
+        let mut out = vec![99.0; 7]; // stale content must be discarded
+        let xs: Vec<f64> = (0..64).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+        for r in [0usize, 1, 4, 63, 80] {
+            sliding_max_into(&xs, r, &mut scratch, &mut out);
+            assert_eq!(out, sliding_max(&xs, r), "max r={r}");
+            sliding_min_into(&xs, r, &mut scratch, &mut out);
+            assert_eq!(out, sliding_min(&xs, r), "min r={r}");
+        }
+        // Shrinking input: out must shrink with it, not keep a stale tail.
+        sliding_max_into(&[1.0, 2.0], 1, &mut scratch, &mut out);
+        assert_eq!(out, vec![2.0, 2.0]);
+        sliding_min_into(&[], 3, &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

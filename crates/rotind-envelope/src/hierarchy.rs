@@ -69,7 +69,14 @@ impl WedgeTree {
             let w = Wedge::merge(&wedges[merge.left], &wedges[merge.right]);
             wedges.push(w);
         }
-        let lb_wedges = (band > 0).then(|| wedges.iter().map(|w| w.widened(band)).collect());
+        let lb_wedges = (band > 0).then(|| {
+            // One deque workspace serves all 2·rows − 1 widenings.
+            let mut scratch = crate::envelope::SlidingScratch::new();
+            wedges
+                .iter()
+                .map(|w| w.widened_with(band, &mut scratch))
+                .collect()
+        });
         WedgeTree {
             matrix,
             dendrogram,

@@ -137,6 +137,230 @@ pub fn lb_keogh_early_abandon_at(
     Ok(lb)
 }
 
+/// `LB_Kim`-style endpoint bound (cascade tier 1): the `LB_Keogh` sum
+/// restricted to the first and last positions, hence computable in
+/// `O(1)` with no per-candidate preparation.
+///
+/// Admissibility: the two terms are a subset of the `LB_Keogh` terms, so
+/// `lb_kim(Q, W) ≤ LB_Keogh(Q, W) ≤ d(Q, Cs)` for every member `Cs` —
+/// under Euclidean distance directly, and under banded DTW when `W` is
+/// the band-widened envelope, because every warping path contains the
+/// boundary cells `(0, 0)` and `(n−1, n−1)` and widening covers the
+/// in-band neighbours of each endpoint. The classic LB_Kim also uses
+/// global min/max terms; those are omitted here because extracting the
+/// candidate's extrema would cost `O(n)` per candidate, defeating the
+/// point of a constant-time first tier.
+///
+/// Two steps are charged (one for a length-1 series).
+pub fn lb_kim(q: &[f64], wedge: &Wedge, counter: &mut StepCounter) -> f64 {
+    assert_eq!(q.len(), wedge.len(), "lb_kim: length mismatch");
+    let n = q.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let gap = |x: f64, u: f64, l: f64| {
+        if x > u {
+            x - u
+        } else if x < l {
+            l - x
+        } else {
+            0.0
+        }
+    };
+    counter.tick();
+    let first = gap(q[0], wedge.upper()[0], wedge.lower()[0]);
+    let mut acc = first * first;
+    if n > 1 {
+        counter.tick();
+        let last = gap(q[n - 1], wedge.upper()[n - 1], wedge.lower()[n - 1]);
+        acc += last * last;
+    }
+    let lb = acc.sqrt();
+    // Witness: the endpoint sum can never exceed the full LB_Keogh sum
+    // (whose own witness covers the envelope argument).
+    #[cfg(debug_assertions)]
+    debug_assert_admissible(lb, lb_keogh(q, wedge, &mut StepCounter::new()));
+    lb
+}
+
+/// Reordered early-abandoning `LB_Keogh` (cascade tier 3): identical sum
+/// to [`lb_keogh_early_abandon_at`], but the terms are accumulated in
+/// the wedge's precomputed decreasing expected-contribution order
+/// ([`Wedge::abandon_order`]) so the `r` threshold is typically crossed
+/// after a handful of terms. `Err(k)` reports the number of *terms*
+/// consumed (not a series position). The completed sum is mathematically
+/// the same as the natural-order one but may differ in the last float
+/// bits, so exact-distance paths (Euclidean singleton leaves, where the
+/// bound *is* the returned distance) must keep the natural order.
+pub fn lb_keogh_reordered_early_abandon_at(
+    q: &[f64],
+    wedge: &Wedge,
+    r: f64,
+    counter: &mut StepCounter,
+) -> Result<f64, usize> {
+    assert_eq!(q.len(), wedge.len(), "lb_keogh reordered: length mismatch");
+    let r2 = r * r;
+    let upper = wedge.upper();
+    let lower = wedge.lower();
+    let mut acc = 0.0;
+    for (k, &oi) in wedge.abandon_order().iter().enumerate() {
+        let i = oi as usize;
+        let x = q[i];
+        counter.tick();
+        if x > upper[i] {
+            let d = x - upper[i];
+            acc += d * d;
+        } else if x < lower[i] {
+            let d = x - lower[i];
+            acc += d * d;
+        }
+        if acc > r2 && acc.sqrt() > r {
+            return Err(k + 1);
+        }
+    }
+    let lb = acc.sqrt();
+    #[cfg(debug_assertions)]
+    {
+        let ed = |w: &[f64]| {
+            q.iter()
+                .zip(w)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        };
+        debug_assert_admissible(lb, ed(upper));
+        debug_assert_admissible(lb, ed(lower));
+    }
+    Ok(lb)
+}
+
+thread_local! {
+    /// Projection + sliding-window buffers for the LB_Improved second
+    /// pass, reused across calls (once per surviving candidate/wedge
+    /// pair on the DTW hot path).
+    static IMPROVED_SCRATCH: std::cell::RefCell<ImprovedScratch> =
+        std::cell::RefCell::new(ImprovedScratch::default());
+}
+
+#[derive(Default)]
+struct ImprovedScratch {
+    proj: Vec<f64>,
+    proj_up: Vec<f64>,
+    proj_lo: Vec<f64>,
+    win: crate::envelope::SlidingScratch,
+}
+
+/// `LB_Improved` (Lemire's two-pass bound, arXiv:0811.3301, generalised
+/// from single series to wedges — cascade tier 4): the first pass is
+/// `LB_Keogh(Q, W^R)` against the band-widened envelope; the second pass
+/// projects the candidate onto that envelope (`hᵢ = clamp(qᵢ, L^R_i,
+/// U^R_i)`), widens the projection by the band, and adds the gap between
+/// the *plain* envelope `[L_j, U_j]` and the widened projection interval
+/// at every position. The total never falls below the first pass alone.
+///
+/// Admissibility (Proposition 2 extended): for any member `Cs` and any
+/// in-band warping-path cell `(i, j)` (`|i−j| ≤ R`, so `Cs_j ∈ [L_j,
+/// U_j] ⊆ [L^R_i, U^R_i]`), `qᵢ − hᵢ` and `hᵢ − Cs_j` share a sign,
+/// hence `(qᵢ − Cs_j)² ≥ (qᵢ − hᵢ)² + (hᵢ − Cs_j)²`. Summing over the
+/// path, the first addend dominates the first pass (every `i` occurs on
+/// the path) and the second dominates the second pass (every `j` occurs
+/// with some in-band `i`, and `min_{|i−j|≤R} (hᵢ − Cs_j)²` is at least
+/// the interval-to-interval gap accumulated here). With `R = 0` the
+/// projection lies inside the plain envelope and the second pass is
+/// identically zero — the bound is only worth running for DTW.
+///
+/// Charges one step per position in each pass plus `n` for building the
+/// projection envelope.
+///
+/// # Panics
+///
+/// Panics when the lengths of `q`, `wedge` and `lb_wedge` differ.
+pub fn lb_improved(
+    q: &[f64],
+    wedge: &Wedge,
+    lb_wedge: &Wedge,
+    band: usize,
+    counter: &mut StepCounter,
+) -> f64 {
+    let first = lb_keogh(q, lb_wedge, counter);
+    lb_improved_second_pass(
+        q,
+        wedge,
+        lb_wedge,
+        band,
+        first * first,
+        f64::INFINITY,
+        counter,
+    )
+    // Invariant: an infinite radius never dismisses.
+    // rotind-lint: allow(no-panic)
+    .expect("infinite radius never abandons")
+}
+
+/// Second pass of [`lb_improved`], resuming from a completed first-pass
+/// accumulator `first_pass_acc` (the *squared* `LB_Keogh(Q, W^R)` sum) —
+/// the form the bound cascade uses, since tier 3 has already paid for
+/// the first pass. Dismissal against `r` is strict in reported-bound
+/// space (`acc > r²` and `√acc > r`), mirroring
+/// [`lb_keogh_early_abandon_at`]; `None` means no member can be within
+/// `r`.
+pub fn lb_improved_second_pass(
+    q: &[f64],
+    wedge: &Wedge,
+    lb_wedge: &Wedge,
+    band: usize,
+    first_pass_acc: f64,
+    r: f64,
+    counter: &mut StepCounter,
+) -> Option<f64> {
+    let n = q.len();
+    assert_eq!(n, wedge.len(), "lb_improved: length mismatch");
+    assert_eq!(n, lb_wedge.len(), "lb_improved: widened length mismatch");
+    let r2 = r * r;
+    let lb = IMPROVED_SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        s.proj.clear();
+        s.proj.reserve(n);
+        let (wu, wl) = (lb_wedge.upper(), lb_wedge.lower());
+        for i in 0..n {
+            s.proj.push(q[i].clamp(wl[i], wu[i]));
+        }
+        crate::envelope::sliding_max_into(&s.proj, band, &mut s.win, &mut s.proj_up);
+        crate::envelope::sliding_min_into(&s.proj, band, &mut s.win, &mut s.proj_lo);
+        // The projection and its widened envelope cost ~n real-value
+        // operations; charge them so step counts stay honest.
+        counter.add(n as u64);
+        let (upper, lower) = (wedge.upper(), wedge.lower());
+        let mut acc = first_pass_acc;
+        for j in 0..n {
+            counter.tick();
+            if lower[j] > s.proj_up[j] {
+                let d = lower[j] - s.proj_up[j];
+                acc += d * d;
+            } else if s.proj_lo[j] > upper[j] {
+                let d = s.proj_lo[j] - upper[j];
+                acc += d * d;
+            }
+            if acc > r2 && acc.sqrt() > r {
+                return None;
+            }
+        }
+        Some(acc.sqrt())
+    })?;
+    // Witness: the envelope curves are themselves enclosed by the wedge
+    // (L ≤ U pointwise), so the bound must not exceed the banded DTW
+    // distance to either curve.
+    #[cfg(debug_assertions)]
+    {
+        use rotind_distance::dtw::{dtw, DtwParams};
+        let mut scratch_steps = StepCounter::new();
+        let params = DtwParams::new(band);
+        debug_assert_admissible(lb, dtw(q, wedge.upper(), params, &mut scratch_steps));
+        debug_assert_admissible(lb, dtw(q, wedge.lower(), params, &mut scratch_steps));
+    }
+    Some(lb)
+}
+
 /// LCSS envelope bound: an *upper* bound on the LCSS match count of the
 /// query against every wedge member, hence a lower bound on the LCSS
 /// distance form `1 − count/n`.
@@ -359,6 +583,121 @@ mod tests {
         let params = LcssParams::new(0.5, 2);
         let lb = lcss_distance_lower_bound(&q, &w, params, &mut steps());
         assert_eq!(lb, 1.0, "no position can possibly match");
+    }
+
+    #[test]
+    fn lb_kim_is_admissible_and_costs_two_steps() {
+        let c = signal(30, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let rows: Vec<usize> = vec![0, 2, 7, 19];
+        let w = Wedge::from_rows(&m, &rows);
+        let q = signal(30, 2.1);
+        let mut s = steps();
+        let kim = lb_kim(&q, &w, &mut s);
+        assert_eq!(s.steps(), 2, "endpoint bound is O(1)");
+        let keogh = lb_keogh(&q, &w, &mut steps());
+        assert!(kim <= keogh + 1e-12, "kim {kim} > keogh {keogh}");
+        for &row in &rows {
+            let d = euclidean(&q, &m.row(row).to_vec());
+            assert!(kim <= d + 1e-12, "row {row}: kim {kim} > ed {d}");
+        }
+        // Widened wedge: admissible against banded DTW (boundary cells).
+        for band in [1usize, 4] {
+            let kim_w = lb_kim(&q, &w.widened(band), &mut steps());
+            for &row in &rows {
+                let d = dtw(&q, &m.row(row).to_vec(), DtwParams::new(band), &mut steps());
+                assert!(kim_w <= d + 1e-9, "band {band} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_keogh_matches_natural_sum_and_abandons_sooner() {
+        let c = signal(48, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 3, 9, 30]);
+        let q = signal(48, 2.6);
+        let natural = lb_keogh(&q, &w, &mut steps());
+        let reordered = lb_keogh_reordered_early_abandon_at(&q, &w, f64::INFINITY, &mut steps())
+            .expect("infinite radius never abandons");
+        assert!(
+            (natural - reordered).abs() < 1e-9,
+            "same sum up to fp reassociation"
+        );
+        // A far spike late in the series: natural order pays almost the
+        // whole scan, the contribution order pays one term.
+        let n = 64;
+        let mut member = vec![0.0; n];
+        member[n - 2] = 100.0;
+        let spiked = Wedge::from_single(&member, Rotation::shift(0));
+        let q0 = vec![0.0; n];
+        let mut nat = steps();
+        let pos = lb_keogh_early_abandon_at(&q0, &spiked, 1.0, &mut nat)
+            .expect_err("spike forces abandon");
+        assert_eq!(pos, n - 1);
+        let mut reo = steps();
+        let terms = lb_keogh_reordered_early_abandon_at(&q0, &spiked, 1.0, &mut reo)
+            .expect_err("spike forces abandon");
+        assert_eq!(terms, 1, "largest contribution is accumulated first");
+        assert!(reo.steps() < nat.steps());
+    }
+
+    #[test]
+    fn lb_improved_dominates_lb_keogh_and_stays_admissible() {
+        let c = signal(36, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let rows: Vec<usize> = vec![0, 4, 11, 18];
+        let w = Wedge::from_rows(&m, &rows);
+        let q = signal(36, 2.9);
+        for band in [0usize, 1, 3, 6] {
+            let wide = w.widened(band);
+            let keogh = lb_keogh(&q, &wide, &mut steps());
+            let improved = lb_improved(&q, &w, &wide, band, &mut steps());
+            assert!(
+                improved >= keogh - 1e-12,
+                "band {band}: improved {improved} < keogh {keogh}"
+            );
+            for &row in &rows {
+                let d = dtw(&q, &m.row(row).to_vec(), DtwParams::new(band), &mut steps());
+                assert!(
+                    improved <= d + 1e-9,
+                    "band {band} row {row}: improved {improved} > dtw {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lb_improved_second_pass_dismissal_is_strict() {
+        let c = signal(32, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 5]);
+        let wide = w.widened(2);
+        let q = signal(32, 1.9);
+        let first = lb_keogh(&q, &wide, &mut steps());
+        let full = lb_improved(&q, &w, &wide, 2, &mut steps());
+        assert!(full > 0.0, "test needs a non-trivial bound");
+        // Radius exactly at the bound: inclusive, never dismissed.
+        let at = lb_improved_second_pass(&q, &w, &wide, 2, first * first, full, &mut steps());
+        assert_eq!(at, Some(full));
+        // Radius below the bound: dismissed.
+        let below =
+            lb_improved_second_pass(&q, &w, &wide, 2, first * first, full * 0.99, &mut steps());
+        assert_eq!(below, None);
+    }
+
+    #[test]
+    fn lb_improved_second_pass_is_zero_at_band_zero() {
+        let c = signal(20, 0.0);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[0, 2, 6]);
+        let q = signal(20, 3.3);
+        let keogh = lb_keogh(&q, &w, &mut steps());
+        let improved = lb_improved(&q, &w, &w, 0, &mut steps());
+        assert!(
+            (improved - keogh).abs() < 1e-12,
+            "projection lies inside the plain envelope, second pass adds 0"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The wedge type `W = {U, L}` (Section 4.1, Figure 6).
 
-use crate::envelope::{envelope_of, sliding_max, sliding_min};
+use crate::envelope::{envelope_of, sliding_max_into, sliding_min_into, SlidingScratch};
 use rotind_ts::rotate::{Rotation, RotationMatrix};
 
 /// A wedge: the smallest bounding envelope enclosing a set of candidate
@@ -22,6 +22,37 @@ pub struct Wedge {
     upper: Vec<f64>,
     lower: Vec<f64>,
     members: Vec<Rotation>,
+    /// Position permutation for reordered early abandoning: positions
+    /// sorted by decreasing expected contribution to `LB_Keogh`. A pure
+    /// function of `(upper, lower)`, computed once at construction.
+    order: Vec<u32>,
+}
+
+/// Positions sorted so the terms most likely to dominate an `LB_Keogh`
+/// accumulation come first: primary key is the envelope's distance from
+/// zero (`gap(0, [L_i, U_i])`, descending — intervals far from the
+/// baseline force a contribution from any roughly-centred candidate),
+/// tie-broken by envelope width ascending (narrow intervals reject more
+/// candidates) and finally by index so the permutation is deterministic.
+fn abandon_order_of(upper: &[f64], lower: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..upper.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        let (a, b) = (a as usize, b as usize);
+        let gap = |i: usize| {
+            if lower[i] > 0.0 {
+                lower[i]
+            } else if upper[i] < 0.0 {
+                -upper[i]
+            } else {
+                0.0
+            }
+        };
+        gap(b)
+            .total_cmp(&gap(a))
+            .then((upper[a] - lower[a]).total_cmp(&(upper[b] - lower[b])))
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 impl Wedge {
@@ -29,6 +60,7 @@ impl Wedge {
     /// which `LB_Keogh` collapses to the exact Euclidean distance.
     pub fn from_single(series: &[f64], rotation: Rotation) -> Self {
         Wedge {
+            order: abandon_order_of(series, series),
             upper: series.to_vec(),
             lower: series.to_vec(),
             members: vec![rotation],
@@ -45,6 +77,7 @@ impl Wedge {
         let series: Vec<Vec<f64>> = rows.iter().map(|&r| matrix.row(r).to_vec()).collect();
         let (upper, lower) = envelope_of(&series);
         Wedge {
+            order: abandon_order_of(&upper, &lower),
             upper,
             lower,
             members: rows.iter().map(|&r| matrix.rotations()[r]).collect(),
@@ -59,13 +92,13 @@ impl Wedge {
     /// Panics when the wedges differ in length.
     pub fn merge(a: &Wedge, b: &Wedge) -> Self {
         assert_eq!(a.len(), b.len(), "Wedge::merge: length mismatch");
-        let upper = a
+        let upper: Vec<f64> = a
             .upper
             .iter()
             .zip(&b.upper)
             .map(|(x, y)| x.max(*y))
             .collect();
-        let lower = a
+        let lower: Vec<f64> = a
             .lower
             .iter()
             .zip(&b.lower)
@@ -74,6 +107,7 @@ impl Wedge {
         let mut members = a.members.clone();
         members.extend_from_slice(&b.members);
         Wedge {
+            order: abandon_order_of(&upper, &lower),
             upper,
             lower,
             members,
@@ -84,9 +118,21 @@ impl Wedge {
     /// `DTW_U_i = max(U_{i−R} : U_{i+R})`, `DTW_L_i = min(L_{i−R} :
     /// L_{i+R})`. With `R = 0` this is a clone.
     pub fn widened(&self, radius: usize) -> Self {
+        self.widened_with(radius, &mut SlidingScratch::new())
+    }
+
+    /// [`Wedge::widened`] with caller-owned scratch: the monotonic-deque
+    /// workspace is reused across calls, so building the `2n − 1` widened
+    /// envelopes of a hierarchy allocates only the buffers it keeps.
+    pub fn widened_with(&self, radius: usize, scratch: &mut SlidingScratch) -> Self {
+        let mut upper = Vec::new();
+        let mut lower = Vec::new();
+        sliding_max_into(&self.upper, radius, scratch, &mut upper);
+        sliding_min_into(&self.lower, radius, scratch, &mut lower);
         Wedge {
-            upper: sliding_max(&self.upper, radius),
-            lower: sliding_min(&self.lower, radius),
+            order: abandon_order_of(&upper, &lower),
+            upper,
+            lower,
             members: self.members.clone(),
         }
     }
@@ -120,6 +166,14 @@ impl Wedge {
     #[inline]
     pub fn members(&self) -> &[Rotation] {
         &self.members
+    }
+
+    /// Positions in decreasing expected-contribution order, for reordered
+    /// early abandoning of `LB_Keogh` (cascade tier 3). Always a
+    /// permutation of `0..len()`.
+    #[inline]
+    pub fn abandon_order(&self) -> &[u32] {
+        &self.order
     }
 
     /// Number of covered rotations (the paper's `cardinality(T)`).
@@ -218,6 +272,47 @@ mod tests {
         assert!(wide.area() >= w.area());
         assert_eq!(wide.members(), w.members());
         assert_eq!(w.widened(0).upper(), w.upper());
+    }
+
+    #[test]
+    fn abandon_order_is_a_permutation_sorted_by_contribution() {
+        let c = signal(24);
+        let m = RotationMatrix::full(&c).unwrap();
+        for w in [
+            Wedge::from_rows(&m, &[0, 5, 11]),
+            Wedge::from_single(&c, Rotation::shift(0)),
+            Wedge::from_rows(&m, &[0, 5, 11]).widened(3),
+        ] {
+            let mut seen: Vec<u32> = w.abandon_order().to_vec();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..w.len() as u32).collect::<Vec<_>>());
+            // Primary key (distance of the envelope interval from zero)
+            // must be non-increasing along the order.
+            let gap = |i: usize| {
+                let (u, l) = (w.upper()[i], w.lower()[i]);
+                if l > 0.0 {
+                    l
+                } else if u < 0.0 {
+                    -u
+                } else {
+                    0.0
+                }
+            };
+            for pair in w.abandon_order().windows(2) {
+                assert!(gap(pair[0] as usize) >= gap(pair[1] as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn widened_with_matches_widened() {
+        let c = signal(40);
+        let m = RotationMatrix::full(&c).unwrap();
+        let w = Wedge::from_rows(&m, &[1, 2, 8]);
+        let mut scratch = SlidingScratch::new();
+        for r in [0usize, 2, 7] {
+            assert_eq!(w.widened_with(r, &mut scratch), w.widened(r));
+        }
     }
 
     #[test]

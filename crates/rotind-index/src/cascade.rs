@@ -1,0 +1,314 @@
+//! The tiered admissible-bound cascade run per (candidate, wedge) pair.
+//!
+//! Each tier is a cheaper-but-looser admissible lower bound tried before
+//! the next, in strictly increasing cost order; a tier that pushes the
+//! bound above the current best-so-far dismisses the whole wedge and no
+//! later tier runs:
+//!
+//! | tier | bound | cost per wedge | tightness |
+//! |------|-------|----------------|-----------|
+//! | 1    | `lb_kim` (endpoints only)          | `O(1)`          | loosest |
+//! | 2    | reduced-space PAA envelope bound   | `O(D)` (+ lazy `O(n)` per candidate) | looser than LB_Keogh |
+//! | 3    | LB_Keogh, reordered early abandon  | `O(n)` worst    | the paper's bound |
+//! | 4    | LB_Improved second pass (DTW only) | `O(n)`          | tightest |
+//!
+//! Every tier prunes with a *strict* comparison against an admissible
+//! bound, so the cascade can neither exclude a rotation at exactly the
+//! admitted radius nor change any exact distance the scan computes — the
+//! H-Merge outcome stays bit-identical to the single-bound scan (see
+//! `tests/cascade.rs`). The tier list is configurable per engine via
+//! [`CascadeConfig`] and, for the CI ablation matrix, via the
+//! `ROTIND_CASCADE` environment variable.
+
+use crate::reduced::{Paa, PaaEnvelope};
+use rotind_envelope::WedgeTree;
+use rotind_ts::StepCounter;
+
+/// Default reduced-space dimensionality for tier 2 (segments per item).
+/// Small on purpose: the tier has to amortise `D` steps per tested wedge
+/// plus a lazy `n`-step projection per candidate.
+pub const DEFAULT_DIMS: usize = 8;
+
+/// Default cardinality gate for tier 1 (see [`CascadeConfig`]).
+pub const DEFAULT_KIM_MIN_CARDINALITY: usize = 8;
+
+/// Default cardinality gate for tier 2 (see [`CascadeConfig`]).
+pub const DEFAULT_REDUCED_MIN_CARDINALITY: usize = 32;
+
+/// Default cardinality gate for tier 4 (see [`CascadeConfig`]).
+pub const DEFAULT_IMPROVED_MAX_CARDINALITY: usize = 1;
+
+/// Default tightness gate for tier 4 (see [`CascadeConfig`]).
+pub const DEFAULT_IMPROVED_MIN_RATIO: f64 = 0.5;
+
+/// Which tiers of the bound cascade run, and where.
+///
+/// The exactness of the scan never depends on this configuration — every
+/// tier is individually admissible — only the amount of work does. The
+/// `*_cardinality` gates encode the cost model measured by the
+/// `cascade` ablation bench: a cheap tier is only worth running where
+/// the tier below it would be expensive. Tier 1's two endpoint terms
+/// are dominated by reordered LB_Keogh's first two (contribution-sorted)
+/// terms, so it earns its keep only on fat wedges where an admit is
+/// costly anyway; tier 2 must amortise a lazy `O(n)` candidate
+/// projection, so it is restricted to the fattest wedges; tier 4's
+/// second pass buys the most where a prune replaces an exact DTW
+/// evaluation, i.e. at (near-)singleton wedges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CascadeConfig {
+    /// Tier 1: the `O(1)` endpoint (LB_Kim-style) bound.
+    pub kim: bool,
+    /// Tier 2: the reduced-space PAA envelope bound.
+    pub reduced: bool,
+    /// Tier 3: full LB_Keogh with early abandoning.
+    pub keogh: bool,
+    /// Tier 4: the LB_Improved second pass (effective only under DTW,
+    /// where the band is positive; at band 0 the second pass is
+    /// identically zero).
+    pub improved: bool,
+    /// Accumulate tier 3 in the per-wedge contribution order instead of
+    /// natural position order (prune-only wedges; Euclidean singleton
+    /// leaves always use natural order because their sum *is* the exact
+    /// distance).
+    pub reorder: bool,
+    /// Reduced-space dimensionality for tier 2.
+    pub dims: usize,
+    /// Tier 1 runs only on wedges covering at least this many rotations.
+    pub kim_min_cardinality: usize,
+    /// Tier 2 runs only on wedges covering at least this many rotations.
+    pub reduced_min_cardinality: usize,
+    /// Tier 4 runs only on wedges covering at most this many rotations.
+    pub improved_max_cardinality: usize,
+    /// Tier 4 runs only when the tier-3 bound is at least this fraction
+    /// of the current best-so-far — when the first pass is already
+    /// close, the second pass has a realistic chance of crossing it;
+    /// when it is far below, the `O(n)` second pass is near-certain
+    /// wasted work. (With an infinite best-so-far the tier never runs:
+    /// no finite bound can dismiss against infinity.)
+    pub improved_min_ratio: f64,
+}
+
+impl CascadeConfig {
+    /// Every tier on, under the measured default gates — the engine
+    /// default.
+    pub fn all() -> Self {
+        CascadeConfig {
+            kim: true,
+            reduced: true,
+            keogh: true,
+            improved: true,
+            reorder: true,
+            dims: DEFAULT_DIMS,
+            kim_min_cardinality: DEFAULT_KIM_MIN_CARDINALITY,
+            reduced_min_cardinality: DEFAULT_REDUCED_MIN_CARDINALITY,
+            improved_max_cardinality: DEFAULT_IMPROVED_MAX_CARDINALITY,
+            improved_min_ratio: DEFAULT_IMPROVED_MIN_RATIO,
+        }
+    }
+
+    /// The pre-cascade engine: natural-order LB_Keogh and nothing else.
+    /// [`crate::hmerge::h_merge_observed`] runs under this configuration,
+    /// reproducing the historical scan step-for-step.
+    pub fn legacy() -> Self {
+        CascadeConfig {
+            kim: false,
+            reduced: false,
+            keogh: false,
+            improved: false,
+            reorder: false,
+            dims: DEFAULT_DIMS,
+            kim_min_cardinality: 0,
+            reduced_min_cardinality: 0,
+            improved_max_cardinality: usize::MAX,
+            improved_min_ratio: 0.0,
+        }
+        .with_keogh()
+    }
+
+    fn with_keogh(mut self) -> Self {
+        self.keogh = true;
+        self
+    }
+
+    /// Parse a `ROTIND_CASCADE` value: a single-tier name
+    /// (`kim`/`reduced`/`keogh`/`improved`) or `all`. Single-tier
+    /// configurations run their tier on *every* wedge (no cardinality
+    /// gates) so the CI exactness matrix exercises each tier in
+    /// isolation; `keogh` selects the reordered tier-3 scan, and
+    /// `improved` runs LB_Improved whole (its first pass is LB_Keogh,
+    /// attributed to the Improved tier).
+    pub fn parse(s: &str) -> Option<Self> {
+        let off = CascadeConfig {
+            kim: false,
+            reduced: false,
+            keogh: false,
+            improved: false,
+            reorder: false,
+            dims: DEFAULT_DIMS,
+            kim_min_cardinality: 0,
+            reduced_min_cardinality: 0,
+            improved_max_cardinality: usize::MAX,
+            improved_min_ratio: 0.0,
+        };
+        match s {
+            "kim" => Some(CascadeConfig { kim: true, ..off }),
+            "reduced" => Some(CascadeConfig {
+                reduced: true,
+                ..off
+            }),
+            "keogh" => Some(CascadeConfig {
+                keogh: true,
+                reorder: true,
+                ..off
+            }),
+            "improved" => Some(CascadeConfig {
+                improved: true,
+                ..off
+            }),
+            "all" => Some(Self::all()),
+            _ => None,
+        }
+    }
+
+    /// Configuration from the `ROTIND_CASCADE` environment variable;
+    /// unset or unrecognised values mean [`CascadeConfig::all`].
+    pub fn from_env() -> Self {
+        std::env::var("ROTIND_CASCADE")
+            .ok()
+            .and_then(|s| Self::parse(s.trim()))
+            .unwrap_or_else(Self::all)
+    }
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+/// A [`CascadeConfig`] plus the per-tree data tier 2 needs: one reduced
+/// envelope per wedge-tree node, projected from the node's *lower-bound*
+/// wedge (widened by the DTW band) so the PAA bound stays admissible for
+/// DTW exactly as it is for Euclidean.
+#[derive(Debug, Clone)]
+pub struct BoundCascade {
+    config: CascadeConfig,
+    paa: Option<Vec<PaaEnvelope>>,
+}
+
+impl BoundCascade {
+    /// Precompute tier-2 envelopes for every node of `tree` (skipped
+    /// entirely when the reduced tier is off).
+    pub fn build(tree: &WedgeTree, config: CascadeConfig) -> Self {
+        let paa = config.reduced.then(|| {
+            (0..tree.dendrogram().num_nodes())
+                .map(|node| PaaEnvelope::of_wedge(tree.lb_wedge(node), config.dims))
+                .collect()
+        });
+        BoundCascade { config, paa }
+    }
+
+    /// The tree-independent legacy cascade (no tier-2 data to build).
+    pub fn legacy() -> Self {
+        BoundCascade {
+            config: CascadeConfig::legacy(),
+            paa: None,
+        }
+    }
+
+    /// The active tier configuration.
+    pub fn config(&self) -> CascadeConfig {
+        self.config
+    }
+
+    /// Tier-2 envelope for `node`, when the reduced tier is on.
+    pub(crate) fn paa_envelope(&self, node: usize) -> Option<&PaaEnvelope> {
+        // Invariant: `paa` (when present) holds one envelope per tree
+        // node and callers pass node ids of the same tree.
+        // rotind-lint: allow(no-index)
+        self.paa.as_deref().map(|v| &v[node])
+    }
+}
+
+/// Per-candidate lazy state for one H-Merge call: the candidate's PAA
+/// projection is only computed (and charged, `n` steps) if some wedge
+/// actually reaches tier 2.
+pub(crate) struct CandidateCtx {
+    paa: Option<Paa>,
+}
+
+impl CandidateCtx {
+    pub(crate) fn new() -> Self {
+        CandidateCtx { paa: None }
+    }
+
+    /// The candidate's PAA projection, built on first use.
+    pub(crate) fn paa(
+        &mut self,
+        candidate: &[f64],
+        dims: usize,
+        counter: &mut StepCounter,
+    ) -> &Paa {
+        if self.paa.is_none() {
+            // One pass over the candidate to form segment means.
+            counter.add(candidate.len() as u64);
+            self.paa = Some(Paa::of(candidate, dims));
+        }
+        // rotind-lint: allow(no-panic)
+        self.paa.as_ref().expect("projection was just built")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rotind_ts::rotate::RotationMatrix;
+
+    #[test]
+    fn parse_recognises_every_ci_value_and_rejects_garbage() {
+        for name in ["kim", "reduced", "keogh", "improved", "all"] {
+            let c = CascadeConfig::parse(name).unwrap_or_else(|| panic!("{name} must parse"));
+            let tiers = [c.kim, c.reduced, c.keogh, c.improved];
+            if name == "all" {
+                assert_eq!(c, CascadeConfig::all());
+            } else {
+                assert_eq!(tiers.iter().filter(|&&t| t).count(), 1, "{name}");
+            }
+        }
+        assert_eq!(CascadeConfig::parse(""), None);
+        assert_eq!(CascadeConfig::parse("keogh,kim"), None);
+        assert_eq!(CascadeConfig::parse("ALL"), None);
+    }
+
+    #[test]
+    fn legacy_is_natural_order_keogh_only() {
+        let c = CascadeConfig::legacy();
+        assert!(c.keogh && !c.kim && !c.reduced && !c.improved && !c.reorder);
+    }
+
+    #[test]
+    fn build_projects_every_node_only_when_reduced_is_on() {
+        let series: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin()).collect();
+        let tree = WedgeTree::new(RotationMatrix::full(&series).unwrap(), 0);
+        let with = BoundCascade::build(&tree, CascadeConfig::all());
+        for node in 0..tree.dendrogram().num_nodes() {
+            assert!(with.paa_envelope(node).is_some(), "node {node}");
+        }
+        let without = BoundCascade::build(&tree, CascadeConfig::legacy());
+        assert!(without.paa_envelope(0).is_none());
+        assert!(BoundCascade::legacy().paa_envelope(0).is_none());
+    }
+
+    #[test]
+    fn candidate_ctx_builds_lazily_and_charges_once() {
+        let series: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut ctx = CandidateCtx::new();
+        let mut counter = StepCounter::new();
+        let first = ctx.paa(&series, DEFAULT_DIMS, &mut counter).clone();
+        assert_eq!(counter.steps(), 32, "projection charges one pass");
+        let again = ctx.paa(&series, DEFAULT_DIMS, &mut counter).clone();
+        assert_eq!(counter.steps(), 32, "second access is free");
+        assert_eq!(first, again);
+        assert_eq!(first, Paa::of(&series, DEFAULT_DIMS));
+    }
+}

@@ -8,8 +8,9 @@
 //! return precisely the answers of the brute-force Table 3 scan, verified
 //! by the property tests in `tests/`.
 
+use crate::cascade::{BoundCascade, CascadeConfig};
 use crate::error::SearchError;
-use crate::hmerge::{h_merge_from_root, h_merge_observed, HMergeOutcome};
+use crate::hmerge::{h_merge_cascade_observed, h_merge_from_root, HMergeOutcome};
 use crate::planner::KPlanner;
 use rotind_distance::measure::Measure;
 use rotind_envelope::WedgeTree;
@@ -113,6 +114,7 @@ pub struct Neighbor {
 pub struct RotationQuery {
     tree: WedgeTree,
     measure: Measure,
+    cascade: BoundCascade,
     pub(crate) k_policy: KPolicy,
     pub(crate) probe_intervals: usize,
 }
@@ -132,9 +134,11 @@ impl RotationQuery {
     ) -> Result<Self, TsError> {
         let matrix = invariance.matrix(query)?;
         let tree = WedgeTree::new(matrix, measure.warping_band());
+        let cascade = BoundCascade::build(&tree, CascadeConfig::from_env());
         Ok(RotationQuery {
             tree,
             measure,
+            cascade,
             k_policy: KPolicy::Dynamic,
             probe_intervals: crate::planner::PROBE_INTERVALS,
         })
@@ -144,6 +148,19 @@ impl RotationQuery {
     pub fn with_k_policy(mut self, policy: KPolicy) -> Self {
         self.k_policy = policy;
         self
+    }
+
+    /// Replace the bound-cascade configuration (builder style),
+    /// rebuilding any per-tree tier data. Every configuration yields
+    /// bit-identical search results; only the work profile changes.
+    pub fn with_cascade(mut self, config: CascadeConfig) -> Self {
+        self.cascade = BoundCascade::build(&self.tree, config);
+        self
+    }
+
+    /// The bound cascade this engine scans with.
+    pub fn cascade(&self) -> &BoundCascade {
+        &self.cascade
     }
 
     /// Set the dynamic planner's probe-interval count (builder style).
@@ -250,7 +267,12 @@ impl RotationQuery {
         // Max-heap of the k best by distance; best-so-far is the k-th
         // best (pruning only starts once k hits are held).
         let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        let mut scan = ScanState::new(&self.tree, self.k_policy, self.probe_intervals);
+        let mut scan = ScanState::new(
+            &self.tree,
+            &self.cascade,
+            self.k_policy,
+            self.probe_intervals,
+        );
         for (index, item) in database.iter().enumerate() {
             let bsf = if heap.len() == k {
                 heap.last().expect("heap non-empty").distance
@@ -306,7 +328,12 @@ impl RotationQuery {
             ));
         }
         self.check_all(database)?;
-        let mut scan = ScanState::new(&self.tree, self.k_policy, self.probe_intervals);
+        let mut scan = ScanState::new(
+            &self.tree,
+            &self.cascade,
+            self.k_policy,
+            self.probe_intervals,
+        );
         let mut out = Vec::new();
         for (index, item) in database.iter().enumerate() {
             // H-Merge admits inclusively (`d == radius` matches), so the
@@ -349,13 +376,19 @@ impl RotationQuery {
 /// worker thread its own independent planner and cut cache.
 pub(crate) struct ScanState<'a> {
     tree: &'a WedgeTree,
+    cascade: &'a BoundCascade,
     planner: KPlanner,
     fixed_k: Option<usize>,
     cuts: HashMap<usize, Vec<usize>>,
 }
 
 impl<'a> ScanState<'a> {
-    pub(crate) fn new(tree: &'a WedgeTree, policy: KPolicy, probe_intervals: usize) -> Self {
+    pub(crate) fn new(
+        tree: &'a WedgeTree,
+        cascade: &'a BoundCascade,
+        policy: KPolicy,
+        probe_intervals: usize,
+    ) -> Self {
         let planner = KPlanner::with_intervals(tree.max_k(), probe_intervals);
         let fixed_k = match policy {
             KPolicy::Dynamic => None,
@@ -363,6 +396,7 @@ impl<'a> ScanState<'a> {
         };
         ScanState {
             tree,
+            cascade,
             planner,
             fixed_k,
             cuts: HashMap::new(),
@@ -399,7 +433,16 @@ impl<'a> ScanState<'a> {
         };
         let cut = self.cut(k).to_vec();
         let before = *counter;
-        let outcome = h_merge_observed(item, self.tree, &cut, bsf, measure, counter, observer);
+        let outcome = h_merge_cascade_observed(
+            item,
+            self.tree,
+            self.cascade,
+            &cut,
+            bsf,
+            measure,
+            counter,
+            observer,
+        );
         if self.fixed_k.is_none() {
             self.planner
                 .record_observed(counter.since(before), observer);

@@ -12,10 +12,14 @@
 //! implementation keeps scanning with the running best as the abandoning
 //! threshold — exactly how `NNSearch` (Table 7) consumes it.
 
+use crate::cascade::{BoundCascade, CandidateCtx};
 use rotind_distance::measure::Measure;
-use rotind_envelope::lb_keogh::{lb_keogh_early_abandon_at, lcss_distance_lower_bound};
+use rotind_envelope::lb_keogh::{
+    lb_improved_second_pass, lb_keogh_early_abandon_at, lb_keogh_reordered_early_abandon_at,
+    lb_kim, lcss_distance_lower_bound,
+};
 use rotind_envelope::WedgeTree;
-use rotind_obs::{NoopObserver, SearchObserver};
+use rotind_obs::{CascadeTier, NoopObserver, SearchObserver};
 use rotind_ts::rotate::Rotation;
 use rotind_ts::StepCounter;
 
@@ -43,17 +47,13 @@ fn rotation_key(r: Rotation) -> (bool, usize) {
     (r.mirrored, r.shift)
 }
 
-/// Result of bounding one wedge node against the threshold.
+/// Result of bounding one wedge node against the threshold (used by the
+/// Table 6 filter; the search scan runs the tier cascade instead).
 enum NodeBound {
     /// The bound admits the subtree; the value is exact.
     Admitted(f64),
-    /// The subtree is pruned. `lb` is the exactly computed bound when
-    /// available (LCSS); `position` is the abandon point when the
-    /// LB_Keogh accumulation stopped early (Euclidean/DTW).
-    Pruned {
-        lb: Option<f64>,
-        position: Option<usize>,
-    },
+    /// The subtree is pruned.
+    Pruned,
 }
 
 /// Lower bound of `measure` from `candidate` to every rotation covered by
@@ -73,10 +73,7 @@ fn node_lower_bound(
             // (Proposition 1).
             match lb_keogh_early_abandon_at(candidate, tree.lb_wedge(node), r, counter) {
                 Ok(lb) => NodeBound::Admitted(lb),
-                Err(position) => NodeBound::Pruned {
-                    lb: None,
-                    position: Some(position),
-                },
+                Err(_position) => NodeBound::Pruned,
             }
         }
         Measure::Lcss(p) => {
@@ -84,10 +81,7 @@ fn node_lower_bound(
             if lb <= r {
                 NodeBound::Admitted(lb)
             } else {
-                NodeBound::Pruned {
-                    lb: Some(lb),
-                    position: None,
-                }
+                NodeBound::Pruned
             }
         }
     }
@@ -159,30 +153,225 @@ pub fn h_merge_observed<O: SearchObserver>(
     counter: &mut StepCounter,
     observer: &mut O,
 ) -> Option<HMergeOutcome> {
+    h_merge_cascade_observed(
+        candidate,
+        tree,
+        &BoundCascade::legacy(),
+        cut,
+        r,
+        measure,
+        counter,
+        observer,
+    )
+}
+
+/// Run the bound cascade for one wedge node: the configured tiers in
+/// increasing cost order, each dismissing strictly against `best_so_far`
+/// before the next runs. Returns the tightest admitted bound, or `None`
+/// when some tier pruned the node (prune events already fired). For a
+/// Euclidean singleton leaf the returned value *is* the exact distance
+/// (natural-order accumulation, no admit events — the legacy special
+/// case).
+// Admissibility: every tier delegates to a witnessed lb_* kernel in
+// rotind-envelope (lb_kim / PaaEnvelope::min_dist via PaaWedgeSet's
+// argument / lb_keogh_early_abandon_at / lb_improved_second_pass).
+#[allow(clippy::too_many_arguments)] // one hot-path call site, in h_merge_cascade_observed
+fn node_tier_bound<O: SearchObserver>(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cascade: &BoundCascade,
+    ctx: &mut CandidateCtx,
+    node: usize,
+    level: usize,
+    best_so_far: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+) -> Option<f64> {
+    let config = cascade.config();
+    let euclid_leaf = tree.is_leaf(node) && matches!(measure, Measure::Euclidean);
+    // For DTW the tree's lb wedges are pre-widened by the band
+    // (Proposition 2); for Euclidean they are the plain wedges
+    // (Proposition 1).
+    let lb_wedge = tree.lb_wedge(node);
+    // Cost-model gates (see CascadeConfig): tiers only run where the
+    // ablation bench shows they pay for themselves.
+    let cardinality = lb_wedge.cardinality();
+
+    // Tier 1: O(1) endpoint bound.
+    if config.kim && cardinality >= config.kim_min_cardinality {
+        let lb = lb_kim(candidate, lb_wedge, counter);
+        let pruned = lb > best_so_far;
+        observer.on_cascade_tier(CascadeTier::Kim, pruned);
+        if pruned {
+            observer.on_wedge_tested(level, lb, best_so_far, true);
+            return None;
+        }
+    }
+
+    // Tier 2: reduced-space PAA envelope bound.
+    if let Some(env) = (cardinality >= config.reduced_min_cardinality)
+        .then(|| cascade.paa_envelope(node))
+        .flatten()
+    {
+        let paa = ctx.paa(candidate, config.dims, counter);
+        let lb = env.min_dist(paa, counter);
+        let pruned = lb > best_so_far;
+        observer.on_cascade_tier(CascadeTier::Reduced, pruned);
+        if pruned {
+            observer.on_wedge_tested(level, lb, best_so_far, true);
+            return None;
+        }
+    }
+
+    // Tier 4 runs only under a positive warping band: at band 0 the
+    // LB_Improved second pass is identically zero. Its gate is inverted
+    // — the second pass buys the most where a prune replaces an exact
+    // DTW evaluation, i.e. at (near-)singleton wedges.
+    let improved_applies =
+        config.improved && tree.band() > 0 && cardinality <= config.improved_max_cardinality;
+
+    // Tier 3: LB_Keogh with early abandoning. It also runs when only
+    // tier 4 is configured (LB_Improved's first pass IS LB_Keogh, then
+    // attributed to the Improved tier) and always at a Euclidean
+    // singleton leaf, whose natural-order sum is the exact distance —
+    // never reordered, so the scan stays bit-identical to the legacy
+    // engine.
+    if !(config.keogh || improved_applies || euclid_leaf) {
+        // Only pre-filters are configured and none pruned: descend on
+        // the trivial zero bound (exactness never needs tier 3 — leaves
+        // still evaluate the exact measure).
+        observer.on_wedge_tested(level, 0.0, best_so_far, false);
+        return Some(0.0);
+    }
+    let keogh_tier = if config.keogh || !improved_applies {
+        CascadeTier::Keogh
+    } else {
+        CascadeTier::Improved
+    };
+    let keogh = if config.reorder && !euclid_leaf {
+        lb_keogh_reordered_early_abandon_at(candidate, lb_wedge, best_so_far, counter)
+    } else {
+        lb_keogh_early_abandon_at(candidate, lb_wedge, best_so_far, counter)
+    };
+    let lb = match keogh {
+        Ok(lb) => lb,
+        Err(position) => {
+            observer.on_cascade_tier(keogh_tier, true);
+            // The exact bound is unknown after an early abandon; the
+            // crossed threshold is reported in its place.
+            observer.on_wedge_tested(level, best_so_far, best_so_far, true);
+            observer.on_early_abandon(position);
+            return None;
+        }
+    };
+    if euclid_leaf {
+        // Legacy special case: no bound was tested — the value is the
+        // exact distance and on_leaf_distance will fire for it.
+        return Some(lb);
+    }
+    if keogh_tier == CascadeTier::Keogh {
+        observer.on_cascade_tier(CascadeTier::Keogh, false);
+    }
+
+    // Tier 4: LB_Improved second pass, only after tier 3 failed to prune
+    // and only when the first pass got close enough to the best-so-far
+    // that the second pass has a realistic chance of crossing it. (With
+    // an infinite best-so-far the product is infinite — or NaN at ratio
+    // zero — and the comparison is false: nothing dismisses against
+    // infinity, so skipping is free.)
+    let run_improved = improved_applies && lb >= config.improved_min_ratio * best_so_far;
+    if run_improved {
+        match lb_improved_second_pass(
+            candidate,
+            tree.wedge(node),
+            lb_wedge,
+            tree.band(),
+            lb * lb,
+            best_so_far,
+            counter,
+        ) {
+            Some(lb) => {
+                observer.on_cascade_tier(CascadeTier::Improved, false);
+                observer.on_wedge_tested(level, lb, best_so_far, false);
+                Some(lb)
+            }
+            None => {
+                observer.on_cascade_tier(CascadeTier::Improved, true);
+                observer.on_wedge_tested(level, best_so_far, best_so_far, true);
+                None
+            }
+        }
+    } else {
+        if keogh_tier == CascadeTier::Improved {
+            // Improved-only configuration with the tier-4 gate closed:
+            // the admitted first pass is still the Improved tier's work.
+            observer.on_cascade_tier(CascadeTier::Improved, false);
+        }
+        observer.on_wedge_tested(level, lb, best_so_far, false);
+        Some(lb)
+    }
+}
+
+/// [`h_merge_observed`] under an arbitrary [`BoundCascade`]: the tiered
+/// scan the engine runs. With [`BoundCascade::legacy`] it reproduces the
+/// historical single-bound scan step-for-step; with richer
+/// configurations extra tiers prune earlier but — every tier being
+/// admissible and every dismissal strict — the outcome is bit-identical
+/// (see `tests/cascade.rs`). Tier activity is reported through
+/// [`SearchObserver::on_cascade_tier`], *in addition to* the legacy
+/// per-wedge events: every pruned wedge is attributed to exactly one
+/// tier (LCSS keeps its own single envelope bound outside the cascade
+/// and fires no tier events).
+#[allow(clippy::too_many_arguments)] // mirrors h_merge_observed + the cascade
+pub fn h_merge_cascade_observed<O: SearchObserver>(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cascade: &BoundCascade,
+    cut: &[usize],
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+) -> Option<HMergeOutcome> {
     assert_eq!(
         candidate.len(),
         tree.matrix().series_len(),
         "h_merge: candidate length mismatch"
     );
+    let mut ctx = CandidateCtx::new();
     let mut best: Option<HMergeOutcome> = None;
     let mut best_so_far = r;
     let mut stack: Vec<(usize, usize)> = cut.iter().map(|&node| (node, 0)).collect();
     while let Some((node, level)) = stack.pop() {
         let is_leaf = tree.is_leaf(node);
-        let lb = match node_lower_bound(candidate, tree, node, best_so_far, measure, counter) {
-            NodeBound::Admitted(lb) => {
-                if !(is_leaf && matches!(measure, Measure::Euclidean)) {
+        let bound = match measure {
+            // LCSS has a single similarity-count bound; no tiers apply.
+            Measure::Lcss(p) => {
+                let lb = lcss_distance_lower_bound(candidate, tree.wedge(node), p, counter);
+                if lb <= best_so_far {
                     observer.on_wedge_tested(level, lb, best_so_far, false);
+                    Some(lb)
+                } else {
+                    observer.on_wedge_tested(level, lb, best_so_far, true);
+                    None
                 }
-                lb
             }
-            NodeBound::Pruned { lb, position } => {
-                observer.on_wedge_tested(level, lb.unwrap_or(best_so_far), best_so_far, true);
-                if let Some(position) = position {
-                    observer.on_early_abandon(position);
-                }
-                continue; // the whole wedge is pruned
-            }
+            Measure::Euclidean | Measure::Dtw(_) => node_tier_bound(
+                candidate,
+                tree,
+                cascade,
+                &mut ctx,
+                node,
+                level,
+                best_so_far,
+                measure,
+                counter,
+                observer,
+            ),
+        };
+        let Some(lb) = bound else {
+            continue; // the whole wedge is pruned
         };
         if is_leaf {
             if let Some(d) = leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter)

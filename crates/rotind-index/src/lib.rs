@@ -14,6 +14,10 @@
 //!   rotation-invariant nearest-neighbour / k-NN / range search over a
 //!   database, for Euclidean, DTW and LCSS, with mirror-image and
 //!   rotation-limited invariance;
+//! * [`cascade`] — the tiered admissible-bound cascade the engine runs
+//!   per (candidate, wedge) pair: the `O(1)` endpoint bound, the
+//!   reduced-space PAA bound, reordered early-abandoning LB_Keogh and
+//!   the LB_Improved second pass (DESIGN.md §12);
 //! * [`parallel`] — chunked multi-threaded database scans sharing an
 //!   atomic best-so-far, bit-identical to the sequential scan
 //!   (DESIGN.md §10), plus a batch-of-queries entry point;
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod cascade;
 pub mod disk;
 pub mod engine;
 pub mod error;
@@ -47,6 +52,7 @@ pub mod reduced;
 pub mod stream;
 pub mod vptree;
 
+pub use cascade::{BoundCascade, CascadeConfig};
 pub use engine::{Invariance, Neighbor, RotationQuery};
 pub use error::SearchError;
 pub use parallel::{default_threads, nearest_batch, ParallelReport};

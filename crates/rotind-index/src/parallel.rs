@@ -317,8 +317,12 @@ impl RotationQuery {
                     let range = range.clone();
                     let mut child = observer.fork();
                     scope.spawn(move || {
-                        let mut scan =
-                            ScanState::new(self.tree(), self.k_policy, self.probe_intervals);
+                        let mut scan = ScanState::new(
+                            self.tree(),
+                            self.cascade(),
+                            self.k_policy,
+                            self.probe_intervals,
+                        );
                         let mut steps = StepCounter::new();
                         let mut best: Option<Neighbor> = None;
                         let mut hits = Vec::new();

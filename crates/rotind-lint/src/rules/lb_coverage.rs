@@ -18,9 +18,11 @@ use std::collections::HashSet;
 pub const ID: &str = "lb-coverage";
 
 /// True when a function name claims to be a lower bound (shared with
-/// the `lb-witness` rule).
+/// the `lb-witness` rule). `*tier_bound` covers the cascade: a function
+/// returning one tier of the bound cascade is a lower bound like any
+/// other and owes the same admissibility witness.
 pub(crate) fn is_lower_bound_name(name: &str) -> bool {
-    name.starts_with("lb_") || name.ends_with("lower_bound")
+    name.starts_with("lb_") || name.ends_with("lower_bound") || name.ends_with("tier_bound")
 }
 
 /// Check the whole scan unit at once.
@@ -128,5 +130,15 @@ mod tests {
     fn const_fn_visibility_is_seen_through() {
         let files = vec![lib("pub const fn lb_const() -> f64 { 0.0 }\n")];
         assert_eq!(check(&files).len(), 1);
+    }
+
+    #[test]
+    fn tier_bound_suffix_claims_a_lower_bound() {
+        assert!(is_lower_bound_name("node_tier_bound"));
+        assert!(!is_lower_bound_name("tier_boundary"));
+        let files = vec![lib("pub fn wedge_tier_bound(q: &[f64]) -> f64 { 0.0 }\n")];
+        let f = check(&files);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("wedge_tier_bound"));
     }
 }

@@ -159,6 +159,17 @@ mod tests {
     }
 
     #[test]
+    fn cascade_tier_bound_is_a_lower_bound() {
+        // A cascade tier function owes a witness like any lb_* fn...
+        let bad = lint("fn node_tier_bound(q: &[f64]) -> f64 { q.iter().sum() }\n");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("node_tier_bound"));
+        // ...and delegation to a witnessed kernel satisfies it.
+        let ok = lint("fn node_tier_bound(q: &[f64], w: &Wedge) -> f64 { lb_kim(q, w) }\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
     fn exempt_with_reason_passes_empty_reason_fails() {
         let ok = lint(
             "// lint: witness-exempt(pure accessor, returns a precomputed wedge)\npub fn lb_wedge(&self) -> &Wedge { &self.w }\n",

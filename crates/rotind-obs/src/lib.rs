@@ -32,6 +32,6 @@ pub mod span;
 pub mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry};
-pub use observer::{ForkJoinObserver, NoopObserver, SearchObserver};
+pub use observer::{CascadeTier, ForkJoinObserver, NoopObserver, SearchObserver};
 pub use span::{global_span_report, reset_global_spans, Span, SpanRecord};
 pub use trace::{KChange, QueryTrace};

@@ -8,6 +8,54 @@
 //! Observers must never influence the search — they receive values, they
 //! do not return any.
 
+/// One tier of the admissible-bound cascade the engine runs per
+/// (candidate, wedge) pair, in strictly increasing cost order. Lives
+/// here (not in `rotind-index`) so observers can attribute prunes to
+/// tiers without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CascadeTier {
+    /// Tier 1: the `O(1)` endpoint (LB_Kim-style) bound.
+    Kim,
+    /// Tier 2: the reduced-space (PAA) bound.
+    Reduced,
+    /// Tier 3: full LB_Keogh with (reordered) early abandoning.
+    Keogh,
+    /// Tier 4: the LB_Improved second pass.
+    Improved,
+}
+
+impl CascadeTier {
+    /// All tiers in cascade (increasing cost) order.
+    pub const ALL: [CascadeTier; 4] = [
+        CascadeTier::Kim,
+        CascadeTier::Reduced,
+        CascadeTier::Keogh,
+        CascadeTier::Improved,
+    ];
+
+    /// Dense index of this tier in [`CascadeTier::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            CascadeTier::Kim => 0,
+            CascadeTier::Reduced => 1,
+            CascadeTier::Keogh => 2,
+            CascadeTier::Improved => 3,
+        }
+    }
+
+    /// Stable lowercase name (matches the `ROTIND_CASCADE` env values).
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
+            CascadeTier::Kim => "kim",
+            CascadeTier::Reduced => "reduced",
+            CascadeTier::Keogh => "keogh",
+            CascadeTier::Improved => "improved",
+        }
+    }
+}
+
 /// Receives fine-grained events from a wedge search.
 ///
 /// `level` in [`on_wedge_tested`](SearchObserver::on_wedge_tested) is the
@@ -41,6 +89,16 @@ pub trait SearchObserver {
     #[inline]
     fn on_k_change(&mut self, old: usize, new: usize, probing: bool) {
         let _ = (old, new, probing);
+    }
+
+    /// One cascade tier evaluated its bound for a (candidate, wedge)
+    /// pair: `pruned` is true when this tier dismissed the wedge (no
+    /// later tier ran). Fired *in addition to*
+    /// [`on_wedge_tested`](SearchObserver::on_wedge_tested), which keeps
+    /// its historical per-wedge semantics.
+    #[inline]
+    fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
+        let _ = (tier, pruned);
     }
 }
 
@@ -106,6 +164,11 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     fn on_k_change(&mut self, old: usize, new: usize, probing: bool) {
         (**self).on_k_change(old, new, probing);
     }
+
+    #[inline]
+    fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
+        (**self).on_cascade_tier(tier, pruned);
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +181,7 @@ mod tests {
         leaves: usize,
         abandons: usize,
         k_changes: usize,
+        tiers: usize,
     }
 
     impl SearchObserver for CountingObserver {
@@ -133,6 +197,9 @@ mod tests {
         fn on_k_change(&mut self, _: usize, _: usize, _: bool) {
             self.k_changes += 1;
         }
+        fn on_cascade_tier(&mut self, _: CascadeTier, _: bool) {
+            self.tiers += 1;
+        }
     }
 
     fn drive<O: SearchObserver>(obs: &mut O) {
@@ -140,6 +207,7 @@ mod tests {
         obs.on_leaf_distance(1.5);
         obs.on_early_abandon(17);
         obs.on_k_change(8, 4, true);
+        obs.on_cascade_tier(CascadeTier::Kim, true);
     }
 
     #[test]
@@ -154,8 +222,24 @@ mod tests {
         // engine's nested calls do.
         drive(&mut &mut obs);
         assert_eq!(
-            (obs.wedges, obs.leaves, obs.abandons, obs.k_changes),
-            (1, 1, 1, 1)
+            (
+                obs.wedges,
+                obs.leaves,
+                obs.abandons,
+                obs.k_changes,
+                obs.tiers
+            ),
+            (1, 1, 1, 1, 1)
         );
+    }
+
+    #[test]
+    fn tier_order_and_names_are_stable() {
+        assert_eq!(CascadeTier::ALL.len(), 4);
+        for (i, tier) in CascadeTier::ALL.iter().enumerate() {
+            assert_eq!(tier.index(), i, "ALL is in cascade order");
+        }
+        let names: Vec<&str> = CascadeTier::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names, ["kim", "reduced", "keogh", "improved"]);
     }
 }

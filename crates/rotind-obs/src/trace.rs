@@ -18,7 +18,7 @@
 //!   was a probe or an adoption.
 
 use crate::metrics::{Histogram, MetricsRegistry};
-use crate::observer::{ForkJoinObserver, SearchObserver};
+use crate::observer::{CascadeTier, ForkJoinObserver, SearchObserver};
 use std::fmt::Write as _;
 
 /// One dynamic-K transition, in search order.
@@ -48,6 +48,8 @@ pub struct QueryTrace {
     k_timeline: Vec<KChange>,
     wedge_seq: u64,
     last_unpruned_lb: Option<f64>,
+    tier_tested: [u64; CascadeTier::ALL.len()],
+    tier_pruned: [u64; CascadeTier::ALL.len()],
 }
 
 impl QueryTrace {
@@ -65,6 +67,8 @@ impl QueryTrace {
             k_timeline: Vec::new(),
             wedge_seq: 0,
             last_unpruned_lb: None,
+            tier_tested: [0; CascadeTier::ALL.len()],
+            tier_pruned: [0; CascadeTier::ALL.len()],
         }
     }
 
@@ -128,6 +132,29 @@ impl QueryTrace {
         &self.k_timeline
     }
 
+    /// Bound evaluations by cascade tier.
+    pub fn tier_tested(&self, tier: CascadeTier) -> u64 {
+        self.tier_tested[tier.index()]
+    }
+
+    /// Dismissals attributed to a cascade tier (the tier whose bound
+    /// exceeded best-so-far; later tiers never ran for that pair).
+    pub fn tier_pruned(&self, tier: CascadeTier) -> u64 {
+        self.tier_pruned[tier.index()]
+    }
+
+    /// Fraction of a tier's evaluations that pruned, or `None` when the
+    /// tier never ran.
+    pub fn tier_prune_rate(&self, tier: CascadeTier) -> Option<f64> {
+        let tested = self.tier_tested(tier);
+        (tested > 0).then(|| self.tier_pruned(tier) as f64 / tested as f64)
+    }
+
+    /// Total dismissals attributed to any cascade tier.
+    pub fn tier_pruned_total(&self) -> u64 {
+        self.tier_pruned.iter().sum()
+    }
+
     /// Fold `other` into this trace (accumulate across queries).
     /// K changes keep their per-query sequence numbers.
     pub fn merge(&mut self, other: &QueryTrace) {
@@ -146,6 +173,10 @@ impl QueryTrace {
         self.abandon_depth.merge(&other.abandon_depth);
         self.k_timeline.extend_from_slice(&other.k_timeline);
         self.wedge_seq += other.wedge_seq;
+        for i in 0..CascadeTier::ALL.len() {
+            self.tier_tested[i] = self.tier_tested[i].saturating_add(other.tier_tested[i]);
+            self.tier_pruned[i] = self.tier_pruned[i].saturating_add(other.tier_pruned[i]);
+        }
     }
 
     /// Export the trace into a [`MetricsRegistry`] under `rotind_`
@@ -159,6 +190,16 @@ impl QueryTrace {
             registry.counter_add(
                 &format!("rotind_wedges_pruned_l{level}"),
                 self.pruned(level),
+            );
+        }
+        for tier in CascadeTier::ALL {
+            registry.counter_add(
+                &format!("rotind_cascade_tested_{}", tier.name()),
+                self.tier_tested(tier),
+            );
+            registry.counter_add(
+                &format!("rotind_cascade_pruned_{}", tier.name()),
+                self.tier_pruned(tier),
             );
         }
         registry.counter_add("rotind_leaf_distances_total", self.leaf_count);
@@ -205,6 +246,22 @@ impl QueryTrace {
                 self.pruned(level),
                 100.0 * rate
             );
+        }
+        if self.tier_tested.iter().any(|&t| t > 0) {
+            let _ = write!(out, "cascade tiers:");
+            for tier in CascadeTier::ALL {
+                if self.tier_tested(tier) > 0 {
+                    let _ = write!(
+                        out,
+                        " [{} tested {} pruned {} ({:.1}%)]",
+                        tier.name(),
+                        self.tier_tested(tier),
+                        self.tier_pruned(tier),
+                        100.0 * self.tier_prune_rate(tier).unwrap_or(0.0)
+                    );
+                }
+            }
+            let _ = writeln!(out);
         }
         if let Some(mean) = self.tightness.mean() {
             let _ = writeln!(
@@ -289,6 +346,14 @@ impl SearchObserver for QueryTrace {
             new,
             probing,
         });
+    }
+
+    fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
+        let i = tier.index();
+        self.tier_tested[i] = self.tier_tested[i].saturating_add(1);
+        if pruned {
+            self.tier_pruned[i] = self.tier_pruned[i].saturating_add(1);
+        }
     }
 }
 
@@ -412,6 +477,28 @@ mod tests {
         assert_eq!(parent.leaf_distances(), 1);
         assert_eq!(parent.early_abandons(), 1);
         assert!((parent.abandon_depth().mean().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tier_counters_accumulate_merge_and_report() {
+        let mut a = QueryTrace::new(32);
+        a.on_cascade_tier(CascadeTier::Kim, false);
+        a.on_cascade_tier(CascadeTier::Keogh, true);
+        let mut b = QueryTrace::new(32);
+        b.on_cascade_tier(CascadeTier::Kim, true);
+        a.merge(&b);
+        assert_eq!(a.tier_tested(CascadeTier::Kim), 2);
+        assert_eq!(a.tier_pruned(CascadeTier::Kim), 1);
+        assert_eq!(a.tier_prune_rate(CascadeTier::Kim), Some(0.5));
+        assert_eq!(a.tier_prune_rate(CascadeTier::Improved), None);
+        assert_eq!(a.tier_pruned_total(), 2);
+        let report = a.report();
+        assert!(report.contains("cascade tiers:"), "{report}");
+        assert!(report.contains("[kim tested 2 pruned 1"), "{report}");
+        let mut reg = MetricsRegistry::new();
+        a.export_to(&mut reg);
+        assert_eq!(reg.counter("rotind_cascade_tested_kim"), 2);
+        assert_eq!(reg.counter("rotind_cascade_pruned_keogh"), 1);
     }
 
     #[test]

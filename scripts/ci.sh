@@ -42,8 +42,20 @@ ROTIND_THREADS=1 cargo test -q --test exactness --test parallel
 echo "==> exactness + parallel suites under ROTIND_THREADS=4"
 ROTIND_THREADS=4 cargo test -q --test exactness --test parallel
 
+# Every cascade tier in isolation, then the full cascade: each
+# configuration must return the brute-force answers (exactness only —
+# single-tier configurations are deliberately not step-competitive).
+for c in kim reduced keogh improved all; do
+    echo "==> exactness + cascade suites under ROTIND_CASCADE=$c"
+    ROTIND_CASCADE=$c cargo test -q --test exactness --test cascade
+done
+
 echo "==> trace smoke run (bounded workload)"
 ROTIND_QUICK=1 ROTIND_RESULTS="$(mktemp -d)" \
     cargo run -p rotind-bench --release --bin trace >/dev/null
+
+echo "==> cascade ablation smoke run (writes results/bench_cascade.json)"
+ROTIND_QUICK=1 ROTIND_RESULTS=results \
+    cargo run -p rotind-bench --release --bin cascade >/dev/null
 
 echo "==> CI green"
