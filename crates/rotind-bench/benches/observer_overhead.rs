@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rotind_index::engine::{Invariance, RotationQuery};
-use rotind_obs::{NoopObserver, QueryTrace};
+use rotind_obs::{NoopObserver, Profiler, QueryTrace};
 use rotind_shape::dataset::projectile_points;
 use rotind_ts::StepCounter;
 use std::hint::black_box;
@@ -46,6 +46,18 @@ fn bench_observer_overhead(c: &mut Criterion) {
             let mut trace = QueryTrace::new(n);
             engine
                 .nearest_observed(black_box(&db), &mut s, &mut trace)
+                .expect("valid")
+        })
+    });
+    // The profiler reads the clock at every phase boundary — the
+    // costliest observer. This row bounds what `--bin trace`'s second
+    // pass and the cascade bin's fan-out observer pay.
+    group.bench_function("profiler", |b| {
+        b.iter(|| {
+            let mut s = StepCounter::new();
+            let mut profiler = Profiler::new();
+            engine
+                .nearest_observed(black_box(&db), &mut s, &mut profiler)
                 .expect("valid")
         })
     });

@@ -3,7 +3,9 @@
 //! the full four-tier cascade — and report, per configuration and
 //! measure, the total `num_steps`, steps and wall-clock per query, the
 //! steps-per-pair exponent (`ln(steps/pair)/ln(n)`, the paper's §5.3
-//! framing) and the per-tier tested/pruned counts from [`QueryTrace`].
+//! framing), the per-tier tested/pruned counts from [`QueryTrace`],
+//! and each tier's wall-clock and prunes-per-microsecond yield from the
+//! [`Profiler`]'s online cost accounting.
 //!
 //! Besides the usual CSV table, the run writes machine-readable
 //! `results/bench_cascade.json` for CI trending. `ROTIND_QUICK=1`
@@ -11,17 +13,58 @@
 //!
 //! [`CascadeConfig`]: rotind_index::CascadeConfig
 //! [`QueryTrace`]: rotind_obs::QueryTrace
+//! [`Profiler`]: rotind_obs::Profiler
 
 use rotind_distance::dtw::DtwParams;
 use rotind_distance::measure::Measure;
 use rotind_eval::report::Table;
 use rotind_index::engine::{Invariance, RotationQuery};
 use rotind_index::CascadeConfig;
-use rotind_obs::{CascadeTier, QueryTrace};
+use rotind_obs::{CascadeTier, ProfilePhase, Profiler, QueryTrace, SearchObserver};
 use rotind_shape::dataset as shapes;
 use rotind_ts::StepCounter;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Fan-out observer: every search event goes to both the aggregate
+/// [`QueryTrace`] and the wall-clock-attributing [`Profiler`], so one
+/// pass yields prune counts *and* per-tier nanoseconds.
+struct TraceAndProfile<'a> {
+    trace: &'a mut QueryTrace,
+    profiler: &'a mut Profiler,
+}
+
+impl SearchObserver for TraceAndProfile<'_> {
+    fn on_wedge_tested(&mut self, level: usize, lb: f64, best_so_far: f64, pruned: bool) {
+        self.trace.on_wedge_tested(level, lb, best_so_far, pruned);
+        self.profiler
+            .on_wedge_tested(level, lb, best_so_far, pruned);
+    }
+    fn on_leaf_distance(&mut self, distance: f64) {
+        self.trace.on_leaf_distance(distance);
+        self.profiler.on_leaf_distance(distance);
+    }
+    fn on_early_abandon(&mut self, position: usize) {
+        self.trace.on_early_abandon(position);
+        self.profiler.on_early_abandon(position);
+    }
+    fn on_k_change(&mut self, old: usize, new: usize, probing: bool) {
+        self.trace.on_k_change(old, new, probing);
+        self.profiler.on_k_change(old, new, probing);
+    }
+    fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
+        self.trace.on_cascade_tier(tier, pruned);
+        self.profiler.on_cascade_tier(tier, pruned);
+    }
+    fn on_phase_start(&mut self, phase: ProfilePhase, steps: u64) {
+        self.trace.on_phase_start(phase, steps);
+        self.profiler.on_phase_start(phase, steps);
+    }
+    fn on_phase_end(&mut self, phase: ProfilePhase, steps: u64) {
+        self.trace.on_phase_end(phase, steps);
+        self.profiler.on_phase_end(phase, steps);
+    }
+}
 
 /// The ablation ladder: each rung adds one cascade feature, all under
 /// the tuned default gates of [`CascadeConfig::all`].
@@ -54,6 +97,8 @@ struct Run {
     exponent: f64,
     tier_tested: [u64; CascadeTier::ALL.len()],
     tier_pruned: [u64; CascadeTier::ALL.len()],
+    tier_ns: [u128; CascadeTier::ALL.len()],
+    tier_prunes_per_us: [Option<f64>; CascadeTier::ALL.len()],
 }
 
 fn run_config(
@@ -66,6 +111,7 @@ fn run_config(
     n: usize,
 ) -> Run {
     let mut trace = QueryTrace::new(n);
+    let mut profiler = Profiler::new();
     let mut total_steps = 0u64;
     let start = Instant::now();
     for query in queries {
@@ -73,8 +119,12 @@ fn run_config(
             .expect("valid query")
             .with_cascade(config);
         let mut counter = StepCounter::new();
+        let mut observer = TraceAndProfile {
+            trace: &mut trace,
+            profiler: &mut profiler,
+        };
         engine
-            .nearest_observed(db, &mut counter, &mut trace)
+            .nearest_observed(db, &mut counter, &mut observer)
             .expect("valid database");
         total_steps += counter.steps();
     }
@@ -83,9 +133,14 @@ fn run_config(
     let steps_per_pair = total_steps as f64 / pairs;
     let mut tier_tested = [0u64; CascadeTier::ALL.len()];
     let mut tier_pruned = [0u64; CascadeTier::ALL.len()];
+    let mut tier_ns = [0u128; CascadeTier::ALL.len()];
+    let mut tier_prunes_per_us = [None; CascadeTier::ALL.len()];
     for tier in CascadeTier::ALL {
+        let cost = &profiler.tier_costs()[tier.index()];
         tier_tested[tier.index()] = trace.tier_tested(tier);
         tier_pruned[tier.index()] = trace.tier_pruned(tier);
+        tier_ns[tier.index()] = cost.total_ns;
+        tier_prunes_per_us[tier.index()] = cost.prunes_per_us();
     }
     Run {
         measure: measure_name,
@@ -96,6 +151,8 @@ fn run_config(
         exponent: steps_per_pair.max(1.0).ln() / (n as f64).ln(),
         tier_tested,
         tier_pruned,
+        tier_ns,
+        tier_prunes_per_us,
     }
 }
 
@@ -135,9 +192,12 @@ fn write_json(runs: &[Run], m: usize, n: usize, queries: usize) -> String {
             } else {
                 0.0
             };
+            let ns = r.tier_ns[tier.index()];
+            let prunes_per_us = r.tier_prunes_per_us[tier.index()].unwrap_or(0.0);
             let _ = write!(
                 out,
-                "{}\"{}\": {{ \"tested\": {tested}, \"pruned\": {pruned}, \"prune_rate\": {rate:.4} }}",
+                "{}\"{}\": {{ \"tested\": {tested}, \"pruned\": {pruned}, \"prune_rate\": {rate:.4}, \
+                 \"ns\": {ns}, \"prunes_per_us\": {prunes_per_us:.3} }}",
                 if j > 0 { ", " } else { " " },
                 tier.name()
             );
@@ -194,7 +254,12 @@ fn main() {
         "reduced_pruned",
         "keogh_pruned",
         "improved_pruned",
+        "kim_prunes_us",
+        "reduced_prunes_us",
+        "keogh_prunes_us",
+        "improved_prunes_us",
     ]);
+    let fmt_rate = |rate: Option<f64>| rate.map_or_else(|| "-".to_string(), |r| format!("{r:.2}"));
     for r in &runs {
         table.push_row([
             r.measure.to_string(),
@@ -207,6 +272,10 @@ fn main() {
             r.tier_pruned[CascadeTier::Reduced.index()].to_string(),
             r.tier_pruned[CascadeTier::Keogh.index()].to_string(),
             r.tier_pruned[CascadeTier::Improved.index()].to_string(),
+            fmt_rate(r.tier_prunes_per_us[CascadeTier::Kim.index()]),
+            fmt_rate(r.tier_prunes_per_us[CascadeTier::Reduced.index()]),
+            fmt_rate(r.tier_prunes_per_us[CascadeTier::Keogh.index()]),
+            fmt_rate(r.tier_prunes_per_us[CascadeTier::Improved.index()]),
         ]);
     }
     rotind_bench::emit("bench_cascade", &table);

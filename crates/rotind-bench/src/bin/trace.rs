@@ -8,15 +8,23 @@
 //! table (wall-clock next to `num_steps`, the paper's §5.3 argument
 //! made visible).
 //!
+//! A second pass re-runs the same queries under the hierarchical
+//! [`Profiler`] and writes `results/trace_profile.json` — a
+//! chrome://tracing / Perfetto-loadable span tree with wall-clock *and*
+//! `num_steps` per phase — plus `results/trace_profile.folded`
+//! (collapsed stacks for `flamegraph.pl` / speedscope), and prints
+//! latency quantiles and the per-tier prune economics.
+//!
 //! `ROTIND_QUICK=1` bounds the database for smoke runs; the full run
 //! uses the paper's 2,000-item, n = 251 workload.
 //!
 //! [`QueryTrace`]: rotind_obs::QueryTrace
+//! [`Profiler`]: rotind_obs::Profiler
 
 use rotind_eval::report::{fmt_ratio, Table};
 use rotind_eval::speedup::wedge_startup_steps;
 use rotind_index::engine::{Invariance, RotationQuery};
-use rotind_obs::{global_span_report, MetricsRegistry, QueryTrace, Span};
+use rotind_obs::{global_span_report, MetricsRegistry, Profiler, QueryTrace, Span};
 use rotind_shape::dataset as shapes;
 use rotind_ts::StepCounter;
 
@@ -117,14 +125,52 @@ fn main() {
         );
     }
 
+    // Second pass: the same queries under the hierarchical profiler.
+    // Identical answers and step counts (observer neutrality, proven in
+    // tests/profiling.rs) — this pass only *attributes* the work.
+    let mut profiler = Profiler::new();
+    let mut profiled_steps = 0u64;
+    for query in &pool[m..] {
+        let mut counter = StepCounter::new();
+        let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
+        engine
+            .nearest_observed(db, &mut counter, &mut profiler)
+            .expect("valid database");
+        counter.add(wedge_startup_steps(n, engine.tree().max_k()));
+        profiled_steps += counter.steps();
+    }
+    assert_eq!(
+        profiled_steps, total_steps,
+        "the profiler must not change the step count"
+    );
+
     println!("\n--- query trace ---\n{}", trace.report());
+    println!("--- profile ---\n{}", profiler.report());
     let mut registry = MetricsRegistry::new();
     trace.export_to(&mut registry);
+    profiler.export_to(&mut registry);
     println!(
         "--- metrics (prometheus exposition) ---\n{}",
         registry.render_prometheus()
     );
     println!("--- spans ---\n{}", global_span_report());
+
+    let dir = rotind_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let chrome = dir.join("trace_profile.json");
+    match std::fs::write(&chrome, profiler.tree().to_chrome_trace()) {
+        Ok(()) => println!("[saved {} — load it at chrome://tracing]", chrome.display()),
+        Err(e) => eprintln!("[warn: could not save {}: {e}]", chrome.display()),
+    }
+    let folded = dir.join("trace_profile.folded");
+    match std::fs::write(&folded, profiler.tree().to_folded()) {
+        Ok(()) => println!(
+            "[saved {} — flamegraph.pl {} > flame.svg]",
+            folded.display(),
+            folded.display()
+        ),
+        Err(e) => eprintln!("[warn: could not save {}: {e}]", folded.display()),
+    }
 
     rotind_bench::emit("trace", &table);
 }

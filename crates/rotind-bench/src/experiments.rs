@@ -845,7 +845,9 @@ pub fn thread_scaling(quick: bool) -> Table {
     let engine = RotationQuery::new(&query, Invariance::Rotation).expect("valid query");
     // rotind-lint: allow(no-panic)
     let sequential = engine.nearest(db).expect("non-empty database");
-    let mut table = Table::new(["threads", "wall-ms", "speedup", "nn-index"]);
+    let mut table = Table::new([
+        "threads", "wall-ms", "speedup", "p50-ms", "p95-ms", "p99-ms", "nn-index",
+    ]);
     for pt in &points {
         let hit = engine
             .nearest_parallel(db, pt.threads)
@@ -860,6 +862,9 @@ pub fn thread_scaling(quick: bool) -> Table {
             pt.threads.to_string(),
             format!("{:.3}", pt.wall_nanos as f64 / 1e6),
             fmt_ratio(pt.speedup),
+            format!("{:.3}", pt.p50_nanos as f64 / 1e6),
+            format!("{:.3}", pt.p95_nanos as f64 / 1e6),
+            format!("{:.3}", pt.p99_nanos as f64 / 1e6),
             hit.index.to_string(),
         ]);
     }

@@ -19,7 +19,7 @@ use rotind_index::baselines::{
     brute_force_scan, convolution_scan, early_abandon_scan_observed, fft_scan_observed,
 };
 use rotind_index::engine::{Invariance, RotationQuery};
-use rotind_obs::{NoopObserver, QueryTrace, SearchObserver};
+use rotind_obs::{LogHistogram, NoopObserver, QueryTrace, SearchObserver};
 use rotind_ts::rotate::RotationMatrix;
 use rotind_ts::StepCounter;
 
@@ -193,7 +193,9 @@ pub fn scan_wall_nanos_parallel(
 }
 
 /// One row of a [`thread_sweep`]: median wall-clock at one thread count
-/// and the speedup relative to the sweep's single-thread row.
+/// and the speedup relative to the sweep's single-thread row, plus
+/// latency quantiles over the row's repeats (streamed through a
+/// [`LogHistogram`], so each is within 6.25% of a sampled value).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThreadSweepPoint {
     /// Worker threads used for this row.
@@ -203,6 +205,12 @@ pub struct ThreadSweepPoint {
     /// `baseline / wall_nanos` where baseline is the 1-thread median
     /// (> 1.0 means the parallel scan is faster).
     pub speedup: f64,
+    /// 50th-percentile wall-clock nanoseconds over the repeats.
+    pub p50_nanos: u64,
+    /// 95th-percentile wall-clock nanoseconds over the repeats.
+    pub p95_nanos: u64,
+    /// 99th-percentile wall-clock nanoseconds over the repeats.
+    pub p99_nanos: u64,
 }
 
 /// Median-of-`repeats` parallel scan wall-clock at each requested
@@ -221,28 +229,38 @@ pub fn thread_sweep(
     repeats: usize,
 ) -> Vec<ThreadSweepPoint> {
     assert!(repeats > 0, "thread_sweep needs at least one repeat");
-    let median = |threads: usize| -> u128 {
+    let sample = |threads: usize| -> (u128, LogHistogram) {
         let mut samples: Vec<u128> = (0..repeats)
             .map(|_| scan_wall_nanos_parallel(db, query, measure, threads))
             .collect();
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            hist.observe(u64::try_from(s).unwrap_or(u64::MAX));
+        }
         samples.sort_unstable();
         // `repeats > 0` is asserted above, so the median index is valid.
         // rotind-lint: allow(no-index)
-        samples[samples.len() / 2]
+        (samples[samples.len() / 2], hist)
     };
-    let baseline = median(1).max(1);
+    let (baseline, baseline_hist) = sample(1);
+    let baseline = baseline.max(1);
     thread_counts
         .iter()
         .map(|&threads| {
-            let wall_nanos = if threads == 1 {
-                baseline
+            let (wall_nanos, hist) = if threads == 1 {
+                (baseline, baseline_hist.clone())
             } else {
-                median(threads)
+                sample(threads)
             };
+            // `repeats > 0`, so every quantile is Some.
+            let q = |p: f64| hist.quantile(p).unwrap_or(0);
             ThreadSweepPoint {
                 threads,
                 wall_nanos,
                 speedup: baseline as f64 / wall_nanos.max(1) as f64,
+                p50_nanos: q(0.5),
+                p95_nanos: q(0.95),
+                p99_nanos: q(0.99),
             }
         })
         .collect()
@@ -531,6 +549,8 @@ mod tests {
         for pt in &points {
             assert!(pt.wall_nanos > 0);
             assert!(pt.speedup.is_finite() && pt.speedup > 0.0);
+            assert!(pt.p50_nanos > 0, "repeats > 0 populate every quantile");
+            assert!(pt.p50_nanos <= pt.p95_nanos && pt.p95_nanos <= pt.p99_nanos);
         }
         // Determinism: parallel answers equal sequential at every count.
         let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();

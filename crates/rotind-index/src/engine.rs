@@ -10,11 +10,13 @@
 
 use crate::cascade::{BoundCascade, CascadeConfig};
 use crate::error::SearchError;
-use crate::hmerge::{h_merge_cascade_observed, h_merge_from_root, HMergeOutcome};
+use crate::hmerge::{h_merge_cascade_budgeted, h_merge_from_root, HMergeOutcome};
 use crate::planner::KPlanner;
 use rotind_distance::measure::Measure;
 use rotind_envelope::WedgeTree;
-use rotind_obs::{NoopObserver, SearchObserver};
+use rotind_obs::{
+    BudgetHook, BudgetOutcome, Exhausted, NoBudget, NoopObserver, ProfilePhase, SearchObserver,
+};
 use rotind_ts::rotate::{Rotation, RotationMatrix};
 use rotind_ts::{StepCounter, TsError};
 use std::collections::HashMap;
@@ -256,6 +258,46 @@ impl RotationQuery {
         counter: &mut StepCounter,
         observer: &mut O,
     ) -> Result<Vec<Neighbor>, SearchError> {
+        // NoBudget monomorphizes every budget check to a constant, so
+        // this is the exact pre-budget scan — see tests/profiling.rs.
+        Ok(self
+            .k_nearest_budgeted(database, k, counter, observer, &mut NoBudget)?
+            .into_inner())
+    }
+
+    /// 1-NN under a [`BudgetHook`]: like
+    /// [`nearest_observed`](Self::nearest_observed) but the budget is
+    /// checked before every candidate item and inside every wedge walk.
+    /// On exhaustion the partial result is the best neighbour among the
+    /// items fully or partially scanned so far — `None` only when the
+    /// budget tripped before any leaf was admitted.
+    pub fn nearest_budgeted<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+    ) -> Result<BudgetOutcome<Option<Neighbor>>, SearchError> {
+        Ok(self
+            .k_nearest_budgeted(database, 1, counter, observer, budget)?
+            .map(|hits| hits.into_iter().next()))
+    }
+
+    /// k-NN under a [`BudgetHook`] (see
+    /// [`nearest_budgeted`](Self::nearest_budgeted)): the budget is
+    /// checked at every dismissal boundary — before each database item
+    /// here, and before each popped wedge inside H-Merge. On exhaustion
+    /// the partial heap holds exact distances for every admitted item,
+    /// but may miss closer items that were never (or only partially)
+    /// scanned.
+    pub fn k_nearest_budgeted<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        k: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+    ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
         if k == 0 {
             return Err(SearchError::invalid_param("k", "must be >= 1"));
         }
@@ -264,6 +306,7 @@ impl RotationQuery {
         }
         self.check_all(database)?;
 
+        observer.on_phase_start(ProfilePhase::Query, counter.steps());
         // Max-heap of the k best by distance; best-so-far is the k-th
         // best (pruning only starts once k hits are held).
         let mut heap: Vec<Neighbor> = Vec::with_capacity(k + 1);
@@ -274,12 +317,19 @@ impl RotationQuery {
             self.probe_intervals,
         );
         for (index, item) in database.iter().enumerate() {
+            // Dismissal boundary: stop admitting new candidates once the
+            // budget trips (the sticky hook also cuts the wedge walk
+            // below, so at most one partial walk runs after a trip).
+            if !budget.check(counter.steps()) {
+                break;
+            }
             let bsf = if heap.len() == k {
                 heap.last().expect("heap non-empty").distance
             } else {
                 f64::INFINITY
             };
-            if let Some(outcome) = scan.compare_observed(item, bsf, self.measure, counter, observer)
+            if let Some(outcome) =
+                scan.compare_budgeted(item, bsf, self.measure, counter, observer, budget)
             {
                 // H-Merge admits inclusively, so with a full heap an item
                 // at exactly the k-th distance comes back `Some`; it
@@ -303,7 +353,15 @@ impl RotationQuery {
                 scan.notify_improvement_observed(observer);
             }
         }
-        Ok(heap)
+        observer.on_phase_end(ProfilePhase::Query, counter.steps());
+        Ok(match budget.trip_reason() {
+            Some(reason) => BudgetOutcome::Exhausted(Exhausted {
+                partial: heap,
+                reason,
+                steps_spent: counter.steps(),
+            }),
+            None => BudgetOutcome::Complete(heap),
+        })
     }
 
     /// Exact range query: every item within `radius` (inclusive) of the
@@ -321,6 +379,22 @@ impl RotationQuery {
         counter: &mut StepCounter,
         observer: &mut O,
     ) -> Result<Vec<Neighbor>, SearchError> {
+        Ok(self
+            .range_budgeted(database, radius, counter, observer, &mut NoBudget)?
+            .into_inner())
+    }
+
+    /// Range query under a [`BudgetHook`] (see
+    /// [`k_nearest_budgeted`](Self::k_nearest_budgeted)): on exhaustion
+    /// the partial hit list covers the scanned prefix of the database.
+    pub fn range_budgeted<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+    ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
         if !radius.is_finite() || radius < 0.0 {
             return Err(SearchError::invalid_param(
                 "radius",
@@ -328,6 +402,7 @@ impl RotationQuery {
             ));
         }
         self.check_all(database)?;
+        observer.on_phase_start(ProfilePhase::Query, counter.steps());
         let mut scan = ScanState::new(
             &self.tree,
             &self.cascade,
@@ -336,10 +411,14 @@ impl RotationQuery {
         );
         let mut out = Vec::new();
         for (index, item) in database.iter().enumerate() {
+            // Dismissal boundary (see k_nearest_budgeted).
+            if !budget.check(counter.steps()) {
+                break;
+            }
             // H-Merge admits inclusively (`d == radius` matches), so the
             // radius is passed straight through — no epsilon padding.
             if let Some(outcome) =
-                scan.compare_observed(item, radius, self.measure, counter, observer)
+                scan.compare_budgeted(item, radius, self.measure, counter, observer, budget)
             {
                 out.push(Neighbor {
                     index,
@@ -348,7 +427,15 @@ impl RotationQuery {
                 });
             }
         }
-        Ok(out)
+        observer.on_phase_end(ProfilePhase::Query, counter.steps());
+        Ok(match budget.trip_reason() {
+            Some(reason) => BudgetOutcome::Exhausted(Exhausted {
+                partial: out,
+                reason,
+                steps_spent: counter.steps(),
+            }),
+            None => BudgetOutcome::Complete(out),
+        })
     }
 
     pub(crate) fn check_len(&self, index: usize, item: &[f64]) -> Result<(), SearchError> {
@@ -419,13 +506,19 @@ impl<'a> ScanState<'a> {
     /// candidates are tried on consecutive items and their `num_steps`
     /// reported back to the planner — no extra work is performed, so the
     /// probe cost is (trivially) included in every experiment.
-    pub(crate) fn compare_observed<O: SearchObserver>(
+    ///
+    /// Under a [`BudgetHook`], a tripped budget cuts the wedge walk at
+    /// the next popped node. The (possibly truncated) step cost is
+    /// still fed to the planner — its probes only tune future work,
+    /// never exactness. Un-budgeted callers pass [`NoBudget`].
+    pub(crate) fn compare_budgeted<O: SearchObserver, B: BudgetHook>(
         &mut self,
         item: &[f64],
         bsf: f64,
         measure: Measure,
         counter: &mut StepCounter,
         observer: &mut O,
+        budget: &mut B,
     ) -> Option<HMergeOutcome> {
         let k = match self.fixed_k {
             Some(k) => k,
@@ -433,7 +526,7 @@ impl<'a> ScanState<'a> {
         };
         let cut = self.cut(k).to_vec();
         let before = *counter;
-        let outcome = h_merge_cascade_observed(
+        let outcome = h_merge_cascade_budgeted(
             item,
             self.tree,
             self.cascade,
@@ -442,6 +535,7 @@ impl<'a> ScanState<'a> {
             measure,
             counter,
             observer,
+            budget,
         );
         if self.fixed_k.is_none() {
             self.planner

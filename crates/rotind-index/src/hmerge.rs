@@ -19,7 +19,7 @@ use rotind_envelope::lb_keogh::{
     lb_kim, lcss_distance_lower_bound,
 };
 use rotind_envelope::WedgeTree;
-use rotind_obs::{CascadeTier, NoopObserver, SearchObserver};
+use rotind_obs::{BudgetHook, CascadeTier, NoBudget, NoopObserver, ProfilePhase, SearchObserver};
 use rotind_ts::rotate::Rotation;
 use rotind_ts::StepCounter;
 
@@ -200,7 +200,9 @@ fn node_tier_bound<O: SearchObserver>(
 
     // Tier 1: O(1) endpoint bound.
     if config.kim && cardinality >= config.kim_min_cardinality {
+        observer.on_phase_start(ProfilePhase::Tier(CascadeTier::Kim), counter.steps());
         let lb = lb_kim(candidate, lb_wedge, counter);
+        observer.on_phase_end(ProfilePhase::Tier(CascadeTier::Kim), counter.steps());
         let pruned = lb > best_so_far;
         observer.on_cascade_tier(CascadeTier::Kim, pruned);
         if pruned {
@@ -214,8 +216,10 @@ fn node_tier_bound<O: SearchObserver>(
         .then(|| cascade.paa_envelope(node))
         .flatten()
     {
+        observer.on_phase_start(ProfilePhase::Tier(CascadeTier::Reduced), counter.steps());
         let paa = ctx.paa(candidate, config.dims, counter);
         let lb = env.min_dist(paa, counter);
+        observer.on_phase_end(ProfilePhase::Tier(CascadeTier::Reduced), counter.steps());
         let pruned = lb > best_so_far;
         observer.on_cascade_tier(CascadeTier::Reduced, pruned);
         if pruned {
@@ -249,11 +253,24 @@ fn node_tier_bound<O: SearchObserver>(
     } else {
         CascadeTier::Improved
     };
+    // A Euclidean singleton leaf's accumulation IS the exact distance
+    // (Section 4.1), so its phase is `distance`, not a tier — the
+    // profile tree attributes that work to where it economically
+    // belongs. Pruned (early-abandoned) evaluations count too: the
+    // phase measures attempted work, while `on_leaf_distance` keeps
+    // counting only completed distances.
+    let keogh_phase = if euclid_leaf {
+        ProfilePhase::Distance
+    } else {
+        ProfilePhase::Tier(keogh_tier)
+    };
+    observer.on_phase_start(keogh_phase, counter.steps());
     let keogh = if config.reorder && !euclid_leaf {
         lb_keogh_reordered_early_abandon_at(candidate, lb_wedge, best_so_far, counter)
     } else {
         lb_keogh_early_abandon_at(candidate, lb_wedge, best_so_far, counter)
     };
+    observer.on_phase_end(keogh_phase, counter.steps());
     let lb = match keogh {
         Ok(lb) => lb,
         Err(position) => {
@@ -282,7 +299,8 @@ fn node_tier_bound<O: SearchObserver>(
     // infinity, so skipping is free.)
     let run_improved = improved_applies && lb >= config.improved_min_ratio * best_so_far;
     if run_improved {
-        match lb_improved_second_pass(
+        observer.on_phase_start(ProfilePhase::Tier(CascadeTier::Improved), counter.steps());
+        let second = lb_improved_second_pass(
             candidate,
             tree.wedge(node),
             lb_wedge,
@@ -290,7 +308,9 @@ fn node_tier_bound<O: SearchObserver>(
             lb * lb,
             best_so_far,
             counter,
-        ) {
+        );
+        observer.on_phase_end(ProfilePhase::Tier(CascadeTier::Improved), counter.steps());
+        match second {
             Some(lb) => {
                 observer.on_cascade_tier(CascadeTier::Improved, false);
                 observer.on_wedge_tested(level, lb, best_so_far, false);
@@ -334,16 +354,59 @@ pub fn h_merge_cascade_observed<O: SearchObserver>(
     counter: &mut StepCounter,
     observer: &mut O,
 ) -> Option<HMergeOutcome> {
+    h_merge_cascade_budgeted(
+        candidate,
+        tree,
+        cascade,
+        cut,
+        r,
+        measure,
+        counter,
+        observer,
+        &mut NoBudget,
+    )
+}
+
+/// [`h_merge_cascade_observed`] under a [`BudgetHook`]: the budget is
+/// checked at every dismissal boundary (the top of the pop loop, before
+/// any bound is evaluated for the popped wedge). When it trips, the walk
+/// stops and the running best is returned — a valid *partial* result:
+/// every admitted leaf was fully evaluated, so the returned distance is
+/// exact for the rotations actually visited, just not necessarily the
+/// global minimum. With [`NoBudget`] the check monomorphizes to a
+/// constant `true` and this is bit-identical to the un-budgeted scan.
+///
+/// The whole walk is bracketed in a [`ProfilePhase::WedgeMerge`] phase;
+/// tier evaluations and leaf distances report their own nested phases.
+#[allow(clippy::too_many_arguments)] // mirrors h_merge_cascade_observed + the budget
+pub fn h_merge_cascade_budgeted<O: SearchObserver, B: BudgetHook>(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cascade: &BoundCascade,
+    cut: &[usize],
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+    budget: &mut B,
+) -> Option<HMergeOutcome> {
     assert_eq!(
         candidate.len(),
         tree.matrix().series_len(),
         "h_merge: candidate length mismatch"
     );
+    observer.on_phase_start(ProfilePhase::WedgeMerge, counter.steps());
     let mut ctx = CandidateCtx::new();
     let mut best: Option<HMergeOutcome> = None;
     let mut best_so_far = r;
     let mut stack: Vec<(usize, usize)> = cut.iter().map(|&node| (node, 0)).collect();
     while let Some((node, level)) = stack.pop() {
+        // Dismissal boundary: a tripped budget abandons the remaining
+        // wedges. The hook is sticky, so the caller can read the trip
+        // reason afterwards.
+        if !budget.check(counter.steps()) {
+            break;
+        }
         let is_leaf = tree.is_leaf(node);
         let bound = match measure {
             // LCSS has a single similarity-count bound; no tiers apply.
@@ -374,8 +437,18 @@ pub fn h_merge_cascade_observed<O: SearchObserver>(
             continue; // the whole wedge is pruned
         };
         if is_leaf {
-            if let Some(d) = leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter)
-            {
+            // Euclidean leaves fire their `distance` phase inside the
+            // cascade (the singleton bound IS the distance); the other
+            // measures compute the real thing here.
+            let phased = !matches!(measure, Measure::Euclidean);
+            if phased {
+                observer.on_phase_start(ProfilePhase::Distance, counter.steps());
+            }
+            let d = leaf_distance(candidate, tree, node, best_so_far, lb, measure, counter);
+            if phased {
+                observer.on_phase_end(ProfilePhase::Distance, counter.steps());
+            }
+            if let Some(d) = d {
                 observer.on_leaf_distance(d);
                 let rotation = tree.leaf_rotation(node);
                 // Admission against the caller's radius is inclusive
@@ -406,6 +479,7 @@ pub fn h_merge_cascade_observed<O: SearchObserver>(
             stack.push((right, level + 1));
         }
     }
+    observer.on_phase_end(ProfilePhase::WedgeMerge, counter.steps());
     best
 }
 

@@ -37,7 +37,10 @@
 
 use crate::engine::{Neighbor, RotationQuery, ScanState};
 use crate::error::SearchError;
-use rotind_obs::{ForkJoinObserver, NoopObserver};
+use rotind_obs::{
+    BudgetHook, BudgetOutcome, Exhausted, ForkJoinObserver, NoBudget, NoopObserver, QueryBudget,
+    SharedBudget,
+};
 use rotind_ts::StepCounter;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -144,6 +147,25 @@ struct WorkerOutput<O> {
     observer: O,
 }
 
+/// Merge chunk bests in chunk order by (distance, index): equal
+/// distances keep the earlier chunk, reproducing the sequential
+/// lowest-index tie-break.
+fn merge_chunk_bests<O>(outputs: &[WorkerOutput<O>]) -> Option<Neighbor> {
+    let mut best: Option<Neighbor> = None;
+    for output in outputs {
+        if let Some(candidate) = output.best {
+            let improved = match best {
+                None => true,
+                Some(b) => candidate.distance < b.distance,
+            };
+            if improved {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
 impl RotationQuery {
     /// Exact 1-nearest-neighbour search over `threads` worker threads
     /// (`0` = auto, see [`default_threads`]). Returns exactly what
@@ -195,9 +217,11 @@ impl RotationQuery {
             database,
             threads,
             observer,
-            |scan, index, item, steps, obs| {
+            || NoBudget,
+            |scan, index, item, steps, obs, budget| {
                 let bsf = shared.get();
-                let outcome = scan.compare_observed(item, bsf, self.measure(), steps, obs)?;
+                let outcome =
+                    scan.compare_budgeted(item, bsf, self.measure(), steps, obs, budget)?;
                 shared.update_min(outcome.distance);
                 Some(Neighbor {
                     index,
@@ -206,27 +230,64 @@ impl RotationQuery {
                 })
             },
         );
-        // Merge chunk bests in chunk order by (distance, index): equal
-        // distances keep the earlier chunk, reproducing the sequential
-        // lowest-index tie-break.
-        let mut best: Option<Neighbor> = None;
-        for output in &outputs {
-            if let Some(candidate) = output.best {
-                let improved = match best {
-                    None => true,
-                    Some(b) => candidate.distance < b.distance,
-                };
-                if improved {
-                    best = Some(candidate);
-                }
-            }
-        }
+        let best = merge_chunk_bests(&outputs);
         self.join_outputs(outputs, counter, observer);
         // Non-empty database (checked above) + infinite initial radius:
         // some worker's first comparison always admits, so a best exists.
         // rotind-lint: allow(no-panic)
         let hit = best.expect("non-empty database yields a nearest neighbour");
         Ok((hit, report))
+    }
+
+    /// Parallel 1-NN under a [`QueryBudget`]: one budget pool
+    /// ([`SharedBudget`]) is shared by all workers, each charging its
+    /// local step delta at every dismissal boundary — so a trip by any
+    /// worker stops all of them at their next check. When the budget
+    /// never trips the answer is [`BudgetOutcome::Complete`] and
+    /// bit-identical to the sequential scan; on exhaustion the partial
+    /// best covers whatever prefix of each chunk was scanned (`None`
+    /// only when no worker admitted a leaf before the trip).
+    pub fn nearest_parallel_budgeted<O: ForkJoinObserver>(
+        &self,
+        database: &[Vec<f64>],
+        threads: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &QueryBudget,
+    ) -> Result<(BudgetOutcome<Option<Neighbor>>, ParallelReport), SearchError> {
+        if database.is_empty() {
+            return Err(SearchError::EmptyDatabase);
+        }
+        self.check_all(database)?;
+        let pool = SharedBudget::from_budget(budget);
+        let shared = SharedRadius::new(f64::INFINITY);
+        let (outputs, report) = self.scan_chunks(
+            database,
+            threads,
+            observer,
+            || pool.hook(),
+            |scan, index, item, steps, obs, hook| {
+                let bsf = shared.get();
+                let outcome = scan.compare_budgeted(item, bsf, self.measure(), steps, obs, hook)?;
+                shared.update_min(outcome.distance);
+                Some(Neighbor {
+                    index,
+                    distance: outcome.distance,
+                    rotation: outcome.rotation,
+                })
+            },
+        );
+        let best = merge_chunk_bests(&outputs);
+        self.join_outputs(outputs, counter, observer);
+        let outcome = match pool.trip_reason() {
+            Some(reason) => BudgetOutcome::Exhausted(Exhausted {
+                partial: best,
+                reason,
+                steps_spent: pool.spent(),
+            }),
+            None => BudgetOutcome::Complete(best),
+        };
+        Ok((outcome, report))
     }
 
     /// Exact range query over `threads` worker threads (`0` = auto).
@@ -272,8 +333,10 @@ impl RotationQuery {
             database,
             threads,
             observer,
-            |scan, index, item, steps, obs| {
-                let outcome = scan.compare_observed(item, radius, self.measure(), steps, obs)?;
+            || NoBudget,
+            |scan, index, item, steps, obs, budget| {
+                let outcome =
+                    scan.compare_budgeted(item, radius, self.measure(), steps, obs, budget)?;
                 Some(Neighbor {
                     index,
                     distance: outcome.distance,
@@ -289,27 +352,93 @@ impl RotationQuery {
         Ok((hits, report))
     }
 
+    /// Parallel range query under a [`QueryBudget`]; budget semantics as
+    /// in [`nearest_parallel_budgeted`](RotationQuery::nearest_parallel_budgeted).
+    /// On exhaustion the partial hit list covers the scanned prefix of
+    /// each chunk, concatenated in chunk order.
+    #[allow(clippy::type_complexity)] // the outcome + report pair mirrors the observed API
+    pub fn range_parallel_budgeted<O: ForkJoinObserver>(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+        threads: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &QueryBudget,
+    ) -> Result<(BudgetOutcome<Vec<Neighbor>>, ParallelReport), SearchError> {
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(SearchError::invalid_param(
+                "radius",
+                "must be finite and >= 0",
+            ));
+        }
+        self.check_all(database)?;
+        let pool = SharedBudget::from_budget(budget);
+        let (outputs, report) = self.scan_chunks(
+            database,
+            threads,
+            observer,
+            || pool.hook(),
+            |scan, index, item, steps, obs, hook| {
+                let outcome =
+                    scan.compare_budgeted(item, radius, self.measure(), steps, obs, hook)?;
+                Some(Neighbor {
+                    index,
+                    distance: outcome.distance,
+                    rotation: outcome.rotation,
+                })
+            },
+        );
+        let mut hits = Vec::new();
+        for output in &outputs {
+            hits.extend_from_slice(&output.hits);
+        }
+        self.join_outputs(outputs, counter, observer);
+        let outcome = match pool.trip_reason() {
+            Some(reason) => BudgetOutcome::Exhausted(Exhausted {
+                partial: hits,
+                reason,
+                steps_spent: pool.spent(),
+            }),
+            None => BudgetOutcome::Complete(hits),
+        };
+        Ok((outcome, report))
+    }
+
     /// Split `database` into balanced contiguous chunks and run
     /// `compare` over each chunk on its own thread, with a fresh
-    /// [`ScanState`], step counter and forked observer per worker.
+    /// [`ScanState`], step counter, forked observer and budget hook
+    /// (from `make_budget` — [`NoBudget`] for un-budgeted scans, a
+    /// [`SharedBudget`] pool hook for budgeted ones) per worker.
     /// `compare` returns `Some(hit)` when the item is admitted; workers
     /// record every hit (for range queries) and track the chunk best
     /// under a strict-improvement guard (for nearest queries). Outputs
     /// come back in chunk order.
-    fn scan_chunks<O, F>(
+    fn scan_chunks<O, B, MB, F>(
         &self,
         database: &[Vec<f64>],
         threads: usize,
         observer: &O,
+        make_budget: MB,
         compare: F,
     ) -> (Vec<WorkerOutput<O>>, ParallelReport)
     where
         O: ForkJoinObserver,
-        F: Fn(&mut ScanState<'_>, usize, &[f64], &mut StepCounter, &mut O) -> Option<Neighbor>
+        B: BudgetHook + Send,
+        MB: Fn() -> B + Sync,
+        F: Fn(
+                &mut ScanState<'_>,
+                usize,
+                &[f64],
+                &mut StepCounter,
+                &mut O,
+                &mut B,
+            ) -> Option<Neighbor>
             + Sync,
     {
         let chunks = chunk_ranges(database.len(), resolve_threads(threads));
         let compare = &compare;
+        let make_budget = &make_budget;
         let outputs: Vec<WorkerOutput<O>> = thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
@@ -324,9 +453,16 @@ impl RotationQuery {
                             self.probe_intervals,
                         );
                         let mut steps = StepCounter::new();
+                        let mut budget = make_budget();
                         let mut best: Option<Neighbor> = None;
                         let mut hits = Vec::new();
                         for index in range {
+                            // Dismissal boundary: a tripped pool stops
+                            // every worker at its next item. NoBudget
+                            // folds this branch away entirely.
+                            if !budget.check(steps.steps()) {
+                                break;
+                            }
                             if let Some(hit) = compare(
                                 &mut scan,
                                 index,
@@ -336,6 +472,7 @@ impl RotationQuery {
                                 &database[index],
                                 &mut steps,
                                 &mut child,
+                                &mut budget,
                             ) {
                                 hits.push(hit);
                                 // Strict improvement: ties keep the

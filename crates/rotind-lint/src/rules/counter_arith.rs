@@ -3,7 +3,8 @@
 //! profile, a `steps += n` that overflows panics the search; in release
 //! it silently wraps and corrupts every speedup figure downstream. All
 //! arithmetic on counter-ish state (identifiers containing `count`,
-//! `step` or `tick`) must be saturating or checked — and explicitly
+//! `step`, `tick`, `spent` or `budget`) must be saturating or checked
+//! — and explicitly
 //! wrapping arithmetic on counters is flagged outright, since wrapped
 //! telemetry is worse than a panic. Atomic counters are held to the
 //! same bar: `fetch_add`/`fetch_sub` wrap on overflow with no
@@ -18,10 +19,16 @@ use crate::source::{FileKind, SourceFile};
 /// Rule id.
 pub const ID: &str = "counter-arith";
 
-/// True for identifiers that name step/count state.
+/// True for identifiers that name step/count state — including the
+/// budget layer's spend accounting (`spent_pool`, `budget_used`), which
+/// feeds `Exhausted::steps_spent` and must never wrap either.
 fn counter_ish(ident: &str) -> bool {
     let l = ident.to_ascii_lowercase();
-    l.contains("count") || l.contains("step") || l.contains("tick")
+    l.contains("count")
+        || l.contains("step")
+        || l.contains("tick")
+        || l.contains("spent")
+        || l.contains("budget")
 }
 
 /// Check one file.
@@ -135,6 +142,20 @@ mod tests {
         let f = lint(
             "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(generation: &AtomicU64) {\n    generation.fetch_add(1, Ordering::Relaxed);\n}\n",
         );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn flags_arith_on_budget_spend_state() {
+        let f = lint(
+            "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(spent_pool: &AtomicU64, mut budget_used: u64) {\n    spent_pool.fetch_add(7, Ordering::AcqRel);\n    budget_used += 7;\n}\n",
+        );
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn saturating_budget_spend_is_fine() {
+        let f = lint("fn f(spent: u64, delta: u64) -> u64 { spent.saturating_add(delta) }\n");
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -1,0 +1,412 @@
+//! Query budgets: bounded-cost search with typed partial results.
+//!
+//! A [`BudgetHook`] is threaded through the engine's hot loop exactly
+//! like the observer: the search entry points are generic over it, and
+//! the no-budget case is the zero-sized [`NoBudget`], whose
+//! [`check`](BudgetHook::check) is a constant `true` — so an
+//! un-budgeted search monomorphizes to the exact un-instrumented code
+//! and stays bit-identical (property-tested in `tests/profiling.rs`).
+//!
+//! A real [`QueryBudget`] caps the paper's `num_steps` metric and/or
+//! wall-clock. The engine checks it once per **dismissal boundary** —
+//! per candidate series, never inside a bound accumulation — so a trip
+//! is detected within one candidate's worth of work. Exhaustion is
+//! *sticky*: once a budget trips it stays tripped, the scan loops
+//! simply stop admitting new candidates, and the caller gets back a
+//! typed [`Exhausted`] partial result instead of an answer it might
+//! mistake for exact.
+//!
+//! [`SharedBudget`] extends the same semantics across the parallel
+//! scan: workers charge their local step deltas into one atomic pool,
+//! and any worker tripping it stops all of them at their next check.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a budget tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetReason {
+    /// The step cap was exceeded.
+    Steps,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+/// A partial result from a budget-limited search.
+///
+/// `partial` is everything the search had established when the budget
+/// tripped: for nearest-neighbour queries the best candidate admitted
+/// so far (which is exact over the *scanned prefix* of the database),
+/// for range queries the hits found so far.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exhausted<T> {
+    /// The best answer over the portion of the database scanned before
+    /// the budget tripped.
+    pub partial: T,
+    /// Which limit tripped first.
+    pub reason: BudgetReason,
+    /// Steps spent when the search stopped.
+    pub steps_spent: u64,
+}
+
+/// The outcome of a budgeted search: either the exact answer, or a
+/// typed partial one. Deliberately not a `Result` — exhaustion is not
+/// an error, and the partial result is still admissible over its
+/// scanned prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetOutcome<T> {
+    /// The budget never tripped; this answer is exact, bit-identical to
+    /// the un-budgeted search.
+    Complete(T),
+    /// The budget tripped mid-scan.
+    Exhausted(Exhausted<T>),
+}
+
+impl<T> BudgetOutcome<T> {
+    /// The answer, exact or partial, discarding the outcome tag.
+    pub fn into_inner(self) -> T {
+        match self {
+            BudgetOutcome::Complete(v) => v,
+            BudgetOutcome::Exhausted(e) => e.partial,
+        }
+    }
+
+    /// True for [`BudgetOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, BudgetOutcome::Complete(_))
+    }
+
+    /// Apply `f` to the answer, keeping the outcome tag (and, when
+    /// exhausted, the trip metadata).
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> BudgetOutcome<U> {
+        match self {
+            BudgetOutcome::Complete(v) => BudgetOutcome::Complete(f(v)),
+            BudgetOutcome::Exhausted(e) => BudgetOutcome::Exhausted(Exhausted {
+                partial: f(e.partial),
+                reason: e.reason,
+                steps_spent: e.steps_spent,
+            }),
+        }
+    }
+}
+
+/// The budget side of the engine's hot loop, mirroring
+/// [`SearchObserver`](crate::SearchObserver): generic, defaulted to a
+/// zero-sized no-op, never able to change a result other than by
+/// stopping the scan early.
+pub trait BudgetHook {
+    /// Called at each dismissal boundary with the query counter's
+    /// current total. Returns `true` while the search may continue.
+    /// Implementations must be *sticky*: once this returns `false` it
+    /// returns `false` forever.
+    fn check(&mut self, steps_now: u64) -> bool;
+
+    /// Why the budget tripped, when it has.
+    fn trip_reason(&self) -> Option<BudgetReason>;
+}
+
+/// The no-budget hook: a ZST whose `check` is a constant `true`, so
+/// budget-generic code compiles down to the un-budgeted loop.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoBudget;
+
+impl BudgetHook for NoBudget {
+    #[inline(always)]
+    fn check(&mut self, _steps_now: u64) -> bool {
+        true
+    }
+
+    #[inline(always)]
+    fn trip_reason(&self) -> Option<BudgetReason> {
+        None
+    }
+}
+
+/// A per-query budget: a cap on `num_steps`, a wall-clock deadline, or
+/// both. Step caps are deterministic and machine-independent (they
+/// count the paper's Section 5.3 metric); deadlines are for serving.
+#[derive(Debug, Clone)]
+pub struct QueryBudget {
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    tripped: Option<BudgetReason>,
+}
+
+impl QueryBudget {
+    /// A budget with both limits optional. `max_wall` is measured from
+    /// now.
+    pub fn new(max_steps: Option<u64>, max_wall: Option<Duration>) -> Self {
+        QueryBudget {
+            max_steps,
+            deadline: max_wall.map(|d| Instant::now() + d),
+            tripped: None,
+        }
+    }
+
+    /// Cap the query at `n` steps (deterministic across machines).
+    pub fn max_steps(n: u64) -> Self {
+        Self::new(Some(n), None)
+    }
+
+    /// Give the query `d` of wall-clock from now.
+    pub fn deadline(d: Duration) -> Self {
+        Self::new(None, Some(d))
+    }
+
+    /// The configured step cap, when any.
+    pub fn step_limit(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// The absolute deadline, when any.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+impl BudgetHook for QueryBudget {
+    #[inline]
+    fn check(&mut self, steps_now: u64) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        if let Some(max) = self.max_steps {
+            if steps_now >= max {
+                self.tripped = Some(BudgetReason::Steps);
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.tripped = Some(BudgetReason::Deadline);
+                return false;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn trip_reason(&self) -> Option<BudgetReason> {
+        self.tripped
+    }
+}
+
+/// One budget pool shared by the workers of a parallel scan.
+///
+/// Each worker holds a [`SharedBudgetHook`] that charges its local step
+/// *delta* into the pool at every check; the pool trips when the total
+/// crosses the cap (or the deadline passes), and the trip flag makes
+/// every other worker's next check fail. The charge uses a
+/// compare-exchange saturating add — the pool total must never wrap,
+/// for the same reason [`StepCounter`](rotind_ts::StepCounter)
+/// saturates.
+#[derive(Debug)]
+pub struct SharedBudget {
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    spent_pool: AtomicU64,
+    tripped_steps: AtomicBool,
+    tripped_deadline: AtomicBool,
+}
+
+impl SharedBudget {
+    /// A pool with the same limits as `budget` (including its already
+    /// fixed deadline, so sequential and parallel runs race the same
+    /// clock).
+    pub fn from_budget(budget: &QueryBudget) -> Self {
+        SharedBudget {
+            max_steps: budget.max_steps,
+            deadline: budget.deadline,
+            spent_pool: AtomicU64::new(0),
+            tripped_steps: AtomicBool::new(false),
+            tripped_deadline: AtomicBool::new(false),
+        }
+    }
+
+    /// A fresh per-worker hook charging into this pool.
+    pub fn hook(&self) -> SharedBudgetHook<'_> {
+        SharedBudgetHook {
+            shared: self,
+            reported: 0,
+        }
+    }
+
+    /// Total steps charged into the pool so far.
+    pub fn spent(&self) -> u64 {
+        self.spent_pool.load(Ordering::Acquire)
+    }
+
+    /// Why the pool tripped, when it has. Steps win ties: a step trip
+    /// is deterministic, a deadline trip is not, and the flag is used
+    /// to label the [`Exhausted`] result.
+    pub fn trip_reason(&self) -> Option<BudgetReason> {
+        if self.tripped_steps.load(Ordering::Acquire) {
+            Some(BudgetReason::Steps)
+        } else if self.tripped_deadline.load(Ordering::Acquire) {
+            Some(BudgetReason::Deadline)
+        } else {
+            None
+        }
+    }
+
+    /// Saturating atomic add via compare-exchange (no `fetch_add`: it
+    /// would wrap, and telemetry must never wrap). Returns the new
+    /// total.
+    fn charge(&self, delta: u64) -> u64 {
+        let mut current = self.spent_pool.load(Ordering::Acquire);
+        loop {
+            let next = current.saturating_add(delta);
+            match self.spent_pool.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return next,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// A worker-thread view of a [`SharedBudget`]; implements
+/// [`BudgetHook`] over the worker's own counter.
+#[derive(Debug)]
+pub struct SharedBudgetHook<'a> {
+    shared: &'a SharedBudget,
+    /// The worker-local step total already charged into the pool.
+    reported: u64,
+}
+
+impl BudgetHook for SharedBudgetHook<'_> {
+    fn check(&mut self, steps_now: u64) -> bool {
+        let delta = steps_now.saturating_sub(self.reported);
+        self.reported = steps_now;
+        let total = if delta > 0 {
+            self.shared.charge(delta)
+        } else {
+            self.shared.spent()
+        };
+        if self.shared.tripped_steps.load(Ordering::Acquire)
+            || self.shared.tripped_deadline.load(Ordering::Acquire)
+        {
+            return false;
+        }
+        if let Some(max) = self.shared.max_steps {
+            if total >= max {
+                self.shared.tripped_steps.store(true, Ordering::Release);
+                return false;
+            }
+        }
+        if let Some(deadline) = self.shared.deadline {
+            if Instant::now() >= deadline {
+                self.shared.tripped_deadline.store(true, Ordering::Release);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn trip_reason(&self) -> Option<BudgetReason> {
+        self.shared.trip_reason()
+    }
+}
+
+impl<B: BudgetHook + ?Sized> BudgetHook for &mut B {
+    #[inline]
+    fn check(&mut self, steps_now: u64) -> bool {
+        (**self).check(steps_now)
+    }
+
+    #[inline]
+    fn trip_reason(&self) -> Option<BudgetReason> {
+        (**self).trip_reason()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_budget_never_trips() {
+        let mut b = NoBudget;
+        assert!(b.check(0));
+        assert!(b.check(u64::MAX));
+        assert_eq!(b.trip_reason(), None);
+    }
+
+    #[test]
+    fn step_budget_trips_at_cap_and_stays_tripped() {
+        let mut b = QueryBudget::max_steps(100);
+        assert!(b.check(0));
+        assert!(b.check(99));
+        assert!(!b.check(100), "cap is inclusive: spent >= max trips");
+        assert_eq!(b.trip_reason(), Some(BudgetReason::Steps));
+        assert!(!b.check(0), "tripping is sticky even if steps rewind");
+    }
+
+    #[test]
+    fn deadline_budget_trips_once_past() {
+        let mut b = QueryBudget::deadline(Duration::from_secs(3600));
+        assert!(b.check(1_000_000), "an hour out, nowhere near tripping");
+        let mut expired = QueryBudget::deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(!expired.check(0));
+        assert_eq!(expired.trip_reason(), Some(BudgetReason::Deadline));
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut b = QueryBudget::new(None, None);
+        assert!(b.check(u64::MAX));
+        assert_eq!(b.trip_reason(), None);
+    }
+
+    #[test]
+    fn shared_budget_pools_worker_deltas() {
+        let pool = SharedBudget::from_budget(&QueryBudget::max_steps(100));
+        let mut w0 = pool.hook();
+        let mut w1 = pool.hook();
+        assert!(w0.check(40), "40 total");
+        assert!(w1.check(50), "90 total");
+        assert!(!w1.check(60), "100 total trips the pool");
+        assert!(!w0.check(41), "other workers see the trip immediately");
+        assert_eq!(pool.trip_reason(), Some(BudgetReason::Steps));
+        assert!(pool.spent() >= 100);
+    }
+
+    #[test]
+    fn shared_hook_charges_deltas_not_totals() {
+        let pool = SharedBudget::from_budget(&QueryBudget::max_steps(1000));
+        let mut w = pool.hook();
+        assert!(w.check(10));
+        assert!(w.check(25));
+        assert!(w.check(25), "no new steps, no new charge");
+        assert_eq!(pool.spent(), 25, "monotone local totals charge once");
+    }
+
+    #[test]
+    fn shared_charge_saturates() {
+        let pool = SharedBudget::from_budget(&QueryBudget::new(None, None));
+        let mut w = pool.hook();
+        assert!(w.check(u64::MAX - 1));
+        let mut w2 = pool.hook();
+        assert!(w2.check(10));
+        assert_eq!(pool.spent(), u64::MAX, "pool saturates, never wraps");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let complete: BudgetOutcome<u32> = BudgetOutcome::Complete(7);
+        assert!(complete.is_complete());
+        assert_eq!(complete.into_inner(), 7);
+        let exhausted: BudgetOutcome<u32> = BudgetOutcome::Exhausted(Exhausted {
+            partial: 3,
+            reason: BudgetReason::Steps,
+            steps_spent: 100,
+        });
+        assert!(!exhausted.is_complete());
+        assert_eq!(exhausted.into_inner(), 3);
+    }
+}

@@ -19,6 +19,17 @@
 //! - [`QueryTrace`] — a ready-made observer summarising a search:
 //!   per-level prune counts, LB-tightness ratios, early-abandon depths
 //!   and the K-planner timeline.
+//! - [`Profiler`] — a query-level profiling observer building a
+//!   hierarchical [`ProfileTree`] (query → wedge-merge → cascade tier →
+//!   distance) with wall-clock *and* steps per node, exportable as
+//!   chrome://tracing JSON and collapsed-stack flamegraph text, plus
+//!   streaming [`LogHistogram`] latency quantiles and per-tier
+//!   [`TierCost`] economics (DESIGN.md §13).
+//! - [`QueryBudget`] — a [`BudgetHook`] capping a query's steps and/or
+//!   wall-clock; budgeted searches return a typed partial result
+//!   ([`BudgetOutcome`]) instead of overrunning. [`NoBudget`] is the
+//!   zero-cost default, and [`SharedBudget`] pools one budget across
+//!   the parallel scan's workers.
 //!
 //! The crate depends only on `rotind-ts` (for the step counter) and the
 //! standard library.
@@ -26,12 +37,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod metrics;
 pub mod observer;
+pub mod profile;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{Histogram, MetricsRegistry};
-pub use observer::{CascadeTier, ForkJoinObserver, NoopObserver, SearchObserver};
+pub use budget::{
+    BudgetHook, BudgetOutcome, BudgetReason, Exhausted, NoBudget, QueryBudget, SharedBudget,
+    SharedBudgetHook,
+};
+pub use metrics::{Histogram, LogHistogram, MetricsRegistry};
+pub use observer::{CascadeTier, ForkJoinObserver, NoopObserver, ProfilePhase, SearchObserver};
+pub use profile::{ProfileNode, ProfileTree, Profiler, TierCost};
 pub use span::{global_span_report, reset_global_spans, Span, SpanRecord};
 pub use trace::{KChange, QueryTrace};

@@ -111,6 +111,193 @@ impl Histogram {
     }
 }
 
+/// Sub-bucket resolution of [`LogHistogram`]: each power of two splits
+/// into `2^LOG_SUB_BITS` linear sub-buckets, so any reported quantile
+/// is within `1/2^LOG_SUB_BITS` (6.25%) of a true sample value —
+/// and *exact* for values below `2^LOG_SUB_BITS`.
+const LOG_SUB_BITS: u32 = 4;
+const LOG_SUB: usize = 1 << LOG_SUB_BITS;
+/// 16 exact low buckets + 16 sub-buckets for each of the 60 remaining
+/// powers of two of the `u64` range.
+const LOG_BUCKETS: usize = LOG_SUB + (64 - LOG_SUB_BITS as usize) * LOG_SUB;
+
+/// A streaming log-bucketed histogram over `u64` samples (latencies in
+/// nanoseconds, step counts) — HDR-style: log2 major buckets, linear
+/// sub-buckets, fixed memory, O(1) observe.
+///
+/// Unlike [`Histogram`] the bucket layout is universal (covers all of
+/// `u64` at bounded relative error), so merging never needs matching
+/// bounds: two `LogHistogram`s always merge, and because the state is
+/// pure integer counts the merge is exactly associative and
+/// commutative — per-thread histograms can be folded in any order and
+/// export identical buckets (property-tested in `tests/profiling.rs`).
+///
+/// ```
+/// use rotind_obs::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 10);
+/// assert!(h.quantile(0.5).unwrap() <= 60);
+/// assert!(h.quantile(0.99).unwrap() >= 900);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    /// Exact integer sum (`u128` so that merge stays associative —
+    /// float accumulation would not be).
+    sum: u128,
+    total: u64,
+    min: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram. The bucket layout is fixed, so there is
+    /// nothing to configure.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_BUCKETS],
+            sum: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < LOG_SUB as u64 {
+            return value as usize;
+        }
+        // Highest set bit h >= LOG_SUB_BITS; the sub-bucket is the next
+        // LOG_SUB_BITS bits below it.
+        let h = 63 - value.leading_zeros();
+        let major = (h - LOG_SUB_BITS) as usize;
+        let sub = ((value >> (h - LOG_SUB_BITS)) & (LOG_SUB as u64 - 1)) as usize;
+        LOG_SUB + major * LOG_SUB + sub
+    }
+
+    /// Inclusive upper bound of the bucket at `idx` — the largest value
+    /// that lands in it.
+    fn bucket_high(idx: usize) -> u64 {
+        if idx < LOG_SUB {
+            return idx as u64;
+        }
+        let major = ((idx - LOG_SUB) / LOG_SUB) as u32;
+        let sub = ((idx - LOG_SUB) % LOG_SUB) as u128;
+        // Values here have highest bit at `major + LOG_SUB_BITS`; the
+        // low `major` bits are free, so the top of the bucket is all
+        // ones below the sub-bucket prefix. Computed in u128 because
+        // the topmost bucket's bound is exactly 2^64 - 1.
+        let high = ((LOG_SUB as u128 + sub + 1) << major) - 1;
+        u64::try_from(high).unwrap_or(u64::MAX)
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        // `bucket_index` is < LOG_BUCKETS for every u64 by construction.
+        // rotind-lint: allow(no-index)
+        self.counts[Self::bucket_index(value)] += 1;
+        self.sum += value as u128;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds (saturating at
+    /// `u64::MAX` ≈ 584 years).
+    #[inline]
+    pub fn observe_duration(&mut self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean sample, or `None` before the first one.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Smallest sample seen (exact), or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen (exact), or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the rank-`⌈q·n⌉` sample, clamped to the exact observed
+    /// `[min, max]`. Within 6.25% of the true sample value; exact for
+    /// samples below 16. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_high(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold another histogram into this one. The layout is universal,
+    /// so this never fails; integer state makes it exactly associative
+    /// and commutative across any merge order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(inclusive_upper_bound, count)` for each non-empty bucket, in
+    /// ascending order.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (Self::bucket_high(idx), c))
+    }
+}
+
 /// A JSONL-exportable event: a name plus numeric fields.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -134,6 +321,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    log_histograms: BTreeMap<String, LogHistogram>,
     events: Vec<Event>,
 }
 
@@ -156,6 +344,17 @@ impl MetricsRegistry {
     /// The named histogram, created with `make` on first use.
     pub fn histogram(&mut self, name: &str, make: impl FnOnce() -> Histogram) -> &mut Histogram {
         self.histograms.entry(name.to_string()).or_insert_with(make)
+    }
+
+    /// The named log-bucketed histogram, created empty on first use
+    /// (the layout is universal, so no constructor is needed).
+    pub fn log_histogram(&mut self, name: &str) -> &mut LogHistogram {
+        self.log_histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Read access to a log-bucketed histogram, when present.
+    pub fn log_histogram_get(&self, name: &str) -> Option<&LogHistogram> {
+        self.log_histograms.get(name)
     }
 
     /// Current value of a counter (zero when absent).
@@ -208,6 +407,18 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{name}_sum {}", fmt_value(hist.sum()));
             let _ = writeln!(out, "{name}_count {}", hist.count());
         }
+        for (name, hist) in &self.log_histograms {
+            // Log-bucketed histograms expose quantiles directly, which
+            // maps onto the Prometheus summary type.
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for q in [0.5, 0.95, 0.99] {
+                if let Some(v) = hist.quantile(q) {
+                    let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
         out
     }
 
@@ -235,6 +446,9 @@ impl MetricsRegistry {
                     self.histograms.insert(name.clone(), hist.clone());
                 }
             }
+        }
+        for (name, hist) in &other.log_histograms {
+            self.log_histogram(name).merge(hist);
         }
         self.events.extend(other.events.iter().cloned());
     }
@@ -393,6 +607,102 @@ mod tests {
         b.histogram("h", || Histogram::linear(0.0, 2.0, 4))
             .observe(0.5);
         a.merge(&b);
+    }
+
+    #[test]
+    fn log_histogram_exact_below_sixteen() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(7));
+        assert_eq!(h.quantile(1.0), Some(15));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(15));
+        assert_eq!(h.sum(), 120);
+    }
+
+    #[test]
+    fn log_histogram_quantile_within_resolution() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5).unwrap() as f64;
+        let p99 = h.quantile(0.99).unwrap() as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.0625, "p50 = {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.0625, "p99 = {p99}");
+    }
+
+    #[test]
+    fn log_histogram_bucket_roundtrip_covers_u64() {
+        // Every sample must land in a bucket whose reported bound is
+        // >= the sample and within the documented relative error.
+        for &v in &[
+            0,
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = LogHistogram::bucket_index(v);
+            let high = LogHistogram::bucket_high(idx);
+            assert!(high >= v, "bucket_high({idx}) = {high} < {v}");
+            if v >= 16 {
+                assert!((high - v) as f64 <= v as f64 * 0.0625, "{v} -> {high}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_is_exact() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in [3u64, 900, 17, 40_000, 5] {
+            whole.observe(v);
+        }
+        a.observe(3);
+        a.observe(900);
+        b.observe(17);
+        b.observe(40_000);
+        b.observe(5);
+        a.merge(&b);
+        assert_eq!(a, whole, "merge equals observing the union");
+    }
+
+    #[test]
+    fn log_histogram_empty_and_duration() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        h.observe_duration(std::time::Duration::from_nanos(1500));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).unwrap() >= 1500);
+    }
+
+    #[test]
+    fn registry_log_histograms_merge_and_render() {
+        let mut a = MetricsRegistry::new();
+        a.log_histogram("rotind_query_latency_ns").observe(1000);
+        let mut b = MetricsRegistry::new();
+        b.log_histogram("rotind_query_latency_ns").observe(2000);
+        a.merge(&b);
+        assert_eq!(
+            a.log_histogram_get("rotind_query_latency_ns")
+                .unwrap()
+                .count(),
+            2
+        );
+        let text = a.render_prometheus();
+        assert!(text.contains("# TYPE rotind_query_latency_ns summary"));
+        assert!(text.contains("rotind_query_latency_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("rotind_query_latency_ns_count 2"));
     }
 
     #[test]

@@ -56,6 +56,46 @@ impl CascadeTier {
     }
 }
 
+/// A nestable phase of query execution, reported through
+/// [`SearchObserver::on_phase_start`] / [`on_phase_end`] so a profiler
+/// can build the span tree `query → wedge-merge → tier → distance`
+/// (DESIGN.md §13).
+///
+/// Phases strictly nest: a `start` is always matched by an `end` of the
+/// same phase before the enclosing phase ends, even when the search
+/// inside is cut short by a budget.
+///
+/// [`on_phase_end`]: SearchObserver::on_phase_end
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfilePhase {
+    /// One whole query: a `nearest`/`k_nearest`/`range` call.
+    Query,
+    /// One H-Merge candidate evaluation — the full cascade walk for a
+    /// single database series.
+    WedgeMerge,
+    /// One cascade-tier bound evaluation inside a wedge merge.
+    Tier(CascadeTier),
+    /// One true distance call at a leaf (a single rotation).
+    Distance,
+}
+
+impl ProfilePhase {
+    /// Stable dotted name used in span trees, folded stacks and chrome
+    /// trace events.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfilePhase::Query => "query",
+            ProfilePhase::WedgeMerge => "wedge_merge",
+            ProfilePhase::Tier(CascadeTier::Kim) => "tier.kim",
+            ProfilePhase::Tier(CascadeTier::Reduced) => "tier.reduced",
+            ProfilePhase::Tier(CascadeTier::Keogh) => "tier.keogh",
+            ProfilePhase::Tier(CascadeTier::Improved) => "tier.improved",
+            ProfilePhase::Distance => "distance",
+        }
+    }
+}
+
 /// Receives fine-grained events from a wedge search.
 ///
 /// `level` in [`on_wedge_tested`](SearchObserver::on_wedge_tested) is the
@@ -99,6 +139,29 @@ pub trait SearchObserver {
     #[inline]
     fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
         let _ = (tier, pruned);
+    }
+
+    /// A profiling phase opened. `steps` is the query counter's value
+    /// at entry; the matching [`on_phase_end`] reports the value at
+    /// exit, so a profiler attributes `end - start` steps to the phase
+    /// without the engine paying for any clock read (wall-clock, when
+    /// wanted, is the *observer's* job to measure inside the callback —
+    /// [`NoopObserver`] pays literally nothing).
+    ///
+    /// [`on_phase_end`]: SearchObserver::on_phase_end
+    #[inline]
+    fn on_phase_start(&mut self, phase: ProfilePhase, steps: u64) {
+        let _ = (phase, steps);
+    }
+
+    /// The innermost open phase closed; `phase` always matches the
+    /// unmatched [`on_phase_start`]. `steps` is the query counter's
+    /// value at exit.
+    ///
+    /// [`on_phase_start`]: SearchObserver::on_phase_start
+    #[inline]
+    fn on_phase_end(&mut self, phase: ProfilePhase, steps: u64) {
+        let _ = (phase, steps);
     }
 }
 
@@ -169,6 +232,16 @@ impl<O: SearchObserver + ?Sized> SearchObserver for &mut O {
     fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
         (**self).on_cascade_tier(tier, pruned);
     }
+
+    #[inline]
+    fn on_phase_start(&mut self, phase: ProfilePhase, steps: u64) {
+        (**self).on_phase_start(phase, steps);
+    }
+
+    #[inline]
+    fn on_phase_end(&mut self, phase: ProfilePhase, steps: u64) {
+        (**self).on_phase_end(phase, steps);
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +255,7 @@ mod tests {
         abandons: usize,
         k_changes: usize,
         tiers: usize,
+        phases: usize,
     }
 
     impl SearchObserver for CountingObserver {
@@ -200,6 +274,12 @@ mod tests {
         fn on_cascade_tier(&mut self, _: CascadeTier, _: bool) {
             self.tiers += 1;
         }
+        fn on_phase_start(&mut self, _: ProfilePhase, _: u64) {
+            self.phases += 1;
+        }
+        fn on_phase_end(&mut self, _: ProfilePhase, _: u64) {
+            self.phases += 1;
+        }
     }
 
     fn drive<O: SearchObserver>(obs: &mut O) {
@@ -208,6 +288,8 @@ mod tests {
         obs.on_early_abandon(17);
         obs.on_k_change(8, 4, true);
         obs.on_cascade_tier(CascadeTier::Kim, true);
+        obs.on_phase_start(ProfilePhase::Query, 0);
+        obs.on_phase_end(ProfilePhase::Query, 10);
     }
 
     #[test]
@@ -227,10 +309,23 @@ mod tests {
                 obs.leaves,
                 obs.abandons,
                 obs.k_changes,
-                obs.tiers
+                obs.tiers,
+                obs.phases
             ),
-            (1, 1, 1, 1, 1)
+            (1, 1, 1, 1, 1, 2)
         );
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(ProfilePhase::Query.name(), "query");
+        assert_eq!(ProfilePhase::WedgeMerge.name(), "wedge_merge");
+        assert_eq!(ProfilePhase::Tier(CascadeTier::Kim).name(), "tier.kim");
+        assert_eq!(
+            ProfilePhase::Tier(CascadeTier::Improved).name(),
+            "tier.improved"
+        );
+        assert_eq!(ProfilePhase::Distance.name(), "distance");
     }
 
     #[test]

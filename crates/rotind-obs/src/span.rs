@@ -10,8 +10,11 @@
 //! Spans aggregate into a process-global table keyed by span name;
 //! [`global_span_report`] renders it and [`reset_global_spans`] clears
 //! it between experiments. Dropping a span without calling
-//! [`Span::finish`] records wall-clock only (there is no counter to
-//! diff against).
+//! [`Span::finish`] records wall-clock and bumps the row's `dropped`
+//! sentinel: there is no counter to diff against at drop time, so the
+//! row's step total *would* silently under-report — the sentinel makes
+//! that visible instead of losing it (see
+//! [`SpanRecord::dropped`]).
 
 use rotind_ts::StepCounter;
 use std::collections::BTreeMap;
@@ -24,6 +27,7 @@ struct SpanAgg {
     count: u64,
     total_nanos: u128,
     total_steps: u64,
+    dropped: u64,
 }
 
 fn global_table() -> &'static Mutex<BTreeMap<&'static str, SpanAgg>> {
@@ -42,6 +46,11 @@ pub struct SpanRecord {
     pub total_seconds: f64,
     /// Total steps recorded via [`Span::finish`].
     pub total_steps: u64,
+    /// How many of those spans were dropped without [`Span::finish`].
+    /// Their step counts are unknown (no counter to diff at drop time),
+    /// so a nonzero value flags `total_steps` as a lower bound rather
+    /// than letting the table silently under-report.
+    pub dropped: u64,
 }
 
 /// An in-flight timed phase. Create with [`Span::enter`], end with
@@ -84,10 +93,10 @@ impl Span {
     /// for [`enter`](Self::enter)).
     pub fn finish(mut self, counter: &StepCounter) {
         let steps = counter.steps().saturating_sub(self.steps_at_enter);
-        self.record(steps);
+        self.record(steps, false);
     }
 
-    fn record(&mut self, steps: u64) {
+    fn record(&mut self, steps: u64, was_dropped: bool) {
         self.done = true;
         let nanos = self.start.elapsed().as_nanos();
         let mut table = global_table().lock().expect("span table poisoned");
@@ -95,13 +104,16 @@ impl Span {
         agg.count = agg.count.saturating_add(1);
         agg.total_nanos = agg.total_nanos.saturating_add(nanos);
         agg.total_steps = agg.total_steps.saturating_add(steps);
+        if was_dropped {
+            agg.dropped = agg.dropped.saturating_add(1);
+        }
     }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if !self.done {
-            self.record(0);
+            self.record(0, true);
         }
     }
 }
@@ -116,6 +128,7 @@ pub fn global_spans() -> Vec<SpanRecord> {
             count: agg.count,
             total_seconds: agg.total_nanos as f64 / 1e9,
             total_steps: agg.total_steps,
+            dropped: agg.dropped,
         })
         .collect()
 }
@@ -141,8 +154,8 @@ pub fn global_span_report() -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<name_width$}  {:>8}  {:>12}  {:>14}  {:>12}",
-        "span", "count", "total s", "steps", "steps/call"
+        "{:<name_width$}  {:>8}  {:>12}  {:>14}  {:>12}  {:>8}",
+        "span", "count", "total s", "steps", "steps/call", "dropped"
     );
     for s in &spans {
         let per_call = if s.count > 0 {
@@ -152,8 +165,8 @@ pub fn global_span_report() -> String {
         };
         let _ = writeln!(
             out,
-            "{:<name_width$}  {:>8}  {:>12.6}  {:>14}  {:>12.1}",
-            s.name, s.count, s.total_seconds, s.total_steps, per_call
+            "{:<name_width$}  {:>8}  {:>12.6}  {:>14}  {:>12.1}  {:>8}",
+            s.name, s.count, s.total_seconds, s.total_steps, per_call, s.dropped
         );
     }
     out
@@ -185,13 +198,43 @@ mod tests {
     }
 
     #[test]
-    fn drop_records_wall_clock_only() {
+    fn drop_records_wall_clock_and_dropped_sentinel() {
         {
             let _span = Span::enter("test.drop_only");
         }
         let rec = find("test.drop_only").expect("span recorded");
         assert_eq!(rec.count, 1);
         assert_eq!(rec.total_steps, 0);
+        assert_eq!(rec.dropped, 1, "drop path must flag the missing steps");
+    }
+
+    /// Regression for the drop-without-finish asymmetry: a mix of
+    /// finished and dropped spans under one name must keep the finished
+    /// steps AND expose exactly how many spans lost theirs, so the table
+    /// never under-reports silently.
+    #[test]
+    fn mixed_finish_and_drop_never_under_reports() {
+        let mut counter = StepCounter::new();
+        counter.add(50);
+        Span::enter("test.mixed_drop").finish(&counter);
+        {
+            let _dropped = Span::enter("test.mixed_drop");
+        }
+        {
+            let _dropped = Span::enter("test.mixed_drop");
+        }
+        let rec = find("test.mixed_drop").expect("span recorded");
+        assert_eq!(rec.count, 3, "dropped spans still count calls");
+        assert_eq!(rec.total_steps, 50, "finished steps survive the drops");
+        assert_eq!(rec.dropped, 2, "each unfinished span is flagged");
+        assert!(global_span_report().contains("dropped"));
+    }
+
+    #[test]
+    fn finished_spans_report_zero_dropped() {
+        Span::enter("test.clean_finish").finish(&StepCounter::new());
+        let rec = find("test.clean_finish").expect("span recorded");
+        assert_eq!(rec.dropped, 0);
     }
 
     #[test]

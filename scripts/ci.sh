@@ -50,12 +50,38 @@ for c in kim reduced keogh improved all; do
     ROTIND_CASCADE=$c cargo test -q --test exactness --test cascade
 done
 
-echo "==> trace smoke run (bounded workload)"
-ROTIND_QUICK=1 ROTIND_RESULTS="$(mktemp -d)" \
-    cargo run -p rotind-bench --release --bin trace >/dev/null
+echo "==> profiling suite under ROTIND_THREADS=4"
+ROTIND_THREADS=4 cargo test -q --test profiling
 
-echo "==> cascade ablation smoke run (writes results/bench_cascade.json)"
-ROTIND_QUICK=1 ROTIND_RESULTS=results \
+# Smoke runs go to a throwaway dir: results/ is git-tracked with
+# full-scale artifacts and a quick run would clobber them.
+SMOKE="$(mktemp -d)"
+
+echo "==> trace smoke run (chrome trace + folded stacks validated)"
+ROTIND_QUICK=1 ROTIND_RESULTS="$SMOKE" \
+    cargo run -p rotind-bench --release --bin trace >/dev/null
+python3 - "$SMOKE" <<'PY'
+import json, sys
+doc = json.load(open(f"{sys.argv[1]}/trace_profile.json"))
+n = len(doc["traceEvents"])
+assert n > 0, "empty chrome trace"
+print(f"trace_profile.json: chrome trace, {n} event(s)")
+PY
+
+echo "==> cascade ablation smoke run"
+ROTIND_QUICK=1 ROTIND_RESULTS="$SMOKE" \
     cargo run -p rotind-bench --release --bin cascade >/dev/null
+
+echo "==> regression gate (steps vs results/bench_baseline.json)"
+ROTIND_QUICK=1 \
+    cargo run -p rotind-bench --release --bin regress -- \
+    --baseline results/bench_baseline.json
+echo "==> regression gate self-test (a 20% synthetic slowdown must fail)"
+if ROTIND_QUICK=1 ROTIND_REGRESS_INJECT=1.2 \
+    cargo run -q -p rotind-bench --release --bin regress -- \
+    --baseline results/bench_baseline.json >/dev/null 2>&1; then
+    echo "regress gate did NOT flag an injected 20% slowdown" >&2
+    exit 1
+fi
 
 echo "==> CI green"

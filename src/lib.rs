@@ -50,6 +50,9 @@ pub mod prelude {
     pub use rotind_envelope::wedge::Wedge;
     pub use rotind_index::engine::{Invariance, Neighbor, RotationQuery};
     pub use rotind_index::parallel::{default_threads, nearest_batch, ParallelReport};
-    pub use rotind_obs::{ForkJoinObserver, NoopObserver, QueryTrace, SearchObserver};
+    pub use rotind_obs::{
+        BudgetOutcome, BudgetReason, Exhausted, ForkJoinObserver, NoopObserver, Profiler,
+        QueryBudget, QueryTrace, SearchObserver,
+    };
     pub use rotind_ts::{StepCounter, TimeSeries};
 }

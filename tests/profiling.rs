@@ -1,0 +1,433 @@
+//! The profiling layer's three contracts, end-to-end:
+//!
+//! 1. **Mergeability** — [`LogHistogram`] (and therefore
+//!    [`MetricsRegistry::merge`]) is exactly associative and
+//!    commutative, so per-thread metrics can be folded in any order.
+//! 2. **Neutrality** — attaching a [`Profiler`] or threading an unset
+//!    budget through the budget-generic scan changes nothing: same
+//!    answer, same `num_steps`, same per-tier prune attribution, under
+//!    every cascade configuration, sequential and parallel.
+//! 3. **Budget semantics** — a tripped [`QueryBudget`] returns a typed
+//!    [`Exhausted`] partial whose hits are genuine distances, with the
+//!    reason and step spend filled in, sequentially and across a
+//!    shared-budget parallel scan.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rotind::distance::dtw::DtwParams;
+use rotind::distance::measure::Measure;
+use rotind::index::engine::{Invariance, RotationQuery};
+use rotind::index::CascadeConfig;
+use rotind::obs::{CascadeTier, LogHistogram, MetricsRegistry, NoBudget};
+use rotind::prelude::{
+    BudgetOutcome, BudgetReason, NoopObserver, Profiler, QueryBudget, QueryTrace,
+};
+use rotind::ts::StepCounter;
+
+fn series_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, n)
+}
+
+fn db_strategy(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(series_strategy(n), 1..=m)
+}
+
+/// Every configuration the engine can run under: the `ROTIND_CASCADE`
+/// CI matrix plus the tuned default (mirrors `tests/cascade.rs`).
+fn configs() -> Vec<(&'static str, CascadeConfig)> {
+    let mut out = vec![("legacy", CascadeConfig::legacy())];
+    for name in ["kim", "reduced", "keogh", "improved", "all"] {
+        out.push((name, CascadeConfig::parse(name).unwrap()));
+    }
+    out
+}
+
+fn hist_of(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &s in samples {
+        h.observe(s);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// 1. Histogram merge algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn log_histogram_merge_is_commutative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        b in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+        // And merging equals observing the union stream directly.
+        let mut union: Vec<u64> = a.clone();
+        union.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &hist_of(&union));
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..30),
+        b in prop::collection::vec(0u64..u64::MAX, 0..30),
+        c in prop::collection::vec(0u64..u64::MAX, 0..30),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent(
+        a in prop::collection::vec(1u64..1_000_000, 1..20),
+        b in prop::collection::vec(1u64..1_000_000, 1..20),
+        count_a in 0u64..1000,
+        count_b in 0u64..1000,
+    ) {
+        let make = |samples: &[u64], count: u64| {
+            let mut r = MetricsRegistry::new();
+            r.counter_add("rotind_test_total", count);
+            r.log_histogram("rotind_test_latency_ns").merge(&hist_of(samples));
+            r
+        };
+        let (ra, rb) = (make(&a, count_a), make(&b, count_b));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        // Rendered exposition is the registry's observable state.
+        prop_assert_eq!(ab.render_prometheus(), ba.render_prometheus());
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Profiler and budget-plumbing neutrality
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The budget-generic scan with no budget set, the profiler, and the
+    /// plain path must agree on the answer, the step count, and the
+    /// per-tier prune attribution — for every cascade configuration.
+    #[test]
+    fn profiler_and_unset_budget_are_neutral_sequential(
+        query in series_strategy(18),
+        db in db_strategy(18, 10),
+        measure_is_dtw in (0u32..2).prop_map(|v| v == 1),
+    ) {
+        let measure = if measure_is_dtw {
+            Measure::Dtw(DtwParams::new(2))
+        } else {
+            Measure::Euclidean
+        };
+        for (name, config) in configs() {
+            let engine = RotationQuery::with_measure(&query, Invariance::Rotation, measure)
+                .unwrap()
+                .with_cascade(config);
+
+            let mut plain_counter = StepCounter::new();
+            let plain = engine.nearest_with_steps(&db, &mut plain_counter).unwrap();
+
+            // Profiler attached (wall-clock reads, phase events).
+            let mut profiler = Profiler::new();
+            let mut prof_counter = StepCounter::new();
+            let profiled = engine
+                .nearest_observed(&db, &mut prof_counter, &mut profiler)
+                .unwrap();
+
+            // Budget plumbing engaged with nothing to trip: NoBudget and
+            // a limitless QueryBudget must both stay bit-identical.
+            let mut nb_counter = StepCounter::new();
+            let via_nobudget = engine
+                .k_nearest_budgeted(&db, 1, &mut nb_counter, &mut NoopObserver, &mut NoBudget)
+                .unwrap();
+            let mut qb_counter = StepCounter::new();
+            let mut limitless = QueryBudget::new(None, None);
+            let via_limitless = engine
+                .k_nearest_budgeted(&db, 1, &mut qb_counter, &mut NoopObserver, &mut limitless)
+                .unwrap();
+
+            prop_assert_eq!(&plain, &profiled, "profiler changed the answer ({})", name);
+            prop_assert_eq!(
+                plain_counter.steps(), prof_counter.steps(),
+                "profiler changed num_steps ({})", name
+            );
+            for (tag, outcome, counter) in [
+                ("NoBudget", via_nobudget, &nb_counter),
+                ("limitless QueryBudget", via_limitless, &qb_counter),
+            ] {
+                prop_assert!(outcome.is_complete(), "{} tripped ({})", tag, name);
+                let hits = outcome.into_inner();
+                prop_assert_eq!(hits.len(), 1);
+                prop_assert_eq!(&hits[0], &plain, "{} changed the answer ({})", tag, name);
+                prop_assert_eq!(
+                    plain_counter.steps(), counter.steps(),
+                    "{} changed num_steps ({})", tag, name
+                );
+            }
+
+            // Prune attribution: the profiler's online tier accounting
+            // must agree with QueryTrace's aggregate counters.
+            let mut trace = QueryTrace::new(query.len());
+            let mut trace_counter = StepCounter::new();
+            engine
+                .nearest_observed(&db, &mut trace_counter, &mut trace)
+                .unwrap();
+            prop_assert_eq!(trace_counter.steps(), plain_counter.steps());
+            for tier in CascadeTier::ALL {
+                let cost = &profiler.tier_costs()[tier.index()];
+                prop_assert_eq!(
+                    cost.tested, trace.tier_tested(tier),
+                    "tested mismatch at {:?} ({})", tier, name
+                );
+                prop_assert_eq!(
+                    cost.pruned, trace.tier_pruned(tier),
+                    "pruned mismatch at {:?} ({})", tier, name
+                );
+            }
+        }
+    }
+
+    /// Parallel: the profiler as a fork/join observer and an unset
+    /// shared budget keep the 4-thread scan's answer identical to the
+    /// sequential one for every cascade configuration.
+    #[test]
+    fn profiler_and_unset_budget_are_neutral_parallel(
+        query in series_strategy(16),
+        db in db_strategy(16, 10),
+    ) {
+        for (name, config) in configs() {
+            let engine = RotationQuery::new(&query, Invariance::Rotation)
+                .unwrap()
+                .with_cascade(config);
+            let sequential = engine.nearest(&db).unwrap();
+
+            let mut profiler = Profiler::new();
+            let mut counter = StepCounter::new();
+            let (hit, report) = engine
+                .nearest_parallel_observed(&db, 4, &mut counter, &mut profiler)
+                .unwrap();
+            prop_assert_eq!(&hit, &sequential, "profiled parallel diverged ({})", name);
+            prop_assert!(report.threads >= 1);
+
+            let mut budget_counter = StepCounter::new();
+            let limitless = QueryBudget::new(None, None);
+            let (outcome, _) = engine
+                .nearest_parallel_budgeted(
+                    &db, 4, &mut budget_counter, &mut NoopObserver, &limitless,
+                )
+                .unwrap();
+            prop_assert!(outcome.is_complete(), "limitless budget tripped ({})", name);
+            prop_assert_eq!(
+                outcome.into_inner().as_ref(), Some(&sequential),
+                "budgeted parallel diverged ({})", name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Budget exhaustion semantics
+// ---------------------------------------------------------------------
+
+fn workload(m: usize, n: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let db: Vec<Vec<f64>> = (0..m)
+        .map(|k| {
+            (0..n)
+                .map(|i| ((i + 3 * k) as f64 * 0.21).sin() + 0.1 * k as f64)
+                .collect()
+        })
+        .collect();
+    let query = db[m / 2].iter().map(|v| v + 0.05).collect();
+    (query, db)
+}
+
+#[test]
+fn step_budget_trips_with_valid_partial() {
+    let (query, db) = workload(40, 32);
+    let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+
+    let mut full_counter = StepCounter::new();
+    let full = engine.nearest_with_steps(&db, &mut full_counter).unwrap();
+    let limit = full_counter.steps() / 4;
+
+    let mut counter = StepCounter::new();
+    let mut budget = QueryBudget::max_steps(limit);
+    let outcome = engine
+        .k_nearest_budgeted(&db, 1, &mut counter, &mut NoopObserver, &mut budget)
+        .unwrap();
+    match outcome {
+        BudgetOutcome::Complete(_) => panic!("a quarter-step budget must trip"),
+        BudgetOutcome::Exhausted(ex) => {
+            assert_eq!(ex.reason, BudgetReason::Steps);
+            assert!(
+                ex.steps_spent >= limit,
+                "spend {} below the inclusive limit {limit}",
+                ex.steps_spent
+            );
+            assert_eq!(ex.steps_spent, counter.steps());
+            // The partial result is a genuine neighbor: its reported
+            // distance must be the exact rotation-invariant distance.
+            for hit in &ex.partial {
+                let exact = engine.distance_to(&db[hit.index]).unwrap();
+                assert!(
+                    (hit.distance - exact).abs() < 1e-9,
+                    "partial hit is not a real distance"
+                );
+            }
+        }
+    }
+    // A roomy budget never trips and returns the full answer.
+    let mut counter = StepCounter::new();
+    let mut roomy = QueryBudget::max_steps(full_counter.steps() * 2);
+    let outcome = engine
+        .k_nearest_budgeted(&db, 1, &mut counter, &mut NoopObserver, &mut roomy)
+        .unwrap();
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.into_inner()[0], full);
+}
+
+#[test]
+fn zero_deadline_trips_immediately() {
+    let (query, db) = workload(20, 24);
+    let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+    let mut counter = StepCounter::new();
+    let mut budget = QueryBudget::deadline(Duration::ZERO);
+    let outcome = engine
+        .k_nearest_budgeted(&db, 1, &mut counter, &mut NoopObserver, &mut budget)
+        .unwrap();
+    match outcome {
+        BudgetOutcome::Complete(_) => panic!("an already-expired deadline must trip"),
+        BudgetOutcome::Exhausted(ex) => {
+            assert_eq!(ex.reason, BudgetReason::Deadline);
+            assert!(
+                ex.partial.is_empty(),
+                "no item was admitted before the first check"
+            );
+        }
+    }
+}
+
+#[test]
+fn range_budget_returns_prefix_hits() {
+    let (query, db) = workload(40, 32);
+    let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+    let radius = engine.distance_to(&db[0]).unwrap() * 2.0 + 1.0;
+
+    let mut full_counter = StepCounter::new();
+    let all = engine.range(&db, radius).unwrap();
+    engine
+        .range_budgeted(
+            &db,
+            radius,
+            &mut full_counter,
+            &mut NoopObserver,
+            &mut NoBudget,
+        )
+        .unwrap();
+    assert!(!all.is_empty());
+
+    let mut counter = StepCounter::new();
+    let mut budget = QueryBudget::max_steps(full_counter.steps() / 3);
+    let outcome = engine
+        .range_budgeted(&db, radius, &mut counter, &mut NoopObserver, &mut budget)
+        .unwrap();
+    match outcome {
+        BudgetOutcome::Complete(_) => panic!("a third-step budget must trip"),
+        BudgetOutcome::Exhausted(ex) => {
+            assert_eq!(ex.reason, BudgetReason::Steps);
+            assert!(ex.partial.len() < all.len());
+            // Dismissal-boundary checks scan items in database order,
+            // so the partial is a prefix of the full hit list.
+            for (got, want) in ex.partial.iter().zip(&all) {
+                assert_eq!(got, want, "partial hits must be a prefix of the full scan");
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_shared_budget_trips_and_reports_spend() {
+    let (query, db) = workload(60, 32);
+    let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+
+    let mut full_counter = StepCounter::new();
+    let sequential = engine.nearest_with_steps(&db, &mut full_counter).unwrap();
+
+    let tight = QueryBudget::max_steps(full_counter.steps() / 8);
+    let mut counter = StepCounter::new();
+    let (outcome, _) = engine
+        .nearest_parallel_budgeted(&db, 4, &mut counter, &mut NoopObserver, &tight)
+        .unwrap();
+    match outcome {
+        BudgetOutcome::Complete(_) => panic!("an eighth-step shared budget must trip"),
+        BudgetOutcome::Exhausted(ex) => {
+            assert_eq!(ex.reason, BudgetReason::Steps);
+            assert!(ex.steps_spent > 0, "the pool must account spent steps");
+            if let Some(hit) = ex.partial {
+                let exact = engine.distance_to(&db[hit.index]).unwrap();
+                assert!((hit.distance - exact).abs() < 1e-9);
+            }
+        }
+    }
+
+    let roomy = QueryBudget::max_steps(full_counter.steps() * 4);
+    let mut counter = StepCounter::new();
+    let (outcome, _) = engine
+        .nearest_parallel_budgeted(&db, 4, &mut counter, &mut NoopObserver, &roomy)
+        .unwrap();
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.into_inner(), Some(sequential));
+}
+
+// ---------------------------------------------------------------------
+// Profiler tree shape on a real query
+// ---------------------------------------------------------------------
+
+#[test]
+fn profiler_builds_the_expected_span_tree() {
+    let (query, db) = workload(30, 24);
+    let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+    let mut profiler = Profiler::new();
+    let mut counter = StepCounter::new();
+    engine
+        .nearest_observed(&db, &mut counter, &mut profiler)
+        .unwrap();
+
+    let tree = profiler.tree();
+    let root = tree.root("query").expect("a query span");
+    assert_eq!(root.count(), 1);
+    assert_eq!(
+        root.total_steps(),
+        counter.steps(),
+        "the query span covers the whole scan"
+    );
+    let merge = root.child("wedge_merge").expect("a wedge_merge span");
+    assert!(merge.count() >= 1);
+    assert!(merge.total_steps() <= root.total_steps());
+
+    assert_eq!(profiler.query_latency_ns().count(), 1);
+    assert_eq!(profiler.query_steps().count(), 1);
+
+    let chrome = tree.to_chrome_trace();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"query\""));
+    let folded = tree.to_folded();
+    assert!(folded.contains("query;wedge_merge"));
+}
