@@ -466,6 +466,11 @@ pub fn h_merge_cascade_budgeted<O: SearchObserver, B: BudgetHook>(
                     }
                 };
                 if improved {
+                    // For Euclidean leaves `d` is the singleton-wedge
+                    // LB_Keogh, which §4.1 proves degenerates to the
+                    // exact distance — the one place a bound-tainted
+                    // value may legally tighten the radius.
+                    // rotind-lint: allow(prune-only)
                     best_so_far = d;
                     best = Some(HMergeOutcome {
                         distance: d,

@@ -21,6 +21,8 @@
 //! * [`parallel`] — chunked multi-threaded database scans sharing an
 //!   atomic best-so-far, bit-identical to the sequential scan
 //!   (DESIGN.md §10), plus a batch-of-queries entry point;
+//! * [`radius`] — the CAS-min shared best-so-far those scans use,
+//!   model-checked under loom (`--features loom-tests`, DESIGN.md §14);
 //! * [`baselines`] — the rival methods of Figures 19–23: brute force,
 //!   early abandon, the FFT magnitude filter and the convolution trick;
 //! * [`reduced`] — reduced representations for disk-based indexing:
@@ -48,6 +50,7 @@ pub mod hmerge;
 pub mod motif;
 pub mod parallel;
 pub mod planner;
+pub mod radius;
 pub mod reduced;
 pub mod stream;
 pub mod vptree;

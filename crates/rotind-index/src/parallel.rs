@@ -37,13 +37,13 @@
 
 use crate::engine::{Neighbor, RotationQuery, ScanState};
 use crate::error::SearchError;
+use crate::radius::SharedRadius;
 use rotind_obs::{
     BudgetHook, BudgetOutcome, Exhausted, ForkJoinObserver, NoBudget, NoopObserver, QueryBudget,
     SharedBudget,
 };
 use rotind_ts::StepCounter;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
 /// Worker-thread count used when a caller passes `threads == 0`: the
@@ -57,45 +57,6 @@ pub fn default_threads() -> usize {
     {
         Some(t) if t >= 1 => t,
         _ => thread::available_parallelism().map_or(1, |n| n.get()),
-    }
-}
-
-/// A monotonically tightening best-so-far shared across worker threads.
-///
-/// Stores the `f64` bit pattern in an [`AtomicU64`]; updates go through
-/// a compare-exchange loop that only ever *lowers* the stored value, so
-/// every load observes a radius at least as large as the global minimum
-/// achieved distance. Distances are non-negative and never NaN, so the
-/// plain `f64` comparison in the loop is a total order here.
-struct SharedRadius(AtomicU64);
-
-impl SharedRadius {
-    fn new(initial: f64) -> Self {
-        SharedRadius(AtomicU64::new(initial.to_bits()))
-    }
-
-    #[inline]
-    fn get(&self) -> f64 {
-        f64::from_bits(self.0.load(Ordering::Acquire))
-    }
-
-    /// Lower the shared radius to `value` unless it is already as low.
-    fn update_min(&self, value: f64) {
-        let mut current = self.0.load(Ordering::Acquire);
-        loop {
-            if f64::from_bits(current) <= value {
-                return;
-            }
-            match self.0.compare_exchange_weak(
-                current,
-                value.to_bits(),
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => return,
-                Err(observed) => current = observed,
-            }
-        }
     }
 }
 
@@ -591,36 +552,6 @@ mod tests {
 
     fn database(m: usize, n: usize) -> Vec<Vec<f64>> {
         (0..m).map(|k| signal(n, 1.0 + k as f64 * 0.37)).collect()
-    }
-
-    #[test]
-    fn shared_radius_only_tightens() {
-        let r = SharedRadius::new(f64::INFINITY);
-        assert_eq!(r.get(), f64::INFINITY);
-        r.update_min(5.0);
-        assert_eq!(r.get(), 5.0);
-        r.update_min(7.0); // looser: ignored
-        assert_eq!(r.get(), 5.0);
-        r.update_min(5.0); // equal: no-op
-        assert_eq!(r.get(), 5.0);
-        r.update_min(0.0);
-        assert_eq!(r.get(), 0.0);
-    }
-
-    #[test]
-    fn shared_radius_tightens_under_contention() {
-        let r = SharedRadius::new(f64::INFINITY);
-        thread::scope(|s| {
-            for t in 0..4 {
-                let r = &r;
-                s.spawn(move || {
-                    for i in (0..1000).rev() {
-                        r.update_min((t * 1000 + i) as f64);
-                    }
-                });
-            }
-        });
-        assert_eq!(r.get(), 0.0, "global minimum survives the race");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The shared best-so-far primitive of the parallel scan.
+//!
+//! Split out of [`parallel`](crate::parallel) so the concurrency model
+//! tests (`tests/loom_model.rs`, behind `--features loom-tests`) can
+//! drive the exact CAS-min loop the engine runs, under the vendored
+//! loom scheduler. Outside a model the loom atomics are transparent
+//! passthroughs, so the engine's behaviour is identical under either
+//! build (DESIGN.md §14).
+
+#[cfg(feature = "loom-tests")]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "loom-tests"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically tightening best-so-far shared across worker threads.
+///
+/// Stores the `f64` bit pattern in an [`AtomicU64`]; updates go through
+/// a compare-exchange loop that only ever *lowers* the stored value, so
+/// every load observes a radius at least as large as the global minimum
+/// achieved distance. Distances are non-negative and never NaN, so the
+/// plain `f64` comparison in the loop is a total order here.
+///
+/// This is the project's blessed CAS-min protocol (the
+/// `shared-atomic-protocol` lint checks conformance): `Acquire` load,
+/// retry on `AcqRel`/`Acquire` `compare_exchange_weak`, never a plain
+/// store, never a decision taken on a `Relaxed` load.
+#[derive(Debug)]
+pub struct SharedRadius(AtomicU64);
+
+impl SharedRadius {
+    /// A radius starting at `initial` (the scan starts at `+∞`).
+    pub fn new(initial: f64) -> Self {
+        SharedRadius(AtomicU64::new(initial.to_bits()))
+    }
+
+    /// The current radius. Never tighter than the global minimum
+    /// achieved distance.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lower the shared radius to `value` unless it is already as low.
+    pub fn update_min(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Acquire);
+        loop {
+            if f64::from_bits(current) <= value {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn shared_radius_only_tightens() {
+        let r = SharedRadius::new(f64::INFINITY);
+        assert_eq!(r.get(), f64::INFINITY);
+        r.update_min(5.0);
+        assert_eq!(r.get(), 5.0);
+        r.update_min(7.0); // looser: ignored
+        assert_eq!(r.get(), 5.0);
+        r.update_min(5.0); // equal: no-op
+        assert_eq!(r.get(), 5.0);
+        r.update_min(0.0);
+        assert_eq!(r.get(), 0.0);
+    }
+
+    #[test]
+    fn shared_radius_tightens_under_contention() {
+        let r = SharedRadius::new(f64::INFINITY);
+        thread::scope(|s| {
+            for t in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in (0..1000).rev() {
+                        r.update_min((t * 1000 + i) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.get(), 0.0, "global minimum survives the race");
+    }
+}

@@ -1,0 +1,157 @@
+//! Concurrency model tests (ISSUE 7 / DESIGN.md §14), compiled only
+//! under `--features loom-tests`:
+//!
+//!     cargo test -p rotind-index --features loom-tests --test loom_model
+//!
+//! With the feature on, [`SharedRadius`] and [`SharedBudget`] are built
+//! on the vendored loom atomics, so inside a `loom::model` closure
+//! every atomic access is a scheduling point and the explorer
+//! enumerates thread interleavings exhaustively. Each test asserts a
+//! protocol invariant in *every* schedule:
+//!
+//! * the CAS-min best-so-far loop never loses an update and never
+//!   loosens (monotonicity is what makes the parallel scan's dismissals
+//!   admissible — DESIGN.md §10 step 1);
+//! * `SharedBudget` charging never loses a step delta, and a trip seen
+//!   by one worker is seen by all workers afterwards (stickiness);
+//! * a deliberately broken load-then-store protocol IS caught by the
+//!   explorer (`#[should_panic]` negative control), so a green run
+//!   means the schedules were actually explored, not vacuously passed.
+#![cfg(feature = "loom-tests")]
+
+use loom::sync::Arc;
+use loom::thread;
+use rotind_index::radius::SharedRadius;
+use rotind_obs::{BudgetHook, QueryBudget, SharedBudget};
+
+/// Every interleaving of two workers CAS-lowering the shared radius
+/// ends at the global minimum: no lost update, no loosening.
+#[test]
+fn cas_min_best_so_far_never_loses_an_update() {
+    loom::model(|| {
+        let radius = Arc::new(SharedRadius::new(f64::INFINITY));
+        let handles: Vec<_> = [5.0f64, 3.0f64]
+            .into_iter()
+            .map(|achieved| {
+                let radius = Arc::clone(&radius);
+                thread::spawn(move || {
+                    // What a worker does at an admission: read the
+                    // current best, then CAS-tighten to its achieved
+                    // exact distance.
+                    let before = radius.get();
+                    radius.update_min(achieved);
+                    // Stale-read check: the radius a worker observes is
+                    // never tighter than what has been achieved so far,
+                    // and never loosens after its own update.
+                    assert!(radius.get() <= before, "radius loosened");
+                    assert!(radius.get() <= achieved, "own update lost");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            radius.get(),
+            3.0,
+            "final radius must be the minimum across workers"
+        );
+    });
+}
+
+/// A looser result arriving late must not overwrite a tighter one, in
+/// any schedule — the monotonicity half of the DESIGN.md §10 argument.
+#[test]
+fn cas_min_is_monotone_under_any_interleaving() {
+    loom::model(|| {
+        let radius = Arc::new(SharedRadius::new(10.0));
+        let tight = Arc::clone(&radius);
+        let t = thread::spawn(move || tight.update_min(2.0));
+        // The main thread races a looser update against the tighter one.
+        radius.update_min(7.0);
+        t.join().unwrap();
+        assert_eq!(radius.get(), 2.0, "loose update clobbered a tight one");
+    });
+}
+
+/// Two workers charging step deltas into one pool: the pool total is
+/// exactly the sum in every schedule (the compare-exchange add loses
+/// nothing), and the cap trips at most one admission late.
+#[test]
+fn shared_budget_spend_never_loses_a_delta() {
+    loom::model(|| {
+        let pool = Arc::new(SharedBudget::from_budget(&QueryBudget::max_steps(1000)));
+        let handles: Vec<_> = [40u64, 60u64]
+            .into_iter()
+            .map(|steps| {
+                let pool = Arc::clone(&pool);
+                thread::spawn(move || {
+                    let mut hook = pool.hook();
+                    assert!(hook.check(steps), "well under the cap, must not trip");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.spent(), 100, "a charge delta was lost");
+        assert_eq!(pool.trip_reason(), None);
+    });
+}
+
+/// Once any worker trips the pool, every worker's next check fails —
+/// the trip flag is sticky across every interleaving.
+#[test]
+fn shared_budget_trip_is_sticky_across_workers() {
+    loom::model(|| {
+        let pool = Arc::new(SharedBudget::from_budget(&QueryBudget::max_steps(50)));
+        let worker = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let mut hook = pool.hook();
+                hook.check(60) // 60 ≥ 50: this charge trips the pool
+            })
+        };
+        let tripped_there = worker.join().unwrap();
+        assert!(!tripped_there, "over-cap charge must trip its own worker");
+        let mut hook = pool.hook();
+        assert!(
+            !hook.check(0),
+            "trip must be visible to every other worker immediately"
+        );
+        assert!(pool.spent() >= 50);
+    });
+}
+
+/// Negative control: replace the CAS retry loop with a stale
+/// load-then-store and the explorer must find the lost-update
+/// interleaving. This is what proves the green tests above actually
+/// explored the schedule space.
+#[test]
+#[should_panic(expected = "lost an update")]
+fn racy_store_min_is_rejected_by_the_model() {
+    use loom::sync::atomic::{AtomicU64, Ordering};
+    loom::model(|| {
+        let radius = Arc::new(AtomicU64::new(f64::INFINITY.to_bits()));
+        let handles: Vec<_> = [5.0f64, 3.0f64]
+            .into_iter()
+            .map(|achieved| {
+                let radius = Arc::clone(&radius);
+                thread::spawn(move || {
+                    // BROKEN on purpose: decide on a stale load, then
+                    // store unconditionally — exactly the protocol the
+                    // shared-atomic-protocol lint forbids.
+                    let current = f64::from_bits(radius.load(Ordering::SeqCst));
+                    if achieved < current {
+                        radius.store(achieved.to_bits(), Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = f64::from_bits(radius.load(Ordering::SeqCst));
+        assert_eq!(got, 3.0, "store/store race lost an update");
+    });
+}

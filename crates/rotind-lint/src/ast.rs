@@ -83,10 +83,12 @@ pub enum ItemKind {
     Enum(EnumDecl),
     /// `mod name { … }` — nested items.
     Mod(Vec<Item>),
-    /// `impl … { … }` — nested items (methods).
-    Impl(Vec<Item>),
-    /// `trait … { … }` — nested items (default methods).
-    Trait(Vec<Item>),
+    /// `impl … { … }` — nested items (methods), plus the header names
+    /// the call graph resolves `Self::` and method calls through.
+    Impl(ImplDecl),
+    /// `trait … { … }` — nested items (default methods). The trait's
+    /// visibility is the visibility of its default methods.
+    Trait(TraitDecl),
     /// Anything else (`use`, `struct`, `const`, macros, junk): an
     /// opaque token run kept only so spans stay a partition.
     Other,
@@ -101,8 +103,35 @@ pub struct FnDecl {
     pub name_line: usize,
     /// Whether the declaration is `pub` (any visibility qualifier).
     pub is_pub: bool,
+    /// Parameter names in declaration order. A `self` receiver is
+    /// `"self"`; a pattern that binds no single name (tuples, `_`)
+    /// becomes `"_"` so positions stay aligned with call arguments.
+    pub params: Vec<String>,
     /// The body block, when present.
     pub body: Option<Block>,
+}
+
+/// An `impl` block header: `impl<…> Trait for Type { … }`.
+#[derive(Debug)]
+pub struct ImplDecl {
+    /// Last path segment of the self type (`Type`), when nameable.
+    pub self_ty: Option<String>,
+    /// Last path segment of the implemented trait, for trait impls.
+    pub trait_name: Option<String>,
+    /// The member items (methods, nested consts, …).
+    pub items: Vec<Item>,
+}
+
+/// A `trait` declaration header.
+#[derive(Debug)]
+pub struct TraitDecl {
+    /// The trait's name, when present.
+    pub name: Option<String>,
+    /// Whether the trait is plain `pub` (scoped `pub(crate)` excluded) —
+    /// the effective visibility of its default methods.
+    pub is_pub: bool,
+    /// The member items (method signatures and default bodies).
+    pub items: Vec<Item>,
 }
 
 /// An enum definition.
@@ -393,8 +422,18 @@ pub fn walk_item_exprs<'a>(item: &'a Item, f: &mut impl FnMut(&'a Expr)) {
                 walk_exprs(body, f);
             }
         }
-        ItemKind::Mod(items) | ItemKind::Impl(items) | ItemKind::Trait(items) => {
+        ItemKind::Mod(items) => {
             for it in items {
+                walk_item_exprs(it, f);
+            }
+        }
+        ItemKind::Impl(decl) => {
+            for it in &decl.items {
+                walk_item_exprs(it, f);
+            }
+        }
+        ItemKind::Trait(decl) => {
+            for it in &decl.items {
                 walk_item_exprs(it, f);
             }
         }
@@ -409,9 +448,9 @@ pub fn walk_fns<'a>(file: &'a File, f: &mut impl FnMut(&'a FnDecl, Span)) {
         for item in items {
             match &item.kind {
                 ItemKind::Fn(decl) => f(decl, item.span),
-                ItemKind::Mod(inner) | ItemKind::Impl(inner) | ItemKind::Trait(inner) => {
-                    rec(inner, f)
-                }
+                ItemKind::Mod(inner) => rec(inner, f),
+                ItemKind::Impl(decl) => rec(&decl.items, f),
+                ItemKind::Trait(decl) => rec(&decl.items, f),
                 ItemKind::Enum(_) | ItemKind::Other => {}
             }
         }
@@ -455,15 +494,19 @@ fn validate_item(item: &Item) -> Result<(), String> {
             }
             Ok(())
         }
-        ItemKind::Mod(items) | ItemKind::Impl(items) | ItemKind::Trait(items) => {
-            validate_children(item.span, items.iter().map(|i| i.span), "item")?;
-            for it in items {
-                validate_item(it)?;
-            }
-            Ok(())
-        }
+        ItemKind::Mod(items) => validate_members(item.span, items),
+        ItemKind::Impl(decl) => validate_members(item.span, &decl.items),
+        ItemKind::Trait(decl) => validate_members(item.span, &decl.items),
         ItemKind::Enum(_) | ItemKind::Other => Ok(()),
     }
+}
+
+fn validate_members(span: Span, items: &[Item]) -> Result<(), String> {
+    validate_children(span, items.iter().map(|i| i.span), "item")?;
+    for it in items {
+        validate_item(it)?;
+    }
+    Ok(())
 }
 
 fn validate_block(block: &Block) -> Result<(), String> {
@@ -808,13 +851,17 @@ impl<'a> Parser<'a> {
     fn item(&mut self) -> Item {
         let lo = self.pos;
         self.skip_attrs();
-        // Visibility.
+        // Visibility. `plain_pub` excludes scoped forms (`pub(crate)`):
+        // only unrestricted `pub` is API surface.
         let mut is_pub = false;
+        let mut plain_pub = false;
         if self.cur() == "pub" {
             is_pub = true;
             self.bump();
             if self.cur() == "(" {
                 self.skip_group(); // pub(crate), pub(in …)
+            } else {
+                plain_pub = true;
             }
         }
         // Qualifiers before `fn`.
@@ -833,9 +880,9 @@ impl<'a> Parser<'a> {
         let kind = match self.cur() {
             "fn" => self.fn_item(is_pub),
             "enum" => self.enum_item(),
-            "mod" => self.mod_like("mod"),
-            "impl" => self.mod_like("impl"),
-            "trait" => self.mod_like("trait"),
+            "mod" => self.mod_like("mod", plain_pub),
+            "impl" => self.mod_like("impl", plain_pub),
+            "trait" => self.mod_like("trait", plain_pub),
             _ => self.other_item(),
         };
         // Recovery: an item must consume something.
@@ -878,8 +925,12 @@ impl<'a> Parser<'a> {
             _ => (String::new(), self.toks.get(self.pos).map_or(1, |t| t.line)),
         };
         self.skip_generics();
+        let mut params = Vec::new();
         if self.cur() == "(" {
+            let lo = self.pos + 1;
             self.skip_group(); // parameters
+            let hi = self.pos.saturating_sub(1).max(lo);
+            params = param_names(self.toks.get(lo..hi).unwrap_or(&[]));
         }
         // Return type / where clause: scan to the body `{` or a `;`
         // at angle/group depth zero.
@@ -890,6 +941,7 @@ impl<'a> Parser<'a> {
                     name,
                     name_line,
                     is_pub,
+                    params,
                     body: None,
                 });
             }
@@ -917,6 +969,7 @@ impl<'a> Parser<'a> {
                         name,
                         name_line,
                         is_pub,
+                        params,
                         body: None,
                     });
                 }
@@ -926,6 +979,7 @@ impl<'a> Parser<'a> {
                         name,
                         name_line,
                         is_pub,
+                        params,
                         body: Some(body),
                     });
                 }
@@ -962,10 +1016,24 @@ impl<'a> Parser<'a> {
         ItemKind::Enum(EnumDecl { name, variants })
     }
 
-    /// `mod`/`impl`/`trait`: skip the header to `{` (or `;`), then
-    /// parse the members as items.
-    fn mod_like(&mut self, what: &str) -> ItemKind {
+    /// `mod`/`impl`/`trait`: scan the header to `{` (or `;`), recording
+    /// the idents the call graph needs, then parse the members as items.
+    fn mod_like(&mut self, what: &str, is_pub: bool) -> ItemKind {
         self.bump(); // keyword
+        if what != "impl" {
+            // `mod name` / `trait Name<…>`: the name is the next ident.
+        } else {
+            self.skip_generics(); // `impl<…>`
+        }
+        let name = match self.toks.get(self.pos) {
+            Some(t) if t.kind == TokKind::Ident => Some(t.text.clone()),
+            _ => None,
+        };
+        // Header idents at angle depth 0 after the first, and whether a
+        // `for` separates a trait path from the self type.
+        let mut after_for: Option<String> = None;
+        let mut last_ident: Option<String> = name.clone();
+        let mut saw_for = false;
         let mut angle = 0isize;
         loop {
             if self.at_end() {
@@ -988,13 +1056,39 @@ impl<'a> Parser<'a> {
                     angle -= 2;
                     self.bump();
                 }
+                "->" => self.bump(),
                 "(" | "[" => self.skip_group(),
                 ";" if angle <= 0 => {
                     self.bump(); // `mod name;` / `trait X: Y;`
                     return ItemKind::Other;
                 }
                 "{" if angle <= 0 => break,
-                _ => self.bump(),
+                "for" if angle <= 0 => {
+                    saw_for = true;
+                    self.bump();
+                }
+                "where" if angle <= 0 => {
+                    // Bound idents after `where` are not part of the
+                    // trait/self-type paths: stop recording.
+                    while !self.at_end() && !matches!(self.cur(), "{" | ";") {
+                        match self.cur() {
+                            "(" | "[" => self.skip_group(),
+                            "<" => self.skip_generics(),
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                _ => {
+                    if angle <= 0 && self.kind(self.pos) == Some(TokKind::Ident) {
+                        let t = self.cur().to_string();
+                        if saw_for {
+                            after_for = Some(t);
+                        } else {
+                            last_ident = Some(t);
+                        }
+                    }
+                    self.bump();
+                }
             }
         }
         self.bump(); // `{`
@@ -1007,8 +1101,27 @@ impl<'a> Parser<'a> {
         }
         match what {
             "mod" => ItemKind::Mod(items),
-            "impl" => ItemKind::Impl(items),
-            _ => ItemKind::Trait(items),
+            "impl" => {
+                // `impl Type { … }` → self_ty = Type; `impl Trait for
+                // Type { … }` → trait = last ident before `for`, self
+                // type = last ident after it (path segments collapse to
+                // the final one either way).
+                let (self_ty, trait_name) = if saw_for {
+                    (after_for, last_ident)
+                } else {
+                    (last_ident, None)
+                };
+                ItemKind::Impl(ImplDecl {
+                    self_ty,
+                    trait_name,
+                    items,
+                })
+            }
+            _ => ItemKind::Trait(TraitDecl {
+                name,
+                is_pub,
+                items,
+            }),
         }
     }
 
@@ -1637,6 +1750,7 @@ impl<'a> Parser<'a> {
                     span: Span::new(lo, self.pos),
                 };
             }
+            "<" => return self.qualified_path(lo),
             _ => {}
         }
         match self.kind(self.pos) {
@@ -1718,6 +1832,72 @@ impl<'a> Parser<'a> {
         Expr {
             span: Span::new(lo, body.span.hi.max(self.pos)),
             kind: ExprKind::Paren(Box::new(body)),
+        }
+    }
+
+    /// A UFCS qualified path in expression-head position:
+    /// `<T as Trait>::f(…)` parses to `Path(["Trait", "f"])` (or
+    /// `Path(["T", "f"])` without an `as` clause) so call resolution
+    /// sees the method name instead of a one-token opaque run. Anything
+    /// that is not `<…>::` stays an opaque run over the angle group.
+    fn qualified_path(&mut self, lo: usize) -> Expr {
+        self.bump(); // `<`
+        let mut depth = 1isize;
+        let mut last_ident: Option<String> = None;
+        let mut after_as: Option<String> = None;
+        let mut saw_as = false;
+        while !self.at_end() && depth > 0 {
+            match self.cur() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "->" => {}
+                "as" if depth == 1 => saw_as = true,
+                ";" | "{" => break, // malformed: bail before a body
+                _ => {
+                    if depth == 1 && self.kind(self.pos) == Some(TokKind::Ident) {
+                        let t = self.cur().to_string();
+                        if saw_as {
+                            after_as = Some(t);
+                        } else {
+                            last_ident = Some(t);
+                        }
+                    }
+                }
+            }
+            self.bump();
+        }
+        let mut segments = Vec::new();
+        if let Some(q) = after_as.or(last_ident) {
+            segments.push(q);
+        }
+        let mut is_path = false;
+        while self.cur() == "::" {
+            self.bump();
+            if self.cur() == "<" {
+                self.skip_generics(); // turbofish
+                is_path = true;
+                continue;
+            }
+            if self.kind(self.pos) == Some(TokKind::Ident) {
+                segments.push(self.cur().to_string());
+                self.bump();
+                is_path = true;
+                continue;
+            }
+            break;
+        }
+        if is_path && !segments.is_empty() {
+            Expr {
+                kind: ExprKind::Path(segments),
+                span: Span::new(lo, self.pos),
+            }
+        } else {
+            Expr {
+                kind: ExprKind::Opaque,
+                span: Span::new(lo, self.pos.max(lo + 1)),
+            }
         }
     }
 
@@ -2034,6 +2214,63 @@ impl<'a> Parser<'a> {
 /// Extract variant names from an enum body token run: idents at brace
 /// depth zero that start a variant (first token, or right after a `,`),
 /// with attribute groups and payload groups skipped.
+/// Extract positional parameter names from the tokens between a fn's
+/// parameter parens. Parameters split on commas at bracket/angle depth
+/// zero; each yields the identifier it binds (`self` for receivers,
+/// `"_"` when the pattern binds no single name) so indices line up with
+/// call-site arguments.
+fn param_names(body: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let start = |toks: &[Token], mut k: usize| -> String {
+        // Skip receiver/pattern prefixes: `&`, `&&`, lifetimes, `mut`.
+        while let Some(t) = toks.get(k) {
+            match t.text.as_str() {
+                "&" | "&&" | "mut" => k += 1,
+                _ if t.kind == TokKind::Lifetime => k += 1,
+                _ => break,
+            }
+        }
+        match toks.get(k) {
+            Some(t) if t.text == "self" => "self".to_string(),
+            Some(t)
+                if t.kind == TokKind::Ident
+                    && toks
+                        .get(k + 1)
+                        .is_none_or(|n| n.text == ":" || n.text == ",") =>
+            {
+                t.text.clone()
+            }
+            _ => "_".to_string(),
+        }
+    };
+    let mut param_lo = 0usize;
+    let mut depth = 0isize;
+    while let Some(t) = body.get(i) {
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                i = skip_balanced(body, i);
+                continue;
+            }
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "<<" => depth += 2,
+            ">>" => depth -= 2,
+            "->" => {}
+            "," if depth <= 0 => {
+                out.push(start(body, param_lo));
+                param_lo = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if param_lo < body.len() {
+        out.push(start(body, param_lo));
+    }
+    out
+}
+
 fn enum_variants(body: &[Token]) -> Vec<String> {
     let mut out = Vec::new();
     let mut i = 0usize;
@@ -2266,5 +2503,97 @@ mod tests {
             "fn f(o: Option<u8>) -> u8 { let Some(x) = o else { return 0; }; if let Some(y) = Some(x) { y } else { 0 } }\n",
         );
         validate_spans(&f).unwrap();
+    }
+
+    #[test]
+    fn fn_params_captured_positionally() {
+        let (_t, f) = file(
+            "fn f(&mut self, q: &[f64], mut n: usize, (a, b): (u8, u8), m: BTreeMap<K, V>) {}\n",
+        );
+        validate_spans(&f).unwrap();
+        let ItemKind::Fn(decl) = &f.items[0].kind else {
+            panic!("expected fn");
+        };
+        assert_eq!(decl.params, vec!["self", "q", "n", "_", "m"]);
+    }
+
+    #[test]
+    fn impl_headers_record_type_and_trait() {
+        let (_t, f) = file(
+            "impl fmt::Display for QueryTrace { fn fmt(&self) {} }\nimpl<T: Obs> Scan<T> where T: Clone { fn go(&self) {} }\n",
+        );
+        validate_spans(&f).unwrap();
+        let ItemKind::Impl(d0) = &f.items[0].kind else {
+            panic!("expected impl");
+        };
+        assert_eq!(d0.self_ty.as_deref(), Some("QueryTrace"));
+        assert_eq!(d0.trait_name.as_deref(), Some("Display"));
+        let ItemKind::Impl(d1) = &f.items[1].kind else {
+            panic!("expected impl");
+        };
+        assert_eq!(d1.self_ty.as_deref(), Some("Scan"));
+        assert_eq!(d1.trait_name, None);
+    }
+
+    #[test]
+    fn trait_header_records_name_and_plain_pub() {
+        let (_t, f) = file(
+            "pub trait Bound: Base { fn lb(&self) -> f64 { 0.0 } }\npub(crate) trait Scoped { }\n",
+        );
+        validate_spans(&f).unwrap();
+        let ItemKind::Trait(d0) = &f.items[0].kind else {
+            panic!("expected trait");
+        };
+        assert_eq!(d0.name.as_deref(), Some("Bound"));
+        assert!(d0.is_pub);
+        let ItemKind::Trait(d1) = &f.items[1].kind else {
+            panic!("expected trait");
+        };
+        assert_eq!(d1.name.as_deref(), Some("Scoped"));
+        assert!(!d1.is_pub, "pub(crate) is not plain pub");
+    }
+
+    #[test]
+    fn ufcs_qualified_path_parses_as_path_call() {
+        let (_t, f) =
+            file("fn f(p: &Paa) -> f64 { <Paa as Bound>::min_dist(p) + <f64>::from_bits(0) }\n");
+        validate_spans(&f).unwrap();
+        let mut calls = Vec::new();
+        walk_fns(&f, &mut |decl, _| {
+            walk_exprs(decl.body.as_ref().unwrap(), &mut |e| {
+                if let ExprKind::Call { callee, .. } = &e.kind {
+                    if let ExprKind::Path(segs) = &callee.kind {
+                        calls.push(segs.clone());
+                    }
+                }
+            });
+        });
+        assert_eq!(
+            calls,
+            vec![
+                vec!["Bound".to_string(), "min_dist".into()],
+                vec!["f64".to_string(), "from_bits".into()],
+            ]
+        );
+    }
+
+    #[test]
+    fn self_path_call_parses_as_path() {
+        let (_t, f) = file("impl S { fn f(&self) -> f64 { Self::helper(1) } }\n");
+        validate_spans(&f).unwrap();
+        let mut calls = Vec::new();
+        walk_fns(&f, &mut |decl, _| {
+            if decl.name != "f" {
+                return;
+            }
+            walk_exprs(decl.body.as_ref().unwrap(), &mut |e| {
+                if let ExprKind::Call { callee, .. } = &e.kind {
+                    if let ExprKind::Path(segs) = &callee.kind {
+                        calls.push(segs.clone());
+                    }
+                }
+            });
+        });
+        assert_eq!(calls, vec![vec!["Self".to_string(), "helper".into()]]);
     }
 }

@@ -3,11 +3,16 @@
 //! when any count rises or a new pair appears; counts may only go down,
 //! and `--write-baseline` re-tightens the file after a burn-down.
 //!
-//! Schema v2 wraps each rule's file map in `{"total": N, "files": {…}}`
-//! so the per-rule burn-down number is visible in diffs without summing
-//! by hand; the redundant total is validated on read. v1 files (the bare
-//! `rule → file → count` shape) still parse — `--write-baseline`
-//! migrates them on the next re-ratchet.
+//! Schema v3 wraps each rule's file map in `{"total": N, "witness":
+//! "<hash>", "files": {…}}`: the per-rule burn-down number is visible
+//! in diffs without summing by hand (the redundant total is validated
+//! on read), and rules whose findings carry interprocedural witness
+//! paths record an FNV-1a hash over those paths — so a diff shows when
+//! a taint chain *moved* even while the count held still. The witness
+//! hash is informational (the gate stays count-based: line drift must
+//! not fail CI). v1 (bare `rule → file → count`) and v2 (no `witness`)
+//! files still parse — `--write-baseline` migrates them on the next
+//! re-ratchet.
 
 use crate::findings::{count_by_rule_and_file, Finding};
 use crate::json;
@@ -15,7 +20,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Baseline schema version (bumped on format changes).
-pub const BASELINE_VERSION: u64 = 2;
+pub const BASELINE_VERSION: u64 = 3;
 
 /// Default baseline file name, committed at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.json";
@@ -77,7 +82,11 @@ pub fn compare(findings: &[Finding], baseline: &Counts) -> Comparison {
 /// Serialise counts to the canonical baseline JSON — byte-stable (sorted
 /// keys, fixed indentation, trailing newline) so the committed file can
 /// be compared verbatim against a fresh scan by tests and by humans.
-pub fn to_json(counts: &Counts) -> String {
+/// `witness` maps rule ids to the witness-path hash recorded for rules
+/// whose findings carry taint chains (see
+/// [`crate::findings::witness_hashes`]); rules absent from the map get
+/// no `witness` key.
+pub fn to_json(counts: &Counts, witness: &BTreeMap<String, String>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"version\": {BASELINE_VERSION},");
@@ -93,6 +102,9 @@ pub fn to_json(counts: &Counts) -> String {
         let _ = write!(out, "    {}: {{", json::escape(rule));
         out.push('\n');
         let _ = writeln!(out, "      \"total\": {total},");
+        if let Some(hash) = witness.get(rule) {
+            let _ = writeln!(out, "      \"witness\": {},", json::escape(hash));
+        }
         out.push_str("      \"files\": {\n");
         let n_files = files.len();
         for (fi, (path, count)) in files.iter().enumerate() {
@@ -121,10 +133,12 @@ fn files_from_obj(
     Ok(out)
 }
 
-/// Parse baseline JSON back into counts. Accepts schema v2 (per-rule
-/// `{total, files}` with the total cross-checked) and the legacy v1
-/// shape (bare file map). Unknown top-level keys or versions are an
-/// error; a corrupt ratchet must not silently pass.
+/// Parse baseline JSON back into counts. Accepts schema v3 (per-rule
+/// `{total, witness?, files}` with the total cross-checked), v2 (no
+/// `witness`) and the legacy v1 shape (bare file map). The witness hash
+/// is validated as a string but not returned — the gate is count-based.
+/// Unknown top-level keys or versions are an error; a corrupt ratchet
+/// must not silently pass.
 pub fn from_json(src: &str) -> Result<Counts, String> {
     let v = json::parse(src)?;
     let obj = v.as_obj().ok_or("baseline root must be an object")?;
@@ -132,7 +146,7 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
         .get("version")
         .and_then(|v| v.as_int())
         .ok_or("baseline missing integer `version`")?;
-    if version != 1 && version != BASELINE_VERSION {
+    if !(1..=BASELINE_VERSION).contains(&version) {
         return Err(format!(
             "baseline version {version} unsupported (expected {BASELINE_VERSION}); regenerate with --write-baseline"
         ));
@@ -156,8 +170,14 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
             files_from_obj(rule, entry)?
         } else {
             for key in entry.keys() {
-                if key != "total" && key != "files" {
+                let known = key == "total" || key == "files" || (version >= 3 && key == "witness");
+                if !known {
                     return Err(format!("unexpected key `{key}` under rule `{rule}`"));
+                }
+            }
+            if let Some(w) = entry.get("witness") {
+                if !matches!(w, json::Value::Str(_)) {
+                    return Err(format!("witness for rule `{rule}` must be a string"));
                 }
             }
             let total = entry
@@ -202,10 +222,14 @@ mod tests {
             .entry("float-eq".into())
             .or_default()
             .insert("crates/b/src/x.rs".into(), 1);
-        let js = to_json(&counts);
+        let js = to_json(&counts, &BTreeMap::new());
         let parsed = from_json(&js).unwrap();
         assert_eq!(parsed, counts);
-        assert_eq!(to_json(&parsed), js, "serialisation must be canonical");
+        assert_eq!(
+            to_json(&parsed, &BTreeMap::new()),
+            js,
+            "serialisation must be canonical"
+        );
     }
 
     #[test]
@@ -245,29 +269,37 @@ mod tests {
     }
 
     #[test]
-    fn v2_serialises_per_rule_totals() {
+    fn v3_serialises_per_rule_totals_and_witness_hashes() {
         let mut counts: Counts = BTreeMap::new();
-        let entry = counts.entry("no-index".into()).or_default();
+        let entry = counts.entry("prune-only".into()).or_default();
         entry.insert("a.rs".into(), 3);
         entry.insert("b.rs".into(), 4);
-        let js = to_json(&counts);
-        assert!(js.contains("\"version\": 2"), "{js}");
+        let mut witness = BTreeMap::new();
+        witness.insert("prune-only".to_string(), "00ff00ff00ff00ff".to_string());
+        let js = to_json(&counts, &witness);
+        assert!(js.contains("\"version\": 3"), "{js}");
         assert!(js.contains("\"total\": 7"), "{js}");
+        assert!(js.contains("\"witness\": \"00ff00ff00ff00ff\""), "{js}");
         assert_eq!(from_json(&js).unwrap(), counts);
     }
 
     #[test]
-    fn v1_baseline_migrates() {
+    fn v1_and_v2_baselines_migrate() {
         let legacy = "{\n  \"version\": 1,\n  \"rules\": {\n    \"no-panic\": {\n      \"a.rs\": 2\n    }\n  }\n}\n";
         let counts = from_json(legacy).unwrap();
         assert_eq!(counts.get("no-panic").and_then(|m| m.get("a.rs")), Some(&2));
-        // Re-serialising writes the v2 shape.
-        assert!(to_json(&counts).contains("\"total\": 2"));
+        // Re-serialising writes the v3 shape.
+        assert!(to_json(&counts, &BTreeMap::new()).contains("\"total\": 2"));
+        let v2 = "{\n  \"version\": 2,\n  \"rules\": {\n    \"no-panic\": {\n      \"total\": 2,\n      \"files\": {\n        \"a.rs\": 2\n      }\n    }\n  }\n}\n";
+        assert_eq!(from_json(v2).unwrap(), counts);
+        // …but a v2 file must not smuggle a witness key.
+        let v2_witness = v2.replace("\"total\": 2,", "\"total\": 2,\n      \"witness\": \"x\",");
+        assert!(from_json(&v2_witness).is_err());
     }
 
     #[test]
-    fn v2_total_mismatch_is_rejected() {
-        let lying = "{\n  \"version\": 2,\n  \"rules\": {\n    \"no-panic\": {\n      \"total\": 99,\n      \"files\": {\n        \"a.rs\": 2\n      }\n    }\n  }\n}\n";
+    fn total_mismatch_is_rejected() {
+        let lying = "{\n  \"version\": 3,\n  \"rules\": {\n    \"no-panic\": {\n      \"total\": 99,\n      \"files\": {\n        \"a.rs\": 2\n      }\n    }\n  }\n}\n";
         let err = from_json(lying).unwrap_err();
         assert!(err.contains("does not match"), "{err}");
     }

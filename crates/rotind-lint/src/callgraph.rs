@@ -1,0 +1,312 @@
+//! The whole-workspace call graph, built on [`crate::resolve`].
+//!
+//! Every `callee(args)` with a path callee and every `recv.method(args)`
+//! in every function body becomes a [`CallSite`], attributed to the
+//! innermost enclosing function. Sites resolve through
+//! [`GlobalIndex::resolve`]; a site with no matching definition stays in
+//! the graph with an empty target list — the **totality invariant**:
+//!
+//! > call sites = resolved sites ∪ unresolved sites, and every resolved
+//! > edge points at a real node.
+//!
+//! Unresolved sites are mostly std/vendored calls (`.load`, `.iter`,
+//! `Vec::new`) the workspace does not define; keeping them bucketed
+//! (instead of dropped) lets the proptest in `tests/callgraph.rs` prove
+//! the extraction lost nothing, and lets the interprocedural rules
+//! reason about *name-based* facts (an unresolved `lb_kim` call is still
+//! a bound source) without a resolved definition.
+
+use crate::ast::{walk_item_exprs, Expr, ExprKind, Span};
+use crate::resolve::GlobalIndex;
+use crate::source::SourceFile;
+
+/// One call expression inside some function body.
+#[derive(Debug)]
+pub struct CallSite<'a> {
+    /// Node id of the innermost enclosing function.
+    pub caller: usize,
+    /// Called name (path's last segment, or the method name).
+    pub name: String,
+    /// Path segment before the name, when the call had one
+    /// (`Self::f` → `Self`, `module::f` → `module`).
+    pub qualifier: Option<String>,
+    /// True for `recv.method(args)` — argument positions shift by one
+    /// against the callee's parameter list (`self` is parameter 0).
+    pub is_method: bool,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// The call expression itself (args inspectable by the dataflow).
+    pub expr: &'a Expr,
+    /// Resolved target node ids; empty = unresolved (bucketed, not
+    /// dropped).
+    pub targets: Vec<usize>,
+}
+
+/// The call graph over one scan unit.
+pub struct CallGraph<'a> {
+    /// The function index the graph resolves against.
+    pub index: GlobalIndex<'a>,
+    /// Every call site, in (file, source) order.
+    pub sites: Vec<CallSite<'a>>,
+    /// caller node id → indices into [`CallGraph::sites`].
+    pub sites_of: Vec<Vec<usize>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph over a scan unit.
+    pub fn build(files: &'a [SourceFile]) -> CallGraph<'a> {
+        let index = GlobalIndex::build(files);
+        let per_file = nodes_per_file(&index, files.len());
+        let mut sites: Vec<CallSite<'a>> = Vec::new();
+        for (file, candidates) in files.iter().zip(&per_file) {
+            let toks = file.tokens();
+            for item in &file.ast.items {
+                walk_item_exprs(item, &mut |e| {
+                    let (name, qualifier, is_method) = match call_shape(e) {
+                        Some(shape) => shape,
+                        None => return,
+                    };
+                    let Some(caller) = innermost_fn(&index, candidates, e.span) else {
+                        return; // call outside any fn body (opaque item)
+                    };
+                    let targets = index.resolve(caller, name, qualifier);
+                    sites.push(CallSite {
+                        caller,
+                        name: name.to_string(),
+                        qualifier: qualifier.map(str::to_string),
+                        is_method,
+                        line: e.span.line(toks),
+                        expr: e,
+                        targets,
+                    });
+                });
+            }
+        }
+        let mut sites_of: Vec<Vec<usize>> = vec![Vec::new(); index.nodes.len()];
+        for (i, s) in sites.iter().enumerate() {
+            if let Some(of_caller) = sites_of.get_mut(s.caller) {
+                of_caller.push(i);
+            }
+        }
+        CallGraph {
+            index,
+            sites,
+            sites_of,
+        }
+    }
+
+    /// Node ids reachable from `roots` along resolved edges (roots
+    /// included).
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.index.nodes.len()];
+        let mut stack: Vec<usize> = roots.to_vec();
+        for &r in roots {
+            if let Some(slot) = seen.get_mut(r) {
+                *slot = true;
+            }
+        }
+        while let Some(node) = stack.pop() {
+            let sites = self.sites_of.get(node).into_iter().flatten();
+            for t in sites
+                .flat_map(|&site| self.sites.get(site))
+                .flat_map(|s| &s.targets)
+            {
+                if let Some(slot) = seen.get_mut(*t) {
+                    if !*slot {
+                        *slot = true;
+                        stack.push(*t);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Check the totality invariant; `Err(description)` at the first
+    /// violation. Exercised by the call-graph proptest over every
+    /// workspace file.
+    pub fn validate_totality(&self, files: &[SourceFile]) -> Result<(), String> {
+        let n_nodes = self.index.nodes.len();
+        for (i, s) in self.sites.iter().enumerate() {
+            for &t in &s.targets {
+                if t >= n_nodes {
+                    return Err(format!(
+                        "site {i} (`{}` at line {}): target {t} out of range ({n_nodes} nodes)",
+                        s.name, s.line
+                    ));
+                }
+            }
+            if s.caller >= n_nodes {
+                return Err(format!("site {i}: caller {} out of range", s.caller));
+            }
+        }
+        // Independent recount: every call expression inside a fn body
+        // must appear as exactly one site.
+        let mut expected = 0usize;
+        let per_file = nodes_per_file(&self.index, files.len());
+        for (file, candidates) in files.iter().zip(&per_file) {
+            for item in &file.ast.items {
+                walk_item_exprs(item, &mut |e| {
+                    if call_shape(e).is_some()
+                        && innermost_fn(&self.index, candidates, e.span).is_some()
+                    {
+                        expected += 1;
+                    }
+                });
+            }
+        }
+        if expected != self.sites.len() {
+            return Err(format!(
+                "{expected} call expressions in fn bodies but {} sites recorded",
+                self.sites.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolved + unresolved site counts (for reports and tests).
+    pub fn site_counts(&self) -> (usize, usize) {
+        let resolved = self.sites.iter().filter(|s| !s.targets.is_empty()).count();
+        (resolved, self.sites.len() - resolved)
+    }
+}
+
+/// Node ids bucketed by owning file index.
+fn nodes_per_file(index: &GlobalIndex<'_>, n_files: usize) -> Vec<Vec<usize>> {
+    let mut per_file: Vec<Vec<usize>> = vec![Vec::new(); n_files];
+    for n in &index.nodes {
+        if let Some(bucket) = per_file.get_mut(n.file) {
+            bucket.push(n.id);
+        }
+    }
+    per_file
+}
+
+/// The (name, qualifier, is_method) of a call expression, or `None`
+/// when `e` is not a call the graph tracks.
+fn call_shape(e: &Expr) -> Option<(&str, Option<&str>, bool)> {
+    match &e.kind {
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(segs) => {
+                let name = segs.last()?;
+                let qualifier = segs.len().checked_sub(2).and_then(|i| segs.get(i));
+                Some((name, qualifier.map(String::as_str), false))
+            }
+            _ => None,
+        },
+        ExprKind::MethodCall { name, .. } => Some((name, None, true)),
+        _ => None,
+    }
+}
+
+/// The innermost function in `candidates` (node ids of one file) whose
+/// body span contains `span`.
+fn innermost_fn(index: &GlobalIndex<'_>, candidates: &[usize], span: Span) -> Option<usize> {
+    candidates
+        .iter()
+        .copied()
+        .filter_map(|id| {
+            let body = index.nodes.get(id)?.decl.body.as_ref()?;
+            body.span
+                .contains(span)
+                .then_some((body.span.hi - body.span.lo, id))
+        })
+        .min_by_key(|&(width, _)| width)
+        .map(|(_, id)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(p, s)| SourceFile::parse(p, s, FileKind::Library))
+            .collect()
+    }
+
+    fn graph(fs: &[SourceFile]) -> CallGraph<'_> {
+        let g = CallGraph::build(fs);
+        g.validate_totality(fs).unwrap();
+        g
+    }
+
+    #[test]
+    fn cross_file_edge_resolves() {
+        let fs = files(&[
+            (
+                "crates/a/src/x.rs",
+                "pub fn tier(q: &[f64]) -> f64 { kernel(q) }\n",
+            ),
+            (
+                "crates/a/src/y.rs",
+                "pub fn kernel(q: &[f64]) -> f64 { 0.0 }\n",
+            ),
+        ]);
+        let g = graph(&fs);
+        let site = g.sites.iter().find(|s| s.name == "kernel").unwrap();
+        assert_eq!(site.targets.len(), 1);
+        assert_eq!(g.index.nodes[site.targets[0]].file, 1);
+    }
+
+    #[test]
+    fn unresolved_sites_stay_bucketed() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>().sqrt() }\n",
+        )]);
+        let g = graph(&fs);
+        let (resolved, unresolved) = g.site_counts();
+        assert_eq!(resolved, 0);
+        assert_eq!(unresolved, 3, "iter, sum, sqrt all bucketed: {:?}", g.sites);
+    }
+
+    #[test]
+    fn nested_fn_calls_attribute_to_the_inner_fn() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn outer() { fn inner() { leaf(); } inner(); }\nfn leaf() {}\n",
+        )]);
+        let g = graph(&fs);
+        let leaf_site = g.sites.iter().find(|s| s.name == "leaf").unwrap();
+        assert_eq!(g.index.nodes[leaf_site.caller].decl.name, "inner");
+        let inner_site = g.sites.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(g.index.nodes[inner_site.caller].decl.name, "outer");
+    }
+
+    #[test]
+    fn reachability_follows_resolved_edges() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn root() { mid(); } fn mid() { leaf(); } fn leaf() {} fn island() {}\n",
+        )]);
+        let g = graph(&fs);
+        let root = g
+            .index
+            .nodes
+            .iter()
+            .find(|n| n.decl.name == "root")
+            .unwrap()
+            .id;
+        let seen = g.reachable_from(&[root]);
+        let name_of = |id: usize| g.index.nodes[id].decl.name.as_str();
+        let reached: Vec<&str> = (0..seen.len()).filter(|&i| seen[i]).map(name_of).collect();
+        assert!(reached.contains(&"leaf"));
+        assert!(!reached.contains(&"island"));
+    }
+
+    #[test]
+    fn ufcs_and_self_calls_join_the_graph() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "impl Env { fn min_dist(&self) -> f64 { 0.0 } fn probe(&self) -> f64 { Self::min_dist(self) + <Env as Bound>::min_dist(self) } }\n",
+        )]);
+        let g = graph(&fs);
+        let calls: Vec<_> = g.sites.iter().filter(|s| s.name == "min_dist").collect();
+        assert_eq!(calls.len(), 2, "{:?}", g.sites);
+        for c in calls {
+            assert_eq!(c.targets.len(), 1, "both forms resolve: {c:?}");
+        }
+    }
+}

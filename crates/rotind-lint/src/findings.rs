@@ -3,6 +3,18 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// One step of an interprocedural witness path: where a tainted value
+/// came from or passed through, oldest step first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// Workspace-relative path of the step.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What happened at this step.
+    pub note: String,
+}
+
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -14,6 +26,10 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Witness path for interprocedural findings (empty otherwise);
+    /// rendered as indented steps in human output and as a SARIF
+    /// `codeFlow`.
+    pub witness: Vec<WitnessStep>,
 }
 
 impl Finding {
@@ -24,7 +40,14 @@ impl Finding {
             path: path.to_string(),
             line,
             message: message.into(),
+            witness: Vec::new(),
         }
+    }
+
+    /// Attach a witness path.
+    pub fn with_witness(mut self, witness: Vec<WitnessStep>) -> Self {
+        self.witness = witness;
+        self
     }
 }
 
@@ -49,6 +72,16 @@ pub fn render_human(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in &sorted {
         let _ = writeln!(out, "{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+        for (i, step) in f.witness.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    step {}: {}:{}: {}",
+                i + 1,
+                step.path,
+                step.line,
+                step.note
+            );
+        }
     }
     out
 }
@@ -62,15 +95,67 @@ pub fn render_json(findings: &[Finding]) -> String {
     for (i, f) in sorted.iter().enumerate() {
         let _ = write!(
             out,
-            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            "  {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}",
             crate::json::escape(f.rule),
             crate::json::escape(&f.path),
             f.line,
             crate::json::escape(&f.message)
         );
+        if !f.witness.is_empty() {
+            out.push_str(", \"witness\": [");
+            for (wi, step) in f.witness.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"path\": {}, \"line\": {}, \"note\": {}}}",
+                    if wi > 0 { ", " } else { "" },
+                    crate::json::escape(&step.path),
+                    step.line,
+                    crate::json::escape(&step.note)
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
         out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
     }
     out.push_str("]\n");
+    out
+}
+
+/// Per-rule hash of every witness path (FNV-1a over the sorted rendered
+/// steps). Stored informationally in baseline schema v3 so a diff shows
+/// when the *shape* of interprocedural evidence changed even while the
+/// counts held still; the ratchet gate itself stays count-based.
+pub fn witness_hashes(findings: &[Finding]) -> BTreeMap<String, String> {
+    let mut rendered: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in findings {
+        if f.witness.is_empty() {
+            continue;
+        }
+        let steps: Vec<String> = f
+            .witness
+            .iter()
+            .map(|s| format!("{}:{}:{}", s.path, s.line, s.note))
+            .collect();
+        rendered
+            .entry(f.rule.to_string())
+            .or_default()
+            .push(steps.join("|"));
+    }
+    let mut out = BTreeMap::new();
+    for (rule, mut paths) in rendered {
+        paths.sort();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in &paths {
+            for b in p.bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            hash ^= 0xff;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        out.insert(rule, format!("{hash:016x}"));
+    }
     out
 }
 

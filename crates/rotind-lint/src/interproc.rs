@@ -1,0 +1,914 @@
+//! Interprocedural taint dataflow over the [`crate::callgraph`].
+//!
+//! The analysis assigns every function a **summary** — which taints its
+//! return value can carry, and which parameters flow where — and
+//! iterates to a fixpoint over the whole workspace, so a bound value
+//! produced in `rotind-core` and laundered through two helpers in
+//! `rotind-index` is still known to be a bound at the final use site.
+//!
+//! Taint is a single `u64` mask:
+//!
+//! * bit 63 — **BOUND**: the value originates from a lower-bound
+//!   producer (`lb_*`, `*lower_bound`, `*tier_bound`, `min_dist`).
+//!   The *prune-only proof*: such values may feed strict-dismissal
+//!   comparisons, observers and other bound functions, but never a
+//!   returned distance or a best-so-far update.
+//! * bit 62 — **RELAXED**: the value came from a
+//!   `load(Ordering::Relaxed)` in this function.
+//! * bit 61 — **RELAXED_VIA_CALL**: a callee returned a Relaxed-loaded
+//!   value — the interprocedural extension of `atomic-ordering`.
+//! * bits 0..60 — the caller's parameters, for flow-through summaries.
+//!
+//! Comparisons are a taint *cut* (their result is a bool, and feeding a
+//! dismissal compare is exactly what bounds are for); pattern
+//! destructuring (`if let Some(lb) = …`) is a known taint boundary —
+//! fixtures and the workspace use plain bindings on the paths the rules
+//! guard. Each BOUND/RELAXED fact carries one representative **witness
+//! path** (capped at [`MAX_WITNESS`] steps) composed across call sites,
+//! reported in human and SARIF output.
+
+use crate::ast::{Block, Expr, ExprKind, Span, StmtKind};
+use crate::callgraph::CallGraph;
+use crate::dataflow::{is_relaxed_load, operand_ident, CAS_METHODS, CMP_OPS};
+use crate::findings::WitnessStep;
+use crate::lexer::Token;
+use crate::rules::lb_coverage::is_lower_bound_name;
+use crate::source::SourceFile;
+use std::collections::HashMap;
+
+/// Taint bit: value originates from a lower-bound producer.
+pub const BOUND: u64 = 1 << 63;
+/// Taint bit: value read with `Ordering::Relaxed` in this function.
+pub const RELAXED: u64 = 1 << 62;
+/// Taint bit: a callee's return value carries a Relaxed-loaded value.
+pub const RELAXED_VIA_CALL: u64 = 1 << 61;
+/// Parameter bits 0..60 (functions with more parameters than this
+/// simply lose flow precision for the tail, never soundness of BOUND).
+pub const PARAM_BITS: usize = 60;
+const PARAM_MASK: u64 = (1 << PARAM_BITS) - 1;
+/// Witness paths are representative, not exhaustive; cap their length.
+pub const MAX_WITNESS: usize = 12;
+
+/// True when calling `name` *produces* a lower-bound value. `min_dist`
+/// is the envelope's bound kernel (paper §4) and does not carry an
+/// `lb_` name.
+pub fn is_bound_source(name: &str) -> bool {
+    is_lower_bound_name(name) || name == "min_dist"
+}
+
+/// Identifiers that denote the best-so-far / pruning radius state.
+pub fn is_best_name(name: &str) -> bool {
+    name.contains("best") || name.contains("radius") || name == "bsf"
+}
+
+/// A taint mask plus one representative witness path for its
+/// BOUND/RELAXED origin.
+#[derive(Clone, Debug, Default)]
+pub struct Taint {
+    /// Bitmask (see module docs).
+    pub mask: u64,
+    /// Representative origin path, oldest step first.
+    pub witness: Vec<WitnessStep>,
+}
+
+impl Taint {
+    fn merge(&mut self, other: &Taint) {
+        if other.mask != 0 && self.witness.is_empty() {
+            self.witness.clone_from(&other.witness);
+        }
+        self.mask |= other.mask;
+    }
+
+    fn step(mut self, path: &str, line: usize, note: String) -> Taint {
+        if self.witness.len() < MAX_WITNESS {
+            self.witness.push(WitnessStep {
+                path: path.to_string(),
+                line,
+                note,
+            });
+        }
+        self
+    }
+}
+
+/// What the fixpoint learns about one function.
+#[derive(Clone, Debug, Default)]
+pub struct FnSummary {
+    /// The return value can carry BOUND taint.
+    pub returns_bound: bool,
+    /// Parameters (bit i) that can flow into the return value.
+    pub param_to_return: u64,
+    /// The return value can carry a Relaxed-loaded value.
+    pub relaxed_return: bool,
+    /// Parameters that flow into a best-so-far update inside the body.
+    pub param_to_best: u64,
+    /// Witness for `returns_bound`.
+    pub bound_witness: Vec<WitnessStep>,
+    /// Witness for `relaxed_return`.
+    pub relaxed_witness: Vec<WitnessStep>,
+    /// Representative line of the best-so-far sink for `param_to_best`.
+    pub best_sink_line: usize,
+}
+
+impl FnSummary {
+    /// Convergence key — witnesses are representative and excluded.
+    fn key(&self) -> (bool, u64, bool, u64) {
+        (
+            self.returns_bound,
+            self.param_to_return,
+            self.relaxed_return,
+            self.param_to_best,
+        )
+    }
+}
+
+/// What a sink violation is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A BOUND-tainted value is returned (a bound leaking as a
+    /// distance) — the caller decides whether the fn's name excuses it.
+    BoundReturned,
+    /// A BOUND-tainted value flows into a best-so-far update.
+    BoundToBest,
+    /// A comparison operand carries a Relaxed load through a call.
+    RelaxedCompareViaCall,
+    /// A CAS cycle's expected value was read with Relaxed ordering.
+    RelaxedSeededCas,
+}
+
+/// One interprocedural sink violation, pre-policy: the rules decide
+/// which of these are findings (fn naming, crate and file-kind gates).
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which sink was hit.
+    pub kind: ViolationKind,
+    /// Node id of the function containing the sink.
+    pub fn_id: usize,
+    /// 1-based line of the sink.
+    pub line: usize,
+    /// Full witness path from the taint origin to the sink.
+    pub witness: Vec<WitnessStep>,
+    /// Sink description fragment for the message (`best_so_far`, …).
+    pub detail: String,
+}
+
+/// The analyzed workspace: call graph + converged summaries + sink
+/// violations, shared by the three interprocedural rules.
+pub struct Workspace<'a> {
+    /// The call graph the analysis ran over.
+    pub graph: CallGraph<'a>,
+    /// Converged per-function summaries, indexed by node id.
+    pub summaries: Vec<FnSummary>,
+    /// Sink violations found in the final pass.
+    pub violations: Vec<Violation>,
+}
+
+/// Run the interprocedural analysis over a scan unit.
+pub fn analyze(files: &[SourceFile]) -> Workspace<'_> {
+    let graph = CallGraph::build(files);
+    let n = graph.index.nodes.len();
+    let mut summaries = vec![FnSummary::default(); n];
+    // Monotone fixpoint: summaries start at bottom and only grow, so
+    // this converges within the call-chain height; the round cap is a
+    // backstop, not a tuning knob.
+    for _round in 0..40 {
+        let mut changed = false;
+        for id in 0..n {
+            let (s, _) = eval_fn(files, &graph, &summaries, id, false);
+            let Some(slot) = summaries.get_mut(id) else {
+                continue;
+            };
+            if s.key() != slot.key() {
+                changed = true;
+            }
+            *slot = s;
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Final pass with converged summaries collects sink violations.
+    let mut violations = Vec::new();
+    for id in 0..n {
+        let (_, v) = eval_fn(files, &graph, &summaries, id, true);
+        violations.extend(v);
+    }
+    Workspace {
+        graph,
+        summaries,
+        violations,
+    }
+}
+
+/// Evaluate one function body against the current summaries.
+fn eval_fn(
+    files: &[SourceFile],
+    graph: &CallGraph<'_>,
+    summaries: &[FnSummary],
+    id: usize,
+    record: bool,
+) -> (FnSummary, Vec<Violation>) {
+    let (Some(node), Some(file)) = (
+        graph.index.nodes.get(id),
+        graph.index.nodes.get(id).and_then(|n| files.get(n.file)),
+    ) else {
+        return (FnSummary::default(), Vec::new());
+    };
+    let Some(body) = &node.decl.body else {
+        return (FnSummary::default(), Vec::new());
+    };
+    let mut ev = Eval {
+        graph,
+        summaries,
+        fn_id: id,
+        fn_name: &node.decl.name,
+        path: &file.path,
+        toks: file.tokens(),
+        env: HashMap::new(),
+        ret: Taint::default(),
+        ret_line: 0,
+        summary: FnSummary::default(),
+        record,
+        violations: Vec::new(),
+    };
+    for (i, p) in node.decl.params.iter().enumerate().take(PARAM_BITS) {
+        if p != "_" {
+            ev.env.insert(
+                p.clone(),
+                Taint {
+                    mask: 1 << i,
+                    witness: Vec::new(),
+                },
+            );
+        }
+    }
+    let tail = ev.block(body);
+    let tail_line = ev.end_line(body.span);
+    ev.ret_merge(tail, tail_line);
+    let ret = std::mem::take(&mut ev.ret);
+    let mut summary = std::mem::take(&mut ev.summary);
+    summary.returns_bound = ret.mask & BOUND != 0;
+    summary.param_to_return = ret.mask & PARAM_MASK;
+    summary.relaxed_return = ret.mask & (RELAXED | RELAXED_VIA_CALL) != 0;
+    if summary.returns_bound {
+        summary.bound_witness = ret.witness.clone();
+    }
+    if summary.relaxed_return {
+        summary.relaxed_witness = ret.witness;
+    }
+    let mut violations = ev.violations;
+    if record && summary.returns_bound {
+        violations.push(Violation {
+            kind: ViolationKind::BoundReturned,
+            fn_id: id,
+            line: if ev.ret_line == 0 {
+                node.decl.name_line
+            } else {
+                ev.ret_line
+            },
+            witness: summary.bound_witness.clone(),
+            detail: node.decl.name.clone(),
+        });
+    }
+    (summary, violations)
+}
+
+struct Eval<'a, 'g> {
+    graph: &'g CallGraph<'a>,
+    summaries: &'g [FnSummary],
+    fn_id: usize,
+    fn_name: &'a str,
+    path: &'a str,
+    toks: &'a [Token],
+    env: HashMap<String, Taint>,
+    ret: Taint,
+    ret_line: usize,
+    summary: FnSummary,
+    record: bool,
+    violations: Vec<Violation>,
+}
+
+impl Eval<'_, '_> {
+    fn end_line(&self, span: Span) -> usize {
+        self.toks
+            .get(span.hi.saturating_sub(1))
+            .map_or(1, |t| t.line)
+    }
+
+    fn ret_merge(&mut self, t: Taint, line: usize) {
+        if t.mask == 0 {
+            return;
+        }
+        let stepped = if t.mask & BOUND != 0 {
+            t.step(self.path, line, format!("returned from `{}`", self.fn_name))
+        } else {
+            t
+        };
+        if self.ret_line == 0 && stepped.mask & BOUND != 0 {
+            self.ret_line = line;
+        }
+        self.ret.merge(&stepped);
+    }
+
+    fn block(&mut self, b: &Block) -> Taint {
+        let mut last = Taint::default();
+        for stmt in &b.stmts {
+            match &stmt.kind {
+                StmtKind::Let { name, init } => {
+                    last = Taint::default();
+                    if let Some(init) = init {
+                        let t = self.expr(init);
+                        if let Some(n) = name {
+                            if t.mask != 0 {
+                                self.env.insert(n.clone(), t);
+                            } else {
+                                // Clean re-binding clears (shadowing).
+                                self.env.remove(n);
+                            }
+                        }
+                    }
+                }
+                StmtKind::Expr(e) => last = self.expr(e),
+                StmtKind::Item(_) | StmtKind::Empty => last = Taint::default(),
+            }
+        }
+        last
+    }
+
+    fn expr(&mut self, e: &Expr) -> Taint {
+        match &e.kind {
+            ExprKind::Path(segs) => match segs.as_slice() {
+                [name] => self.env.get(name).cloned().unwrap_or_default(),
+                _ => Taint::default(),
+            },
+            ExprKind::Lit
+            | ExprKind::Macro { .. }
+            | ExprKind::Break
+            | ExprKind::Continue
+            | ExprKind::Return(None)
+            | ExprKind::Opaque => Taint::default(),
+            ExprKind::Paren(inner) | ExprKind::Unary(inner) => self.expr(inner),
+            ExprKind::Field { recv, .. } => self.expr(recv),
+            ExprKind::Index { recv, index } => {
+                let t = self.expr(recv);
+                self.expr(index);
+                t
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(e, op, lhs, rhs),
+            ExprKind::Call { callee, args } => self.call(e, callee, args),
+            ExprKind::MethodCall { recv, name, args } => self.method(e, recv, name, args),
+            ExprKind::If {
+                cond,
+                then_block,
+                else_branch,
+            } => {
+                self.expr(cond);
+                let mut t = self.block(then_block);
+                if let Some(el) = else_branch {
+                    let te = self.expr(el);
+                    t.merge(&te);
+                }
+                t
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                // Pattern bindings are a taint boundary (module docs).
+                self.expr(scrutinee);
+                let mut t = Taint::default();
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.expr(g);
+                    }
+                    let at = self.expr(&arm.body);
+                    t.merge(&at);
+                }
+                t
+            }
+            ExprKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+                Taint::default()
+            }
+            ExprKind::For { iter, body } => {
+                self.expr(iter);
+                self.block(body);
+                Taint::default()
+            }
+            ExprKind::Loop { body } => {
+                self.block(body);
+                Taint::default()
+            }
+            ExprKind::Block(b) => self.block(b),
+            ExprKind::Return(Some(v)) => {
+                let t = self.expr(v);
+                let line = e.span.line(self.toks);
+                self.ret_merge(t, line);
+                Taint::default()
+            }
+        }
+    }
+
+    fn binary(&mut self, e: &Expr, op: &str, lhs: &Expr, rhs: &Expr) -> Taint {
+        let lt = self.expr(lhs);
+        let rt = self.expr(rhs);
+        if CMP_OPS.contains(&op) {
+            // Comparisons are the *allowed* BOUND sink; their result is
+            // a bool — the taint cut. The interprocedural atomic check
+            // fires here: a compare fed by a helper's Relaxed value.
+            if self.record {
+                for t in [&lt, &rt] {
+                    if t.mask & RELAXED_VIA_CALL != 0 {
+                        let w = t
+                            .witness
+                            .clone()
+                            .into_iter()
+                            .take(MAX_WITNESS - 1)
+                            .collect::<Vec<_>>();
+                        self.violations.push(Violation {
+                            kind: ViolationKind::RelaxedCompareViaCall,
+                            fn_id: self.fn_id,
+                            line: e.span.line(self.toks),
+                            witness: with_step(
+                                w,
+                                self.path,
+                                e.span.line(self.toks),
+                                format!("compared with `{op}` in `{}`", self.fn_name),
+                            ),
+                            detail: op.to_string(),
+                        });
+                    }
+                }
+            }
+            return Taint::default();
+        }
+        if op == "&&" || op == "||" {
+            return Taint::default();
+        }
+        if is_assign_op(op) {
+            if let Some(name) = operand_ident(lhs) {
+                if is_best_name(name) {
+                    let line = e.span.line(self.toks);
+                    self.best_sink(&rt, line, name);
+                }
+            }
+            return Taint::default();
+        }
+        let mut t = lt;
+        t.merge(&rt);
+        t
+    }
+
+    /// A value reached a best-so-far update: record the flow-through
+    /// summary always, and the BOUND violation in the final pass.
+    fn best_sink(&mut self, t: &Taint, line: usize, sink: &str) {
+        if t.mask & PARAM_MASK != 0 {
+            self.summary.param_to_best |= t.mask & PARAM_MASK;
+            if self.summary.best_sink_line == 0 {
+                self.summary.best_sink_line = line;
+            }
+        }
+        if self.record && t.mask & BOUND != 0 {
+            self.violations.push(Violation {
+                kind: ViolationKind::BoundToBest,
+                fn_id: self.fn_id,
+                line,
+                witness: with_step(
+                    t.witness.clone(),
+                    self.path,
+                    line,
+                    format!("flows into best-so-far update `{sink}`"),
+                ),
+                detail: sink.to_string(),
+            });
+        }
+    }
+
+    fn call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Taint {
+        let arg_taints: Vec<Taint> = args.iter().map(|a| self.expr(a)).collect();
+        let ExprKind::Path(segs) = &callee.kind else {
+            self.expr(callee);
+            let mut t = Taint::default();
+            for a in &arg_taints {
+                t.merge(a);
+            }
+            return t;
+        };
+        let Some(name) = segs.last() else {
+            return Taint::default();
+        };
+        let qualifier = segs
+            .len()
+            .checked_sub(2)
+            .and_then(|i| segs.get(i))
+            .map(String::as_str);
+        let line = e.span.line(self.toks);
+        let mut t = Taint::default();
+        let targets = self.graph.index.resolve(self.fn_id, name, qualifier);
+        if targets.is_empty() {
+            // Constructor-like passthrough (`Some(lb)`, `Ok(lb)`,
+            // `f64::from_bits(bits)`) keeps the wrapped value's taint.
+            for a in &arg_taints {
+                t.merge(a);
+            }
+        }
+        for &target in &targets {
+            self.apply_summary(target, name, &arg_taints, None, line, &mut t);
+        }
+        // Name-based source, unless the callee's summary already
+        // established BOUND with a deeper witness chain.
+        if is_bound_source(name) && t.mask & BOUND == 0 {
+            t.mask |= BOUND;
+            t = t.step(
+                self.path,
+                line,
+                format!("lower-bound value produced by `{name}(…)`"),
+            );
+        }
+        t
+    }
+
+    fn method(&mut self, e: &Expr, recv: &Expr, name: &str, args: &[Expr]) -> Taint {
+        if is_relaxed_load(e) {
+            let line = e.span.line(self.toks);
+            return Taint {
+                mask: RELAXED,
+                witness: vec![WitnessStep {
+                    path: self.path.to_string(),
+                    line,
+                    note: format!("`load(Ordering::Relaxed)` in `{}`", self.fn_name),
+                }],
+            };
+        }
+        let recv_t = self.expr(recv);
+        let arg_taints: Vec<Taint> = args.iter().map(|a| self.expr(a)).collect();
+        let line = e.span.line(self.toks);
+        if self.record && CAS_METHODS.contains(&name) {
+            // The expected value of a CAS cycle must come from an
+            // Acquire (or stronger) read — a Relaxed-seeded cycle can
+            // spin on a stale best-so-far (DESIGN §14).
+            if let Some(first) = arg_taints.first() {
+                if first.mask & (RELAXED | RELAXED_VIA_CALL) != 0 {
+                    self.violations.push(Violation {
+                        kind: ViolationKind::RelaxedSeededCas,
+                        fn_id: self.fn_id,
+                        line,
+                        witness: with_step(
+                            first.witness.clone(),
+                            self.path,
+                            line,
+                            format!("seeds `{name}` expected value"),
+                        ),
+                        detail: name.to_string(),
+                    });
+                }
+            }
+        }
+        // Best-so-far atomic sinks: the stored / proposed value.
+        let stored = match name {
+            "store" | "fetch_min" | "update_min" => arg_taints.first(),
+            "compare_exchange" | "compare_exchange_weak" => arg_taints.get(1),
+            _ => None,
+        };
+        if let Some(stored) = stored {
+            let gated = name == "update_min" || operand_ident(recv).is_some_and(is_best_name);
+            if gated {
+                let sink = operand_ident(recv).unwrap_or(name).to_string();
+                self.best_sink(stored, line, &sink);
+            }
+        }
+        let mut t = Taint::default();
+        let targets = self.graph.index.resolve(self.fn_id, name, None);
+        if !targets.is_empty() {
+            for &target in &targets {
+                self.apply_summary(target, name, &arg_taints, Some(&recv_t), line, &mut t);
+            }
+        } else if !is_bound_source(name) {
+            // Unresolved method: a value transform (`lb.sqrt()`,
+            // `a.max(b)`) — taint of the receiver and arguments
+            // survives.
+            t = recv_t;
+            for a in &arg_taints {
+                t.merge(a);
+            }
+        }
+        if is_bound_source(name) && t.mask & BOUND == 0 {
+            t.mask |= BOUND;
+            t = t.step(
+                self.path,
+                line,
+                format!("lower-bound value produced by `.{name}(…)`"),
+            );
+        }
+        t
+    }
+
+    /// Compose a callee summary into the call-site taint, and check the
+    /// interprocedural best-so-far sink (arguments flowing into a
+    /// best update inside the callee).
+    fn apply_summary(
+        &mut self,
+        target: usize,
+        name: &str,
+        arg_taints: &[Taint],
+        recv_taint: Option<&Taint>,
+        line: usize,
+        out: &mut Taint,
+    ) {
+        let Some(s) = self.summaries.get(target) else {
+            return;
+        };
+        let arg_for = |bit: usize| -> Option<&Taint> {
+            match recv_taint {
+                Some(rt) if bit == 0 => Some(rt),
+                Some(_) => arg_taints.get(bit - 1),
+                None => arg_taints.get(bit),
+            }
+        };
+        if s.returns_bound {
+            let w = s
+                .bound_witness
+                .iter()
+                .take(MAX_WITNESS - 1)
+                .cloned()
+                .collect();
+            out.merge(&Taint {
+                mask: BOUND,
+                witness: with_step(
+                    w,
+                    self.path,
+                    line,
+                    format!("bound value obtained via call to `{name}`"),
+                ),
+            });
+        }
+        if s.relaxed_return {
+            let w = s
+                .relaxed_witness
+                .iter()
+                .take(MAX_WITNESS - 1)
+                .cloned()
+                .collect();
+            out.merge(&Taint {
+                mask: RELAXED_VIA_CALL,
+                witness: with_step(
+                    w,
+                    self.path,
+                    line,
+                    format!("Relaxed-loaded value returned by `{name}`"),
+                ),
+            });
+        }
+        for bit in 0..PARAM_BITS {
+            if s.param_to_return & (1 << bit) != 0 {
+                if let Some(at) = arg_for(bit) {
+                    if at.mask != 0 {
+                        let mut flowed = at.clone();
+                        if flowed.mask & BOUND != 0 {
+                            flowed =
+                                flowed.step(self.path, line, format!("passed through `{name}`"));
+                        }
+                        out.merge(&flowed);
+                    }
+                }
+            }
+            if s.param_to_best & (1 << bit) != 0 {
+                if let Some(at) = arg_for(bit) {
+                    // Caller params reaching a callee's best sink are
+                    // this fn's param_to_best, transitively.
+                    if at.mask & PARAM_MASK != 0 {
+                        self.summary.param_to_best |= at.mask & PARAM_MASK;
+                        if self.summary.best_sink_line == 0 {
+                            self.summary.best_sink_line = line;
+                        }
+                    }
+                    if self.record && at.mask & BOUND != 0 {
+                        let sink_line = self
+                            .graph
+                            .index
+                            .nodes
+                            .get(target)
+                            .map_or(s.best_sink_line, |n| s.best_sink_line.max(n.decl.name_line));
+                        self.violations.push(Violation {
+                            kind: ViolationKind::BoundToBest,
+                            fn_id: self.fn_id,
+                            line,
+                            witness: with_step(
+                                at.witness.clone(),
+                                self.path,
+                                line,
+                                format!(
+                                    "argument to `{name}` reaches its best-so-far \
+                                     update (line {sink_line})"
+                                ),
+                            ),
+                            detail: name.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_assign_op(op: &str) -> bool {
+    matches!(
+        op,
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+    )
+}
+
+fn with_step(mut w: Vec<WitnessStep>, path: &str, line: usize, note: String) -> Vec<WitnessStep> {
+    w.truncate(MAX_WITNESS - 1);
+    w.push(WitnessStep {
+        path: path.to_string(),
+        line,
+        note,
+    });
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(p, s)| SourceFile::parse(p, s, FileKind::Library))
+            .collect()
+    }
+
+    fn summary_of<'w>(ws: &'w Workspace<'_>, name: &str) -> &'w FnSummary {
+        let id = ws
+            .graph
+            .index
+            .nodes
+            .iter()
+            .find(|n| n.decl.name == name)
+            .unwrap()
+            .id;
+        &ws.summaries[id]
+    }
+
+    #[test]
+    fn bound_source_taints_return() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn leak(q: &[f64], w: &W) -> f64 { let lb = lb_kim(q, w); lb }\n",
+        )]);
+        let ws = analyze(&fs);
+        let s = summary_of(&ws, "leak");
+        assert!(s.returns_bound, "{s:?}");
+        assert!(!s.bound_witness.is_empty());
+        assert!(ws
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::BoundReturned));
+    }
+
+    #[test]
+    fn compare_is_a_taint_cut() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn prune(q: &[f64], w: &W, r: f64) -> bool { let lb = lb_kim(q, w); lb > r }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(!summary_of(&ws, "prune").returns_bound);
+        assert!(ws.violations.is_empty(), "{:?}", ws.violations);
+    }
+
+    #[test]
+    fn taint_crosses_files_with_witness_path() {
+        let fs = files(&[
+            (
+                "crates/a/src/tier.rs",
+                "pub fn wedge_tier_bound(q: &[f64]) -> f64 { let lb = lb_kim(q); debug_assert!(lb >= 0.0); lb }\n",
+            ),
+            (
+                "crates/b/src/scan.rs",
+                "pub fn scan_distance(q: &[f64]) -> f64 { let d = wedge_tier_bound(q); d }\n",
+            ),
+        ]);
+        let ws = analyze(&fs);
+        let s = summary_of(&ws, "scan_distance");
+        assert!(s.returns_bound);
+        let paths: Vec<&str> = s.bound_witness.iter().map(|w| w.path.as_str()).collect();
+        assert!(
+            paths.contains(&"crates/a/src/tier.rs") && paths.contains(&"crates/b/src/scan.rs"),
+            "witness spans both files: {:?}",
+            s.bound_witness
+        );
+    }
+
+    #[test]
+    fn param_passthrough_composes() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn ident(x: f64) -> f64 { x }\nfn leak(q: &[f64]) -> f64 { let lb = lb_kim(q); ident(lb) }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(summary_of(&ws, "leak").returns_bound);
+        assert_eq!(summary_of(&ws, "ident").param_to_return, 1);
+    }
+
+    #[test]
+    fn bound_into_best_update_is_a_violation() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn scan(q: &[f64], w: &W) { let mut best_so_far = 1.0; let lb = lb_kim(q, w); best_so_far = lb; }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(ws
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::BoundToBest && v.detail == "best_so_far"));
+    }
+
+    #[test]
+    fn bound_into_best_through_helper_is_a_violation() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn tighten(best: &mut f64, d: f64) { *best = d; }\nfn scan(q: &[f64]) { let mut best = 1.0; let lb = lb_kim(q); tighten(&mut best, lb); }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert_eq!(
+            summary_of(&ws, "tighten").param_to_best,
+            0b10,
+            "param 1 (`d`)"
+        );
+        assert!(
+            ws.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::BoundToBest && v.detail == "tighten"),
+            "{:?}",
+            ws.violations
+        );
+    }
+
+    #[test]
+    fn relaxed_helper_feeding_compare_is_flagged() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "impl R { fn get(&self) -> f64 { f64::from_bits(self.bits.load(Ordering::Relaxed)) } }\nfn spin(r: &R, d: f64) -> bool { let cur = r.get(); d < cur }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(summary_of(&ws, "get").relaxed_return);
+        assert!(
+            ws.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::RelaxedCompareViaCall),
+            "{:?}",
+            ws.violations
+        );
+    }
+
+    #[test]
+    fn acquire_helper_is_clean() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "impl R { fn get(&self) -> f64 { f64::from_bits(self.bits.load(Ordering::Acquire)) } }\nfn spin(r: &R, d: f64) -> bool { d < r.get() }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(!summary_of(&ws, "get").relaxed_return);
+        assert!(ws.violations.is_empty(), "{:?}", ws.violations);
+    }
+
+    #[test]
+    fn relaxed_seeded_cas_is_flagged() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn spin(a: &AtomicU64, new: u64) { let cur = a.load(Ordering::Relaxed); let _ = a.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire); }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(ws
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::RelaxedSeededCas));
+    }
+
+    #[test]
+    fn observer_sinks_and_bound_args_are_allowed() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "fn tier(q: &[f64], w: &W, obs: &O, r: f64) -> bool { let lb = lb_kim(q, w); obs.on_cascade_tier(1, lb); debug_assert!(lb >= 0.0); lb > r }\n",
+        )]);
+        let ws = analyze(&fs);
+        assert!(ws.violations.is_empty(), "{:?}", ws.violations);
+    }
+
+    #[test]
+    fn witness_paths_are_capped() {
+        // A 20-deep passthrough chain must not blow the witness cap.
+        let mut src = String::from("fn leak0(q: &[f64]) -> f64 { lb_kim(q) }\n");
+        for i in 1..20 {
+            src.push_str(&format!(
+                "fn leak{i}(q: &[f64]) -> f64 {{ leak{}(q) }}\n",
+                i - 1
+            ));
+        }
+        let fs = files(&[("crates/a/src/x.rs", src.as_str())]);
+        let ws = analyze(&fs);
+        let s = summary_of(&ws, "leak19");
+        assert!(s.returns_bound);
+        assert!(s.bound_witness.len() <= MAX_WITNESS);
+    }
+}

@@ -21,23 +21,62 @@
 
 pub mod ast;
 pub mod baseline;
+pub mod callgraph;
 pub mod dataflow;
 pub mod findings;
+pub mod interproc;
 pub mod json;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 pub mod sarif;
 pub mod source;
 pub mod symbols;
+pub mod timing;
 pub mod walker;
 
 use std::path::Path;
 
+/// A workspace scan's phase timings (microseconds), for the self-timing
+/// snapshot in [`timing`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScanTiming {
+    /// Loading + lexing + parsing every file.
+    pub parse_us: u64,
+    /// All rules, including the interprocedural fixpoint.
+    pub rules_us: u64,
+    /// Files scanned.
+    pub files: u64,
+}
+
 /// Lint the whole workspace rooted at `root`; returns raw findings
 /// (baseline not yet applied).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<findings::Finding>> {
+    lint_workspace_timed(root).map(|(f, _)| f)
+}
+
+/// [`lint_workspace`], also measuring how long each phase took — the
+/// workspace gate feeds this into the lint wall-time gate.
+pub fn lint_workspace_timed(root: &Path) -> std::io::Result<(Vec<findings::Finding>, ScanTiming)> {
+    let t0 = std::time::Instant::now();
     let files = walker::load_workspace(root)?;
-    Ok(rules::run_all(&files))
+    let parse_us = us_since(t0);
+    let t1 = std::time::Instant::now();
+    let findings = rules::run_all(&files);
+    let rules_us = us_since(t1);
+    Ok((
+        findings,
+        ScanTiming {
+            parse_us,
+            rules_us,
+            files: files.len() as u64,
+        },
+    ))
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn us_since(t: std::time::Instant) -> u64 {
+    t.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 /// Lint explicit files or directories (fixture mode: snippets lint as

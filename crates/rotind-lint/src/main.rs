@@ -3,6 +3,7 @@
 //! ```text
 //! rotind-lint                      # workspace scan, compare against lint-baseline.json
 //! rotind-lint --write-baseline     # workspace scan, re-ratchet the baseline
+//! rotind-lint --write-timing       # workspace scan, snapshot results/lint_timing.json
 //! rotind-lint --no-baseline        # workspace scan, report every finding
 //! rotind-lint --self-check         # ratchet-gate the linter's own crate only
 //! rotind-lint <path>…              # lint explicit files/dirs as library code (fixture mode)
@@ -11,13 +12,19 @@
 //! rotind-lint --list               # print the rule catalogue
 //! ```
 //!
-//! Exit codes: 0 clean / at-or-below baseline, 1 findings or ratchet
-//! regression, 2 usage or I/O error.
+//! The default workspace scan also runs the lint wall-time gate against
+//! the committed `results/lint_timing.json` (same-host only; see
+//! [`rotind_lint::timing`]).
+//!
+//! Exit codes: 0 clean / at-or-below baseline, 1 findings, ratchet or
+//! timing regression, 2 usage or I/O error.
 
 use rotind_lint::baseline::{self, Counts, BASELINE_FILE};
-use rotind_lint::findings::{count_by_rule_and_file, render_human, render_json, Finding};
+use rotind_lint::findings::{
+    count_by_rule_and_file, render_human, render_json, witness_hashes, Finding,
+};
 use rotind_lint::rules::ALL_RULES;
-use rotind_lint::{lint_paths, lint_workspace, sarif, workspace_root};
+use rotind_lint::{lint_paths, lint_workspace_timed, sarif, timing, workspace_root, ScanTiming};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +39,7 @@ enum Format {
 struct Options {
     format: Format,
     write_baseline: bool,
+    write_timing: bool,
     no_baseline: bool,
     self_check: bool,
     list: bool,
@@ -42,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         format: Format::Human,
         write_baseline: false,
+        write_timing: false,
         no_baseline: false,
         self_check: false,
         list: false,
@@ -73,6 +82,7 @@ fn parse_args() -> Result<Options, String> {
         match arg {
             "--json" => opts.format = Format::Json,
             "--write-baseline" => opts.write_baseline = true,
+            "--write-timing" => opts.write_timing = true,
             "--no-baseline" => opts.no_baseline = true,
             "--self-check" => opts.self_check = true,
             "--list" => opts.list = true,
@@ -83,10 +93,12 @@ fn parse_args() -> Result<Options, String> {
             path => opts.paths.push(PathBuf::from(path)),
         }
     }
-    if opts.write_baseline && !opts.paths.is_empty() {
-        return Err("--write-baseline only applies to the workspace scan".to_string());
+    if (opts.write_baseline || opts.write_timing) && !opts.paths.is_empty() {
+        return Err("--write-baseline/--write-timing only apply to the workspace scan".to_string());
     }
-    if opts.self_check && (opts.write_baseline || opts.no_baseline || !opts.paths.is_empty()) {
+    if opts.self_check
+        && (opts.write_baseline || opts.write_timing || opts.no_baseline || !opts.paths.is_empty())
+    {
         return Err(
             "--self-check runs the workspace scan against the committed ratchet; \
                     it combines only with --format"
@@ -97,7 +109,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: rotind-lint [--format human|json|sarif] \
-                     [--write-baseline | --no-baseline | --self-check | --list] [path…]";
+                     [--write-baseline | --write-timing | --no-baseline | --self-check | --list] \
+                     [path…]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -138,7 +151,8 @@ fn run(opts: &Options) -> Result<bool, String> {
         return Ok(findings.is_empty());
     }
 
-    let findings = lint_workspace(root).map_err(|e| e.to_string())?;
+    let (findings, scan) = lint_workspace_timed(root).map_err(|e| e.to_string())?;
+    let fresh_timing = measure(&findings, &scan);
 
     if opts.self_check {
         return self_check(root, &findings, opts.format);
@@ -155,13 +169,30 @@ fn run(opts: &Options) -> Result<bool, String> {
     let baseline_path = root.join(BASELINE_FILE);
     if opts.write_baseline {
         let counts = count_by_rule_and_file(&findings);
-        std::fs::write(&baseline_path, baseline::to_json(&counts)).map_err(|e| e.to_string())?;
+        let witness = witness_hashes(&findings);
+        std::fs::write(&baseline_path, baseline::to_json(&counts, &witness))
+            .map_err(|e| e.to_string())?;
         println!(
             "wrote {} ({} findings across {} rules)",
             baseline_path.display(),
             findings.len(),
             counts.len()
         );
+    }
+    if opts.write_timing {
+        let timing_path = root.join(timing::TIMING_FILE);
+        if let Some(dir) = timing_path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&timing_path, fresh_timing.to_json()).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} (host {}, total {} µs)",
+            timing_path.display(),
+            fresh_timing.host,
+            fresh_timing.total_us
+        );
+    }
+    if opts.write_baseline || opts.write_timing {
         return Ok(true);
     }
 
@@ -214,8 +245,75 @@ fn run(opts: &Options) -> Result<bool, String> {
             cmp.regressions.len()
         );
     }
+    let timing_ok = timing_gate(root, &fresh_timing, &mut status)?;
     emit_status(&status, opts.format);
-    Ok(cmp.is_pass())
+    Ok(cmp.is_pass() && timing_ok)
+}
+
+/// Package a scan's phase timings as a [`timing::Timing`] snapshot.
+fn measure(findings: &[Finding], scan: &ScanTiming) -> timing::Timing {
+    timing::Timing {
+        host: timing::hostname(),
+        files: scan.files,
+        findings: findings.len() as u64,
+        parse_us: scan.parse_us,
+        rules_us: scan.rules_us,
+        total_us: scan.parse_us.saturating_add(scan.rules_us),
+    }
+}
+
+/// Run the lint wall-time gate against the committed snapshot,
+/// appending its verdict to `status`. Missing snapshot and host
+/// mismatch are graceful skips; only a same-host overrun fails.
+fn timing_gate(
+    root: &std::path::Path,
+    fresh: &timing::Timing,
+    status: &mut String,
+) -> Result<bool, String> {
+    let timing_path = root.join(timing::TIMING_FILE);
+    let Ok(text) = std::fs::read_to_string(&timing_path) else {
+        let _ = writeln!(
+            status,
+            "timing gate: SKIP (no committed {})",
+            timing::TIMING_FILE
+        );
+        return Ok(true);
+    };
+    let committed =
+        timing::Timing::from_json(&text).map_err(|e| format!("{}: {e}", timing_path.display()))?;
+    let factor = timing::inject_factor()?;
+    let mut probe = fresh.clone();
+    probe.total_us = scale(probe.total_us, factor);
+    match timing::gate(&probe, &committed) {
+        timing::Verdict::Pass => {
+            let _ = writeln!(
+                status,
+                "timing gate: PASS ({} µs, committed {} µs on this host)",
+                probe.total_us, committed.total_us
+            );
+            Ok(true)
+        }
+        timing::Verdict::Skip(reason) => {
+            let _ = writeln!(status, "timing gate: SKIP ({reason})");
+            Ok(true)
+        }
+        timing::Verdict::Fail(msg) => {
+            let _ = writeln!(status, "TIMING {msg}");
+            let _ = writeln!(status, "timing gate: FAIL");
+            Ok(false)
+        }
+    }
+}
+
+/// Multiply a microsecond count by the inject factor (saturating).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn scale(us: u64, factor: f64) -> u64 {
+    let scaled = (us as f64) * factor;
+    if scaled.is_finite() && scaled > 0.0 {
+        scaled.min((u64::MAX / 2) as f64) as u64
+    } else {
+        0
+    }
 }
 
 /// `--self-check`: gate only the linter's own crate against the matching

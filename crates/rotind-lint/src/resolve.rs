@@ -1,0 +1,307 @@
+//! Cross-crate symbol resolution: a whole-workspace function index the
+//! call graph ([`crate::callgraph`]) and the interprocedural dataflow
+//! ([`crate::interproc`]) resolve call sites against.
+//!
+//! Resolution is deliberately name-based — the linter has no type
+//! system — with a preference order that matches how the workspace
+//! actually calls things:
+//!
+//! 1. `Self::f` resolves inside the caller's `impl` block's type
+//!    (any impl of the same type in the same file, then crate);
+//! 2. same-file definitions win over same-crate ones;
+//! 3. same-crate definitions win over the rest of the workspace;
+//! 4. a unique global definition resolves; multiple remaining
+//!    candidates resolve to **all** of them (over-approximation keeps
+//!    the taint analysis sound — a missed edge could hide a violation);
+//! 5. no candidate at all is an *explicit* unresolved bucket entry,
+//!    never a silently dropped edge (the totality invariant the
+//!    call-graph proptest checks).
+
+use crate::ast::{FnDecl, Item, ItemKind, Span};
+use crate::source::SourceFile;
+use std::collections::HashMap;
+
+/// What owns a function definition — context for `Self::` resolution
+/// and trait-default visibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Owner {
+    /// A free function (top-level or in a `mod`).
+    Free,
+    /// A method in an `impl` block.
+    Impl {
+        /// Last path segment of the impl's self type, when nameable.
+        self_ty: Option<String>,
+        /// Implemented trait, for trait impls.
+        trait_name: Option<String>,
+    },
+    /// A method (signature or default body) in a `trait` declaration.
+    Trait {
+        /// The trait's name, when present.
+        name: Option<String>,
+    },
+}
+
+/// One function definition in the workspace index.
+#[derive(Debug)]
+pub struct FnNode<'a> {
+    /// Dense node id — the index into [`GlobalIndex::nodes`].
+    pub id: usize,
+    /// Index of the defining file in the scan unit.
+    pub file: usize,
+    /// The declaration itself.
+    pub decl: &'a FnDecl,
+    /// Span of the whole item.
+    pub item_span: Span,
+    /// What owns the definition.
+    pub owner: Owner,
+    /// Crate the file belongs to (first path component under
+    /// `crates/`, or the leading path component otherwise).
+    pub crate_name: String,
+    /// True when the definition sits in test code (test file or
+    /// `#[cfg(test)]` span) — test fns join the graph but rules skip
+    /// them.
+    pub is_test: bool,
+}
+
+/// The whole-workspace function index.
+#[derive(Debug, Default)]
+pub struct GlobalIndex<'a> {
+    /// Every function definition, in (file, source) order.
+    pub nodes: Vec<FnNode<'a>>,
+    /// name → node ids bearing that name.
+    by_name: HashMap<&'a str, Vec<usize>>,
+}
+
+/// Derive the crate name a workspace-relative path belongs to.
+pub fn crate_of(path: &str) -> String {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("").to_string(),
+        Some(first) => first.to_string(),
+        None => String::new(),
+    }
+}
+
+impl<'a> GlobalIndex<'a> {
+    /// Build the index over a scan unit.
+    pub fn build(files: &'a [SourceFile]) -> GlobalIndex<'a> {
+        let mut index = GlobalIndex::default();
+        for (file_idx, file) in files.iter().enumerate() {
+            let crate_name = crate_of(&file.path);
+            collect(&file.ast.items, &Owner::Free, &mut |decl, span, owner| {
+                let id = index.nodes.len();
+                index.nodes.push(FnNode {
+                    id,
+                    file: file_idx,
+                    decl,
+                    item_span: span,
+                    owner: owner.clone(),
+                    crate_name: crate_name.clone(),
+                    is_test: file.is_test_code(decl.name_line),
+                });
+                index.by_name.entry(&decl.name).or_default().push(id);
+            });
+        }
+        index
+    }
+
+    /// All definitions named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolve a call to `name` made from `caller` (a node id), with the
+    /// qualifying path segment before the name when the call had one
+    /// (`Self::f` → `Some("Self")`, `module::f` → `Some("module")`).
+    /// Returns the resolved target ids, empty when nothing matches.
+    pub fn resolve(&self, caller: usize, name: &str, qualifier: Option<&str>) -> Vec<usize> {
+        let candidates = self.named(name);
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let Some(from) = self.nodes.get(caller) else {
+            return Vec::new();
+        };
+        // `Self::f` / `Type::f`: prefer methods of that type.
+        if let Some(q) = qualifier {
+            let ty = if q == "Self" {
+                match &from.owner {
+                    Owner::Impl { self_ty, .. } => self_ty.as_deref(),
+                    Owner::Trait { name } => name.as_deref(),
+                    Owner::Free => None,
+                }
+            } else {
+                Some(q)
+            };
+            if let Some(ty) = ty {
+                let typed: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        self.nodes.get(id).is_some_and(|n| {
+                            matches!(
+                                &n.owner,
+                                Owner::Impl { self_ty: Some(t), .. } if t == ty
+                            ) || matches!(
+                                &n.owner,
+                                Owner::Trait { name: Some(t) } if t == ty
+                            )
+                        })
+                    })
+                    .collect();
+                if !typed.is_empty() {
+                    return prefer_near(self, from, typed);
+                }
+            }
+        }
+        prefer_near(self, from, candidates.to_vec())
+    }
+}
+
+/// Narrow `candidates` by locality: same file, then same crate, then
+/// everything (the ambiguous case resolves to all remaining targets).
+fn prefer_near(index: &GlobalIndex<'_>, from: &FnNode<'_>, candidates: Vec<usize>) -> Vec<usize> {
+    let same_file: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&id| index.nodes.get(id).is_some_and(|n| n.file == from.file))
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&id| {
+            index
+                .nodes
+                .get(id)
+                .is_some_and(|n| n.crate_name == from.crate_name)
+        })
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    candidates
+}
+
+/// Walk items collecting function declarations with their owner.
+fn collect<'a>(items: &'a [Item], owner: &Owner, f: &mut impl FnMut(&'a FnDecl, Span, &Owner)) {
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(decl) => {
+                f(decl, item.span, owner);
+                // Nested fns inside the body are free functions.
+                if let Some(body) = &decl.body {
+                    for stmt in &body.stmts {
+                        if let crate::ast::StmtKind::Item(it) = &stmt.kind {
+                            collect(std::slice::from_ref(it), &Owner::Free, f);
+                        }
+                    }
+                }
+            }
+            ItemKind::Mod(inner) => collect(inner, &Owner::Free, f),
+            ItemKind::Impl(decl) => collect(
+                &decl.items,
+                &Owner::Impl {
+                    self_ty: decl.self_ty.clone(),
+                    trait_name: decl.trait_name.clone(),
+                },
+                f,
+            ),
+            ItemKind::Trait(decl) => collect(
+                &decl.items,
+                &Owner::Trait {
+                    name: decl.name.clone(),
+                },
+                f,
+            ),
+            ItemKind::Enum(_) | ItemKind::Other => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        srcs.iter()
+            .map(|(p, s)| SourceFile::parse(p, s, FileKind::Library))
+            .collect()
+    }
+
+    #[test]
+    fn crate_names_derived_from_paths() {
+        assert_eq!(
+            crate_of("crates/rotind-index/src/hmerge.rs"),
+            "rotind-index"
+        );
+        assert_eq!(crate_of("tests/exactness.rs"), "tests");
+    }
+
+    #[test]
+    fn same_file_wins_over_same_crate_and_global() {
+        let fs = files(&[
+            (
+                "crates/a/src/x.rs",
+                "fn helper() {}\nfn caller() { helper(); }\n",
+            ),
+            ("crates/a/src/y.rs", "fn helper() {}\n"),
+            ("crates/b/src/z.rs", "fn helper() {}\n"),
+        ]);
+        let idx = GlobalIndex::build(&fs);
+        let caller = idx
+            .nodes
+            .iter()
+            .find(|n| n.decl.name == "caller")
+            .unwrap()
+            .id;
+        let targets = idx.resolve(caller, "helper", None);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(idx.nodes[targets[0]].file, 0);
+    }
+
+    #[test]
+    fn self_qualifier_prefers_the_impl_type() {
+        let fs = files(&[(
+            "crates/a/src/x.rs",
+            "impl Radius { fn get(&self) -> f64 { 0.0 } fn probe(&self) -> f64 { Self::get(self) } }\nimpl Budget { fn get(&self) -> u64 { 0 } }\n",
+        )]);
+        let idx = GlobalIndex::build(&fs);
+        let caller = idx
+            .nodes
+            .iter()
+            .find(|n| n.decl.name == "probe")
+            .unwrap()
+            .id;
+        let targets = idx.resolve(caller, "get", Some("Self"));
+        assert_eq!(targets.len(), 1);
+        assert_eq!(
+            idx.nodes[targets[0]].owner,
+            Owner::Impl {
+                self_ty: Some("Radius".into()),
+                trait_name: None
+            }
+        );
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_resolves_to_all() {
+        let fs = files(&[
+            ("crates/a/src/x.rs", "fn caller() { shared(); }\n"),
+            ("crates/b/src/y.rs", "fn shared() {}\n"),
+            ("crates/c/src/z.rs", "fn shared() {}\n"),
+        ]);
+        let idx = GlobalIndex::build(&fs);
+        let caller = idx
+            .nodes
+            .iter()
+            .find(|n| n.decl.name == "caller")
+            .unwrap()
+            .id;
+        assert_eq!(idx.resolve(caller, "shared", None).len(), 2);
+        assert!(idx.resolve(caller, "missing", None).is_empty());
+    }
+}

@@ -64,21 +64,55 @@ pub fn check(files: &[SourceFile]) -> Vec<Finding> {
                 continue;
             }
             if !test_idents.contains(name_tok.text.as_str()) {
-                out.push(Finding::new(
-                    ID,
-                    &file.path,
-                    name_tok.line,
-                    format!(
-                        "public lower-bound fn `{}` is not referenced by any \
-                         test; add a soundness property test asserting \
-                         `lb <= true_distance + EPS` (Proposition 1/2)",
-                        name_tok.text
-                    ),
-                ));
+                out.push(uncovered(file, &name_tok.text, name_tok.line));
             }
         }
+        // Pass 3: default bodies of plain-`pub` traits. Their `fn` has
+        // no `pub` token of its own — the trait's visibility is the
+        // method's — so the token walk above cannot see them.
+        trait_default_bounds(&file.ast.items, false, &mut |name, line| {
+            if !file.is_test_code(line) && !test_idents.contains(name) {
+                out.push(uncovered(file, name, line));
+            }
+        });
     }
     out
+}
+
+fn uncovered(file: &SourceFile, name: &str, line: usize) -> Finding {
+    Finding::new(
+        ID,
+        &file.path,
+        line,
+        format!(
+            "public lower-bound fn `{name}` is not referenced by any \
+             test; add a soundness property test asserting \
+             `lb <= true_distance + EPS` (Proposition 1/2)"
+        ),
+    )
+}
+
+/// Visit every lower-bound fn *with a body* defined inside a plain-`pub`
+/// trait (default methods inherit the trait's visibility).
+fn trait_default_bounds(
+    items: &[crate::ast::Item],
+    in_pub_trait: bool,
+    f: &mut impl FnMut(&str, usize),
+) {
+    use crate::ast::ItemKind;
+    for item in items {
+        match &item.kind {
+            ItemKind::Fn(decl) => {
+                if in_pub_trait && decl.body.is_some() && is_lower_bound_name(&decl.name) {
+                    f(&decl.name, decl.name_line);
+                }
+            }
+            ItemKind::Mod(inner) => trait_default_bounds(inner, false, f),
+            ItemKind::Impl(decl) => trait_default_bounds(&decl.items, false, f),
+            ItemKind::Trait(decl) => trait_default_bounds(&decl.items, decl.is_pub, f),
+            ItemKind::Enum(_) | ItemKind::Other => {}
+        }
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +164,34 @@ mod tests {
     fn const_fn_visibility_is_seen_through() {
         let files = vec![lib("pub const fn lb_const() -> f64 { 0.0 }\n")];
         assert_eq!(check(&files).len(), 1);
+    }
+
+    #[test]
+    fn trait_default_bound_in_pub_trait_needs_coverage() {
+        let files = vec![lib(
+            "pub trait Bound {\n    fn lb_default(&self) -> f64 { 0.0 }\n}\n",
+        )];
+        let f = check(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("lb_default"));
+        // A test referencing the method by name covers it.
+        let files = vec![
+            lib("pub trait Bound {\n    fn lb_default(&self) -> f64 { 0.0 }\n}\n"),
+            SourceFile::parse(
+                "tests/bounds.rs",
+                "fn t(b: &dyn Bound) { let _ = b.lb_default(); }\n",
+                FileKind::Test,
+            ),
+        ];
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn private_trait_defaults_and_signatures_are_exempt() {
+        let files = vec![lib(
+            "trait Internal {\n    fn lb_sig(&self) -> f64;\n    fn lb_hidden(&self) -> f64 { 0.0 }\n}\npub(crate) trait Scoped {\n    fn lb_scoped(&self) -> f64 { 0.0 }\n}\npub trait Api {\n    fn lb_abstract(&self) -> f64;\n}\n",
+        )];
+        assert!(check(&files).is_empty(), "{:?}", check(&files));
     }
 
     #[test]

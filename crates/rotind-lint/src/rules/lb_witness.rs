@@ -84,7 +84,7 @@ fn check_fn(file: &SourceFile, decl: &FnDecl, item_span: Span) -> Option<Finding
 /// call, or a delegation to another lower-bound function (which carries
 /// its own witness — the rule bottoms out because every chain ends in a
 /// function that must satisfy it directly).
-fn has_witness(decl: &FnDecl) -> bool {
+pub(crate) fn has_witness(decl: &FnDecl) -> bool {
     let body = decl.body.as_ref();
     let Some(body) = body else { return false };
     let mut found = false;

@@ -14,6 +14,7 @@
 use crate::findings::Finding;
 use crate::source::SourceFile;
 
+pub mod admissible_chain;
 pub mod atomic_ordering;
 pub mod counter_arith;
 pub mod exhaustive_invariance;
@@ -25,6 +26,8 @@ pub mod no_index;
 pub mod no_panic;
 pub mod no_print;
 pub mod no_wildcard;
+pub mod prune_only;
+pub mod shared_atomic_protocol;
 pub mod strict_dismissal;
 pub mod todo_issue;
 
@@ -90,6 +93,18 @@ pub const ALL_RULES: &[RuleInfo] = &[
         id: exhaustive_invariance::ID,
         summary: "matches on `Invariance` must name every variant — no `_` or binding catch-all arm",
     },
+    RuleInfo {
+        id: prune_only::ID,
+        summary: "bound-tainted values may prune or feed observers, never become returned distances or best-so-far updates (interprocedural)",
+    },
+    RuleInfo {
+        id: admissible_chain::ID,
+        summary: "every tier reachable from h_merge_cascade* must carry an admissibility witness or exemption (call-graph level)",
+    },
+    RuleInfo {
+        id: shared_atomic_protocol::ID,
+        summary: "shared-radius CAS cycles must follow load(Acquire) → compare → compare_exchange_weak(AcqRel, Acquire), across helper fns",
+    },
 ];
 
 /// Run every rule over `files`, honouring allow comments. The slice is
@@ -112,6 +127,11 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
     }
     findings.extend(lb_coverage::check(files));
     findings.extend(exhaustive_invariance::check(files));
+    // Interprocedural rules share one whole-workspace analysis.
+    let ws = crate::interproc::analyze(files);
+    findings.extend(prune_only::check(&ws, files));
+    findings.extend(admissible_chain::check(&ws, files));
+    findings.extend(shared_atomic_protocol::check(&ws, files));
     // Apply escape comments centrally so every rule honours them the
     // same way, including the cross-file one.
     findings.retain(|f| {

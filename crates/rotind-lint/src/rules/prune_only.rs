@@ -1,0 +1,183 @@
+//! `prune-only`: the interprocedural proof that lower-bound values only
+//! prune. A value originating from a bound producer (`lb_*`,
+//! `*lower_bound`, `*tier_bound`, `min_dist`) may flow into dismissal
+//! comparisons, observer/metrics sinks, `debug_assert!` witnesses and
+//! other bound functions — but never into a returned distance or a
+//! best-so-far update. A bound leaking into either is exactly the
+//! failure mode the paper's exactness proof forbids: the scan would
+//! report an *estimate* as a result, or tighten the radius with a value
+//! that is only a floor, turning "no false dismissals" into silently
+//! wrong answers.
+//!
+//! The rule runs on the [`crate::interproc`] analysis, so the leak is
+//! caught even when the bound crosses function and crate boundaries;
+//! findings carry the full witness path. Measurement crates
+//! (`rotind-eval`, `rotind-bench`) are exempt — exporting bound values
+//! as figure data is their purpose.
+
+use crate::findings::Finding;
+use crate::interproc::{is_bound_source, Violation, ViolationKind, Workspace};
+use crate::source::{FileKind, SourceFile};
+
+/// Rule id.
+pub const ID: &str = "prune-only";
+
+/// Crates whose purpose is exporting bound values (figures, tables).
+const MEASUREMENT_CRATES: &[&str] = &["rotind-eval", "rotind-bench"];
+
+/// Check the analyzed workspace.
+pub fn check(ws: &Workspace<'_>, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for v in &ws.violations {
+        let Some(node) = ws.graph.index.nodes.get(v.fn_id) else {
+            continue;
+        };
+        let Some(file) = files.get(node.file) else {
+            continue;
+        };
+        if file.kind != FileKind::Library
+            || node.is_test
+            || MEASUREMENT_CRATES.contains(&node.crate_name.as_str())
+        {
+            continue;
+        }
+        match v.kind {
+            ViolationKind::BoundReturned => {
+                // A fn *named* as a bound producer is allowed — callers
+                // know the contract from the name.
+                if is_bound_source(&node.decl.name) {
+                    continue;
+                }
+                out.push(returned(file, v, &node.decl.name));
+            }
+            ViolationKind::BoundToBest => {
+                out.push(
+                    Finding::new(
+                        ID,
+                        &file.path,
+                        v.line,
+                        format!(
+                            "lower-bound-tainted value flows into best-so-far \
+                             update `{}` in `{}`; bounds may only prune — \
+                             tightening the radius with a bound admits false \
+                             dismissals (prune-only proof)",
+                            v.detail, node.decl.name
+                        ),
+                    )
+                    .with_witness(v.witness.clone()),
+                );
+            }
+            ViolationKind::RelaxedCompareViaCall | ViolationKind::RelaxedSeededCas => {}
+        }
+    }
+    out
+}
+
+fn returned(file: &SourceFile, v: &Violation, fn_name: &str) -> Finding {
+    Finding::new(
+        ID,
+        &file.path,
+        v.line,
+        format!(
+            "`{fn_name}` returns a lower-bound-tainted value as if it were \
+             a distance; a bound may only prune (strict `>` dismissal) or \
+             feed observers — name the fn `lb_*`/`*_tier_bound` if it is a \
+             bound, or return the true distance (prune-only proof)"
+        ),
+    )
+    .with_witness(v.witness.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interproc::analyze;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(p, s)| {
+                let kind = crate::source::kind_for_path(p);
+                SourceFile::parse(p, s, kind)
+            })
+            .collect();
+        let ws = analyze(&files);
+        check(&ws, &files)
+    }
+
+    #[test]
+    fn bound_returned_as_distance_is_flagged_with_witness() {
+        let f = run(&[
+            (
+                "crates/rotind-core/src/bounds.rs",
+                "pub fn lb_kim(q: &[f64]) -> f64 { let lb = 0.0; debug_assert!(lb <= 1.0); lb }\n",
+            ),
+            (
+                "crates/rotind-index/src/scan.rs",
+                "pub fn scan_distance(q: &[f64]) -> f64 { let d = lb_kim(q); d }\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, ID);
+        assert_eq!(f[0].path, "crates/rotind-index/src/scan.rs");
+        assert!(!f[0].witness.is_empty(), "finding carries a witness path");
+    }
+
+    #[test]
+    fn pruning_and_observing_are_allowed() {
+        let f = run(&[(
+            "crates/rotind-index/src/scan.rs",
+            "pub fn scan(q: &[f64], w: &W, obs: &O, r: f64) -> bool { let lb = lb_kim(q, w); obs.on_wedge_tested(lb); lb > r }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bound_named_fns_may_return_bounds() {
+        let f = run(&[(
+            "crates/rotind-index/src/hmerge.rs",
+            "fn node_tier_bound(q: &[f64], w: &W) -> f64 { lb_kim(q, w) }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn measurement_crates_are_exempt() {
+        let f = run(&[(
+            "crates/rotind-eval/src/figures.rs",
+            "pub fn tightness_row(q: &[f64], w: &W) -> f64 { lb_kim(q, w) }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run(&[(
+            "crates/rotind-core/src/bounds.rs",
+            "#[cfg(test)]\nmod t {\n    fn probe(q: &[f64]) -> f64 { lb_kim(q) }\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn bound_tightening_the_radius_is_flagged() {
+        let f = run(&[(
+            "crates/rotind-index/src/scan.rs",
+            "pub fn scan(q: &[f64], w: &W) { let mut best_so_far = f64::INFINITY; let lb = lb_kim(q, w); if lb < best_so_far { best_so_far = lb; } }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("best_so_far"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn allow_comment_is_honoured_via_engine() {
+        // The central engine applies allows; here just confirm the rule
+        // reports the line the comment must cover.
+        let f = run(&[(
+            "crates/rotind-index/src/scan.rs",
+            "pub fn leak(q: &[f64]) -> f64 {\n    lb_kim(q)\n}\n",
+        )]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3, "reported at the return point: {f:?}");
+    }
+}

@@ -5,8 +5,11 @@
 //! under `tool.driver.rules` (so hosts can show rule metadata even for
 //! rules with no findings), and one `result` per finding with a
 //! `physicalLocation` carrying the workspace-relative path and line.
-//! Everything is hand-serialised through [`crate::json::escape`]; the
-//! linter stays zero-dependency.
+//! Findings from the interprocedural rules additionally carry their
+//! witness path as a SARIF `codeFlow` (one `threadFlow`, one location
+//! per step), so code-scanning UIs render the source-to-sink chain
+//! across files. Everything is hand-serialised through
+//! [`crate::json::escape`]; the linter stays zero-dependency.
 
 use crate::findings::Finding;
 use crate::json::escape;
@@ -52,6 +55,24 @@ pub fn render(findings: &[Finding]) -> String {
             "          \"message\": {{ \"text\": {} }},",
             escape(&f.message)
         );
+        if !f.witness.is_empty() {
+            out.push_str("          \"codeFlows\": [ { \"threadFlows\": [ { \"locations\": [\n");
+            let n_steps = f.witness.len();
+            for (wi, w) in f.witness.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "            {{ \"location\": {{ \"physicalLocation\": {{ \
+                     \"artifactLocation\": {{ \"uri\": {} }}, \
+                     \"region\": {{ \"startLine\": {} }} }}, \
+                     \"message\": {{ \"text\": {} }} }} }}",
+                    escape(&w.path),
+                    w.line.max(1),
+                    escape(&w.note)
+                );
+                out.push_str(if wi + 1 < n_steps { ",\n" } else { "\n" });
+            }
+            out.push_str("          ] } ] } ],\n");
+        }
         let _ = writeln!(
             out,
             "          \"locations\": [ {{ \"physicalLocation\": {{ \
@@ -90,6 +111,40 @@ mod tests {
         assert!(s.contains("\"uri\": \"crates/a/src/lib.rs\""));
         assert!(s.contains("\"startLine\": 7"));
         assert!(s.contains("\"ruleIndex\": 0"), "no-panic is rule 0:\n{s}");
+    }
+
+    #[test]
+    fn witness_paths_become_code_flows() {
+        use crate::findings::WitnessStep;
+        let f = Finding::new("prune-only", "crates/b/src/scan.rs", 9, "bound leaked").with_witness(
+            vec![
+                WitnessStep {
+                    path: "crates/a/src/bounds.rs".into(),
+                    line: 3,
+                    note: "lower-bound value produced by `lb_kim`".into(),
+                },
+                WitnessStep {
+                    path: "crates/b/src/scan.rs".into(),
+                    line: 9,
+                    note: "returned".into(),
+                },
+            ],
+        );
+        let s = render(&[f]);
+        assert!(s.contains("\"codeFlows\""), "{s}");
+        assert!(s.contains("\"threadFlows\""), "{s}");
+        assert!(s.contains("\"uri\": \"crates/a/src/bounds.rs\""), "{s}");
+        assert!(
+            s.contains("lower-bound value produced by `lb_kim`"),
+            "step note survives: {s}"
+        );
+    }
+
+    #[test]
+    fn findings_without_witness_have_no_code_flows() {
+        let f = Finding::new("no-panic", "a.rs", 1, "don't");
+        let s = render(&[f]);
+        assert!(!s.contains("codeFlows"), "{s}");
     }
 
     #[test]

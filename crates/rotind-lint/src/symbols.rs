@@ -70,9 +70,9 @@ fn collect_items(items: &[Item], table: &mut SymbolTable) {
                 name: e.name.clone(),
                 variants: e.variants.clone(),
             }),
-            ItemKind::Mod(inner) | ItemKind::Impl(inner) | ItemKind::Trait(inner) => {
-                collect_items(inner, table)
-            }
+            ItemKind::Mod(inner) => collect_items(inner, table),
+            ItemKind::Impl(decl) => collect_items(&decl.items, table),
+            ItemKind::Trait(decl) => collect_items(&decl.items, table),
             ItemKind::Other => {}
         }
     }

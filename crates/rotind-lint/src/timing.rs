@@ -1,0 +1,245 @@
+//! Analyzer self-timing and the lint wall-time gate.
+//!
+//! The interprocedural analysis made the linter do real work (fixpoint
+//! over the whole-workspace call graph), so the linter now watches its
+//! own cost the same way `rotind-bench`'s regress gate watches the
+//! scan's: a committed snapshot (`results/lint_timing.json`) records
+//! how long a full workspace lint took on the machine that captured it,
+//! and the gate fails when a fresh run on the *same host* exceeds
+//! [`TIME_FACTOR`] × the committed total (plus a flat [`SLACK_US`]
+//! allowance so near-zero baselines don't flake). On any other host the
+//! check is skipped — wall-clock is machine-dependent, and a snapshot
+//! from a developer laptop must never fail CI, mirroring the regress
+//! gate's same-host rule.
+//!
+//! `ROTIND_LINT_TIME_INJECT=<factor>` multiplies the fresh total before
+//! comparison — the self-test hook proving the gate *can* fail.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// Committed timing snapshot, relative to the workspace root.
+pub const TIMING_FILE: &str = "results/lint_timing.json";
+
+/// Fresh total may be at most this multiple of the committed total.
+pub const TIME_FACTOR: f64 = 2.0;
+
+/// Flat allowance added to the limit (50 ms) so a fast baseline does
+/// not turn scheduler jitter into gate failures.
+pub const SLACK_US: u64 = 50_000;
+
+/// One full workspace lint, measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// Host the snapshot was captured on (see [`hostname`]).
+    pub host: String,
+    /// Files scanned.
+    pub files: u64,
+    /// Findings produced (pre-baseline).
+    pub findings: u64,
+    /// Microseconds loading + lexing + parsing the workspace.
+    pub parse_us: u64,
+    /// Microseconds running every rule, including the interprocedural
+    /// fixpoint.
+    pub rules_us: u64,
+    /// Total microseconds (parse + rules).
+    pub total_us: u64,
+}
+
+impl Timing {
+    /// Serialise to the canonical snapshot JSON (byte-stable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1,\n");
+        let _ = writeln!(out, "  \"host\": {},", json::escape(&self.host));
+        let _ = writeln!(out, "  \"files\": {},", self.files);
+        let _ = writeln!(out, "  \"findings\": {},", self.findings);
+        let _ = writeln!(out, "  \"parse_us\": {},", self.parse_us);
+        let _ = writeln!(out, "  \"rules_us\": {},", self.rules_us);
+        let _ = writeln!(out, "  \"total_us\": {}", self.total_us);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a snapshot back; loud errors, a corrupt snapshot must not
+    /// silently pass the gate.
+    pub fn from_json(src: &str) -> Result<Timing, String> {
+        let v = json::parse(src)?;
+        let obj = v.as_obj().ok_or("timing root must be an object")?;
+        let version = obj
+            .get("version")
+            .and_then(|v| v.as_int())
+            .ok_or("timing missing integer `version`")?;
+        if version != 1 {
+            return Err(format!("timing version {version} unsupported (expected 1)"));
+        }
+        let int = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| format!("timing missing integer `{key}`"))
+        };
+        let host = match obj.get("host") {
+            Some(json::Value::Str(h)) => h.clone(),
+            _ => return Err("timing missing string `host`".to_string()),
+        };
+        Ok(Timing {
+            host,
+            files: int("files")?,
+            findings: int("findings")?,
+            parse_us: int("parse_us")?,
+            rules_us: int("rules_us")?,
+            total_us: int("total_us")?,
+        })
+    }
+}
+
+/// Gate verdict for one fresh run against the committed snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Same host, within the limit.
+    Pass,
+    /// Not comparable (host mismatch) — the reason is reported, the
+    /// gate does not fail.
+    Skip(String),
+    /// Same host, over the limit.
+    Fail(String),
+}
+
+/// Compare a fresh measurement against the committed snapshot.
+pub fn gate(fresh: &Timing, committed: &Timing) -> Verdict {
+    if fresh.host != committed.host {
+        return Verdict::Skip(format!(
+            "snapshot host `{}` != current host `{}`; wall time not comparable",
+            committed.host, fresh.host
+        ));
+    }
+    let limit = to_us(to_f64(committed.total_us) * TIME_FACTOR).saturating_add(SLACK_US);
+    if fresh.total_us > limit {
+        Verdict::Fail(format!(
+            "lint took {} µs, over the {limit} µs limit ({TIME_FACTOR}× the \
+             committed {} µs + {SLACK_US} µs slack); investigate or re-snapshot \
+             with --write-timing",
+            fresh.total_us, committed.total_us
+        ))
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// The `ROTIND_LINT_TIME_INJECT` factor (default 1.0), the gate's
+/// can-it-fail self-test hook.
+pub fn inject_factor() -> Result<f64, String> {
+    match std::env::var("ROTIND_LINT_TIME_INJECT") {
+        Err(_) => Ok(1.0),
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(f) if f.is_finite() && f > 0.0 => Ok(f),
+            _ => Err(format!(
+                "ROTIND_LINT_TIME_INJECT must be a positive float, got {raw:?}"
+            )),
+        },
+    }
+}
+
+/// Best-effort machine identity: `HOSTNAME` env var, then
+/// `/etc/hostname`, then `"unknown"` — the same lookup order as the
+/// bench regress gate, so the two committed snapshots agree about what
+/// "same host" means.
+pub fn hostname() -> String {
+    if let Ok(h) = std::env::var("HOSTNAME") {
+        let h = h.trim().to_string();
+        if !h.is_empty() {
+            return h;
+        }
+    }
+    if let Ok(h) = std::fs::read_to_string("/etc/hostname") {
+        let h = h.trim().to_string();
+        if !h.is_empty() {
+            return h;
+        }
+    }
+    "unknown".to_string()
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(us: u64) -> f64 {
+    us as f64
+}
+
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn to_us(f: f64) -> u64 {
+    if f.is_finite() && f > 0.0 {
+        f.min(to_f64(u64::MAX / 2)) as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(host: &str, total_us: u64) -> Timing {
+        Timing {
+            host: host.to_string(),
+            files: 100,
+            findings: 400,
+            parse_us: total_us / 2,
+            rules_us: total_us - total_us / 2,
+            total_us,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_byte_stable() {
+        let t = snap("ci-host", 123_456);
+        let js = t.to_json();
+        let back = Timing::from_json(&js).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.to_json(), js);
+    }
+
+    #[test]
+    fn rejects_corrupt_snapshots() {
+        assert!(Timing::from_json("not json").is_err());
+        assert!(Timing::from_json("{\"version\": 2}").is_err());
+        let t = snap("h", 10).to_json();
+        assert!(Timing::from_json(&t.replace("\"total_us\": 10", "\"x\": 10")).is_err());
+    }
+
+    #[test]
+    fn same_host_within_limit_passes() {
+        let committed = snap("h", 1_000_000);
+        let fresh = snap("h", 1_900_000);
+        assert_eq!(gate(&fresh, &committed), Verdict::Pass);
+    }
+
+    #[test]
+    fn same_host_over_limit_fails() {
+        let committed = snap("h", 1_000_000);
+        let fresh = snap("h", 2_100_000);
+        assert!(matches!(gate(&fresh, &committed), Verdict::Fail(_)));
+    }
+
+    #[test]
+    fn other_host_is_skipped_not_failed() {
+        let committed = snap("laptop", 10);
+        let fresh = snap("ci", 10_000_000);
+        assert!(matches!(gate(&fresh, &committed), Verdict::Skip(_)));
+    }
+
+    #[test]
+    fn slack_shields_near_zero_baselines() {
+        // 2× of 1 µs would be 2 µs — the flat slack keeps jitter from
+        // failing the gate on a trivially fast baseline.
+        let committed = snap("h", 1);
+        let fresh = snap("h", 40_000);
+        assert_eq!(gate(&fresh, &committed), Verdict::Pass);
+    }
+
+    #[test]
+    fn inject_factor_parses_or_complains() {
+        // Not set in the test env → default.
+        assert!((inject_factor().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Call-graph totality: every resolved edge points at a real symbol,
+//! and unresolved sites are explicitly bucketed, never dropped.
+//!
+//! Proven two ways, mirroring `parser_spans.rs`: deterministically over
+//! every `.rs` file the workspace scan loads (the distribution that
+//! matters — the graph the interprocedural rules actually reason
+//! about), and property-style over randomly generated call webs where
+//! some callees deliberately do not exist.
+
+use proptest::prelude::*;
+use rotind_lint::callgraph::CallGraph;
+use rotind_lint::source::{FileKind, SourceFile};
+use rotind_lint::{walker, workspace_root};
+
+#[test]
+fn call_graph_is_total_over_the_whole_workspace() {
+    let files = walker::load_workspace(workspace_root()).expect("workspace walk");
+    assert!(files.len() > 100, "workspace should have >100 .rs files");
+    let g = CallGraph::build(&files);
+    g.validate_totality(&files)
+        .unwrap_or_else(|e| panic!("totality invariant broken: {e}"));
+    let (resolved, unresolved) = g.site_counts();
+    assert_eq!(resolved + unresolved, g.sites.len());
+    assert!(resolved > 0, "a real workspace resolves some edges");
+    assert!(
+        unresolved > 0,
+        "std/vendored calls must stay bucketed, not silently dropped"
+    );
+    // Every resolved edge points at a symbol with the called name.
+    for s in &g.sites {
+        for &t in &s.targets {
+            let node = g.index.nodes.get(t).expect("target id in range");
+            assert_eq!(
+                node.decl.name, s.name,
+                "edge `{}` (line {}) resolved to `{}`",
+                s.name, s.line, node.decl.name
+            );
+        }
+    }
+}
+
+/// A random call web: `N_FNS` functions whose bodies call a mix of
+/// defined fns, undefined fns and methods, driven by the picks.
+const N_FNS: usize = 6;
+
+fn program(picks: &[usize]) -> String {
+    let mut bodies: Vec<String> = vec![String::new(); N_FNS];
+    for (k, p) in picks.iter().enumerate() {
+        let caller = p % N_FNS;
+        // Callee indices beyond N_FNS-1 name functions that do not
+        // exist — those sites must bucket as unresolved.
+        let callee = (p / N_FNS) % (N_FNS + 3);
+        let stmt = match k % 3 {
+            0 => format!("    v.m{callee}();\n"),
+            1 => format!("    f{callee}(v);\n"),
+            _ => format!("    let _ = f{callee}(v);\n"),
+        };
+        if let Some(b) = bodies.get_mut(caller) {
+            b.push_str(&stmt);
+        }
+    }
+    let mut src = String::new();
+    for (i, b) in bodies.iter().enumerate() {
+        src.push_str(&format!("fn f{i}(v: &V) {{\n{b}}}\n"));
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_call_webs_are_total(picks in prop::collection::vec(0usize..1000, 0..40)) {
+        let src = program(&picks);
+        let files = vec![SourceFile::parse("crates/x/src/gen.rs", &src, FileKind::Library)];
+        let g = CallGraph::build(&files);
+        prop_assert!(g.validate_totality(&files).is_ok(), "totality broken on:\n{src}");
+        let (resolved, unresolved) = g.site_counts();
+        prop_assert!(resolved + unresolved == g.sites.len());
+        for s in &g.sites {
+            // Defined callees (f0..f5, plain calls) must resolve;
+            // undefined ones and all method calls must bucket.
+            for &t in &s.targets {
+                let node = g.index.nodes.get(t).expect("target id in range");
+                prop_assert!(node.decl.name == s.name, "edge `{}` mis-resolved on:\n{src}", s.name);
+            }
+            if !s.is_method && s.name.strip_prefix('f')
+                .and_then(|n| n.parse::<usize>().ok())
+                .is_some_and(|n| n < N_FNS)
+            {
+                prop_assert!(!s.targets.is_empty(), "defined callee `{}` unresolved on:\n{src}", s.name);
+            }
+        }
+    }
+}

@@ -23,7 +23,8 @@ fn lb_cached(stash: &f64) -> f64 {
     *stash
 }
 
-fn caller(q: &[f64], upper: &[f64]) -> f64 {
+fn caller(q: &[f64], upper: &[f64], radius: f64) -> bool {
     let d = 10.0;
-    lb_delegating(q, upper, d) + lb_cached(&d)
+    // Bounds prune; they are never returned as distances (prune-only).
+    lb_delegating(q, upper, d) + lb_cached(&d) > radius
 }

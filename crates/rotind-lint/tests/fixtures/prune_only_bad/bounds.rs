@@ -1,0 +1,8 @@
+//! Injected `prune-only` violation, file 1 of 2: a helper that launders
+//! a lower bound across the file boundary. `paa_estimate` is not
+//! bound-named, yet it returns the value `lb_kim` produced — the
+//! interprocedural analysis must summarise it as bound-returning.
+
+fn paa_estimate(q: &[f64]) -> f64 {
+    lb_kim(q)
+}

@@ -1,0 +1,9 @@
+//! Injected `prune-only` violation, file 2 of 2: the laundered bound
+//! comes back as a "distance". The finding here must carry a witness
+//! path that reaches back into `bounds.rs` — the whole point of the
+//! whole-workspace analysis.
+
+fn query_distance(q: &[f64]) -> f64 {
+    let d = paa_estimate(q);
+    d
+}

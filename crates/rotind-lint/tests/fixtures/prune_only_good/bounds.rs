@@ -1,0 +1,8 @@
+//! The good half of the interprocedural pair, file 1 of 2: the same
+//! delegation shape, but honestly named as a cascade tier — callers
+//! know the contract from the name, and the delegation to `lb_kim`
+//! doubles as the admissibility witness.
+
+fn paa_tier_bound(q: &[f64]) -> f64 {
+    lb_kim(q)
+}

@@ -1,0 +1,7 @@
+//! The good half, file 2 of 2: the bound is used the one way a bound
+//! may be used — a strict dismissal comparison. The comparison is a
+//! taint cut, so nothing bound-tainted escapes.
+
+fn should_prune(q: &[f64], radius: f64) -> bool {
+    paa_tier_bound(q) > radius
+}

@@ -1,0 +1,20 @@
+//! The bad half of the `Self::` pair: qualified delegation to a
+//! non-bound helper is a call, not a witness.
+
+pub struct Paa {
+    floor: f64,
+}
+
+impl Paa {
+    fn midpoint(&self, q: &[f64]) -> f64 {
+        if q.is_empty() {
+            0.0
+        } else {
+            self.floor
+        }
+    }
+
+    fn lb_paa(&self, q: &[f64]) -> f64 {
+        Self::midpoint(self, q)
+    }
+}

@@ -1,0 +1,31 @@
+//! `Self::method(args)` regression fixture: qualified-self calls must
+//! parse as calls, so delegation through `Self::` counts as an
+//! admissibility witness (`lb-witness`) and resolves in the call graph.
+//! Before the parser learned the form, this file false-positived.
+
+pub struct Paa {
+    floor: f64,
+}
+
+impl Paa {
+    fn lb_floor(&self, q: &[f64]) -> f64 {
+        let lb = if q.is_empty() { 0.0 } else { self.floor };
+        debug_assert!(lb <= self.floor + 1.0);
+        lb
+    }
+
+    fn lb_paa(&self, q: &[f64]) -> f64 {
+        Self::lb_floor(self, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_paa_is_admissible() {
+        let p = Paa { floor: 0.0 };
+        assert!(p.lb_paa(&[0.5]) <= 1.0);
+    }
+}

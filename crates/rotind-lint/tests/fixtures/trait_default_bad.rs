@@ -1,0 +1,12 @@
+//! Trait default bodies inherit the trait's visibility: a lower-bound
+//! default method in a `pub` trait is API surface and owes test
+//! coverage (`lb-coverage`), even though its `fn` carries no `pub`
+//! token of its own. This file defines one and never tests it.
+
+pub trait Bound {
+    fn lb_default(&self, q: &[f64]) -> f64 {
+        let lb = if q.is_empty() { 0.0 } else { 1.0 };
+        debug_assert!(lb <= 1.0);
+        lb
+    }
+}

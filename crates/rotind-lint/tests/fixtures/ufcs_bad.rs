@@ -1,0 +1,25 @@
+//! The bad half of the UFCS pair: a fully-qualified call to a
+//! *non*-bound helper is parsed as a call but is not a witness — the
+//! bound-named fn still owes its own `debug_assert` or exemption.
+
+pub struct Wedge {
+    lo: f64,
+}
+
+trait Estimate {
+    fn midpoint(&self, q: &[f64]) -> f64;
+}
+
+impl Estimate for Wedge {
+    fn midpoint(&self, q: &[f64]) -> f64 {
+        if q.is_empty() {
+            0.0
+        } else {
+            self.lo
+        }
+    }
+}
+
+fn lb_guess(w: &Wedge, q: &[f64]) -> f64 {
+    <Wedge as Estimate>::midpoint(w, q)
+}

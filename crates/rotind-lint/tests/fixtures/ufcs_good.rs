@@ -1,0 +1,36 @@
+//! UFCS regression fixture: `<Type as Trait>::method(args)` must parse
+//! as a call, so delegation through the fully-qualified form counts as
+//! an admissibility witness (`lb-witness`) and joins the call graph.
+//! Before the parser learned the form, this file false-positived.
+
+pub struct Wedge {
+    lo: f64,
+    hi: f64,
+}
+
+trait Bound {
+    fn lb_keogh(&self, q: &[f64]) -> f64;
+}
+
+impl Bound for Wedge {
+    fn lb_keogh(&self, q: &[f64]) -> f64 {
+        let lb = if q.is_empty() { 0.0 } else { self.lo };
+        debug_assert!(lb <= self.hi);
+        lb
+    }
+}
+
+pub fn lb_envelope(w: &Wedge, q: &[f64]) -> f64 {
+    <Wedge as Bound>::lb_keogh(w, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_envelope_is_admissible() {
+        let w = Wedge { lo: 0.0, hi: 1.0 };
+        assert!(lb_envelope(&w, &[0.5]) <= w.hi);
+    }
+}

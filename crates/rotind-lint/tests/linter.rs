@@ -3,7 +3,7 @@
 //! the CLI binary's exit codes.
 
 use rotind_lint::baseline;
-use rotind_lint::findings::{count_by_rule_and_file, Finding};
+use rotind_lint::findings::{count_by_rule_and_file, witness_hashes, Finding};
 use rotind_lint::rules::ALL_RULES;
 use rotind_lint::{lint_paths, lint_workspace, workspace_root};
 use std::path::PathBuf;
@@ -186,6 +186,69 @@ fn exhaustive_invariance_fixture_pair() {
     );
 }
 
+/// The three parser false-positive regressions (`Self::` calls, UFCS
+/// `<T as Trait>::f`, trait-default bodies): each good fixture used to
+/// trip a rule purely because the parser could not see the form.
+#[test]
+fn ufcs_fixture_pair() {
+    assert_pair("lb-witness", "ufcs_bad.rs", "ufcs_good.rs");
+}
+
+#[test]
+fn self_qualified_fixture_pair() {
+    assert_pair(
+        "lb-witness",
+        "self_qualified_bad.rs",
+        "self_qualified_good.rs",
+    );
+}
+
+#[test]
+fn trait_default_fixture_pair() {
+    assert_pair(
+        "lb-coverage",
+        "trait_default_bad.rs",
+        "trait_default_good.rs",
+    );
+}
+
+/// The interprocedural pair is a two-file fixture *crate*: the bound is
+/// produced in `bounds.rs` and leaked in `scan.rs`, so the finding must
+/// carry a witness path that crosses the file boundary.
+#[test]
+fn prune_only_interprocedural_fixture_pair() {
+    let findings = lint_fixture("prune_only_bad");
+    let hits: Vec<_> = findings.iter().filter(|f| f.rule == "prune-only").collect();
+    assert!(
+        hits.iter().any(|f| {
+            f.path.ends_with("scan.rs")
+                && !f.witness.is_empty()
+                && f.witness.iter().any(|w| w.path.ends_with("bounds.rs"))
+        }),
+        "the scan.rs finding must witness back into bounds.rs: {hits:?}"
+    );
+    assert_pair("prune-only", "prune_only_bad", "prune_only_good");
+}
+
+/// Acceptance check for the SARIF surface: the injected violation shows
+/// up as a result with a `codeFlow` whose locations span both files.
+#[test]
+fn sarif_reports_a_multi_file_witness_path() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+        .args(["--format", "sarif"])
+        .arg(fixture("prune_only_bad"))
+        .output()
+        .expect("spawn rotind-lint");
+    assert_eq!(out.status.code(), Some(1), "injected violation must fail");
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(sarif.contains("\"ruleId\": \"prune-only\""), "{sarif}");
+    assert!(sarif.contains("\"codeFlows\""), "{sarif}");
+    assert!(
+        sarif.contains("prune_only_bad/bounds.rs") && sarif.contains("prune_only_bad/scan.rs"),
+        "witness locations must span both files:\n{sarif}"
+    );
+}
+
 /// The committed ratchet file must be exactly what a fresh scan of the
 /// workspace produces in canonical form — no stale counts, no hand edits.
 /// (`--write-baseline` regenerates it; this test is what keeps it honest.)
@@ -193,7 +256,10 @@ fn exhaustive_invariance_fixture_pair() {
 fn committed_baseline_matches_fresh_workspace_scan() {
     let root = workspace_root();
     let findings = lint_workspace(root).expect("workspace scan must not fail on I/O");
-    let fresh = baseline::to_json(&count_by_rule_and_file(&findings));
+    let fresh = baseline::to_json(
+        &count_by_rule_and_file(&findings),
+        &witness_hashes(&findings),
+    );
     let committed = std::fs::read_to_string(root.join(baseline::BASELINE_FILE))
         .expect("lint-baseline.json must be committed at the workspace root");
     assert_eq!(
@@ -264,7 +330,7 @@ fn binary_lists_every_rule() {
     for rule in ALL_RULES {
         assert!(stdout.contains(rule.id), "--list missing {}", rule.id);
     }
-    assert_eq!(ALL_RULES.len(), 13);
+    assert_eq!(ALL_RULES.len(), 16);
 }
 
 #[test]

@@ -20,6 +20,14 @@
 //! scan: workers charge their local step deltas into one atomic pool,
 //! and any worker tripping it stops all of them at their next check.
 
+// Under `--features loom-tests` the pool's atomics come from the
+// vendored loom stand-in, so `loom::model` closures can explore every
+// interleaving of `SharedBudget` charges (see tests/loom_model.rs in
+// rotind-index and DESIGN.md §14). Outside a model the loom types are
+// transparent passthroughs, so behaviour is unchanged.
+#[cfg(feature = "loom-tests")]
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(not(feature = "loom-tests"))]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 

@@ -36,6 +36,20 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> loom model tests (CAS-min best-so-far + SharedBudget, vendored scheduler)"
+cargo test -q -p rotind-index --features loom-tests --test loom_model
+
+echo "==> miri smoke (rotind-obs atomics; skipped when miri is unavailable)"
+# The offline container has no miri component; a real CI host with
+# `rustup component add miri` runs the rotind-obs budget/atomic suites
+# under the interpreter. The lane degrades to a loud skip, not a fail.
+if cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="${MIRIFLAGS:--Zmiri-strict-provenance}" \
+        cargo miri test -p rotind-obs
+else
+    echo "cargo miri not installed; skipping (offline container)"
+fi
+
 echo "==> exactness + parallel suites under ROTIND_THREADS=1"
 ROTIND_THREADS=1 cargo test -q --test exactness --test parallel
 

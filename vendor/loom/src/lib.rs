@@ -1,0 +1,621 @@
+//! Offline stand-in for the `loom` permutation-testing crate.
+//!
+//! The build container has no crates-io access, so this crate provides
+//! the subset of loom's API that rotind's concurrency model tests use,
+//! backed by a real (if much simpler) interleaving explorer:
+//!
+//! * [`model`] runs a closure repeatedly under a **cooperative
+//!   scheduler**. Exactly one model thread runs at a time; every
+//!   instrumented operation (each atomic access, spawn, join and
+//!   [`thread::yield_now`]) is a scheduling point where the scheduler
+//!   may switch threads. The set of runnable threads at each point is
+//!   a branching decision, and the explorer enumerates decision
+//!   sequences depth-first — recording the choices taken, then
+//!   backtracking to the deepest decision with an untried alternative —
+//!   until the schedule tree is exhausted (or a safety cap is hit).
+//! * [`sync::atomic`] atomics have **sequential-consistency
+//!   semantics**: the `Ordering` argument is accepted for API
+//!   compatibility but every access is executed `SeqCst` under the
+//!   scheduler, so the explorer covers thread *interleavings*, not
+//!   weak-memory reorderings. (Real loom also models the C11 weak
+//!   memory orders; for the CAS-retry loops rotind checks, lost
+//!   updates and stale reads are interleaving bugs and are visible at
+//!   SeqCst.)
+//! * Outside a [`model`] call the same types are transparent
+//!   **passthroughs** to `std` — a crate compiled against these
+//!   atomics (rotind's `loom-tests` feature) still runs its ordinary
+//!   tests unchanged.
+//!
+//! Differences from real loom, beyond the memory model: no
+//! partial-order reduction (the tree is enumerated naively, so keep
+//! models to 2–3 threads and a handful of operations), no spurious
+//! `compare_exchange_weak` failures, and no `UnsafeCell`/lazy-static
+//! modelling. Exploration is capped at [`MAX_EXECUTIONS`] schedules as
+//! a safety net; the models in-tree explore far fewer.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on explored schedules per [`model`] call. A branching
+/// factor of three threads over ~10 operations stays well below this;
+/// the cap only guards against accidentally huge models.
+pub const MAX_EXECUTIONS: usize = 50_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// May be chosen by the scheduler.
+    Runnable,
+    /// Waiting for the thread with this id to finish (a model `join`).
+    Blocked(usize),
+    /// Ran to completion.
+    Finished,
+}
+
+/// One scheduling decision: which of the runnable threads ran, out of
+/// how many candidates. `chosen + 1 < options` means an untried
+/// alternative remains for backtracking.
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    /// The one thread allowed to run right now.
+    active: usize,
+    /// Decision sequence replayed from the previous execution.
+    prefix: Vec<usize>,
+    /// Decisions actually taken this execution.
+    decisions: Vec<Decision>,
+    /// A model thread panicked: release every waiter so the execution
+    /// can unwind instead of deadlocking.
+    panicked: bool,
+    /// All threads blocked with none runnable.
+    deadlocked: bool,
+}
+
+struct Execution {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+    /// OS handles of spawned model threads, joined by the controller
+    /// after the root closure returns.
+    real: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// The execution this OS thread belongs to, and its model-thread id.
+    /// `None` means "not inside a model": atomics pass through.
+    static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn context() -> Option<(Arc<Execution>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// Lock that survives poisoning: a panicking model thread must not
+/// wedge the other threads' teardown.
+fn lock(exec: &Execution) -> MutexGuard<'_, ExecState> {
+    exec.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a>(exec: &'a Execution, guard: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+    exec.cond.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// Pick the next thread to run. Replays the prefix while it lasts,
+/// then defaults to the first runnable thread; every choice is
+/// recorded so the controller can backtrack.
+fn schedule_next(st: &mut ExecState) {
+    let options: Vec<usize> = st
+        .status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, Status::Runnable))
+        .map(|(i, _)| i)
+        .collect();
+    if options.is_empty() {
+        if st.status.iter().any(|s| matches!(s, Status::Blocked(_))) {
+            st.deadlocked = true;
+            st.panicked = true; // release waiters so the run can end
+        }
+        return;
+    }
+    let di = st.decisions.len();
+    let chosen = match st.prefix.get(di) {
+        Some(&c) => c.min(options.len() - 1),
+        None => 0,
+    };
+    st.decisions.push(Decision {
+        chosen,
+        options: options.len(),
+    });
+    st.active = options[chosen];
+}
+
+/// A scheduling point: offer the scheduler the chance to switch to any
+/// other runnable thread, then block until this thread is scheduled
+/// again. No-op outside a model.
+pub(crate) fn yield_point() {
+    let Some((exec, me)) = context() else { return };
+    let mut st = lock(&exec);
+    if st.panicked {
+        return; // free-run so the execution can unwind
+    }
+    schedule_next(&mut st);
+    exec.cond.notify_all();
+    while st.active != me && !st.panicked {
+        st = wait(&exec, st);
+    }
+}
+
+/// Mark a model thread finished, wake its joiners, hand the schedule
+/// to the next runnable thread.
+fn finish(exec: &Execution, me: usize, panicked: bool) {
+    let mut st = lock(exec);
+    if let Some(slot) = st.status.get_mut(me) {
+        *slot = Status::Finished;
+    }
+    if panicked {
+        st.panicked = true;
+    }
+    for s in st.status.iter_mut() {
+        if *s == Status::Blocked(me) {
+            *s = Status::Runnable;
+        }
+    }
+    schedule_next(&mut st);
+    exec.cond.notify_all();
+}
+
+/// Model-checked threads.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model (or, outside a model, plain OS) thread.
+    pub struct JoinHandle<T> {
+        model: Option<(Arc<Execution>, usize)>,
+        real: Option<std::thread::JoinHandle<()>>,
+        slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    }
+
+    /// Spawn a thread. Inside a model the child becomes a new model
+    /// thread that runs only when scheduled; outside it is a plain
+    /// `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let out = slot.clone();
+        let Some((exec, _)) = context() else {
+            let real = std::thread::spawn(move || {
+                let r = catch_unwind(AssertUnwindSafe(f));
+                *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+            return JoinHandle {
+                model: None,
+                real: Some(real),
+                slot,
+            };
+        };
+        let tid = {
+            let mut st = lock(&exec);
+            st.status.push(Status::Runnable);
+            st.status.len() - 1
+        };
+        let child_exec = exec.clone();
+        let real = std::thread::spawn(move || {
+            CONTEXT.with(|c| *c.borrow_mut() = Some((child_exec.clone(), tid)));
+            {
+                // Wait to be scheduled for the first time.
+                let mut st = lock(&child_exec);
+                while st.active != tid && !st.panicked {
+                    st = wait(&child_exec, st);
+                }
+            }
+            let r = catch_unwind(AssertUnwindSafe(f));
+            let panicked = r.is_err();
+            *out.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            finish(&child_exec, tid, panicked);
+        });
+        exec.real
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(real);
+        // Spawning is itself a scheduling point: the child may run
+        // immediately or arbitrarily later.
+        yield_point();
+        JoinHandle {
+            model: Some((exec, tid)),
+            real: None,
+            slot,
+        }
+    }
+
+    /// A bare scheduling point, mirroring `std::thread::yield_now`.
+    pub fn yield_now() {
+        yield_point();
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish; returns `Err` with the panic
+        /// payload if it panicked, like `std::thread::JoinHandle::join`.
+        #[allow(clippy::missing_panics_doc)] // result slot is filled before finish()
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.model {
+                None => {
+                    if let Some(real) = self.real {
+                        let _ = real.join();
+                    }
+                }
+                Some((exec, target)) => {
+                    let me = context().map(|(_, id)| id);
+                    let mut st = lock(&exec);
+                    if let Some(me) = me {
+                        if !st.panicked && !matches!(st.status.get(target), Some(Status::Finished))
+                        {
+                            if let Some(slot) = st.status.get_mut(me) {
+                                *slot = Status::Blocked(target);
+                            }
+                            schedule_next(&mut st);
+                            exec.cond.notify_all();
+                            while matches!(st.status.get(me), Some(Status::Blocked(_)))
+                                && !st.panicked
+                            {
+                                st = wait(&exec, st);
+                            }
+                        }
+                        // Unblocked (target finished); wait to be scheduled.
+                        while st.active != me && !st.panicked {
+                            st = wait(&exec, st);
+                        }
+                    } else {
+                        // Joining from outside the model (controller
+                        // teardown): wait for the plain status flag.
+                        while !matches!(st.status.get(target), Some(Status::Finished))
+                            && !st.panicked
+                        {
+                            st = wait(&exec, st);
+                        }
+                    }
+                }
+            }
+            self.slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("loom: joined thread left no result")
+        }
+    }
+}
+
+/// `std::sync` mirrors used by model code.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Scheduler-instrumented atomics with SeqCst semantics.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! passthrough_atomic {
+            ($(#[$meta:meta])* $name:ident, $inner:ident, $ty:ty) => {
+                $(#[$meta])*
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$inner);
+
+                impl $name {
+                    /// Create the atomic with an initial value.
+                    pub fn new(v: $ty) -> Self {
+                        Self(std::sync::atomic::$inner::new(v))
+                    }
+
+                    /// Scheduler-instrumented load (SeqCst under a model).
+                    pub fn load(&self, _order: Ordering) -> $ty {
+                        crate::yield_point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Scheduler-instrumented store (SeqCst under a model).
+                    pub fn store(&self, v: $ty, _order: Ordering) {
+                        crate::yield_point();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Scheduler-instrumented swap (SeqCst under a model).
+                    pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                        crate::yield_point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Scheduler-instrumented compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        crate::yield_point();
+                        self.0
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+
+                    /// Like [`Self::compare_exchange`]; the stand-in
+                    /// never fails spuriously, which only *shrinks* the
+                    /// schedule space a retry loop generates.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Consume the atomic, returning the value.
+                    pub fn into_inner(self) -> $ty {
+                        self.0.into_inner()
+                    }
+                }
+            };
+        }
+
+        passthrough_atomic!(
+            /// Model-checked `AtomicBool`.
+            AtomicBool,
+            AtomicBool,
+            bool
+        );
+        passthrough_atomic!(
+            /// Model-checked `AtomicU64`.
+            AtomicU64,
+            AtomicU64,
+            u64
+        );
+        passthrough_atomic!(
+            /// Model-checked `AtomicUsize`.
+            AtomicUsize,
+            AtomicUsize,
+            usize
+        );
+
+        macro_rules! fetch_ops {
+            ($name:ident, $ty:ty) => {
+                impl $name {
+                    /// Scheduler-instrumented fetch-add (wrapping, SeqCst
+                    /// under a model).
+                    pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                        crate::yield_point();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Scheduler-instrumented fetch-max (SeqCst under a
+                    /// model).
+                    pub fn fetch_max(&self, v: $ty, _order: Ordering) -> $ty {
+                        crate::yield_point();
+                        self.0.fetch_max(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        fetch_ops!(AtomicU64, u64);
+        fetch_ops!(AtomicUsize, usize);
+    }
+}
+
+/// Run `f` under the model scheduler, exploring thread interleavings
+/// depth-first until the schedule tree is exhausted (or the
+/// [`MAX_EXECUTIONS`] safety cap is reached).
+///
+/// Panics propagate out of `model` exactly as they surfaced inside the
+/// failing execution, so `#[should_panic]` negative controls work: a
+/// buggy protocol whose assertion fails under *some* interleaving makes
+/// `model` panic on the first schedule that reaches it.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    for _ in 0..MAX_EXECUTIONS {
+        let (decisions, panicked, deadlocked, payload) = run_once(f.clone(), prefix.clone());
+        if deadlocked {
+            panic!("loom model: deadlock — every live thread is blocked on a join");
+        }
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+        if panicked {
+            // A spawned model thread panicked and the closure never
+            // joined it; surface the failure rather than losing it.
+            panic!("loom model: a model thread panicked (join its handle for the payload)");
+        }
+        // Backtrack: deepest decision with an untried alternative.
+        let back = decisions.iter().rposition(|d| d.chosen + 1 < d.options);
+        match back {
+            Some(i) => {
+                prefix = decisions[..i].iter().map(|d| d.chosen).collect();
+                prefix.push(decisions[i].chosen + 1);
+            }
+            None => return, // schedule tree fully explored
+        }
+    }
+}
+
+type RunOutcome = (
+    Vec<Decision>,
+    bool,
+    bool,
+    Option<Box<dyn Any + Send + 'static>>,
+);
+
+/// One execution of the closure under one decision prefix.
+fn run_once(f: Arc<dyn Fn() + Send + Sync>, prefix: Vec<usize>) -> RunOutcome {
+    let exec = Arc::new(Execution {
+        state: Mutex::new(ExecState {
+            status: vec![Status::Runnable],
+            active: 0,
+            prefix,
+            decisions: Vec::new(),
+            panicked: false,
+            deadlocked: false,
+        }),
+        cond: Condvar::new(),
+        real: Mutex::new(Vec::new()),
+    });
+    let root_exec = exec.clone();
+    let root = std::thread::spawn(move || {
+        CONTEXT.with(|c| *c.borrow_mut() = Some((root_exec.clone(), 0)));
+        let r = catch_unwind(AssertUnwindSafe(|| f()));
+        finish(&root_exec, 0, r.is_err());
+        r
+    });
+    let root_result = root.join().unwrap_or_else(|_| {
+        // The root OS thread itself died outside catch_unwind; treat it
+        // as a root panic with an opaque payload.
+        Err(Box::new("loom model: root thread died") as Box<dyn Any + Send>)
+    });
+    // Join every spawned model thread; children may spawn more, so
+    // drain until the list stays empty.
+    loop {
+        let handles = std::mem::take(&mut *exec.real.lock().unwrap_or_else(|e| e.into_inner()));
+        if handles.is_empty() {
+            break;
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    let st = lock(&exec);
+    (
+        st.decisions.clone(),
+        st.panicked,
+        st.deadlocked,
+        root_result.err(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use super::sync::Arc;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    #[test]
+    fn passthrough_outside_model() {
+        let a = AtomicU64::new(1);
+        assert_eq!(a.load(Ordering::SeqCst), 1);
+        a.store(7, Ordering::Relaxed);
+        assert_eq!(a.swap(9, Ordering::AcqRel), 7);
+        assert_eq!(
+            a.compare_exchange(9, 11, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(9)
+        );
+        assert_eq!(a.into_inner(), 11);
+    }
+
+    #[test]
+    fn model_explores_more_than_one_schedule() {
+        // Two threads each incrementing via load+store WILL lose an
+        // update under some interleaving; count distinct outcomes over
+        // the exploration to prove multiple schedules actually ran.
+        let outcomes = std::sync::Arc::new(StdAtomicUsize::new(0));
+        let seen_lost = std::sync::Arc::new(StdAtomicUsize::new(0));
+        let o2 = outcomes.clone();
+        let l2 = seen_lost.clone();
+        super::model(move || {
+            o2.fetch_add(1, StdOrdering::SeqCst);
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = v.clone();
+                    super::thread::spawn(move || {
+                        let cur = v.load(Ordering::SeqCst);
+                        v.store(cur + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            if v.load(Ordering::SeqCst) == 1 {
+                l2.fetch_add(1, StdOrdering::SeqCst);
+            }
+        });
+        assert!(
+            outcomes.load(StdOrdering::SeqCst) > 1,
+            "only one schedule ran"
+        );
+        assert!(
+            seen_lost.load(StdOrdering::SeqCst) > 0,
+            "exploration never found the lost-update interleaving"
+        );
+    }
+
+    #[test]
+    fn cas_retry_loop_is_sound_in_every_schedule() {
+        super::model(|| {
+            let v = Arc::new(AtomicU64::new(u64::MAX));
+            let handles: Vec<_> = [5u64, 3u64]
+                .into_iter()
+                .map(|mine| {
+                    let v = v.clone();
+                    super::thread::spawn(move || {
+                        let mut cur = v.load(Ordering::Acquire);
+                        loop {
+                            if cur <= mine {
+                                return;
+                            }
+                            match v.compare_exchange_weak(
+                                cur,
+                                mine,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => return,
+                                Err(seen) => cur = seen,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 3, "CAS-min lost an update");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "lost an update")]
+    fn racy_read_modify_write_is_caught() {
+        super::model(|| {
+            let v = Arc::new(AtomicU64::new(u64::MAX));
+            let handles: Vec<_> = [5u64, 3u64]
+                .into_iter()
+                .map(|mine| {
+                    let v = v.clone();
+                    super::thread::spawn(move || {
+                        // BROKEN on purpose: unconditional store after a
+                        // stale load, no CAS.
+                        let cur = v.load(Ordering::SeqCst);
+                        if mine < cur {
+                            v.store(mine, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 3, "store/store lost an update");
+        });
+    }
+}
