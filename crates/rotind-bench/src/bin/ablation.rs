@@ -11,6 +11,7 @@
 //!
 //! `ROTIND_QUICK=1` shrinks the workload.
 
+use rotind_bench::BenchError;
 use rotind_cluster::linkage::Linkage;
 use rotind_distance::{DtwParams, Measure};
 use rotind_envelope::lb_keogh::lb_keogh;
@@ -21,8 +22,9 @@ use rotind_index::hmerge::h_merge;
 use rotind_shape::dataset::projectile_points;
 use rotind_ts::rotate::RotationMatrix;
 use rotind_ts::StepCounter;
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), BenchError> {
     let quick = rotind_bench::quick_mode();
     let n = if quick { 64 } else { 251 };
     let m = if quick { 200 } else { 2000 };
@@ -33,21 +35,17 @@ fn main() {
 
     // 1. K policy.
     let mut k_table = Table::new(["policy", "avg steps/query", "vs dynamic"]);
-    let run_policy = |policy: KPolicy| -> u64 {
+    let run_policy = |policy: KPolicy| -> Result<u64, BenchError> {
         let mut total = 0u64;
         for q in &queries {
-            let engine = RotationQuery::new(q, Invariance::Rotation)
-                .expect("valid query")
-                .with_k_policy(policy);
+            let engine = RotationQuery::new(q, Invariance::Rotation)?.with_k_policy(policy);
             let mut counter = StepCounter::new();
-            engine
-                .nearest_with_steps(&db, &mut counter)
-                .expect("valid db");
+            engine.nearest_with_steps(&db, &mut counter)?;
             total += counter.steps();
         }
-        total / queries.len() as u64
+        Ok(total / queries.len() as u64)
     };
-    let dynamic = run_policy(KPolicy::Dynamic);
+    let dynamic = run_policy(KPolicy::Dynamic)?;
     k_table.push_row(["dynamic".to_string(), dynamic.to_string(), fmt_ratio(1.0)]);
     let mut ks: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 64, n]
         .into_iter()
@@ -55,7 +53,7 @@ fn main() {
         .collect();
     ks.dedup();
     for k in ks {
-        let steps = run_policy(KPolicy::Fixed(k));
+        let steps = run_policy(KPolicy::Fixed(k))?;
         k_table.push_row([
             format!("fixed K={k}"),
             steps.to_string(),
@@ -67,11 +65,11 @@ fn main() {
     // 2. Linkage. (Dynamic policy requires an engine; measure the raw
     //    H-Merge scan at a representative fixed K per linkage instead.)
     let mut l_table = Table::new(["linkage", "avg steps/query", "vs average"]);
-    let run_linkage = |linkage: Linkage| -> u64 {
+    let run_linkage = |linkage: Linkage| -> Result<u64, BenchError> {
         let k = 16.min(n);
         let mut total = 0u64;
         for q in &queries {
-            let tree = WedgeTree::build(RotationMatrix::full(q).expect("valid"), linkage, 0);
+            let tree = WedgeTree::build(RotationMatrix::full(q)?, linkage, 0);
             let cut = tree.cut_nodes(k);
             let mut counter = StepCounter::new();
             let mut bsf = f64::INFINITY;
@@ -82,9 +80,9 @@ fn main() {
             }
             total += counter.steps();
         }
-        total / queries.len() as u64
+        Ok(total / queries.len() as u64)
     };
-    let average = run_linkage(Linkage::Average);
+    let average = run_linkage(Linkage::Average)?;
     for (name, linkage) in [
         ("average (paper)", Linkage::Average),
         ("single", Linkage::Single),
@@ -94,7 +92,7 @@ fn main() {
         let steps = if linkage == Linkage::Average {
             average
         } else {
-            run_linkage(linkage)
+            run_linkage(linkage)?
         };
         l_table.push_row([
             name.to_string(),
@@ -110,7 +108,7 @@ fn main() {
     //    the matching DTW measure.
     let mut w_table = Table::new(["band R", "mean LB vs R=0", "DTW scan steps"]);
     let query = queries[0];
-    let base_tree = WedgeTree::new(RotationMatrix::full(query).expect("valid"), 0);
+    let base_tree = WedgeTree::new(RotationMatrix::full(query)?, 0);
     let cut = base_tree.cut_nodes(16.min(n));
     let mean_cut_lb = |band: usize| -> f64 {
         db.iter()
@@ -135,12 +133,9 @@ fn main() {
             query,
             Invariance::Rotation,
             Measure::Dtw(DtwParams::new(band)),
-        )
-        .expect("valid query");
+        )?;
         let mut counter = StepCounter::new();
-        engine
-            .nearest_with_steps(&db, &mut counter)
-            .expect("valid db");
+        engine.nearest_with_steps(&db, &mut counter)?;
         w_table.push_row([
             band.to_string(),
             fmt_ratio(if base_lb > 0.0 {
@@ -155,26 +150,23 @@ fn main() {
 
     // 4. Probe-interval sensitivity (paper: < 4% across 3..=20).
     let mut p_table = Table::new(["probe intervals", "avg steps/query", "vs 5"]);
-    let run_intervals = |intervals: usize| -> u64 {
+    let run_intervals = |intervals: usize| -> Result<u64, BenchError> {
         let mut total = 0u64;
         for q in &queries {
-            let engine = RotationQuery::new(q, Invariance::Rotation)
-                .expect("valid query")
-                .with_probe_intervals(intervals);
+            let engine =
+                RotationQuery::new(q, Invariance::Rotation)?.with_probe_intervals(intervals);
             let mut counter = StepCounter::new();
-            engine
-                .nearest_with_steps(&db, &mut counter)
-                .expect("valid db");
+            engine.nearest_with_steps(&db, &mut counter)?;
             total += counter.steps();
         }
-        total / queries.len() as u64
+        Ok(total / queries.len() as u64)
     };
-    let reference = run_intervals(5);
+    let reference = run_intervals(5)?;
     for intervals in [1usize, 3, 5, 10, 20] {
         let steps = if intervals == 5 {
             reference
         } else {
-            run_intervals(intervals)
+            run_intervals(intervals)?
         };
         p_table.push_row([
             intervals.to_string(),
@@ -183,4 +175,9 @@ fn main() {
         ]);
     }
     rotind_bench::emit("ablation_probe_intervals", &p_table);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    rotind_bench::error::exit(run())
 }

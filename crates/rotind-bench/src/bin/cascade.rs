@@ -15,6 +15,7 @@
 //! [`QueryTrace`]: rotind_obs::QueryTrace
 //! [`Profiler`]: rotind_obs::Profiler
 
+use rotind_bench::BenchError;
 use rotind_distance::dtw::DtwParams;
 use rotind_distance::measure::Measure;
 use rotind_eval::report::Table;
@@ -24,6 +25,7 @@ use rotind_obs::{CascadeTier, ProfilePhase, Profiler, QueryTrace, SearchObserver
 use rotind_shape::dataset as shapes;
 use rotind_ts::StepCounter;
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Fan-out observer: every search event goes to both the aggregate
@@ -109,23 +111,20 @@ fn run_config(
     db: &[Vec<f64>],
     queries: &[Vec<f64>],
     n: usize,
-) -> Run {
+) -> Result<Run, BenchError> {
     let mut trace = QueryTrace::new(n);
     let mut profiler = Profiler::new();
     let mut total_steps = 0u64;
     let start = Instant::now();
     for query in queries {
-        let engine = RotationQuery::with_measure(query, Invariance::Rotation, measure)
-            .expect("valid query")
-            .with_cascade(config);
+        let engine =
+            RotationQuery::with_measure(query, Invariance::Rotation, measure)?.with_cascade(config);
         let mut counter = StepCounter::new();
         let mut observer = TraceAndProfile {
             trace: &mut trace,
             profiler: &mut profiler,
         };
-        engine
-            .nearest_observed(db, &mut counter, &mut observer)
-            .expect("valid database");
+        engine.nearest_observed(db, &mut counter, &mut observer)?;
         total_steps += counter.steps();
     }
     let elapsed = start.elapsed();
@@ -142,7 +141,7 @@ fn run_config(
         tier_ns[tier.index()] = cost.total_ns;
         tier_prunes_per_us[tier.index()] = cost.prunes_per_us();
     }
-    Run {
+    Ok(Run {
         measure: measure_name,
         config: name,
         total_steps,
@@ -153,7 +152,7 @@ fn run_config(
         tier_pruned,
         tier_ns,
         tier_prunes_per_us,
-    }
+    })
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -208,7 +207,7 @@ fn write_json(runs: &[Run], m: usize, n: usize, queries: usize) -> String {
     out
 }
 
-fn main() {
+fn run() -> Result<(), BenchError> {
     let quick = rotind_bench::quick_mode();
     let (m, n, queries) = if quick { (200, 64, 3) } else { (2000, 251, 10) };
     println!("cascade ablation over m = {m} projectile points (n = {n}), {queries} queries");
@@ -234,7 +233,7 @@ fn main() {
                 db,
                 queries_set,
                 n,
-            );
+            )?;
             println!(
                 "  {measure_name:>9} {config_name:>9}: {:>12} steps  ({:.0} steps/query, {:.0} us/query, exponent {:.3})",
                 run.total_steps, run.steps_per_query, run.micros_per_query, run.exponent
@@ -286,4 +285,9 @@ fn main() {
         Ok(()) => println!("[saved {}]", path.display()),
         Err(e) => eprintln!("[warn: could not save {}: {e}]", path.display()),
     }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    rotind_bench::error::exit(run())
 }

@@ -1,9 +1,17 @@
+//! Class-separation diagnostic: within- vs between-class
+//! rotation-invariant distances on the OSU leaf subsample, per measure.
+
+use rotind_bench::BenchError;
 use rotind_distance::{DtwParams, Measure};
 use rotind_index::engine::{Invariance, RotationQuery};
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), BenchError> {
     let ds = rotind_shape::dataset::osu_leaf(20060904);
     let sub = ds.subsample(60, 4);
+    if sub.items.is_empty() {
+        return Err(BenchError::Data("OSU leaf subsample is empty".into()));
+    }
     for (name, m) in [
         ("ED", Measure::Euclidean),
         ("DTW3", Measure::Dtw(DtwParams::new(3))),
@@ -11,9 +19,9 @@ fn main() {
     ] {
         let (mut win, mut bet) = (vec![], vec![]);
         for i in 0..sub.len() {
-            let e = RotationQuery::with_measure(&sub.items[i], Invariance::Rotation, m).unwrap();
+            let e = RotationQuery::with_measure(&sub.items[i], Invariance::Rotation, m)?;
             for j in i + 1..sub.len() {
-                let d = e.distance_to(&sub.items[j]).unwrap();
+                let d = e.distance_to(&sub.items[j])?;
                 if sub.labels[i] == sub.labels[j] {
                     win.push(d)
                 } else {
@@ -32,4 +40,9 @@ fn main() {
             avg(&bet) / avg(&win)
         );
     }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    rotind_bench::error::exit(run())
 }

@@ -8,9 +8,12 @@
 //! ROTIND_REGRESS_INJECT=1.2 cargo run ... --bin regress   # must exit 1
 //! ```
 //!
-//! Exit codes: `0` pass, `1` regression, `2` usage or I/O error. Step
-//! totals are machine-independent and always gated at 2%; wall-clock
-//! medians are gated at 30% only when the baseline host matches (see
+//! Exit codes: `0` pass, `1` regression; infrastructure failures use
+//! the typed [`rotind_bench::BenchError`] codes (`2` usage, `3` I/O,
+//! `4` malformed baseline JSON, `6` engine error), so CI can tell a
+//! genuine slowdown from a broken harness. Step totals are
+//! machine-independent and always gated at 2%; wall-clock medians are
+//! gated at 30% only when the baseline host matches (see
 //! `rotind_bench::regress` for the full policy).
 
 use std::process::ExitCode;
@@ -19,6 +22,7 @@ use std::time::Instant;
 use rotind_bench::regress::{
     apply_inject, compare, hostname, inject_factor, Baseline, Measurement,
 };
+use rotind_bench::BenchError;
 use rotind_distance::dtw::DtwParams;
 use rotind_distance::measure::Measure;
 use rotind_index::engine::{Invariance, RotationQuery};
@@ -31,30 +35,30 @@ fn run_entry(
     name: &str,
     deterministic: bool,
     repeats: usize,
-    mut work: impl FnMut() -> u64,
-) -> Measurement {
+    mut work: impl FnMut() -> Result<u64, BenchError>,
+) -> Result<Measurement, BenchError> {
     let mut walls: Vec<u64> = Vec::with_capacity(repeats);
     let mut steps = 0u64;
     for _ in 0..repeats {
         let t = Instant::now();
-        steps = work();
+        steps = work()?;
         walls.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     walls.sort_unstable();
     // `repeats` is a positive constant below, so the median index is valid.
     // rotind-lint: allow(no-index)
     let wall_ns = walls[walls.len() / 2];
-    Measurement {
+    Ok(Measurement {
         name: name.to_string(),
         deterministic,
         steps,
         wall_ns,
-    }
+    })
 }
 
 /// The gate's workload suite: fixed seeds, fixed sizes, so `num_steps`
 /// is exactly reproducible across machines at a given quick setting.
-fn measure_suite(quick: bool) -> Vec<Measurement> {
+fn measure_suite(quick: bool) -> Result<Vec<Measurement>, BenchError> {
     let (m, n, queries, repeats) = if quick {
         (200, 64, 3, 3)
     } else {
@@ -71,16 +75,12 @@ fn measure_suite(quick: bool) -> Vec<Measurement> {
         let mut total = 0u64;
         for query in queries {
             let mut counter = StepCounter::new();
-            // rotind-lint: allow(no-panic)
-            let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
-            engine
-                .nearest_with_steps(db, &mut counter)
-                // rotind-lint: allow(no-panic)
-                .expect("non-empty database");
+            let engine = RotationQuery::new(query, Invariance::Rotation)?;
+            engine.nearest_with_steps(db, &mut counter)?;
             total += counter.steps();
         }
-        total
-    });
+        Ok(total)
+    })?;
 
     let band = n / 25 + 1;
     let dtw = run_entry("dtw_nearest", true, repeats, || {
@@ -91,41 +91,31 @@ fn measure_suite(quick: bool) -> Vec<Measurement> {
                 query,
                 Invariance::Rotation,
                 Measure::Dtw(DtwParams::new(band)),
-            )
-            // rotind-lint: allow(no-panic)
-            .expect("valid query");
-            engine
-                .nearest_with_steps(db, &mut counter)
-                // rotind-lint: allow(no-panic)
-                .expect("non-empty database");
+            )?;
+            engine.nearest_with_steps(db, &mut counter)?;
             total += counter.steps();
         }
-        total
-    });
+        Ok(total)
+    })?;
 
     // Workers race on the shared best-so-far, so step totals vary run
     // to run: wall-clock only (deterministic = false).
     let parallel = run_entry("euclid_parallel4", false, repeats, || {
         for query in queries {
-            // rotind-lint: allow(no-panic)
-            let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
-            engine
-                .nearest_parallel(db, 4)
-                // rotind-lint: allow(no-panic)
-                .expect("non-empty database");
+            let engine = RotationQuery::new(query, Invariance::Rotation)?;
+            engine.nearest_parallel(db, 4)?;
         }
-        0
-    });
+        Ok(0)
+    })?;
 
-    vec![euclid, dtw, parallel]
+    Ok(vec![euclid, dtw, parallel])
 }
 
-fn usage() -> ExitCode {
-    eprintln!("usage: regress [--update-baseline] [--baseline <path>]");
-    ExitCode::from(2)
-}
+const USAGE: &str = "regress [--update-baseline] [--baseline <path>]";
 
-fn main() -> ExitCode {
+/// The gate proper. `Ok` carries the pass/regression verdict (exit `0`
+/// or `1`); `Err` is an infrastructure failure with its class code.
+fn run() -> Result<ExitCode, BenchError> {
     let mut update = false;
     let mut baseline_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -134,9 +124,9 @@ fn main() -> ExitCode {
             "--update-baseline" => update = true,
             "--baseline" => match args.next() {
                 Some(p) => baseline_path = Some(p.into()),
-                None => return usage(),
+                None => return Err(BenchError::Usage(USAGE.into())),
             },
-            _ => return usage(),
+            _ => return Err(BenchError::Usage(USAGE.into())),
         }
     }
     let path =
@@ -144,15 +134,9 @@ fn main() -> ExitCode {
 
     let quick = rotind_bench::quick_mode();
     let host = hostname();
-    let factor = match inject_factor() {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("regress: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    let factor = inject_factor().map_err(BenchError::Usage)?;
 
-    let mut entries = measure_suite(quick);
+    let mut entries = measure_suite(quick)?;
     // 1.0 is the exact "not set" sentinel from `inject_factor`.
     // rotind-lint: allow(float-eq)
     if factor != 1.0 {
@@ -182,36 +166,17 @@ fn main() -> ExitCode {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        return match std::fs::write(&path, current.to_json()) {
-            Ok(()) => {
-                println!("baseline written to {}", path.display());
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("regress: cannot write {}: {e}", path.display());
-                ExitCode::from(2)
-            }
-        };
+        std::fs::write(&path, current.to_json()).map_err(|e| BenchError::io(&path, e))?;
+        println!("baseline written to {}", path.display());
+        return Ok(ExitCode::SUCCESS);
     }
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!(
-                "regress: cannot read baseline {}: {e}\n\
-                 (capture one with: regress --update-baseline)",
-                path.display()
-            );
-            return ExitCode::from(2);
-        }
-    };
-    let baseline = match Baseline::from_json(&text) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!("regress: {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-    };
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        eprintln!("(capture a baseline with: regress --update-baseline)");
+        BenchError::io(&path, e)
+    })?;
+    let baseline =
+        Baseline::from_json(&text).map_err(|e| BenchError::json(&path, e.to_string()))?;
 
     println!(
         "comparing against {} (host {:?}, quick = {})",
@@ -222,11 +187,21 @@ fn main() -> ExitCode {
     let failures = compare(&baseline, &current);
     if failures.is_empty() {
         println!("regress: OK — no regression against the baseline");
-        ExitCode::SUCCESS
+        Ok(ExitCode::SUCCESS)
     } else {
         for f in &failures {
             eprintln!("regress: REGRESSION: {f}");
         }
-        ExitCode::FAILURE
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(verdict) => verdict,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
     }
 }

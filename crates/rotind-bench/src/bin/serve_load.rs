@@ -1,0 +1,323 @@
+//! Open-loop load generator for the `rotind-serve` query service.
+//!
+//! Starts an in-process [`Server`] over a projectile-point database,
+//! then drives it **open-loop**: requests are issued on a fixed
+//! arrival schedule (aggregate rate `ROTIND_SERVE_RATE` req/s, spread
+//! round-robin over several client connections), not in response to
+//! completions. Latency is measured from each request's *scheduled*
+//! arrival time to its reply, so a backed-up server shows up as
+//! growing tail latency instead of silently throttling the generator
+//! (no coordinated omission). Reports throughput and p50/p95/p99 via
+//! [`LogHistogram`] plus the server's own admission counters, and
+//! writes machine-readable `results/bench_serve.json` for CI trending.
+//!
+//! Environment knobs: `ROTIND_QUICK=1` shrinks the database and the
+//! measurement window; `ROTIND_SERVE_RATE` pins the offered aggregate
+//! arrival rate (unset, the generator probes a few queries closed-loop
+//! and offers ~50% of the measured capacity, so the artefact stays
+//! comparable across hosts of very different speed);
+//! `ROTIND_SERVE_WORKERS` / `ROTIND_SERVE_QUEUE` / `ROTIND_SERVE_BATCH`
+//! configure the server as they would in production; `ROTIND_RESULTS`
+//! relocates the artefact.
+//!
+//! [`Server`]: rotind_serve::Server
+//! [`LogHistogram`]: rotind_obs::LogHistogram
+
+use rotind_bench::BenchError;
+use rotind_distance::Measure;
+use rotind_index::engine::Invariance;
+use rotind_index::snapshot::{IndexSnapshot, QueryKind, QuerySpec};
+use rotind_obs::{env_positive_usize, LogHistogram};
+use rotind_serve::{Client, QueryRequest, Response, ServeConfig, Server};
+use rotind_shape::dataset as shapes;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Per-client tally, merged after the run.
+#[derive(Default)]
+struct Tally {
+    sent: u64,
+    complete: u64,
+    exhausted: u64,
+    overloaded: u64,
+    errors: u64,
+    /// Requests issued behind schedule (the lane's previous reply came
+    /// back after the next scheduled arrival) — a saturation signal.
+    late: u64,
+    latency_ns: LogHistogram,
+}
+
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.sent += other.sent;
+        self.complete += other.complete;
+        self.exhausted += other.exhausted;
+        self.overloaded += other.overloaded;
+        self.errors += other.errors;
+        self.late += other.late;
+        self.latency_ns.merge(&other.latency_ns);
+    }
+}
+
+/// One open-loop client lane: fire at each scheduled arrival in
+/// `[start, start + window)`, measuring latency from the *schedule*,
+/// never from the (possibly delayed) actual send.
+///
+/// The aggregate schedule places arrival `k` at `start + k/rate`;
+/// lane `l` of `c` owns every arrival with `k % c == l`, i.e. its own
+/// period is `c/rate` with a phase offset of `l/rate`. A lane that
+/// falls behind (its previous reply outlasted the next arrival) sends
+/// immediately and the queueing delay it accrued stays in the latency
+/// sample — that is the open-loop contract.
+fn drive(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<f64>],
+    lane: usize,
+    clients: usize,
+    rate: f64,
+    start: Instant,
+    window: Duration,
+) -> std::io::Result<Tally> {
+    let mut client = Client::connect(addr)?;
+    let mut tally = Tally::default();
+    let lane_period = Duration::from_secs_f64(clients as f64 / rate);
+    let mut scheduled = start + Duration::from_secs_f64(lane as f64 / rate);
+    let mut i = lane; // stagger lanes so connections don't send identical streams
+    while scheduled.duration_since(start) < window {
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        } else if now.duration_since(scheduled) > lane_period {
+            tally.late += 1;
+        }
+        let spec = QuerySpec {
+            series: queries[i % queries.len()].clone(),
+            invariance: Invariance::Rotation,
+            measure: Measure::Euclidean,
+            kind: QueryKind::Nearest,
+        };
+        let request = QueryRequest {
+            spec,
+            max_steps: None,
+            deadline: None,
+        };
+        let response = client.query(&request)?;
+        // Latency from the scheduled arrival: schedule slip caused by a
+        // slow previous reply is server-induced delay and must count.
+        tally
+            .latency_ns
+            .observe(u64::try_from(scheduled.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        tally.sent += 1;
+        match response {
+            Response::Query(r) => match r.status {
+                rotind_serve::QueryStatus::Complete => tally.complete += 1,
+                _ => tally.exhausted += 1,
+            },
+            Response::Overloaded => tally.overloaded += 1,
+            _ => tally.errors += 1,
+        }
+        i += clients;
+        scheduled += lane_period;
+    }
+    Ok(tally)
+}
+
+fn quantile_ms(h: &LogHistogram, q: f64) -> f64 {
+    h.quantile(q).map_or(0.0, |ns| ns as f64 / 1e6)
+}
+
+/// Probe mean service time with a few closed-loop queries and offer
+/// ~50% of the pool's capacity — a load point where queueing is real
+/// but the open-loop schedule stays sustainable on any host.
+fn calibrate_rate(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<f64>],
+    workers: usize,
+) -> std::io::Result<f64> {
+    let mut client = Client::connect(addr)?;
+    let mut probe = |count: usize| -> std::io::Result<f64> {
+        let t = Instant::now();
+        for i in 0..count {
+            let request = QueryRequest {
+                spec: QuerySpec {
+                    series: queries[i % queries.len()].clone(),
+                    invariance: Invariance::Rotation,
+                    measure: Measure::Euclidean,
+                    kind: QueryKind::Nearest,
+                },
+                max_steps: None,
+                deadline: None,
+            };
+            let _ = client.query(&request)?;
+        }
+        Ok(t.elapsed().as_secs_f64() / count as f64)
+    };
+    // First pass warms the worker's candidate-PAA cache (and faults in
+    // the snapshot); only the second pass is timed.
+    let _ = probe(5)?;
+    let mean = probe(10)?;
+    let capacity = workers.max(1) as f64 / mean.max(1e-6);
+    Ok((capacity * 0.5).clamp(1.0, 100_000.0))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    tally: &Tally,
+    elapsed: Duration,
+    clients: usize,
+    rate: f64,
+    config: &ServeConfig,
+    m: usize,
+    n: usize,
+    server_counters: &[(&str, u64)],
+) -> String {
+    // Hand-rolled JSON (the workspace vendors no serializer).
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{ \"mode\": \"open-loop\", \"m\": {m}, \"n\": {n}, \
+         \"clients\": {clients}, \"offered_per_second\": {rate:.1}, \
+         \"workers\": {}, \"queue_depth\": {}, \"batch\": {}, \"seconds\": {:.3} }},",
+        config.workers,
+        config.queue_depth,
+        config.batch,
+        elapsed.as_secs_f64()
+    );
+    let throughput = tally.sent as f64 / elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        out,
+        "  \"requests\": {{ \"sent\": {}, \"complete\": {}, \"exhausted\": {}, \
+         \"overloaded\": {}, \"errors\": {}, \"late\": {}, \"per_second\": {throughput:.1} }},",
+        tally.sent, tally.complete, tally.exhausted, tally.overloaded, tally.errors, tally.late
+    );
+    let _ = writeln!(
+        out,
+        "  \"latency_ms\": {{ \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3} }},",
+        quantile_ms(&tally.latency_ns, 0.50),
+        quantile_ms(&tally.latency_ns, 0.95),
+        quantile_ms(&tally.latency_ns, 0.99),
+        tally.latency_ns.mean().unwrap_or(0.0) / 1e6
+    );
+    out.push_str("  \"server\": {");
+    for (i, (name, value)) in server_counters.iter().enumerate() {
+        let _ = write!(out, "{}\"{name}\": {value}", if i > 0 { ", " } else { " " });
+    }
+    out.push_str(" }\n}\n");
+    out
+}
+
+fn run() -> Result<(), BenchError> {
+    let quick = rotind_bench::quick_mode();
+    let (m, n, clients, secs) = if quick {
+        (200, 64, 2, 1.0)
+    } else {
+        (2000, 251, 4, 10.0)
+    };
+    let config = ServeConfig::from_env();
+
+    let pool = shapes::projectile_points(m + clients * 4, n, 1906).items;
+    let db = pool[..m].to_vec();
+    let queries = pool[m..].to_vec();
+    let snapshot = IndexSnapshot::new(db)?;
+    let mut server =
+        Server::start(snapshot, config.clone()).map_err(|e| BenchError::io("<server>", e))?;
+    let addr = server.addr();
+
+    // Warm the worker caches and pick the offered rate: pinned by
+    // ROTIND_SERVE_RATE, otherwise ~50% of this host's probed capacity.
+    let calibrated = calibrate_rate(addr, &queries, config.workers)
+        .map_err(|e| BenchError::io("<client>", e))?;
+    let rate = if std::env::var_os("ROTIND_SERVE_RATE").is_some() {
+        env_positive_usize("ROTIND_SERVE_RATE", calibrated.ceil() as usize) as f64
+    } else {
+        calibrated
+    };
+    println!(
+        "serve_load: m = {m} projectile points (n = {n}), open-loop {rate:.0} req/s over \
+         {clients} clients, {secs} s, {} workers / queue {} / batch {}",
+        config.workers, config.queue_depth, config.batch
+    );
+
+    let window = Duration::from_secs_f64(secs);
+    let start = Instant::now();
+    let mut tally = Tally::default();
+    std::thread::scope(|scope| -> Result<(), BenchError> {
+        let handles: Vec<_> = (0..clients)
+            .map(|lane| {
+                let queries = &queries;
+                scope.spawn(move || drive(addr, queries, lane, clients, rate, start, window))
+            })
+            .collect();
+        for handle in handles {
+            let part = handle
+                .join()
+                .map_err(|_| BenchError::Engine("load client panicked".into()))?
+                .map_err(|e| BenchError::io("<client>", e))?;
+            tally.merge(&part);
+        }
+        Ok(())
+    })?;
+    let elapsed = start.elapsed();
+
+    let registry = server.metrics();
+    let counters = [
+        "rotind_serve_requests_total",
+        "rotind_serve_enqueued_total",
+        "rotind_serve_dequeued_total",
+        "rotind_serve_overload_total",
+        "rotind_serve_exhausted_total",
+        "rotind_serve_errors_total",
+        "rotind_serve_connections_total",
+    ];
+    let server_counters: Vec<(&str, u64)> = counters
+        .iter()
+        .map(|&name| (name, registry.counter(name)))
+        .collect();
+    server.shutdown();
+
+    if tally.sent == 0 {
+        return Err(BenchError::Data(
+            "no requests completed within the measurement window".into(),
+        ));
+    }
+    println!(
+        "  {} requests in {:.2} s  ({:.0} req/s offered {rate:.0})  \
+         p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        tally.sent,
+        elapsed.as_secs_f64(),
+        tally.sent as f64 / elapsed.as_secs_f64().max(1e-9),
+        quantile_ms(&tally.latency_ns, 0.50),
+        quantile_ms(&tally.latency_ns, 0.95),
+        quantile_ms(&tally.latency_ns, 0.99),
+    );
+    println!(
+        "  complete {}  exhausted {}  overloaded {}  errors {}  late {}",
+        tally.complete, tally.exhausted, tally.overloaded, tally.errors, tally.late
+    );
+    for (name, value) in &server_counters {
+        println!("  {name} = {value}");
+    }
+
+    let json = write_json(
+        &tally,
+        elapsed,
+        clients,
+        rate,
+        &config,
+        m,
+        n,
+        &server_counters,
+    );
+    let dir = rotind_bench::results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| BenchError::io(&dir, e))?;
+    let path = dir.join("bench_serve.json");
+    std::fs::write(&path, &json).map_err(|e| BenchError::io(&path, e))?;
+    println!("[saved {}]", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    rotind_bench::error::exit(run())
+}

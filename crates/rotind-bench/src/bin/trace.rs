@@ -21,14 +21,16 @@
 //! [`QueryTrace`]: rotind_obs::QueryTrace
 //! [`Profiler`]: rotind_obs::Profiler
 
+use rotind_bench::BenchError;
 use rotind_eval::report::{fmt_ratio, Table};
 use rotind_eval::speedup::wedge_startup_steps;
 use rotind_index::engine::{Invariance, RotationQuery};
 use rotind_obs::{global_span_report, MetricsRegistry, Profiler, QueryTrace, Span};
 use rotind_shape::dataset as shapes;
 use rotind_ts::StepCounter;
+use std::process::ExitCode;
 
-fn main() {
+fn run() -> Result<(), BenchError> {
     let quick = rotind_bench::quick_mode();
     let (m, n, queries) = if quick { (200, 64, 3) } else { (2000, 251, 10) };
     println!("tracing {queries} wedge queries over m = {m} projectile points (n = {n})");
@@ -41,10 +43,8 @@ fn main() {
     for query in &pool[m..] {
         let mut counter = StepCounter::new();
         let span = Span::enter_with("trace.query", &counter);
-        let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
-        engine
-            .nearest_observed(db, &mut counter, &mut trace)
-            .expect("valid database");
+        let engine = RotationQuery::new(query, Invariance::Rotation)?;
+        engine.nearest_observed(db, &mut counter, &mut trace)?;
         counter.add(wedge_startup_steps(n, engine.tree().max_k()));
         span.finish(&counter);
         total_steps += counter.steps();
@@ -132,10 +132,8 @@ fn main() {
     let mut profiled_steps = 0u64;
     for query in &pool[m..] {
         let mut counter = StepCounter::new();
-        let engine = RotationQuery::new(query, Invariance::Rotation).expect("valid query");
-        engine
-            .nearest_observed(db, &mut counter, &mut profiler)
-            .expect("valid database");
+        let engine = RotationQuery::new(query, Invariance::Rotation)?;
+        engine.nearest_observed(db, &mut counter, &mut profiler)?;
         counter.add(wedge_startup_steps(n, engine.tree().max_k()));
         profiled_steps += counter.steps();
     }
@@ -173,4 +171,9 @@ fn main() {
     }
 
     rotind_bench::emit("trace", &table);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    rotind_bench::error::exit(run())
 }

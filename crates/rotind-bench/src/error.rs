@@ -1,0 +1,167 @@
+//! Typed errors and exit codes for the bench binaries.
+//!
+//! The reproduction and diagnostic binaries used to `unwrap()` their
+//! way through engine construction and file I/O, which turns a missing
+//! directory or a bad flag into a panic backtrace and a blanket exit
+//! code 101. Each failure class now has a [`BenchError`] variant with
+//! its own process exit code, so CI and scripts can tell *what* failed
+//! without parsing stderr:
+//!
+//! | code | variant | meaning |
+//! |------|---------|---------|
+//! | 2 | [`BenchError::Usage`] | bad command-line arguments |
+//! | 3 | [`BenchError::Io`] | a file read/write failed |
+//! | 4 | [`BenchError::Json`] | a results/baseline file failed to parse |
+//! | 5 | [`BenchError::Data`] | a dataset was empty or malformed |
+//! | 6 | [`BenchError::Engine`] | the engine rejected a query or database |
+//!
+//! The `regress` gate additionally keeps its documented `0` (pass) /
+//! `1` (regression) contract; only its *infrastructure* failures use
+//! these codes.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// A failure in a bench binary, mapped to a stable exit code.
+#[derive(Debug)]
+pub enum BenchError {
+    /// Bad command-line arguments (exit 2).
+    Usage(String),
+    /// File I/O failed (exit 3).
+    Io {
+        /// The path being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A JSON artefact failed to parse (exit 4).
+    Json {
+        /// The file being parsed.
+        path: PathBuf,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A dataset was unusable (exit 5).
+    Data(String),
+    /// The engine rejected a query or database (exit 6).
+    Engine(String),
+}
+
+impl BenchError {
+    /// Convenience constructor for [`BenchError::Io`].
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        BenchError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`BenchError::Json`].
+    pub fn json(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        BenchError::Json {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            BenchError::Usage(_) => 2,
+            BenchError::Io { .. } => 3,
+            BenchError::Json { .. } => 4,
+            BenchError::Data(_) => 5,
+            BenchError::Engine(_) => 6,
+        }
+    }
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Usage(msg) => write!(f, "usage: {msg}"),
+            BenchError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            BenchError::Json { path, message } => write!(f, "{}: {message}", path.display()),
+            BenchError::Data(msg) => write!(f, "dataset: {msg}"),
+            BenchError::Engine(msg) => write!(f, "engine: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<rotind_ts::TsError> for BenchError {
+    fn from(e: rotind_ts::TsError) -> Self {
+        BenchError::Engine(e.to_string())
+    }
+}
+
+impl From<rotind_index::SearchError> for BenchError {
+    fn from(e: rotind_index::SearchError) -> Self {
+        BenchError::Engine(e.to_string())
+    }
+}
+
+/// Turn a fallible bin body into the process exit status: errors print
+/// one line to stderr and exit with their class code.
+pub fn exit(result: Result<(), BenchError>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // Binaries report failures on stderr by design.
+            // rotind-lint: allow(no-print)
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_stable() {
+        let errors = [
+            BenchError::Usage("x".into()),
+            BenchError::io(
+                "a.json",
+                std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            ),
+            BenchError::json("a.json", "bad"),
+            BenchError::Data("empty".into()),
+            BenchError::Engine("k = 0".into()),
+        ];
+        let codes: Vec<u8> = errors.iter().map(BenchError::exit_code).collect();
+        assert_eq!(codes, vec![2, 3, 4, 5, 6]);
+        let mut unique = codes.clone();
+        unique.dedup();
+        assert_eq!(unique, codes, "exit codes must be distinct");
+    }
+
+    #[test]
+    fn display_names_the_path() {
+        let e = BenchError::io(
+            "results/x.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("results/x.json"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn engine_errors_convert() {
+        let ts: BenchError = rotind_ts::TsError::Empty.into();
+        assert_eq!(ts.exit_code(), 6);
+        let search: BenchError = rotind_index::SearchError::EmptyDatabase.into();
+        assert_eq!(search.exit_code(), 6);
+    }
+}

@@ -16,8 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiments;
 pub mod regress;
+
+pub use error::BenchError;
 
 use std::path::PathBuf;
 

@@ -235,11 +235,32 @@ impl BoundCascade {
 /// actually reaches tier 2.
 pub(crate) struct CandidateCtx {
     paa: Option<Paa>,
+    /// True when the projection arrived pre-built from a cache (used
+    /// only for the cache's built/reused accounting).
+    seeded: bool,
 }
 
 impl CandidateCtx {
     pub(crate) fn new() -> Self {
-        CandidateCtx { paa: None }
+        CandidateCtx {
+            paa: None,
+            seeded: false,
+        }
+    }
+
+    /// A context pre-seeded with an already-built projection (or
+    /// explicitly empty) — how [`BatchPaaCache`] hands a candidate its
+    /// cached state.
+    pub(crate) fn with(paa: Option<Paa>) -> Self {
+        let seeded = paa.is_some();
+        CandidateCtx { paa, seeded }
+    }
+
+    /// Surrender the (possibly still unbuilt) projection, so a cache
+    /// can keep it for the next query over the same candidate. The
+    /// flag reports whether the context was seeded at construction.
+    pub(crate) fn into_paa(self) -> (Option<Paa>, bool) {
+        (self.paa, self.seeded)
     }
 
     /// The candidate's PAA projection, built on first use.
@@ -256,6 +277,92 @@ impl CandidateCtx {
         }
         // rotind-lint: allow(no-panic)
         self.paa.as_ref().expect("projection was just built")
+    }
+}
+
+/// A per-database cache of candidate PAA projections, shared across the
+/// queries of a batch (or the lifetime of a serve worker).
+///
+/// Tier 2 charges a lazy `O(n)` projection per candidate per query —
+/// but `Paa::of(candidate, dims)` is *query-independent*, so a server
+/// answering many queries over one immutable snapshot recomputes the
+/// identical projection over and over. This cache moves each
+/// candidate's slot into the scan (via [`CandidateCtx`]) and takes it
+/// back afterwards, so the projection is built (and charged) at most
+/// once per cache instead of once per query. Search results are
+/// unchanged — the cached value is bit-identical to a fresh build —
+/// only later queries' step counts drop by the amortized projections.
+///
+/// The cache is single-threaded by design (`&mut` access, no locks):
+/// a serve worker owns one and reuses it across its whole job stream.
+#[derive(Debug, Clone)]
+pub struct BatchPaaCache {
+    dims: usize,
+    slots: Vec<Option<Paa>>,
+    reused: u64,
+    built: u64,
+}
+
+impl BatchPaaCache {
+    /// An empty cache for a database of `db_len` items, projecting at
+    /// `dims` segments (must match the engine's
+    /// [`CascadeConfig::dims`]; the cached entry points reject a
+    /// mismatch).
+    pub fn new(db_len: usize, dims: usize) -> Self {
+        BatchPaaCache {
+            dims,
+            slots: vec![None; db_len],
+            reused: 0,
+            built: 0,
+        }
+    }
+
+    /// The reduced-space dimensionality this cache projects at.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of database slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the cache covers no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// How many scans found their candidate's projection already built.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// How many projections have been built into the cache.
+    pub fn built(&self) -> u64 {
+        self.built
+    }
+
+    /// Move candidate `index`'s slot into a scan context. Out-of-range
+    /// indices get an empty context (the scan then behaves exactly as
+    /// uncached).
+    pub(crate) fn take(&mut self, index: usize) -> CandidateCtx {
+        let slot = self.slots.get_mut(index).and_then(Option::take);
+        if slot.is_some() {
+            self.reused = self.reused.saturating_add(1);
+        }
+        CandidateCtx::with(slot)
+    }
+
+    /// Return candidate `index`'s (possibly now-built) state to the
+    /// cache after a scan.
+    pub(crate) fn put(&mut self, index: usize, ctx: CandidateCtx) {
+        if let Some(slot) = self.slots.get_mut(index) {
+            let (paa, seeded) = ctx.into_paa();
+            if !seeded && paa.is_some() {
+                self.built = self.built.saturating_add(1);
+            }
+            *slot = paa;
+        }
     }
 }
 
@@ -297,6 +404,35 @@ mod tests {
         let without = BoundCascade::build(&tree, CascadeConfig::legacy());
         assert!(without.paa_envelope(0).is_none());
         assert!(BoundCascade::legacy().paa_envelope(0).is_none());
+    }
+
+    #[test]
+    fn batch_cache_amortizes_projection_across_queries() {
+        let series: Vec<f64> = (0..32).map(|i| (i as f64 * 0.2).cos()).collect();
+        let mut cache = BatchPaaCache::new(4, DEFAULT_DIMS);
+        // Query 1 over candidate 2: builds and charges the projection.
+        let mut ctx = cache.take(2);
+        let mut counter = StepCounter::new();
+        let first = ctx.paa(&series, DEFAULT_DIMS, &mut counter).clone();
+        cache.put(2, ctx);
+        assert_eq!(counter.steps(), 32);
+        assert_eq!((cache.built(), cache.reused()), (1, 0));
+        // Query 2 over the same candidate: free and bit-identical.
+        let mut ctx = cache.take(2);
+        let mut counter = StepCounter::new();
+        let second = ctx.paa(&series, DEFAULT_DIMS, &mut counter).clone();
+        cache.put(2, ctx);
+        assert_eq!(counter.steps(), 0, "cached projection charges nothing");
+        assert_eq!(first, second);
+        assert_eq!((cache.built(), cache.reused()), (1, 1));
+        // A scan that never reaches tier 2 stores nothing.
+        let ctx = cache.take(3);
+        cache.put(3, ctx);
+        assert_eq!(cache.built(), 1);
+        // Out-of-range indices degrade to an uncached scan.
+        let ctx = cache.take(99);
+        cache.put(99, ctx);
+        assert_eq!((cache.len(), cache.dims()), (4, DEFAULT_DIMS));
     }
 
     #[test]

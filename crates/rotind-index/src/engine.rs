@@ -8,9 +8,9 @@
 //! return precisely the answers of the brute-force Table 3 scan, verified
 //! by the property tests in `tests/`.
 
-use crate::cascade::{BoundCascade, CascadeConfig};
+use crate::cascade::{BatchPaaCache, BoundCascade, CandidateCtx, CascadeConfig};
 use crate::error::SearchError;
-use crate::hmerge::{h_merge_cascade_budgeted, h_merge_from_root, HMergeOutcome};
+use crate::hmerge::{h_merge_cascade_budgeted_ctx, h_merge_from_root, HMergeOutcome};
 use crate::planner::KPlanner;
 use rotind_distance::measure::Measure;
 use rotind_envelope::WedgeTree;
@@ -298,6 +298,37 @@ impl RotationQuery {
         observer: &mut O,
         budget: &mut B,
     ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
+        self.k_nearest_budgeted_src(database, k, counter, observer, budget, &mut FreshPaa)
+    }
+
+    /// [`k_nearest_budgeted`](Self::k_nearest_budgeted) sharing a
+    /// [`BatchPaaCache`] of candidate PAA projections across queries.
+    /// Results are bit-identical to the uncached scan (the projection
+    /// is query-independent); only the step counts of queries after
+    /// the first drop, by the amortized `O(n)` projections. The cache
+    /// must have been built at this engine's cascade `dims`.
+    pub fn k_nearest_budgeted_cached<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        k: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+        cache: &mut BatchPaaCache,
+    ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
+        self.check_cache(cache)?;
+        self.k_nearest_budgeted_src(database, k, counter, observer, budget, &mut &mut *cache)
+    }
+
+    fn k_nearest_budgeted_src<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        k: usize,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+        paa_src: &mut impl PaaSource,
+    ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
         if k == 0 {
             return Err(SearchError::invalid_param("k", "must be >= 1"));
         }
@@ -328,9 +359,18 @@ impl RotationQuery {
             } else {
                 f64::INFINITY
             };
-            if let Some(outcome) =
-                scan.compare_budgeted(item, bsf, self.measure, counter, observer, budget)
-            {
+            let mut ctx = paa_src.take(index);
+            let compared = scan.compare_budgeted_ctx(
+                item,
+                bsf,
+                self.measure,
+                counter,
+                observer,
+                budget,
+                &mut ctx,
+            );
+            paa_src.put(index, ctx);
+            if let Some(outcome) = compared {
                 // H-Merge admits inclusively, so with a full heap an item
                 // at exactly the k-th distance comes back `Some`; it
                 // cannot displace the (lower-index) incumbent, so skip it
@@ -395,6 +435,41 @@ impl RotationQuery {
         observer: &mut O,
         budget: &mut B,
     ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
+        self.range_budgeted_src(database, radius, counter, observer, budget, &mut FreshPaa)
+    }
+
+    /// [`range_budgeted`](Self::range_budgeted) sharing a
+    /// [`BatchPaaCache`] across queries (see
+    /// [`k_nearest_budgeted_cached`](Self::k_nearest_budgeted_cached)).
+    pub fn range_budgeted_cached<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+        cache: &mut BatchPaaCache,
+    ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
+        self.check_cache(cache)?;
+        self.range_budgeted_src(
+            database,
+            radius,
+            counter,
+            observer,
+            budget,
+            &mut &mut *cache,
+        )
+    }
+
+    fn range_budgeted_src<O: SearchObserver, B: BudgetHook>(
+        &self,
+        database: &[Vec<f64>],
+        radius: f64,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+        paa_src: &mut impl PaaSource,
+    ) -> Result<BudgetOutcome<Vec<Neighbor>>, SearchError> {
         if !radius.is_finite() || radius < 0.0 {
             return Err(SearchError::invalid_param(
                 "radius",
@@ -417,9 +492,18 @@ impl RotationQuery {
             }
             // H-Merge admits inclusively (`d == radius` matches), so the
             // radius is passed straight through — no epsilon padding.
-            if let Some(outcome) =
-                scan.compare_budgeted(item, radius, self.measure, counter, observer, budget)
-            {
+            let mut ctx = paa_src.take(index);
+            let compared = scan.compare_budgeted_ctx(
+                item,
+                radius,
+                self.measure,
+                counter,
+                observer,
+                budget,
+                &mut ctx,
+            );
+            paa_src.put(index, ctx);
+            if let Some(outcome) = compared {
                 out.push(Neighbor {
                     index,
                     distance: outcome.distance,
@@ -436,6 +520,20 @@ impl RotationQuery {
             }),
             None => BudgetOutcome::Complete(out),
         })
+    }
+
+    fn check_cache(&self, cache: &BatchPaaCache) -> Result<(), SearchError> {
+        let dims = self.cascade.config().dims;
+        if cache.dims() != dims {
+            return Err(SearchError::invalid_param(
+                "cache",
+                format!(
+                    "BatchPaaCache built at dims {} but this engine projects at dims {dims}",
+                    cache.dims()
+                ),
+            ));
+        }
+        Ok(())
     }
 
     pub(crate) fn check_len(&self, index: usize, item: &[f64]) -> Result<(), SearchError> {
@@ -455,6 +553,39 @@ impl RotationQuery {
             self.check_len(i, item)?;
         }
         Ok(())
+    }
+}
+
+/// Where the scan loop gets each candidate's [`CandidateCtx`]: a fresh
+/// (empty) context per item for plain scans, or a [`BatchPaaCache`]
+/// slot for the cached entry points. Private — the public surface is
+/// the `*_cached` methods.
+trait PaaSource {
+    /// The context for candidate `index`.
+    fn take(&mut self, index: usize) -> CandidateCtx;
+    /// Return the context after the scan of candidate `index`.
+    fn put(&mut self, index: usize, ctx: CandidateCtx);
+}
+
+/// Fresh context per candidate: the uncached scan, bit-identical to
+/// the historical code path.
+struct FreshPaa;
+
+impl PaaSource for FreshPaa {
+    fn take(&mut self, _index: usize) -> CandidateCtx {
+        CandidateCtx::new()
+    }
+
+    fn put(&mut self, _index: usize, _ctx: CandidateCtx) {}
+}
+
+impl PaaSource for &mut BatchPaaCache {
+    fn take(&mut self, index: usize) -> CandidateCtx {
+        BatchPaaCache::take(self, index)
+    }
+
+    fn put(&mut self, index: usize, ctx: CandidateCtx) {
+        BatchPaaCache::put(self, index, ctx);
     }
 }
 
@@ -520,13 +651,31 @@ impl<'a> ScanState<'a> {
         observer: &mut O,
         budget: &mut B,
     ) -> Option<HMergeOutcome> {
+        let mut ctx = CandidateCtx::new();
+        self.compare_budgeted_ctx(item, bsf, measure, counter, observer, budget, &mut ctx)
+    }
+
+    /// [`compare_budgeted`](Self::compare_budgeted) with a caller-owned
+    /// candidate context, so batch scans can reuse a cached PAA
+    /// projection (see [`BatchPaaCache`]).
+    #[allow(clippy::too_many_arguments)] // mirrors compare_budgeted + the ctx
+    pub(crate) fn compare_budgeted_ctx<O: SearchObserver, B: BudgetHook>(
+        &mut self,
+        item: &[f64],
+        bsf: f64,
+        measure: Measure,
+        counter: &mut StepCounter,
+        observer: &mut O,
+        budget: &mut B,
+        ctx: &mut CandidateCtx,
+    ) -> Option<HMergeOutcome> {
         let k = match self.fixed_k {
             Some(k) => k,
             None => self.planner.next_k(),
         };
         let cut = self.cut(k).to_vec();
         let before = *counter;
-        let outcome = h_merge_cascade_budgeted(
+        let outcome = h_merge_cascade_budgeted_ctx(
             item,
             self.tree,
             self.cascade,
@@ -536,6 +685,7 @@ impl<'a> ScanState<'a> {
             counter,
             observer,
             budget,
+            ctx,
         );
         if self.fixed_k.is_none() {
             self.planner

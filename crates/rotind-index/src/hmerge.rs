@@ -390,13 +390,38 @@ pub fn h_merge_cascade_budgeted<O: SearchObserver, B: BudgetHook>(
     observer: &mut O,
     budget: &mut B,
 ) -> Option<HMergeOutcome> {
+    let mut ctx = CandidateCtx::new();
+    h_merge_cascade_budgeted_ctx(
+        candidate, tree, cascade, cut, r, measure, counter, observer, budget, &mut ctx,
+    )
+}
+
+/// [`h_merge_cascade_budgeted`] with a caller-owned [`CandidateCtx`]:
+/// the batch entry points pass a context taken from a
+/// [`crate::cascade::BatchPaaCache`], so a candidate's tier-2 PAA
+/// projection built by one query is reused (uncharged) by the next.
+/// The projection is query-independent, so the cached walk is
+/// result-identical to a fresh one — only the step accounting of
+/// later queries shrinks.
+#[allow(clippy::too_many_arguments)] // mirrors h_merge_cascade_budgeted + the ctx
+pub(crate) fn h_merge_cascade_budgeted_ctx<O: SearchObserver, B: BudgetHook>(
+    candidate: &[f64],
+    tree: &WedgeTree,
+    cascade: &BoundCascade,
+    cut: &[usize],
+    r: f64,
+    measure: Measure,
+    counter: &mut StepCounter,
+    observer: &mut O,
+    budget: &mut B,
+    ctx: &mut CandidateCtx,
+) -> Option<HMergeOutcome> {
     assert_eq!(
         candidate.len(),
         tree.matrix().series_len(),
         "h_merge: candidate length mismatch"
     );
     observer.on_phase_start(ProfilePhase::WedgeMerge, counter.steps());
-    let mut ctx = CandidateCtx::new();
     let mut best: Option<HMergeOutcome> = None;
     let mut best_so_far = r;
     let mut stack: Vec<(usize, usize)> = cut.iter().map(|&node| (node, 0)).collect();
@@ -424,7 +449,7 @@ pub fn h_merge_cascade_budgeted<O: SearchObserver, B: BudgetHook>(
                 candidate,
                 tree,
                 cascade,
-                &mut ctx,
+                ctx,
                 node,
                 level,
                 best_so_far,

@@ -23,6 +23,9 @@
 //!   (DESIGN.md §10), plus a batch-of-queries entry point;
 //! * [`radius`] — the CAS-min shared best-so-far those scans use,
 //!   model-checked under loom (`--features loom-tests`, DESIGN.md §14);
+//! * [`snapshot`] — the immutable, `Arc`-shared database handle a
+//!   long-lived query service owns, with a batch-level cache of
+//!   candidate PAA projections (DESIGN.md §15);
 //! * [`baselines`] — the rival methods of Figures 19–23: brute force,
 //!   early abandon, the FFT magnitude filter and the convolution trick;
 //! * [`reduced`] — reduced representations for disk-based indexing:
@@ -52,10 +55,12 @@ pub mod parallel;
 pub mod planner;
 pub mod radius;
 pub mod reduced;
+pub mod snapshot;
 pub mod stream;
 pub mod vptree;
 
-pub use cascade::{BoundCascade, CascadeConfig};
+pub use cascade::{BatchPaaCache, BoundCascade, CascadeConfig};
 pub use engine::{Invariance, Neighbor, RotationQuery};
 pub use error::SearchError;
 pub use parallel::{default_threads, nearest_batch, ParallelReport};
+pub use snapshot::{IndexSnapshot, QueryKind, QuerySpec};

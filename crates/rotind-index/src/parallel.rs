@@ -49,15 +49,12 @@ use std::thread;
 /// Worker-thread count used when a caller passes `threads == 0`: the
 /// `ROTIND_THREADS` environment variable when set to a positive
 /// integer, otherwise [`std::thread::available_parallelism`], otherwise
-/// one.
+/// one. A set-but-invalid value falls back with a one-line stderr
+/// warning (see [`rotind_obs::envcfg`]) instead of silently running a
+/// different thread count than the operator asked for.
 pub fn default_threads() -> usize {
-    match std::env::var("ROTIND_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(t) if t >= 1 => t,
-        _ => thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    let auto = thread::available_parallelism().map_or(1, |n| n.get());
+    rotind_obs::env_positive_usize("ROTIND_THREADS", auto)
 }
 
 /// Per-thread accounting from one parallel scan.

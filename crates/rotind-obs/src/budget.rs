@@ -16,6 +16,17 @@
 //! typed [`Exhausted`] partial result instead of an answer it might
 //! mistake for exact.
 //!
+//! Deadline checks are **amortized**: reading the monotonic clock is a
+//! vDSO call, and paying it at every dismissal boundary puts a syscall
+//! in the scan hot path. The clock is consulted on the *first* check
+//! (so an already-expired deadline trips before any work is admitted)
+//! and thereafter only every [`DEADLINE_POLL_STEPS`] steps — a window
+//! of work far under a millisecond, so trip latency stays bounded
+//! while the common (non-tripping) check is pure integer arithmetic.
+//! Deadlines can also race a [`ManualClock`] instead of the wall
+//! clock, which makes `Deadline` trips deterministic in tests and lets
+//! the serve crate's tests pin trip points exactly.
+//!
 //! [`SharedBudget`] extends the same semantics across the parallel
 //! scan: workers charge their local step deltas into one atomic pool,
 //! and any worker tripping it stops all of them at their next check.
@@ -29,7 +40,23 @@
 use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 #[cfg(not(feature = "loom-tests"))]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Steps between deadline clock reads once the first check has passed.
+///
+/// A step is roughly one pointwise distance operation (a few
+/// nanoseconds), so 4096 steps is tens of microseconds of work — trip
+/// latency stays three orders of magnitude under a millisecond while
+/// the clock read is amortized over thousands of checks.
+pub const DEADLINE_POLL_STEPS: u64 = 4096;
+
+/// Force a clock read at least every this many checks even when the
+/// step counter is not advancing. Purely a stall backstop: the engine
+/// charges at least one step per dismissal boundary, so the step
+/// window normally fires first — but a hook driven by a stalled
+/// counter must still converge on its deadline.
+const DEADLINE_POLL_CHECKS: u32 = 4096;
 
 /// Why a budget tripped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,14 +157,179 @@ impl BudgetHook for NoBudget {
     }
 }
 
+/// A hand-advanced nanosecond clock for deterministic deadline trips.
+///
+/// Wall-clock deadlines are inherently racy to test: whether
+/// [`BudgetOutcome::Exhausted`] carries `reason: Deadline` depends on
+/// scheduler timing. Injecting a `ManualClock` into
+/// [`QueryBudget::with_clock`] makes the trip point a pure function of
+/// when the test advances the clock. Clones share the same underlying
+/// time, so a test can hold one handle while a budget owns another.
+///
+/// The clock also counts how often it was read, so tests can assert
+/// the amortized polling really skips clock reads between
+/// [`DEADLINE_POLL_STEPS`] windows.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    inner: Arc<ManualClockInner>,
+}
+
+// The clock deliberately uses std atomics even under `loom-tests`: it
+// is test infrastructure, not part of the shared-budget protocol that
+// loom models, and loom permits unmodeled std atomics alongside its
+// own types.
+#[derive(Debug, Default)]
+struct ManualClockInner {
+    now_ns: std::sync::atomic::AtomicU64,
+    clock_reads: std::sync::atomic::AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the clock forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let ns = duration_ns(d);
+        // Saturating CAS add: a wrapped clock would un-trip deadlines.
+        let mut current = self.inner.now_ns.load(std::sync::atomic::Ordering::Acquire);
+        loop {
+            let next = current.saturating_add(ns);
+            match self.inner.now_ns.compare_exchange_weak(
+                current,
+                next,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current time as a duration since the clock's epoch.
+    pub fn now(&self) -> Duration {
+        Duration::from_nanos(self.inner.now_ns.load(std::sync::atomic::Ordering::Acquire))
+    }
+
+    /// Current time in nanoseconds, counted as a read.
+    fn read_ns(&self) -> u64 {
+        // A plain wrapping add is fine for the read tally: it is test
+        // telemetry about *how often* the clock was consulted, never
+        // fed back into deadline math.
+        self.inner
+            .clock_reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.now_ns.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// How many times a deadline check has read this clock.
+    pub fn reads(&self) -> u64 {
+        self.inner
+            .clock_reads
+            .load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// Convert a duration to nanoseconds, saturating at `u64::MAX`
+/// (~584 years — effectively "no deadline").
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An absolute deadline against either the wall clock or a
+/// [`ManualClock`].
+#[derive(Debug, Clone)]
+enum Deadline {
+    /// Real monotonic time.
+    Wall(Instant),
+    /// Deterministic test/serve time.
+    Manual {
+        /// The clock the deadline races.
+        clock: ManualClock,
+        /// Absolute trip point on that clock, in nanoseconds.
+        at_ns: u64,
+    },
+}
+
+impl Deadline {
+    /// A deadline `d` from now on the given clock (wall when `None`).
+    fn after(clock: Option<&ManualClock>, d: Duration) -> Self {
+        match clock {
+            None => Deadline::Wall(Instant::now() + d),
+            Some(c) => Deadline::Manual {
+                clock: c.clone(),
+                at_ns: c
+                    .inner
+                    .now_ns
+                    .load(std::sync::atomic::Ordering::Acquire)
+                    .saturating_add(duration_ns(d)),
+            },
+        }
+    }
+
+    /// Has the deadline passed? This is the (amortized) clock read.
+    fn passed(&self) -> bool {
+        match self {
+            Deadline::Wall(at) => Instant::now() >= *at,
+            Deadline::Manual { clock, at_ns } => clock.read_ns() >= *at_ns,
+        }
+    }
+
+    /// The wall-clock trip point, when this is a wall deadline.
+    fn wall_instant(&self) -> Option<Instant> {
+        match self {
+            Deadline::Wall(at) => Some(*at),
+            Deadline::Manual { .. } => None,
+        }
+    }
+}
+
+/// Amortization state for deadline polling: the clock is consulted
+/// when `steps_now` reaches `next_steps` (zero initially, so the first
+/// check always polls) or after [`DEADLINE_POLL_CHECKS`] checks
+/// without a poll, whichever comes first.
+#[derive(Debug, Clone, Copy)]
+struct PollState {
+    /// Step total at which the next clock read is due.
+    next_steps: u64,
+    /// Checks since the last clock read.
+    checks_since_poll: u32,
+}
+
+impl PollState {
+    /// Fresh state whose first `due` is always true.
+    fn new() -> Self {
+        PollState {
+            next_steps: 0,
+            checks_since_poll: 0,
+        }
+    }
+
+    /// True when the deadline should be consulted at this check.
+    fn due(&mut self, steps_now: u64) -> bool {
+        self.checks_since_poll = self.checks_since_poll.saturating_add(1);
+        if steps_now >= self.next_steps || self.checks_since_poll >= DEADLINE_POLL_CHECKS {
+            self.next_steps = steps_now.saturating_add(DEADLINE_POLL_STEPS);
+            self.checks_since_poll = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// A per-query budget: a cap on `num_steps`, a wall-clock deadline, or
 /// both. Step caps are deterministic and machine-independent (they
 /// count the paper's Section 5.3 metric); deadlines are for serving.
 #[derive(Debug, Clone)]
 pub struct QueryBudget {
     max_steps: Option<u64>,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
     tripped: Option<BudgetReason>,
+    poll: PollState,
 }
 
 impl QueryBudget {
@@ -146,8 +338,25 @@ impl QueryBudget {
     pub fn new(max_steps: Option<u64>, max_wall: Option<Duration>) -> Self {
         QueryBudget {
             max_steps,
-            deadline: max_wall.map(|d| Instant::now() + d),
+            deadline: max_wall.map(|d| Deadline::after(None, d)),
             tripped: None,
+            poll: PollState::new(),
+        }
+    }
+
+    /// Like [`new`](Self::new), but the deadline races `clock` instead
+    /// of the wall clock — deterministic `Deadline` trips for tests
+    /// and the serve crate's shutdown paths.
+    pub fn with_clock(
+        max_steps: Option<u64>,
+        max_wall: Option<Duration>,
+        clock: &ManualClock,
+    ) -> Self {
+        QueryBudget {
+            max_steps,
+            deadline: max_wall.map(|d| Deadline::after(Some(clock), d)),
+            tripped: None,
+            poll: PollState::new(),
         }
     }
 
@@ -166,9 +375,10 @@ impl QueryBudget {
         self.max_steps
     }
 
-    /// The absolute deadline, when any.
+    /// The absolute wall-clock deadline, when any (`None` for budgets
+    /// racing a [`ManualClock`]).
     pub fn deadline_instant(&self) -> Option<Instant> {
-        self.deadline
+        self.deadline.as_ref().and_then(Deadline::wall_instant)
     }
 }
 
@@ -184,8 +394,8 @@ impl BudgetHook for QueryBudget {
                 return false;
             }
         }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+        if let Some(deadline) = &self.deadline {
+            if self.poll.due(steps_now) && deadline.passed() {
                 self.tripped = Some(BudgetReason::Deadline);
                 return false;
             }
@@ -207,11 +417,13 @@ impl BudgetHook for QueryBudget {
 /// every other worker's next check fail. The charge uses a
 /// compare-exchange saturating add — the pool total must never wrap,
 /// for the same reason [`StepCounter`](rotind_ts::StepCounter)
-/// saturates.
+/// saturates. Deadline polling is amortized *per worker* (each hook
+/// carries its own poll state), so the pool itself never reads the
+/// clock.
 #[derive(Debug)]
 pub struct SharedBudget {
     max_steps: Option<u64>,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
     spent_pool: AtomicU64,
     tripped_steps: AtomicBool,
     tripped_deadline: AtomicBool,
@@ -224,7 +436,7 @@ impl SharedBudget {
     pub fn from_budget(budget: &QueryBudget) -> Self {
         SharedBudget {
             max_steps: budget.max_steps,
-            deadline: budget.deadline,
+            deadline: budget.deadline.clone(),
             spent_pool: AtomicU64::new(0),
             tripped_steps: AtomicBool::new(false),
             tripped_deadline: AtomicBool::new(false),
@@ -236,6 +448,7 @@ impl SharedBudget {
         SharedBudgetHook {
             shared: self,
             reported: 0,
+            poll: PollState::new(),
         }
     }
 
@@ -284,6 +497,8 @@ pub struct SharedBudgetHook<'a> {
     shared: &'a SharedBudget,
     /// The worker-local step total already charged into the pool.
     reported: u64,
+    /// Per-worker deadline polling amortization.
+    poll: PollState,
 }
 
 impl BudgetHook for SharedBudgetHook<'_> {
@@ -306,8 +521,8 @@ impl BudgetHook for SharedBudgetHook<'_> {
                 return false;
             }
         }
-        if let Some(deadline) = self.shared.deadline {
-            if Instant::now() >= deadline {
+        if let Some(deadline) = &self.shared.deadline {
+            if self.poll.due(steps_now) && deadline.passed() {
                 self.shared.tripped_deadline.store(true, Ordering::Release);
                 return false;
             }
@@ -360,7 +575,7 @@ mod tests {
         assert!(b.check(1_000_000), "an hour out, nowhere near tripping");
         let mut expired = QueryBudget::deadline(Duration::ZERO);
         std::thread::sleep(Duration::from_millis(1));
-        assert!(!expired.check(0));
+        assert!(!expired.check(0), "first check always polls the clock");
         assert_eq!(expired.trip_reason(), Some(BudgetReason::Deadline));
     }
 
@@ -369,6 +584,72 @@ mod tests {
         let mut b = QueryBudget::new(None, None);
         assert!(b.check(u64::MAX));
         assert_eq!(b.trip_reason(), None);
+    }
+
+    #[test]
+    fn manual_clock_deadline_is_deterministic() {
+        let clock = ManualClock::new();
+        let mut b = QueryBudget::with_clock(None, Some(Duration::from_millis(5)), &clock);
+        assert!(b.check(0), "clock at 0, deadline at 5ms");
+        clock.advance(Duration::from_millis(4));
+        // Force a poll by jumping past the poll window.
+        assert!(b.check(DEADLINE_POLL_STEPS), "4ms < 5ms deadline");
+        clock.advance(Duration::from_millis(1));
+        assert!(!b.check(DEADLINE_POLL_STEPS * 2), "5ms >= 5ms trips");
+        assert_eq!(b.trip_reason(), Some(BudgetReason::Deadline));
+        clock.advance(Duration::from_secs(1));
+        assert!(!b.check(0), "deadline trips are sticky");
+    }
+
+    #[test]
+    fn deadline_polling_is_amortized() {
+        let clock = ManualClock::new();
+        let mut b = QueryBudget::with_clock(None, Some(Duration::from_secs(1)), &clock);
+        assert!(b.check(0), "first check polls");
+        let after_first = clock.reads();
+        assert_eq!(after_first, 1, "exactly one read on the first check");
+        // Checks inside the poll window must not read the clock.
+        for steps in 1..DEADLINE_POLL_STEPS {
+            assert!(b.check(steps));
+        }
+        assert_eq!(
+            clock.reads(),
+            after_first,
+            "no clock reads inside the {DEADLINE_POLL_STEPS}-step window"
+        );
+        assert!(b.check(DEADLINE_POLL_STEPS), "window boundary polls again");
+        assert_eq!(clock.reads(), after_first + 1);
+    }
+
+    #[test]
+    fn stalled_steps_still_poll_eventually() {
+        let clock = ManualClock::new();
+        let mut b = QueryBudget::with_clock(None, Some(Duration::ZERO), &clock);
+        clock.advance(Duration::from_nanos(1));
+        // Consume the first (always-polling) check before expiring:
+        // deadline was 0ns from a 0ns clock, so it is already past —
+        // the first check trips immediately.
+        assert!(!b.check(0), "expired manual deadline trips on first check");
+    }
+
+    #[test]
+    fn stalled_steps_poll_after_check_limit() {
+        let clock = ManualClock::new();
+        let mut b = QueryBudget::with_clock(None, Some(Duration::from_millis(1)), &clock);
+        assert!(b.check(10), "first check polls, deadline not yet passed");
+        clock.advance(Duration::from_millis(2));
+        // The step counter never advances past the poll window, but the
+        // check-count guard must force a poll within
+        // DEADLINE_POLL_CHECKS checks.
+        let mut tripped = false;
+        for _ in 0..(DEADLINE_POLL_CHECKS + 1) {
+            if !b.check(10) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "stalled counter still converges on its deadline");
+        assert_eq!(b.trip_reason(), Some(BudgetReason::Deadline));
     }
 
     #[test]
@@ -402,6 +683,26 @@ mod tests {
         let mut w2 = pool.hook();
         assert!(w2.check(10));
         assert_eq!(pool.spent(), u64::MAX, "pool saturates, never wraps");
+    }
+
+    #[test]
+    fn shared_manual_deadline_trips_all_workers() {
+        let clock = ManualClock::new();
+        let budget = QueryBudget::with_clock(None, Some(Duration::from_millis(1)), &clock);
+        let pool = SharedBudget::from_budget(&budget);
+        let mut w0 = pool.hook();
+        let mut w1 = pool.hook();
+        assert!(w0.check(5));
+        assert!(w1.check(5));
+        clock.advance(Duration::from_millis(2));
+        // The first check armed w0's poll window at 5 + POLL_STEPS, so
+        // jump past it to force the next clock read.
+        assert!(
+            !w0.check(DEADLINE_POLL_STEPS + 5),
+            "past-deadline poll trips"
+        );
+        assert!(!w1.check(6), "other workers see the trip without polling");
+        assert_eq!(pool.trip_reason(), Some(BudgetReason::Deadline));
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod envcfg;
 pub mod metrics;
 pub mod observer;
 pub mod profile;
@@ -45,9 +46,10 @@ pub mod span;
 pub mod trace;
 
 pub use budget::{
-    BudgetHook, BudgetOutcome, BudgetReason, Exhausted, NoBudget, QueryBudget, SharedBudget,
-    SharedBudgetHook,
+    BudgetHook, BudgetOutcome, BudgetReason, Exhausted, ManualClock, NoBudget, QueryBudget,
+    SharedBudget, SharedBudgetHook, DEADLINE_POLL_STEPS,
 };
+pub use envcfg::env_positive_usize;
 pub use metrics::{Histogram, LogHistogram, MetricsRegistry};
 pub use observer::{CascadeTier, ForkJoinObserver, NoopObserver, ProfilePhase, SearchObserver};
 pub use profile::{ProfileNode, ProfileTree, Profiler, TierCost};

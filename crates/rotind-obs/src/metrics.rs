@@ -257,12 +257,23 @@ impl LogHistogram {
     /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
     /// holding the rank-`⌈q·n⌉` sample, clamped to the exact observed
     /// `[min, max]`. Within 6.25% of the true sample value; exact for
-    /// samples below 16. `None` when empty.
+    /// samples below 16.
+    ///
+    /// Edge cases are fully defined: `None` when the histogram is
+    /// empty or `q` is NaN; `q <= 0.0` is the exact observed minimum;
+    /// `q >= 1.0` is the exact observed maximum. The result is
+    /// monotone non-decreasing in `q` (property-tested in
+    /// `tests/profiling.rs`).
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.total == 0 {
+        if self.total == 0 || q.is_nan() {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
@@ -656,6 +667,39 @@ mod tests {
             if v >= 16 {
                 assert!((high - v) as f64 <= v as f64 * 0.0625, "{v} -> {high}");
             }
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantile_edge_cases() {
+        let empty = LogHistogram::new();
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile(f64::NAN), None);
+        let mut h = LogHistogram::new();
+        for v in [100u64, 2_000, 30_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(f64::NAN), None, "NaN rank is meaningless");
+        assert_eq!(h.quantile(0.0), Some(100), "q <= 0 is the exact min");
+        assert_eq!(h.quantile(-3.0), Some(100));
+        assert_eq!(h.quantile(f64::NEG_INFINITY), Some(100));
+        assert_eq!(h.quantile(1.0), Some(30_000), "q >= 1 is the exact max");
+        assert_eq!(h.quantile(7.0), Some(30_000));
+        assert_eq!(h.quantile(f64::INFINITY), Some(30_000));
+    }
+
+    #[test]
+    fn log_histogram_quantile_monotone_in_q() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 7, 19, 400, 90_000, 90_000, 12] {
+            h.observe(v);
+        }
+        let mut prev = 0u64;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.quantile(q).unwrap();
+            assert!(v >= prev, "quantile({q}) = {v} < quantile(prev) = {prev}");
+            prev = v;
         }
     }
 

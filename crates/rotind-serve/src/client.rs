@@ -1,0 +1,61 @@
+//! A minimal blocking client for the binary protocol.
+//!
+//! One [`Client`] is one TCP connection with at most one request in
+//! flight — the protocol is strict request/response per frame. For
+//! concurrency, open more clients (the load generator in
+//! `rotind-bench` does exactly that, one per connection thread).
+
+use crate::wire::{self, QueryRequest, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking connection to a [`Server`](crate::server::Server).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request frame and block for its reply.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        wire::write_frame(&mut self.stream, &wire::encode_request(request))?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        Ok(wire::decode_response(&payload)?)
+    }
+
+    /// Run one query; any reply shape (complete, exhausted partial,
+    /// overloaded, error) comes back as the typed [`Response`].
+    pub fn query(&mut self, request: &QueryRequest) -> io::Result<Response> {
+        self.call(&Request::Query(request.clone()))
+    }
+
+    /// Liveness check: errors unless the server answers `Pong`.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the Prometheus metrics text over the binary protocol.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}

@@ -86,6 +86,38 @@ echo "==> cascade ablation smoke run"
 ROTIND_QUICK=1 ROTIND_RESULTS="$SMOKE" \
     cargo run -p rotind-bench --release --bin cascade >/dev/null
 
+echo "==> serve smoke lane (start server, open-loop load, schema check)"
+# The serve integration tests (bit-identical to the library path,
+# backpressure, budget partials) already ran in the workspace suite;
+# this lane exercises the real binary end to end: server start,
+# open-loop load, clean shutdown (nonzero exit on any failure), and a
+# schema-valid artifact.
+ROTIND_QUICK=1 ROTIND_RESULTS="$SMOKE" \
+    cargo run -p rotind-bench --release --bin serve_load >/dev/null
+python3 - "$SMOKE" <<'PY'
+import json, sys
+doc = json.load(open(f"{sys.argv[1]}/bench_serve.json"))
+workload = doc["workload"]
+assert workload["mode"] == "open-loop", workload
+for key in ("m", "n", "clients", "offered_per_second", "workers",
+            "queue_depth", "batch", "seconds"):
+    assert key in workload, f"workload missing {key}"
+requests = doc["requests"]
+for key in ("sent", "complete", "exhausted", "overloaded", "errors",
+            "late", "per_second"):
+    assert key in requests, f"requests missing {key}"
+assert requests["sent"] > 0, "no requests completed"
+assert requests["errors"] == 0, f"load run saw errors: {requests}"
+latency = doc["latency_ms"]
+for key in ("p50", "p95", "p99", "mean"):
+    assert key in latency, f"latency_ms missing {key}"
+assert 0 < latency["p50"] <= latency["p95"] <= latency["p99"], latency
+server = doc["server"]
+assert server["rotind_serve_requests_total"] >= requests["sent"]
+print(f"bench_serve.json: {requests['sent']} requests, "
+      f"p50 {latency['p50']} ms, p99 {latency['p99']} ms")
+PY
+
 echo "==> regression gate (steps vs results/bench_baseline.json)"
 ROTIND_QUICK=1 \
     cargo run -p rotind-bench --release --bin regress -- \

@@ -40,6 +40,7 @@ pub use rotind_fft as fft;
 pub use rotind_index as index;
 pub use rotind_lightcurve as lightcurve;
 pub use rotind_obs as obs;
+pub use rotind_serve as serve;
 pub use rotind_shape as shape;
 pub use rotind_ts as ts;
 
@@ -50,9 +51,10 @@ pub mod prelude {
     pub use rotind_envelope::wedge::Wedge;
     pub use rotind_index::engine::{Invariance, Neighbor, RotationQuery};
     pub use rotind_index::parallel::{default_threads, nearest_batch, ParallelReport};
+    pub use rotind_index::snapshot::{IndexSnapshot, QueryKind, QuerySpec};
     pub use rotind_obs::{
-        BudgetOutcome, BudgetReason, Exhausted, ForkJoinObserver, NoopObserver, Profiler,
-        QueryBudget, QueryTrace, SearchObserver,
+        BudgetOutcome, BudgetReason, Exhausted, ForkJoinObserver, ManualClock, NoopObserver,
+        Profiler, QueryBudget, QueryTrace, SearchObserver,
     };
     pub use rotind_ts::{StepCounter, TimeSeries};
 }

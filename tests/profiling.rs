@@ -19,7 +19,10 @@ use rotind::distance::dtw::DtwParams;
 use rotind::distance::measure::Measure;
 use rotind::index::engine::{Invariance, RotationQuery};
 use rotind::index::CascadeConfig;
-use rotind::obs::{CascadeTier, LogHistogram, MetricsRegistry, NoBudget};
+use rotind::obs::{
+    BudgetHook, CascadeTier, LogHistogram, ManualClock, MetricsRegistry, NoBudget,
+    DEADLINE_POLL_STEPS,
+};
 use rotind::prelude::{
     BudgetOutcome, BudgetReason, NoopObserver, Profiler, QueryBudget, QueryTrace,
 };
@@ -112,6 +115,34 @@ proptest! {
         ba.merge(&ra);
         // Rendered exposition is the registry's observable state.
         prop_assert_eq!(ab.render_prometheus(), ba.render_prometheus());
+    }
+
+    /// Quantiles are monotone non-decreasing in `q` over the whole real
+    /// line, with the edge cases pinned: `q <= 0` is the exact min,
+    /// `q >= 1` the exact max, NaN and the empty histogram are `None`.
+    #[test]
+    fn log_histogram_quantile_is_monotone_in_q(
+        samples in prop::collection::vec(0u64..u64::MAX, 1..60),
+        qs in prop::collection::vec(-0.5f64..1.5, 2..24),
+    ) {
+        let h = hist_of(&samples);
+        let mut qs = qs;
+        qs.sort_by(f64::total_cmp);
+        let values: Vec<u64> = qs
+            .iter()
+            .map(|&q| h.quantile(q).expect("non-empty, non-NaN q"))
+            .collect();
+        for (pair, q) in values.windows(2).zip(qs.windows(2)) {
+            prop_assert!(
+                pair[0] <= pair[1],
+                "quantile({}) = {} > quantile({}) = {}",
+                q[0], pair[0], q[1], pair[1]
+            );
+        }
+        prop_assert_eq!(h.quantile(0.0), samples.iter().min().copied());
+        prop_assert_eq!(h.quantile(1.0), samples.iter().max().copied());
+        prop_assert_eq!(h.quantile(f64::NAN), None);
+        prop_assert_eq!(LogHistogram::new().quantile(0.5), None);
     }
 }
 
@@ -322,6 +353,142 @@ fn zero_deadline_trips_immediately() {
             );
         }
     }
+}
+
+/// A [`BudgetHook`] that delegates to a clock-driven [`QueryBudget`]
+/// but advances the [`ManualClock`] past the deadline once the scan
+/// reaches `advance_at` steps — so the deadline trip point is a pure
+/// function of step progress, never of scheduler timing.
+struct AdvanceClockAt<'a> {
+    inner: QueryBudget,
+    clock: &'a ManualClock,
+    advance_at: u64,
+    advanced: bool,
+}
+
+impl BudgetHook for AdvanceClockAt<'_> {
+    fn check(&mut self, steps_now: u64) -> bool {
+        if !self.advanced && steps_now >= self.advance_at {
+            self.clock.advance(Duration::from_secs(3600));
+            self.advanced = true;
+        }
+        self.inner.check(steps_now)
+    }
+
+    fn trip_reason(&self) -> Option<BudgetReason> {
+        self.inner.trip_reason()
+    }
+}
+
+#[test]
+fn manual_clock_deadline_trips_deterministically_mid_scan() {
+    let (query, db) = workload(80, 32);
+    let engine = RotationQuery::new(&query, Invariance::Rotation).unwrap();
+    let mut full_counter = StepCounter::new();
+    let full = engine.nearest_with_steps(&db, &mut full_counter).unwrap();
+
+    // Expire the deadline at one third of the full scan: the trip must
+    // land within one poll window of that point, every run.
+    let advance_at = full_counter.steps() / 3;
+    let clock = ManualClock::new();
+    let mut budget = AdvanceClockAt {
+        inner: QueryBudget::with_clock(None, Some(Duration::from_secs(1)), &clock),
+        clock: &clock,
+        advance_at,
+        advanced: false,
+    };
+    let mut counter = StepCounter::new();
+    let outcome = engine
+        .k_nearest_budgeted(&db, 1, &mut counter, &mut NoopObserver, &mut budget)
+        .unwrap();
+    match outcome {
+        BudgetOutcome::Complete(_) => panic!("a mid-scan deadline expiry must trip"),
+        BudgetOutcome::Exhausted(ex) => {
+            assert_eq!(ex.reason, BudgetReason::Deadline);
+            assert!(
+                ex.steps_spent >= advance_at,
+                "tripped at {} steps, before the clock advanced at {advance_at}",
+                ex.steps_spent
+            );
+            // Amortized polling bounds the trip latency: at most one
+            // poll window plus one dismissal boundary past the expiry.
+            assert!(
+                ex.steps_spent < full_counter.steps(),
+                "deadline trip must cut the scan short"
+            );
+            assert_eq!(ex.steps_spent, counter.steps());
+            // The partial is still a genuine prefix answer. At most one
+            // candidate's wedge walk ran after the trip, so at most one
+            // hit may carry a truncated-walk distance — an exact
+            // distance at *some* rotation, an admissible upper bound on
+            // the true rotation-invariant minimum. Every other hit is
+            // exact.
+            let mut truncated = 0;
+            for hit in &ex.partial {
+                let exact = engine.distance_to(&db[hit.index]).unwrap();
+                assert!(
+                    hit.distance >= exact - 1e-9,
+                    "a partial hit must never understate its distance"
+                );
+                if (hit.distance - exact).abs() > 1e-9 {
+                    truncated += 1;
+                }
+            }
+            assert!(
+                truncated <= 1,
+                "only the tripped candidate's walk may be truncated, got {truncated}"
+            );
+        }
+    }
+
+    // Re-running with the same advance point reproduces the same trip:
+    // the whole point of the injectable clock.
+    let clock2 = ManualClock::new();
+    let mut budget2 = AdvanceClockAt {
+        inner: QueryBudget::with_clock(None, Some(Duration::from_secs(1)), &clock2),
+        clock: &clock2,
+        advance_at,
+        advanced: false,
+    };
+    let mut counter2 = StepCounter::new();
+    let outcome2 = engine
+        .k_nearest_budgeted(&db, 1, &mut counter2, &mut NoopObserver, &mut budget2)
+        .unwrap();
+    match outcome2 {
+        BudgetOutcome::Complete(_) => panic!("second run must trip too"),
+        BudgetOutcome::Exhausted(ex) => assert_eq!(
+            ex.steps_spent,
+            counter.steps(),
+            "step-driven deadline trips are exactly reproducible"
+        ),
+    }
+
+    // An un-advanced clock never trips: the budgeted path returns the
+    // full answer with the full step count (amortization must not have
+    // changed the scan).
+    let idle_clock = ManualClock::new();
+    let mut idle = QueryBudget::with_clock(None, Some(Duration::from_secs(1)), &idle_clock);
+    let mut idle_counter = StepCounter::new();
+    let outcome = engine
+        .k_nearest_budgeted(&db, 1, &mut idle_counter, &mut NoopObserver, &mut idle)
+        .unwrap();
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.into_inner()[0], full);
+    assert_eq!(
+        idle_counter.steps(),
+        full_counter.steps(),
+        "deadline polling must not change the scanned step count"
+    );
+    // And the amortization is real: the clock was read roughly once per
+    // poll window, not once per dismissal boundary.
+    let expected_polls = full_counter.steps() / DEADLINE_POLL_STEPS + 2;
+    assert!(
+        idle_clock.reads() <= expected_polls,
+        "{} clock reads over {} steps breaks the {}-step amortization",
+        idle_clock.reads(),
+        full_counter.steps(),
+        DEADLINE_POLL_STEPS
+    );
 }
 
 #[test]
