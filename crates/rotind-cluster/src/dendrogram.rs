@@ -49,6 +49,7 @@ impl UnionFind {
         }
     }
 
+    // lint: panic-exempt(union-find parents always hold in-range indices; path halving only rewrites them with other parents)
     fn find(&mut self, mut x: usize) -> usize {
         while self.parent[x] != x {
             self.parent[x] = self.parent[self.parent[x]];
@@ -57,11 +58,13 @@ impl UnionFind {
         x
     }
 
+    // lint: panic-exempt(find returns a root below node_of_root.len() by construction)
     fn node(&mut self, x: usize) -> usize {
         let r = self.find(x);
         self.node_of_root[r]
     }
 
+    // lint: panic-exempt(find returns in-range roots, and union writes only those slots)
     fn union(&mut self, a: usize, b: usize, new_node: usize) {
         let ra = self.find(a);
         let rb = self.find(b);
@@ -129,6 +132,7 @@ impl Dendrogram {
     }
 
     /// Children of an internal node; `None` for leaves.
+    // lint: panic-exempt(internal node ids sit in num_leaves..num_nodes, so node - num_leaves indexes merges)
     pub fn children(&self, node: usize) -> Option<(usize, usize)> {
         if self.is_leaf(node) {
             None
@@ -170,6 +174,7 @@ impl Dendrogram {
 
     /// Node ids of the `k`-cluster cut: the clusters that exist after
     /// applying the first `m − k` merges. `k` is clamped to `[1, m]`.
+    // lint: panic-exempt(merge endpoints and leaf ids are below num_nodes, the length of alive)
     pub fn cut_nodes(&self, k: usize) -> Vec<usize> {
         let m = self.num_leaves;
         let k = k.clamp(1, m.max(1));

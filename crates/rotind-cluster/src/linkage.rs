@@ -52,6 +52,7 @@ impl Linkage {
 /// # Panics
 ///
 /// Panics for an empty matrix (there is nothing to cluster).
+// lint: panic-exempt(documented precondition: the index builder always clusters a non-empty rotation matrix)
 pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
     let m = matrix.len();
     assert!(m > 0, "cluster: empty distance matrix");
@@ -151,6 +152,7 @@ pub fn cluster(matrix: &DistanceMatrix, linkage: Linkage) -> Dendrogram {
 /// cut.sort();
 /// assert_eq!(cut, vec![vec![0, 1], vec![2, 3]]);
 /// ```
+// lint: panic-exempt(DistanceMatrix::from_fn yields i and j below series.len() by contract)
 pub fn cluster_series(series: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
     let matrix = DistanceMatrix::from_fn(series.len(), |i, j| {
         series[i]

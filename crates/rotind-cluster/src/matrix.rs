@@ -51,6 +51,7 @@ impl DistanceMatrix {
 
     /// Distance between items `i` and `j` (0 on the diagonal).
     #[inline]
+    // lint: panic-exempt(index maps in-range ordered pairs into the triangular buffer; callers pass matrix-local ids)
     pub fn get(&self, i: usize, j: usize) -> f64 {
         match i.cmp(&j) {
             std::cmp::Ordering::Equal => 0.0,
@@ -65,6 +66,7 @@ impl DistanceMatrix {
     ///
     /// Panics when `i == j` or either index is out of range.
     #[inline]
+    // lint: panic-exempt(documented precondition: builders write distinct in-range pairs only)
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i != j, "cannot set the diagonal");
         let idx = if i < j {

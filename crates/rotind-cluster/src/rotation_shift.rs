@@ -19,6 +19,7 @@ use crate::matrix::DistanceMatrix;
 use rotind_ts::rotate::{mirror, RotationMatrix};
 
 /// `profile[s] = ED(x, rot_s(y))` for all shifts `s`, `O(n²)`.
+// lint: panic-exempt(rotations of one series always share its length; the assert documents the contract)
 pub fn shift_profile(x: &[f64], y: &[f64]) -> Vec<f64> {
     let n = x.len();
     assert_eq!(n, y.len(), "shift_profile: length mismatch");
@@ -44,6 +45,7 @@ pub fn shift_profile(x: &[f64], y: &[f64]) -> Vec<f64> {
 ///
 /// Rows are ordered as in [`RotationMatrix::rotations`]. Works for full,
 /// mirror-augmented and rotation-limited matrices.
+// lint: panic-exempt(profile lookups are reduced mod n, and each shift profile has exactly n entries)
 pub fn rotation_distance_matrix(matrix: &RotationMatrix) -> DistanceMatrix {
     let n = matrix.series_len();
     let base = matrix.base();

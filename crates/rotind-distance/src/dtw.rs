@@ -85,6 +85,7 @@ fn cell_cost(a: f64, b: f64) -> f64 {
 /// # Panics
 ///
 /// Panics when the series differ in length or are empty.
+// lint: panic-exempt(a DP row over finite inputs cannot exceed an infinite radius, so early abandon never returns None)
 pub fn dtw(q: &[f64], c: &[f64], params: DtwParams, counter: &mut StepCounter) -> f64 {
     dtw_early_abandon(q, c, params, f64::INFINITY, counter)
         // Invariant: a DP row can only exceed r² = ∞ if a cell is +∞,
@@ -98,6 +99,7 @@ pub fn dtw(q: &[f64], c: &[f64], params: DtwParams, counter: &mut StepCounter) -
 /// Returns `None` as soon as an entire DP row exceeds `r²` — every warping
 /// path must pass through each row, so the true distance necessarily
 /// exceeds `r`. `r = f64::INFINITY` computes the exact distance.
+// lint: panic-exempt(documented preconditions: the snapshot validates query length and non-emptiness at admission)
 pub fn dtw_early_abandon(
     q: &[f64],
     c: &[f64],

@@ -45,6 +45,7 @@ pub fn euclidean(q: &[f64], c: &[f64]) -> f64 {
 ///
 /// With `r = f64::INFINITY` this computes the exact distance (never
 /// abandons), matching the brute-force invocation of Table 2.
+// lint: panic-exempt(length equality is validated at snapshot admission; the assert documents the kernel contract)
 pub fn euclidean_early_abandon(
     q: &[f64],
     c: &[f64],

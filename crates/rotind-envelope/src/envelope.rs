@@ -6,6 +6,7 @@
 /// # Panics
 ///
 /// Panics when `series` is empty or lengths differ.
+// lint: panic-exempt(documented preconditions: wedge construction always passes a non-empty, equal-length row set)
 pub fn envelope_of<S: AsRef<[f64]>>(series: &[S]) -> (Vec<f64>, Vec<f64>) {
     assert!(!series.is_empty(), "envelope_of: empty set");
     let n = series[0].as_ref().len();
@@ -78,6 +79,7 @@ pub fn sliding_min_into(xs: &[f64], r: usize, scratch: &mut SlidingScratch, out:
 
 /// Shared monotonic-deque kernel; `dominates(a, b)` is `a >= b` for max,
 /// `a <= b` for min.
+// lint: panic-exempt(the deque holds only indices already pushed from 0..n)
 fn sliding_extreme_into(
     xs: &[f64],
     r: usize,

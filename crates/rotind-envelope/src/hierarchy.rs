@@ -54,6 +54,7 @@ impl WedgeTree {
     ///
     /// Panics when the dendrogram's leaf count differs from the number of
     /// rotations in `matrix`.
+    // lint: panic-exempt(documented precondition: the builder derives the dendrogram from the same matrix)
     pub fn from_dendrogram(matrix: RotationMatrix, dendrogram: Dendrogram, band: usize) -> Self {
         let rows = matrix.num_rotations();
         assert_eq!(
@@ -125,6 +126,7 @@ impl WedgeTree {
     }
 
     /// The plain (unwidened) wedge at `node`.
+    // lint: panic-exempt(node ids come from this hierarchy's own dendrogram, one wedge per node)
     pub fn wedge(&self, node: usize) -> &Wedge {
         &self.wedges[node]
     }
@@ -134,6 +136,7 @@ impl WedgeTree {
     // lint: witness-exempt(accessor: returns a precomputed envelope, computes no bound — admissibility is witnessed where the envelope is consumed, in lb_keogh_early_abandon_at)
     pub fn lb_wedge(&self, node: usize) -> &Wedge {
         match &self.lb_wedges {
+            // lint: panic-exempt(lb_wedges, when present, holds one wedge per node — the same id space as wedges)
             Some(w) => &w[node],
             None => &self.wedges[node],
         }
@@ -144,12 +147,14 @@ impl WedgeTree {
     /// # Panics
     ///
     /// Panics when `node` is internal.
+    // lint: panic-exempt(documented precondition: the engine only asks for rotations at leaves of this hierarchy)
     pub fn leaf_rotation(&self, node: usize) -> Rotation {
         assert!(self.is_leaf(node), "leaf_rotation on internal node {node}");
         self.matrix.rotations()[node]
     }
 
     /// Materialise the rotated series at a leaf node.
+    // lint: panic-exempt(documented precondition: the engine only materialises leaves of this hierarchy)
     pub fn leaf_series(&self, node: usize) -> Vec<f64> {
         assert!(self.is_leaf(node), "leaf_series on internal node {node}");
         self.matrix.row(node).to_vec()

@@ -41,6 +41,7 @@ use rotind_ts::StepCounter;
 /// # Panics
 ///
 /// Panics when `q.len() != wedge.len()`.
+// lint: panic-exempt(acc > r-squared is unsatisfiable for an infinite radius, so early abandon never returns None)
 pub fn lb_keogh(q: &[f64], wedge: &Wedge, counter: &mut StepCounter) -> f64 {
     lb_keogh_early_abandon(q, wedge, f64::INFINITY, counter)
         // Invariant: `acc > r²` is unsatisfiable for r = ∞, so the
@@ -92,6 +93,7 @@ pub fn lb_keogh_early_abandon(
 /// consumed before the accumulated bound provably exceeded `r`. Search
 /// telemetry (the `SearchObserver` in `rotind-obs`) uses the position to
 /// build abandon-depth histograms; the bound itself is unchanged.
+// lint: panic-exempt(query/wedge length equality is validated at snapshot admission; the assert documents the kernel contract)
 pub fn lb_keogh_early_abandon_at(
     q: &[f64],
     wedge: &Wedge,
@@ -152,6 +154,7 @@ pub fn lb_keogh_early_abandon_at(
 /// point of a constant-time first tier.
 ///
 /// Two steps are charged (one for a length-1 series).
+// lint: panic-exempt(query/wedge length equality is validated at snapshot admission; the assert documents the kernel contract)
 pub fn lb_kim(q: &[f64], wedge: &Wedge, counter: &mut StepCounter) -> f64 {
     assert_eq!(q.len(), wedge.len(), "lb_kim: length mismatch");
     let n = q.len();
@@ -192,6 +195,7 @@ pub fn lb_kim(q: &[f64], wedge: &Wedge, counter: &mut StepCounter) -> f64 {
 /// the same as the natural-order one but may differ in the last float
 /// bits, so exact-distance paths (Euclidean singleton leaves, where the
 /// bound *is* the returned distance) must keep the natural order.
+// lint: panic-exempt(query/wedge length equality is validated at snapshot admission; the assert documents the kernel contract)
 pub fn lb_keogh_reordered_early_abandon_at(
     q: &[f64],
     wedge: &Wedge,
@@ -304,6 +308,7 @@ pub fn lb_improved(
 /// space (`acc > r²` and `√acc > r`), mirroring
 /// [`lb_keogh_early_abandon_at`]; `None` means no member can be within
 /// `r`.
+// lint: panic-exempt(both wedges come from one hierarchy sharing the validated series length)
 pub fn lb_improved_second_pass(
     q: &[f64],
     wedge: &Wedge,
@@ -370,6 +375,7 @@ pub fn lb_improved_second_pass(
 /// `δ` and the amplitude threshold `ε` (cf. the "matching envelope" of
 /// Figure 14). Counting such positions can only overestimate the true
 /// match count.
+// lint: panic-exempt(query/wedge length equality is validated at snapshot admission; the assert documents the kernel contract)
 pub fn lcss_distance_lower_bound(
     q: &[f64],
     wedge: &Wedge,

@@ -72,6 +72,7 @@ impl Wedge {
     /// # Panics
     ///
     /// Panics when `rows` is empty or contains an out-of-range row index.
+    // lint: panic-exempt(documented precondition: cut member lists are non-empty rows of the same matrix)
     pub fn from_rows(matrix: &RotationMatrix, rows: &[usize]) -> Self {
         assert!(!rows.is_empty(), "Wedge::from_rows: empty row set");
         let series: Vec<Vec<f64>> = rows.iter().map(|&r| matrix.row(r).to_vec()).collect();
@@ -90,6 +91,7 @@ impl Wedge {
     /// # Panics
     ///
     /// Panics when the wedges differ in length.
+    // lint: panic-exempt(documented precondition: wedges of one hierarchy share the series length)
     pub fn merge(a: &Wedge, b: &Wedge) -> Self {
         assert_eq!(a.len(), b.len(), "Wedge::merge: length mismatch");
         let upper: Vec<f64> = a
@@ -189,6 +191,7 @@ impl Wedge {
     }
 
     /// `true` when `series` lies within the envelope at every position.
+    // lint: panic-exempt(the first conjunct checks the length equality that bounds the indexing)
     pub fn contains(&self, series: &[f64]) -> bool {
         series.len() == self.len()
             && series

@@ -222,6 +222,7 @@ impl BoundCascade {
     }
 
     /// Tier-2 envelope for `node`, when the reduced tier is on.
+    // lint: panic-exempt(paa, when present, holds one envelope per tree node, and callers pass ids of that tree)
     pub(crate) fn paa_envelope(&self, node: usize) -> Option<&PaaEnvelope> {
         // Invariant: `paa` (when present) holds one envelope per tree
         // node and callers pass node ids of the same tree.
@@ -264,6 +265,7 @@ impl CandidateCtx {
     }
 
     /// The candidate's PAA projection, built on first use.
+    // lint: panic-exempt(the expect follows the branch that builds the projection, so it is always present)
     pub(crate) fn paa(
         &mut self,
         candidate: &[f64],

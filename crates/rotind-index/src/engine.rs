@@ -355,7 +355,7 @@ impl RotationQuery {
                 break;
             }
             let bsf = if heap.len() == k {
-                heap.last().expect("heap non-empty").distance
+                heap.last().map_or(f64::INFINITY, |h| h.distance)
             } else {
                 f64::INFINITY
             };

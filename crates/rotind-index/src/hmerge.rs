@@ -404,6 +404,7 @@ pub fn h_merge_cascade_budgeted<O: SearchObserver, B: BudgetHook>(
 /// result-identical to a fresh one — only the step accounting of
 /// later queries shrinks.
 #[allow(clippy::too_many_arguments)] // mirrors h_merge_cascade_budgeted + the ctx
+                                     // lint: panic-exempt(candidate length is validated against the snapshot at admission; the assert documents the contract)
 pub(crate) fn h_merge_cascade_budgeted_ctx<O: SearchObserver, B: BudgetHook>(
     candidate: &[f64],
     tree: &WedgeTree,

@@ -74,6 +74,7 @@ pub struct ParallelReport {
 
 /// Balanced contiguous chunks: the first `len % threads` chunks get one
 /// extra item. `threads` is clamped to `1..=len` so no chunk is empty.
+// lint: panic-exempt(t is clamped to at least one, so the divisors are never zero)
 fn chunk_ranges(len: usize, threads: usize) -> Vec<Range<usize>> {
     let t = threads.clamp(1, len.max(1));
     let base = len / t;
@@ -372,6 +373,7 @@ impl RotationQuery {
     /// record every hit (for range queries) and track the chunk best
     /// under a strict-improvement guard (for nearest queries). Outputs
     /// come back in chunk order.
+    // lint: panic-exempt(chunk_ranges yields only indices below database.len())
     fn scan_chunks<O, B, MB, F>(
         &self,
         database: &[Vec<f64>],

@@ -41,6 +41,7 @@ impl Paa {
     /// # Panics
     ///
     /// Panics for an empty series or `d = 0`.
+    // lint: panic-exempt(documented preconditions: the snapshot rejects empty series and zero dims at admission)
     pub fn of(series: &[f64], d: usize) -> Self {
         let n = series.len();
         assert!(n > 0, "Paa::of: empty series");
@@ -93,6 +94,7 @@ pub struct PaaEnvelope {
 impl PaaEnvelope {
     /// Project a wedge onto `d` segments. Pass the *lower-bounding*
     /// wedge (already widened by the DTW band) for DTW admissibility.
+    // lint: panic-exempt(documented preconditions: wedges are non-empty and the cascade fixes d at construction)
     pub fn of_wedge(wedge: &Wedge, d: usize) -> Self {
         let n = wedge.len();
         assert!(n > 0, "PaaEnvelope::of_wedge: empty wedge");
@@ -127,6 +129,7 @@ impl PaaEnvelope {
     /// rectangle — an admissible lower bound of `LB_Keogh` between the
     /// full-resolution series and wedge (per-segment Jensen argument).
     /// One step per segment.
+    // lint: panic-exempt(projection and envelope are built with the same d by the cascade constructor)
     pub fn min_dist(&self, paa: &Paa, counter: &mut StepCounter) -> f64 {
         assert_eq!(self.seg, paa.seg, "PaaEnvelope::min_dist: segment mismatch");
         assert_eq!(
@@ -158,6 +161,7 @@ pub struct PaaWedgeSet {
 
 impl PaaWedgeSet {
     /// Project each wedge of a cut.
+    // lint: panic-exempt(documented precondition: dendrogram cuts are never empty)
     pub fn new(wedges: &[&Wedge], d: usize) -> Self {
         assert!(!wedges.is_empty(), "PaaWedgeSet::new: empty wedge set");
         PaaWedgeSet {

@@ -82,6 +82,7 @@ impl StreamFilter {
     ///
     /// [`SearchError`] on empty input, length mismatches, non-positive
     /// thresholds, or an LCSS measure.
+    // lint: panic-exempt(patterns is checked non-empty a few lines above the first index)
     pub fn new(
         patterns: Vec<Vec<f64>>,
         thresholds: Vec<f64>,
@@ -171,6 +172,7 @@ impl StreamFilter {
 
     /// The current window, oldest sample first (empty until `n` samples
     /// have been consumed).
+    // lint: panic-exempt(ring indices are reduced mod the window length)
     pub fn current_window(&self) -> Option<Vec<f64>> {
         (self.seen >= self.window.len()).then(|| {
             let n = self.window.len();
@@ -185,6 +187,7 @@ impl StreamFilter {
     /// Consume one stream sample; report every pattern whose threshold
     /// the window ending at this sample satisfies. Steps are charged to
     /// `counter` (one LB pass can dismiss a whole wedge of patterns).
+    // lint: panic-exempt(head stays below the window length, and the window expect only fires once seen >= n)
     pub fn push(&mut self, sample: f64, counter: &mut StepCounter) -> Vec<PatternMatch> {
         let n = self.window.len();
         self.window[self.head] = sample;

@@ -3,16 +3,19 @@
 //! when any count rises or a new pair appears; counts may only go down,
 //! and `--write-baseline` re-tightens the file after a burn-down.
 //!
-//! Schema v3 wraps each rule's file map in `{"total": N, "witness":
-//! "<hash>", "files": {…}}`: the per-rule burn-down number is visible
-//! in diffs without summing by hand (the redundant total is validated
-//! on read), and rules whose findings carry interprocedural witness
-//! paths record an FNV-1a hash over those paths — so a diff shows when
-//! a taint chain *moved* even while the count held still. The witness
-//! hash is informational (the gate stays count-based: line drift must
-//! not fail CI). v1 (bare `rule → file → count`) and v2 (no `witness`)
-//! files still parse — `--write-baseline` migrates them on the next
-//! re-ratchet.
+//! Schema v4 wraps each rule's file map in `{"total": N, "witness":
+//! "<hash>", "exempted": E, "files": {…}}`: the per-rule burn-down
+//! number is visible in diffs without summing by hand (the redundant
+//! total is validated on read); rules whose findings carry
+//! interprocedural witness paths record an FNV-1a hash over those paths
+//! — so a diff shows when a taint chain *moved* even while the count
+//! held still; and rules with reasoned exemption comments
+//! (`witness-exempt`, `panic-exempt`, `blocking-allowed`) record how
+//! many are in force, so *exemption creep* is as reviewable as finding
+//! creep. Witness hash and exempted count are informational (the gate
+//! stays count-based: line drift must not fail CI). v1 (bare `rule →
+//! file → count`), v2 (no `witness`) and v3 (no `exempted`) files still
+//! parse — `--write-baseline` migrates them on the next re-ratchet.
 
 use crate::findings::{count_by_rule_and_file, Finding};
 use crate::json;
@@ -20,7 +23,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Baseline schema version (bumped on format changes).
-pub const BASELINE_VERSION: u64 = 3;
+pub const BASELINE_VERSION: u64 = 4;
 
 /// Default baseline file name, committed at the workspace root.
 pub const BASELINE_FILE: &str = "lint-baseline.json";
@@ -84,34 +87,56 @@ pub fn compare(findings: &[Finding], baseline: &Counts) -> Comparison {
 /// be compared verbatim against a fresh scan by tests and by humans.
 /// `witness` maps rule ids to the witness-path hash recorded for rules
 /// whose findings carry taint chains (see
-/// [`crate::findings::witness_hashes`]); rules absent from the map get
-/// no `witness` key.
-pub fn to_json(counts: &Counts, witness: &BTreeMap<String, String>) -> String {
+/// [`crate::findings::witness_hashes`]); `exempted` maps rule ids to
+/// the number of reasoned exemption comments in force (see
+/// [`crate::exemption_counts`]). A rule present only in `exempted`
+/// still gets an entry (`total` 0, empty `files`) — a *clean* rule's
+/// exemption creep is precisely what the key exists to make
+/// reviewable.
+pub fn to_json(
+    counts: &Counts,
+    witness: &BTreeMap<String, String>,
+    exempted: &BTreeMap<String, usize>,
+) -> String {
+    let empty = BTreeMap::new();
+    let rules: std::collections::BTreeSet<&String> = counts
+        .keys()
+        .chain(witness.keys())
+        .chain(exempted.keys())
+        .collect();
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"version\": {BASELINE_VERSION},");
     out.push_str("  \"rules\": {");
-    if counts.is_empty() {
+    if rules.is_empty() {
         out.push_str("}\n}\n");
         return out;
     }
     out.push('\n');
-    let n_rules = counts.len();
-    for (ri, (rule, files)) in counts.iter().enumerate() {
+    let n_rules = rules.len();
+    for (ri, rule) in rules.iter().enumerate() {
+        let files = counts.get(*rule).unwrap_or(&empty);
         let total: usize = files.values().sum();
         let _ = write!(out, "    {}: {{", json::escape(rule));
         out.push('\n');
         let _ = writeln!(out, "      \"total\": {total},");
-        if let Some(hash) = witness.get(rule) {
+        if let Some(hash) = witness.get(*rule) {
             let _ = writeln!(out, "      \"witness\": {},", json::escape(hash));
         }
-        out.push_str("      \"files\": {\n");
-        let n_files = files.len();
-        for (fi, (path, count)) in files.iter().enumerate() {
-            let _ = write!(out, "        {}: {}", json::escape(path), count);
-            out.push_str(if fi + 1 < n_files { ",\n" } else { "\n" });
+        if let Some(n) = exempted.get(*rule) {
+            let _ = writeln!(out, "      \"exempted\": {n},");
         }
-        out.push_str("      }\n    }");
+        if files.is_empty() {
+            out.push_str("      \"files\": {}\n    }");
+        } else {
+            out.push_str("      \"files\": {\n");
+            let n_files = files.len();
+            for (fi, (path, count)) in files.iter().enumerate() {
+                let _ = write!(out, "        {}: {}", json::escape(path), count);
+                out.push_str(if fi + 1 < n_files { ",\n" } else { "\n" });
+            }
+            out.push_str("      }\n    }");
+        }
         out.push_str(if ri + 1 < n_rules { ",\n" } else { "\n" });
     }
     out.push_str("  }\n}\n");
@@ -133,12 +158,12 @@ fn files_from_obj(
     Ok(out)
 }
 
-/// Parse baseline JSON back into counts. Accepts schema v3 (per-rule
-/// `{total, witness?, files}` with the total cross-checked), v2 (no
-/// `witness`) and the legacy v1 shape (bare file map). The witness hash
-/// is validated as a string but not returned — the gate is count-based.
-/// Unknown top-level keys or versions are an error; a corrupt ratchet
-/// must not silently pass.
+/// Parse baseline JSON back into counts. Accepts schema v4 (per-rule
+/// `{total, witness?, exempted?, files}` with the total cross-checked),
+/// v3 (no `exempted`), v2 (no `witness`) and the legacy v1 shape (bare
+/// file map). Witness hash and exempted count are validated for type
+/// but not returned — the gate is count-based. Unknown top-level keys
+/// or versions are an error; a corrupt ratchet must not silently pass.
 pub fn from_json(src: &str) -> Result<Counts, String> {
     let v = json::parse(src)?;
     let obj = v.as_obj().ok_or("baseline root must be an object")?;
@@ -170,7 +195,10 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
             files_from_obj(rule, entry)?
         } else {
             for key in entry.keys() {
-                let known = key == "total" || key == "files" || (version >= 3 && key == "witness");
+                let known = key == "total"
+                    || key == "files"
+                    || (version >= 3 && key == "witness")
+                    || (version >= 4 && key == "exempted");
                 if !known {
                     return Err(format!("unexpected key `{key}` under rule `{rule}`"));
                 }
@@ -178,6 +206,11 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
             if let Some(w) = entry.get("witness") {
                 if !matches!(w, json::Value::Str(_)) {
                     return Err(format!("witness for rule `{rule}` must be a string"));
+                }
+            }
+            if let Some(e) = entry.get("exempted") {
+                if e.as_int().is_none() {
+                    return Err(format!("exempted for rule `{rule}` must be an integer"));
                 }
             }
             let total = entry
@@ -198,7 +231,11 @@ pub fn from_json(src: &str) -> Result<Counts, String> {
             }
             files
         };
-        counts.insert(rule.clone(), files);
+        // Exempted-only entries (total 0, no files) carry no ratchet
+        // information — the count map stays findings-only.
+        if !files.is_empty() {
+            counts.insert(rule.clone(), files);
+        }
     }
     Ok(counts)
 }
@@ -222,11 +259,11 @@ mod tests {
             .entry("float-eq".into())
             .or_default()
             .insert("crates/b/src/x.rs".into(), 1);
-        let js = to_json(&counts, &BTreeMap::new());
+        let js = to_json(&counts, &BTreeMap::new(), &BTreeMap::new());
         let parsed = from_json(&js).unwrap();
         assert_eq!(parsed, counts);
         assert_eq!(
-            to_json(&parsed, &BTreeMap::new()),
+            to_json(&parsed, &BTreeMap::new(), &BTreeMap::new()),
             js,
             "serialisation must be canonical"
         );
@@ -269,32 +306,59 @@ mod tests {
     }
 
     #[test]
-    fn v3_serialises_per_rule_totals_and_witness_hashes() {
+    fn v4_serialises_totals_witness_hashes_and_exempted_counts() {
         let mut counts: Counts = BTreeMap::new();
         let entry = counts.entry("prune-only".into()).or_default();
         entry.insert("a.rs".into(), 3);
         entry.insert("b.rs".into(), 4);
         let mut witness = BTreeMap::new();
         witness.insert("prune-only".to_string(), "00ff00ff00ff00ff".to_string());
-        let js = to_json(&counts, &witness);
-        assert!(js.contains("\"version\": 3"), "{js}");
+        let mut exempted = BTreeMap::new();
+        exempted.insert("prune-only".to_string(), 5usize);
+        // A certified-clean rule: exemptions in force, zero findings.
+        exempted.insert("no-panic-reachable".to_string(), 12usize);
+        let js = to_json(&counts, &witness, &exempted);
+        assert!(js.contains("\"version\": 4"), "{js}");
         assert!(js.contains("\"total\": 7"), "{js}");
         assert!(js.contains("\"witness\": \"00ff00ff00ff00ff\""), "{js}");
+        assert!(js.contains("\"exempted\": 5"), "{js}");
+        // The clean rule still appears, with an empty file map…
+        assert!(js.contains("\"no-panic-reachable\""), "{js}");
+        assert!(js.contains("\"exempted\": 12"), "{js}");
+        assert!(js.contains("\"files\": {}"), "{js}");
+        // …but contributes nothing to the ratchet counts.
         assert_eq!(from_json(&js).unwrap(), counts);
     }
 
     #[test]
-    fn v1_and_v2_baselines_migrate() {
+    fn v1_through_v3_baselines_migrate() {
         let legacy = "{\n  \"version\": 1,\n  \"rules\": {\n    \"no-panic\": {\n      \"a.rs\": 2\n    }\n  }\n}\n";
         let counts = from_json(legacy).unwrap();
         assert_eq!(counts.get("no-panic").and_then(|m| m.get("a.rs")), Some(&2));
-        // Re-serialising writes the v3 shape.
-        assert!(to_json(&counts, &BTreeMap::new()).contains("\"total\": 2"));
+        // Re-serialising writes the v4 shape.
+        assert!(to_json(&counts, &BTreeMap::new(), &BTreeMap::new()).contains("\"total\": 2"));
         let v2 = "{\n  \"version\": 2,\n  \"rules\": {\n    \"no-panic\": {\n      \"total\": 2,\n      \"files\": {\n        \"a.rs\": 2\n      }\n    }\n  }\n}\n";
         assert_eq!(from_json(v2).unwrap(), counts);
         // …but a v2 file must not smuggle a witness key.
         let v2_witness = v2.replace("\"total\": 2,", "\"total\": 2,\n      \"witness\": \"x\",");
         assert!(from_json(&v2_witness).is_err());
+        // v3: witness allowed, exempted not yet.
+        let v3 = v2
+            .replace("\"version\": 2", "\"version\": 3")
+            .replace("\"total\": 2,", "\"total\": 2,\n      \"witness\": \"x\",");
+        assert_eq!(from_json(&v3).unwrap(), counts);
+        let v3_exempted = v3.replace("\"total\": 2,", "\"total\": 2,\n      \"exempted\": 1,");
+        assert!(
+            from_json(&v3_exempted).is_err(),
+            "v3 must not smuggle exempted"
+        );
+        // v4 accepts both informational keys; a non-integer exempted is rejected.
+        let v4 = v3
+            .replace("\"version\": 3", "\"version\": 4")
+            .replace("\"total\": 2,", "\"total\": 2,\n      \"exempted\": 1,");
+        assert_eq!(from_json(&v4).unwrap(), counts);
+        let v4_bad = v4.replace("\"exempted\": 1,", "\"exempted\": \"one\",");
+        assert!(from_json(&v4_bad).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod ast;
 pub mod baseline;
 pub mod callgraph;
 pub mod dataflow;
+pub mod effects;
 pub mod findings;
 pub mod interproc;
 pub mod json;
@@ -35,6 +36,8 @@ pub mod symbols;
 pub mod timing;
 pub mod walker;
 
+use effects::RootSet;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// A workspace scan's phase timings (microseconds), for the self-timing
@@ -49,6 +52,19 @@ pub struct ScanTiming {
     pub files: u64,
 }
 
+/// Everything a workspace scan produces: findings, phase timings and
+/// the per-rule count of reasoned exemption comments honoured — the
+/// latter is recorded in baseline schema v4 so exemption creep shows up
+/// in diffs just like finding counts do.
+pub struct WorkspaceScan {
+    /// Raw findings (baseline not yet applied).
+    pub findings: Vec<findings::Finding>,
+    /// Phase timings for the lint wall-time gate.
+    pub timing: ScanTiming,
+    /// rule id → reasoned exemption comments in scope of that rule.
+    pub exempted: BTreeMap<String, usize>,
+}
+
 /// Lint the whole workspace rooted at `root`; returns raw findings
 /// (baseline not yet applied).
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<findings::Finding>> {
@@ -58,20 +74,50 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<findings::Finding>> {
 /// [`lint_workspace`], also measuring how long each phase took — the
 /// workspace gate feeds this into the lint wall-time gate.
 pub fn lint_workspace_timed(root: &Path) -> std::io::Result<(Vec<findings::Finding>, ScanTiming)> {
+    scan_workspace(root, &RootSet::serve_default()).map(|s| (s.findings, s.timing))
+}
+
+/// The full workspace scan with an explicit availability [`RootSet`].
+pub fn scan_workspace(root: &Path, roots: &RootSet) -> std::io::Result<WorkspaceScan> {
     let t0 = std::time::Instant::now();
     let files = walker::load_workspace(root)?;
     let parse_us = us_since(t0);
     let t1 = std::time::Instant::now();
-    let findings = rules::run_all(&files);
+    let findings = rules::run_all_rooted(&files, roots);
     let rules_us = us_since(t1);
-    Ok((
+    Ok(WorkspaceScan {
         findings,
-        ScanTiming {
+        timing: ScanTiming {
             parse_us,
             rules_us,
             files: files.len() as u64,
         },
-    ))
+        exempted: exemption_counts(&files),
+    })
+}
+
+/// Tally the reasoned exemption comments each availability/witness rule
+/// honours, keyed by rule id. Empty-reason comments are *not* counted —
+/// they are findings, not exemptions.
+pub fn exemption_counts(files: &[source::SourceFile]) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let (mut witness, mut panics, mut blocking) = (0usize, 0usize, 0usize);
+    for f in files {
+        let (w, p, b) = f.exemption_tally();
+        witness += w;
+        panics += p;
+        blocking += b;
+    }
+    for (rule, n) in [
+        (rules::lb_witness::ID, witness),
+        (rules::no_panic_reachable::ID, panics),
+        (rules::no_blocking_in_worker::ID, blocking),
+    ] {
+        if n > 0 {
+            out.insert(rule.to_string(), n);
+        }
+    }
+    out
 }
 
 #[allow(clippy::cast_possible_truncation)]
@@ -85,8 +131,18 @@ pub fn lint_paths(
     root: &Path,
     paths: &[std::path::PathBuf],
 ) -> std::io::Result<Vec<findings::Finding>> {
+    lint_paths_rooted(root, paths, &RootSet::serve_default())
+}
+
+/// [`lint_paths`] with an explicit availability [`RootSet`], so fixture
+/// runs can exercise custom roots the same way the workspace gate does.
+pub fn lint_paths_rooted(
+    root: &Path,
+    paths: &[std::path::PathBuf],
+    roots: &RootSet,
+) -> std::io::Result<Vec<findings::Finding>> {
     let files = walker::load_paths(root, paths)?;
-    Ok(rules::run_all(&files))
+    Ok(rules::run_all_rooted(&files, roots))
 }
 
 /// The workspace root, derived from this crate's manifest directory

@@ -73,11 +73,22 @@ pub struct GlobalIndex<'a> {
 }
 
 /// Derive the crate name a workspace-relative path belongs to.
+///
+/// Files inside a `fixtures/<name>/` directory form a scan unit of
+/// their own and take `<name>` as their crate: attributing a fixture to
+/// its host crate would subject it to the host's availability
+/// exclusions (the lint crate excludes *itself* from the serve root
+/// set, which must not silence findings seeded in its fixtures).
 pub fn crate_of(path: &str) -> String {
-    let mut parts = path.split('/');
-    match parts.next() {
-        Some("crates") => parts.next().unwrap_or("").to_string(),
-        Some(first) => first.to_string(),
+    let parts: Vec<&str> = path.split('/').collect();
+    if let Some(i) = parts.iter().position(|p| *p == "fixtures") {
+        if let (Some(name), true) = (parts.get(i + 1), parts.len() > i + 2) {
+            return (*name).to_string();
+        }
+    }
+    match parts.first() {
+        Some(&"crates") => parts.get(1).copied().unwrap_or("").to_string(),
+        Some(first) => (*first).to_string(),
         None => String::new(),
     }
 }
@@ -239,6 +250,11 @@ mod tests {
             "rotind-index"
         );
         assert_eq!(crate_of("tests/exactness.rs"), "tests");
+        assert_eq!(
+            crate_of("crates/rotind-lint/tests/fixtures/no_panic_reachable_bad/loop.rs"),
+            "no_panic_reachable_bad",
+            "fixture crates must not inherit the host crate's exclusions"
+        );
     }
 
     #[test]

@@ -111,16 +111,7 @@ pub fn check(ws: &Workspace<'_>, files: &[SourceFile]) -> Vec<Finding> {
 /// through the end of the body (an empty reason is `lb-witness`'s
 /// finding to make, not ours).
 fn exempted(file: &SourceFile, node: &crate::resolve::FnNode<'_>) -> bool {
-    let toks = file.tokens();
-    let start_line = node.item_span.line(toks);
-    let end_line = node
-        .decl
-        .body
-        .as_ref()
-        .and_then(|b| toks.get(b.span.hi.saturating_sub(1)))
-        .map_or(start_line, |t| t.line);
-    file.witness_exempt(start_line.saturating_sub(1), end_line)
-        .is_some()
+    super::exemption_window(file, node, SourceFile::witness_exempt).is_some()
 }
 
 #[cfg(test)]

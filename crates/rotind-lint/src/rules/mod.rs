@@ -1,16 +1,22 @@
-//! The rule engine: thirteen project-specific passes over lexed source.
+//! The rule engine: eighteen project-specific passes over lexed source.
 //!
 //! Nine rules are token-pattern passes; four (`lb-witness`,
 //! `atomic-ordering`, `strict-dismissal`, `exhaustive-invariance`) are
 //! semantic — they run on the [`crate::ast`] tree with the
 //! [`crate::dataflow`] walk, because "a load feeds a comparison" or
 //! "this match names every variant" is invisible to a flat token
-//! stream. Every rule is a pure function from file context to findings;
-//! the engine applies file-kind gating and the
-//! `// rotind-lint: allow(rule)` escape comments centrally, so individual
-//! rules stay single-purpose. See DESIGN.md §9/§11 for the rationale of
-//! each rule and its tie to the paper's exactness invariants.
+//! stream. Five are interprocedural: `prune-only`, `admissible-chain`
+//! and `shared-atomic-protocol` consume the bound-taint analysis
+//! ([`crate::interproc`]), while `no-panic-reachable` and
+//! `no-blocking-in-worker` consume the effect summaries
+//! ([`crate::effects`]) rooted at the serve entry set. Every rule is a
+//! pure function from file context to findings; the engine applies
+//! file-kind gating and the `// rotind-lint: allow(rule)` escape
+//! comments centrally, so individual rules stay single-purpose. See
+//! DESIGN.md §9/§11/§16 for the rationale of each rule and its tie to
+//! the paper's exactness and the service's availability invariants.
 
+use crate::effects::RootSet;
 use crate::findings::Finding;
 use crate::source::SourceFile;
 
@@ -22,8 +28,10 @@ pub mod float_eq;
 pub mod forbid_unsafe;
 pub mod lb_coverage;
 pub mod lb_witness;
+pub mod no_blocking_in_worker;
 pub mod no_index;
 pub mod no_panic;
+pub mod no_panic_reachable;
 pub mod no_print;
 pub mod no_wildcard;
 pub mod prune_only;
@@ -105,12 +113,28 @@ pub const ALL_RULES: &[RuleInfo] = &[
         id: shared_atomic_protocol::ID,
         summary: "shared-radius CAS cycles must follow load(Acquire) → compare → compare_exchange_weak(AcqRel, Acquire), across helper fns",
     },
+    RuleInfo {
+        id: no_panic_reachable::ID,
+        summary: "no may-panic site reachable from the serve roots without a reasoned panic-exempt (call-graph level)",
+    },
+    RuleInfo {
+        id: no_blocking_in_worker::ID,
+        summary: "no blocking call reachable from the worker hot loop outside the reasoned blocking-allowed allowlist (call-graph level)",
+    },
 ];
+
+/// Run every rule over `files` with the default serve root set
+/// ([`RootSet::serve_default`]); see [`run_all_rooted`].
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    run_all_rooted(files, &RootSet::serve_default())
+}
 
 /// Run every rule over `files`, honouring allow comments. The slice is
 /// the whole scan unit: the cross-file `lb-coverage` rule treats it as
-/// the universe of definitions and test references.
-pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+/// the universe of definitions and test references. `roots` configures
+/// the reachability roots of the availability rules (the binary lets
+/// `--panic-root`/`--worker-root` extend the serve defaults).
+pub fn run_all_rooted(files: &[SourceFile], roots: &RootSet) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in files {
         findings.extend(no_panic::check(file));
@@ -127,11 +151,15 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
     }
     findings.extend(lb_coverage::check(files));
     findings.extend(exhaustive_invariance::check(files));
-    // Interprocedural rules share one whole-workspace analysis.
+    // Interprocedural rules share one whole-workspace analysis (and the
+    // effect rules reuse its call graph rather than building another).
     let ws = crate::interproc::analyze(files);
     findings.extend(prune_only::check(&ws, files));
     findings.extend(admissible_chain::check(&ws, files));
     findings.extend(shared_atomic_protocol::check(&ws, files));
+    let effects = crate::effects::analyze(&ws.graph, files);
+    findings.extend(no_panic_reachable::check(&ws, &effects, files, roots));
+    findings.extend(no_blocking_in_worker::check(&ws, &effects, files, roots));
     // Apply escape comments centrally so every rule honours them the
     // same way, including the cross-file one.
     findings.retain(|f| {
@@ -141,6 +169,27 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
             .is_none_or(|s| !s.allowed(f.rule, f.line))
     });
     findings
+}
+
+/// Probe an exemption accessor over a function's exemption window: the
+/// line above the item (attributes included) through the last line of
+/// the body. Shared by `admissible-chain` (witness-exempt) and
+/// `no-panic-reachable` (panic-exempt) so the window semantics cannot
+/// drift between rules.
+pub(crate) fn exemption_window<'f>(
+    file: &'f SourceFile,
+    node: &crate::resolve::FnNode<'_>,
+    probe: impl Fn(&'f SourceFile, usize, usize) -> Option<(usize, &'f str)>,
+) -> Option<(usize, &'f str)> {
+    let toks = file.tokens();
+    let start_line = node.item_span.line(toks);
+    let end_line = node
+        .decl
+        .body
+        .as_ref()
+        .and_then(|b| toks.get(b.span.hi.saturating_sub(1)))
+        .map_or(start_line, |t| t.line);
+    probe(file, start_line.saturating_sub(1), end_line)
 }
 
 /// Find the matching closing delimiter for the opener at `open`

@@ -38,6 +38,10 @@ pub struct SourceFile {
     pub is_crate_root: bool,
     /// `// lint: witness-exempt(reason)` comments: (line, reason).
     witness_exempts: Vec<(usize, String)>,
+    /// `// lint: panic-exempt(reason)` comments: (line, reason).
+    panic_exempts: Vec<(usize, String)>,
+    /// `// lint: blocking-allowed(reason)` comments: (line, reason).
+    blocking_allows: Vec<(usize, String)>,
     /// 1-based inclusive line ranges covered by `#[cfg(test)]` / `#[test]`
     /// items.
     test_spans: Vec<(usize, usize)>,
@@ -63,11 +67,9 @@ impl SourceFile {
                     .insert(rule);
             }
         }
-        let witness_exempts = lexed
-            .comments
-            .iter()
-            .filter_map(|c| parse_witness_exempt(&c.text).map(|r| (c.line, r)))
-            .collect();
+        let witness_exempts = exemption_comments(&lexed, "lint: witness-exempt");
+        let panic_exempts = exemption_comments(&lexed, "lint: panic-exempt");
+        let blocking_allows = exemption_comments(&lexed, "lint: blocking-allowed");
         let ast = crate::ast::parse(&lexed.tokens);
         let symbols = crate::symbols::collect(&ast);
         let is_crate_root = path.ends_with("src/lib.rs") || path == "lib.rs";
@@ -79,6 +81,8 @@ impl SourceFile {
             symbols,
             is_crate_root,
             witness_exempts,
+            panic_exempts,
+            blocking_allows,
             test_spans,
             allows,
         }
@@ -110,11 +114,69 @@ impl SourceFile {
     /// signature through the end of its body). The reason may be empty —
     /// the lb-witness rule rejects that separately.
     pub fn witness_exempt(&self, lo: usize, hi: usize) -> Option<(usize, &str)> {
-        self.witness_exempts
-            .iter()
-            .find(|(line, _)| lo <= *line && *line <= hi)
-            .map(|(line, reason)| (*line, reason.as_str()))
+        first_in_range(&self.witness_exempts, lo, hi)
     }
+
+    /// The first `// lint: panic-exempt(reason)` comment whose line falls
+    /// in `lo..=hi` — the window of a function the `no-panic-reachable`
+    /// rule would otherwise flag. The reason may be empty; the rule
+    /// rejects that separately so the empty escape cannot hide a finding.
+    pub fn panic_exempt(&self, lo: usize, hi: usize) -> Option<(usize, &str)> {
+        first_in_range(&self.panic_exempts, lo, hi)
+    }
+
+    /// The `// lint: blocking-allowed(reason)` comment covering `line`
+    /// (its own line, or a standalone comment on the line directly above
+    /// — site-level, like `allow(…)`, because the admission/reply
+    /// allowlist is a property of the individual blocking call, not of
+    /// its whole function). A *trailing* comment covers only the site it
+    /// shares a line with; it never leaks onto the next line.
+    pub fn blocking_allowed(&self, line: usize) -> Option<(usize, &str)> {
+        if let Some(hit) = first_in_range(&self.blocking_allows, line, line) {
+            return Some(hit);
+        }
+        let above = line.saturating_sub(1);
+        let hit = first_in_range(&self.blocking_allows, above, above)?;
+        if self.lexed.tokens.iter().any(|t| t.line == above) {
+            return None;
+        }
+        Some(hit)
+    }
+
+    /// How many reasoned (non-empty) exemption comments of each lint
+    /// marker the file carries: `(witness-exempt, panic-exempt,
+    /// blocking-allowed)`. Feeds the per-rule `exempted` counts recorded
+    /// in baseline schema v4.
+    pub fn exemption_tally(&self) -> (usize, usize, usize) {
+        let reasoned = |v: &[(usize, String)]| v.iter().filter(|(_, r)| !r.is_empty()).count();
+        (
+            reasoned(&self.witness_exempts),
+            reasoned(&self.panic_exempts),
+            reasoned(&self.blocking_allows),
+        )
+    }
+}
+
+/// First `(line, reason)` entry with `lo <= line <= hi`.
+fn first_in_range(entries: &[(usize, String)], lo: usize, hi: usize) -> Option<(usize, &str)> {
+    entries
+        .iter()
+        .find(|(line, _)| lo <= *line && *line <= hi)
+        .map(|(line, reason)| (*line, reason.as_str()))
+}
+
+/// Collect `(line, reason)` pairs for one `lint: <marker>(reason)`
+/// comment grammar across a lexed file. Doc comments never carry
+/// exemptions — they *describe* the grammar (rule modules quote it
+/// verbatim), so counting them would mint phantom exemptions out of
+/// documentation.
+fn exemption_comments(lexed: &Lexed, marker: &str) -> Vec<(usize, String)> {
+    lexed
+        .comments
+        .iter()
+        .filter(|c| !c.doc)
+        .filter_map(|c| parse_reason_marker(&c.text, marker).map(|r| (c.line, r)))
+        .collect()
 }
 
 /// Derive a [`FileKind`] from a workspace-relative path.
@@ -161,11 +223,13 @@ fn parse_allow(comment: &str) -> Vec<String> {
         .collect()
 }
 
-/// Parse `lint: witness-exempt(reason)` out of a comment. Returns the
-/// (possibly empty) reason when the marker is present.
-fn parse_witness_exempt(comment: &str) -> Option<String> {
-    let idx = comment.find("lint: witness-exempt")?;
-    let (_, tail) = comment.split_at(idx + "lint: witness-exempt".len());
+/// Parse `lint: <marker>(reason)` out of a comment. Returns the
+/// (possibly empty) reason when the marker is present. Shared by the
+/// `witness-exempt`, `panic-exempt` and `blocking-allowed` grammars so
+/// they cannot drift apart.
+fn parse_reason_marker(comment: &str, marker: &str) -> Option<String> {
+    let idx = comment.find(marker)?;
+    let (_, tail) = comment.split_at(idx + marker.len());
     let rest = tail.trim_start().strip_prefix('(')?;
     let close = rest.find(')')?;
     let (reason, _) = rest.split_at(close);
@@ -317,6 +381,54 @@ mod tests {
         assert!(f.witness_exempt(2, 3).is_none());
         // Empty reason is surfaced, not dropped.
         assert_eq!(f.witness_exempt(4, 5), Some((4, "")));
+    }
+
+    #[test]
+    fn panic_exempt_parsed_with_reason_and_range() {
+        let src = "// lint: panic-exempt(index bounded by the validated series length)\npub fn kernel() {}\nfn plain() {}\n// lint: panic-exempt()\nfn bare() {}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        let (line, reason) = f.panic_exempt(1, 2).unwrap();
+        assert_eq!(line, 1);
+        assert!(reason.starts_with("index bounded"));
+        assert!(f.panic_exempt(2, 3).is_none());
+        // Empty reason is surfaced, not dropped — the rule rejects it.
+        assert_eq!(f.panic_exempt(4, 5), Some((4, "")));
+        // Markers do not cross-contaminate.
+        assert!(f.witness_exempt(1, 5).is_none());
+    }
+
+    #[test]
+    fn blocking_allowed_covers_own_and_previous_line() {
+        let src = "// lint: blocking-allowed(admission queue handoff)\nlet g = rx.lock();\nlet j = g.recv(); // lint: blocking-allowed(idle wait for work)\nlet x = m.lock();\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert_eq!(
+            f.blocking_allowed(2).map(|(_, r)| r),
+            Some("admission queue handoff")
+        );
+        assert_eq!(
+            f.blocking_allowed(3).map(|(_, r)| r),
+            Some("idle wait for work")
+        );
+        assert!(
+            f.blocking_allowed(4).is_none(),
+            "comment covers one site, not the file"
+        );
+    }
+
+    #[test]
+    fn exemption_tally_counts_only_reasoned_comments() {
+        let src = "// lint: panic-exempt(reasoned)\nfn a() {}\n// lint: panic-exempt()\nfn b() {}\n// lint: blocking-allowed(reply send)\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert_eq!(f.exemption_tally(), (0, 1, 1));
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_grammar_are_not_exemptions() {
+        let src = "//! Escapes use `// lint: panic-exempt(reason)` comments.\n/// Sites carry `// lint: blocking-allowed(reason)`.\nfn a(v: &[f64]) -> f64 { v[0] }\n";
+        let f = SourceFile::parse("x.rs", src, FileKind::Library);
+        assert_eq!(f.exemption_tally(), (0, 0, 0));
+        assert!(f.panic_exempt(1, 3).is_none());
+        assert!(f.blocking_allowed(3).is_none());
     }
 
     #[test]

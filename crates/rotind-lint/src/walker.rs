@@ -14,9 +14,19 @@ use crate::source::{kind_for_path, relative_path, FileKind, SourceFile};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
-/// Directory names skipped entirely during the walk.
-const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+/// Directory names skipped entirely during the walk. This list is the
+/// *single* place workspace exclusions live — `main.rs`, the tests and
+/// the baseline all see the same universe because they all come through
+/// [`rust_files`] / [`is_skipped_dir`]; nothing re-filters ad hoc.
+pub const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git"];
+
+/// Should the workspace walk skip a directory with this name?
+pub fn is_skipped_dir(name: &str) -> bool {
+    SKIP_DIRS.contains(&name) || name.starts_with('.')
+}
 
 /// Recursively collect `.rs` files under `root`, sorted for determinism.
 pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
@@ -33,7 +43,7 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if entry.file_type()?.is_dir() {
-            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+            if is_skipped_dir(name.as_ref()) {
                 continue;
             }
             collect(&path, out)?;
@@ -53,12 +63,68 @@ pub fn load_file(root: &Path, file: &Path, kind: Option<FileKind>) -> io::Result
     Ok(SourceFile::parse(&rel, &src, kind))
 }
 
-/// Load the whole workspace rooted at `root`.
+/// Load the whole workspace rooted at `root`. Per-file work (read, lex,
+/// parse, symbols) is embarrassingly parallel, so it fans out over a
+/// small thread pool; the output order is the sorted [`rust_files`]
+/// order regardless of which worker finished first, keeping every
+/// downstream consumer (call graph node ids, baselines, reports)
+/// byte-deterministic. The interprocedural fixpoints stay sequential —
+/// only the front-end parallelises.
 pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
-    rust_files(root)?
-        .iter()
-        .map(|f| load_file(root, f, None))
+    let paths = rust_files(root)?;
+    load_files_parallel(root, &paths)
+}
+
+/// Parse `paths` on up to [`front_end_workers`] threads, reassembling
+/// results by index. Work is handed out through an atomic cursor so a
+/// few large files cannot strand a chunk-based split.
+fn load_files_parallel(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<SourceFile>> {
+    let workers = front_end_workers(paths.len());
+    if workers <= 1 {
+        return paths.iter().map(|f| load_file(root, f, None)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, io::Result<SourceFile>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(path) = paths.get(i) else { break };
+                if tx.send((i, load_file(root, path, None))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<SourceFile>> = Vec::new();
+    slots.resize_with(paths.len(), || None);
+    for (i, result) in rx {
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(result?);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.ok_or_else(|| {
+                io::Error::other(format!(
+                    "front-end worker dropped file #{i} without a result"
+                ))
+            })
+        })
         .collect()
+}
+
+/// Front-end thread count: bounded by available parallelism, eight (the
+/// parse phase saturates memory bandwidth long before core count on big
+/// hosts), and the number of files.
+fn front_end_workers(n_files: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    cores.min(8).min(n_files.max(1))
 }
 
 /// Load an explicit set of paths (files or directories). Paths are kept
@@ -109,5 +175,33 @@ mod tests {
         assert!(!files
             .iter()
             .any(|f| f.to_string_lossy().contains("fixtures")));
+    }
+
+    #[test]
+    fn skip_predicate_is_the_single_source_of_truth() {
+        for d in SKIP_DIRS {
+            assert!(is_skipped_dir(d));
+        }
+        assert!(is_skipped_dir(".hidden"));
+        assert!(!is_skipped_dir("crates"));
+        assert!(!is_skipped_dir("src"));
+    }
+
+    #[test]
+    fn parallel_load_preserves_sorted_order() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let paths = rust_files(root).unwrap();
+        assert!(paths.len() > 10, "enough files to exercise the pool");
+        let parallel = load_files_parallel(root, &paths).unwrap();
+        let sequential: Vec<SourceFile> = paths
+            .iter()
+            .map(|f| load_file(root, f, None))
+            .collect::<io::Result<_>>()
+            .unwrap();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.path, s.path, "order must match the sorted walk");
+            assert_eq!(p.tokens().len(), s.tokens().len());
+        }
     }
 }

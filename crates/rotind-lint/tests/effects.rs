@@ -1,0 +1,142 @@
+//! Properties of the interprocedural effect fixpoint (`effects.rs`):
+//! over randomly generated call webs with randomly seeded panic sites,
+//! the may-panic summaries must equal the reference transitive closure
+//! (least fixpoint — no over- or under-approximation), must grow
+//! monotonically as sites or edges are added, and must converge within
+//! the `nodes + 1` round bound the boolean lattice guarantees.
+
+use proptest::prelude::*;
+use rotind_lint::callgraph::CallGraph;
+use rotind_lint::effects;
+use rotind_lint::source::{FileKind, SourceFile};
+
+/// A random call web over `N_FNS` functions; bit `i` of `panics` plants
+/// an intrinsic panic site (raw indexing) in `f{i}`'s body.
+const N_FNS: usize = 6;
+
+fn program(picks: &[usize], panics: u32) -> String {
+    let mut bodies: Vec<String> = vec![String::new(); N_FNS];
+    for p in picks {
+        let caller = p % N_FNS;
+        let callee = (p / N_FNS) % N_FNS;
+        if let Some(b) = bodies.get_mut(caller) {
+            b.push_str(&format!("    f{callee}(v);\n"));
+        }
+    }
+    let mut src = String::new();
+    for (i, b) in bodies.iter().enumerate() {
+        let site = if panics & (1 << i) != 0 {
+            "    let _ = v[0];\n"
+        } else {
+            ""
+        };
+        src.push_str(&format!(
+            "fn f{i}(v: &[f64]) -> f64 {{\n{site}{b}    0.0\n}}\n"
+        ));
+    }
+    src
+}
+
+/// may-panic flags in `f0..fN` order, plus the rounds the fixpoint took
+/// and the node count.
+fn summaries(src: &str) -> (Vec<bool>, Vec<bool>, usize, usize) {
+    let files = vec![SourceFile::parse(
+        "crates/x/src/gen.rs",
+        src,
+        FileKind::Library,
+    )];
+    let g = CallGraph::build(&files);
+    let fx = effects::analyze(&g, &files);
+    let n = g.index.nodes.len();
+    // Reference: iterate `own ∨ successor` to its own fixpoint, naively.
+    let own: Vec<bool> = (0..n)
+        .map(|i| fx.fns.get(i).is_some_and(|f| f.panic_site.is_some()))
+        .collect();
+    let mut expect = own;
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if expect[i] {
+                continue;
+            }
+            let hit = g.sites_of.get(i).into_iter().flatten().any(|&s| {
+                g.sites
+                    .get(s)
+                    .is_some_and(|site| site.targets.iter().any(|&t| expect[t]))
+            });
+            if hit {
+                expect[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Reorder both vectors into f0..fN name order for stable comparison.
+    let by_name = |flags: &[bool]| -> Vec<bool> {
+        (0..N_FNS)
+            .map(|i| {
+                let name = format!("f{i}");
+                g.index
+                    .nodes
+                    .iter()
+                    .find(|node| node.decl.name == name)
+                    .is_some_and(|node| flags[node.id])
+            })
+            .collect()
+    };
+    let got: Vec<bool> = (0..n).map(|i| fx.fns[i].may_panic).collect();
+    (by_name(&got), by_name(&expect), fx.rounds, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The analysis computes exactly the reference closure: neither an
+    /// unreachable panic smuggled in nor a reachable one dropped.
+    #[test]
+    fn panic_summaries_equal_the_reference_closure(
+        picks in prop::collection::vec(0usize..1000, 0..40),
+        panics in 0u32..(1 << N_FNS),
+    ) {
+        let src = program(&picks, panics);
+        let (got, expect, _, _) = summaries(&src);
+        prop_assert_eq!(&got, &expect, "fixpoint deviates from closure on:\n{}", src);
+    }
+
+    /// Adding a panic site, or adding call edges, can only ever *grow*
+    /// the may-panic set — the transfer function is monotone.
+    #[test]
+    fn panic_summaries_are_monotone(
+        picks in prop::collection::vec(0usize..1000, 0..40),
+        panics in 0u32..(1 << N_FNS),
+        extra_bit in 0u32..N_FNS as u32,
+        cut in 0usize..40,
+    ) {
+        let (base, _, _, _) = summaries(&program(&picks, panics));
+        // More sites, same edges.
+        let (more_sites, _, _, _) = summaries(&program(&picks, panics | (1 << extra_bit)));
+        for (i, (b, m)) in base.iter().zip(&more_sites).enumerate() {
+            prop_assert!(!b || *m, "adding a site shrank may_panic(f{i})");
+        }
+        // Same sites, fewer edges (prefix of the picks).
+        let cut = cut.min(picks.len());
+        let (fewer_edges, _, _, _) = summaries(&program(&picks[..cut], panics));
+        for (i, (f, b)) in fewer_edges.iter().zip(&base).enumerate() {
+            prop_assert!(!f || *b, "removing an edge grew may_panic(f{i})");
+        }
+    }
+
+    /// The boolean lattice has height 1 per function, so the round-based
+    /// fixpoint must converge in at most `nodes + 1` sweeps.
+    #[test]
+    fn fixpoint_terminates_within_the_lattice_bound(
+        picks in prop::collection::vec(0usize..1000, 0..40),
+        panics in 0u32..(1 << N_FNS),
+    ) {
+        let src = program(&picks, panics);
+        let (_, _, rounds, nodes) = summaries(&src);
+        prop_assert!(rounds <= nodes + 1, "{rounds} rounds for {nodes} nodes on:\n{src}");
+    }
+}

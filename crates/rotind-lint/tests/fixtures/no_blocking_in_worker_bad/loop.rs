@@ -1,0 +1,10 @@
+//! Seeded violation: the worker loop looks lock-free here — the mutex
+//! hides two calls down, in `metrics.rs`.
+
+pub fn worker_loop(s: &Shared) {
+    run_job(s);
+}
+
+fn run_job(s: &Shared) {
+    observe(s);
+}

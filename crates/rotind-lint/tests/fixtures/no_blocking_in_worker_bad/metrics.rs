@@ -1,0 +1,6 @@
+//! A surprise mutex on the worker hot path, with no
+//! `// lint: blocking-allowed(…)` to vouch for it.
+
+pub fn observe(s: &Shared) {
+    let _g = s.counts.lock();
+}

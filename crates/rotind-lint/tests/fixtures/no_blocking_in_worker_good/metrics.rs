@@ -1,0 +1,5 @@
+//! Non-blocking observation: a missed sample beats an unbounded wait.
+
+pub fn observe(s: &Shared) {
+    let _g = s.counts.try_lock();
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: the serve root only *calls* helpers — the panic
+//! it certifies against lives two hops away in `kernel.rs`.
+
+pub fn worker_loop(v: &[f64]) -> f64 {
+    estimate(v)
+}

@@ -1,0 +1,16 @@
+//! Bounded access (`first` + `unwrap_or`) plus a reasoned exemption on
+//! the hot kernel: both escapes the certificate honours.
+
+pub fn estimate(v: &[f64]) -> f64 {
+    kernel(v) + hot_kernel(v, 8)
+}
+
+pub fn kernel(v: &[f64]) -> f64 {
+    v.first().copied().unwrap_or(0.0)
+}
+
+// lint: panic-exempt(the divisor is clamped to at least one on the line above the division)
+pub fn hot_kernel(v: &[f64], chunk: usize) -> f64 {
+    let chunk = chunk.max(1);
+    (v.len() / chunk) as f64
+}

@@ -1,0 +1,6 @@
+//! The burned-down twin of `no_panic_reachable_bad`: same call shape,
+//! but the kernel bounds its access, so the serve root certifies clean.
+
+pub fn worker_loop(v: &[f64]) -> f64 {
+    estimate(v)
+}

@@ -3,9 +3,10 @@
 //! the CLI binary's exit codes.
 
 use rotind_lint::baseline;
+use rotind_lint::effects::RootSet;
 use rotind_lint::findings::{count_by_rule_and_file, witness_hashes, Finding};
 use rotind_lint::rules::ALL_RULES;
-use rotind_lint::{lint_paths, lint_workspace, workspace_root};
+use rotind_lint::{lint_paths, lint_workspace, scan_workspace, workspace_root};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -230,6 +231,55 @@ fn prune_only_interprocedural_fixture_pair() {
     assert_pair("prune-only", "prune_only_bad", "prune_only_good");
 }
 
+/// The panic-certificate pair is a two-file fixture crate: a fn named
+/// like a serve root launders an index through two helpers, the second
+/// in a different file — the finding must compose the cross-file chain.
+#[test]
+fn no_panic_reachable_fixture_pair() {
+    let findings = lint_fixture("no_panic_reachable_bad");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "no-panic-reachable")
+        .collect();
+    assert!(
+        hits.iter().any(|f| {
+            f.path.ends_with("kernel.rs")
+                && !f.witness.is_empty()
+                && f.witness.iter().any(|w| w.path.ends_with("loop.rs"))
+        }),
+        "the kernel.rs finding must witness back into loop.rs: {hits:?}"
+    );
+    assert_pair(
+        "no-panic-reachable",
+        "no_panic_reachable_bad",
+        "no_panic_reachable_good",
+    );
+}
+
+/// The worker-blocking pair: a mutex taken two calls below the worker
+/// loop, in a different file, with no allowlist comment.
+#[test]
+fn no_blocking_in_worker_fixture_pair() {
+    let findings = lint_fixture("no_blocking_in_worker_bad");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "no-blocking-in-worker")
+        .collect();
+    assert!(
+        hits.iter().any(|f| {
+            f.path.ends_with("metrics.rs")
+                && !f.witness.is_empty()
+                && f.witness.iter().any(|w| w.path.ends_with("loop.rs"))
+        }),
+        "the metrics.rs finding must witness back into loop.rs: {hits:?}"
+    );
+    assert_pair(
+        "no-blocking-in-worker",
+        "no_blocking_in_worker_bad",
+        "no_blocking_in_worker_good",
+    );
+}
+
 /// Acceptance check for the SARIF surface: the injected violation shows
 /// up as a result with a `codeFlow` whose locations span both files.
 #[test]
@@ -249,16 +299,45 @@ fn sarif_reports_a_multi_file_witness_path() {
     );
 }
 
+/// Both availability rules must surface their composed root→site chain
+/// as SARIF `codeFlows` spanning the fixture crate's files.
+#[test]
+fn sarif_code_flows_for_availability_rules_span_files() {
+    for (fix, rule) in [
+        ("no_panic_reachable_bad", "no-panic-reachable"),
+        ("no_blocking_in_worker_bad", "no-blocking-in-worker"),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_rotind-lint"))
+            .args(["--format", "sarif"])
+            .arg(fixture(fix))
+            .output()
+            .expect("spawn rotind-lint");
+        assert_eq!(out.status.code(), Some(1), "{fix} must fail the gate");
+        let sarif = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            sarif.contains(&format!("\"ruleId\": \"{rule}\"")),
+            "{sarif}"
+        );
+        assert!(sarif.contains("\"codeFlows\""), "{sarif}");
+        assert!(
+            sarif.contains(&format!("{fix}/loop.rs")),
+            "codeFlow must reach back into the root file:\n{sarif}"
+        );
+    }
+}
+
 /// The committed ratchet file must be exactly what a fresh scan of the
 /// workspace produces in canonical form — no stale counts, no hand edits.
 /// (`--write-baseline` regenerates it; this test is what keeps it honest.)
 #[test]
 fn committed_baseline_matches_fresh_workspace_scan() {
     let root = workspace_root();
-    let findings = lint_workspace(root).expect("workspace scan must not fail on I/O");
+    let scan = scan_workspace(root, &RootSet::serve_default())
+        .expect("workspace scan must not fail on I/O");
     let fresh = baseline::to_json(
-        &count_by_rule_and_file(&findings),
-        &witness_hashes(&findings),
+        &count_by_rule_and_file(&scan.findings),
+        &witness_hashes(&scan.findings),
+        &scan.exempted,
     );
     let committed = std::fs::read_to_string(root.join(baseline::BASELINE_FILE))
         .expect("lint-baseline.json must be committed at the workspace root");
@@ -268,7 +347,26 @@ fn committed_baseline_matches_fresh_workspace_scan() {
     );
     // And the committed bytes must round-trip through the parser.
     let parsed = baseline::from_json(&committed).expect("committed baseline must parse");
-    assert_eq!(parsed, count_by_rule_and_file(&findings));
+    assert_eq!(parsed, count_by_rule_and_file(&scan.findings));
+}
+
+/// Deliberately rule-violating fixture crates (the `_bad` trees under
+/// `tests/fixtures/`) must never leak into the workspace scan — the
+/// walker's single skip predicate is what keeps the baseline describing
+/// rotind code only.
+#[test]
+fn bad_fixture_crates_never_leak_into_the_workspace_baseline() {
+    let findings = lint_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        findings.iter().all(|f| !f.path.contains("fixtures")),
+        "fixture findings leaked into the workspace scan"
+    );
+    let committed =
+        std::fs::read_to_string(workspace_root().join(baseline::BASELINE_FILE)).expect("baseline");
+    assert!(
+        !committed.contains("fixtures"),
+        "fixture paths leaked into the committed baseline"
+    );
 }
 
 /// Workspace findings must all sit inside rules the baseline knows about,
@@ -330,7 +428,7 @@ fn binary_lists_every_rule() {
     for rule in ALL_RULES {
         assert!(stdout.contains(rule.id), "--list missing {}", rule.id);
     }
-    assert_eq!(ALL_RULES.len(), 16);
+    assert_eq!(ALL_RULES.len(), 18);
 }
 
 #[test]

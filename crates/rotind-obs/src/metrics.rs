@@ -28,6 +28,7 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics when `bounds` is empty or not strictly ascending.
+    // lint: panic-exempt(documented precondition: registry histograms are built from static ascending bound lists)
     pub fn new(bounds: Vec<f64>) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bound");
         assert!(
@@ -61,6 +62,7 @@ impl Histogram {
     }
 
     /// Record one observation.
+    // lint: panic-exempt(counts has bounds.len() + 1 slots, and position never exceeds bounds.len())
     pub fn observe(&mut self, value: f64) {
         let idx = self
             .bounds
@@ -101,6 +103,7 @@ impl Histogram {
     ///
     /// # Panics
     /// Panics when the bucket bounds differ.
+    // lint: panic-exempt(documented precondition: merged registries are created from the same static bounds)
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bounds, other.bounds, "histogram bounds must match");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -212,6 +215,7 @@ impl LogHistogram {
 
     /// Record one sample.
     #[inline]
+    // lint: panic-exempt(bucket_index is below LOG_BUCKETS for every u64 by construction)
     pub fn observe(&mut self, value: u64) {
         // `bucket_index` is < LOG_BUCKETS for every u64 by construction.
         // rotind-lint: allow(no-index)

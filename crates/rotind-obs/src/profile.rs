@@ -96,6 +96,7 @@ impl ProfileTree {
         self.roots.is_empty()
     }
 
+    // lint: panic-exempt(path_of always yields at least the phase's own name)
     fn node_mut(&mut self, path: &[&'static str]) -> &mut ProfileNode {
         // `path_of` always yields at least the phase's own name.
         // rotind-lint: allow(no-panic)
@@ -389,6 +390,7 @@ impl SearchObserver for Profiler {
         self.stack.push((phase, Instant::now(), steps));
     }
 
+    // lint: panic-exempt(CascadeTier::index is below ALL.len() by construction)
     fn on_phase_end(&mut self, phase: ProfilePhase, steps: u64) {
         // The engine strictly nests phases; a mismatched end would mean
         // a bug upstream — drop it rather than corrupt the tree or
@@ -421,6 +423,7 @@ impl SearchObserver for Profiler {
     }
 
     #[inline]
+    // lint: panic-exempt(CascadeTier::index is below ALL.len() by construction)
     fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
         // `CascadeTier::index()` is < ALL.len() by construction.
         // rotind-lint: allow(no-index)

@@ -157,6 +157,7 @@ impl QueryTrace {
 
     /// Fold `other` into this trace (accumulate across queries).
     /// K changes keep their per-query sequence numbers.
+    // lint: panic-exempt(both level vectors are resized to the shared maximum before the writes)
     pub fn merge(&mut self, other: &QueryTrace) {
         let levels = self.tested_by_level.len().max(other.tested_by_level.len());
         self.tested_by_level.resize(levels, 0);
@@ -307,6 +308,7 @@ impl Default for QueryTrace {
 }
 
 impl SearchObserver for QueryTrace {
+    // lint: panic-exempt(level_slot grows both per-level vectors past level before the increments)
     fn on_wedge_tested(&mut self, level: usize, lb: f64, best_so_far: f64, pruned: bool) {
         let _ = best_so_far;
         self.wedge_seq += 1;
@@ -348,6 +350,7 @@ impl SearchObserver for QueryTrace {
         });
     }
 
+    // lint: panic-exempt(CascadeTier::index is below the fixed tier-array length by construction)
     fn on_cascade_tier(&mut self, tier: CascadeTier, pruned: bool) {
         let i = tier.index();
         self.tier_tested[i] = self.tier_tested[i].saturating_add(1);

@@ -120,6 +120,7 @@ struct Shared {
 /// monotonic counters and histograms, safe to keep appending to even
 /// if some other thread panicked mid-update.
 fn lock_metrics(shared: &Shared) -> MutexGuard<'_, MetricsRegistry> {
+    // lint: blocking-allowed(metrics lock is held for counter appends only; no IO or waits ever run under it)
     shared.metrics.lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -402,7 +403,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     loop {
         let mut batch = Vec::new();
         {
+            // lint: blocking-allowed(admission handoff: workers hold the queue lock only to drain one batch)
             let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            // lint: blocking-allowed(idle wait for the next admitted job is the worker's designed parking point)
             match guard.recv() {
                 Ok(job) => batch.push(job),
                 // Every sender dropped and the queue drained: done.
@@ -479,6 +482,7 @@ fn run_job(shared: &Shared, cache: &mut BatchPaaCache, mut job: Job) {
     }
     // The connection may be gone (client hung up, shutdown): the
     // answer is dropped, never a panic.
+    // lint: blocking-allowed(std mpsc senders never block: the reply channel is unbounded, and a gone receiver just returns Err)
     let _ = job.reply.send(response);
 }
 

@@ -14,6 +14,7 @@ impl Bitmap {
     /// # Panics
     ///
     /// Panics on zero width or height.
+    // lint: panic-exempt(documented precondition: shape rasters always have positive dimensions)
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "Bitmap::new: zero dimension");
         Bitmap {
@@ -48,6 +49,7 @@ impl Bitmap {
 
     /// Pixel value; out-of-range coordinates read as background.
     #[inline]
+    // lint: panic-exempt(the guard above returns background for any out-of-range coordinate)
     pub fn get(&self, x: isize, y: isize) -> bool {
         if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
             return false;

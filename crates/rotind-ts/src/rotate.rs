@@ -87,6 +87,7 @@ pub struct RotationView<'a> {
 impl<'a> RotationView<'a> {
     /// Element `i` of the rotated series.
     #[inline]
+    // lint: panic-exempt(k < n after the conditional subtract, since i < n and shift < n)
     pub fn get(&self, i: usize) -> f64 {
         let n = self.base.len();
         let mut k = i + self.shift;
@@ -117,6 +118,7 @@ impl<'a> RotationView<'a> {
     }
 
     /// Materialize this rotation as an owned vector.
+    // lint: panic-exempt(shift is reduced mod the base length at construction)
     pub fn to_vec(&self) -> Vec<f64> {
         let n = self.base.len();
         let mut out = Vec::with_capacity(n);
@@ -247,6 +249,7 @@ impl RotationMatrix {
 
     /// Zero-copy view of an arbitrary rotation (not necessarily a row of
     /// this matrix — useful for tests).
+    // lint: panic-exempt(mirrored rotations are only minted by full_with_mirror, which populates the mirror rows)
     pub fn view(&self, rotation: Rotation) -> RotationView<'_> {
         let base: &[f64] = if rotation.mirrored {
             self.mirrored
@@ -265,6 +268,7 @@ impl RotationMatrix {
     }
 
     /// Zero-copy view of row `row` (construction order).
+    // lint: panic-exempt(row ids come from the matrix's own construction order)
     pub fn row(&self, row: usize) -> RotationView<'_> {
         self.view(self.rotations[row])
     }

@@ -26,9 +26,55 @@ cargo run -q -p rotind-lint -- --format sarif > results/lint.sarif
 python3 - <<'PY'
 import json
 doc = json.load(open("results/lint.sarif"))
-n = len(doc["runs"][0]["results"])
-print(f"results/lint.sarif: SARIF {doc['version']}, {n} result(s)")
+assert doc["version"] == "2.1.0", doc["version"]
+run = doc["runs"][0]
+declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+results = run["results"]
+for r in results:
+    assert r["ruleId"] in declared, f"undeclared rule {r['ruleId']}"
+    loc = r["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] and loc["region"]["startLine"] >= 1
+print(f"results/lint.sarif: SARIF {doc['version']}, {len(declared)} rule(s), "
+      f"{len(results)} result(s)")
 PY
+
+echo "==> availability certification (panic-freedom + blocking hazards on the serve roots)"
+# The seeded fixture violations must fail the gate with composed
+# multi-file codeFlow witnesses; the burned-down twins must certify
+# clean. Exit codes are the contract, so each leg is asserted explicitly.
+FIXTURES=crates/rotind-lint/tests/fixtures
+AVAIL_SARIF="$(mktemp)"
+for pair in no_panic_reachable_bad:no-panic-reachable \
+            no_blocking_in_worker_bad:no-blocking-in-worker; do
+    dir="${pair%%:*}" rule="${pair##*:}"
+    if cargo run -q -p rotind-lint -- --format sarif "$FIXTURES/$dir" \
+        > "$AVAIL_SARIF" 2>/dev/null; then
+        echo "$dir: seeded violation did not fail the gate" >&2
+        exit 1
+    fi
+    python3 - "$AVAIL_SARIF" "$rule" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rule = sys.argv[2]
+hits = [r for r in doc["runs"][0]["results"] if r["ruleId"] == rule]
+assert hits, f"no {rule} results in fixture SARIF"
+files = {s["location"]["physicalLocation"]["artifactLocation"]["uri"]
+         for r in hits for cf in r.get("codeFlows", [])
+         for tf in cf["threadFlows"] for s in tf["locations"]}
+assert len(files) >= 2, f"{rule} witness does not span files: {files}"
+print(f"{rule}: seeded finding witnessed across "
+      f"{sorted(f.rsplit('/', 1)[-1] for f in files)}")
+PY
+done
+rm -f "$AVAIL_SARIF"
+for dir in no_panic_reachable_good no_blocking_in_worker_good; do
+    cargo run -q -p rotind-lint -- "$FIXTURES/$dir" >/dev/null
+    echo "$dir: certifies clean"
+done
+
+echo "==> baseline schema migration self-test (v1-v3 files still parse, v4 round-trips)"
+cargo test -q -p rotind-lint --lib baseline:: >/dev/null
+echo "baseline v1..v4 migrations: PASS"
 
 echo "==> cargo build --release"
 cargo build --release
