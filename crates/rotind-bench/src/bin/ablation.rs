@@ -111,16 +111,17 @@ fn run() -> Result<(), BenchError> {
     let base_tree = WedgeTree::new(RotationMatrix::full(query)?, 0);
     let cut = base_tree.cut_nodes(16.min(n));
     let mean_cut_lb = |band: usize| -> f64 {
+        // Widen each cut wedge once per band, not once per (item, node):
+        // the scan below is then allocation-free per item.
+        let widened: Vec<_> = cut
+            .iter()
+            .map(|&node| base_tree.wedge(node).widened(band))
+            .collect();
         db.iter()
             .map(|item| {
-                cut.iter()
-                    .map(|&node| {
-                        lb_keogh(
-                            item,
-                            &base_tree.wedge(node).widened(band),
-                            &mut StepCounter::new(),
-                        )
-                    })
+                widened
+                    .iter()
+                    .map(|wedge| lb_keogh(item, wedge, &mut StepCounter::new()))
                     .fold(f64::INFINITY, f64::min)
             })
             .sum::<f64>()

@@ -1,8 +1,14 @@
 //! Euclidean distance, plain and early-abandoning (Table 1 of the paper).
+//!
+//! The accumulation itself lives in [`crate::kernels`] (the lane-parallel
+//! canonical order shared with the `LB_Keogh` bound kernels); this module
+//! keeps the paper-facing API and its dismissal semantics.
 
+use crate::kernels;
 use rotind_ts::StepCounter;
 
-/// Squared Euclidean distance `Σ (qᵢ − cᵢ)²`.
+/// Squared Euclidean distance `Σ (qᵢ − cᵢ)²`, accumulated in the
+/// canonical lane-parallel order of [`crate::kernels`].
 ///
 /// # Panics
 ///
@@ -10,14 +16,12 @@ use rotind_ts::StepCounter;
 /// once at the API boundary so the hot path never re-checks.
 #[inline]
 pub fn squared_euclidean(q: &[f64], c: &[f64]) -> f64 {
-    assert_eq!(q.len(), c.len(), "squared_euclidean: length mismatch");
-    q.iter()
-        .zip(c)
-        .map(|(a, b)| {
-            let d = a - b;
-            d * d
-        })
-        .sum()
+    let mut scratch = StepCounter::new();
+    kernels::engine::sq_dist_abandon(q, c, f64::INFINITY, &mut scratch)
+        // Invariant: `acc > r²` is unsatisfiable for r = ∞, so the
+        // early-abandon path cannot return Err.
+        // rotind-lint: allow(no-panic)
+        .expect("infinite radius never abandons")
 }
 
 /// Euclidean distance `√Σ (qᵢ − cᵢ)²` (the paper's `ED(Q, C)`).
@@ -45,25 +49,21 @@ pub fn euclidean(q: &[f64], c: &[f64]) -> f64 {
 ///
 /// With `r = f64::INFINITY` this computes the exact distance (never
 /// abandons), matching the brute-force invocation of Table 2.
-// lint: panic-exempt(length equality is validated at snapshot admission; the assert documents the kernel contract)
+///
+/// The sum runs in the canonical lane-parallel order with block-granular
+/// abandon checks (see [`crate::kernels`]); dismissal stays strict and a
+/// tripped block is replayed per element, so observed trip positions and
+/// step counts match the historical scalar loop.
+// lint: panic-exempt(length equality is validated at snapshot admission; the kernel asserts the contract)
 pub fn euclidean_early_abandon(
     q: &[f64],
     c: &[f64],
     r: f64,
     counter: &mut StepCounter,
 ) -> Option<f64> {
-    assert_eq!(q.len(), c.len(), "euclidean_early_abandon: length mismatch");
-    let r2 = r * r;
-    let mut acc = 0.0;
-    for (a, b) in q.iter().zip(c) {
-        let d = a - b;
-        acc += d * d;
-        counter.tick();
-        if acc > r2 && acc.sqrt() > r {
-            return None;
-        }
-    }
-    Some(acc.sqrt())
+    kernels::engine::sq_dist_abandon(q, c, r, counter)
+        .ok()
+        .map(f64::sqrt)
 }
 
 /// Early-abandoning Euclidean distance against a rotated view, avoiding
@@ -71,6 +71,7 @@ pub fn euclidean_early_abandon(
 /// `base` circularly shifted by `shift` (row `shift` of the paper's matrix
 /// **C**). The boundary semantics match [`euclidean_early_abandon`]:
 /// dismissal is strict in reported-distance space.
+// lint: panic-exempt(length equality is validated at snapshot admission; the kernel asserts the contract)
 pub fn euclidean_early_abandon_rotated(
     candidate: &[f64],
     base: &[f64],
@@ -84,28 +85,16 @@ pub fn euclidean_early_abandon_rotated(
         n,
         "euclidean_early_abandon_rotated: length mismatch"
     );
-    let r2 = r * r;
-    let mut acc = 0.0;
     let shift = shift % n.max(1);
-    // Two contiguous runs instead of a modulo per element.
+    // Two contiguous runs instead of a modulo per element; the split
+    // kernel walks the logical rotation `tail ++ head` on the same chunk
+    // grid as a materialised rotation, so sums, trip positions and step
+    // counts are bit-identical to [`euclidean_early_abandon`] on the
+    // materialised series.
     let (head, tail) = base.split_at(shift);
-    for (a, b) in candidate[..n - shift].iter().zip(tail) {
-        let d = a - b;
-        acc += d * d;
-        counter.tick();
-        if acc > r2 && acc.sqrt() > r {
-            return None;
-        }
-    }
-    for (a, b) in candidate[n - shift..].iter().zip(head) {
-        let d = a - b;
-        acc += d * d;
-        counter.tick();
-        if acc > r2 && acc.sqrt() > r {
-            return None;
-        }
-    }
-    Some(acc.sqrt())
+    kernels::engine::sq_dist_abandon_split(candidate, tail, head, r, counter)
+        .ok()
+        .map(f64::sqrt)
 }
 
 #[cfg(test)]

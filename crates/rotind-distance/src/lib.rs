@@ -24,9 +24,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod dtw;
 pub mod euclidean;
+pub mod kernels;
 pub mod lcss;
 pub mod measure;
 pub mod rotation;

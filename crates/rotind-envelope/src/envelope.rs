@@ -48,13 +48,16 @@ pub fn sliding_min(xs: &[f64], r: usize) -> Vec<f64> {
     out
 }
 
-/// Reusable workspace for the monotonic-deque kernel. One instance can
+/// Reusable workspace for the sliding-extreme kernels. One instance can
 /// serve any number of [`sliding_max_into`] / [`sliding_min_into`] calls
-/// of any length; the deque's backing storage is retained between calls
-/// so a loop over many envelopes (the hierarchy build, for instance)
-/// performs no per-call allocation beyond the output it keeps.
+/// of any length; the block prefix/suffix buffers (and the deque of the
+/// historical reference kernel) are retained between calls so a loop
+/// over many envelopes (the hierarchy build, for instance) performs no
+/// per-call allocation beyond the output it keeps.
 #[derive(Debug, Default)]
 pub struct SlidingScratch {
+    prefix: Vec<f64>,
+    suffix: Vec<f64>,
     deque: std::collections::VecDeque<usize>,
 }
 
@@ -66,24 +69,167 @@ impl SlidingScratch {
 }
 
 /// Buffer-reusing form of [`sliding_max`]: clears `out` and fills it
-/// with the windowed maxima, reusing both `out`'s capacity and the
-/// deque inside `scratch`.
+/// with the windowed maxima, reusing `out`'s capacity and the block
+/// buffers inside `scratch`.
 pub fn sliding_max_into(xs: &[f64], r: usize, scratch: &mut SlidingScratch, out: &mut Vec<f64>) {
-    sliding_extreme_into(xs, r, |a, b| a >= b, scratch, out);
+    sliding_extreme_into(xs, r, |a, b| a >= b, |a, b| a > b, scratch, out);
 }
 
 /// Buffer-reusing form of [`sliding_min`].
 pub fn sliding_min_into(xs: &[f64], r: usize, scratch: &mut SlidingScratch, out: &mut Vec<f64>) {
-    sliding_extreme_into(xs, r, |a, b| a <= b, scratch, out);
+    sliding_extreme_into(xs, r, |a, b| a <= b, |a, b| a < b, scratch, out);
 }
 
-/// Shared monotonic-deque kernel; `dominates(a, b)` is `a >= b` for max,
-/// `a <= b` for min.
-// lint: panic-exempt(the deque holds only indices already pushed from 0..n)
+/// Shared van Herk / Gil–Werman sliding-extreme kernel: two branch-light
+/// linear passes over blocks of the window width `w = 2r + 1` (a running
+/// prefix extreme within each block and a running suffix extreme within
+/// each block), then one select per output position:
+///
+/// * window inside one block (only at a clamped array edge) —
+///   `prefix[hi]` when the window starts at the block, else
+///   `suffix[lo]` (which then ends exactly at the array edge);
+/// * window spanning two adjacent blocks — the better of `suffix[lo]`
+///   (covering `lo..` to the block seam) and `prefix[hi]` (covering the
+///   seam `..=hi`).
+///
+/// Replaces the monotonic deque on the build path: same `O(n)` bound but
+/// no pointer-chasing, no data-dependent branching, and the per-element
+/// work is a compare/select the autovectoriser handles. The tie rules
+/// are engineered to keep the *latest* position among equal values —
+/// `replaces` admits ties on the forward pass, `strict` rejects them on
+/// the backward pass and at the combine — which is exactly the deque's
+/// domination rule, so the two kernels agree bit for bit (±0.0 included)
+/// on every NaN-free input.
+// lint: panic-exempt(prefix/suffix are sized to n and every index is lo <= i <= hi < n by construction)
 fn sliding_extreme_into(
     xs: &[f64],
     r: usize,
-    dominates: fn(f64, f64) -> bool,
+    replaces: impl Fn(f64, f64) -> bool,
+    strict: impl Fn(f64, f64) -> bool,
+    scratch: &mut SlidingScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    let n = xs.len();
+    if n == 0 {
+        return;
+    }
+    if r == 0 {
+        out.extend_from_slice(xs);
+        return;
+    }
+    let w = 2 * r + 1;
+    let prefix = &mut scratch.prefix;
+    let suffix = &mut scratch.suffix;
+    prefix.clear();
+    prefix.reserve(n);
+    suffix.clear();
+    suffix.resize(n, 0.0);
+    // Forward pass: running extreme within each w-block.
+    let mut run = 0.0;
+    let mut left_in_block = 0usize;
+    for &x in xs {
+        run = if left_in_block == 0 || replaces(x, run) {
+            left_in_block = if left_in_block == 0 { w } else { left_in_block };
+            x
+        } else {
+            run
+        };
+        left_in_block -= 1;
+        prefix.push(run);
+    }
+    // Backward pass: running extreme from each position to its block end
+    // (ties keep the running value, i.e. the later position). `pos_mod`
+    // tracks `(i + 1) % w` by countdown so the loop divides only once.
+    let mut run = 0.0;
+    let mut pos_mod = n % w;
+    for i in (0..n).rev() {
+        // rotind-lint: allow(no-index) — i ranges over 0..n of same-length buffers
+        let x = xs[i];
+        let at_block_end = pos_mod == 0 || i + 1 == n;
+        run = if at_block_end || strict(x, run) {
+            x
+        } else {
+            run
+        };
+        // rotind-lint: allow(no-index)
+        suffix[i] = run;
+        pos_mod = if pos_mod == 0 { w - 1 } else { pos_mod - 1 };
+    }
+    // Combine, in three regions so the hot middle is division- and
+    // branch-light.
+    //
+    // Left edge (`i < r`): the window is `[0, i + r]` with `i + r <
+    // 2r < w`, one block starting at 0 — `prefix[i + r]` covers it.
+    let left_end = r.min(n);
+    for i in 0..left_end {
+        out.push(prefix[(i + r).min(n - 1)]);
+    }
+    // Middle (`r <= i < n − r`): the window is exactly `[i − r, i + r]`.
+    // When it spans two blocks the select below is the textbook van Herk
+    // combine; when it happens to be one whole block (`lo % w == 0`,
+    // `hi = lo + w − 1`), `suffix[lo]` and `prefix[hi]` both cover that
+    // exact block with the same keep-latest tie rule, so they are
+    // bit-equal and the select is still exact.
+    if n > 2 * r {
+        let m = n - 2 * r;
+        for (&s, &p) in suffix[..m].iter().zip(&prefix[2 * r..]) {
+            out.push(if strict(s, p) { s } else { p });
+        }
+    }
+    // Right edge (`i >= max(r, n − r)`): the window is `[i − r, n − 1]`.
+    // Only `min(r, n)` positions, so the per-position division is cold.
+    let right_start = left_end.max(n.saturating_sub(r));
+    let last_block = (n - 1) / w;
+    for i in right_start..n {
+        let lo = i - r;
+        let v = if lo / w == last_block {
+            // One block ending at the array edge: `suffix[lo]` covers it
+            // (or the whole block does, when the window starts it).
+            if lo.is_multiple_of(w) {
+                prefix[n - 1]
+            } else {
+                suffix[lo]
+            }
+        } else if strict(suffix[lo], prefix[n - 1]) {
+            suffix[lo]
+        } else {
+            prefix[n - 1]
+        };
+        out.push(v);
+    }
+}
+
+/// The historical monotonic-deque sliding maximum, kept as the scalar
+/// reference the van Herk kernel is equivalence-tested (and benched)
+/// against.
+pub fn sliding_max_into_seq(
+    xs: &[f64],
+    r: usize,
+    scratch: &mut SlidingScratch,
+    out: &mut Vec<f64>,
+) {
+    sliding_extreme_into_deque(xs, r, |a, b| a >= b, scratch, out);
+}
+
+/// The historical monotonic-deque sliding minimum; see
+/// [`sliding_max_into_seq`].
+pub fn sliding_min_into_seq(
+    xs: &[f64],
+    r: usize,
+    scratch: &mut SlidingScratch,
+    out: &mut Vec<f64>,
+) {
+    sliding_extreme_into_deque(xs, r, |a, b| a <= b, scratch, out);
+}
+
+/// Monotonic-deque kernel; `dominates(a, b)` is `a >= b` for max,
+/// `a <= b` for min.
+// lint: panic-exempt(the deque holds only indices already pushed from 0..n)
+fn sliding_extreme_into_deque(
+    xs: &[f64],
+    r: usize,
+    dominates: impl Fn(f64, f64) -> bool,
     scratch: &mut SlidingScratch,
     out: &mut Vec<f64>,
 ) {
@@ -247,6 +393,38 @@ mod tests {
         assert_eq!(out, vec![2.0, 2.0]);
         sliding_min_into(&[], 3, &mut scratch, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn van_herk_matches_deque_bitwise() {
+        // The block kernel must agree with the historical deque bit for
+        // bit, including the keep-latest rule on ±0.0 ties.
+        let mut signed_zeros: Vec<f64> = (0..37)
+            .map(|i| match i % 4 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => (i as f64 * 0.3).sin(),
+                _ => -(i as f64 * 0.7).cos().abs(),
+            })
+            .collect();
+        signed_zeros[11] = 0.0;
+        signed_zeros[12] = -0.0;
+        let wavy: Vec<f64> = (0..80)
+            .map(|i| ((i * 7919 % 101) as f64) * 0.1 - 5.0)
+            .collect();
+        let mut scratch = SlidingScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for xs in [&signed_zeros, &wavy] {
+            for r in [0usize, 1, 2, 3, 5, 11, 36, 100] {
+                sliding_max_into(xs, r, &mut scratch, &mut a);
+                sliding_max_into_seq(xs, r, &mut scratch, &mut b);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&a), bits(&b), "max r={r}");
+                sliding_min_into(xs, r, &mut scratch, &mut a);
+                sliding_min_into_seq(xs, r, &mut scratch, &mut b);
+                assert_eq!(bits(&a), bits(&b), "min r={r}");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! distance form. All three are exercised by the property tests.
 
 use crate::wedge::Wedge;
+use rotind_distance::kernels;
 use rotind_distance::lcss::LcssParams;
 use rotind_ts::StepCounter;
 
@@ -101,24 +102,12 @@ pub fn lb_keogh_early_abandon_at(
     counter: &mut StepCounter,
 ) -> Result<f64, usize> {
     assert_eq!(q.len(), wedge.len(), "lb_keogh: length mismatch");
-    let r2 = r * r;
     let upper = wedge.upper();
     let lower = wedge.lower();
-    let mut acc = 0.0;
-    for i in 0..q.len() {
-        let x = q[i];
-        counter.tick();
-        if x > upper[i] {
-            let d = x - upper[i];
-            acc += d * d;
-        } else if x < lower[i] {
-            let d = x - lower[i];
-            acc += d * d;
-        }
-        if acc > r2 && acc.sqrt() > r {
-            return Err(i + 1);
-        }
-    }
+    // The clamp-and-accumulate runs lane-parallel in the canonical
+    // kernel order; abandon positions and step counts match the
+    // historical per-element loop (block check + scalar replay).
+    let acc = kernels::engine::clamp_sq_abandon(q, upper, lower, r, counter)?;
     let lb = acc.sqrt();
     // Debug-only self-check of Proposition 1: every series inside the
     // envelope (the envelope curves themselves included, since L ≤ U
@@ -203,25 +192,16 @@ pub fn lb_keogh_reordered_early_abandon_at(
     counter: &mut StepCounter,
 ) -> Result<f64, usize> {
     assert_eq!(q.len(), wedge.len(), "lb_keogh reordered: length mismatch");
-    let r2 = r * r;
     let upper = wedge.upper();
     let lower = wedge.lower();
-    let mut acc = 0.0;
-    for (k, &oi) in wedge.abandon_order().iter().enumerate() {
-        let i = oi as usize;
-        let x = q[i];
-        counter.tick();
-        if x > upper[i] {
-            let d = x - upper[i];
-            acc += d * d;
-        } else if x < lower[i] {
-            let d = x - lower[i];
-            acc += d * d;
-        }
-        if acc > r2 && acc.sqrt() > r {
-            return Err(k + 1);
-        }
-    }
+    let acc = kernels::engine::clamp_sq_abandon_ordered(
+        q,
+        upper,
+        lower,
+        wedge.abandon_order(),
+        r,
+        counter,
+    )?;
     let lb = acc.sqrt();
     #[cfg(debug_assertions)]
     {
@@ -238,20 +218,25 @@ pub fn lb_keogh_reordered_early_abandon_at(
     Ok(lb)
 }
 
-thread_local! {
-    /// Projection + sliding-window buffers for the LB_Improved second
-    /// pass, reused across calls (once per surviving candidate/wedge
-    /// pair on the DTW hot path).
-    static IMPROVED_SCRATCH: std::cell::RefCell<ImprovedScratch> =
-        std::cell::RefCell::new(ImprovedScratch::default());
-}
-
-#[derive(Default)]
-struct ImprovedScratch {
+/// Reusable projection + sliding-window buffers for the envelope bounds
+/// that need per-call working storage: the `LB_Improved` second pass and
+/// the widened LCSS envelope. Owned by the caller (the engine keeps one
+/// per candidate context) so the query hot path performs no per-call
+/// allocation.
+#[derive(Debug, Default)]
+pub struct ImprovedScratch {
     proj: Vec<f64>,
     proj_up: Vec<f64>,
     proj_lo: Vec<f64>,
     win: crate::envelope::SlidingScratch,
+}
+
+impl ImprovedScratch {
+    /// An empty workspace; buffers grow to the series length on first
+    /// use and are retained across calls.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// `LB_Improved` (Lemire's two-pass bound, arXiv:0811.3301, generalised
@@ -294,6 +279,7 @@ pub fn lb_improved(
         band,
         first * first,
         f64::INFINITY,
+        &mut ImprovedScratch::new(),
         counter,
     )
     // Invariant: an infinite radius never dismisses.
@@ -309,6 +295,7 @@ pub fn lb_improved(
 /// [`lb_keogh_early_abandon_at`]; `None` means no member can be within
 /// `r`.
 // lint: panic-exempt(both wedges come from one hierarchy sharing the validated series length)
+#[allow(clippy::too_many_arguments)] // mirrors the cascade's tier-call shape; scratch rides along
 pub fn lb_improved_second_pass(
     q: &[f64],
     wedge: &Wedge,
@@ -316,42 +303,34 @@ pub fn lb_improved_second_pass(
     band: usize,
     first_pass_acc: f64,
     r: f64,
+    scratch: &mut ImprovedScratch,
     counter: &mut StepCounter,
 ) -> Option<f64> {
     let n = q.len();
     assert_eq!(n, wedge.len(), "lb_improved: length mismatch");
     assert_eq!(n, lb_wedge.len(), "lb_improved: widened length mismatch");
-    let r2 = r * r;
-    let lb = IMPROVED_SCRATCH.with(|scratch| {
-        let s = &mut *scratch.borrow_mut();
-        s.proj.clear();
-        s.proj.reserve(n);
-        let (wu, wl) = (lb_wedge.upper(), lb_wedge.lower());
-        for i in 0..n {
-            s.proj.push(q[i].clamp(wl[i], wu[i]));
-        }
-        crate::envelope::sliding_max_into(&s.proj, band, &mut s.win, &mut s.proj_up);
-        crate::envelope::sliding_min_into(&s.proj, band, &mut s.win, &mut s.proj_lo);
-        // The projection and its widened envelope cost ~n real-value
-        // operations; charge them so step counts stay honest.
-        counter.add(n as u64);
-        let (upper, lower) = (wedge.upper(), wedge.lower());
-        let mut acc = first_pass_acc;
-        for j in 0..n {
-            counter.tick();
-            if lower[j] > s.proj_up[j] {
-                let d = lower[j] - s.proj_up[j];
-                acc += d * d;
-            } else if s.proj_lo[j] > upper[j] {
-                let d = s.proj_lo[j] - upper[j];
-                acc += d * d;
-            }
-            if acc > r2 && acc.sqrt() > r {
-                return None;
-            }
-        }
-        Some(acc.sqrt())
-    })?;
+    let s = scratch;
+    s.proj.clear();
+    s.proj.reserve(n);
+    let (wu, wl) = (lb_wedge.upper(), lb_wedge.lower());
+    s.proj
+        .extend(q.iter().zip(wl).zip(wu).map(|((&x, &l), &u)| x.clamp(l, u)));
+    crate::envelope::sliding_max_into(&s.proj, band, &mut s.win, &mut s.proj_up);
+    crate::envelope::sliding_min_into(&s.proj, band, &mut s.win, &mut s.proj_lo);
+    // The projection and its widened envelope cost ~n real-value
+    // operations; charge them so step counts stay honest.
+    counter.add(n as u64);
+    let acc = kernels::engine::interval_gap_sq_abandon(
+        first_pass_acc,
+        wedge.upper(),
+        wedge.lower(),
+        &s.proj_up,
+        &s.proj_lo,
+        r,
+        counter,
+    )
+    .ok()?;
+    let lb = acc.sqrt();
     // Witness: the envelope curves are themselves enclosed by the wedge
     // (L ≤ U pointwise), so the bound must not exceed the banded DTW
     // distance to either curve.
@@ -376,24 +355,43 @@ pub fn lb_improved_second_pass(
 /// Figure 14). Counting such positions can only overestimate the true
 /// match count.
 // lint: panic-exempt(query/wedge length equality is validated at snapshot admission; the assert documents the kernel contract)
+// lint: witness-exempt(pure delegation to lcss_distance_lower_bound_with, which carries the [0, 1] admissibility witness on the shared return path)
 pub fn lcss_distance_lower_bound(
     q: &[f64],
     wedge: &Wedge,
     params: LcssParams,
     counter: &mut StepCounter,
 ) -> f64 {
+    lcss_distance_lower_bound_with(q, wedge, params, &mut ImprovedScratch::new(), counter)
+}
+
+/// [`lcss_distance_lower_bound`] with caller-owned scratch: the
+/// `δ`-widened envelope is built into reused sliding-window buffers
+/// instead of materialising a whole widened [`Wedge`] (members, abandon
+/// order and all) per call, making the LCSS scan hot path
+/// allocation-free per candidate.
+// lint: panic-exempt(query/wedge length equality is validated at snapshot admission; the assert documents the kernel contract)
+pub fn lcss_distance_lower_bound_with(
+    q: &[f64],
+    wedge: &Wedge,
+    params: LcssParams,
+    scratch: &mut ImprovedScratch,
+    counter: &mut StepCounter,
+) -> f64 {
     assert_eq!(q.len(), wedge.len(), "lcss bound: length mismatch");
-    let widened = wedge.widened(params.delta);
-    let mut possible = 0usize;
-    #[allow(clippy::needless_range_loop)] // index used across multiple slices
-    for i in 0..q.len() {
-        counter.tick();
-        if q[i] >= widened.lower()[i] - params.epsilon
-            && q[i] <= widened.upper()[i] + params.epsilon
-        {
-            possible += 1;
-        }
-    }
+    let s = scratch;
+    crate::envelope::sliding_max_into(wedge.upper(), params.delta, &mut s.win, &mut s.proj_up);
+    crate::envelope::sliding_min_into(wedge.lower(), params.delta, &mut s.win, &mut s.proj_lo);
+    // One step per scanned position, as the historical per-element loop
+    // charged (the widening rides free there and here alike, keeping
+    // committed step baselines identical).
+    counter.add(q.len() as u64);
+    let possible = q
+        .iter()
+        .zip(&s.proj_lo)
+        .zip(&s.proj_up)
+        .filter(|((&x, &l), &u)| x >= l - params.epsilon && x <= u + params.epsilon)
+        .count();
     let lb = 1.0 - possible as f64 / q.len() as f64;
     // Admissibility witness: the LCSS distance lives in [0, 1], so any
     // bound outside that interval is inadmissible on its face (the full
@@ -683,12 +681,30 @@ mod tests {
         let first = lb_keogh(&q, &wide, &mut steps());
         let full = lb_improved(&q, &w, &wide, 2, &mut steps());
         assert!(full > 0.0, "test needs a non-trivial bound");
+        let mut scratch = ImprovedScratch::new();
         // Radius exactly at the bound: inclusive, never dismissed.
-        let at = lb_improved_second_pass(&q, &w, &wide, 2, first * first, full, &mut steps());
+        let at = lb_improved_second_pass(
+            &q,
+            &w,
+            &wide,
+            2,
+            first * first,
+            full,
+            &mut scratch,
+            &mut steps(),
+        );
         assert_eq!(at, Some(full));
         // Radius below the bound: dismissed.
-        let below =
-            lb_improved_second_pass(&q, &w, &wide, 2, first * first, full * 0.99, &mut steps());
+        let below = lb_improved_second_pass(
+            &q,
+            &w,
+            &wide,
+            2,
+            first * first,
+            full * 0.99,
+            &mut scratch,
+            &mut steps(),
+        );
         assert_eq!(below, None);
     }
 

@@ -10,7 +10,9 @@
 //! envelope argument upper-bounds LCSS similarity.
 //!
 //! * [`envelope`] — pointwise min/max envelopes, including `O(n)`
-//!   sliding-window widening via monotonic deques;
+//!   sliding-window widening via the branch-free van Herk / Gil–Werman
+//!   block kernel (the historical monotonic deque is kept as the scalar
+//!   reference);
 //! * [`wedge`] — the wedge type: construction from rotations, merging,
 //!   area (the quality heuristic of Figure 8);
 //! * [`lb_keogh`] — `LB_Keogh` and its early-abandoning form (Table 5),

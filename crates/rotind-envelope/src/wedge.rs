@@ -1,11 +1,18 @@
 //! The wedge type `W = {U, L}` (Section 4.1, Figure 6).
 
 use crate::envelope::{envelope_of, sliding_max_into, sliding_min_into, SlidingScratch};
+use rotind_distance::kernels::LANES;
 use rotind_ts::rotate::{Rotation, RotationMatrix};
 
 /// A wedge: the smallest bounding envelope enclosing a set of candidate
 /// rotations from above (`upper`) and below (`lower`), together with the
 /// rotations it covers.
+///
+/// The two envelopes live in one packed structure-of-arrays slab —
+/// `upper` at offset 0, `lower` at a lane-aligned stride — so the clamp
+/// kernels stream both from a single contiguous allocation; the padding
+/// between and after them is deterministically zero (which keeps the
+/// derived `PartialEq`/`Clone` meaningful).
 ///
 /// ```
 /// use rotind_envelope::Wedge;
@@ -19,13 +26,24 @@ use rotind_ts::rotate::{Rotation, RotationMatrix};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Wedge {
-    upper: Vec<f64>,
-    lower: Vec<f64>,
+    /// Packed envelope slab of length `2 * stride`, where `stride` is
+    /// `n` rounded up to the kernel lane count: `upper` occupies
+    /// `[0, n)`, `lower` occupies `[stride, stride + n)`, all padding
+    /// is 0.0.
+    env: Vec<f64>,
+    /// Series length `n`.
+    n: usize,
     members: Vec<Rotation>,
     /// Position permutation for reordered early abandoning: positions
     /// sorted by decreasing expected contribution to `LB_Keogh`. A pure
     /// function of `(upper, lower)`, computed once at construction.
     order: Vec<u32>,
+}
+
+/// Lane-aligned stride of the envelope slab for series length `n`.
+#[inline]
+fn slab_stride(n: usize) -> usize {
+    n.next_multiple_of(LANES)
 }
 
 /// Positions sorted so the terms most likely to dominate an `LB_Keogh`
@@ -34,6 +52,7 @@ pub struct Wedge {
 /// baseline force a contribution from any roughly-centred candidate),
 /// tie-broken by envelope width ascending (narrow intervals reject more
 /// candidates) and finally by index so the permutation is deterministic.
+// lint: panic-exempt(every index comes from 0..upper.len() and the slices are equal-length by the caller's contract)
 fn abandon_order_of(upper: &[f64], lower: &[f64]) -> Vec<u32> {
     let mut order: Vec<u32> = (0..upper.len() as u32).collect();
     order.sort_by(|&a, &b| {
@@ -56,15 +75,28 @@ fn abandon_order_of(upper: &[f64], lower: &[f64]) -> Vec<u32> {
 }
 
 impl Wedge {
+    /// Pack an (upper, lower) envelope pair into the SoA slab.
+    // lint: panic-exempt(n <= stride and 2*stride is the slab length by construction, so every slice is in range)
+    fn pack(upper: &[f64], lower: &[f64], members: Vec<Rotation>) -> Self {
+        debug_assert_eq!(upper.len(), lower.len());
+        let n = upper.len();
+        let stride = slab_stride(n);
+        let mut env = vec![0.0; 2 * stride];
+        // rotind-lint: allow(no-index) — n <= stride <= env.len()/2 by construction
+        env[..n].copy_from_slice(upper);
+        env[stride..stride + n].copy_from_slice(lower);
+        Wedge {
+            order: abandon_order_of(upper, lower),
+            env,
+            n,
+            members,
+        }
+    }
+
     /// A degenerate wedge over a single candidate sequence — the case in
     /// which `LB_Keogh` collapses to the exact Euclidean distance.
     pub fn from_single(series: &[f64], rotation: Rotation) -> Self {
-        Wedge {
-            order: abandon_order_of(series, series),
-            upper: series.to_vec(),
-            lower: series.to_vec(),
-            members: vec![rotation],
-        }
+        Wedge::pack(series, series, vec![rotation])
     }
 
     /// The wedge over the given rows of a rotation matrix.
@@ -77,16 +109,16 @@ impl Wedge {
         assert!(!rows.is_empty(), "Wedge::from_rows: empty row set");
         let series: Vec<Vec<f64>> = rows.iter().map(|&r| matrix.row(r).to_vec()).collect();
         let (upper, lower) = envelope_of(&series);
-        Wedge {
-            order: abandon_order_of(&upper, &lower),
-            upper,
-            lower,
-            members: rows.iter().map(|&r| matrix.rotations()[r]).collect(),
-        }
+        Wedge::pack(
+            &upper,
+            &lower,
+            rows.iter().map(|&r| matrix.rotations()[r]).collect(),
+        )
     }
 
     /// Merge two wedges into their combined envelope (Figure 7:
-    /// `W((1,2),3)` from `W(1,2)` and `W3`).
+    /// `W((1,2),3)` from `W(1,2)` and `W3`). The elementwise max/min run
+    /// straight into the merged slab, lane-parallel.
     ///
     /// # Panics
     ///
@@ -94,24 +126,26 @@ impl Wedge {
     // lint: panic-exempt(documented precondition: wedges of one hierarchy share the series length)
     pub fn merge(a: &Wedge, b: &Wedge) -> Self {
         assert_eq!(a.len(), b.len(), "Wedge::merge: length mismatch");
-        let upper: Vec<f64> = a
-            .upper
-            .iter()
-            .zip(&b.upper)
-            .map(|(x, y)| x.max(*y))
-            .collect();
-        let lower: Vec<f64> = a
-            .lower
-            .iter()
-            .zip(&b.lower)
-            .map(|(x, y)| x.min(*y))
-            .collect();
+        let n = a.n;
+        let stride = slab_stride(n);
+        let mut env = vec![0.0; 2 * stride];
+        {
+            let (up, lo) = env.split_at_mut(stride);
+            for ((dst, x), y) in up.iter_mut().zip(a.upper()).zip(b.upper()) {
+                *dst = x.max(*y);
+            }
+            for ((dst, x), y) in lo.iter_mut().zip(a.lower()).zip(b.lower()) {
+                *dst = x.min(*y);
+            }
+        }
         let mut members = a.members.clone();
         members.extend_from_slice(&b.members);
+        // rotind-lint: allow(no-index) — n <= stride by construction
+        let order = abandon_order_of(&env[..n], &env[stride..stride + n]);
         Wedge {
-            order: abandon_order_of(&upper, &lower),
-            upper,
-            lower,
+            order,
+            env,
+            n,
             members,
         }
     }
@@ -123,45 +157,45 @@ impl Wedge {
         self.widened_with(radius, &mut SlidingScratch::new())
     }
 
-    /// [`Wedge::widened`] with caller-owned scratch: the monotonic-deque
+    /// [`Wedge::widened`] with caller-owned scratch: the sliding-window
     /// workspace is reused across calls, so building the `2n − 1` widened
     /// envelopes of a hierarchy allocates only the buffers it keeps.
     pub fn widened_with(&self, radius: usize, scratch: &mut SlidingScratch) -> Self {
         let mut upper = Vec::new();
         let mut lower = Vec::new();
-        sliding_max_into(&self.upper, radius, scratch, &mut upper);
-        sliding_min_into(&self.lower, radius, scratch, &mut lower);
-        Wedge {
-            order: abandon_order_of(&upper, &lower),
-            upper,
-            lower,
-            members: self.members.clone(),
-        }
+        sliding_max_into(self.upper(), radius, scratch, &mut upper);
+        sliding_min_into(self.lower(), radius, scratch, &mut lower);
+        Wedge::pack(&upper, &lower, self.members.clone())
     }
 
     /// Series length `n`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.upper.len()
+        self.n
     }
 
     /// `true` when the wedge covers a zero-length series (never for a
     /// constructed wedge).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.upper.is_empty()
+        self.n == 0
     }
 
-    /// Upper envelope `U`.
+    /// Upper envelope `U` — the first row of the SoA slab.
+    // lint: panic-exempt(n <= env.len()/2 is a struct invariant enforced by pack/merge)
     #[inline]
     pub fn upper(&self) -> &[f64] {
-        &self.upper
+        // rotind-lint: allow(no-index) — n <= env.len()/2 is a struct invariant
+        &self.env[..self.n]
     }
 
-    /// Lower envelope `L`.
+    /// Lower envelope `L` — the second, lane-aligned row of the SoA slab.
+    // lint: panic-exempt(stride + n == env.len() is a struct invariant enforced by pack/merge)
     #[inline]
     pub fn lower(&self) -> &[f64] {
-        &self.lower
+        let stride = slab_stride(self.n);
+        // rotind-lint: allow(no-index) — stride + n == env.len() is a struct invariant
+        &self.env[stride..stride + self.n]
     }
 
     /// The rotations covered by this wedge.
@@ -187,17 +221,21 @@ impl Wedge {
     /// Wedge area `Σ (U_i − L_i)` — the utility heuristic of Figure 8:
     /// fat wedges produce loose lower bounds.
     pub fn area(&self) -> f64 {
-        self.upper.iter().zip(&self.lower).map(|(u, l)| u - l).sum()
+        self.upper()
+            .iter()
+            .zip(self.lower())
+            .map(|(u, l)| u - l)
+            .sum()
     }
 
     /// `true` when `series` lies within the envelope at every position.
-    // lint: panic-exempt(the first conjunct checks the length equality that bounds the indexing)
     pub fn contains(&self, series: &[f64]) -> bool {
         series.len() == self.len()
             && series
                 .iter()
-                .enumerate()
-                .all(|(i, &x)| self.lower[i] <= x && x <= self.upper[i])
+                .zip(self.lower())
+                .zip(self.upper())
+                .all(|((&x, &l), &u)| l <= x && x <= u)
     }
 }
 

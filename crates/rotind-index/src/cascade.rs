@@ -21,6 +21,7 @@
 //! `ROTIND_CASCADE` environment variable.
 
 use crate::reduced::{Paa, PaaEnvelope};
+use rotind_envelope::lb_keogh::ImprovedScratch;
 use rotind_envelope::WedgeTree;
 use rotind_ts::StepCounter;
 
@@ -233,12 +234,16 @@ impl BoundCascade {
 
 /// Per-candidate lazy state for one H-Merge call: the candidate's PAA
 /// projection is only computed (and charged, `n` steps) if some wedge
-/// actually reaches tier 2.
+/// actually reaches tier 2, plus the reusable projection/sliding-window
+/// buffers the tier-4 second pass (and the LCSS envelope bound) fill per
+/// node — owned here so the scan allocates nothing per wedge.
 pub(crate) struct CandidateCtx {
     paa: Option<Paa>,
     /// True when the projection arrived pre-built from a cache (used
     /// only for the cache's built/reused accounting).
     seeded: bool,
+    /// Scratch for `lb_improved_second_pass` / the widened LCSS bound.
+    pub(crate) improved: ImprovedScratch,
 }
 
 impl CandidateCtx {
@@ -246,6 +251,7 @@ impl CandidateCtx {
         CandidateCtx {
             paa: None,
             seeded: false,
+            improved: ImprovedScratch::new(),
         }
     }
 
@@ -254,7 +260,11 @@ impl CandidateCtx {
     /// cached state.
     pub(crate) fn with(paa: Option<Paa>) -> Self {
         let seeded = paa.is_some();
-        CandidateCtx { paa, seeded }
+        CandidateCtx {
+            paa,
+            seeded,
+            improved: ImprovedScratch::new(),
+        }
     }
 
     /// Surrender the (possibly still unbuilt) projection, so a cache

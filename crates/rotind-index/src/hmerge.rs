@@ -16,7 +16,7 @@ use crate::cascade::{BoundCascade, CandidateCtx};
 use rotind_distance::measure::Measure;
 use rotind_envelope::lb_keogh::{
     lb_improved_second_pass, lb_keogh_early_abandon_at, lb_keogh_reordered_early_abandon_at,
-    lb_kim, lcss_distance_lower_bound,
+    lb_kim, lcss_distance_lower_bound, lcss_distance_lower_bound_with,
 };
 use rotind_envelope::WedgeTree;
 use rotind_obs::{BudgetHook, CascadeTier, NoBudget, NoopObserver, ProfilePhase, SearchObserver};
@@ -307,6 +307,7 @@ fn node_tier_bound<O: SearchObserver>(
             tree.band(),
             lb * lb,
             best_so_far,
+            &mut ctx.improved,
             counter,
         );
         observer.on_phase_end(ProfilePhase::Tier(CascadeTier::Improved), counter.steps());
@@ -437,7 +438,13 @@ pub(crate) fn h_merge_cascade_budgeted_ctx<O: SearchObserver, B: BudgetHook>(
         let bound = match measure {
             // LCSS has a single similarity-count bound; no tiers apply.
             Measure::Lcss(p) => {
-                let lb = lcss_distance_lower_bound(candidate, tree.wedge(node), p, counter);
+                let lb = lcss_distance_lower_bound_with(
+                    candidate,
+                    tree.wedge(node),
+                    p,
+                    &mut ctx.improved,
+                    counter,
+                );
                 if lb <= best_so_far {
                     observer.on_wedge_tested(level, lb, best_so_far, false);
                     Some(lb)

@@ -113,6 +113,21 @@ done
 echo "==> profiling suite under ROTIND_THREADS=4"
 ROTIND_THREADS=4 cargo test -q --test profiling
 
+echo "==> std::simd kernel lane (nightly only; skipped when nightly is unavailable)"
+# The default chunked backend is bit-identical to the std::simd one and
+# is already covered above, so on stable this lane degrades to a loud
+# skip, not a fail. On nightly it re-runs the kernel identity suite,
+# the end-to-end exactness suite (sequential and 4 threads), and the
+# full-cascade config with the simd engine selected.
+if cargo +nightly --version >/dev/null 2>&1; then
+    cargo +nightly test -q --features simd --test kernels_identity
+    ROTIND_THREADS=1 cargo +nightly test -q --features simd --test exactness --test parallel
+    ROTIND_THREADS=4 cargo +nightly test -q --features simd --test exactness --test parallel
+    ROTIND_CASCADE=all cargo +nightly test -q --features simd --test cascade
+else
+    echo "nightly toolchain not installed; skipping std::simd lane (chunked default is bit-identical)"
+fi
+
 # Smoke runs go to a throwaway dir: results/ is git-tracked with
 # full-scale artifacts and a quick run would clobber them.
 SMOKE="$(mktemp -d)"
@@ -131,6 +146,30 @@ PY
 echo "==> cascade ablation smoke run"
 ROTIND_QUICK=1 ROTIND_RESULTS="$SMOKE" \
     cargo run -p rotind-bench --release --bin cascade >/dev/null
+
+echo "==> kernel bench smoke run (seq vs chunked throughput, schema check)"
+ROTIND_QUICK=1 ROTIND_RESULTS="$SMOKE" \
+    cargo run -p rotind-bench --release --bin kernels >/dev/null
+python3 - "$SMOKE" <<'PY'
+import json, sys
+doc = json.load(open(f"{sys.argv[1]}/bench_kernels.json"))
+assert isinstance(doc["quick"], bool), doc
+assert doc["lanes"] >= 2, doc
+assert isinstance(doc["simd_compiled"], bool), doc
+entries = doc["entries"]
+assert entries, "no kernel bench entries"
+cells = {}
+for e in entries:
+    for key in ("kernel", "n", "backend", "ns_per_call", "speedup_vs_scalar"):
+        assert key in e, f"entry missing {key}: {e}"
+    assert e["backend"] in ("seq", "chunked", "simd"), e
+    assert e["ns_per_call"] > 0, e
+    assert e["speedup_vs_scalar"] > 0, e
+    cells.setdefault((e["kernel"], e["n"]), set()).add(e["backend"])
+for (k, n), backends in cells.items():
+    assert {"seq", "chunked"} <= backends, f"{k}@{n} missing a backend: {backends}"
+print(f"bench_kernels.json: {len(entries)} cells over {len(cells)} kernel/size pairs")
+PY
 
 echo "==> serve smoke lane (start server, open-loop load, schema check)"
 # The serve integration tests (bit-identical to the library path,

@@ -1,0 +1,305 @@
+//! Property tests pinning the vectorized bound kernels to their scalar
+//! twins (DESIGN.md §17).
+//!
+//! Three layers of identity are asserted, each against randomized data
+//! at lane-straddling lengths (`LANES ± 1` and friends) plus the
+//! adversarial all-inside / all-outside envelope regimes:
+//!
+//! * **`chunked` vs `seq` outcome equivalence** — the chunked canonical
+//!   order must dismiss exactly the candidates the historical scalar
+//!   loop dismisses, at the same trip position, charging the same step
+//!   count (block check + scalar replay, see `rotind_distance::kernels`),
+//!   and must agree on completed sums to reassociation rounding.
+//! * **`simd` vs `chunked` bit-identity** (compiled only with
+//!   `--features simd`) — both express the same canonical order, so
+//!   sums, trip positions, and steps match *bitwise*.
+//! * **van Herk vs deque bit-identity** — the block sliding-extreme
+//!   kernel agrees bit for bit with the monotonic-deque reference.
+
+use proptest::prelude::*;
+use rotind::distance::kernels::{self, LANES};
+use rotind::envelope::envelope::{
+    sliding_max_into, sliding_max_into_seq, sliding_min_into, sliding_min_into_seq, SlidingScratch,
+};
+use rotind::ts::StepCounter;
+
+/// Lane-straddling lengths: one below, at, and above each chunk and
+/// block boundary the canonical schedule cares about.
+const SIZES: [usize; 12] = [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200];
+const MAX_N: usize = 200;
+
+fn pool() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, MAX_N)
+}
+
+/// Radius selector: 0 → ∞ (full accumulation), 1 → 0.0 (instant
+/// dismissal on any positive term), otherwise the drawn finite value.
+fn pick_radius(sel: usize, val: f64) -> f64 {
+    match sel {
+        0 => f64::INFINITY,
+        1 => 0.0,
+        _ => val,
+    }
+}
+
+/// Clamp-kernel query for the adversarial regimes: 0 = mixed (the raw
+/// draw), 1 = all inside (every term exactly 0.0), 2 = all outside
+/// (every term positive).
+fn clamp_query(q: &[f64], mid: &[f64], upper: &[f64], mode: usize) -> Vec<f64> {
+    match mode {
+        1 => mid.to_vec(),
+        2 => upper.iter().map(|u| u + 1.0).collect(),
+        _ => q.to_vec(),
+    }
+}
+
+type KernelOut = (Result<f64, usize>, u64);
+
+fn run<F: FnOnce(&mut StepCounter) -> Result<f64, usize>>(f: F) -> KernelOut {
+    let mut counter = StepCounter::new();
+    let out = f(&mut counter);
+    (out, counter.steps())
+}
+
+/// `chunked` must agree with `seq` on the dismissal decision, the trip
+/// position, and the step count exactly; completed sums agree to
+/// reassociation rounding.
+fn assert_outcome_equiv(name: &str, seq: KernelOut, chunked: KernelOut) {
+    let ((s, s_steps), (c, c_steps)) = (seq, chunked);
+    match (s, c) {
+        (Ok(a), Ok(b)) => {
+            let tol = 1e-9 * (1.0 + a.abs());
+            assert!((a - b).abs() <= tol, "{name}: sum {a} vs {b}");
+        }
+        (Err(i), Err(j)) => assert_eq!(i, j, "{name}: trip position"),
+        (a, b) => panic!("{name}: dismissal disagrees: seq {a:?} chunked {b:?}"),
+    }
+    assert_eq!(s_steps, c_steps, "{name}: steps");
+}
+
+/// The simd backend is the same canonical order; everything is bitwise.
+#[cfg(feature = "simd")]
+fn assert_bit_identical(name: &str, chunked: KernelOut, simd: KernelOut) {
+    let ((c, c_steps), (v, v_steps)) = (chunked, simd);
+    match (c, v) {
+        (Ok(a), Ok(b)) => assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} vs {b}"),
+        (Err(i), Err(j)) => assert_eq!(i, j, "{name}: trip position"),
+        (a, b) => panic!("{name}: dismissal disagrees: chunked {a:?} simd {b:?}"),
+    }
+    assert_eq!(c_steps, v_steps, "{name}: steps");
+}
+
+/// A deterministic permutation of `0..n` (any fixed gather order works;
+/// the kernels only require a permutation).
+fn permutation(n: usize) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.reverse();
+    if n > 2 {
+        order.swap(0, n / 2);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn euclid_chunked_matches_seq(
+        a_pool in pool(),
+        b_pool in pool(),
+        size_idx in 0usize..SIZES.len(),
+        r_sel in 0usize..4,
+        r_val in 0.0f64..40.0,
+    ) {
+        let n = SIZES[size_idx];
+        let (a, b) = (&a_pool[..n], &b_pool[..n]);
+        let r = pick_radius(r_sel, r_val);
+        let seq = run(|c| kernels::seq::sq_dist_abandon(a, b, r, c));
+        let chunked = run(|c| kernels::chunked::sq_dist_abandon(a, b, r, c));
+        assert_outcome_equiv("euclid", seq, chunked);
+        #[cfg(feature = "simd")]
+        assert_bit_identical(
+            "euclid",
+            chunked,
+            run(|c| kernels::simd::sq_dist_abandon(a, b, r, c)),
+        );
+    }
+
+    #[test]
+    fn split_euclid_chunked_matches_seq(
+        a_pool in pool(),
+        b_pool in pool(),
+        size_idx in 0usize..SIZES.len(),
+        shift_frac in 0.0f64..1.0,
+        r_sel in 0usize..4,
+        r_val in 0.0f64..40.0,
+    ) {
+        let n = SIZES[size_idx];
+        let (a, base) = (&a_pool[..n], &b_pool[..n]);
+        let r = pick_radius(r_sel, r_val);
+        let shift = ((n as f64 * shift_frac) as usize).min(n.saturating_sub(1));
+        let (head, tail) = base.split_at(shift);
+        let seq = run(|c| kernels::seq::sq_dist_abandon_split(a, tail, head, r, c));
+        let chunked = run(|c| kernels::chunked::sq_dist_abandon_split(a, tail, head, r, c));
+        assert_outcome_equiv("split", seq, chunked);
+        #[cfg(feature = "simd")]
+        assert_bit_identical(
+            "split",
+            chunked,
+            run(|c| kernels::simd::sq_dist_abandon_split(a, tail, head, r, c)),
+        );
+    }
+
+    #[test]
+    fn clamp_chunked_matches_seq(
+        q_pool in pool(),
+        mid_pool in pool(),
+        size_idx in 0usize..SIZES.len(),
+        mode in 0usize..3,
+        r_sel in 0usize..4,
+        r_val in 0.0f64..40.0,
+    ) {
+        let n = SIZES[size_idx];
+        let mid = &mid_pool[..n];
+        let upper: Vec<f64> = mid.iter().map(|x| x + 0.5).collect();
+        let lower: Vec<f64> = mid.iter().map(|x| x - 0.5).collect();
+        let q = clamp_query(&q_pool[..n], mid, &upper, mode);
+        let r = pick_radius(r_sel, r_val);
+        let seq = run(|c| kernels::seq::clamp_sq_abandon(&q, &upper, &lower, r, c));
+        let chunked = run(|c| kernels::chunked::clamp_sq_abandon(&q, &upper, &lower, r, c));
+        assert_outcome_equiv("clamp", seq, chunked);
+        // All-inside inputs sum to exactly 0.0 in every backend: each
+        // term is 0.0 and float zero-sums are association-free.
+        if mode == 1 {
+            prop_assert_eq!(chunked.0.map(f64::to_bits), Ok(0.0f64.to_bits()));
+        }
+        #[cfg(feature = "simd")]
+        assert_bit_identical(
+            "clamp",
+            chunked,
+            run(|c| kernels::simd::clamp_sq_abandon(&q, &upper, &lower, r, c)),
+        );
+    }
+
+    #[test]
+    fn ordered_clamp_chunked_matches_seq(
+        q_pool in pool(),
+        mid_pool in pool(),
+        size_idx in 0usize..SIZES.len(),
+        mode in 0usize..3,
+        r_sel in 0usize..4,
+        r_val in 0.0f64..40.0,
+    ) {
+        let n = SIZES[size_idx];
+        let mid = &mid_pool[..n];
+        let upper: Vec<f64> = mid.iter().map(|x| x + 0.5).collect();
+        let lower: Vec<f64> = mid.iter().map(|x| x - 0.5).collect();
+        let q = clamp_query(&q_pool[..n], mid, &upper, mode);
+        let r = pick_radius(r_sel, r_val);
+        let order = permutation(n);
+        let seq =
+            run(|c| kernels::seq::clamp_sq_abandon_ordered(&q, &upper, &lower, &order, r, c));
+        let chunked =
+            run(|c| kernels::chunked::clamp_sq_abandon_ordered(&q, &upper, &lower, &order, r, c));
+        assert_outcome_equiv("ordered", seq, chunked);
+        #[cfg(feature = "simd")]
+        assert_bit_identical(
+            "ordered",
+            chunked,
+            run(|c| kernels::simd::clamp_sq_abandon_ordered(&q, &upper, &lower, &order, r, c)),
+        );
+    }
+
+    #[test]
+    fn interval_gap_chunked_matches_seq(
+        q_pool in pool(),
+        mid_pool in pool(),
+        size_idx in 0usize..SIZES.len(),
+        mode in 0usize..3,
+        init in 0.0f64..5.0,
+        r_sel in 0usize..4,
+        r_val in 0.0f64..40.0,
+    ) {
+        // Reuse the clamp setup: `q ± 0.25` plays the projection
+        // envelope, overlapping the wedge envelope in all three regimes.
+        let n = SIZES[size_idx];
+        let mid = &mid_pool[..n];
+        let upper: Vec<f64> = mid.iter().map(|x| x + 0.5).collect();
+        let lower: Vec<f64> = mid.iter().map(|x| x - 0.5).collect();
+        let q = clamp_query(&q_pool[..n], mid, &upper, mode);
+        let proj_up: Vec<f64> = q.iter().map(|x| x + 0.25).collect();
+        let proj_lo: Vec<f64> = q.iter().map(|x| x - 0.25).collect();
+        let r = pick_radius(r_sel, r_val);
+        let seq = run(|c| {
+            kernels::seq::interval_gap_sq_abandon(init, &upper, &lower, &proj_up, &proj_lo, r, c)
+        });
+        let chunked = run(|c| {
+            kernels::chunked::interval_gap_sq_abandon(init, &upper, &lower, &proj_up, &proj_lo, r, c)
+        });
+        assert_outcome_equiv("interval_gap", seq, chunked);
+        #[cfg(feature = "simd")]
+        assert_bit_identical(
+            "interval_gap",
+            chunked,
+            run(|c| {
+                kernels::simd::interval_gap_sq_abandon(
+                    init, &upper, &lower, &proj_up, &proj_lo, r, c,
+                )
+            }),
+        );
+    }
+
+    #[test]
+    fn van_herk_sliding_matches_deque_bitwise(
+        xs_pool in pool(),
+        size_idx in 0usize..SIZES.len(),
+        r in 0usize..70,
+    ) {
+        let xs = &xs_pool[..SIZES[size_idx]];
+        let mut scratch = SlidingScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        sliding_max_into(xs, r, &mut scratch, &mut a);
+        sliding_max_into_seq(xs, r, &mut scratch, &mut b);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&a), bits(&b), "sliding max, r = {}", r);
+        sliding_min_into(xs, r, &mut scratch, &mut a);
+        sliding_min_into_seq(xs, r, &mut scratch, &mut b);
+        prop_assert_eq!(bits(&a), bits(&b), "sliding min, r = {}", r);
+    }
+}
+
+/// The engine alias must resolve to the canonical-order backend the
+/// build selected: its results are bitwise those of `chunked` whether
+/// or not the `simd` feature is on.
+#[test]
+fn engine_is_bitwise_chunked() {
+    let n = 3 * LANES + 5;
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin() * 4.0).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.23).cos() * 4.0).collect();
+    for r in [f64::INFINITY, 8.0, 2.0, 0.5] {
+        let engine = run(|c| kernels::engine::sq_dist_abandon(&a, &b, r, c));
+        let chunked = run(|c| kernels::chunked::sq_dist_abandon(&a, &b, r, c));
+        assert_eq!(engine.0.map(f64::to_bits), chunked.0.map(f64::to_bits));
+        assert_eq!(engine.1, chunked.1);
+    }
+}
+
+/// Early-abandon trip-point equivalence, stated directly: on a spike
+/// series the chunked kernel abandons at exactly the element the scalar
+/// loop abandons at — never earlier (that would charge fewer steps than
+/// the scalar engine and skew abandon-depth observability) and never
+/// later than the replayed block allows.
+#[test]
+fn trip_points_match_scalar_at_every_spike_position() {
+    let n = 130;
+    for spike in [0usize, 1, 7, 8, 9, 31, 32, 63, 64, 65, 127, 128, 129] {
+        let mut a = vec![0.0f64; n];
+        let b = vec![0.0f64; n];
+        a[spike] = 100.0;
+        let seq = run(|c| kernels::seq::sq_dist_abandon(&a, &b, 1.0, c));
+        let chunked = run(|c| kernels::chunked::sq_dist_abandon(&a, &b, 1.0, c));
+        assert_eq!(seq.0, Err(spike + 1));
+        assert_eq!(chunked.0, Err(spike + 1), "spike at {spike}");
+        assert_eq!(seq.1, chunked.1, "steps at spike {spike}");
+    }
+}
